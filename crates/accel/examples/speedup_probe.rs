@@ -1,0 +1,29 @@
+//! Quick accelerator speedup probe across tile levels and kernel sizes
+//! (a lightweight version of the `sec3c_accel_speedup` benchmark binary).
+//!
+//! Run with: `cargo run --release -p mtl-accel --example speedup_probe`
+
+use mtl_accel::*;
+use mtl_proc::{CacheLevel, ProcLevel};
+use mtl_sim::Engine;
+
+fn run(config: TileConfig, rows: u32, cols: u32, accel: bool) -> u64 {
+    let layout = MvMultLayout::default();
+    let (mat, vec) = mvmult_data(rows, cols);
+    let program = if accel { mvmult_xcel_program(rows, cols, layout) } else { mvmult_scalar_program(rows, cols, layout) };
+    run_tile(config, &program, &[(layout.mat_base, &mat), (layout.vec_base, &vec)], 10_000_000, Engine::SpecializedOpt).cycles
+}
+
+fn main() {
+    for (p, c, x, label) in [
+        (ProcLevel::Cl, CacheLevel::Cl, XcelLevel::Cl, "CL tile"),
+        (ProcLevel::Rtl, CacheLevel::Rtl, XcelLevel::Rtl, "RTL tile"),
+    ] {
+        let config = TileConfig { proc: p, cache: c, xcel: x };
+        for (rows, cols) in [(8u32, 16u32), (16, 32), (32, 32)] {
+            let s = run(config, rows, cols, false);
+            let a = run(config, rows, cols, true);
+            println!("{label} {rows}x{cols}: scalar={s} accel={a} speedup={:.2}x", s as f64 / a as f64);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Matrix-vector multiplication workloads (the paper's §III-C
+//! evaluation): a loop-unrolled scalar implementation and an
+//! accelerator-offloaded implementation of `y = A·x`.
+
+use mtl_proc::assemble;
+
+/// Memory layout used by the workload programs.
+#[derive(Debug, Clone, Copy)]
+pub struct MvMultLayout {
+    /// Matrix base byte address (row-major).
+    pub mat_base: u32,
+    /// Vector base byte address.
+    pub vec_base: u32,
+    /// Output vector base byte address.
+    pub out_base: u32,
+}
+
+impl Default for MvMultLayout {
+    fn default() -> Self {
+        Self { mat_base: 0x4000, vec_base: 0x8000, out_base: 0x9000 }
+    }
+}
+
+/// Builds the scalar matrix-vector program with a 4x-unrolled inner loop
+/// (the paper's "traditional scalar implementation with loop-unrolling
+/// optimizations").
+///
+/// # Panics
+///
+/// Panics unless `cols` is a positive multiple of 4.
+pub fn mvmult_scalar_program(rows: u32, cols: u32, layout: MvMultLayout) -> Vec<u32> {
+    assert!(cols >= 4 && cols.is_multiple_of(4), "cols must be a positive multiple of 4");
+    let src = format!(
+        "        addi x13, x0, {rows}
+                 lui  x10, {mat_hi}
+                 ori  x10, x10, {mat_lo}
+                 lui  x11, {vec_hi}
+                 ori  x11, x11, {vec_lo}
+                 lui  x12, {out_hi}
+                 ori  x12, x12, {out_lo}
+                 addi x15, x0, 0
+        row:     add  x4, x0, x0
+                 add  x1, x0, x10
+                 add  x2, x0, x11
+                 addi x3, x0, {unroll}
+        inner:   lw   x5, 0(x1)
+                 lw   x6, 0(x2)
+                 mul  x7, x5, x6
+                 add  x4, x4, x7
+                 lw   x5, 4(x1)
+                 lw   x6, 4(x2)
+                 mul  x7, x5, x6
+                 add  x4, x4, x7
+                 lw   x5, 8(x1)
+                 lw   x6, 8(x2)
+                 mul  x7, x5, x6
+                 add  x4, x4, x7
+                 lw   x5, 12(x1)
+                 lw   x6, 12(x2)
+                 mul  x7, x5, x6
+                 add  x4, x4, x7
+                 addi x1, x1, 16
+                 addi x2, x2, 16
+                 addi x3, x3, -1
+                 bne  x3, x0, inner
+                 sw   x4, 0(x12)
+                 addi x12, x12, 4
+                 add  x10, x0, x1
+                 addi x15, x15, 1
+                 bne  x15, x13, row
+                 csrw 0x7C0, x4
+                 halt",
+        rows = rows,
+        unroll = cols / 4,
+        mat_hi = layout.mat_base >> 16,
+        mat_lo = layout.mat_base & 0xFFFF,
+        vec_hi = layout.vec_base >> 16,
+        vec_lo = layout.vec_base & 0xFFFF,
+        out_hi = layout.out_base >> 16,
+        out_lo = layout.out_base & 0xFFFF,
+    );
+    assemble(&src).expect("scalar mvmult program assembles")
+}
+
+/// Builds the accelerator-offloaded matrix-vector program: the processor
+/// configures the dot-product coprocessor per row via CSRs.
+pub fn mvmult_xcel_program(rows: u32, cols: u32, layout: MvMultLayout) -> Vec<u32> {
+    let src = format!(
+        "        addi x13, x0, {rows}
+                 addi x14, x0, {cols}
+                 lui  x10, {mat_hi}
+                 ori  x10, x10, {mat_lo}
+                 lui  x11, {vec_hi}
+                 ori  x11, x11, {vec_lo}
+                 lui  x12, {out_hi}
+                 ori  x12, x12, {out_lo}
+                 csrw 0x7E1, x14        # xcel size = cols
+                 csrw 0x7E3, x11        # xcel src1 = vector
+                 addi x15, x0, 0
+        row:     csrw 0x7E2, x10        # xcel src0 = current row
+                 csrw 0x7E0, x0         # go
+                 csrr x4, 0x7E0         # result
+                 sw   x4, 0(x12)
+                 addi x12, x12, 4
+                 addi x10, x10, {row_bytes}
+                 addi x15, x15, 1
+                 bne  x15, x13, row
+                 csrw 0x7C0, x4
+                 halt",
+        rows = rows,
+        cols = cols,
+        row_bytes = cols * 4,
+        mat_hi = layout.mat_base >> 16,
+        mat_lo = layout.mat_base & 0xFFFF,
+        vec_hi = layout.vec_base >> 16,
+        vec_lo = layout.vec_base & 0xFFFF,
+        out_hi = layout.out_base >> 16,
+        out_lo = layout.out_base & 0xFFFF,
+    );
+    assemble(&src).expect("xcel mvmult program assembles")
+}
+
+/// Deterministic test data: `A[r][c] = (r + 2c + 1) mod 251`,
+/// `x[c] = (3c + 7) mod 241`.
+pub fn mvmult_data(rows: u32, cols: u32) -> (Vec<u32>, Vec<u32>) {
+    let mat: Vec<u32> = (0..rows)
+        .flat_map(|r| (0..cols).map(move |c| (r + 2 * c + 1) % 251))
+        .collect();
+    let vec: Vec<u32> = (0..cols).map(|c| (3 * c + 7) % 241).collect();
+    (mat, vec)
+}
+
+/// Reference result for [`mvmult_data`] (wrapping arithmetic).
+pub fn mvmult_reference(rows: u32, cols: u32) -> Vec<u32> {
+    let (mat, vec) = mvmult_data(rows, cols);
+    (0..rows as usize)
+        .map(|r| {
+            mtl_proc::dot_product(&mat[r * cols as usize..(r + 1) * cols as usize], &vec)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtl_proc::Iss;
+
+    #[test]
+    fn scalar_program_matches_reference_on_iss() {
+        let layout = MvMultLayout::default();
+        let (rows, cols) = (4, 8);
+        let program = mvmult_scalar_program(rows, cols, layout);
+        let (mat, vec) = mvmult_data(rows, cols);
+        let mut iss = Iss::new(1 << 16);
+        iss.load(0, &program);
+        iss.load(layout.mat_base, &mat);
+        iss.load(layout.vec_base, &vec);
+        iss.run(1_000_000);
+        assert!(iss.halted);
+        let expect = mvmult_reference(rows, cols);
+        let base = (layout.out_base / 4) as usize;
+        assert_eq!(&iss.mem[base..base + rows as usize], &expect[..]);
+        assert_eq!(iss.proc2mngr, vec![*expect.last().unwrap()]);
+    }
+
+    #[test]
+    fn xcel_program_matches_reference_on_iss() {
+        let layout = MvMultLayout::default();
+        let (rows, cols) = (5, 6);
+        let program = mvmult_xcel_program(rows, cols, layout);
+        let (mat, vec) = mvmult_data(rows, cols);
+        let mut iss = Iss::new(1 << 16);
+        iss.load(0, &program);
+        iss.load(layout.mat_base, &mat);
+        iss.load(layout.vec_base, &vec);
+        iss.run(1_000_000);
+        assert!(iss.halted);
+        let expect = mvmult_reference(rows, cols);
+        let base = (layout.out_base / 4) as usize;
+        assert_eq!(&iss.mem[base..base + rows as usize], &expect[..]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Tile-level verification: the matrix-vector kernel must produce
+//! identical results on all 27 ⟨processor, cache, accelerator⟩ level
+//! combinations (the paper's Figure 13 configuration space), and the
+//! accelerator must deliver a tile-level speedup (§III-C).
+
+use mtl_accel::{
+    mvmult_data, mvmult_reference, mvmult_scalar_program, mvmult_xcel_program, run_tile,
+    MvMultLayout, TileConfig, XcelLevel,
+};
+use mtl_proc::{CacheLevel, ProcLevel};
+use mtl_sim::Engine;
+
+fn check_tile(config: TileConfig, rows: u32, cols: u32, accel: bool) -> u64 {
+    let layout = MvMultLayout::default();
+    let (mat, vec) = mvmult_data(rows, cols);
+    let program = if accel {
+        mvmult_xcel_program(rows, cols, layout)
+    } else {
+        mvmult_scalar_program(rows, cols, layout)
+    };
+    let r = run_tile(
+        config,
+        &program,
+        &[(layout.mat_base, &mat), (layout.vec_base, &vec)],
+        3_000_000,
+        Engine::SpecializedOpt,
+    );
+    let expect = mvmult_reference(rows, cols);
+    let base = (layout.out_base / 4) as usize;
+    assert_eq!(
+        &r.mem[base..base + rows as usize],
+        &expect[..],
+        "{config} produced wrong results (accel={accel})"
+    );
+    r.cycles
+}
+
+#[test]
+fn all_27_configs_compute_correct_results() {
+    for config in TileConfig::all() {
+        check_tile(config, 3, 4, true);
+    }
+}
+
+#[test]
+fn scalar_kernel_works_on_representative_configs() {
+    for config in [
+        TileConfig { proc: ProcLevel::Fl, cache: CacheLevel::Fl, xcel: XcelLevel::Fl },
+        TileConfig { proc: ProcLevel::Cl, cache: CacheLevel::Cl, xcel: XcelLevel::Cl },
+        TileConfig { proc: ProcLevel::Rtl, cache: CacheLevel::Rtl, xcel: XcelLevel::Rtl },
+    ] {
+        check_tile(config, 3, 4, false);
+    }
+}
+
+#[test]
+fn cl_tile_accelerator_speedup_is_significant() {
+    // The paper's §III-C CL estimate: the accelerator gives ~2.9x over
+    // the loop-unrolled scalar kernel at the CL tile level. We check the
+    // shape: a clear speedup in the 1.5x-8x band.
+    let config = TileConfig { proc: ProcLevel::Cl, cache: CacheLevel::Cl, xcel: XcelLevel::Cl };
+    let scalar = check_tile(config, 8, 16, false);
+    let accel = check_tile(config, 8, 16, true);
+    let speedup = scalar as f64 / accel as f64;
+    assert!(
+        (1.5..8.0).contains(&speedup),
+        "CL accelerator speedup out of band: {speedup:.2}x (scalar {scalar}, accel {accel})"
+    );
+}
+
+#[test]
+fn rtl_tile_accelerator_speedup_holds() {
+    let config =
+        TileConfig { proc: ProcLevel::Rtl, cache: CacheLevel::Rtl, xcel: XcelLevel::Rtl };
+    let scalar = check_tile(config, 4, 8, false);
+    let accel = check_tile(config, 4, 8, true);
+    let speedup = scalar as f64 / accel as f64;
+    assert!(
+        speedup > 1.2,
+        "RTL accelerator speedup too small: {speedup:.2}x (scalar {scalar}, accel {accel})"
+    );
+}
+
+#[test]
+fn engines_agree_on_tile_cycle_counts() {
+    let config = TileConfig { proc: ProcLevel::Cl, cache: CacheLevel::Cl, xcel: XcelLevel::Rtl };
+    let layout = MvMultLayout::default();
+    let (mat, vec) = mvmult_data(2, 4);
+    let program = mvmult_xcel_program(2, 4, layout);
+    let mut results = Vec::new();
+    for engine in Engine::ALL {
+        let r = run_tile(
+            config,
+            &program,
+            &[(layout.mat_base, &mat), (layout.vec_base, &vec)],
+            1_000_000,
+            engine,
+        );
+        results.push(r.cycles);
+    }
+    assert!(results.windows(2).all(|w| w[0] == w[1]), "engines disagree: {results:?}");
+}
+
+#[test]
+fn rtl_accelerator_handles_zero_length_vectors() {
+    // Degenerate config: size 0 -> result 0, no memory traffic.
+    let config =
+        TileConfig { proc: ProcLevel::Fl, cache: CacheLevel::Fl, xcel: XcelLevel::Rtl };
+    let program = mtl_proc::assemble(
+        "addi x1, x0, 0
+         csrw 0x7E1, x1
+         csrw 0x7E0, x0
+         csrr x2, 0x7E0
+         csrw 0x7C0, x2
+         halt",
+    )
+    .unwrap();
+    let r = run_tile(config, &program, &[], 100_000, Engine::SpecializedOpt);
+    assert_eq!(r.outputs, vec![0]);
+}
+
+#[test]
+fn deeper_detail_costs_more_wall_clock() {
+    // The premise of Figure 13: simulating more detail takes more host
+    // time. Compare <FL,FL,FL> vs <RTL,RTL,RTL> wall-clock on the same
+    // kernel.
+    use std::time::Instant;
+    let layout = MvMultLayout::default();
+    let (mat, vec) = mvmult_data(4, 8);
+    let program = mvmult_xcel_program(4, 8, layout);
+    let mut times = Vec::new();
+    for config in [
+        TileConfig { proc: ProcLevel::Fl, cache: CacheLevel::Fl, xcel: XcelLevel::Fl },
+        TileConfig { proc: ProcLevel::Rtl, cache: CacheLevel::Rtl, xcel: XcelLevel::Rtl },
+    ] {
+        let t0 = Instant::now();
+        let r = run_tile(
+            config,
+            &program,
+            &[(layout.mat_base, &mat), (layout.vec_base, &vec)],
+            3_000_000,
+            Engine::SpecializedOpt,
+        );
+        times.push((t0.elapsed(), r.cycles));
+    }
+    // RTL takes more target cycles; per-cycle cost should also be higher
+    // or comparable. We only assert the target-cycle ordering (wall clock
+    // is noisy in CI).
+    assert!(times[1].1 > times[0].1, "RTL should need more target cycles: {times:?}");
+}

@@ -1,0 +1,23 @@
+//! Criterion bench: per-cycle simulation cost of each engine on a 16-node
+//! CL mesh (the microcosm of Figure 14's engine comparison).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mtl_net::{MeshTrafficHarness, NetLevel};
+use mtl_sim::{Engine, Sim};
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mesh16_cl_100cycles");
+    group.sample_size(10);
+    for engine in Engine::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(engine), &engine, |b, &engine| {
+            let harness = MeshTrafficHarness::new(NetLevel::Cl, 16, 300, 0xBEEF);
+            let mut sim = Sim::build(&harness, engine).unwrap();
+            sim.reset();
+            b.iter(|| sim.run(100));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench: RTL mesh simulation per engine and the hand-written
+//! baseline (the microcosm of Figure 14(c)) plus the FL network.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mtl_net::{HandwrittenMesh, MeshTrafficHarness, NetLevel};
+use mtl_sim::{Engine, Sim};
+
+fn bench_rtl_mesh(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mesh16_rtl_20cycles");
+    group.sample_size(10);
+    for engine in [Engine::Interpreted, Engine::SpecializedOpt] {
+        group.bench_with_input(BenchmarkId::from_parameter(engine), &engine, |b, &engine| {
+            let harness = MeshTrafficHarness::new(NetLevel::Rtl, 16, 300, 0xBEEF);
+            let mut sim = Sim::build(&harness, engine).unwrap();
+            sim.reset();
+            b.iter(|| sim.run(20));
+        });
+    }
+    group.bench_function("handwritten", |b| {
+        let mut mesh = HandwrittenMesh::new(16, 300, 0xBEEF);
+        b.iter(|| mesh.run(20));
+    });
+    group.finish();
+}
+
+fn bench_fl_network(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network64_fl_100cycles");
+    group.sample_size(10);
+    for engine in [Engine::Interpreted, Engine::SpecializedOpt] {
+        group.bench_with_input(BenchmarkId::from_parameter(engine), &engine, |b, &engine| {
+            let harness = MeshTrafficHarness::new(NetLevel::Fl, 64, 300, 0xBEEF);
+            let mut sim = Sim::build(&harness, engine).unwrap();
+            sim.reset();
+            b.iter(|| sim.run(100));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rtl_mesh, bench_fl_network);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench: tile simulation cost at the three homogeneous levels
+//! of detail (the microcosm of Figure 13) and the §III-C kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mtl_accel::{mvmult_data, mvmult_xcel_program, MvMultLayout, TileConfig, TileHarness, XcelLevel};
+use mtl_proc::{CacheLevel, ProcLevel};
+use mtl_sim::{Engine, Sim};
+
+fn tile_config(name: &str) -> TileConfig {
+    match name {
+        "fl" => TileConfig { proc: ProcLevel::Fl, cache: CacheLevel::Fl, xcel: XcelLevel::Fl },
+        "cl" => TileConfig { proc: ProcLevel::Cl, cache: CacheLevel::Cl, xcel: XcelLevel::Cl },
+        _ => TileConfig { proc: ProcLevel::Rtl, cache: CacheLevel::Rtl, xcel: XcelLevel::Rtl },
+    }
+}
+
+fn bench_tile_levels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tile_100cycles");
+    group.sample_size(10);
+    let layout = MvMultLayout::default();
+    let program = mvmult_xcel_program(4, 8, layout);
+    let (mat, vec) = mvmult_data(4, 8);
+    for name in ["fl", "cl", "rtl"] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, name| {
+            let harness = TileHarness::new(tile_config(name), 1 << 16, vec![]);
+            {
+                let mem = harness.mem_handle();
+                let mut m = mem.borrow_mut();
+                m[..program.len()].copy_from_slice(&program);
+                let base = (layout.mat_base / 4) as usize;
+                m[base..base + mat.len()].copy_from_slice(&mat);
+                let base = (layout.vec_base / 4) as usize;
+                m[base..base + vec.len()].copy_from_slice(&vec);
+            }
+            let mut sim = Sim::build(&harness, Engine::SpecializedOpt).unwrap();
+            sim.reset();
+            b.iter(|| sim.run(100));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tile_levels);
+criterion_main!(benches);

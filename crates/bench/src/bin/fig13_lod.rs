@@ -1,0 +1,113 @@
+//! Figure 13: simulator performance vs. level of detail.
+//!
+//! Builds all 27 ⟨processor, cache, accelerator⟩ tile configurations,
+//! runs the matrix-vector kernel to completion under the interpreted
+//! (CPython-analog) and fully specialized (SimJIT+PyPy-analog) engines,
+//! and reports performance normalized to the pure instruction-set
+//! simulator running the same kernel — exactly the axes of the paper's
+//! Figure 13 (LOD score vs. relative simulator performance).
+
+use std::time::Instant;
+
+use mtl_accel::{mvmult_data, mvmult_xcel_program, run_tile, MvMultLayout, TileConfig};
+use mtl_bench::banner;
+use mtl_proc::Iss;
+use mtl_sim::Engine;
+
+const ROWS: u32 = 8;
+const COLS: u32 = 16;
+
+fn iss_time(program: &[u32], layout: MvMultLayout) -> f64 {
+    let (mat, vec) = mvmult_data(ROWS, COLS);
+    // Median of several runs; the ISS is very fast on this kernel.
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let mut iss = Iss::new(1 << 16);
+        iss.load(0, program);
+        iss.load(layout.mat_base, &mat);
+        iss.load(layout.vec_base, &vec);
+        let t0 = Instant::now();
+        let mut reps = 0;
+        while t0.elapsed().as_millis() < 50 {
+            let mut i = iss.clone();
+            i.run(10_000_000);
+            assert!(i.halted);
+            reps += 1;
+        }
+        best = best.min(t0.elapsed().as_secs_f64() / reps as f64);
+    }
+    best
+}
+
+fn main() {
+    banner("Figure 13: simulator performance vs level of detail", "Fig. 13");
+    let layout = MvMultLayout::default();
+    let program = mvmult_xcel_program(ROWS, COLS, layout);
+    let (mat, vec) = mvmult_data(ROWS, COLS);
+    let data: Vec<(u32, &[u32])> = vec![(layout.mat_base, &mat), (layout.vec_base, &vec)];
+
+    let t_iss = iss_time(&program, layout);
+    println!("pure ISS reference: {:.3} ms per kernel (LOD 1, perf 1.0)\n", t_iss * 1e3);
+
+    println!(
+        "{:<16} {:>4} {:>12} {:>14} {:>14}",
+        "config <P,C,A>", "LOD", "cycles", "interp perf", "specialized perf"
+    );
+    let mut rows: Vec<(TileConfig, u32, u64, f64, f64)> = Vec::new();
+    for config in TileConfig::all() {
+        let mut perf = [0.0f64; 2];
+        let mut cycles = 0;
+        for (i, engine) in [Engine::Interpreted, Engine::SpecializedOpt].iter().enumerate() {
+            let t0 = Instant::now();
+            let r = run_tile(config, &program, &data, 5_000_000, *engine);
+            let dt = t0.elapsed().as_secs_f64();
+            cycles = r.cycles;
+            perf[i] = t_iss / dt;
+        }
+        rows.push((config, config.lod(), cycles, perf[0], perf[1]));
+    }
+    rows.sort_by_key(|r| r.1);
+    for (config, lod, cycles, p_int, p_spec) in &rows {
+        println!(
+            "{:<16} {:>4} {:>12} {:>14.4} {:>14.4}",
+            config.to_string(),
+            lod,
+            cycles,
+            p_int,
+            p_spec
+        );
+    }
+
+    // Shape summary: specialization lifts every configuration; detail
+    // costs performance.
+    let lod3: Vec<&(TileConfig, u32, u64, f64, f64)> =
+        rows.iter().filter(|r| r.1 == 3).collect();
+    let lod9: Vec<&(TileConfig, u32, u64, f64, f64)> =
+        rows.iter().filter(|r| r.1 == 9).collect();
+    let avg = |v: &[&(TileConfig, u32, u64, f64, f64)], f: fn(&(TileConfig, u32, u64, f64, f64)) -> f64| {
+        v.iter().map(|r| f(r)).sum::<f64>() / v.len() as f64
+    };
+    println!(
+        "\nLOD 3 mean perf: interp {:.4}, specialized {:.4}",
+        avg(&lod3, |r| r.3),
+        avg(&lod3, |r| r.4)
+    );
+    println!(
+        "LOD 9 mean perf: interp {:.4}, specialized {:.4}",
+        avg(&lod9, |r| r.3),
+        avg(&lod9, |r| r.4)
+    );
+    println!(
+        "specialization lift across all configs: {:.1}x (geometric mean)",
+        geomean(rows.iter().map(|r| r.4 / r.3))
+    );
+}
+
+fn geomean(vals: impl Iterator<Item = f64>) -> f64 {
+    let (mut sum, mut n) = (0.0, 0);
+    for v in vals {
+        sum += v.ln();
+        n += 1;
+    }
+    (sum / n as f64).exp()
+}

@@ -1,0 +1,86 @@
+//! Figure 14: speedup of each engine over the interpreted baseline on
+//! 64-node FL/CL/RTL mesh simulations near saturation, as a function of
+//! simulated target cycles.
+//!
+//! The solid curves of the paper (overheads excluded) correspond to the
+//! steady-state rate ratio; the dotted curves (total time) bend at short
+//! runs where one-time construction overheads dominate. Both are derived
+//! from measured rates and measured overheads. The hand-written Rust
+//! simulator plays the role of the paper's hand-coded C++/Verilator
+//! baselines.
+
+use std::time::{Duration, Instant};
+
+use mtl_bench::{banner, measure_handwritten_rate, measure_rate, mesh_harness, RateMeasurement};
+use mtl_net::NetLevel;
+use mtl_sim::Engine;
+
+const NROUTERS: usize = 64;
+const INJECTION: u32 = 300; // near saturation for the 8x8 mesh
+const TARGETS: [u64; 6] = [100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+
+fn main() {
+    banner("Figure 14: mesh simulator speedup vs target cycles", "Fig. 14");
+
+    for level in [NetLevel::Fl, NetLevel::Cl, NetLevel::Rtl] {
+        println!("\n--- {level} 64-node mesh (injection {INJECTION}/1000) ---");
+        let mut measurements: Vec<(Engine, RateMeasurement)> = Vec::new();
+        for engine in Engine::ALL {
+            // Interpreted engines are slow; cap their measurement burden.
+            let (min_wall, max_cycles) = match engine {
+                Engine::Interpreted => (Duration::from_millis(1500), 20_000),
+                Engine::InterpretedOpt => (Duration::from_millis(1200), 50_000),
+                _ => (Duration::from_millis(800), 2_000_000),
+            };
+            let mut m = measure_rate(&mesh_harness(level, NROUTERS, INJECTION), engine, min_wall, max_cycles);
+            // The RTL specialization path includes Verilog translation +
+            // re-parse ("veri"); charge it for the specialized engines on
+            // RTL models, mirroring SimJIT-RTL's pipeline.
+            if level == NetLevel::Rtl
+                && matches!(engine, Engine::Specialized | Engine::SpecializedOpt)
+            {
+                let t0 = Instant::now();
+                let design =
+                    mtl_core::elaborate(&*mtl_net::network(level, NROUTERS, 32)).unwrap();
+                if let Ok(v) = mtl_translate::translate(&design) {
+                    let _ = mtl_translate::VerilogLibrary::parse(&v).unwrap();
+                }
+                m.overheads.veri = t0.elapsed();
+            }
+            println!(
+                "  {engine:18} rate {:>12.0} cyc/s   overheads {:.3}s (measured over {} cycles)",
+                m.cycles_per_sec,
+                m.overheads.total().as_secs_f64(),
+                m.measured_cycles
+            );
+            measurements.push((engine, m));
+        }
+        let handwritten =
+            measure_handwritten_rate(NROUTERS, INJECTION, Duration::from_millis(500), 20_000_000);
+        println!("  {:18} rate {handwritten:>12.0} cyc/s (ELL baseline)", "handwritten");
+
+        let base = measurements[0].1;
+        println!("\n  speedup over interpreted (solid = sim only / dotted = incl. overheads)");
+        print!("  {:>10}", "cycles");
+        for (engine, _) in &measurements[1..] {
+            print!("  {:>22}", engine.to_string());
+        }
+        println!("  {:>22}", "handwritten");
+        for n in TARGETS {
+            print!("  {n:>10}");
+            for (_, m) in &measurements[1..] {
+                let solid = base.sim_time(n) / m.sim_time(n);
+                let dotted = base.total_time(n) / m.total_time(n);
+                print!("  {:>11.1} /{:>8.1}", solid, dotted);
+            }
+            let hw_solid = base.sim_time(n) / (n as f64 / handwritten);
+            print!("  {hw_solid:>11.1} /{:>8}", "-");
+            println!();
+        }
+        let best = measurements.last().unwrap().1;
+        println!(
+            "  gap to handwritten baseline at steady state: {:.1}x",
+            handwritten / best.cycles_per_sec
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Figure 15: specialization speedup vs network load.
+//!
+//! Sweeps the injection rate of 64-node CL and RTL mesh simulations and
+//! reports the speedup of each engine over the interpreted baseline.
+//! Heavier load means more simulation work per cycle, so a larger
+//! fraction of time is spent in specialized code and speedups grow until
+//! the network saturates (the paper's Figure 15 shape).
+
+use std::time::Duration;
+
+use mtl_bench::{banner, measure_rate, mesh_harness};
+use mtl_net::NetLevel;
+use mtl_sim::Engine;
+
+const NROUTERS: usize = 64;
+const RATES: [u32; 6] = [20, 80, 160, 240, 320, 400];
+
+fn main() {
+    banner("Figure 15: engine speedup vs injection rate", "Fig. 15");
+    for level in [NetLevel::Cl, NetLevel::Rtl] {
+        println!("\n--- {level} 64-node mesh, 100K-cycle workload profile ---");
+        println!(
+            "{:>10} {:>16} {:>16} {:>16}",
+            "inj/1000", "interp-opt", "specialized", "specialized-opt"
+        );
+        for inj in RATES {
+            let (wall_slow, cap_slow, wall_fast, cap_fast) = match level {
+                NetLevel::Rtl => (Duration::from_millis(900), 600, Duration::from_millis(500), 60_000),
+                _ => (Duration::from_millis(700), 8_000, Duration::from_millis(400), 400_000),
+            };
+            let base = measure_rate(
+                &mesh_harness(level, NROUTERS, inj),
+                Engine::Interpreted,
+                wall_slow,
+                cap_slow,
+            );
+            let mut speedups = Vec::new();
+            for engine in
+                [Engine::InterpretedOpt, Engine::Specialized, Engine::SpecializedOpt]
+            {
+                let m = measure_rate(&mesh_harness(level, NROUTERS, inj), engine, wall_fast, cap_fast);
+                speedups.push(m.cycles_per_sec / base.cycles_per_sec);
+            }
+            println!(
+                "{:>10} {:>15.1}x {:>15.1}x {:>15.1}x",
+                inj, speedups[0], speedups[1], speedups[2]
+            );
+        }
+    }
+}

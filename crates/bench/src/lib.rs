@@ -1,0 +1,114 @@
+//! Shared measurement utilities for the figure-regeneration binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure from the
+//! paper's evaluation (see `DESIGN.md` §5 for the index). The common
+//! methodology lives here: build a simulator, measure its steady-state
+//! simulation rate (cycles/second), and capture its construction
+//! overheads, so speedup-vs-run-length curves can be reported exactly the
+//! way Figure 14 reports them (solid = steady-state rate ratio, dotted =
+//! including one-time overheads).
+
+use std::time::{Duration, Instant};
+
+use mtl_core::Component;
+use mtl_net::{MeshTrafficHarness, NetLevel};
+use mtl_sim::{Engine, Overheads, Sim};
+
+/// A measured simulation rate plus its construction overheads.
+#[derive(Debug, Clone, Copy)]
+pub struct RateMeasurement {
+    /// Simulated cycles per wall-clock second, steady state.
+    pub cycles_per_sec: f64,
+    /// One-time construction overheads.
+    pub overheads: Overheads,
+    /// Cycles actually simulated during measurement.
+    pub measured_cycles: u64,
+}
+
+impl RateMeasurement {
+    /// Wall-clock time to simulate `n` target cycles, excluding
+    /// overheads.
+    pub fn sim_time(&self, n: u64) -> f64 {
+        n as f64 / self.cycles_per_sec
+    }
+
+    /// Wall-clock time including one-time overheads.
+    pub fn total_time(&self, n: u64) -> f64 {
+        self.sim_time(n) + self.overheads.total().as_secs_f64()
+    }
+}
+
+/// Builds a simulator for `top` and measures its simulation rate.
+///
+/// Runs a short warmup, then measures in doubling batches until at least
+/// `min_wall` has elapsed or `max_cycles` have been simulated.
+pub fn measure_rate(
+    top: &dyn Component,
+    engine: Engine,
+    min_wall: Duration,
+    max_cycles: u64,
+) -> RateMeasurement {
+    let mut sim = Sim::build(top, engine).expect("elaboration failed");
+    let overheads = *sim.overheads();
+    sim.reset();
+    sim.run(16);
+    let mut batch = 64u64;
+    let mut total_cycles = 0u64;
+    let t0 = Instant::now();
+    loop {
+        sim.run(batch);
+        total_cycles += batch;
+        if t0.elapsed() >= min_wall || total_cycles >= max_cycles {
+            break;
+        }
+        batch = (batch * 2).min(max_cycles - total_cycles);
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    RateMeasurement {
+        cycles_per_sec: total_cycles as f64 / elapsed,
+        overheads,
+        measured_cycles: total_cycles,
+    }
+}
+
+/// Builds the standard near-saturation mesh harness used by Figures 14-16.
+pub fn mesh_harness(level: NetLevel, nrouters: usize, injection_permille: u32) -> MeshTrafficHarness {
+    MeshTrafficHarness::new(level, nrouters, injection_permille, 0xBEEF)
+}
+
+/// Measures the hand-written baseline's simulation rate on the same
+/// workload (the paper's hand-coded C++ reference).
+pub fn measure_handwritten_rate(
+    nrouters: usize,
+    injection_permille: u32,
+    min_wall: Duration,
+    max_cycles: u64,
+) -> f64 {
+    let mut mesh = mtl_net::HandwrittenMesh::new(nrouters, injection_permille, 0xBEEF);
+    mesh.run(16);
+    let mut batch = 1024u64;
+    let mut total = 0u64;
+    let t0 = Instant::now();
+    loop {
+        mesh.run(batch);
+        total += batch;
+        if t0.elapsed() >= min_wall || total >= max_cycles {
+            break;
+        }
+        batch = (batch * 2).min(max_cycles - total);
+    }
+    total as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Formats a duration in seconds with millisecond precision.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Prints a standard header for a figure binary.
+pub fn banner(title: &str, paper_ref: &str) {
+    println!("==============================================================");
+    println!("{title}");
+    println!("(reproduces {paper_ref}; see DESIGN.md and EXPERIMENTS.md)");
+    println!("==============================================================");
+}

@@ -1,0 +1,707 @@
+//! The [`Bits`] fixed-width value type.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, BitAnd, BitOr, BitXor, Mul, Neg, Not, Shl, Shr, Sub};
+use std::str::FromStr;
+
+use crate::ParseBitsError;
+
+/// The maximum bit width supported by [`Bits`].
+///
+/// RustMTL caps signal widths at 128 bits (documented in `DESIGN.md`); all
+/// message types used by the PyMTL paper's case studies fit comfortably.
+pub const MAX_WIDTH: u32 = 128;
+
+/// A fixed bit-width value with hardware semantics.
+///
+/// A `Bits` value has a width between 1 and 128 bits and a payload that is
+/// always kept masked to that width. Arithmetic wraps at the width (like a
+/// hardware adder), logical operators are bitwise, comparisons are unsigned
+/// (signed variants are provided as named methods), and slicing /
+/// concatenation operate on bit positions.
+///
+/// `Bits` is `Copy`, which keeps simulation state cheap to move around.
+///
+/// # Examples
+///
+/// ```
+/// use mtl_bits::Bits;
+///
+/// let a = Bits::new(4, 0b1010);
+/// assert_eq!(a.bit(0), false);
+/// assert_eq!(a.bit(3), true);
+/// assert_eq!((!a).as_u64(), 0b0101);
+/// assert_eq!(a.to_string(), "4'ha");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Bits {
+    width: u32,
+    value: u128,
+}
+
+impl Bits {
+    /// Creates a new `Bits` of the given width, masking `value` to fit.
+    ///
+    /// Masking (rather than rejecting) out-of-range values matches hardware
+    /// truncation semantics and PyMTL's `Bits` behaviour. Use
+    /// [`Bits::checked_new`] when silent truncation would hide a bug.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or greater than [`MAX_WIDTH`].
+    pub fn new(width: u32, value: u128) -> Self {
+        assert!(
+            (1..=MAX_WIDTH).contains(&width),
+            "Bits width must be in 1..={MAX_WIDTH}, got {width}"
+        );
+        Self {
+            width,
+            value: value & Self::mask_for(width),
+        }
+    }
+
+    /// Creates a new `Bits`, returning `None` if `value` does not fit in
+    /// `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or greater than [`MAX_WIDTH`].
+    pub fn checked_new(width: u32, value: u128) -> Option<Self> {
+        if value & !Self::mask_for(width) != 0 {
+            None
+        } else {
+            Some(Self::new(width, value))
+        }
+    }
+
+    /// Creates an all-zero value of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or greater than [`MAX_WIDTH`].
+    pub fn zero(width: u32) -> Self {
+        Self::new(width, 0)
+    }
+
+    /// Creates an all-ones value of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or greater than [`MAX_WIDTH`].
+    pub fn ones(width: u32) -> Self {
+        Self::new(width, u128::MAX)
+    }
+
+    /// Creates a 1-bit value from a boolean.
+    pub fn from_bool(v: bool) -> Self {
+        Self::new(1, v as u128)
+    }
+
+    fn mask_for(width: u32) -> u128 {
+        if width >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << width) - 1
+        }
+    }
+
+    /// The bit width of this value.
+    pub fn width(self) -> u32 {
+        self.width
+    }
+
+    /// The payload as a `u128`.
+    pub fn as_u128(self) -> u128 {
+        self.value
+    }
+
+    /// The payload truncated to a `u64`.
+    pub fn as_u64(self) -> u64 {
+        self.value as u64
+    }
+
+    /// The payload truncated to a `usize`.
+    pub fn as_usize(self) -> usize {
+        self.value as usize
+    }
+
+    /// The payload reinterpreted as a signed two's-complement integer.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mtl_bits::Bits;
+    /// assert_eq!(Bits::new(4, 0xF).as_i128(), -1);
+    /// assert_eq!(Bits::new(4, 0x7).as_i128(), 7);
+    /// ```
+    pub fn as_i128(self) -> i128 {
+        if self.width == 128 {
+            self.value as i128
+        } else if self.bit(self.width - 1) {
+            (self.value | !Self::mask_for(self.width)) as i128
+        } else {
+            self.value as i128
+        }
+    }
+
+    /// Whether this value is zero.
+    pub fn is_zero(self) -> bool {
+        self.value == 0
+    }
+
+    /// Reads bit `idx` (0 = least significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.width()`.
+    pub fn bit(self, idx: u32) -> bool {
+        assert!(idx < self.width, "bit index {idx} out of range for width {}", self.width);
+        (self.value >> idx) & 1 == 1
+    }
+
+    /// Returns a copy with bit `idx` set to `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.width()`.
+    pub fn with_bit(self, idx: u32, v: bool) -> Self {
+        assert!(idx < self.width, "bit index {idx} out of range for width {}", self.width);
+        let mask = 1u128 << idx;
+        let value = if v { self.value | mask } else { self.value & !mask };
+        Self { width: self.width, value }
+    }
+
+    /// Extracts bits `[lo, hi)` as a new value of width `hi - lo`.
+    ///
+    /// This follows PyMTL/Python slice conventions: `lo` is inclusive, `hi`
+    /// is exclusive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `hi > self.width()`.
+    pub fn slice(self, lo: u32, hi: u32) -> Self {
+        assert!(lo < hi && hi <= self.width, "invalid slice [{lo},{hi}) of width {}", self.width);
+        Self::new(hi - lo, self.value >> lo)
+    }
+
+    /// Returns a copy with bits `[lo, hi)` replaced by `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice range is invalid or `v.width() != hi - lo`.
+    pub fn with_slice(self, lo: u32, hi: u32, v: Bits) -> Self {
+        assert!(lo < hi && hi <= self.width, "invalid slice [{lo},{hi}) of width {}", self.width);
+        assert_eq!(v.width, hi - lo, "slice width mismatch");
+        let field_mask = Self::mask_for(hi - lo) << lo;
+        Self {
+            width: self.width,
+            value: (self.value & !field_mask) | (v.value << lo),
+        }
+    }
+
+    /// Concatenates `self` (as the most-significant part) with `low`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined width exceeds [`MAX_WIDTH`].
+    pub fn concat(self, low: Bits) -> Self {
+        let width = self.width + low.width;
+        assert!(width <= MAX_WIDTH, "concat width {width} exceeds {MAX_WIDTH}");
+        Self {
+            width,
+            value: (self.value << low.width) | low.value,
+        }
+    }
+
+    /// Zero-extends to `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is smaller than the current width or exceeds
+    /// [`MAX_WIDTH`].
+    pub fn zext(self, width: u32) -> Self {
+        assert!(width >= self.width, "zext target {width} narrower than {}", self.width);
+        Self::new(width, self.value)
+    }
+
+    /// Sign-extends to `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is smaller than the current width or exceeds
+    /// [`MAX_WIDTH`].
+    pub fn sext(self, width: u32) -> Self {
+        assert!(width >= self.width, "sext target {width} narrower than {}", self.width);
+        let value = if self.bit(self.width - 1) {
+            self.value | !Self::mask_for(self.width)
+        } else {
+            self.value
+        };
+        Self::new(width, value)
+    }
+
+    /// Truncates to the low `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or larger than the current width.
+    pub fn trunc(self, width: u32) -> Self {
+        assert!(width <= self.width, "trunc target {width} wider than {}", self.width);
+        Self::new(width, self.value)
+    }
+
+    /// Returns a copy reinterpreted at `width` bits, zero-extending or
+    /// truncating as needed.
+    pub fn resize(self, width: u32) -> Self {
+        Self::new(width, self.value)
+    }
+
+    /// Signed less-than comparison.
+    pub fn lt_signed(self, other: Bits) -> bool {
+        self.as_i128() < other.as_i128()
+    }
+
+    /// Signed greater-or-equal comparison.
+    pub fn ge_signed(self, other: Bits) -> bool {
+        self.as_i128() >= other.as_i128()
+    }
+
+    /// Arithmetic (sign-filling) right shift.
+    pub fn shr_signed(self, amount: u32) -> Self {
+        if amount >= self.width {
+            if self.bit(self.width - 1) {
+                Self::ones(self.width)
+            } else {
+                Self::zero(self.width)
+            }
+        } else {
+            let shifted = (self.as_i128() >> amount) as u128;
+            Self::new(self.width, shifted)
+        }
+    }
+
+    /// AND-reduction: true if all bits are one.
+    pub fn reduce_and(self) -> bool {
+        self.value == Self::mask_for(self.width)
+    }
+
+    /// OR-reduction: true if any bit is one.
+    pub fn reduce_or(self) -> bool {
+        self.value != 0
+    }
+
+    /// XOR-reduction: parity of the bits.
+    pub fn reduce_xor(self) -> bool {
+        self.value.count_ones() % 2 == 1
+    }
+
+    /// Number of one bits.
+    pub fn count_ones(self) -> u32 {
+        self.value.count_ones()
+    }
+
+    fn check_same_width(self, other: Bits, op: &str) {
+        assert_eq!(
+            self.width, other.width,
+            "width mismatch in {op}: {} vs {}",
+            self.width, other.width
+        );
+    }
+}
+
+impl Add for Bits {
+    type Output = Bits;
+
+    /// Wrapping addition at the operand width.
+    fn add(self, rhs: Bits) -> Bits {
+        self.check_same_width(rhs, "add");
+        Bits::new(self.width, self.value.wrapping_add(rhs.value))
+    }
+}
+
+impl Sub for Bits {
+    type Output = Bits;
+
+    /// Wrapping subtraction at the operand width.
+    fn sub(self, rhs: Bits) -> Bits {
+        self.check_same_width(rhs, "sub");
+        Bits::new(self.width, self.value.wrapping_sub(rhs.value))
+    }
+}
+
+impl Mul for Bits {
+    type Output = Bits;
+
+    /// Wrapping multiplication at the operand width.
+    fn mul(self, rhs: Bits) -> Bits {
+        self.check_same_width(rhs, "mul");
+        Bits::new(self.width, self.value.wrapping_mul(rhs.value))
+    }
+}
+
+impl Neg for Bits {
+    type Output = Bits;
+
+    /// Two's-complement negation at the operand width.
+    fn neg(self) -> Bits {
+        Bits::new(self.width, self.value.wrapping_neg())
+    }
+}
+
+impl BitAnd for Bits {
+    type Output = Bits;
+
+    fn bitand(self, rhs: Bits) -> Bits {
+        self.check_same_width(rhs, "and");
+        Bits { width: self.width, value: self.value & rhs.value }
+    }
+}
+
+impl BitOr for Bits {
+    type Output = Bits;
+
+    fn bitor(self, rhs: Bits) -> Bits {
+        self.check_same_width(rhs, "or");
+        Bits { width: self.width, value: self.value | rhs.value }
+    }
+}
+
+impl BitXor for Bits {
+    type Output = Bits;
+
+    fn bitxor(self, rhs: Bits) -> Bits {
+        self.check_same_width(rhs, "xor");
+        Bits { width: self.width, value: self.value ^ rhs.value }
+    }
+}
+
+impl Not for Bits {
+    type Output = Bits;
+
+    fn not(self) -> Bits {
+        Bits::new(self.width, !self.value)
+    }
+}
+
+impl Shl<u32> for Bits {
+    type Output = Bits;
+
+    /// Logical left shift; bits shifted past the width are dropped.
+    fn shl(self, amount: u32) -> Bits {
+        if amount >= self.width {
+            Bits::zero(self.width)
+        } else {
+            Bits::new(self.width, self.value << amount)
+        }
+    }
+}
+
+impl Shr<u32> for Bits {
+    type Output = Bits;
+
+    /// Logical right shift, filling with zeros.
+    fn shr(self, amount: u32) -> Bits {
+        if amount >= self.width {
+            Bits::zero(self.width)
+        } else {
+            Bits { width: self.width, value: self.value >> amount }
+        }
+    }
+}
+
+impl PartialOrd for Bits {
+    fn partial_cmp(&self, other: &Bits) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bits {
+    /// Unsigned comparison by value; widths are compared only to break ties
+    /// so that `Ord` stays consistent with `Eq`.
+    fn cmp(&self, other: &Bits) -> Ordering {
+        self.value.cmp(&other.value).then(self.width.cmp(&other.width))
+    }
+}
+
+impl Default for Bits {
+    /// A single zero bit.
+    fn default() -> Self {
+        Bits::zero(1)
+    }
+}
+
+impl fmt::Debug for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bits({}'h{:x})", self.width, self.value)
+    }
+}
+
+impl fmt::Display for Bits {
+    /// Verilog-style sized hex literal, e.g. `8'h3a`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'h{:x}", self.width, self.value)
+    }
+}
+
+impl fmt::LowerHex for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.value, f)
+    }
+}
+
+impl fmt::UpperHex for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.value, f)
+    }
+}
+
+impl fmt::Binary for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.value, f)
+    }
+}
+
+impl fmt::Octal for Bits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Octal::fmt(&self.value, f)
+    }
+}
+
+impl From<bool> for Bits {
+    fn from(v: bool) -> Bits {
+        Bits::from_bool(v)
+    }
+}
+
+impl FromStr for Bits {
+    type Err = ParseBitsError;
+
+    /// Parses a Verilog-style sized literal: `8'hff`, `4'b1010`, `16'd42`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mtl_bits::Bits;
+    /// let v: Bits = "8'hff".parse().unwrap();
+    /// assert_eq!(v, Bits::new(8, 0xff));
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (width_str, rest) = s
+            .split_once('\'')
+            .ok_or_else(|| ParseBitsError::new(format!("invalid bits literal `{s}`: missing ' separator")))?;
+        let width: u32 = width_str
+            .trim()
+            .parse()
+            .map_err(|_| ParseBitsError::new(format!("invalid width in `{s}`")))?;
+        if width == 0 || width > MAX_WIDTH {
+            return Err(ParseBitsError::new(format!(
+                "width {width} out of range 1..={MAX_WIDTH} in `{s}`"
+            )));
+        }
+        let rest = rest.trim().replace('_', "");
+        let (radix, digits) = match rest.chars().next() {
+            Some('h') | Some('H') => (16, &rest[1..]),
+            Some('b') | Some('B') => (2, &rest[1..]),
+            Some('d') | Some('D') => (10, &rest[1..]),
+            Some('o') | Some('O') => (8, &rest[1..]),
+            _ => (10, rest.as_str()),
+        };
+        let value = u128::from_str_radix(digits, radix)
+            .map_err(|_| ParseBitsError::new(format!("invalid digits in `{s}`")))?;
+        Ok(Bits::new(width, value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_masks_value() {
+        assert_eq!(Bits::new(4, 0x1F).as_u64(), 0xF);
+        assert_eq!(Bits::new(128, u128::MAX).as_u128(), u128::MAX);
+        assert_eq!(Bits::new(1, 2).as_u64(), 0);
+    }
+
+    #[test]
+    fn checked_new_rejects_overflow() {
+        assert_eq!(Bits::checked_new(4, 0x10), None);
+        assert_eq!(Bits::checked_new(4, 0xF), Some(Bits::new(4, 0xF)));
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be in")]
+    fn zero_width_panics() {
+        let _ = Bits::new(0, 0);
+    }
+
+    #[test]
+    fn add_wraps_at_width() {
+        let a = Bits::new(8, 0xFF);
+        let one = Bits::new(8, 1);
+        assert_eq!((a + one).as_u64(), 0);
+        assert_eq!((a + a).as_u64(), 0xFE);
+    }
+
+    #[test]
+    fn sub_wraps_at_width() {
+        let z = Bits::zero(8);
+        let one = Bits::new(8, 1);
+        assert_eq!((z - one).as_u64(), 0xFF);
+    }
+
+    #[test]
+    fn mul_wraps_at_width() {
+        let a = Bits::new(8, 0x10);
+        assert_eq!((a * a).as_u64(), 0);
+        let b = Bits::new(8, 7);
+        let c = Bits::new(8, 6);
+        assert_eq!((b * c).as_u64(), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn add_width_mismatch_panics() {
+        let _ = Bits::new(8, 1) + Bits::new(4, 1);
+    }
+
+    #[test]
+    fn neg_is_twos_complement() {
+        assert_eq!((-Bits::new(4, 1)).as_u64(), 0xF);
+        assert_eq!((-Bits::zero(4)).as_u64(), 0);
+    }
+
+    #[test]
+    fn logic_ops() {
+        let a = Bits::new(4, 0b1100);
+        let b = Bits::new(4, 0b1010);
+        assert_eq!((a & b).as_u64(), 0b1000);
+        assert_eq!((a | b).as_u64(), 0b1110);
+        assert_eq!((a ^ b).as_u64(), 0b0110);
+        assert_eq!((!a).as_u64(), 0b0011);
+    }
+
+    #[test]
+    fn shifts_drop_bits() {
+        let a = Bits::new(4, 0b1001);
+        assert_eq!((a << 1).as_u64(), 0b0010);
+        assert_eq!((a >> 1).as_u64(), 0b0100);
+        assert_eq!((a << 4).as_u64(), 0);
+        assert_eq!((a >> 4).as_u64(), 0);
+        assert_eq!((a << 100).as_u64(), 0);
+    }
+
+    #[test]
+    fn shr_signed_fills_sign() {
+        let a = Bits::new(4, 0b1000);
+        assert_eq!(a.shr_signed(1).as_u64(), 0b1100);
+        assert_eq!(a.shr_signed(3).as_u64(), 0b1111);
+        assert_eq!(a.shr_signed(10).as_u64(), 0b1111);
+        let p = Bits::new(4, 0b0100);
+        assert_eq!(p.shr_signed(1).as_u64(), 0b0010);
+        assert_eq!(p.shr_signed(10).as_u64(), 0);
+    }
+
+    #[test]
+    fn bit_access() {
+        let a = Bits::new(4, 0b1010);
+        assert!(!a.bit(0));
+        assert!(a.bit(1));
+        assert!(a.bit(3));
+        assert_eq!(a.with_bit(0, true).as_u64(), 0b1011);
+        assert_eq!(a.with_bit(3, false).as_u64(), 0b0010);
+    }
+
+    #[test]
+    fn slicing() {
+        let a = Bits::new(8, 0xAB);
+        assert_eq!(a.slice(0, 4), Bits::new(4, 0xB));
+        assert_eq!(a.slice(4, 8), Bits::new(4, 0xA));
+        assert_eq!(a.slice(0, 8), a);
+        assert_eq!(a.with_slice(4, 8, Bits::new(4, 0xC)), Bits::new(8, 0xCB));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid slice")]
+    fn slice_out_of_range_panics() {
+        let _ = Bits::new(8, 0).slice(4, 9);
+    }
+
+    #[test]
+    fn concat_orders_msb_first() {
+        let hi = Bits::new(4, 0xA);
+        let lo = Bits::new(8, 0xBC);
+        let c = hi.concat(lo);
+        assert_eq!(c.width(), 12);
+        assert_eq!(c.as_u64(), 0xABC);
+    }
+
+    #[test]
+    fn extension_and_truncation() {
+        let a = Bits::new(4, 0b1010);
+        assert_eq!(a.zext(8), Bits::new(8, 0x0A));
+        assert_eq!(a.sext(8), Bits::new(8, 0xFA));
+        assert_eq!(Bits::new(4, 0b0101).sext(8), Bits::new(8, 0x05));
+        assert_eq!(Bits::new(8, 0xAB).trunc(4), Bits::new(4, 0xB));
+        assert_eq!(Bits::new(8, 0xAB).resize(4), Bits::new(4, 0xB));
+        assert_eq!(Bits::new(4, 0xB).resize(8), Bits::new(8, 0xB));
+    }
+
+    #[test]
+    fn signed_views() {
+        assert_eq!(Bits::new(4, 0xF).as_i128(), -1);
+        assert_eq!(Bits::new(4, 0x8).as_i128(), -8);
+        assert_eq!(Bits::new(4, 0x7).as_i128(), 7);
+        assert_eq!(Bits::new(128, u128::MAX).as_i128(), -1);
+        assert!(Bits::new(4, 0xF).lt_signed(Bits::new(4, 0)));
+        assert!(Bits::new(4, 1).ge_signed(Bits::new(4, 0xF)));
+    }
+
+    #[test]
+    fn reductions() {
+        assert!(Bits::ones(7).reduce_and());
+        assert!(!Bits::new(7, 0x3F).reduce_and());
+        assert!(Bits::new(7, 1).reduce_or());
+        assert!(!Bits::zero(7).reduce_or());
+        assert!(Bits::new(4, 0b0111).reduce_xor());
+        assert!(!Bits::new(4, 0b0110).reduce_xor());
+    }
+
+    #[test]
+    fn comparison_is_unsigned() {
+        assert!(Bits::new(4, 0xF) > Bits::new(4, 0x1));
+        assert!(Bits::new(4, 0x0) < Bits::new(4, 0x8));
+    }
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        let a = Bits::new(12, 0xABC);
+        assert_eq!(a.to_string(), "12'habc");
+        assert_eq!(a.to_string().parse::<Bits>().unwrap(), a);
+        assert_eq!("4'b1010".parse::<Bits>().unwrap(), Bits::new(4, 0b1010));
+        assert_eq!("16'd42".parse::<Bits>().unwrap(), Bits::new(16, 42));
+        assert_eq!("8'o17".parse::<Bits>().unwrap(), Bits::new(8, 0o17));
+        assert_eq!("8'42".parse::<Bits>().unwrap(), Bits::new(8, 42));
+        assert_eq!("32'hdead_beef".parse::<Bits>().unwrap(), Bits::new(32, 0xdead_beef));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("8".parse::<Bits>().is_err());
+        assert!("8'hZZ".parse::<Bits>().is_err());
+        assert!("0'h0".parse::<Bits>().is_err());
+        assert!("200'h0".parse::<Bits>().is_err());
+        assert!("x'h0".parse::<Bits>().is_err());
+    }
+
+    #[test]
+    fn formatting_traits() {
+        let a = Bits::new(8, 0xAB);
+        assert_eq!(format!("{a:x}"), "ab");
+        assert_eq!(format!("{a:X}"), "AB");
+        assert_eq!(format!("{a:b}"), "10101011");
+        assert_eq!(format!("{a:o}"), "253");
+        assert_eq!(format!("{a:?}"), "Bits(8'hab)");
+    }
+}

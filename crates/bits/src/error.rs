@@ -1,0 +1,35 @@
+//! Error types for parsing [`Bits`](crate::Bits) values.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when parsing a string into a [`Bits`](crate::Bits) value
+/// fails.
+///
+/// # Examples
+///
+/// ```
+/// use mtl_bits::Bits;
+/// let err = "8'hZZ".parse::<Bits>().unwrap_err();
+/// assert!(err.to_string().contains("invalid"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBitsError {
+    message: String,
+}
+
+impl ParseBitsError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseBitsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl Error for ParseBitsError {}

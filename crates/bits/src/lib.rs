@@ -1,0 +1,85 @@
+//! Fixed bit-width values for hardware modeling.
+//!
+//! This crate provides [`Bits`], the value type that flows through every
+//! signal in a RustMTL design — the analog of PyMTL's `Bits` message type.
+//! A [`Bits`] value pairs a payload with an explicit width between 1 and 128
+//! bits and implements hardware semantics: arithmetic wraps at the width,
+//! logical operators are bitwise, shifts fill with zeros, and slicing and
+//! concatenation operate on bit positions.
+//!
+//! # Examples
+//!
+//! ```
+//! use mtl_bits::Bits;
+//!
+//! let a = Bits::new(8, 0xF0);
+//! let b = Bits::new(8, 0x35);
+//! assert_eq!((a + b).as_u64(), 0x25); // wraps at 8 bits
+//! assert_eq!(a.slice(4, 8).as_u64(), 0xF);
+//! assert_eq!(a.concat(b).width(), 16);
+//! ```
+
+mod bits;
+mod error;
+
+pub use bits::{Bits, MAX_WIDTH};
+pub use error::ParseBitsError;
+
+/// Returns the number of bits needed to represent `n` distinct values.
+///
+/// This is the analog of the `bw()` helper used throughout the PyMTL paper
+/// (e.g. to size a mux select port). By convention at least one bit is
+/// returned even for `n <= 1` so that a port can always be declared.
+///
+/// # Examples
+///
+/// ```
+/// use mtl_bits::clog2;
+/// assert_eq!(clog2(2), 1);
+/// assert_eq!(clog2(4), 2);
+/// assert_eq!(clog2(5), 3);
+/// assert_eq!(clog2(1), 1);
+/// ```
+pub fn clog2(n: u64) -> u32 {
+    if n <= 2 {
+        1
+    } else {
+        64 - (n - 1).leading_zeros()
+    }
+}
+
+/// Shorthand constructor for a [`Bits`] value: `b(width, value)`.
+///
+/// # Examples
+///
+/// ```
+/// use mtl_bits::{b, Bits};
+/// assert_eq!(b(4, 0xAB), Bits::new(4, 0xB)); // masked to width
+/// ```
+pub fn b(width: u32, value: u128) -> Bits {
+    Bits::new(width, value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clog2_small_values() {
+        assert_eq!(clog2(0), 1);
+        assert_eq!(clog2(1), 1);
+        assert_eq!(clog2(2), 1);
+        assert_eq!(clog2(3), 2);
+        assert_eq!(clog2(4), 2);
+        assert_eq!(clog2(5), 3);
+        assert_eq!(clog2(8), 3);
+        assert_eq!(clog2(9), 4);
+        assert_eq!(clog2(1 << 32), 32);
+    }
+
+    #[test]
+    fn b_shorthand_masks() {
+        assert_eq!(b(4, 0x1F).as_u64(), 0xF);
+        assert_eq!(b(1, 3).as_u64(), 1);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests comparing `Bits` arithmetic against `u128` reference
+//! semantics.
+
+use mtl_bits::Bits;
+use proptest::prelude::*;
+
+fn mask(width: u32) -> u128 {
+    if width >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << width) - 1
+    }
+}
+
+fn width_and_two_values() -> impl Strategy<Value = (u32, u128, u128)> {
+    (1u32..=128).prop_flat_map(|w| (Just(w), any::<u128>(), any::<u128>()))
+}
+
+proptest! {
+    #[test]
+    fn add_matches_reference((w, a, b) in width_and_two_values()) {
+        let x = Bits::new(w, a);
+        let y = Bits::new(w, b);
+        let expect = (a & mask(w)).wrapping_add(b & mask(w)) & mask(w);
+        prop_assert_eq!((x + y).as_u128(), expect);
+    }
+
+    #[test]
+    fn sub_matches_reference((w, a, b) in width_and_two_values()) {
+        let x = Bits::new(w, a);
+        let y = Bits::new(w, b);
+        let expect = (a & mask(w)).wrapping_sub(b & mask(w)) & mask(w);
+        prop_assert_eq!((x - y).as_u128(), expect);
+    }
+
+    #[test]
+    fn mul_matches_reference((w, a, b) in width_and_two_values()) {
+        let x = Bits::new(w, a);
+        let y = Bits::new(w, b);
+        let expect = (a & mask(w)).wrapping_mul(b & mask(w)) & mask(w);
+        prop_assert_eq!((x * y).as_u128(), expect);
+    }
+
+    #[test]
+    fn logic_matches_reference((w, a, b) in width_and_two_values()) {
+        let x = Bits::new(w, a);
+        let y = Bits::new(w, b);
+        prop_assert_eq!((x & y).as_u128(), a & b & mask(w));
+        prop_assert_eq!((x | y).as_u128(), (a | b) & mask(w));
+        prop_assert_eq!((x ^ y).as_u128(), (a ^ b) & mask(w));
+        prop_assert_eq!((!x).as_u128(), !a & mask(w));
+    }
+
+    #[test]
+    fn slice_concat_round_trips(w in 2u32..=128, v in any::<u128>(), cut in 1u32..=127) {
+        prop_assume!(cut < w);
+        let x = Bits::new(w, v);
+        let lo = x.slice(0, cut);
+        let hi = x.slice(cut, w);
+        prop_assert_eq!(hi.concat(lo), x);
+    }
+
+    #[test]
+    fn with_slice_then_slice_reads_back(
+        w in 2u32..=128, v in any::<u128>(), lo in 0u32..127, len in 1u32..=64, f in any::<u64>()
+    ) {
+        prop_assume!(lo + len <= w);
+        let field = Bits::new(len, f as u128);
+        let x = Bits::new(w, v).with_slice(lo, lo + len, field);
+        prop_assert_eq!(x.slice(lo, lo + len), field);
+    }
+
+    #[test]
+    fn sext_preserves_signed_value(w in 1u32..=64, t in 64u32..=128, v in any::<u64>()) {
+        let x = Bits::new(w, v as u128);
+        prop_assert_eq!(x.sext(t).as_i128(), x.as_i128());
+    }
+
+    #[test]
+    fn zext_preserves_unsigned_value(w in 1u32..=64, t in 64u32..=128, v in any::<u64>()) {
+        let x = Bits::new(w, v as u128);
+        prop_assert_eq!(x.zext(t).as_u128(), x.as_u128());
+    }
+
+    #[test]
+    fn neg_is_additive_inverse(w in 1u32..=128, v in any::<u128>()) {
+        let x = Bits::new(w, v);
+        prop_assert_eq!((x + (-x)).as_u128(), 0);
+    }
+
+    #[test]
+    fn parse_display_round_trip(w in 1u32..=128, v in any::<u128>()) {
+        let x = Bits::new(w, v);
+        prop_assert_eq!(x.to_string().parse::<Bits>().unwrap(), x);
+    }
+
+    #[test]
+    fn shifts_match_reference(w in 1u32..=128, v in any::<u128>(), s in 0u32..=140) {
+        let x = Bits::new(w, v);
+        let expect_l = if s >= w { 0 } else { (v & mask(w)) << s & mask(w) };
+        let expect_r = if s >= w { 0 } else { (v & mask(w)) >> s };
+        prop_assert_eq!((x << s).as_u128(), expect_l);
+        prop_assert_eq!((x >> s).as_u128(), expect_r);
+    }
+}

@@ -1,0 +1,193 @@
+//! Runtime queue adapters for FL/CL native blocks.
+//!
+//! These are the analog of PyMTL's `ChildReqRespQueueAdapter` and friends:
+//! they hide the val/rdy handshake behind a simple queue interface so that
+//! functional- and cycle-level models can be written as ordinary sequential
+//! code. Each adapter is driven from inside a native tick block in two
+//! phases:
+//!
+//! 1. [`xtick`](InValRdyQueue::xtick) at the top of the tick — observes the
+//!    handshake that completed at this clock edge;
+//! 2. [`post`](InValRdyQueue::post) at the bottom of the tick — publishes
+//!    the interface signals for the next cycle.
+//!
+//! Between the two phases the model pops received messages and pushes
+//! messages to send.
+
+use std::collections::VecDeque;
+
+use mtl_bits::Bits;
+
+use crate::bundle::{InValRdy, OutValRdy};
+use crate::builder::SignalRef;
+use crate::view::SignalView;
+
+/// Consumer-side adapter for an [`InValRdy`] bundle: received messages
+/// accumulate in a bounded queue; backpressure (rdy) is derived from
+/// occupancy.
+#[derive(Debug)]
+pub struct InValRdyQueue {
+    bundle: InValRdy,
+    capacity: usize,
+    queue: VecDeque<Bits>,
+}
+
+impl InValRdyQueue {
+    /// Creates an adapter over `bundle` with the given queue capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(bundle: InValRdy, capacity: usize) -> Self {
+        assert!(capacity >= 1, "queue capacity must be at least 1");
+        Self { bundle, capacity, queue: VecDeque::with_capacity(capacity) }
+    }
+
+    /// Observes the handshake that completed at this clock edge; call at
+    /// the top of the tick block.
+    pub fn xtick(&mut self, s: &mut dyn SignalView) {
+        let val = s.read(self.bundle.val.id()).reduce_or();
+        let rdy = s.read(self.bundle.rdy.id()).reduce_or();
+        if val && rdy {
+            debug_assert!(self.queue.len() < self.capacity, "enqueue into full adapter queue");
+            self.queue.push_back(s.read(self.bundle.msg.id()));
+        }
+    }
+
+    /// Resets the adapter: clears the queue and deasserts `rdy` so no
+    /// handshakes occur while the design is in reset. Call this (instead
+    /// of `xtick`/`post`) on every tick where reset is asserted —
+    /// otherwise a producer whose `val` is combinational (e.g. an RTL
+    /// FSM held in its request state) completes phantom handshakes during
+    /// reset.
+    pub fn reset(&mut self, s: &mut dyn SignalView) {
+        self.queue.clear();
+        s.write_next(self.bundle.rdy.id(), Bits::from_bool(false));
+    }
+
+    /// Publishes next-cycle interface signals; call at the bottom of the
+    /// tick block.
+    pub fn post(&mut self, s: &mut dyn SignalView) {
+        s.write_next(
+            self.bundle.rdy.id(),
+            Bits::from_bool(self.queue.len() < self.capacity),
+        );
+    }
+
+    /// Pops the oldest received message, if any.
+    pub fn pop(&mut self) -> Option<Bits> {
+        self.queue.pop_front()
+    }
+
+    /// Peeks at the oldest received message without removing it.
+    pub fn front(&self) -> Option<Bits> {
+        self.queue.front().copied()
+    }
+
+    /// Whether no messages are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Number of messages waiting.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Signals this adapter reads (for native block read sets).
+    pub fn read_signals(&self) -> Vec<SignalRef> {
+        vec![self.bundle.msg, self.bundle.val, self.bundle.rdy]
+    }
+
+    /// Signals this adapter writes (for native block write sets).
+    pub fn write_signals(&self) -> Vec<SignalRef> {
+        vec![self.bundle.rdy]
+    }
+}
+
+/// Producer-side adapter for an [`OutValRdy`] bundle: pushed messages drain
+/// through the val/rdy handshake as the consumer allows.
+#[derive(Debug)]
+pub struct OutValRdyQueue {
+    bundle: OutValRdy,
+    capacity: usize,
+    queue: VecDeque<Bits>,
+}
+
+impl OutValRdyQueue {
+    /// Creates an adapter over `bundle` with the given queue capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(bundle: OutValRdy, capacity: usize) -> Self {
+        assert!(capacity >= 1, "queue capacity must be at least 1");
+        Self { bundle, capacity, queue: VecDeque::with_capacity(capacity) }
+    }
+
+    /// Observes the handshake that completed at this clock edge; call at
+    /// the top of the tick block.
+    pub fn xtick(&mut self, s: &mut dyn SignalView) {
+        let val = s.read(self.bundle.val.id()).reduce_or();
+        let rdy = s.read(self.bundle.rdy.id()).reduce_or();
+        if val && rdy {
+            self.queue.pop_front();
+        }
+    }
+
+    /// Publishes next-cycle interface signals; call at the bottom of the
+    /// tick block.
+    pub fn post(&mut self, s: &mut dyn SignalView) {
+        match self.queue.front() {
+            Some(&msg) => {
+                s.write_next(self.bundle.msg.id(), msg);
+                s.write_next(self.bundle.val.id(), Bits::from_bool(true));
+            }
+            None => {
+                s.write_next(self.bundle.val.id(), Bits::from_bool(false));
+            }
+        }
+    }
+
+    /// Resets the adapter: clears pending messages and deasserts `val`.
+    /// See [`InValRdyQueue::reset`] for when to call this.
+    pub fn reset(&mut self, s: &mut dyn SignalView) {
+        self.queue.clear();
+        s.write_next(self.bundle.val.id(), Bits::from_bool(false));
+    }
+
+    /// Enqueues a message to send.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full; check [`is_full`](Self::is_full) first.
+    pub fn push(&mut self, msg: Bits) {
+        assert!(self.queue.len() < self.capacity, "push into full adapter queue");
+        self.queue.push_back(msg);
+    }
+
+    /// Whether no more messages can be enqueued.
+    pub fn is_full(&self) -> bool {
+        self.queue.len() >= self.capacity
+    }
+
+    /// Whether nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Number of messages pending.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Signals this adapter reads (for native block read sets).
+    pub fn read_signals(&self) -> Vec<SignalRef> {
+        vec![self.bundle.val, self.bundle.rdy]
+    }
+
+    /// Signals this adapter writes (for native block write sets).
+    pub fn write_signals(&self) -> Vec<SignalRef> {
+        vec![self.bundle.msg, self.bundle.val]
+    }
+}

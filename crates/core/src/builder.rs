@@ -1,0 +1,559 @@
+//! The elaboration-time builder API used inside `Component::build`.
+//!
+//! [`Ctx`] is the analog of PyMTL's `Model.__init__` environment: it declares
+//! ports, wires, memories, submodule instances, connections, and update
+//! blocks. Arbitrary Rust can run during `build`, which is the paper's
+//! "powerful elaboration" property — loops, parameters, and helper functions
+//! all work, and purely structural components remain fully translatable.
+
+use mtl_bits::Bits;
+
+use crate::component::Component;
+use crate::design::{
+    BlockBody, BlockInfo, BlockKind, MemInfo, ModuleInfo, NativeLevel, SignalInfo, SignalKind,
+};
+use crate::ids::{MemId, ModuleId, NetId, SignalId};
+use crate::ir::{Expr, LValue, Stmt};
+use crate::view::SignalView;
+
+/// A handle to a declared signal, carrying its width for convenient
+/// expression building.
+///
+/// `SignalRef` supports the same operator sugar as [`Expr`], so model code
+/// can write `b.assign(out, a + b_in)` directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignalRef {
+    pub(crate) id: SignalId,
+    pub(crate) width: u32,
+}
+
+impl SignalRef {
+    /// The underlying signal id.
+    pub fn id(self) -> SignalId {
+        self.id
+    }
+
+    /// The declared bit width.
+    pub fn width(self) -> u32 {
+        self.width
+    }
+
+    /// This signal as an IR expression.
+    pub fn ex(self) -> Expr {
+        Expr::Read(self.id)
+    }
+
+    /// Equality comparison (1-bit result).
+    pub fn eq(self, rhs: impl Into<Expr>) -> Expr {
+        self.ex().eq(rhs)
+    }
+
+    /// Inequality comparison (1-bit result).
+    pub fn ne(self, rhs: impl Into<Expr>) -> Expr {
+        self.ex().ne(rhs)
+    }
+
+    /// Unsigned less-than (1-bit result).
+    pub fn lt(self, rhs: impl Into<Expr>) -> Expr {
+        self.ex().lt(rhs)
+    }
+
+    /// Unsigned greater-or-equal (1-bit result).
+    pub fn ge(self, rhs: impl Into<Expr>) -> Expr {
+        self.ex().ge(rhs)
+    }
+
+    /// Signed less-than (1-bit result).
+    pub fn lt_s(self, rhs: impl Into<Expr>) -> Expr {
+        self.ex().lt_s(rhs)
+    }
+
+    /// Bit slice `[lo, hi)`.
+    pub fn slice(self, lo: u32, hi: u32) -> Expr {
+        self.ex().slice(lo, hi)
+    }
+
+    /// A single bit as a 1-bit expression.
+    pub fn bit(self, idx: u32) -> Expr {
+        self.ex().bit(idx)
+    }
+
+    /// Zero extension.
+    pub fn zext(self, width: u32) -> Expr {
+        self.ex().zext(width)
+    }
+
+    /// Sign extension.
+    pub fn sext(self, width: u32) -> Expr {
+        self.ex().sext(width)
+    }
+
+    /// Truncation.
+    pub fn trunc(self, width: u32) -> Expr {
+        self.ex().trunc(width)
+    }
+
+    /// Ternary mux with this 1-bit signal as the condition.
+    pub fn mux(self, then_: impl Into<Expr>, else_: impl Into<Expr>) -> Expr {
+        self.ex().mux(then_, else_)
+    }
+
+    /// N-way selection with this signal as the select.
+    pub fn select(self, options: Vec<Expr>) -> Expr {
+        self.ex().select(options)
+    }
+
+    /// Logical shift left.
+    pub fn sll(self, amount: impl Into<Expr>) -> Expr {
+        self.ex().sll(amount)
+    }
+
+    /// Logical shift right.
+    pub fn srl(self, amount: impl Into<Expr>) -> Expr {
+        self.ex().srl(amount)
+    }
+}
+
+impl From<SignalRef> for Expr {
+    fn from(s: SignalRef) -> Expr {
+        Expr::Read(s.id)
+    }
+}
+
+macro_rules! sigref_binop {
+    ($trait_:ident, $method:ident) => {
+        impl<R: Into<Expr>> std::ops::$trait_<R> for SignalRef {
+            type Output = Expr;
+            fn $method(self, rhs: R) -> Expr {
+                std::ops::$trait_::$method(self.ex(), rhs)
+            }
+        }
+    };
+}
+
+sigref_binop!(Add, add);
+sigref_binop!(Sub, sub);
+sigref_binop!(Mul, mul);
+sigref_binop!(BitAnd, bitand);
+sigref_binop!(BitOr, bitor);
+sigref_binop!(BitXor, bitxor);
+
+impl std::ops::Not for SignalRef {
+    type Output = Expr;
+    fn not(self) -> Expr {
+        !self.ex()
+    }
+}
+
+/// A handle to a declared memory array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRef {
+    pub(crate) id: MemId,
+    width: u32,
+    words: u64,
+}
+
+impl MemRef {
+    /// The underlying memory id.
+    pub fn id(self) -> MemId {
+        self.id
+    }
+
+    /// The word width.
+    pub fn width(self) -> u32 {
+        self.width
+    }
+
+    /// The number of words.
+    pub fn words(self) -> u64 {
+        self.words
+    }
+
+    /// An asynchronous read expression `mem[addr]`.
+    pub fn read(self, addr: impl Into<Expr>) -> Expr {
+        Expr::MemRead { mem: self.id, addr: Box::new(addr.into()) }
+    }
+}
+
+/// A handle to an instantiated child component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Instance {
+    pub(crate) module: ModuleId,
+}
+
+impl Instance {
+    /// The child's module id.
+    pub fn module(self) -> ModuleId {
+        self.module
+    }
+}
+
+pub(crate) struct Proto {
+    pub modules: Vec<ModuleInfo>,
+    pub signals: Vec<SignalInfo>,
+    pub blocks: Vec<BlockInfo>,
+    pub mems: Vec<MemInfo>,
+    pub connections: Vec<(SignalId, SignalId)>,
+}
+
+/// The elaboration context passed to [`Component::build`].
+///
+/// Each component instance receives a `Ctx` scoped to its own module; ports
+/// declared here become part of the module's interface, and
+/// [`Ctx::instantiate`] recursively elaborates children.
+pub struct Ctx<'a> {
+    pub(crate) proto: &'a mut Proto,
+    pub(crate) module: ModuleId,
+    pub(crate) reset: SignalRef,
+}
+
+impl<'a> Ctx<'a> {
+    fn declare(&mut self, name: &str, width: u32, kind: SignalKind) -> SignalRef {
+        assert!(
+            (1..=128).contains(&width),
+            "signal `{name}` width must be in 1..=128, got {width}"
+        );
+        let id = SignalId::from_index(self.proto.signals.len());
+        self.proto.signals.push(SignalInfo {
+            name: name.to_string(),
+            module: self.module,
+            width,
+            kind,
+            net: NetId::from_index(0), // filled during finalization
+        });
+        if kind != SignalKind::Wire {
+            self.proto.modules[self.module.index()].ports.push(id);
+        }
+        SignalRef { id, width }
+    }
+
+    /// Declares an input port.
+    pub fn in_port(&mut self, name: &str, width: u32) -> SignalRef {
+        self.declare(name, width, SignalKind::InPort)
+    }
+
+    /// Declares an output port.
+    pub fn out_port(&mut self, name: &str, width: u32) -> SignalRef {
+        self.declare(name, width, SignalKind::OutPort)
+    }
+
+    /// Declares an internal wire.
+    pub fn wire(&mut self, name: &str, width: u32) -> SignalRef {
+        self.declare(name, width, SignalKind::Wire)
+    }
+
+    /// Declares a list of input ports named `{name}_0 .. {name}_{n-1}`
+    /// (the analog of PyMTL's `InPort[nports]`).
+    pub fn in_ports(&mut self, name: &str, n: usize, width: u32) -> Vec<SignalRef> {
+        (0..n).map(|i| self.in_port(&format!("{name}_{i}"), width)).collect()
+    }
+
+    /// Declares a list of output ports named `{name}_0 .. {name}_{n-1}`.
+    pub fn out_ports(&mut self, name: &str, n: usize, width: u32) -> Vec<SignalRef> {
+        (0..n).map(|i| self.out_port(&format!("{name}_{i}"), width)).collect()
+    }
+
+    /// Declares a list of wires named `{name}_0 .. {name}_{n-1}`.
+    pub fn wires(&mut self, name: &str, n: usize, width: u32) -> Vec<SignalRef> {
+        (0..n).map(|i| self.wire(&format!("{name}_{i}"), width)).collect()
+    }
+
+    /// Declares a memory array of `words` words of `width` bits.
+    pub fn mem(&mut self, name: &str, words: u64, width: u32) -> MemRef {
+        assert!((1..=128).contains(&width), "mem `{name}` width must be in 1..=128");
+        assert!(words >= 1, "mem `{name}` must have at least one word");
+        let id = MemId::from_index(self.proto.mems.len());
+        self.proto.mems.push(MemInfo {
+            name: name.to_string(),
+            module: self.module,
+            words,
+            width,
+        });
+        MemRef { id, width, words }
+    }
+
+    /// The implicit reset signal of this module.
+    ///
+    /// Every module has a reset input, automatically connected through the
+    /// hierarchy; the simulator drives the top-level reset during
+    /// `sim.reset()`.
+    pub fn reset(&self) -> SignalRef {
+        self.reset
+    }
+
+    /// Structurally connects two signals so they alias the same net.
+    ///
+    /// Like PyMTL's `s.connect`, direction checking is a lint concern;
+    /// widths must match (checked during finalization).
+    pub fn connect(&mut self, a: SignalRef, b: SignalRef) {
+        self.proto.connections.push((a.id, b.id));
+    }
+
+    /// Instantiates a child component, recursively elaborating it.
+    ///
+    /// The child's reset port is connected automatically. Returns an
+    /// [`Instance`] whose ports can be looked up with [`Ctx::port_of`].
+    pub fn instantiate(&mut self, name: &str, component: &dyn Component) -> Instance {
+        let child = ModuleId::from_index(self.proto.modules.len());
+        self.proto.modules.push(ModuleInfo {
+            name: name.to_string(),
+            component: component.name(),
+            parent: Some(self.module),
+            children: Vec::new(),
+            ports: Vec::new(),
+        });
+        self.proto.modules[self.module.index()].children.push(child);
+        let parent_reset = self.reset;
+        let mut child_ctx = Ctx {
+            proto: self.proto,
+            module: child,
+            reset: SignalRef { id: SignalId::from_index(0), width: 1 }, // placeholder
+        };
+        let child_reset = child_ctx.in_port("reset", 1);
+        child_ctx.reset = child_reset;
+        component.build(&mut child_ctx);
+        self.proto.connections.push((parent_reset.id, child_reset.id));
+        Instance { module: child }
+    }
+
+    /// Looks up a port of a child instance by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the available names if the port does not exist.
+    pub fn port_of(&self, inst: &Instance, name: &str) -> SignalRef {
+        let module = &self.proto.modules[inst.module.index()];
+        for &p in &module.ports {
+            let info = &self.proto.signals[p.index()];
+            if info.name == name {
+                return SignalRef { id: p, width: info.width };
+            }
+        }
+        let avail: Vec<_> = module
+            .ports
+            .iter()
+            .map(|&p| self.proto.signals[p.index()].name.clone())
+            .collect();
+        panic!(
+            "no port `{name}` on instance `{}` ({}); available: {avail:?}",
+            module.name, module.component
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn add_block(&mut self, name: &str, kind: BlockKind, body: BlockBody, reads: Vec<SignalId>, writes: Vec<SignalId>, mem_reads: Vec<MemId>, mem_writes: Vec<MemId>) {
+        self.proto.blocks.push(BlockInfo {
+            name: name.to_string(),
+            module: self.module,
+            kind,
+            body,
+            reads,
+            writes,
+            mem_writes,
+            mem_reads,
+        });
+    }
+
+    /// Defines a combinational IR block (the `@s.combinational` analog).
+    ///
+    /// The sensitivity list is inferred from the statements, exactly as
+    /// PyMTL infers it from the Python AST.
+    pub fn comb(&mut self, name: &str, f: impl FnOnce(&mut BlockBuilder)) {
+        let mut b = BlockBuilder::new();
+        f(&mut b);
+        let stmts = b.finish();
+        let (reads, writes, mem_reads, mem_writes) = analyze(&stmts);
+        self.add_block(name, BlockKind::Comb, BlockBody::Ir(stmts), reads, writes, mem_reads, mem_writes);
+    }
+
+    /// Defines a sequential IR block (the `@s.tick_rtl` analog).
+    ///
+    /// Assignments write shadow `next` values committed at the clock edge.
+    pub fn seq(&mut self, name: &str, f: impl FnOnce(&mut BlockBuilder)) {
+        let mut b = BlockBuilder::new();
+        f(&mut b);
+        let stmts = b.finish();
+        let (reads, writes, mem_reads, mem_writes) = analyze(&stmts);
+        self.add_block(name, BlockKind::Seq, BlockBody::Ir(stmts), reads, writes, mem_reads, mem_writes);
+    }
+
+    /// Defines a functional-level sequential block (the `@s.tick_fl`
+    /// analog): arbitrary Rust run once per clock edge.
+    ///
+    /// `writes` must list every signal the closure may `write_next`.
+    pub fn tick_fl(
+        &mut self,
+        name: &str,
+        reads: &[SignalRef],
+        writes: &[SignalRef],
+        f: impl FnMut(&mut dyn SignalView) + 'static,
+    ) {
+        self.native(name, BlockKind::Seq, NativeLevel::Fl, reads, writes, f);
+    }
+
+    /// Defines a cycle-level sequential block (the `@s.tick_cl` analog).
+    pub fn tick_cl(
+        &mut self,
+        name: &str,
+        reads: &[SignalRef],
+        writes: &[SignalRef],
+        f: impl FnMut(&mut dyn SignalView) + 'static,
+    ) {
+        self.native(name, BlockKind::Seq, NativeLevel::Cl, reads, writes, f);
+    }
+
+    /// Defines a combinational native block with an explicit sensitivity
+    /// list (`reads`) and write set.
+    pub fn comb_native(
+        &mut self,
+        name: &str,
+        level: NativeLevel,
+        reads: &[SignalRef],
+        writes: &[SignalRef],
+        f: impl FnMut(&mut dyn SignalView) + 'static,
+    ) {
+        self.native(name, BlockKind::Comb, level, reads, writes, f);
+    }
+
+    fn native(
+        &mut self,
+        name: &str,
+        kind: BlockKind,
+        level: NativeLevel,
+        reads: &[SignalRef],
+        writes: &[SignalRef],
+        f: impl FnMut(&mut dyn SignalView) + 'static,
+    ) {
+        self.add_block(
+            name,
+            kind,
+            BlockBody::Native(level, Box::new(f)),
+            reads.iter().map(|s| s.id).collect(),
+            writes.iter().map(|s| s.id).collect(),
+            Vec::new(),
+            Vec::new(),
+        );
+    }
+}
+
+fn analyze(stmts: &[Stmt]) -> (Vec<SignalId>, Vec<SignalId>, Vec<MemId>, Vec<MemId>) {
+    let mut reads = Vec::new();
+    let mut writes = Vec::new();
+    let mut mem_reads = Vec::new();
+    let mut mem_writes = Vec::new();
+    for s in stmts {
+        s.collect_reads(&mut reads);
+        s.collect_writes(&mut writes);
+        s.collect_mem_reads(&mut mem_reads);
+        s.collect_mem_writes(&mut mem_writes);
+    }
+    dedup(&mut reads);
+    dedup(&mut writes);
+    dedup(&mut mem_reads);
+    dedup(&mut mem_writes);
+    (reads, writes, mem_reads, mem_writes)
+}
+
+fn dedup<T: Ord + Copy>(v: &mut Vec<T>) {
+    v.sort_unstable();
+    v.dedup();
+}
+
+/// Builds the statement list of an IR block.
+///
+/// Obtained from [`Ctx::comb`] / [`Ctx::seq`]; provides structured
+/// assignment, conditionals, switches, and memory writes.
+pub struct BlockBuilder {
+    stmts: Vec<Stmt>,
+}
+
+impl BlockBuilder {
+    fn new() -> Self {
+        Self { stmts: Vec::new() }
+    }
+
+    fn finish(self) -> Vec<Stmt> {
+        self.stmts
+    }
+
+    /// Assigns an expression to a signal.
+    pub fn assign(&mut self, target: SignalRef, e: impl Into<Expr>) {
+        self.stmts.push(Stmt::Assign(
+            LValue { signal: target.id, lo: 0, hi: target.width() },
+            e.into(),
+        ));
+    }
+
+    /// Assigns an expression to a bit range `[lo, hi)` of a signal.
+    pub fn assign_slice(&mut self, target: SignalRef, lo: u32, hi: u32, e: impl Into<Expr>) {
+        self.stmts.push(Stmt::Assign(LValue { signal: target.id, lo, hi }, e.into()));
+    }
+
+    /// `if cond { ... }`.
+    pub fn if_(&mut self, cond: impl Into<Expr>, then_: impl FnOnce(&mut BlockBuilder)) {
+        let mut tb = BlockBuilder::new();
+        then_(&mut tb);
+        self.stmts.push(Stmt::If { cond: cond.into(), then_: tb.finish(), else_: Vec::new() });
+    }
+
+    /// `if cond { ... } else { ... }`.
+    pub fn if_else(
+        &mut self,
+        cond: impl Into<Expr>,
+        then_: impl FnOnce(&mut BlockBuilder),
+        else_: impl FnOnce(&mut BlockBuilder),
+    ) {
+        let mut tb = BlockBuilder::new();
+        then_(&mut tb);
+        let mut eb = BlockBuilder::new();
+        else_(&mut eb);
+        self.stmts.push(Stmt::If { cond: cond.into(), then_: tb.finish(), else_: eb.finish() });
+    }
+
+    /// A multi-way switch on a subject expression.
+    ///
+    /// # Examples
+    ///
+    /// ```ignore
+    /// b.switch(state, |sw| {
+    ///     sw.case(0, |b| b.assign(out, Expr::k(8, 1)));
+    ///     sw.default(|b| b.assign(out, Expr::k(8, 0)));
+    /// });
+    /// ```
+    pub fn switch(&mut self, subject: impl Into<Expr>, f: impl FnOnce(&mut SwitchBuilder)) {
+        let subject = subject.into();
+        let mut sw = SwitchBuilder { arms: Vec::new(), default: Vec::new() };
+        f(&mut sw);
+        self.stmts.push(Stmt::Switch { subject, arms: sw.arms, default: sw.default });
+    }
+
+    /// A synchronous memory write (sequential blocks only).
+    pub fn mem_write(&mut self, mem: MemRef, addr: impl Into<Expr>, data: impl Into<Expr>) {
+        self.stmts.push(Stmt::MemWrite { mem: mem.id, addr: addr.into(), data: data.into() });
+    }
+}
+
+/// Builds the arms of a switch statement; see [`BlockBuilder::switch`].
+pub struct SwitchBuilder {
+    arms: Vec<(Bits, Vec<Stmt>)>,
+    default: Vec<Stmt>,
+}
+
+impl SwitchBuilder {
+    /// Adds a case arm matching `value` (the subject's width is applied).
+    ///
+    /// Width checking of the arm constant against the subject happens
+    /// during design finalization.
+    pub fn case(&mut self, value: Bits, f: impl FnOnce(&mut BlockBuilder)) {
+        let mut b = BlockBuilder::new();
+        f(&mut b);
+        self.arms.push((value, b.finish()));
+    }
+
+    /// Sets the default arm.
+    pub fn default(&mut self, f: impl FnOnce(&mut BlockBuilder)) {
+        let mut b = BlockBuilder::new();
+        f(&mut b);
+        self.default = b.finish();
+    }
+}

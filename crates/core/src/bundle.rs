@@ -1,0 +1,140 @@
+//! Latency-insensitive port bundles: val/rdy and request/response.
+//!
+//! These are the analog of PyMTL's `InValRdyBundle` / `OutValRdyBundle` and
+//! `ChildReqRespBundle` / `ParentReqRespBundle`. Consistent use of val/rdy
+//! handshakes at module boundaries is what lets FL, CL, and RTL variants of
+//! a model share test benches and compose with each other.
+
+use crate::builder::{Ctx, Instance, SignalRef};
+
+/// An input val/rdy interface: `msg` and `val` are inputs, `rdy` is an
+/// output (this module is the consumer).
+#[derive(Debug, Clone, Copy)]
+pub struct InValRdy {
+    /// Message input.
+    pub msg: SignalRef,
+    /// Valid input (producer asserts).
+    pub val: SignalRef,
+    /// Ready output (this module asserts).
+    pub rdy: SignalRef,
+}
+
+/// An output val/rdy interface: `msg` and `val` are outputs, `rdy` is an
+/// input (this module is the producer).
+#[derive(Debug, Clone, Copy)]
+pub struct OutValRdy {
+    /// Message output.
+    pub msg: SignalRef,
+    /// Valid output (this module asserts).
+    pub val: SignalRef,
+    /// Ready input (consumer asserts).
+    pub rdy: SignalRef,
+}
+
+/// A child-side request/response bundle: requests arrive, responses leave.
+///
+/// Used by components that *service* requests (accelerators, memories).
+#[derive(Debug, Clone, Copy)]
+pub struct ChildReqResp {
+    /// Incoming requests.
+    pub req: InValRdy,
+    /// Outgoing responses.
+    pub resp: OutValRdy,
+}
+
+/// A parent-side request/response bundle: requests leave, responses arrive.
+///
+/// Used by components that *issue* requests (processors, DMA engines).
+#[derive(Debug, Clone, Copy)]
+pub struct ParentReqResp {
+    /// Outgoing requests.
+    pub req: OutValRdy,
+    /// Incoming responses.
+    pub resp: InValRdy,
+}
+
+impl<'a> Ctx<'a> {
+    /// Declares an input val/rdy bundle named `{base}_msg/val/rdy`.
+    pub fn in_valrdy(&mut self, base: &str, msg_width: u32) -> InValRdy {
+        InValRdy {
+            msg: self.in_port(&format!("{base}_msg"), msg_width),
+            val: self.in_port(&format!("{base}_val"), 1),
+            rdy: self.out_port(&format!("{base}_rdy"), 1),
+        }
+    }
+
+    /// Declares an output val/rdy bundle named `{base}_msg/val/rdy`.
+    pub fn out_valrdy(&mut self, base: &str, msg_width: u32) -> OutValRdy {
+        OutValRdy {
+            msg: self.out_port(&format!("{base}_msg"), msg_width),
+            val: self.out_port(&format!("{base}_val"), 1),
+            rdy: self.in_port(&format!("{base}_rdy"), 1),
+        }
+    }
+
+    /// Declares a child-side req/resp bundle: `{base}_req_*` inputs and
+    /// `{base}_resp_*` outputs.
+    pub fn child_reqresp(&mut self, base: &str, req_width: u32, resp_width: u32) -> ChildReqResp {
+        ChildReqResp {
+            req: self.in_valrdy(&format!("{base}_req"), req_width),
+            resp: self.out_valrdy(&format!("{base}_resp"), resp_width),
+        }
+    }
+
+    /// Declares a parent-side req/resp bundle: `{base}_req_*` outputs and
+    /// `{base}_resp_*` inputs.
+    pub fn parent_reqresp(&mut self, base: &str, req_width: u32, resp_width: u32) -> ParentReqResp {
+        ParentReqResp {
+            req: self.out_valrdy(&format!("{base}_req"), req_width),
+            resp: self.in_valrdy(&format!("{base}_resp"), resp_width),
+        }
+    }
+
+    /// Connects an output bundle of one module to an input bundle of
+    /// another (producer → consumer).
+    pub fn connect_valrdy(&mut self, from: OutValRdy, to: InValRdy) {
+        self.connect(from.msg, to.msg);
+        self.connect(from.val, to.val);
+        self.connect(from.rdy, to.rdy);
+    }
+
+    /// Connects a parent req/resp bundle to a child req/resp bundle.
+    pub fn connect_reqresp(&mut self, parent: ParentReqResp, child: ChildReqResp) {
+        self.connect_valrdy(parent.req, child.req);
+        self.connect_valrdy(child.resp, parent.resp);
+    }
+
+    /// Looks up an input val/rdy bundle on a child instance by base name.
+    pub fn in_valrdy_of(&self, inst: &Instance, base: &str) -> InValRdy {
+        InValRdy {
+            msg: self.port_of(inst, &format!("{base}_msg")),
+            val: self.port_of(inst, &format!("{base}_val")),
+            rdy: self.port_of(inst, &format!("{base}_rdy")),
+        }
+    }
+
+    /// Looks up an output val/rdy bundle on a child instance by base name.
+    pub fn out_valrdy_of(&self, inst: &Instance, base: &str) -> OutValRdy {
+        OutValRdy {
+            msg: self.port_of(inst, &format!("{base}_msg")),
+            val: self.port_of(inst, &format!("{base}_val")),
+            rdy: self.port_of(inst, &format!("{base}_rdy")),
+        }
+    }
+
+    /// Looks up a child-side req/resp bundle on a child instance.
+    pub fn child_reqresp_of(&self, inst: &Instance, base: &str) -> ChildReqResp {
+        ChildReqResp {
+            req: self.in_valrdy_of(inst, &format!("{base}_req")),
+            resp: self.out_valrdy_of(inst, &format!("{base}_resp")),
+        }
+    }
+
+    /// Looks up a parent-side req/resp bundle on a child instance.
+    pub fn parent_reqresp_of(&self, inst: &Instance, base: &str) -> ParentReqResp {
+        ParentReqResp {
+            req: self.out_valrdy_of(inst, &format!("{base}_req")),
+            resp: self.in_valrdy_of(inst, &format!("{base}_resp")),
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! The [`Component`] trait and the [`elaborate`] entry point.
+
+use std::collections::HashMap;
+
+use crate::builder::{Ctx, Proto, SignalRef};
+use crate::design::{Design, ElabError, ModuleInfo, NetInfo, SignalKind};
+use crate::ids::{BlockId, ModuleId, NetId, SignalId};
+use crate::typecheck;
+
+/// A hardware component: the analog of a PyMTL `Model` subclass.
+///
+/// A component is a *description*: its fields are elaboration parameters and
+/// its [`build`](Component::build) method declares ports, wires, submodules,
+/// connections, and update blocks on the provided [`Ctx`]. Arbitrary Rust
+/// may run during `build` (loops, helper functions, config structs), which
+/// is what makes components highly parameterizable.
+///
+/// # Examples
+///
+/// ```
+/// use mtl_core::{Component, Ctx};
+///
+/// /// A D flip-flop of parameterizable width.
+/// struct Register { nbits: u32 }
+///
+/// impl Component for Register {
+///     fn name(&self) -> String { format!("Register_{}", self.nbits) }
+///     fn build(&self, c: &mut Ctx) {
+///         let in_ = c.in_port("in_", self.nbits);
+///         let out = c.out_port("out", self.nbits);
+///         c.seq("seq_logic", |b| b.assign(out, in_));
+///     }
+/// }
+///
+/// let design = mtl_core::elaborate(&Register { nbits: 8 }).unwrap();
+/// assert_eq!(design.module(design.top()).component, "Register_8");
+/// ```
+pub trait Component {
+    /// A unique name for this component *including its parameters* (e.g.
+    /// `Register_8`); used for Verilog module names and diagnostics.
+    fn name(&self) -> String;
+
+    /// Declares this component's interface and behavior on `c`.
+    fn build(&self, c: &mut Ctx);
+}
+
+/// Elaborates a component into a [`Design`].
+///
+/// Runs the component's `build` recursively, then finalizes the design:
+/// resolves connection nets, checks widths and drivers, and validates that
+/// the combinational blocks are acyclic.
+///
+/// # Errors
+///
+/// Returns an [`ElabError`] describing the first structural problem found
+/// (width mismatch, multiple drivers, combinational cycle, IR type error,
+/// or invalid memory use).
+pub fn elaborate(top: &dyn Component) -> Result<Design, ElabError> {
+    let mut proto = Proto {
+        modules: vec![ModuleInfo {
+            name: "top".to_string(),
+            component: top.name(),
+            parent: None,
+            children: Vec::new(),
+            ports: Vec::new(),
+        }],
+        signals: Vec::new(),
+        blocks: Vec::new(),
+        mems: Vec::new(),
+        connections: Vec::new(),
+    };
+    let mut ctx = Ctx {
+        proto: &mut proto,
+        module: ModuleId::from_index(0),
+        reset: SignalRef { id: SignalId::from_index(0), width: 1 },
+    };
+    let reset = ctx.in_port("reset", 1);
+    ctx.reset = reset;
+    top.build(&mut ctx);
+    finalize(proto, reset.id())
+}
+
+fn finalize(proto: Proto, reset: SignalId) -> Result<Design, ElabError> {
+    let Proto { modules, mut signals, blocks, mems, connections } = proto;
+
+    // 1. Union-find over connections to form nets.
+    let mut uf: Vec<usize> = (0..signals.len()).collect();
+    fn find(uf: &mut [usize], mut x: usize) -> usize {
+        while uf[x] != x {
+            uf[x] = uf[uf[x]];
+            x = uf[x];
+        }
+        x
+    }
+    for &(a, b) in &connections {
+        // Width check before unioning.
+        let (wa, wb) = (signals[a.index()].width, signals[b.index()].width);
+        if wa != wb {
+            return Err(ElabError::WidthMismatch {
+                a: signal_path(&modules, &signals, a),
+                b: signal_path(&modules, &signals, b),
+                a_width: wa,
+                b_width: wb,
+            });
+        }
+        let ra = find(&mut uf, a.index());
+        let rb = find(&mut uf, b.index());
+        uf[ra] = rb;
+    }
+
+    // 2. Assign net ids.
+    let mut root_to_net: HashMap<usize, NetId> = HashMap::new();
+    let mut nets: Vec<NetInfo> = Vec::new();
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..signals.len() {
+        let root = find(&mut uf, i);
+        let net = *root_to_net.entry(root).or_insert_with(|| {
+            let id = NetId::from_index(nets.len());
+            nets.push(NetInfo {
+                signals: Vec::new(),
+                width: signals[i].width,
+                driver: None,
+                is_register: false,
+            });
+            id
+        });
+        nets[net.index()].signals.push(SignalId::from_index(i));
+        signals[i].net = net;
+    }
+
+    let design = Design {
+        modules,
+        signals,
+        blocks,
+        mems,
+        connections,
+        nets,
+        reset,
+    };
+    let mut design = design;
+
+    // 3. Driver analysis: at most one writer block per net; note registers.
+    let mut driver: Vec<Option<BlockId>> = vec![None; design.nets.len()];
+    for (bi, block) in design.blocks.iter().enumerate() {
+        let bid = BlockId::from_index(bi);
+        for &w in &block.writes {
+            let net = design.signals[w.index()].net;
+            match driver[net.index()] {
+                None => driver[net.index()] = Some(bid),
+                Some(prev) if prev == bid => {}
+                Some(prev) => {
+                    return Err(ElabError::MultipleDrivers {
+                        net: design.signal_path(w),
+                        blocks: vec![design.block_path(prev), design.block_path(bid)],
+                    });
+                }
+            }
+        }
+    }
+    // Top-level in-ports are externally driven; a block driving such a net
+    // is a conflict.
+    let top_ports: Vec<SignalId> = design.modules[0].ports.clone();
+    for &p in &top_ports {
+        if design.signals[p.index()].kind == SignalKind::InPort {
+            let net = design.signals[p.index()].net;
+            if let Some(b) = driver[net.index()] {
+                return Err(ElabError::MultipleDrivers {
+                    net: design.signal_path(p),
+                    blocks: vec!["<external>".to_string(), design.block_path(b)],
+                });
+            }
+        }
+    }
+    for (ni, d) in driver.iter().enumerate() {
+        design.nets[ni].driver = *d;
+        if let Some(b) = d {
+            design.nets[ni].is_register =
+                design.blocks[b.index()].kind == crate::design::BlockKind::Seq;
+        }
+    }
+
+    // 4. Memory use: each memory written by at most one sequential block.
+    let mut mem_writer: Vec<Option<BlockId>> = vec![None; design.mems.len()];
+    for (bi, block) in design.blocks.iter().enumerate() {
+        for &m in &block.mem_writes {
+            let bid = BlockId::from_index(bi);
+            match mem_writer[m.index()] {
+                None => mem_writer[m.index()] = Some(bid),
+                Some(prev) if prev == bid => {}
+                Some(prev) => {
+                    return Err(ElabError::BadMemUse {
+                        mem: design.mems[m.index()].name.clone(),
+                        message: format!(
+                            "written by both `{}` and `{}`",
+                            design.block_path(prev),
+                            design.block_path(bid)
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // 5. IR width checking.
+    typecheck::check_design(&design)?;
+
+    // 6. Combinational cycle check.
+    design.comb_schedule()?;
+
+    Ok(design)
+}
+
+fn signal_path(
+    modules: &[ModuleInfo],
+    signals: &[crate::design::SignalInfo],
+    sig: SignalId,
+) -> String {
+    let info = &signals[sig.index()];
+    let mut parts = Vec::new();
+    let mut cur = Some(info.module);
+    while let Some(m) = cur {
+        parts.push(modules[m.index()].name.clone());
+        cur = modules[m.index()].parent;
+    }
+    parts.reverse();
+    format!("{}.{}", parts.join("."), info.name)
+}

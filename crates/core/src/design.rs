@@ -1,0 +1,467 @@
+//! The elaborated design: the in-memory representation consumed by tools.
+//!
+//! A [`Design`] is the analog of PyMTL's elaborated model instance — a plain
+//! data structure describing the module hierarchy, signals, connection nets,
+//! memories, and update blocks. Tools (simulators, translators, linters,
+//! analyzers) take a `Design` as input; none of them know anything about the
+//! user's component types. This is the paper's "model/tool split".
+
+use std::collections::HashMap;
+use std::fmt;
+
+use mtl_bits::Bits;
+
+use crate::ids::{BlockId, MemId, ModuleId, NetId, SignalId};
+use crate::ir::Stmt;
+use crate::view::SignalView;
+
+/// Direction/kind of a signal relative to its owning module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignalKind {
+    /// An input port of its module.
+    InPort,
+    /// An output port of its module.
+    OutPort,
+    /// An internal wire.
+    Wire,
+}
+
+/// Metadata for one signal in the design.
+#[derive(Debug, Clone)]
+pub struct SignalInfo {
+    /// Leaf name within the owning module (e.g. `out`).
+    pub name: String,
+    /// Owning module.
+    pub module: ModuleId,
+    /// Bit width.
+    pub width: u32,
+    /// Port direction or wire.
+    pub kind: SignalKind,
+    /// The net this signal belongs to (filled during finalization).
+    pub net: NetId,
+}
+
+/// Metadata for one module instance in the hierarchy.
+#[derive(Debug, Clone)]
+pub struct ModuleInfo {
+    /// Instance name within the parent (the root is named `top` by default).
+    pub name: String,
+    /// Component type name (used for Verilog module names); includes
+    /// parameters, e.g. `Register_8`.
+    pub component: String,
+    /// Parent module, if any.
+    pub parent: Option<ModuleId>,
+    /// Child module instances.
+    pub children: Vec<ModuleId>,
+    /// Ports declared by this module, in declaration order.
+    pub ports: Vec<SignalId>,
+}
+
+/// Metadata for one memory array.
+#[derive(Debug, Clone)]
+pub struct MemInfo {
+    /// Leaf name within the owning module.
+    pub name: String,
+    /// Owning module.
+    pub module: ModuleId,
+    /// Number of words.
+    pub words: u64,
+    /// Width of each word.
+    pub width: u32,
+}
+
+/// Execution timing of an update block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockKind {
+    /// Combinational: re-evaluated whenever an input net changes; writes
+    /// take effect immediately.
+    Comb,
+    /// Sequential: evaluated once per clock edge; writes go to shadow state
+    /// committed after all sequential blocks run.
+    Seq,
+}
+
+/// Abstraction level of a native block, recorded for introspection and
+/// level-of-detail accounting (Fig. 13 in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NativeLevel {
+    /// Functional-level block (`@s.tick_fl` analog).
+    Fl,
+    /// Cycle-level block (`@s.tick_cl` analog).
+    Cl,
+}
+
+/// A native (arbitrary Rust) update function.
+///
+/// The closure receives a [`SignalView`] for reading signals and writing
+/// values (combinational) or next-values (sequential).
+pub type NativeFn = Box<dyn FnMut(&mut dyn SignalView)>;
+
+/// The body of an update block.
+pub enum BlockBody {
+    /// Translatable IR statements (RTL modeling).
+    Ir(Vec<Stmt>),
+    /// An opaque Rust closure (FL/CL modeling) with its abstraction level.
+    Native(NativeLevel, NativeFn),
+}
+
+impl fmt::Debug for BlockBody {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockBody::Ir(stmts) => f.debug_tuple("Ir").field(&stmts.len()).finish(),
+            BlockBody::Native(level, _) => f.debug_tuple("Native").field(level).finish(),
+        }
+    }
+}
+
+/// One update block: a unit of concurrent behavior.
+#[derive(Debug)]
+pub struct BlockInfo {
+    /// Block name (unique within its module).
+    pub name: String,
+    /// Owning module.
+    pub module: ModuleId,
+    /// Comb or Seq timing.
+    pub kind: BlockKind,
+    /// The block body.
+    pub body: BlockBody,
+    /// Signals read by the block (sensitivity inputs for comb blocks).
+    pub reads: Vec<SignalId>,
+    /// Signals written by the block.
+    pub writes: Vec<SignalId>,
+    /// Memories written by the block (sequential blocks only).
+    pub mem_writes: Vec<MemId>,
+    /// Memories read by the block (used for re-evaluation after memory
+    /// commits).
+    pub mem_reads: Vec<MemId>,
+}
+
+/// A connection net: the set of signals aliased together by `connect` calls.
+#[derive(Debug, Clone)]
+pub struct NetInfo {
+    /// Signals in the net.
+    pub signals: Vec<SignalId>,
+    /// Common width of all signals in the net.
+    pub width: u32,
+    /// The block driving the net, if any. Nets without a driving block are
+    /// driven externally (top-level inputs) or hold their initial value.
+    pub driver: Option<BlockId>,
+    /// Whether the net holds sequential (register) state.
+    pub is_register: bool,
+}
+
+/// Error found while finalizing an elaborated design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ElabError {
+    /// Two connected signals have different widths.
+    WidthMismatch {
+        a: String,
+        b: String,
+        a_width: u32,
+        b_width: u32,
+    },
+    /// A net is written by more than one update block.
+    MultipleDrivers { net: String, blocks: Vec<String> },
+    /// A net is written by both a combinational and a sequential block.
+    MixedDrivers { net: String },
+    /// The combinational blocks form a dependency cycle.
+    CombCycle { blocks: Vec<String> },
+    /// An IR block failed width checking.
+    TypeError { block: String, message: String },
+    /// A memory is written by more than one block or by a comb block.
+    BadMemUse { mem: String, message: String },
+}
+
+impl fmt::Display for ElabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElabError::WidthMismatch { a, b, a_width, b_width } => write!(
+                f,
+                "cannot connect `{a}` (width {a_width}) to `{b}` (width {b_width})"
+            ),
+            ElabError::MultipleDrivers { net, blocks } => {
+                write!(f, "net `{net}` is driven by multiple blocks: {}", blocks.join(", "))
+            }
+            ElabError::MixedDrivers { net } => write!(
+                f,
+                "net `{net}` is written by both combinational and sequential blocks"
+            ),
+            ElabError::CombCycle { blocks } => write!(
+                f,
+                "combinational cycle through blocks: {}",
+                blocks.join(" -> ")
+            ),
+            ElabError::TypeError { block, message } => {
+                write!(f, "type error in block `{block}`: {message}")
+            }
+            ElabError::BadMemUse { mem, message } => {
+                write!(f, "invalid use of memory `{mem}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ElabError {}
+
+/// An elaborated hardware design.
+///
+/// Produced by [`elaborate`](crate::elaborate); consumed by every tool.
+#[derive(Debug)]
+pub struct Design {
+    pub(crate) modules: Vec<ModuleInfo>,
+    pub(crate) signals: Vec<SignalInfo>,
+    pub(crate) blocks: Vec<BlockInfo>,
+    pub(crate) mems: Vec<MemInfo>,
+    pub(crate) connections: Vec<(SignalId, SignalId)>,
+    pub(crate) nets: Vec<NetInfo>,
+    /// The global reset net's representative signal.
+    pub(crate) reset: SignalId,
+}
+
+impl Design {
+    /// The root module of the hierarchy.
+    pub fn top(&self) -> ModuleId {
+        ModuleId::from_index(0)
+    }
+
+    /// Metadata for a module.
+    pub fn module(&self, id: ModuleId) -> &ModuleInfo {
+        &self.modules[id.index()]
+    }
+
+    /// All modules, indexable by [`ModuleId::index`].
+    pub fn modules(&self) -> &[ModuleInfo] {
+        &self.modules
+    }
+
+    /// Metadata for a signal.
+    pub fn signal(&self, id: SignalId) -> &SignalInfo {
+        &self.signals[id.index()]
+    }
+
+    /// All signals, indexable by [`SignalId::index`].
+    pub fn signals(&self) -> &[SignalInfo] {
+        &self.signals
+    }
+
+    /// Metadata for an update block.
+    pub fn block(&self, id: BlockId) -> &BlockInfo {
+        &self.blocks[id.index()]
+    }
+
+    /// All update blocks, indexable by [`BlockId::index`].
+    pub fn blocks(&self) -> &[BlockInfo] {
+        &self.blocks
+    }
+
+    /// Mutable access to blocks; simulators use this to take ownership of
+    /// native closures.
+    pub fn blocks_mut(&mut self) -> &mut [BlockInfo] {
+        &mut self.blocks
+    }
+
+    /// Metadata for a memory.
+    pub fn mem(&self, id: MemId) -> &MemInfo {
+        &self.mems[id.index()]
+    }
+
+    /// All memories, indexable by [`MemId::index`].
+    pub fn mems(&self) -> &[MemInfo] {
+        &self.mems
+    }
+
+    /// Metadata for a net.
+    pub fn net(&self, id: NetId) -> &NetInfo {
+        &self.nets[id.index()]
+    }
+
+    /// All nets, indexable by [`NetId::index`].
+    pub fn nets(&self) -> &[NetInfo] {
+        &self.nets
+    }
+
+    /// The raw `connect` pairs recorded during elaboration (useful for
+    /// structural translation).
+    pub fn connections(&self) -> &[(SignalId, SignalId)] {
+        &self.connections
+    }
+
+    /// The net a signal belongs to.
+    pub fn net_of(&self, sig: SignalId) -> NetId {
+        self.signals[sig.index()].net
+    }
+
+    /// The global reset signal.
+    pub fn reset(&self) -> SignalId {
+        self.reset
+    }
+
+    /// The hierarchical dotted path of a signal, e.g. `top.mux.sel`.
+    pub fn signal_path(&self, sig: SignalId) -> String {
+        let info = &self.signals[sig.index()];
+        format!("{}.{}", self.module_path(info.module), info.name)
+    }
+
+    /// The hierarchical dotted path of a module, e.g. `top.reg_`.
+    pub fn module_path(&self, module: ModuleId) -> String {
+        let mut parts = Vec::new();
+        let mut cur = Some(module);
+        while let Some(m) = cur {
+            let info = &self.modules[m.index()];
+            parts.push(info.name.clone());
+            cur = info.parent;
+        }
+        parts.reverse();
+        parts.join(".")
+    }
+
+    /// Looks up a port of a module by name.
+    pub fn find_port(&self, module: ModuleId, name: &str) -> Option<SignalId> {
+        self.modules[module.index()]
+            .ports
+            .iter()
+            .copied()
+            .find(|&s| self.signals[s.index()].name == name)
+    }
+
+    /// Looks up a port of the top-level module by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the available port names if the port does not exist —
+    /// this is a test-bench convenience.
+    pub fn top_port(&self, name: &str) -> SignalId {
+        self.find_port(self.top(), name).unwrap_or_else(|| {
+            let avail: Vec<_> = self.modules[0]
+                .ports
+                .iter()
+                .map(|&s| self.signals[s.index()].name.clone())
+                .collect();
+            panic!("no top-level port `{name}`; available: {avail:?}")
+        })
+    }
+
+    /// Computes a topological ordering of the combinational blocks.
+    ///
+    /// Returns block ids in an order where every block runs after all blocks
+    /// that drive its inputs. Used by the specializing engines for
+    /// single-pass propagation and by the EDA model for logic-depth
+    /// estimation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ElabError::CombCycle`] if the combinational dependency
+    /// graph is cyclic.
+    pub fn comb_schedule(&self) -> Result<Vec<BlockId>, ElabError> {
+        let comb_blocks: Vec<BlockId> = (0..self.blocks.len())
+            .map(BlockId::from_index)
+            .filter(|b| self.blocks[b.index()].kind == BlockKind::Comb)
+            .collect();
+
+        // net -> comb block driving it
+        let mut driver_of_net: HashMap<NetId, BlockId> = HashMap::new();
+        for &b in &comb_blocks {
+            for &w in &self.blocks[b.index()].writes {
+                driver_of_net.insert(self.net_of(w), b);
+            }
+        }
+
+        // edges: driver block -> reader block
+        let mut succs: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+        let mut indegree: HashMap<BlockId, usize> = comb_blocks.iter().map(|&b| (b, 0)).collect();
+        for &b in &comb_blocks {
+            let mut seen = Vec::new();
+            for &r in &self.blocks[b.index()].reads {
+                let net = self.net_of(r);
+                // Self-edges (a block reading a net it also writes) are
+                // allowed: within-block statement order resolves them as
+                // long as models define before use, matching PyMTL.
+                if let Some(&d) = driver_of_net.get(&net) {
+                    if d != b && !seen.contains(&d) {
+                        seen.push(d);
+                        succs.entry(d).or_default().push(b);
+                        *indegree.get_mut(&b).unwrap() += 1;
+                    }
+                }
+            }
+        }
+
+        let mut ready: Vec<BlockId> = comb_blocks
+            .iter()
+            .copied()
+            .filter(|b| indegree[b] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(comb_blocks.len());
+        while let Some(b) = ready.pop() {
+            order.push(b);
+            if let Some(ss) = succs.get(&b) {
+                for &s in ss {
+                    let d = indegree.get_mut(&s).unwrap();
+                    *d -= 1;
+                    if *d == 0 {
+                        ready.push(s);
+                    }
+                }
+            }
+        }
+        if order.len() != comb_blocks.len() {
+            let stuck: Vec<String> = comb_blocks
+                .iter()
+                .filter(|b| !order.contains(b))
+                .map(|&b| self.block_path(b))
+                .collect();
+            return Err(ElabError::CombCycle { blocks: stuck });
+        }
+        Ok(order)
+    }
+
+    /// The hierarchical path of a block, e.g. `top.reg_.seq_logic`.
+    pub fn block_path(&self, block: BlockId) -> String {
+        let info = &self.blocks[block.index()];
+        format!("{}.{}", self.module_path(info.module), info.name)
+    }
+
+    /// Sequential block ids in declaration order.
+    pub fn seq_blocks(&self) -> Vec<BlockId> {
+        (0..self.blocks.len())
+            .map(BlockId::from_index)
+            .filter(|b| self.blocks[b.index()].kind == BlockKind::Seq)
+            .collect()
+    }
+
+    /// A crude level-of-detail score for the design: the paper's Fig. 13
+    /// metric generalized to block granularity. IR blocks count as RTL (3),
+    /// native CL blocks as 2, native FL blocks as 1; the design score is the
+    /// maximum per module summed over direct children of the top module.
+    pub fn level_of_detail(&self) -> u32 {
+        self.modules[0]
+            .children
+            .iter()
+            .map(|&child| self.subtree_lod(child))
+            .sum()
+    }
+
+    fn subtree_lod(&self, root: ModuleId) -> u32 {
+        let mut max = 0;
+        let mut stack = vec![root];
+        while let Some(m) = stack.pop() {
+            for b in &self.blocks {
+                if b.module == m {
+                    let score = match &b.body {
+                        BlockBody::Ir(_) => 3,
+                        BlockBody::Native(NativeLevel::Cl, _) => 2,
+                        BlockBody::Native(NativeLevel::Fl, _) => 1,
+                    };
+                    max = max.max(score);
+                }
+            }
+            stack.extend(self.modules[m.index()].children.iter().copied());
+        }
+        max
+    }
+
+    /// Initial (reset) value for a net: all zeros at the net's width.
+    pub fn net_initial(&self, net: NetId) -> Bits {
+        Bits::zero(self.nets[net.index()].width)
+    }
+}

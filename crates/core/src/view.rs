@@ -1,0 +1,32 @@
+//! Runtime access to simulation state from native (FL/CL) update blocks.
+
+use mtl_bits::Bits;
+
+use crate::ids::SignalId;
+
+/// A view of live simulation state, passed to native update blocks.
+///
+/// Simulation engines implement this trait; native closures use it to read
+/// signal values and to write either immediate (combinational) values or
+/// shadow `next` (sequential) values — the analog of PyMTL's `.value` and
+/// `.next` attributes.
+pub trait SignalView {
+    /// Reads the current value of a signal.
+    fn read(&self, sig: SignalId) -> Bits;
+
+    /// Writes a signal's value immediately (combinational semantics).
+    ///
+    /// Must only be used from combinational blocks on signals declared in
+    /// the block's write set.
+    fn write(&mut self, sig: SignalId, value: Bits);
+
+    /// Writes a signal's shadow `next` value (sequential semantics); the
+    /// value becomes visible after the current clock edge commits.
+    ///
+    /// Must only be used from sequential blocks on signals declared in the
+    /// block's write set.
+    fn write_next(&mut self, sig: SignalId, value: Bits);
+
+    /// The number of clock edges simulated so far.
+    fn cycle(&self) -> u64;
+}

@@ -1,0 +1,224 @@
+//! Elaboration-time error detection: width mismatches, multiple drivers,
+//! combinational cycles, and IR type errors must be caught with precise
+//! diagnostics before any tool runs.
+
+use mtl_core::{elaborate, Component, Ctx, ElabError, Expr};
+
+struct WidthMismatch;
+impl Component for WidthMismatch {
+    fn name(&self) -> String {
+        "WidthMismatch".into()
+    }
+    fn build(&self, c: &mut Ctx) {
+        let a = c.wire("a", 8);
+        let b = c.wire("b", 4);
+        c.connect(a, b);
+    }
+}
+
+#[test]
+fn connect_width_mismatch_is_reported() {
+    let err = elaborate(&WidthMismatch).unwrap_err();
+    match &err {
+        ElabError::WidthMismatch { a_width, b_width, .. } => {
+            assert_eq!((*a_width, *b_width), (8, 4));
+        }
+        other => panic!("wrong error: {other}"),
+    }
+    assert!(err.to_string().contains("cannot connect"));
+}
+
+struct MultiDriver;
+impl Component for MultiDriver {
+    fn name(&self) -> String {
+        "MultiDriver".into()
+    }
+    fn build(&self, c: &mut Ctx) {
+        let w = c.wire("w", 8);
+        c.comb("blk_a", |b| b.assign(w, Expr::k(8, 1)));
+        c.comb("blk_b", |b| b.assign(w, Expr::k(8, 2)));
+    }
+}
+
+#[test]
+fn multiple_drivers_are_reported() {
+    let err = elaborate(&MultiDriver).unwrap_err();
+    assert!(matches!(err, ElabError::MultipleDrivers { .. }), "{err}");
+    assert!(err.to_string().contains("blk_a") && err.to_string().contains("blk_b"));
+}
+
+struct DriverOnInput;
+impl Component for DriverOnInput {
+    fn name(&self) -> String {
+        "DriverOnInput".into()
+    }
+    fn build(&self, c: &mut Ctx) {
+        let i = c.in_port("i", 4);
+        c.comb("bad", |b| b.assign(i, Expr::k(4, 0)));
+    }
+}
+
+#[test]
+fn driving_a_top_level_input_is_reported() {
+    let err = elaborate(&DriverOnInput).unwrap_err();
+    assert!(err.to_string().contains("external"), "{err}");
+}
+
+struct CombLoop;
+impl Component for CombLoop {
+    fn name(&self) -> String {
+        "CombLoop".into()
+    }
+    fn build(&self, c: &mut Ctx) {
+        let a = c.wire("a", 1);
+        let b_ = c.wire("b", 1);
+        c.comb("fwd", |b| b.assign(a, !b_.ex()));
+        c.comb("bwd", |b| b.assign(b_, !a.ex()));
+    }
+}
+
+#[test]
+fn combinational_cycles_are_reported() {
+    let err = elaborate(&CombLoop).unwrap_err();
+    assert!(matches!(err, ElabError::CombCycle { .. }), "{err}");
+}
+
+struct SelfReadBlock;
+impl Component for SelfReadBlock {
+    fn name(&self) -> String {
+        "SelfReadBlock".into()
+    }
+    fn build(&self, c: &mut Ctx) {
+        let i = c.in_port("i", 8);
+        let t = c.wire("t", 8);
+        let o = c.out_port("o", 8);
+        // Define-before-use within one block is legal (not a cycle).
+        c.comb("chain", |b| {
+            b.assign(t, i + Expr::k(8, 1));
+            b.assign(o, t + Expr::k(8, 1));
+        });
+    }
+}
+
+#[test]
+fn define_before_use_in_one_block_is_legal() {
+    let design = elaborate(&SelfReadBlock).unwrap();
+    assert_eq!(design.blocks().len(), 1);
+}
+
+struct BadWidthExpr;
+impl Component for BadWidthExpr {
+    fn name(&self) -> String {
+        "BadWidthExpr".into()
+    }
+    fn build(&self, c: &mut Ctx) {
+        let a = c.in_port("a", 8);
+        let o = c.out_port("o", 4);
+        c.comb("bad", |b| b.assign(o, a.ex()));
+    }
+}
+
+#[test]
+fn ir_width_errors_are_reported_with_block_path() {
+    let err = elaborate(&BadWidthExpr).unwrap_err();
+    match &err {
+        ElabError::TypeError { block, message } => {
+            assert!(block.contains("bad"));
+            assert!(message.contains("width"));
+        }
+        other => panic!("wrong error: {other}"),
+    }
+}
+
+struct MemTwoWriters;
+impl Component for MemTwoWriters {
+    fn name(&self) -> String {
+        "MemTwoWriters".into()
+    }
+    fn build(&self, c: &mut Ctx) {
+        let m = c.mem("m", 4, 8);
+        c.seq("w1", |b| b.mem_write(m, Expr::k(2, 0), Expr::k(8, 1)));
+        c.seq("w2", |b| b.mem_write(m, Expr::k(2, 1), Expr::k(8, 2)));
+    }
+}
+
+#[test]
+fn two_memory_writers_are_reported() {
+    let err = elaborate(&MemTwoWriters).unwrap_err();
+    assert!(matches!(err, ElabError::BadMemUse { .. }), "{err}");
+}
+
+struct CombMemWrite;
+impl Component for CombMemWrite {
+    fn name(&self) -> String {
+        "CombMemWrite".into()
+    }
+    fn build(&self, c: &mut Ctx) {
+        let m = c.mem("m", 4, 8);
+        c.comb("bad", |b| b.mem_write(m, Expr::k(2, 0), Expr::k(8, 1)));
+    }
+}
+
+#[test]
+fn combinational_memory_writes_are_rejected() {
+    let err = elaborate(&CombMemWrite).unwrap_err();
+    assert!(err.to_string().contains("sequential"), "{err}");
+}
+
+struct DeepHierarchy;
+impl Component for DeepHierarchy {
+    fn name(&self) -> String {
+        "DeepHierarchy".into()
+    }
+    fn build(&self, c: &mut Ctx) {
+        struct Leaf;
+        impl Component for Leaf {
+            fn name(&self) -> String {
+                "Leaf".into()
+            }
+            fn build(&self, c: &mut Ctx) {
+                let i = c.in_port("i", 4);
+                let o = c.out_port("o", 4);
+                c.comb("inv", |b| b.assign(o, !i.ex()));
+            }
+        }
+        struct Mid;
+        impl Component for Mid {
+            fn name(&self) -> String {
+                "Mid".into()
+            }
+            fn build(&self, c: &mut Ctx) {
+                let i = c.in_port("i", 4);
+                let o = c.out_port("o", 4);
+                let l = c.instantiate("leaf", &Leaf);
+                c.connect(i, c.port_of(&l, "i"));
+                c.connect(c.port_of(&l, "o"), o);
+            }
+        }
+        let i = c.in_port("i", 4);
+        let o = c.out_port("o", 4);
+        let m = c.instantiate("mid", &Mid);
+        c.connect(i, c.port_of(&m, "i"));
+        c.connect(c.port_of(&m, "o"), o);
+    }
+}
+
+#[test]
+fn hierarchical_paths_are_dotted() {
+    let design = elaborate(&DeepHierarchy).unwrap();
+    let has_path = design
+        .blocks()
+        .iter()
+        .enumerate()
+        .any(|(i, _)| design.block_path(mtl_core::BlockId::from_index(i)) == "top.mid.leaf.inv");
+    assert!(has_path, "expected top.mid.leaf.inv block path");
+    // Reset is threaded automatically through both levels.
+    let resets = design
+        .signals()
+        .iter()
+        .filter(|s| s.name == "reset")
+        .count();
+    assert_eq!(resets, 3);
+    let reset_net = design.net_of(design.reset());
+    assert_eq!(design.net(reset_net).signals.len(), 3, "resets all share one net");
+}

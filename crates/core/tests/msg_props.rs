@@ -1,0 +1,51 @@
+//! Property tests for `MsgLayout` bit-struct packing.
+
+use mtl_bits::Bits;
+use mtl_core::MsgLayout;
+use proptest::prelude::*;
+
+fn layout_and_values() -> impl Strategy<Value = (Vec<u32>, Vec<u64>)> {
+    proptest::collection::vec(1u32..20, 1..6).prop_flat_map(|widths| {
+        let vals = proptest::collection::vec(any::<u64>(), widths.len());
+        (Just(widths), vals)
+    })
+}
+
+proptest! {
+    #[test]
+    fn pack_unpack_round_trips_every_field((widths, vals) in layout_and_values()) {
+        let mut layout = MsgLayout::new("T");
+        for (i, w) in widths.iter().enumerate() {
+            layout = layout.field(format!("f{i}"), *w);
+        }
+        let fields: Vec<(String, Bits)> = widths
+            .iter()
+            .zip(&vals)
+            .enumerate()
+            .map(|(i, (w, v))| (format!("f{i}"), Bits::new(*w, *v as u128)))
+            .collect();
+        let refs: Vec<(&str, Bits)> =
+            fields.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+        let msg = layout.pack(&refs);
+        prop_assert_eq!(msg.width(), widths.iter().sum::<u32>());
+        for (n, v) in &fields {
+            prop_assert_eq!(layout.unpack(msg, n), *v);
+        }
+    }
+
+    #[test]
+    fn fields_are_disjoint_and_cover_the_message((widths, _) in layout_and_values()) {
+        let mut layout = MsgLayout::new("T");
+        for (i, w) in widths.iter().enumerate() {
+            layout = layout.field(format!("f{i}"), *w);
+        }
+        let mut covered = vec![false; layout.width() as usize];
+        for f in layout.fields() {
+            for b in f.lo..f.hi {
+                prop_assert!(!covered[b as usize], "fields overlap at bit {b}");
+                covered[b as usize] = true;
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c), "gaps between fields");
+    }
+}

@@ -1,0 +1,16 @@
+//! Quick latency/saturation probe for the 8x8 CL mesh (a lightweight
+//! version of the `sec3d_mesh_latency` benchmark binary).
+//!
+//! Run with: `cargo run --release -p mtl-net --example probe`
+
+use mtl_net::{measure_network, NetLevel};
+use mtl_sim::Engine;
+
+fn main() {
+    let zl = measure_network(NetLevel::Cl, 64, 10, 500, 3000, Engine::SpecializedOpt);
+    println!("8x8 CL zero-load: avg_latency={:.1} received={}", zl.avg_latency, zl.received);
+    for inj in [100u32, 200, 250, 300, 320, 350, 400, 500] {
+        let m = measure_network(NetLevel::Cl, 64, inj, 500, 2000, Engine::SpecializedOpt);
+        println!("inj={:3} accepted={:6.1} latency={:8.1}", inj, m.accepted_permille, m.avg_latency);
+    }
+}

@@ -1,0 +1,215 @@
+//! A hand-written mesh simulator — the efficiency-level-language baseline.
+//!
+//! This is the analog of the paper's hand-coded C++ mesh simulator: plain
+//! structs and arrays, no modeling framework, no signals, no event
+//! scheduling. It implements the same microarchitecture as the framework's
+//! CL/RTL routers (per-input elastic buffers, round-robin arbitration,
+//! per-output staging, one packet per link per cycle) and the same
+//! uniform-random timestamped traffic, so wall-clock comparisons against
+//! the framework engines measure framework overhead, not workload
+//! differences.
+
+use std::collections::VecDeque;
+
+use crate::traffic::NetStats;
+use crate::{xy_route, NPORTS, TERM};
+
+#[derive(Debug, Clone, Copy)]
+struct Packet {
+    dest: u32,
+    ts: u64,
+}
+
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+struct HwRouter {
+    in_q: [VecDeque<Packet>; NPORTS],
+    out_q: [VecDeque<Packet>; NPORTS],
+    rr: [usize; NPORTS],
+}
+
+impl HwRouter {
+    fn new() -> Self {
+        Self {
+            in_q: Default::default(),
+            out_q: Default::default(),
+            rr: [0; NPORTS],
+        }
+    }
+}
+
+/// The hand-written baseline simulator.
+pub struct HandwrittenMesh {
+    side: usize,
+    nentries: usize,
+    injection_permille: u64,
+    routers: Vec<HwRouter>,
+    src_q: Vec<VecDeque<Packet>>,
+    rngs: Vec<Lcg>,
+    stats: NetStats,
+    cycle: u64,
+}
+
+impl HandwrittenMesh {
+    /// Creates a √nrouters × √nrouters mesh with uniform-random traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nrouters` is not a perfect square.
+    pub fn new(nrouters: usize, injection_permille: u32, seed: u64) -> Self {
+        let side = (nrouters as f64).sqrt() as usize;
+        assert_eq!(side * side, nrouters, "nrouters must be a perfect square");
+        Self {
+            side,
+            nentries: 2,
+            injection_permille: injection_permille as u64,
+            routers: (0..nrouters).map(|_| HwRouter::new()).collect(),
+            src_q: vec![VecDeque::new(); nrouters],
+            rngs: (0..nrouters)
+                .map(|i| Lcg((seed.wrapping_add(i as u64 * 0x1234_5678)).max(1)))
+                .collect(),
+            stats: NetStats::default(),
+            cycle: 0,
+        }
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Clears statistics (between warmup and measurement).
+    pub fn clear_stats(&mut self) {
+        self.stats.clear();
+    }
+
+    /// Advances the simulation by `cycles`.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    fn neighbor(&self, idx: usize, dir: usize) -> Option<usize> {
+        let (x, y) = (idx % self.side, idx / self.side);
+        match dir {
+            crate::NORTH if y > 0 => Some(idx - self.side),
+            crate::SOUTH if y + 1 < self.side => Some(idx + self.side),
+            crate::EAST if x + 1 < self.side => Some(idx + 1),
+            crate::WEST if x > 0 => Some(idx - 1),
+            _ => None,
+        }
+    }
+
+    fn step(&mut self) {
+        let n = self.routers.len();
+        // 1. Link traversal: one packet per link per cycle. Arrivals are
+        //    staged and applied after the switch phase so a packet spends
+        //    at least one cycle buffered in each router (two cycles per
+        //    hop, matching the framework routers).
+        let mut arrivals: Vec<(usize, usize, Packet)> = Vec::new();
+        for idx in 0..n {
+            for dir in 0..NPORTS {
+                if dir == TERM {
+                    // Ejection: the terminal sink is always ready.
+                    if let Some(p) = self.routers[idx].out_q[TERM].pop_front() {
+                        self.stats.received += 1;
+                        let latency = self.cycle - p.ts;
+                        self.stats.total_latency += latency;
+                        self.stats.max_latency = self.stats.max_latency.max(latency);
+                        if p.dest as usize != idx {
+                            self.stats.misrouted += 1;
+                        }
+                    }
+                    continue;
+                }
+                let Some(nbr) = self.neighbor(idx, dir) else { continue };
+                let opposite = match dir {
+                    crate::NORTH => crate::SOUTH,
+                    crate::SOUTH => crate::NORTH,
+                    crate::EAST => crate::WEST,
+                    _ => crate::EAST,
+                };
+                if self.routers[nbr].in_q[opposite].len() < self.nentries {
+                    if let Some(p) = self.routers[idx].out_q[dir].pop_front() {
+                        arrivals.push((nbr, opposite, p));
+                    }
+                }
+            }
+            // Injection from the source queue into the terminal input.
+            if self.routers[idx].in_q[TERM].len() < self.nentries {
+                if let Some(p) = self.src_q[idx].pop_front() {
+                    arrivals.push((idx, TERM, p));
+                }
+            }
+        }
+        // 2. Switch traversal: per output, round-robin over inputs.
+        for idx in 0..n {
+            let r = &mut self.routers[idx];
+            for o in 0..NPORTS {
+                if r.out_q[o].len() >= self.nentries {
+                    continue;
+                }
+                for k in 0..NPORTS {
+                    let i = (r.rr[o] + k) % NPORTS;
+                    let Some(&head) = r.in_q[i].front() else { continue };
+                    if xy_route(idx, head.dest as usize, self.side) == o {
+                        r.in_q[i].pop_front();
+                        r.out_q[o].push_back(head);
+                        r.rr[o] = (i + 1) % NPORTS;
+                        break;
+                    }
+                }
+            }
+        }
+        // 3. Apply staged arrivals.
+        for (idx, port, p) in arrivals {
+            self.routers[idx].in_q[port].push_back(p);
+        }
+        // 4. Traffic generation.
+        for idx in 0..n {
+            if self.rngs[idx].next() % 1000 < self.injection_permille {
+                let dest = (self.rngs[idx].next() % n as u64) as u32;
+                self.src_q[idx].push_back(Packet { dest, ts: self.cycle });
+                self.stats.injected += 1;
+            }
+        }
+        self.cycle += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_delivers_traffic_without_misrouting() {
+        let mut mesh = HandwrittenMesh::new(16, 100, 7);
+        mesh.run(200);
+        mesh.clear_stats();
+        mesh.run(2000);
+        let st = mesh.stats();
+        assert!(st.received > 100, "{st:?}");
+        assert_eq!(st.misrouted, 0);
+        assert!(st.avg_latency() > 2.0 && st.avg_latency() < 30.0, "{st:?}");
+    }
+
+    #[test]
+    fn baseline_saturates_like_the_framework_model() {
+        let mut low = HandwrittenMesh::new(64, 50, 11);
+        low.run(2000);
+        let mut high = HandwrittenMesh::new(64, 900, 11);
+        high.run(2000);
+        let accepted_low = low.stats().received as f64 / 2000.0 / 64.0;
+        let accepted_high = high.stats().received as f64 / 2000.0 / 64.0;
+        assert!(accepted_high > accepted_low);
+        assert!(accepted_high < 0.7, "64-node mesh cannot accept 90% load");
+    }
+}

@@ -1,0 +1,64 @@
+//! The network message format (the paper's `NetMsg`).
+
+use mtl_bits::{clog2, Bits};
+use mtl_core::MsgLayout;
+
+/// Builds the `NetMsg` layout for a network of `nrouters` terminals with a
+/// `payload_nbits`-bit payload: fields `dest`, `src`, `opaque`, `payload`
+/// (most significant first).
+///
+/// # Examples
+///
+/// ```
+/// use mtl_net::net_msg_layout;
+///
+/// let layout = net_msg_layout(64, 32);
+/// assert_eq!(layout.width(), 6 + 6 + 8 + 32);
+/// ```
+pub fn net_msg_layout(nrouters: usize, payload_nbits: u32) -> MsgLayout {
+    let aw = clog2(nrouters as u64);
+    MsgLayout::new("NetMsg")
+        .field("dest", aw)
+        .field("src", aw)
+        .field("opaque", 8)
+        .field("payload", payload_nbits)
+}
+
+/// Convenience packer for a network message.
+pub fn make_net_msg(
+    layout: &MsgLayout,
+    dest: u64,
+    src: u64,
+    opaque: u64,
+    payload: u64,
+) -> Bits {
+    let (dlo, dhi) = layout.field_range("dest");
+    let (plo, phi) = layout.field_range("payload");
+    layout.pack(&[
+        ("dest", Bits::new(dhi - dlo, dest as u128)),
+        ("src", Bits::new(dhi - dlo, src as u128)),
+        ("opaque", Bits::new(8, opaque as u128)),
+        ("payload", Bits::new(phi - plo, payload as u128)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_round_trips_fields() {
+        let l = net_msg_layout(16, 16);
+        let m = make_net_msg(&l, 5, 9, 0xAB, 0x1234);
+        assert_eq!(l.unpack(m, "dest").as_u64(), 5);
+        assert_eq!(l.unpack(m, "src").as_u64(), 9);
+        assert_eq!(l.unpack(m, "opaque").as_u64(), 0xAB);
+        assert_eq!(l.unpack(m, "payload").as_u64(), 0x1234);
+    }
+
+    #[test]
+    fn width_scales_with_router_count() {
+        assert_eq!(net_msg_layout(4, 8).width(), 2 + 2 + 8 + 8);
+        assert_eq!(net_msg_layout(64, 32).width(), 52);
+    }
+}

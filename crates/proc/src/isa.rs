@@ -1,0 +1,558 @@
+//! The MtlRisc32 instruction set: encoding, decoding, and assembly.
+//!
+//! MtlRisc32 is the small 32-bit RISC ISA used by this repository's tile
+//! case study (the paper uses PARC, an in-house RISC ISA; any small
+//! in-order RISC exercises the same modeling paths — see `DESIGN.md`).
+//!
+//! Encoding: 32-bit instructions, `opcode[31:26] a[25:21] b[20:16]`
+//! followed by either `c[15:11]` (register form) or `imm16[15:0]`.
+//! 32 registers; `x0` is hard-wired to zero.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A decoded MtlRisc32 instruction.
+///
+/// Field conventions: `rd` destination, `rs1`/`rs2` sources, `imm` a
+/// 16-bit immediate (sign- or zero-extended per instruction). Branch and
+/// jump immediates are signed *instruction* offsets relative to the
+/// branch's own PC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// `rd = rs1 + rs2`
+    Add { rd: u8, rs1: u8, rs2: u8 },
+    /// `rd = rs1 - rs2`
+    Sub { rd: u8, rs1: u8, rs2: u8 },
+    /// `rd = rs1 & rs2`
+    And { rd: u8, rs1: u8, rs2: u8 },
+    /// `rd = rs1 | rs2`
+    Or { rd: u8, rs1: u8, rs2: u8 },
+    /// `rd = rs1 ^ rs2`
+    Xor { rd: u8, rs1: u8, rs2: u8 },
+    /// `rd = (rs1 <s rs2)`
+    Slt { rd: u8, rs1: u8, rs2: u8 },
+    /// `rd = (rs1 <u rs2)`
+    Sltu { rd: u8, rs1: u8, rs2: u8 },
+    /// `rd = rs1 << rs2[4:0]`
+    Sll { rd: u8, rs1: u8, rs2: u8 },
+    /// `rd = rs1 >>u rs2[4:0]`
+    Srl { rd: u8, rs1: u8, rs2: u8 },
+    /// `rd = rs1 >>s rs2[4:0]`
+    Sra { rd: u8, rs1: u8, rs2: u8 },
+    /// `rd = rs1 * rs2` (low 32 bits)
+    Mul { rd: u8, rs1: u8, rs2: u8 },
+    /// `rd = rs1 + sext(imm)`
+    Addi { rd: u8, rs1: u8, imm: i16 },
+    /// `rd = rs1 & zext(imm)`
+    Andi { rd: u8, rs1: u8, imm: i16 },
+    /// `rd = rs1 | zext(imm)`
+    Ori { rd: u8, rs1: u8, imm: i16 },
+    /// `rd = rs1 ^ zext(imm)`
+    Xori { rd: u8, rs1: u8, imm: i16 },
+    /// `rd = zext(imm) << 16`
+    Lui { rd: u8, imm: i16 },
+    /// `rd = mem[rs1 + sext(imm)]`
+    Lw { rd: u8, rs1: u8, imm: i16 },
+    /// `mem[rs1 + sext(imm)] = rs2`
+    Sw { rs2: u8, rs1: u8, imm: i16 },
+    /// `if rs1 == rs2: pc += imm*4`
+    Beq { rs1: u8, rs2: u8, imm: i16 },
+    /// `if rs1 != rs2: pc += imm*4`
+    Bne { rs1: u8, rs2: u8, imm: i16 },
+    /// `if rs1 <s rs2: pc += imm*4`
+    Blt { rs1: u8, rs2: u8, imm: i16 },
+    /// `if rs1 >=s rs2: pc += imm*4`
+    Bge { rs1: u8, rs2: u8, imm: i16 },
+    /// `rd = pc+4; pc += imm*4`
+    Jal { rd: u8, imm: i16 },
+    /// `rd = pc+4; pc = rs1 + sext(imm)`
+    Jalr { rd: u8, rs1: u8, imm: i16 },
+    /// `rd = csr[imm]` (may block on manager/accelerator channels)
+    Csrr { rd: u8, csr: u16 },
+    /// `csr[imm] = rs1`
+    Csrw { csr: u16, rs1: u8 },
+    /// Stop the processor.
+    Halt,
+}
+
+/// CSR address: the processor→manager output channel.
+pub const CSR_PROC2MNGR: u16 = 0x7C0;
+/// CSR address: the manager→processor input channel.
+pub const CSR_MNGR2PROC: u16 = 0x7C1;
+/// CSR address: accelerator go (write) / result (read).
+pub const CSR_XCEL_GO: u16 = 0x7E0;
+/// CSR address: accelerator vector size.
+pub const CSR_XCEL_SIZE: u16 = 0x7E1;
+/// CSR address: accelerator source 0 base address.
+pub const CSR_XCEL_SRC0: u16 = 0x7E2;
+/// CSR address: accelerator source 1 base address.
+pub const CSR_XCEL_SRC1: u16 = 0x7E3;
+
+const fn op(word: u32) -> u32 {
+    word >> 26
+}
+
+fn a(word: u32) -> u8 {
+    ((word >> 21) & 0x1F) as u8
+}
+
+fn b_(word: u32) -> u8 {
+    ((word >> 16) & 0x1F) as u8
+}
+
+fn c_(word: u32) -> u8 {
+    ((word >> 11) & 0x1F) as u8
+}
+
+fn imm(word: u32) -> i16 {
+    (word & 0xFFFF) as u16 as i16
+}
+
+fn enc_r(opc: u32, rd: u8, rs1: u8, rs2: u8) -> u32 {
+    (opc << 26) | ((rd as u32) << 21) | ((rs1 as u32) << 16) | ((rs2 as u32) << 11)
+}
+
+fn enc_i(opc: u32, rd: u8, rs1: u8, imm: i16) -> u32 {
+    (opc << 26) | ((rd as u32) << 21) | ((rs1 as u32) << 16) | (imm as u16 as u32)
+}
+
+impl Instr {
+    /// Encodes this instruction to its 32-bit word.
+    pub fn encode(self) -> u32 {
+        use Instr::*;
+        match self {
+            Add { rd, rs1, rs2 } => enc_r(0, rd, rs1, rs2),
+            Sub { rd, rs1, rs2 } => enc_r(1, rd, rs1, rs2),
+            And { rd, rs1, rs2 } => enc_r(2, rd, rs1, rs2),
+            Or { rd, rs1, rs2 } => enc_r(3, rd, rs1, rs2),
+            Xor { rd, rs1, rs2 } => enc_r(4, rd, rs1, rs2),
+            Slt { rd, rs1, rs2 } => enc_r(5, rd, rs1, rs2),
+            Sltu { rd, rs1, rs2 } => enc_r(6, rd, rs1, rs2),
+            Sll { rd, rs1, rs2 } => enc_r(7, rd, rs1, rs2),
+            Srl { rd, rs1, rs2 } => enc_r(8, rd, rs1, rs2),
+            Sra { rd, rs1, rs2 } => enc_r(9, rd, rs1, rs2),
+            Mul { rd, rs1, rs2 } => enc_r(10, rd, rs1, rs2),
+            Addi { rd, rs1, imm } => enc_i(16, rd, rs1, imm),
+            Andi { rd, rs1, imm } => enc_i(17, rd, rs1, imm),
+            Ori { rd, rs1, imm } => enc_i(18, rd, rs1, imm),
+            Xori { rd, rs1, imm } => enc_i(19, rd, rs1, imm),
+            Lui { rd, imm } => enc_i(20, rd, 0, imm),
+            Lw { rd, rs1, imm } => enc_i(24, rd, rs1, imm),
+            Sw { rs2, rs1, imm } => enc_i(25, rs2, rs1, imm),
+            Beq { rs1, rs2, imm } => enc_i(32, rs1, rs2, imm),
+            Bne { rs1, rs2, imm } => enc_i(33, rs1, rs2, imm),
+            Blt { rs1, rs2, imm } => enc_i(34, rs1, rs2, imm),
+            Bge { rs1, rs2, imm } => enc_i(35, rs1, rs2, imm),
+            Jal { rd, imm } => enc_i(40, rd, 0, imm),
+            Jalr { rd, rs1, imm } => enc_i(41, rd, rs1, imm),
+            Csrr { rd, csr } => enc_i(48, rd, 0, csr as i16),
+            Csrw { csr, rs1 } => enc_i(49, 0, rs1, csr as i16),
+            Halt => 63 << 26,
+        }
+    }
+
+    /// Decodes a 32-bit word.
+    ///
+    /// Returns `None` for unknown opcodes.
+    pub fn decode(word: u32) -> Option<Instr> {
+        use Instr::*;
+        Some(match op(word) {
+            0 => Add { rd: a(word), rs1: b_(word), rs2: c_(word) },
+            1 => Sub { rd: a(word), rs1: b_(word), rs2: c_(word) },
+            2 => And { rd: a(word), rs1: b_(word), rs2: c_(word) },
+            3 => Or { rd: a(word), rs1: b_(word), rs2: c_(word) },
+            4 => Xor { rd: a(word), rs1: b_(word), rs2: c_(word) },
+            5 => Slt { rd: a(word), rs1: b_(word), rs2: c_(word) },
+            6 => Sltu { rd: a(word), rs1: b_(word), rs2: c_(word) },
+            7 => Sll { rd: a(word), rs1: b_(word), rs2: c_(word) },
+            8 => Srl { rd: a(word), rs1: b_(word), rs2: c_(word) },
+            9 => Sra { rd: a(word), rs1: b_(word), rs2: c_(word) },
+            10 => Mul { rd: a(word), rs1: b_(word), rs2: c_(word) },
+            16 => Addi { rd: a(word), rs1: b_(word), imm: imm(word) },
+            17 => Andi { rd: a(word), rs1: b_(word), imm: imm(word) },
+            18 => Ori { rd: a(word), rs1: b_(word), imm: imm(word) },
+            19 => Xori { rd: a(word), rs1: b_(word), imm: imm(word) },
+            20 => Lui { rd: a(word), imm: imm(word) },
+            24 => Lw { rd: a(word), rs1: b_(word), imm: imm(word) },
+            25 => Sw { rs2: a(word), rs1: b_(word), imm: imm(word) },
+            32 => Beq { rs1: a(word), rs2: b_(word), imm: imm(word) },
+            33 => Bne { rs1: a(word), rs2: b_(word), imm: imm(word) },
+            34 => Blt { rs1: a(word), rs2: b_(word), imm: imm(word) },
+            35 => Bge { rs1: a(word), rs2: b_(word), imm: imm(word) },
+            40 => Jal { rd: a(word), imm: imm(word) },
+            41 => Jalr { rd: a(word), rs1: b_(word), imm: imm(word) },
+            48 => Csrr { rd: a(word), csr: (word & 0xFFFF) as u16 },
+            49 => Csrw { csr: (word & 0xFFFF) as u16, rs1: b_(word) },
+            63 => Halt,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Instr::*;
+        match self {
+            Add { rd, rs1, rs2 } => write!(f, "add x{rd}, x{rs1}, x{rs2}"),
+            Sub { rd, rs1, rs2 } => write!(f, "sub x{rd}, x{rs1}, x{rs2}"),
+            And { rd, rs1, rs2 } => write!(f, "and x{rd}, x{rs1}, x{rs2}"),
+            Or { rd, rs1, rs2 } => write!(f, "or x{rd}, x{rs1}, x{rs2}"),
+            Xor { rd, rs1, rs2 } => write!(f, "xor x{rd}, x{rs1}, x{rs2}"),
+            Slt { rd, rs1, rs2 } => write!(f, "slt x{rd}, x{rs1}, x{rs2}"),
+            Sltu { rd, rs1, rs2 } => write!(f, "sltu x{rd}, x{rs1}, x{rs2}"),
+            Sll { rd, rs1, rs2 } => write!(f, "sll x{rd}, x{rs1}, x{rs2}"),
+            Srl { rd, rs1, rs2 } => write!(f, "srl x{rd}, x{rs1}, x{rs2}"),
+            Sra { rd, rs1, rs2 } => write!(f, "sra x{rd}, x{rs1}, x{rs2}"),
+            Mul { rd, rs1, rs2 } => write!(f, "mul x{rd}, x{rs1}, x{rs2}"),
+            Addi { rd, rs1, imm } => write!(f, "addi x{rd}, x{rs1}, {imm}"),
+            Andi { rd, rs1, imm } => write!(f, "andi x{rd}, x{rs1}, {imm}"),
+            Ori { rd, rs1, imm } => write!(f, "ori x{rd}, x{rs1}, {imm}"),
+            Xori { rd, rs1, imm } => write!(f, "xori x{rd}, x{rs1}, {imm}"),
+            Lui { rd, imm } => write!(f, "lui x{rd}, {imm}"),
+            Lw { rd, rs1, imm } => write!(f, "lw x{rd}, {imm}(x{rs1})"),
+            Sw { rs2, rs1, imm } => write!(f, "sw x{rs2}, {imm}(x{rs1})"),
+            Beq { rs1, rs2, imm } => write!(f, "beq x{rs1}, x{rs2}, {imm}"),
+            Bne { rs1, rs2, imm } => write!(f, "bne x{rs1}, x{rs2}, {imm}"),
+            Blt { rs1, rs2, imm } => write!(f, "blt x{rs1}, x{rs2}, {imm}"),
+            Bge { rs1, rs2, imm } => write!(f, "bge x{rs1}, x{rs2}, {imm}"),
+            Jal { rd, imm } => write!(f, "jal x{rd}, {imm}"),
+            Jalr { rd, rs1, imm } => write!(f, "jalr x{rd}, x{rs1}, {imm}"),
+            Csrr { rd, csr } => write!(f, "csrr x{rd}, 0x{csr:x}"),
+            Csrw { csr, rs1 } => write!(f, "csrw 0x{csr:x}, x{rs1}"),
+            Halt => write!(f, "halt"),
+        }
+    }
+}
+
+/// Error produced while assembling MtlRisc32 source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "assembly error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Assembles MtlRisc32 text into instruction words.
+///
+/// Syntax: one instruction per line; `label:` definitions; `#` comments;
+/// registers `x0..x31`; immediates decimal or `0x...`; branch/jump targets
+/// are labels. Mnemonics are the lowercase [`Instr`] names plus `nop`
+/// (`addi x0, x0, 0`).
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] (unknown mnemonic, bad operand,
+/// undefined label, out-of-range immediate).
+///
+/// # Examples
+///
+/// ```
+/// use mtl_proc::assemble;
+///
+/// let words = assemble(
+///     "        addi x1, x0, 3
+/// loop:   addi x1, x1, -1
+///         bne  x1, x0, loop
+///         halt",
+/// )
+/// .unwrap();
+/// assert_eq!(words.len(), 4);
+/// ```
+pub fn assemble(src: &str) -> Result<Vec<u32>, AsmError> {
+    // Pass 1: strip comments, collect labels and instruction lines.
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    let mut lines: Vec<(usize, String)> = Vec::new();
+    for (lineno, raw) in src.lines().enumerate() {
+        let lineno = lineno + 1;
+        let mut text = raw;
+        if let Some(idx) = text.find('#') {
+            text = &text[..idx];
+        }
+        let mut text = text.trim();
+        while let Some(colon) = text.find(':') {
+            let label = text[..colon].trim();
+            if label.is_empty() || !label.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                return Err(AsmError { line: lineno, message: format!("bad label `{label}`") });
+            }
+            if labels.insert(label.to_string(), lines.len()).is_some() {
+                return Err(AsmError {
+                    line: lineno,
+                    message: format!("duplicate label `{label}`"),
+                });
+            }
+            text = text[colon + 1..].trim();
+        }
+        if !text.is_empty() {
+            lines.push((lineno, text.to_string()));
+        }
+    }
+
+    // Pass 2: encode.
+    let mut words = Vec::with_capacity(lines.len());
+    for (idx, (lineno, text)) in lines.iter().enumerate() {
+        let instr = parse_line(text, idx, &labels)
+            .map_err(|message| AsmError { line: *lineno, message })?;
+        words.push(instr.encode());
+    }
+    Ok(words)
+}
+
+fn parse_reg(tok: &str) -> Result<u8, String> {
+    let tok = tok.trim();
+    let num = tok
+        .strip_prefix('x')
+        .ok_or_else(|| format!("expected register, got `{tok}`"))?;
+    let r: u8 = num.parse().map_err(|_| format!("bad register `{tok}`"))?;
+    if r >= 32 {
+        return Err(format!("register `{tok}` out of range"));
+    }
+    Ok(r)
+}
+
+fn parse_imm(tok: &str) -> Result<i32, String> {
+    let tok = tok.trim();
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, tok),
+    };
+    let v: i64 = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16).map_err(|_| format!("bad immediate `{tok}`"))?
+    } else {
+        body.parse().map_err(|_| format!("bad immediate `{tok}`"))?
+    };
+    let v = if neg { -v } else { v };
+    if !(-(1 << 16)..(1 << 16)).contains(&v) {
+        return Err(format!("immediate `{tok}` out of range"));
+    }
+    Ok(v as i32)
+}
+
+fn to_i16(v: i32) -> Result<i16, String> {
+    i16::try_from(v).or_else(|_| {
+        // Allow unsigned 16-bit values (e.g. CSR numbers, masks).
+        if (0..=0xFFFF).contains(&v) {
+            Ok(v as u16 as i16)
+        } else {
+            Err(format!("immediate {v} does not fit in 16 bits"))
+        }
+    })
+}
+
+fn branch_target(
+    tok: &str,
+    here: usize,
+    labels: &HashMap<String, usize>,
+) -> Result<i16, String> {
+    let tok = tok.trim();
+    if let Some(&target) = labels.get(tok) {
+        let delta = target as i64 - here as i64;
+        i16::try_from(delta).map_err(|_| format!("branch to `{tok}` out of range"))
+    } else {
+        to_i16(parse_imm(tok)?)
+    }
+}
+
+fn parse_mem_operand(tok: &str) -> Result<(i16, u8), String> {
+    // imm(xN)
+    let tok = tok.trim();
+    let open = tok.find('(').ok_or_else(|| format!("expected imm(reg), got `{tok}`"))?;
+    let close = tok.rfind(')').ok_or_else(|| format!("expected imm(reg), got `{tok}`"))?;
+    let imm = if open == 0 { 0 } else { parse_imm(&tok[..open])? };
+    let reg = parse_reg(&tok[open + 1..close])?;
+    Ok((to_i16(imm)?, reg))
+}
+
+fn parse_line(
+    text: &str,
+    here: usize,
+    labels: &HashMap<String, usize>,
+) -> Result<Instr, String> {
+    let (mnemonic, rest) = match text.split_once(char::is_whitespace) {
+        Some((m, r)) => (m, r),
+        None => (text, ""),
+    };
+    let ops: Vec<&str> = rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+    let want = |n: usize| -> Result<(), String> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(format!("`{mnemonic}` expects {n} operands, got {}", ops.len()))
+        }
+    };
+    use Instr::*;
+    let rrr = |f: fn(u8, u8, u8) -> Instr| -> Result<Instr, String> {
+        want(3)?;
+        Ok(f(parse_reg(ops[0])?, parse_reg(ops[1])?, parse_reg(ops[2])?))
+    };
+    match mnemonic {
+        "add" => rrr(|rd, rs1, rs2| Add { rd, rs1, rs2 }),
+        "sub" => rrr(|rd, rs1, rs2| Sub { rd, rs1, rs2 }),
+        "and" => rrr(|rd, rs1, rs2| And { rd, rs1, rs2 }),
+        "or" => rrr(|rd, rs1, rs2| Or { rd, rs1, rs2 }),
+        "xor" => rrr(|rd, rs1, rs2| Xor { rd, rs1, rs2 }),
+        "slt" => rrr(|rd, rs1, rs2| Slt { rd, rs1, rs2 }),
+        "sltu" => rrr(|rd, rs1, rs2| Sltu { rd, rs1, rs2 }),
+        "sll" => rrr(|rd, rs1, rs2| Sll { rd, rs1, rs2 }),
+        "srl" => rrr(|rd, rs1, rs2| Srl { rd, rs1, rs2 }),
+        "sra" => rrr(|rd, rs1, rs2| Sra { rd, rs1, rs2 }),
+        "mul" => rrr(|rd, rs1, rs2| Mul { rd, rs1, rs2 }),
+        "addi" | "andi" | "ori" | "xori" => {
+            want(3)?;
+            let rd = parse_reg(ops[0])?;
+            let rs1 = parse_reg(ops[1])?;
+            let imm = to_i16(parse_imm(ops[2])?)?;
+            Ok(match mnemonic {
+                "addi" => Addi { rd, rs1, imm },
+                "andi" => Andi { rd, rs1, imm },
+                "ori" => Ori { rd, rs1, imm },
+                _ => Xori { rd, rs1, imm },
+            })
+        }
+        "lui" => {
+            want(2)?;
+            Ok(Lui { rd: parse_reg(ops[0])?, imm: to_i16(parse_imm(ops[1])?)? })
+        }
+        "lw" => {
+            want(2)?;
+            let rd = parse_reg(ops[0])?;
+            let (imm, rs1) = parse_mem_operand(ops[1])?;
+            Ok(Lw { rd, rs1, imm })
+        }
+        "sw" => {
+            want(2)?;
+            let rs2 = parse_reg(ops[0])?;
+            let (imm, rs1) = parse_mem_operand(ops[1])?;
+            Ok(Sw { rs2, rs1, imm })
+        }
+        "beq" | "bne" | "blt" | "bge" => {
+            want(3)?;
+            let rs1 = parse_reg(ops[0])?;
+            let rs2 = parse_reg(ops[1])?;
+            let imm = branch_target(ops[2], here, labels)?;
+            Ok(match mnemonic {
+                "beq" => Beq { rs1, rs2, imm },
+                "bne" => Bne { rs1, rs2, imm },
+                "blt" => Blt { rs1, rs2, imm },
+                _ => Bge { rs1, rs2, imm },
+            })
+        }
+        "jal" => {
+            want(2)?;
+            Ok(Jal { rd: parse_reg(ops[0])?, imm: branch_target(ops[1], here, labels)? })
+        }
+        "jalr" => {
+            want(3)?;
+            Ok(Jalr {
+                rd: parse_reg(ops[0])?,
+                rs1: parse_reg(ops[1])?,
+                imm: to_i16(parse_imm(ops[2])?)?,
+            })
+        }
+        "csrr" => {
+            want(2)?;
+            Ok(Csrr { rd: parse_reg(ops[0])?, csr: parse_imm(ops[1])? as u16 })
+        }
+        "csrw" => {
+            want(2)?;
+            Ok(Csrw { csr: parse_imm(ops[0])? as u16, rs1: parse_reg(ops[1])? })
+        }
+        "nop" => Ok(Addi { rd: 0, rs1: 0, imm: 0 }),
+        "halt" => Ok(Halt),
+        other => Err(format!("unknown mnemonic `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trips_all_forms() {
+        let cases = [
+            Instr::Add { rd: 1, rs1: 2, rs2: 3 },
+            Instr::Mul { rd: 31, rs1: 30, rs2: 29 },
+            Instr::Addi { rd: 5, rs1: 6, imm: -42 },
+            Instr::Lui { rd: 7, imm: 0x7FFF },
+            Instr::Lw { rd: 8, rs1: 9, imm: 256 },
+            Instr::Sw { rs2: 10, rs1: 11, imm: -4 },
+            Instr::Beq { rs1: 1, rs2: 2, imm: -3 },
+            Instr::Jal { rd: 31, imm: 100 },
+            Instr::Jalr { rd: 0, rs1: 1, imm: 0 },
+            Instr::Csrr { rd: 2, csr: CSR_MNGR2PROC },
+            Instr::Csrw { csr: CSR_PROC2MNGR, rs1: 3 },
+            Instr::Halt,
+        ];
+        for i in cases {
+            assert_eq!(Instr::decode(i.encode()), Some(i), "{i}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown_opcode() {
+        assert_eq!(Instr::decode(60 << 26), None);
+    }
+
+    #[test]
+    fn assembler_resolves_labels_backward_and_forward() {
+        let words = assemble(
+            "start: addi x1, x0, 2
+                    beq  x1, x0, done
+                    addi x1, x1, -1
+                    jal  x0, start
+             done:  halt",
+        )
+        .unwrap();
+        assert_eq!(words.len(), 5);
+        assert_eq!(Instr::decode(words[1]), Some(Instr::Beq { rs1: 1, rs2: 0, imm: 3 }));
+        assert_eq!(Instr::decode(words[3]), Some(Instr::Jal { rd: 0, imm: -3 }));
+    }
+
+    #[test]
+    fn assembler_parses_memory_operands_and_csrs() {
+        let words = assemble(
+            "lw x1, 8(x2)
+             sw x3, -4(x4)
+             lw x5, (x6)
+             csrw 0x7C0, x1
+             csrr x2, 0x7C1",
+        )
+        .unwrap();
+        assert_eq!(Instr::decode(words[0]), Some(Instr::Lw { rd: 1, rs1: 2, imm: 8 }));
+        assert_eq!(Instr::decode(words[1]), Some(Instr::Sw { rs2: 3, rs1: 4, imm: -4 }));
+        assert_eq!(Instr::decode(words[2]), Some(Instr::Lw { rd: 5, rs1: 6, imm: 0 }));
+        assert_eq!(Instr::decode(words[3]), Some(Instr::Csrw { csr: 0x7C0, rs1: 1 }));
+        assert_eq!(Instr::decode(words[4]), Some(Instr::Csrr { rd: 2, csr: 0x7C1 }));
+    }
+
+    #[test]
+    fn assembler_reports_errors_with_lines() {
+        let err = assemble("add x1, x2").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = assemble("nop\n bad x1, x2, x3").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("bad"));
+        let err = assemble("beq x1, x2, nowhere").unwrap_err();
+        assert!(err.message.contains("nowhere") || err.message.contains("bad immediate"));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(Instr::Add { rd: 1, rs1: 2, rs2: 3 }.to_string(), "add x1, x2, x3");
+        assert_eq!(Instr::Lw { rd: 1, rs1: 2, imm: 4 }.to_string(), "lw x1, 4(x2)");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let words = assemble("# leading comment\n\n  nop # trailing\n").unwrap();
+        assert_eq!(words.len(), 1);
+    }
+}

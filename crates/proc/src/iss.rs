@@ -1,0 +1,366 @@
+//! The functional-level instruction-set simulator — the golden model for
+//! all processor implementations and the LOD=1 baseline of Figure 13.
+
+use std::collections::VecDeque;
+
+use crate::isa::{
+    Instr, CSR_MNGR2PROC, CSR_PROC2MNGR, CSR_XCEL_GO, CSR_XCEL_SIZE, CSR_XCEL_SRC0,
+    CSR_XCEL_SRC1,
+};
+
+/// The paper's Figure 6 functional dot product (manual implementation),
+/// over word memory with wrapping arithmetic.
+pub fn dot_product(src0: &[u32], src1: &[u32]) -> u32 {
+    src0.iter()
+        .zip(src1)
+        .fold(0u32, |acc, (&x, &y)| acc.wrapping_add(x.wrapping_mul(y)))
+}
+
+#[derive(Debug, Default, Clone)]
+struct XcelState {
+    size: u32,
+    src0: u32,
+    src1: u32,
+    result: u32,
+}
+
+/// A simple object-oriented MtlRisc32 instruction-set simulator.
+///
+/// Word-addressed memory, two manager channels, and a functional
+/// dot-product accelerator behind the CSR interface.
+///
+/// # Examples
+///
+/// ```
+/// use mtl_proc::{assemble, Iss};
+///
+/// let program = assemble(
+///     "addi x1, x0, 6
+///      addi x2, x0, 7
+///      mul  x3, x1, x2
+///      csrw 0x7C0, x3
+///      halt",
+/// )
+/// .unwrap();
+/// let mut iss = Iss::new(1024);
+/// iss.load(0, &program);
+/// iss.run(100);
+/// assert!(iss.halted);
+/// assert_eq!(iss.proc2mngr, vec![42]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Iss {
+    /// The register file (`x0` reads as zero).
+    pub regs: [u32; 32],
+    /// The program counter (byte address).
+    pub pc: u32,
+    /// Word-addressed main memory.
+    pub mem: Vec<u32>,
+    /// Values written to the proc→manager channel.
+    pub proc2mngr: Vec<u32>,
+    /// Values waiting on the manager→proc channel.
+    pub mngr2proc: VecDeque<u32>,
+    /// Whether `halt` has executed.
+    pub halted: bool,
+    /// Retired instruction count.
+    pub instret: u64,
+    xcel: XcelState,
+}
+
+impl Iss {
+    /// Creates a simulator with `mem_words` words of zeroed memory.
+    pub fn new(mem_words: usize) -> Self {
+        Self {
+            regs: [0; 32],
+            pc: 0,
+            mem: vec![0; mem_words],
+            proc2mngr: Vec::new(),
+            mngr2proc: VecDeque::new(),
+            halted: false,
+            instret: 0,
+            xcel: XcelState::default(),
+        }
+    }
+
+    /// Loads words at a byte address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range falls outside memory.
+    pub fn load(&mut self, byte_addr: u32, words: &[u32]) {
+        let base = (byte_addr / 4) as usize;
+        self.mem[base..base + words.len()].copy_from_slice(words);
+    }
+
+    fn reg(&self, r: u8) -> u32 {
+        if r == 0 {
+            0
+        } else {
+            self.regs[r as usize]
+        }
+    }
+
+    fn set_reg(&mut self, r: u8, v: u32) {
+        if r != 0 {
+            self.regs[r as usize] = v;
+        }
+    }
+
+    fn load_word(&self, byte_addr: u32) -> u32 {
+        self.mem[(byte_addr / 4) as usize]
+    }
+
+    fn store_word(&mut self, byte_addr: u32, v: u32) {
+        self.mem[(byte_addr / 4) as usize] = v;
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an undecodable instruction, an out-of-range memory
+    /// access, or a read from an empty manager channel — all program bugs.
+    pub fn step(&mut self) {
+        if self.halted {
+            return;
+        }
+        let word = self.load_word(self.pc);
+        let instr = Instr::decode(word)
+            .unwrap_or_else(|| panic!("undecodable instruction {word:#010x} at pc {:#x}", self.pc));
+        let mut next_pc = self.pc.wrapping_add(4);
+        use Instr::*;
+        match instr {
+            Add { rd, rs1, rs2 } => self.set_reg(rd, self.reg(rs1).wrapping_add(self.reg(rs2))),
+            Sub { rd, rs1, rs2 } => self.set_reg(rd, self.reg(rs1).wrapping_sub(self.reg(rs2))),
+            And { rd, rs1, rs2 } => self.set_reg(rd, self.reg(rs1) & self.reg(rs2)),
+            Or { rd, rs1, rs2 } => self.set_reg(rd, self.reg(rs1) | self.reg(rs2)),
+            Xor { rd, rs1, rs2 } => self.set_reg(rd, self.reg(rs1) ^ self.reg(rs2)),
+            Slt { rd, rs1, rs2 } => {
+                self.set_reg(rd, ((self.reg(rs1) as i32) < (self.reg(rs2) as i32)) as u32)
+            }
+            Sltu { rd, rs1, rs2 } => self.set_reg(rd, (self.reg(rs1) < self.reg(rs2)) as u32),
+            Sll { rd, rs1, rs2 } => self.set_reg(rd, self.reg(rs1) << (self.reg(rs2) & 31)),
+            Srl { rd, rs1, rs2 } => self.set_reg(rd, self.reg(rs1) >> (self.reg(rs2) & 31)),
+            Sra { rd, rs1, rs2 } => {
+                self.set_reg(rd, ((self.reg(rs1) as i32) >> (self.reg(rs2) & 31)) as u32)
+            }
+            Mul { rd, rs1, rs2 } => self.set_reg(rd, self.reg(rs1).wrapping_mul(self.reg(rs2))),
+            Addi { rd, rs1, imm } => {
+                self.set_reg(rd, self.reg(rs1).wrapping_add(imm as i32 as u32))
+            }
+            Andi { rd, rs1, imm } => self.set_reg(rd, self.reg(rs1) & (imm as u16 as u32)),
+            Ori { rd, rs1, imm } => self.set_reg(rd, self.reg(rs1) | (imm as u16 as u32)),
+            Xori { rd, rs1, imm } => self.set_reg(rd, self.reg(rs1) ^ (imm as u16 as u32)),
+            Lui { rd, imm } => self.set_reg(rd, (imm as u16 as u32) << 16),
+            Lw { rd, rs1, imm } => {
+                let addr = self.reg(rs1).wrapping_add(imm as i32 as u32);
+                self.set_reg(rd, self.load_word(addr));
+            }
+            Sw { rs2, rs1, imm } => {
+                let addr = self.reg(rs1).wrapping_add(imm as i32 as u32);
+                self.store_word(addr, self.reg(rs2));
+            }
+            Beq { rs1, rs2, imm } => {
+                if self.reg(rs1) == self.reg(rs2) {
+                    next_pc = self.branch_target(imm);
+                }
+            }
+            Bne { rs1, rs2, imm } => {
+                if self.reg(rs1) != self.reg(rs2) {
+                    next_pc = self.branch_target(imm);
+                }
+            }
+            Blt { rs1, rs2, imm } => {
+                if (self.reg(rs1) as i32) < (self.reg(rs2) as i32) {
+                    next_pc = self.branch_target(imm);
+                }
+            }
+            Bge { rs1, rs2, imm } => {
+                if (self.reg(rs1) as i32) >= (self.reg(rs2) as i32) {
+                    next_pc = self.branch_target(imm);
+                }
+            }
+            Jal { rd, imm } => {
+                self.set_reg(rd, self.pc.wrapping_add(4));
+                next_pc = self.branch_target(imm);
+            }
+            Jalr { rd, rs1, imm } => {
+                let target = self.reg(rs1).wrapping_add(imm as i32 as u32);
+                self.set_reg(rd, self.pc.wrapping_add(4));
+                next_pc = target;
+            }
+            Csrr { rd, csr } => {
+                let v = match csr {
+                    CSR_MNGR2PROC => self
+                        .mngr2proc
+                        .pop_front()
+                        .expect("csrr from empty mngr2proc channel"),
+                    CSR_XCEL_GO => self.xcel.result,
+                    other => panic!("csrr from unknown csr {other:#x}"),
+                };
+                self.set_reg(rd, v);
+            }
+            Csrw { csr, rs1 } => {
+                let v = self.reg(rs1);
+                match csr {
+                    CSR_PROC2MNGR => self.proc2mngr.push(v),
+                    CSR_XCEL_SIZE => self.xcel.size = v,
+                    CSR_XCEL_SRC0 => self.xcel.src0 = v,
+                    CSR_XCEL_SRC1 => self.xcel.src1 = v,
+                    CSR_XCEL_GO => {
+                        // Functional accelerator: compute immediately.
+                        let s0 = (self.xcel.src0 / 4) as usize;
+                        let s1 = (self.xcel.src1 / 4) as usize;
+                        let n = self.xcel.size as usize;
+                        self.xcel.result =
+                            dot_product(&self.mem[s0..s0 + n], &self.mem[s1..s1 + n]);
+                    }
+                    other => panic!("csrw to unknown csr {other:#x}"),
+                }
+            }
+            Halt => {
+                self.halted = true;
+                next_pc = self.pc;
+            }
+        }
+        self.pc = next_pc;
+        self.instret += 1;
+    }
+
+    fn branch_target(&self, imm: i16) -> u32 {
+        self.pc.wrapping_add((imm as i32 as u32).wrapping_mul(4))
+    }
+
+    /// Runs up to `max_steps` instructions or until `halt`.
+    ///
+    /// Returns the number of instructions retired in this call.
+    pub fn run(&mut self, max_steps: u64) -> u64 {
+        let start = self.instret;
+        for _ in 0..max_steps {
+            if self.halted {
+                break;
+            }
+            self.step();
+        }
+        self.instret - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::assemble;
+
+    fn run_program(src: &str, inputs: &[u32]) -> Iss {
+        let program = assemble(src).unwrap();
+        let mut iss = Iss::new(4096);
+        iss.load(0, &program);
+        iss.mngr2proc.extend(inputs);
+        iss.run(100_000);
+        assert!(iss.halted, "program did not halt");
+        iss
+    }
+
+    #[test]
+    fn arithmetic_and_branches() {
+        // Sum 1..=10.
+        let iss = run_program(
+            "        addi x1, x0, 10
+                     addi x2, x0, 0
+            loop:    add  x2, x2, x1
+                     addi x1, x1, -1
+                     bne  x1, x0, loop
+                     csrw 0x7C0, x2
+                     halt",
+            &[],
+        );
+        assert_eq!(iss.proc2mngr, vec![55]);
+    }
+
+    #[test]
+    fn loads_and_stores() {
+        let iss = run_program(
+            "addi x1, x0, 0x100
+             addi x2, x0, 77
+             sw   x2, 0(x1)
+             lw   x3, 0(x1)
+             csrw 0x7C0, x3
+             halt",
+            &[],
+        );
+        assert_eq!(iss.proc2mngr, vec![77]);
+    }
+
+    #[test]
+    fn jal_and_jalr_link() {
+        let iss = run_program(
+            "        jal  x1, func
+                     csrw 0x7C0, x2
+                     halt
+            func:    addi x2, x0, 5
+                     jalr x0, x1, 0",
+            &[],
+        );
+        assert_eq!(iss.proc2mngr, vec![5]);
+    }
+
+    #[test]
+    fn manager_channels_round_trip() {
+        let iss = run_program(
+            "csrr x1, 0x7C1
+             csrr x2, 0x7C1
+             add  x3, x1, x2
+             csrw 0x7C0, x3
+             halt",
+            &[30, 12],
+        );
+        assert_eq!(iss.proc2mngr, vec![42]);
+    }
+
+    #[test]
+    fn accelerator_csr_interface_computes_dot_product() {
+        let mut iss = Iss::new(4096);
+        let program = assemble(
+            "addi x1, x0, 4
+             csrw 0x7E1, x1      # size
+             addi x2, x0, 0x400
+             csrw 0x7E2, x2      # src0
+             addi x3, x0, 0x500
+             csrw 0x7E3, x3      # src1
+             csrw 0x7E0, x0      # go
+             csrr x4, 0x7E0      # result
+             csrw 0x7C0, x4
+             halt",
+        )
+        .unwrap();
+        iss.load(0, &program);
+        iss.load(0x400, &[1, 2, 3, 4]);
+        iss.load(0x500, &[5, 6, 7, 8]);
+        iss.run(1000);
+        assert_eq!(iss.proc2mngr, vec![5 + 12 + 21 + 32]);
+    }
+
+    #[test]
+    fn signed_ops_behave() {
+        let iss = run_program(
+            "addi x1, x0, -5
+             addi x2, x0, 3
+             slt  x3, x1, x2     # 1: -5 < 3 signed
+             sltu x4, x1, x2     # 0: huge unsigned
+             sra  x5, x1, x2     # -1: sign fill
+             csrw 0x7C0, x3
+             csrw 0x7C0, x4
+             csrw 0x7C0, x5
+             halt",
+            &[],
+        );
+        assert_eq!(iss.proc2mngr, vec![1, 0, 0xFFFF_FFFF]);
+    }
+
+    #[test]
+    fn dot_product_helper_wraps() {
+        assert_eq!(dot_product(&[2, 3], &[4, 5]), 23);
+        assert_eq!(dot_product(&[u32::MAX], &[2]), u32::MAX.wrapping_mul(2));
+        assert_eq!(dot_product(&[], &[]), 0);
+    }
+}

@@ -1,0 +1,63 @@
+//! MtlRisc32 processor models for RustMTL — the processor/cache half of
+//! the paper's tile case study (§III-C).
+//!
+//! Provides the ISA and [`assemble`]r, the golden FL instruction-set
+//! simulator ([`Iss`]), three port-compatible processor implementations
+//! ([`ProcFL`], [`ProcCL`], [`ProcRTL`]), three cache implementations
+//! ([`CacheFL`], [`CacheCL`], [`CacheRTL`]), a multi-port [`TestMemory`],
+//! and a reusable processor test harness.
+//!
+//! # Examples
+//!
+//! Running the same program on every processor level:
+//!
+//! ```
+//! use mtl_proc::{assemble, run_proc_program, ProcLevel};
+//! use mtl_sim::Engine;
+//!
+//! let program = assemble("addi x1, x0, 41\n addi x1, x1, 1\n csrw 0x7C0, x1\n halt").unwrap();
+//! for level in [ProcLevel::Fl, ProcLevel::Cl, ProcLevel::Rtl] {
+//!     let r = run_proc_program(level, &program, vec![], 10_000, Engine::SpecializedOpt);
+//!     assert_eq!(r.outputs, vec![42]);
+//! }
+//! ```
+
+mod cache_cl;
+mod cache_fl;
+mod cache_rtl;
+mod harness;
+mod isa;
+mod iss;
+mod mem_msg;
+mod mem_proxy;
+mod proc_cl;
+mod proc_fl;
+mod proc_pipe;
+mod proc_rtl;
+mod test_memory;
+mod xcel_msg;
+
+pub use cache_cl::{CacheCL, WORDS_PER_LINE};
+pub use cache_fl::CacheFL;
+pub use cache_rtl::CacheRTL;
+pub use harness::{
+    cache_component, proc_component, run_proc_program, CacheLevel, MngrAdapter, ProcLevel,
+    ProcMemHarness, ProcRunResult, ALL_PROC_IMPLS, CACHE_LEVELS, PROC_LEVELS,
+};
+pub use isa::{
+    assemble, AsmError, Instr, CSR_MNGR2PROC, CSR_PROC2MNGR, CSR_XCEL_GO, CSR_XCEL_SIZE,
+    CSR_XCEL_SRC0, CSR_XCEL_SRC1,
+};
+pub use iss::{dot_product, Iss};
+pub use mem_proxy::MemPortProxy;
+pub use mem_msg::{
+    mem_read_req, mem_req_layout, mem_resp, mem_resp_layout, mem_write_req, MEM_READ, MEM_WRITE,
+};
+pub use proc_cl::ProcCL;
+pub use proc_fl::ProcFL;
+pub use proc_pipe::ProcPipeRTL;
+pub use proc_rtl::ProcRTL;
+pub use test_memory::{MemHandle, TestMemory};
+pub use xcel_msg::{
+    xcel_req, xcel_req_layout, xcel_resp_layout, XCEL_GO, XCEL_SIZE, XCEL_SRC0, XCEL_SRC1,
+};

@@ -1,0 +1,82 @@
+//! Memory request/response message formats shared by processors, caches,
+//! accelerators, and the test memory.
+
+use mtl_bits::Bits;
+use mtl_core::MsgLayout;
+
+/// Memory request type field value: read a word.
+pub const MEM_READ: u64 = 0;
+/// Memory request type field value: write a word.
+pub const MEM_WRITE: u64 = 1;
+
+/// The memory request layout: `type(2) opaque(2) addr(32) data(32)`.
+///
+/// `opaque` is returned untouched in the response; arbiters use it to
+/// route responses back to the requester.
+pub fn mem_req_layout() -> MsgLayout {
+    MsgLayout::new("MemReqMsg")
+        .field("type", 2)
+        .field("opaque", 2)
+        .field("addr", 32)
+        .field("data", 32)
+}
+
+/// The memory response layout: `type(2) opaque(2) data(32)`.
+pub fn mem_resp_layout() -> MsgLayout {
+    MsgLayout::new("MemRespMsg")
+        .field("type", 2)
+        .field("opaque", 2)
+        .field("data", 32)
+}
+
+/// Packs a read request.
+pub fn mem_read_req(layout: &MsgLayout, opaque: u64, addr: u32) -> Bits {
+    layout.pack(&[
+        ("type", Bits::new(2, MEM_READ as u128)),
+        ("opaque", Bits::new(2, opaque as u128)),
+        ("addr", Bits::new(32, addr as u128)),
+    ])
+}
+
+/// Packs a write request.
+pub fn mem_write_req(layout: &MsgLayout, opaque: u64, addr: u32, data: u32) -> Bits {
+    layout.pack(&[
+        ("type", Bits::new(2, MEM_WRITE as u128)),
+        ("opaque", Bits::new(2, opaque as u128)),
+        ("addr", Bits::new(32, addr as u128)),
+        ("data", Bits::new(32, data as u128)),
+    ])
+}
+
+/// Packs a response.
+pub fn mem_resp(layout: &MsgLayout, ty: u64, opaque: u64, data: u32) -> Bits {
+    layout.pack(&[
+        ("type", Bits::new(2, ty as u128)),
+        ("opaque", Bits::new(2, opaque as u128)),
+        ("data", Bits::new(32, data as u128)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_fields_round_trip() {
+        let l = mem_req_layout();
+        let r = mem_write_req(&l, 2, 0x1234_5678, 0xDEAD_BEEF);
+        assert_eq!(l.unpack(r, "type").as_u64(), MEM_WRITE);
+        assert_eq!(l.unpack(r, "opaque").as_u64(), 2);
+        assert_eq!(l.unpack(r, "addr").as_u64(), 0x1234_5678);
+        assert_eq!(l.unpack(r, "data").as_u64(), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn response_fields_round_trip() {
+        let l = mem_resp_layout();
+        let r = mem_resp(&l, MEM_READ, 3, 42);
+        assert_eq!(l.unpack(r, "type").as_u64(), MEM_READ);
+        assert_eq!(l.unpack(r, "opaque").as_u64(), 3);
+        assert_eq!(l.unpack(r, "data").as_u64(), 42);
+    }
+}

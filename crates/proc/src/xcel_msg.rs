@@ -1,0 +1,46 @@
+//! Accelerator request/response message formats (the coprocessor CSR
+//! protocol from the paper's §III-C).
+
+use mtl_bits::Bits;
+use mtl_core::MsgLayout;
+
+/// Control message value: start the computation (response carries the
+/// result).
+pub const XCEL_GO: u64 = 0;
+/// Control message value: set the vector size.
+pub const XCEL_SIZE: u64 = 1;
+/// Control message value: set source 0 base address.
+pub const XCEL_SRC0: u64 = 2;
+/// Control message value: set source 1 base address.
+pub const XCEL_SRC1: u64 = 3;
+
+/// The accelerator request layout: `ctrl(2) data(32)`.
+pub fn xcel_req_layout() -> MsgLayout {
+    MsgLayout::new("XcelReqMsg").field("ctrl", 2).field("data", 32)
+}
+
+/// The accelerator response layout: `data(32)`.
+pub fn xcel_resp_layout() -> MsgLayout {
+    MsgLayout::new("XcelRespMsg").field("data", 32)
+}
+
+/// Packs an accelerator request.
+pub fn xcel_req(layout: &MsgLayout, ctrl: u64, data: u32) -> Bits {
+    layout.pack(&[
+        ("ctrl", Bits::new(2, ctrl as u128)),
+        ("data", Bits::new(32, data as u128)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let l = xcel_req_layout();
+        let r = xcel_req(&l, XCEL_SRC1, 0x1000);
+        assert_eq!(l.unpack(r, "ctrl").as_u64(), XCEL_SRC1);
+        assert_eq!(l.unpack(r, "data").as_u64(), 0x1000);
+    }
+}

@@ -1,0 +1,260 @@
+//! Cross-level processor verification: every processor level must match
+//! the golden ISS on directed and randomized programs, on multiple
+//! engines.
+
+use mtl_proc::{assemble, run_proc_program, Instr, Iss, ProcLevel, PROC_LEVELS};
+use mtl_sim::Engine;
+
+fn iss_outputs(program: &[u32], inputs: &[u32]) -> Vec<u32> {
+    let mut iss = Iss::new(1 << 16);
+    iss.load(0, program);
+    iss.mngr2proc.extend(inputs);
+    iss.run(1_000_000);
+    assert!(iss.halted, "ISS did not halt");
+    iss.proc2mngr.clone()
+}
+
+fn check_all_levels(src: &str, inputs: &[u32]) {
+    let program = assemble(src).unwrap();
+    let expected = iss_outputs(&program, inputs);
+    for level in PROC_LEVELS {
+        let r = run_proc_program(level, &program, inputs.to_vec(), 400_000, Engine::SpecializedOpt);
+        assert_eq!(r.outputs, expected, "{level} diverged from ISS");
+    }
+}
+
+#[test]
+fn fibonacci_loop() {
+    check_all_levels(
+        "        addi x1, x0, 0      # fib(0)
+                 addi x2, x0, 1      # fib(1)
+                 addi x3, x0, 15     # count
+        loop:    add  x4, x1, x2
+                 add  x1, x0, x2
+                 add  x2, x0, x4
+                 addi x3, x3, -1
+                 bne  x3, x0, loop
+                 csrw 0x7C0, x2
+                 halt",
+        &[],
+    );
+}
+
+#[test]
+fn memory_sum_loop() {
+    // Store 1..=20 to memory, then sum it back.
+    check_all_levels(
+        "        addi x1, x0, 0x1000  # base
+                 addi x2, x0, 20      # n
+                 add  x3, x0, x1
+                 add  x4, x0, x2
+        store:   sw   x4, 0(x3)
+                 addi x3, x3, 4
+                 addi x4, x4, -1
+                 bne  x4, x0, store
+                 addi x3, x0, 0
+                 add  x5, x0, x1
+                 add  x6, x0, x2
+        load:    lw   x7, 0(x5)
+                 add  x3, x3, x7
+                 addi x5, x5, 4
+                 addi x6, x6, -1
+                 bne  x6, x0, load
+                 csrw 0x7C0, x3
+                 halt",
+        &[],
+    );
+}
+
+#[test]
+fn manager_io_echo() {
+    check_all_levels(
+        "        csrr x1, 0x7C1
+                 csrr x2, 0x7C1
+                 mul  x3, x1, x2
+                 csrw 0x7C0, x3
+                 csrw 0x7C0, x1
+                 halt",
+        &[7, 6],
+    );
+}
+
+#[test]
+fn function_call_and_return() {
+    check_all_levels(
+        "        addi x10, x0, 5
+                 jal  x1, square
+                 csrw 0x7C0, x10
+                 halt
+        square:  mul  x10, x10, x10
+                 jalr x0, x1, 0",
+        &[],
+    );
+}
+
+#[test]
+fn shift_and_compare_coverage() {
+    check_all_levels(
+        "        addi x1, x0, -8
+                 addi x2, x0, 2
+                 sra  x3, x1, x2
+                 srl  x4, x1, x2
+                 sll  x5, x1, x2
+                 slt  x6, x1, x2
+                 sltu x7, x1, x2
+                 csrw 0x7C0, x3
+                 csrw 0x7C0, x4
+                 csrw 0x7C0, x5
+                 csrw 0x7C0, x6
+                 csrw 0x7C0, x7
+                 halt",
+        &[],
+    );
+}
+
+#[test]
+fn lui_and_logical_immediates() {
+    check_all_levels(
+        "        lui  x1, 0xDEAD
+                 ori  x1, x1, 0x7EEF
+                 andi x2, x1, 0xFF
+                 xori x3, x2, 0x55
+                 csrw 0x7C0, x1
+                 csrw 0x7C0, x2
+                 csrw 0x7C0, x3
+                 halt",
+        &[],
+    );
+}
+
+#[test]
+fn all_engines_agree_per_level() {
+    let program = assemble(
+        "        addi x1, x0, 10
+                 addi x2, x0, 0
+        loop:    add  x2, x2, x1
+                 addi x1, x1, -1
+                 bne  x1, x0, loop
+                 csrw 0x7C0, x2
+                 halt",
+    )
+    .unwrap();
+    for level in PROC_LEVELS {
+        let mut results = Vec::new();
+        for engine in Engine::ALL {
+            let r = run_proc_program(level, &program, vec![], 100_000, engine);
+            results.push((r.outputs.clone(), r.cycles));
+        }
+        assert!(
+            results.windows(2).all(|w| w[0] == w[1]),
+            "{level}: engines disagree: {results:?}"
+        );
+    }
+}
+
+#[test]
+fn levels_have_distinct_but_ordered_timing() {
+    // More detailed models should generally be slower in target cycles
+    // than the pipelined CL model; FL (one instruction per round trip)
+    // and RTL (multicycle) both retire fewer instructions per cycle.
+    let program = assemble(
+        "        addi x1, x0, 100
+        loop:    addi x1, x1, -1
+                 bne  x1, x0, loop
+                 csrw 0x7C0, x1
+                 halt",
+    )
+    .unwrap();
+    let cl = run_proc_program(ProcLevel::Cl, &program, vec![], 100_000, Engine::SpecializedOpt);
+    let fl = run_proc_program(ProcLevel::Fl, &program, vec![], 100_000, Engine::SpecializedOpt);
+    let rtl = run_proc_program(ProcLevel::Rtl, &program, vec![], 100_000, Engine::SpecializedOpt);
+    assert_eq!(cl.instret, fl.instret);
+    assert_eq!(cl.instret, rtl.instret);
+    assert!(cl.cycles < fl.cycles, "CL {} vs FL {}", cl.cycles, fl.cycles);
+    assert!(cl.cycles < rtl.cycles, "CL {} vs RTL {}", cl.cycles, rtl.cycles);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized lockstep testing
+// ---------------------------------------------------------------------------
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Generates a random but guaranteed-terminating program: straight-line
+/// arithmetic over x1..x7 with loads/stores to a scratch region, then
+/// dumps all live registers.
+fn random_program(seed: u64, len: usize) -> Vec<u32> {
+    let mut rng = Rng(seed.max(1));
+    let mut instrs: Vec<Instr> = Vec::new();
+    // Seed registers with immediates.
+    for r in 1..8u8 {
+        instrs.push(Instr::Addi { rd: r, rs1: 0, imm: (rng.next() & 0x7FFF) as i16 });
+    }
+    // Scratch base in x8.
+    instrs.push(Instr::Lui { rd: 8, imm: 0x1 }); // 0x10000
+    for _ in 0..len {
+        let rd = 1 + rng.below(7) as u8;
+        let rs1 = 1 + rng.below(8) as u8;
+        let rs2 = 1 + rng.below(8) as u8;
+        let pick = rng.below(16);
+        let instr = match pick {
+            0 => Instr::Add { rd, rs1, rs2 },
+            1 => Instr::Sub { rd, rs1, rs2 },
+            2 => Instr::And { rd, rs1, rs2 },
+            3 => Instr::Or { rd, rs1, rs2 },
+            4 => Instr::Xor { rd, rs1, rs2 },
+            5 => Instr::Slt { rd, rs1, rs2 },
+            6 => Instr::Sltu { rd, rs1, rs2 },
+            7 => Instr::Sll { rd, rs1, rs2 },
+            8 => Instr::Srl { rd, rs1, rs2 },
+            9 => Instr::Sra { rd, rs1, rs2 },
+            10 => Instr::Mul { rd, rs1, rs2 },
+            11 => Instr::Addi { rd, rs1, imm: (rng.next() as i16) >> 4 },
+            12 => Instr::Xori { rd, rs1, imm: (rng.next() & 0xFFF) as i16 },
+            13 => {
+                // Aligned store into the scratch region.
+                let off = (rng.below(16) * 4) as i16;
+                Instr::Sw { rs2: rd, rs1: 8, imm: off }
+            }
+            14 => {
+                let off = (rng.below(16) * 4) as i16;
+                Instr::Lw { rd, rs1: 8, imm: off }
+            }
+            _ => Instr::Mul { rd, rs1, rs2 },
+        };
+        instrs.push(instr);
+    }
+    for r in 1..8u8 {
+        instrs.push(Instr::Csrw { csr: 0x7C0, rs1: r });
+    }
+    instrs.push(Instr::Halt);
+    instrs.into_iter().map(Instr::encode).collect()
+}
+
+#[test]
+fn random_programs_lockstep_with_iss() {
+    for seed in 1..=8u64 {
+        let program = random_program(seed, 60);
+        let expected = iss_outputs(&program, &[]);
+        for level in PROC_LEVELS {
+            let r =
+                run_proc_program(level, &program, vec![], 400_000, Engine::SpecializedOpt);
+            assert_eq!(r.outputs, expected, "{level} diverged from ISS on seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! The interpreted (event-driven, tree-walking) simulation backends.
+//!
+//! Two storage/sensitivity strategies mirror the paper's two interpreter
+//! regimes (see `DESIGN.md`):
+//!
+//! * [`HashStore`] + [`HashSens`] — values live in hash maps and
+//!   sensitivity lookups hash on every event, modeling CPython's
+//!   dict-based attribute access.
+//! * [`DenseStore`] + [`DenseSens`] — pre-resolved dense slot arrays,
+//!   modeling PyPy's JIT-optimized access while keeping the same
+//!   event-driven tree-walking architecture.
+
+use std::collections::HashMap;
+
+use mtl_bits::Bits;
+use mtl_core::ir::{Expr, Stmt};
+use mtl_core::Design;
+
+/// Value storage for the interpreted backends.
+pub(crate) trait Store {
+    fn init(design: &Design) -> Self;
+    fn get(&self, slot: u32) -> Bits;
+    /// Sets a current value; returns whether it changed.
+    fn set(&mut self, slot: u32, v: Bits) -> bool;
+    fn get_next(&self, slot: u32) -> Bits;
+    fn set_next(&mut self, slot: u32, v: Bits);
+    /// Commits a register slot; returns whether the current value changed.
+    fn commit(&mut self, slot: u32) -> bool;
+}
+
+/// String-keyed storage (the CPython analog).
+///
+/// Every access resolves the signal's hierarchical *name* through a hash
+/// map, exactly as CPython resolves `s.out.value` through attribute
+/// dictionaries, and values are stored boxed. A slot-to-name table
+/// preserves the `Store` interface.
+pub(crate) struct HashStore {
+    names: Vec<String>,
+    cur: HashMap<String, Box<Bits>>,
+    next: HashMap<String, Box<Bits>>,
+}
+
+impl Store for HashStore {
+    fn init(design: &Design) -> Self {
+        let mut names = Vec::with_capacity(design.nets().len());
+        let mut cur = HashMap::new();
+        let mut next = HashMap::new();
+        for net in design.nets() {
+            let name = design.signal_path(net.signals[0]);
+            cur.insert(name.clone(), Box::new(Bits::zero(net.width)));
+            next.insert(name.clone(), Box::new(Bits::zero(net.width)));
+            names.push(name);
+        }
+        Self { names, cur, next }
+    }
+
+    fn get(&self, slot: u32) -> Bits {
+        *self.cur[&self.names[slot as usize]]
+    }
+
+    fn set(&mut self, slot: u32, v: Bits) -> bool {
+        let e = self.cur.get_mut(&self.names[slot as usize]).expect("unknown signal");
+        let changed = **e != v;
+        **e = v;
+        changed
+    }
+
+    fn get_next(&self, slot: u32) -> Bits {
+        *self.next[&self.names[slot as usize]]
+    }
+
+    fn set_next(&mut self, slot: u32, v: Bits) {
+        self.next.insert(self.names[slot as usize].clone(), Box::new(v));
+    }
+
+    fn commit(&mut self, slot: u32) -> bool {
+        let v = self.get_next(slot);
+        self.set(slot, v)
+    }
+}
+
+/// Dense vector storage (the PyPy analog).
+pub(crate) struct DenseStore {
+    cur: Vec<Bits>,
+    next: Vec<Bits>,
+}
+
+impl Store for DenseStore {
+    fn init(design: &Design) -> Self {
+        let zeros: Vec<Bits> = design.nets().iter().map(|n| Bits::zero(n.width)).collect();
+        Self { cur: zeros.clone(), next: zeros }
+    }
+
+    fn get(&self, slot: u32) -> Bits {
+        self.cur[slot as usize]
+    }
+
+    fn set(&mut self, slot: u32, v: Bits) -> bool {
+        let e = &mut self.cur[slot as usize];
+        let changed = *e != v;
+        *e = v;
+        changed
+    }
+
+    fn get_next(&self, slot: u32) -> Bits {
+        self.next[slot as usize]
+    }
+
+    fn set_next(&mut self, slot: u32, v: Bits) {
+        self.next[slot as usize] = v;
+    }
+
+    fn commit(&mut self, slot: u32) -> bool {
+        let v = self.next[slot as usize];
+        self.set(slot, v)
+    }
+}
+
+/// Sensitivity map: net slot → combinational blocks to wake.
+pub(crate) trait SensMap {
+    fn new(nets: usize) -> Self;
+    fn insert(&mut self, slot: u32, block: u32);
+    fn get(&self, slot: u32) -> &[u32];
+}
+
+/// Hash-map sensitivity (CPython analog).
+pub(crate) struct HashSens(HashMap<u32, Vec<u32>>);
+
+impl SensMap for HashSens {
+    fn new(_nets: usize) -> Self {
+        Self(HashMap::new())
+    }
+
+    fn insert(&mut self, slot: u32, block: u32) {
+        self.0.entry(slot).or_default().push(block);
+    }
+
+    fn get(&self, slot: u32) -> &[u32] {
+        self.0.get(&slot).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// Dense sensitivity arrays (PyPy analog).
+pub(crate) struct DenseSens(Vec<Vec<u32>>);
+
+impl SensMap for DenseSens {
+    fn new(nets: usize) -> Self {
+        Self(vec![Vec::new(); nets])
+    }
+
+    fn insert(&mut self, slot: u32, block: u32) {
+        self.0[slot as usize].push(block);
+    }
+
+    fn get(&self, slot: u32) -> &[u32] {
+        &self.0[slot as usize]
+    }
+}
+
+/// Tree-walk evaluates an expression against a store (reads current
+/// values).
+pub(crate) fn eval_expr<S: Store>(
+    e: &Expr,
+    design: &Design,
+    store: &S,
+    mems: &[Vec<Bits>],
+    boxed: bool,
+) -> Bits {
+    if boxed {
+        return *eval_expr_boxed(e, design, store, mems);
+    }
+    e.eval(
+        &mut |sig| store.get(design.net_of(sig).index() as u32),
+        &mut |mem, addr| {
+            let words = design.mem(mem).words;
+            mems[mem.index()][(addr % words) as usize]
+        },
+    )
+}
+
+/// Boxed tree-walk evaluation: every intermediate result is a fresh heap
+/// allocation, mirroring CPython's object-per-value execution model (a
+/// tracing JIT like PyPy eliminates exactly this, which is what
+/// [`DenseStore`]'s unboxed path models). This is the honest cost
+/// structure behind the paper's CPython baseline.
+fn eval_expr_boxed<S: Store>(
+    e: &Expr,
+    design: &Design,
+    store: &S,
+    mems: &[Vec<Bits>],
+) -> Box<Bits> {
+    use mtl_core::ir::{BinOp, UnaryOp};
+    match e {
+        Expr::Read(sig) => Box::new(store.get(design.net_of(*sig).index() as u32)),
+        Expr::Const(c) => Box::new(*c),
+        Expr::Slice { expr, lo, hi } => {
+            let v = eval_expr_boxed(expr, design, store, mems);
+            Box::new(v.slice(*lo, *hi))
+        }
+        Expr::Concat(parts) => {
+            let mut it = parts.iter();
+            let mut acc = eval_expr_boxed(it.next().expect("concat"), design, store, mems);
+            for p in it {
+                let rhs = eval_expr_boxed(p, design, store, mems);
+                acc = Box::new(acc.concat(*rhs));
+            }
+            acc
+        }
+        Expr::Unary(op, a) => {
+            let v = eval_expr_boxed(a, design, store, mems);
+            Box::new(match op {
+                UnaryOp::Not => !*v,
+                UnaryOp::Neg => -*v,
+                UnaryOp::ReduceAnd => Bits::from_bool(v.reduce_and()),
+                UnaryOp::ReduceOr => Bits::from_bool(v.reduce_or()),
+                UnaryOp::ReduceXor => Bits::from_bool(v.reduce_xor()),
+            })
+        }
+        Expr::Binary(op, a, b) => {
+            let x = eval_expr_boxed(a, design, store, mems);
+            let y = eval_expr_boxed(b, design, store, mems);
+            let amt = |v: &Bits| v.as_u128().min(u32::MAX as u128) as u32;
+            Box::new(match op {
+                BinOp::Add => *x + *y,
+                BinOp::Sub => *x - *y,
+                BinOp::Mul => *x * *y,
+                BinOp::And => *x & *y,
+                BinOp::Or => *x | *y,
+                BinOp::Xor => *x ^ *y,
+                BinOp::Shl => *x << amt(&y),
+                BinOp::Shr => *x >> amt(&y),
+                BinOp::Sra => x.shr_signed(amt(&y)),
+                BinOp::Eq => Bits::from_bool(*x == *y),
+                BinOp::Ne => Bits::from_bool(*x != *y),
+                BinOp::Lt => Bits::from_bool(*x < *y),
+                BinOp::Ge => Bits::from_bool(*x >= *y),
+                BinOp::LtS => Bits::from_bool(x.lt_signed(*y)),
+                BinOp::GeS => Bits::from_bool(x.ge_signed(*y)),
+            })
+        }
+        Expr::Mux { cond, then_, else_ } => {
+            let c = eval_expr_boxed(cond, design, store, mems);
+            if c.reduce_or() {
+                eval_expr_boxed(then_, design, store, mems)
+            } else {
+                eval_expr_boxed(else_, design, store, mems)
+            }
+        }
+        Expr::Select { sel, options } => {
+            let s = eval_expr_boxed(sel, design, store, mems);
+            let idx = (s.as_u128() as usize).min(options.len() - 1);
+            eval_expr_boxed(&options[idx], design, store, mems)
+        }
+        Expr::Zext(a, w) => {
+            let v = eval_expr_boxed(a, design, store, mems);
+            Box::new(v.zext(*w))
+        }
+        Expr::Sext(a, w) => {
+            let v = eval_expr_boxed(a, design, store, mems);
+            Box::new(v.sext(*w))
+        }
+        Expr::Trunc(a, w) => {
+            let v = eval_expr_boxed(a, design, store, mems);
+            Box::new(v.trunc(*w))
+        }
+        Expr::MemRead { mem, addr } => {
+            let a = eval_expr_boxed(addr, design, store, mems);
+            let words = design.mem(*mem).words;
+            Box::new(mems[mem.index()][(a.as_u64() % words) as usize])
+        }
+    }
+}
+
+/// Tree-walk executes a statement list.
+///
+/// Combinational blocks (`seq == false`) write current values, collecting
+/// changed slots into `changed`; sequential blocks write shadow next values
+/// and append memory writes to `pending`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn exec_stmts<S: Store>(
+    stmts: &[Stmt],
+    design: &Design,
+    store: &mut S,
+    mems: &[Vec<Bits>],
+    pending: &mut Vec<(u32, u64, Bits)>,
+    changed: &mut Vec<u32>,
+    seq: bool,
+    boxed: bool,
+) {
+    for s in stmts {
+        match s {
+            Stmt::Assign(lv, e) => {
+                let v = eval_expr(e, design, store, mems, boxed);
+                let slot = design.net_of(lv.signal).index() as u32;
+                let full_width = design.signal(lv.signal).width;
+                let full = lv.lo == 0 && lv.hi == full_width;
+                if seq {
+                    let nv = if full {
+                        v
+                    } else {
+                        store.get_next(slot).with_slice(lv.lo, lv.hi, v)
+                    };
+                    store.set_next(slot, nv);
+                } else {
+                    let nv = if full { v } else { store.get(slot).with_slice(lv.lo, lv.hi, v) };
+                    if store.set(slot, nv) {
+                        changed.push(slot);
+                    }
+                }
+            }
+            Stmt::If { cond, then_, else_ } => {
+                if eval_expr(cond, design, store, mems, boxed).reduce_or() {
+                    exec_stmts(then_, design, store, mems, pending, changed, seq, boxed);
+                } else {
+                    exec_stmts(else_, design, store, mems, pending, changed, seq, boxed);
+                }
+            }
+            Stmt::Switch { subject, arms, default } => {
+                let v = eval_expr(subject, design, store, mems, boxed);
+                let mut matched = false;
+                for (k, body) in arms {
+                    if *k == v {
+                        exec_stmts(body, design, store, mems, pending, changed, seq, boxed);
+                        matched = true;
+                        break;
+                    }
+                }
+                if !matched {
+                    exec_stmts(default, design, store, mems, pending, changed, seq, boxed);
+                }
+            }
+            Stmt::MemWrite { mem, addr, data } => {
+                let a = eval_expr(addr, design, store, mems, boxed).as_u64();
+                let d = eval_expr(data, design, store, mems, boxed);
+                let words = design.mem(*mem).words;
+                pending.push((mem.index() as u32, a % words, d));
+            }
+        }
+    }
+}

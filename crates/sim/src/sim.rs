@@ -1,0 +1,1091 @@
+//! The [`Sim`] simulation tool and its four engines.
+
+use std::collections::VecDeque;
+use std::rc::Rc;
+use std::time::Instant;
+
+use mtl_bits::Bits;
+use mtl_core::{
+    BlockBody, BlockKind, Component, Design, ElabError, MemId, NativeFn, SignalId, SignalKind,
+    SignalView,
+};
+
+use crate::interp::{exec_stmts, DenseSens, DenseStore, HashSens, HashStore, SensMap, Store};
+use crate::overheads::Overheads;
+use crate::tape::{compile_block, exec_tape, fold_stmts, fuse, validate, Tape};
+
+/// Simulation engine selection; see `DESIGN.md` for the mapping onto the
+/// paper's CPython / PyPy / SimJIT / SimJIT+PyPy regimes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// Event-driven tree-walking simulator with hash-map value storage and
+    /// hash-map sensitivity lookup (the CPython analog).
+    Interpreted,
+    /// Same event-driven tree-walking architecture with dense pre-resolved
+    /// storage and sensitivity (the PyPy analog).
+    InterpretedOpt,
+    /// IR blocks compiled to linear tapes over packed `u128` slots, still
+    /// dispatched through the event queue (the SimJIT analog).
+    Specialized,
+    /// Tapes plus a fully static levelized schedule — no event queue at all
+    /// (the SimJIT+PyPy analog).
+    SpecializedOpt,
+}
+
+impl Engine {
+    /// All engines, in increasing order of specialization.
+    pub const ALL: [Engine; 4] = [
+        Engine::Interpreted,
+        Engine::InterpretedOpt,
+        Engine::Specialized,
+        Engine::SpecializedOpt,
+    ];
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Engine::Interpreted => "interpreted",
+            Engine::InterpretedOpt => "interpreted-opt",
+            Engine::Specialized => "specialized",
+            Engine::SpecializedOpt => "specialized-opt",
+        };
+        write!(f, "{s}")
+    }
+}
+
+trait EngineImpl {
+    fn poke(&mut self, slot: u32, v: Bits);
+    fn peek(&self, slot: u32) -> Bits;
+    fn eval(&mut self);
+    fn cycle(&mut self);
+    fn cycles(&self) -> u64;
+    fn peek_mem(&self, mem: usize, addr: u64) -> Bits;
+    fn poke_mem(&mut self, mem: usize, addr: u64, v: Bits);
+    fn set_activity(&mut self, on: bool);
+    fn activity(&self) -> &[u64];
+}
+
+/// A constructed simulator for an elaborated design.
+///
+/// `Sim` is the analog of PyMTL's `SimulationTool`: it consumes a
+/// [`Design`] and provides `poke`/`peek`/`cycle` test-bench operations. The
+/// engine choice trades construction overhead for simulation speed; all
+/// engines produce identical cycle-by-cycle behavior (a property the test
+/// suite checks on random designs).
+///
+/// # Examples
+///
+/// ```
+/// use mtl_core::{elaborate, Component, Ctx};
+/// use mtl_sim::{Engine, Sim};
+/// use mtl_bits::b;
+///
+/// struct Register { nbits: u32 }
+/// impl Component for Register {
+///     fn name(&self) -> String { format!("Register_{}", self.nbits) }
+///     fn build(&self, c: &mut Ctx) {
+///         let in_ = c.in_port("in_", self.nbits);
+///         let out = c.out_port("out", self.nbits);
+///         c.seq("seq_logic", |b| b.assign(out, in_));
+///     }
+/// }
+///
+/// let mut sim = Sim::build(&Register { nbits: 8 }, Engine::SpecializedOpt).unwrap();
+/// sim.poke_port("in_", b(8, 42));
+/// sim.cycle();
+/// assert_eq!(sim.peek_port("out"), b(8, 42));
+/// ```
+pub struct Sim {
+    design: Rc<Design>,
+    engine: Engine,
+    overheads: Overheads,
+    backend: Box<dyn EngineImpl>,
+}
+
+impl Sim {
+    /// Elaborates a component and constructs a simulator, recording the
+    /// elaboration time in [`Sim::overheads`].
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`ElabError`] from elaboration.
+    pub fn build(top: &dyn Component, engine: Engine) -> Result<Sim, ElabError> {
+        let t0 = Instant::now();
+        let design = mtl_core::elaborate(top)?;
+        let elab = t0.elapsed();
+        let mut sim = Sim::new(design, engine);
+        sim.overheads.elab = elab;
+        Ok(sim)
+    }
+
+    /// Constructs a simulator from an already-elaborated design.
+    ///
+    /// Construction phases (code generation, optimization, wrapper tables,
+    /// schedule creation) are timed into [`Sim::overheads`].
+    pub fn new(mut design: Design, engine: Engine) -> Sim {
+        // Take ownership of native closures so the Design can be shared.
+        let natives: Vec<Option<NativeFn>> = design
+            .blocks_mut()
+            .iter_mut()
+            .map(|b| match &mut b.body {
+                BlockBody::Native(_, f) => Some(std::mem::replace(f, Box::new(|_| {}))),
+                BlockBody::Ir(_) => None,
+            })
+            .collect();
+        let design = Rc::new(design);
+        let mut overheads = Overheads::default();
+        let backend: Box<dyn EngineImpl> = match engine {
+            Engine::Interpreted => Box::new(InterpEngine::<HashStore, HashSens>::new(
+                design.clone(),
+                natives,
+                true,
+                &mut overheads,
+            )),
+            Engine::InterpretedOpt => Box::new(InterpEngine::<DenseStore, DenseSens>::new(
+                design.clone(),
+                natives,
+                false,
+                &mut overheads,
+            )),
+            Engine::Specialized => {
+                Box::new(TapeEngine::new(design.clone(), natives, true, &mut overheads))
+            }
+            Engine::SpecializedOpt => {
+                Box::new(TapeEngine::new(design.clone(), natives, false, &mut overheads))
+            }
+        };
+        Sim { design, engine, overheads, backend }
+    }
+
+    /// The engine this simulator runs on.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// The elaborated design being simulated.
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// Per-phase construction overheads (the paper's Fig. 16 columns).
+    pub fn overheads(&self) -> &Overheads {
+        &self.overheads
+    }
+
+    /// Mutable access to the overhead record, so callers can add externally
+    /// measured phases (e.g. the `veri` translate-round-trip time).
+    pub fn overheads_mut(&mut self) -> &mut Overheads {
+        &mut self.overheads
+    }
+
+    /// Drives a top-level input port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sig` is not an input port of the top-level module.
+    pub fn poke(&mut self, sig: SignalId, v: Bits) {
+        let info = self.design.signal(sig);
+        assert!(
+            info.kind == SignalKind::InPort && info.module == self.design.top(),
+            "poke target `{}` is not a top-level input port",
+            self.design.signal_path(sig)
+        );
+        assert_eq!(info.width, v.width(), "poke width mismatch on `{}`", info.name);
+        self.backend.poke(self.design.net_of(sig).index() as u32, v);
+    }
+
+    /// Reads the current value of any signal.
+    pub fn peek(&self, sig: SignalId) -> Bits {
+        self.backend.peek(self.design.net_of(sig).index() as u32)
+    }
+
+    /// Drives a top-level input port by name.
+    pub fn poke_port(&mut self, name: &str, v: Bits) {
+        let sig = self.design.top_port(name);
+        self.poke(sig, v);
+    }
+
+    /// Reads a top-level port by name.
+    pub fn peek_port(&self, name: &str) -> Bits {
+        self.peek(self.design.top_port(name))
+    }
+
+    /// Propagates combinational logic to a fixed point without advancing
+    /// the clock.
+    pub fn eval(&mut self) {
+        self.backend.eval();
+    }
+
+    /// Advances one clock cycle: settle combinational logic, run sequential
+    /// blocks, commit register and memory state, and re-settle.
+    pub fn cycle(&mut self) {
+        self.backend.cycle();
+    }
+
+    /// Advances `n` clock cycles.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.backend.cycle();
+        }
+    }
+
+    /// Asserts reset for two cycles, then deasserts it.
+    pub fn reset(&mut self) {
+        let reset = self.design.reset();
+        let slot = self.design.net_of(reset).index() as u32;
+        self.backend.poke(slot, Bits::from_bool(true));
+        self.backend.cycle();
+        self.backend.cycle();
+        self.backend.poke(slot, Bits::from_bool(false));
+    }
+
+    /// The number of clock edges simulated so far.
+    pub fn cycle_count(&self) -> u64 {
+        self.backend.cycles()
+    }
+
+    /// Reads a word from a design memory (test backdoor).
+    pub fn peek_mem(&self, mem: MemId, addr: u64) -> Bits {
+        self.backend.peek_mem(mem.index(), addr % self.design.mem(mem).words)
+    }
+
+    /// Writes a word to a design memory (test backdoor, e.g. program
+    /// loading).
+    pub fn poke_mem(&mut self, mem: MemId, addr: u64, v: Bits) {
+        let info = self.design.mem(mem);
+        assert_eq!(info.width, v.width(), "poke_mem width mismatch on `{}`", info.name);
+        self.backend.poke_mem(mem.index(), addr % info.words, v);
+    }
+
+    /// Enables per-net activity (register bit-toggle) counting.
+    ///
+    /// Counting adds a small per-cycle cost, so it is off by default;
+    /// enable it before the measurement window, then read
+    /// [`Sim::net_activity`].
+    pub fn enable_activity(&mut self) {
+        self.backend.set_activity(true);
+    }
+
+    /// Per-net bit-toggle counts accumulated since
+    /// [`enable_activity`](Sim::enable_activity), indexed by
+    /// [`NetId::index`](mtl_core::NetId::index). Only register nets
+    /// toggle (combinational nets follow them).
+    pub fn net_activity(&self) -> &[u64] {
+        self.backend.activity()
+    }
+
+    /// Toggle count of the net a signal belongs to.
+    pub fn activity_of(&self, sig: SignalId) -> u64 {
+        let a = self.backend.activity();
+        a.get(self.design.net_of(sig).index()).copied().unwrap_or(0)
+    }
+
+    /// Produces a one-line textual trace of the given signals — the
+    /// analog of PyMTL's line tracing, handy for pipeline debugging.
+    ///
+    /// Each entry is rendered as `name=hexvalue`; collect one line per
+    /// cycle for a scrolling pipeline diagram.
+    ///
+    /// # Examples
+    ///
+    /// ```no_run
+    /// # use mtl_sim::Sim;
+    /// # fn demo(mut sim: Sim) {
+    /// let pc = sim.design().top_port("instret");
+    /// for _ in 0..10 {
+    ///     sim.cycle();
+    ///     println!("{}", sim.line_trace(&[("instret", pc)]));
+    /// }
+    /// # }
+    /// ```
+    pub fn line_trace(&self, signals: &[(&str, SignalId)]) -> String {
+        let mut parts = Vec::with_capacity(signals.len() + 1);
+        parts.push(format!("cyc {:>6}:", self.cycle_count()));
+        for (name, sig) in signals {
+            parts.push(format!("{name}={:x}", self.peek(*sig)));
+        }
+        parts.join(" ")
+    }
+
+    /// Finds a signal by hierarchical path suffix (e.g. `proc.pc`),
+    /// for observing internal state in tests and line traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no signal path ends with `suffix`.
+    pub fn find_signal(&self, suffix: &str) -> SignalId {
+        (0..self.design.signals().len())
+            .map(SignalId::from_index)
+            .find(|&s| self.design.signal_path(s).ends_with(suffix))
+            .unwrap_or_else(|| panic!("no signal path ending in `{suffix}`"))
+    }
+
+    /// Finds a memory by leaf name anywhere in the design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no memory has that name.
+    pub fn find_mem(&self, name: &str) -> MemId {
+        for (i, m) in self.design.mems().iter().enumerate() {
+            if m.name == name {
+                return MemId::from_index(i);
+            }
+        }
+        panic!("no memory named `{name}` in design");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Interpreted (event-driven tree-walking) backend
+// ---------------------------------------------------------------------------
+
+struct InterpEngine<S: Store, M: SensMap> {
+    design: Rc<Design>,
+    store: S,
+    sens: M,
+    mem_sens: Vec<Vec<u32>>,
+    mems: Vec<Vec<Bits>>,
+    pending: Vec<(u32, u64, Bits)>,
+    natives: Vec<Option<NativeFn>>,
+    queue: VecDeque<u32>,
+    in_queue: Vec<bool>,
+    reg_slots: Vec<u32>,
+    seq_blocks: Vec<u32>,
+    changed: Vec<u32>,
+    cycles: u64,
+    /// Allocate boxed intermediates during evaluation (CPython analog).
+    boxed: bool,
+    track_activity: bool,
+    activity: Vec<u64>,
+}
+
+struct StoreView<'a, S: Store> {
+    design: &'a Design,
+    store: &'a mut S,
+    changed: &'a mut Vec<u32>,
+    cycles: u64,
+}
+
+impl<S: Store> SignalView for StoreView<'_, S> {
+    fn read(&self, sig: SignalId) -> Bits {
+        self.store.get(self.design.net_of(sig).index() as u32)
+    }
+
+    fn write(&mut self, sig: SignalId, value: Bits) {
+        let slot = self.design.net_of(sig).index() as u32;
+        debug_assert_eq!(self.design.signal(sig).width, value.width());
+        if self.store.set(slot, value) {
+            self.changed.push(slot);
+        }
+    }
+
+    fn write_next(&mut self, sig: SignalId, value: Bits) {
+        let slot = self.design.net_of(sig).index() as u32;
+        debug_assert_eq!(self.design.signal(sig).width, value.width());
+        self.store.set_next(slot, value);
+    }
+
+    fn cycle(&self) -> u64 {
+        self.cycles
+    }
+}
+
+impl<S: Store, M: SensMap> InterpEngine<S, M> {
+    fn new(
+        design: Rc<Design>,
+        natives: Vec<Option<NativeFn>>,
+        boxed: bool,
+        o: &mut Overheads,
+    ) -> Self {
+        let t0 = Instant::now();
+        let store = S::init(&design);
+        let mut sens = M::new(design.nets().len());
+        let mut mem_sens = vec![Vec::new(); design.mems().len()];
+        let mut seq_blocks = Vec::new();
+        let mut queue = VecDeque::new();
+        let mut in_queue = vec![false; design.blocks().len()];
+        for (i, b) in design.blocks().iter().enumerate() {
+            match b.kind {
+                BlockKind::Comb => {
+                    // Nets the block itself writes are excluded from its
+                    // sensitivity list: statement order inside the block
+                    // resolves those reads, exactly as in the static
+                    // schedule, so all engines agree.
+                    let own: Vec<u32> =
+                        b.writes.iter().map(|&w| design.net_of(w).index() as u32).collect();
+                    let mut seen = Vec::new();
+                    for &r in &b.reads {
+                        let slot = design.net_of(r).index() as u32;
+                        if !seen.contains(&slot) && !own.contains(&slot) {
+                            seen.push(slot);
+                            sens.insert(slot, i as u32);
+                        }
+                    }
+                    for &m in &b.mem_reads {
+                        mem_sens[m.index()].push(i as u32);
+                    }
+                    queue.push_back(i as u32);
+                    in_queue[i] = true;
+                }
+                BlockKind::Seq => seq_blocks.push(i as u32),
+            }
+        }
+        let reg_slots: Vec<u32> = design
+            .nets()
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.is_register)
+            .map(|(i, _)| i as u32)
+            .collect();
+        let mems = design
+            .mems()
+            .iter()
+            .map(|m| vec![Bits::zero(m.width); m.words as usize])
+            .collect();
+        o.simc += t0.elapsed();
+        Self {
+            design,
+            store,
+            sens,
+            mem_sens,
+            mems,
+            pending: Vec::new(),
+            natives,
+            queue,
+            in_queue,
+            reg_slots,
+            seq_blocks,
+            changed: Vec::new(),
+            cycles: 0,
+            boxed,
+            track_activity: false,
+            activity: Vec::new(),
+        }
+    }
+
+    fn run_block(&mut self, b: u32) {
+        let design = self.design.clone();
+        let info = &design.blocks()[b as usize];
+        let seq = info.kind == BlockKind::Seq;
+        self.changed.clear();
+        match &info.body {
+            BlockBody::Ir(stmts) => exec_stmts(
+                stmts,
+                &design,
+                &mut self.store,
+                &self.mems,
+                &mut self.pending,
+                &mut self.changed,
+                seq,
+                self.boxed,
+            ),
+            BlockBody::Native(..) => {
+                let mut f = self.natives[b as usize].take().expect("native fn in use");
+                {
+                    let mut view = StoreView {
+                        design: &design,
+                        store: &mut self.store,
+                        changed: &mut self.changed,
+                        cycles: self.cycles,
+                    };
+                    f(&mut view);
+                }
+                self.natives[b as usize] = Some(f);
+            }
+        }
+        let changed = std::mem::take(&mut self.changed);
+        for &slot in &changed {
+            self.wake_readers(slot);
+        }
+        self.changed = changed;
+    }
+
+    fn wake_readers(&mut self, slot: u32) {
+        // The clone of the small reader list models the event objects an
+        // interpreted simulator allocates; it is also what the borrow
+        // checker requires here.
+        let readers: Vec<u32> = self.sens.get(slot).to_vec();
+        for rb in readers {
+            self.enqueue(rb);
+        }
+    }
+
+    fn enqueue(&mut self, b: u32) {
+        if !self.in_queue[b as usize] {
+            self.in_queue[b as usize] = true;
+            self.queue.push_back(b);
+        }
+    }
+
+    fn propagate(&mut self) {
+        while let Some(b) = self.queue.pop_front() {
+            self.in_queue[b as usize] = false;
+            self.run_block(b);
+        }
+    }
+}
+
+impl<S: Store, M: SensMap> EngineImpl for InterpEngine<S, M> {
+    fn poke(&mut self, slot: u32, v: Bits) {
+        if self.store.set(slot, v) {
+            self.store.set_next(slot, v);
+            self.wake_readers(slot);
+        }
+    }
+
+    fn peek(&self, slot: u32) -> Bits {
+        self.store.get(slot)
+    }
+
+    fn eval(&mut self) {
+        self.propagate();
+    }
+
+    fn cycle(&mut self) {
+        self.propagate();
+        let seq = self.seq_blocks.clone();
+        for b in seq {
+            self.run_block(b);
+        }
+        // Commit registers.
+        let regs = std::mem::take(&mut self.reg_slots);
+        for &slot in &regs {
+            if self.track_activity {
+                let delta = (self.store.get(slot).as_u128()
+                    ^ self.store.get_next(slot).as_u128())
+                .count_ones() as u64;
+                self.activity[slot as usize] += delta;
+            }
+            if self.store.commit(slot) {
+                self.wake_readers(slot);
+            }
+        }
+        self.reg_slots = regs;
+        // Commit memories.
+        if !self.pending.is_empty() {
+            let pending = std::mem::take(&mut self.pending);
+            let mut touched: Vec<u32> = Vec::new();
+            for (mem, addr, v) in pending {
+                self.mems[mem as usize][addr as usize] = v;
+                if !touched.contains(&mem) {
+                    touched.push(mem);
+                }
+            }
+            for m in touched {
+                let readers = self.mem_sens[m as usize].clone();
+                for rb in readers {
+                    self.enqueue(rb);
+                }
+            }
+        }
+        self.propagate();
+        self.cycles += 1;
+    }
+
+    fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    fn peek_mem(&self, mem: usize, addr: u64) -> Bits {
+        self.mems[mem][addr as usize]
+    }
+
+    fn poke_mem(&mut self, mem: usize, addr: u64, v: Bits) {
+        self.mems[mem][addr as usize] = v;
+        let readers = self.mem_sens[mem].clone();
+        for rb in readers {
+            self.enqueue(rb);
+        }
+    }
+
+    fn set_activity(&mut self, on: bool) {
+        self.track_activity = on;
+        if on && self.activity.is_empty() {
+            self.activity = vec![0; self.design.nets().len()];
+        }
+    }
+
+    fn activity(&self) -> &[u64] {
+        &self.activity
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Specialized (tape VM) backend
+// ---------------------------------------------------------------------------
+
+/// One step of a fused static schedule: either a fused run of tape
+/// blocks or a native block call.
+enum Chunk {
+    Fused(Tape),
+    Native(u32),
+}
+
+struct TapeEngine {
+    design: Rc<Design>,
+    cur: Vec<u128>,
+    next: Vec<u128>,
+    widths: Vec<u32>,
+    mems: Vec<Vec<u128>>,
+    mem_widths: Vec<u32>,
+    pending: Vec<(u32, u64, u128)>,
+    tapes: Vec<Tape>,
+    natives: Vec<Option<NativeFn>>,
+    seq_order: Vec<u32>,
+    /// Fused static schedules (opt mode only).
+    comb_plan: Vec<Chunk>,
+    seq_plan: Vec<Chunk>,
+    reg_slots: Vec<u32>,
+    regs: Vec<u128>,
+    event_mode: bool,
+    sens: Vec<Vec<u32>>,
+    mem_sens: Vec<Vec<u32>>,
+    queue: VecDeque<u32>,
+    in_queue: Vec<bool>,
+    changed: Vec<u32>,
+    cycles: u64,
+    dirty: bool,
+    track_activity: bool,
+    activity: Vec<u64>,
+}
+
+struct PackedView<'a> {
+    design: &'a Design,
+    cur: &'a mut [u128],
+    next: &'a mut [u128],
+    widths: &'a [u32],
+    changed: &'a mut Vec<u32>,
+    cycles: u64,
+}
+
+fn mask_of(width: u32) -> u128 {
+    if width >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << width) - 1
+    }
+}
+
+impl SignalView for PackedView<'_> {
+    fn read(&self, sig: SignalId) -> Bits {
+        let slot = self.design.net_of(sig).index();
+        Bits::new(self.widths[slot], self.cur[slot])
+    }
+
+    fn write(&mut self, sig: SignalId, value: Bits) {
+        let slot = self.design.net_of(sig).index();
+        debug_assert_eq!(self.widths[slot], value.width());
+        let v = value.as_u128();
+        if self.cur[slot] != v {
+            self.cur[slot] = v;
+            self.changed.push(slot as u32);
+        }
+    }
+
+    fn write_next(&mut self, sig: SignalId, value: Bits) {
+        let slot = self.design.net_of(sig).index();
+        debug_assert_eq!(self.widths[slot], value.width());
+        self.next[slot] = value.as_u128();
+    }
+
+    fn cycle(&self) -> u64 {
+        self.cycles
+    }
+}
+
+impl TapeEngine {
+    fn new(
+        design: Rc<Design>,
+        natives: Vec<Option<NativeFn>>,
+        event_mode: bool,
+        o: &mut Overheads,
+    ) -> Self {
+        // Phase: comp (IR optimization — constant folding).
+        let t0 = Instant::now();
+        let folded: Vec<Option<Vec<mtl_core::Stmt>>> = design
+            .blocks()
+            .iter()
+            .map(|b| match &b.body {
+                BlockBody::Ir(stmts) => Some(fold_stmts(stmts)),
+                _ => None,
+            })
+            .collect();
+        o.comp += t0.elapsed();
+
+        // Phase: cgen (tape code generation).
+        let t0 = Instant::now();
+        let tapes: Vec<Tape> = design
+            .blocks()
+            .iter()
+            .zip(&folded)
+            .map(|(b, f)| match f {
+                Some(stmts) => compile_block(&design, stmts, b.kind),
+                None => Tape::default(),
+            })
+            .collect();
+        let max_regs = tapes.iter().map(|t| t.nregs as usize).max().unwrap_or(0);
+        // Range-check every tape once so the executor's unchecked
+        // accesses are sound.
+        for t in &tapes {
+            validate(t, design.nets().len(), design.mems().len());
+        }
+        o.cgen += t0.elapsed();
+
+        // Phase: wrap (packed state + width tables for native wrappers).
+        let t0 = Instant::now();
+        let widths: Vec<u32> = design.nets().iter().map(|n| n.width).collect();
+        let cur = vec![0u128; widths.len()];
+        let next = vec![0u128; widths.len()];
+        let mems: Vec<Vec<u128>> =
+            design.mems().iter().map(|m| vec![0u128; m.words as usize]).collect();
+        let mem_widths: Vec<u32> = design.mems().iter().map(|m| m.width).collect();
+        o.wrap += t0.elapsed();
+
+        // Phase: simc (schedule + event structures).
+        let t0 = Instant::now();
+        let comb_order: Vec<u32> = design
+            .comb_schedule()
+            .expect("design validated at elaboration")
+            .iter()
+            .map(|b| b.index() as u32)
+            .collect();
+        let seq_order: Vec<u32> = design.seq_blocks().iter().map(|b| b.index() as u32).collect();
+        let reg_slots: Vec<u32> = design
+            .nets()
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.is_register)
+            .map(|(i, _)| i as u32)
+            .collect();
+        let mut sens = vec![Vec::new(); widths.len()];
+        let mut mem_sens = vec![Vec::new(); design.mems().len()];
+        let mut queue = VecDeque::new();
+        let mut in_queue = vec![false; design.blocks().len()];
+        for &b in &comb_order {
+            let info = &design.blocks()[b as usize];
+            let own: Vec<u32> =
+                info.writes.iter().map(|&w| design.net_of(w).index() as u32).collect();
+            let mut seen = Vec::new();
+            for &r in &info.reads {
+                let slot = design.net_of(r).index() as u32;
+                if !seen.contains(&slot) && !own.contains(&slot) {
+                    seen.push(slot);
+                    sens[slot as usize].push(b);
+                }
+            }
+            for &m in &info.mem_reads {
+                mem_sens[m.index()].push(b);
+            }
+            queue.push_back(b);
+            in_queue[b as usize] = true;
+        }
+        // Fuse consecutive tape blocks into mega-tapes for the fully
+        // static schedule (cgen-adjacent work, charged to simc since it
+        // is schedule construction).
+        let build_plan = |order: &[u32]| -> Vec<Chunk> {
+            let mut plan = Vec::new();
+            let mut run: Vec<&Tape> = Vec::new();
+            for &b in order {
+                if matches!(design.blocks()[b as usize].body, BlockBody::Ir(_)) {
+                    run.push(&tapes[b as usize]);
+                } else {
+                    if !run.is_empty() {
+                        plan.push(Chunk::Fused(fuse(&run)));
+                        run.clear();
+                    }
+                    plan.push(Chunk::Native(b));
+                }
+            }
+            if !run.is_empty() {
+                plan.push(Chunk::Fused(fuse(&run)));
+            }
+            plan
+        };
+        let (comb_plan, seq_plan) = if event_mode {
+            (Vec::new(), Vec::new())
+        } else {
+            let plans = (build_plan(&comb_order), build_plan(&seq_order));
+            for chunk in plans.0.iter().chain(&plans.1) {
+                if let Chunk::Fused(t) = chunk {
+                    validate(t, widths.len(), mems.len());
+                }
+            }
+            plans
+        };
+        let max_regs = max_regs.max(
+            comb_plan
+                .iter()
+                .chain(&seq_plan)
+                .map(|c| match c {
+                    Chunk::Fused(t) => t.nregs as usize,
+                    Chunk::Native(_) => 0,
+                })
+                .max()
+                .unwrap_or(0),
+        );
+        o.simc += t0.elapsed();
+
+        Self {
+            design,
+            cur,
+            next,
+            widths,
+            mems,
+            mem_widths,
+            pending: Vec::new(),
+            tapes,
+            natives,
+            seq_order,
+            comb_plan,
+            seq_plan,
+            reg_slots,
+            regs: vec![0u128; max_regs],
+            event_mode,
+            sens,
+            mem_sens,
+            queue,
+            in_queue,
+            changed: Vec::new(),
+            cycles: 0,
+            dirty: true,
+            track_activity: false,
+            activity: Vec::new(),
+        }
+    }
+
+    fn run_block<const TRACK: bool>(&mut self, b: u32) {
+        let design = self.design.clone();
+        match &design.blocks()[b as usize].body {
+            BlockBody::Ir(_) => {
+                exec_tape::<TRACK>(
+                    &self.tapes[b as usize],
+                    &mut self.regs,
+                    &mut self.cur,
+                    &mut self.next,
+                    &mut self.mems,
+                    &mut self.pending,
+                    &mut self.changed,
+                );
+            }
+            BlockBody::Native(..) => {
+                let mut f = self.natives[b as usize].take().expect("native fn in use");
+                {
+                    let mut view = PackedView {
+                        design: &design,
+                        cur: &mut self.cur,
+                        next: &mut self.next,
+                        widths: &self.widths,
+                        changed: &mut self.changed,
+                        cycles: self.cycles,
+                    };
+                    f(&mut view);
+                }
+                self.natives[b as usize] = Some(f);
+                if !TRACK {
+                    self.changed.clear();
+                }
+            }
+        }
+        if TRACK {
+            let changed = std::mem::take(&mut self.changed);
+            for &slot in &changed {
+                self.wake_readers(slot);
+            }
+            let mut changed = changed;
+            changed.clear();
+            self.changed = changed;
+        }
+    }
+
+    fn wake_readers(&mut self, slot: u32) {
+        for i in 0..self.sens[slot as usize].len() {
+            let rb = self.sens[slot as usize][i];
+            if !self.in_queue[rb as usize] {
+                self.in_queue[rb as usize] = true;
+                self.queue.push_back(rb);
+            }
+        }
+    }
+
+    fn propagate_event(&mut self) {
+        while let Some(b) = self.queue.pop_front() {
+            self.in_queue[b as usize] = false;
+            self.run_block::<true>(b);
+        }
+    }
+
+    fn full_comb_pass(&mut self) {
+        let plan = std::mem::take(&mut self.comb_plan);
+        self.run_plan(&plan);
+        self.comb_plan = plan;
+        self.dirty = false;
+    }
+
+    fn run_plan(&mut self, plan: &[Chunk]) {
+        for chunk in plan {
+            match chunk {
+                Chunk::Fused(tape) => exec_tape::<false>(
+                    tape,
+                    &mut self.regs,
+                    &mut self.cur,
+                    &mut self.next,
+                    &mut self.mems,
+                    &mut self.pending,
+                    &mut self.changed,
+                ),
+                Chunk::Native(b) => self.run_native(*b),
+            }
+        }
+    }
+
+    fn run_native(&mut self, b: u32) {
+        let design = self.design.clone();
+        let mut f = self.natives[b as usize].take().expect("native fn in use");
+        {
+            let mut view = PackedView {
+                design: &design,
+                cur: &mut self.cur,
+                next: &mut self.next,
+                widths: &self.widths,
+                changed: &mut self.changed,
+                cycles: self.cycles,
+            };
+            f(&mut view);
+        }
+        self.natives[b as usize] = Some(f);
+        self.changed.clear();
+    }
+
+    fn run_seq_blocks(&mut self) {
+        if self.event_mode {
+            let order = std::mem::take(&mut self.seq_order);
+            for &b in &order {
+                // Track combinational-style writes from native sequential
+                // blocks so misuse behaves identically across engines.
+                self.run_block::<true>(b);
+            }
+            self.seq_order = order;
+        } else {
+            let plan = std::mem::take(&mut self.seq_plan);
+            self.run_plan(&plan);
+            self.seq_plan = plan;
+        }
+    }
+}
+
+impl EngineImpl for TapeEngine {
+    fn poke(&mut self, slot: u32, v: Bits) {
+        let val = v.as_u128();
+        if self.cur[slot as usize] != val {
+            self.cur[slot as usize] = val;
+            self.next[slot as usize] = val;
+            if self.event_mode {
+                self.wake_readers(slot);
+            } else {
+                self.dirty = true;
+            }
+        }
+    }
+
+    fn peek(&self, slot: u32) -> Bits {
+        Bits::new(self.widths[slot as usize], self.cur[slot as usize])
+    }
+
+    fn eval(&mut self) {
+        if self.event_mode {
+            self.propagate_event();
+        } else if self.dirty {
+            self.full_comb_pass();
+        }
+    }
+
+    fn cycle(&mut self) {
+        self.eval();
+        self.run_seq_blocks();
+        if self.event_mode {
+            let regs = std::mem::take(&mut self.reg_slots);
+            for &slot in &regs {
+                let s = slot as usize;
+                if self.cur[s] != self.next[s] {
+                    if self.track_activity {
+                        self.activity[s] +=
+                            (self.cur[s] ^ self.next[s]).count_ones() as u64;
+                    }
+                    self.cur[s] = self.next[s];
+                    self.wake_readers(slot);
+                }
+            }
+            self.reg_slots = regs;
+        } else if self.track_activity {
+            for &slot in &self.reg_slots {
+                let s = slot as usize;
+                self.activity[s] += (self.cur[s] ^ self.next[s]).count_ones() as u64;
+                self.cur[s] = self.next[s];
+            }
+        } else {
+            for &slot in &self.reg_slots {
+                self.cur[slot as usize] = self.next[slot as usize];
+            }
+        }
+        if !self.pending.is_empty() {
+            let pending = std::mem::take(&mut self.pending);
+            let mut touched: Vec<u32> = Vec::new();
+            for (mem, addr, v) in pending {
+                self.mems[mem as usize][addr as usize] = v;
+                if self.event_mode && !touched.contains(&mem) {
+                    touched.push(mem);
+                }
+            }
+            for m in touched {
+                for i in 0..self.mem_sens[m as usize].len() {
+                    let rb = self.mem_sens[m as usize][i];
+                    if !self.in_queue[rb as usize] {
+                        self.in_queue[rb as usize] = true;
+                        self.queue.push_back(rb);
+                    }
+                }
+            }
+        }
+        if self.event_mode {
+            self.propagate_event();
+        } else {
+            self.full_comb_pass();
+        }
+        self.cycles += 1;
+    }
+
+    fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    fn peek_mem(&self, mem: usize, addr: u64) -> Bits {
+        Bits::new(self.mem_widths[mem], self.mems[mem][addr as usize])
+    }
+
+    fn poke_mem(&mut self, mem: usize, addr: u64, v: Bits) {
+        self.mems[mem][addr as usize] = v.as_u128() & mask_of(self.mem_widths[mem]);
+        if self.event_mode {
+            for i in 0..self.mem_sens[mem].len() {
+                let rb = self.mem_sens[mem][i];
+                if !self.in_queue[rb as usize] {
+                    self.in_queue[rb as usize] = true;
+                    self.queue.push_back(rb);
+                }
+            }
+        } else {
+            self.dirty = true;
+        }
+    }
+
+    fn set_activity(&mut self, on: bool) {
+        self.track_activity = on;
+        if on && self.activity.is_empty() {
+            self.activity = vec![0; self.widths.len()];
+        }
+    }
+
+    fn activity(&self) -> &[u64] {
+        &self.activity
+    }
+}

@@ -1,0 +1,677 @@
+//! The tape compiler: lowers IR blocks to a linear bytecode executed by a
+//! straight-line VM over packed `u128` slots.
+//!
+//! This is the heart of the SimJIT substitution (see `DESIGN.md`): where
+//! PyMTL's SimJIT generates and compiles C++, RustMTL's specializing
+//! engines lower each IR block to a flat three-address tape with
+//! pre-resolved net slots, precomputed masks, and constant-folded operands.
+
+
+use mtl_core::ir::{BinOp, Expr, Stmt, UnaryOp};
+use mtl_core::{BlockKind, Design, MemId, SignalId};
+
+/// A virtual register index within a tape.
+type Reg = u16;
+
+/// One tape instruction. Operands are virtual registers; `mask` fields are
+/// precomputed width masks.
+#[derive(Debug, Clone)]
+pub(crate) enum Op {
+    Const { dst: Reg, val: u128 },
+    Read { dst: Reg, slot: u32 },
+    Copy { dst: Reg, a: Reg },
+    Add { dst: Reg, a: Reg, b: Reg, mask: u128 },
+    Sub { dst: Reg, a: Reg, b: Reg, mask: u128 },
+    Mul { dst: Reg, a: Reg, b: Reg, mask: u128 },
+    And { dst: Reg, a: Reg, b: Reg },
+    Or { dst: Reg, a: Reg, b: Reg },
+    Xor { dst: Reg, a: Reg, b: Reg },
+    Not { dst: Reg, a: Reg, mask: u128 },
+    Neg { dst: Reg, a: Reg, mask: u128 },
+    Shl { dst: Reg, a: Reg, b: Reg, width: u32, mask: u128 },
+    Shr { dst: Reg, a: Reg, b: Reg, width: u32 },
+    Sra { dst: Reg, a: Reg, b: Reg, width: u32, mask: u128, ext: u32 },
+    Eq { dst: Reg, a: Reg, b: Reg },
+    Ne { dst: Reg, a: Reg, b: Reg },
+    Lt { dst: Reg, a: Reg, b: Reg },
+    Ge { dst: Reg, a: Reg, b: Reg },
+    LtS { dst: Reg, a: Reg, b: Reg, ext: u32 },
+    GeS { dst: Reg, a: Reg, b: Reg, ext: u32 },
+    RedAnd { dst: Reg, a: Reg, mask: u128 },
+    RedOr { dst: Reg, a: Reg },
+    RedXor { dst: Reg, a: Reg },
+    Slice { dst: Reg, a: Reg, lo: u32, mask: u128 },
+    /// `dst = (a << shift) | b` — concatenation folding.
+    ShlOr { dst: Reg, a: Reg, b: Reg, shift: u32 },
+    Mux { dst: Reg, cond: Reg, t: Reg, f: Reg },
+    /// `dst = regs[base + min(sel, n-1)]`; options live in consecutive regs.
+    Select { dst: Reg, sel: Reg, base: Reg, n: u16 },
+    Sext { dst: Reg, a: Reg, sign_bit: u128, ext_or: u128 },
+    Write { slot: u32, src: Reg },
+    WriteMasked { slot: u32, src: Reg, lo: u32, field: u128 },
+    WriteNext { slot: u32, src: Reg },
+    WriteNextMasked { slot: u32, src: Reg, lo: u32, field: u128 },
+    MemRead { dst: Reg, mem: u32, addr: Reg, words: u64 },
+    MemWrite { mem: u32, addr: Reg, data: Reg, words: u64 },
+    Jz { cond: Reg, target: u32 },
+    JneConst { a: Reg, k: u128, target: u32 },
+    Jmp { target: u32 },
+}
+
+/// A compiled update block.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Tape {
+    pub ops: Vec<Op>,
+    pub nregs: u16,
+}
+
+fn mask_of(width: u32) -> u128 {
+    if width >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << width) - 1
+    }
+}
+
+/// Compiles the statements of one IR block into a tape.
+///
+/// `slot_of` maps a signal to its packed state slot (its net index).
+pub(crate) fn compile_block(design: &Design, stmts: &[Stmt], kind: BlockKind) -> Tape {
+    let mut c = Compiler {
+        design,
+        ops: Vec::new(),
+        next_reg: 0,
+        seq: kind == BlockKind::Seq,
+    };
+    for s in stmts {
+        c.emit_stmt(s);
+    }
+    Tape { ops: c.ops, nregs: c.next_reg }
+}
+
+
+/// Validates that every register and memory index in a tape is in range;
+/// called once at construction so the executor can use unchecked reads.
+pub(crate) fn validate(tape: &Tape, nslots: usize, nmems: usize) {
+    let n = tape.nregs as usize;
+    let reg_ok = |r: Reg| (r as usize) < n;
+    for op in &tape.ops {
+        let ok = match op {
+            Op::Const { dst, .. } => reg_ok(*dst),
+            Op::Read { dst, slot } => reg_ok(*dst) && (*slot as usize) < nslots,
+            Op::Copy { dst, a } => reg_ok(*dst) && reg_ok(*a),
+            Op::Add { dst, a, b, .. }
+            | Op::Sub { dst, a, b, .. }
+            | Op::Mul { dst, a, b, .. }
+            | Op::And { dst, a, b }
+            | Op::Or { dst, a, b }
+            | Op::Xor { dst, a, b }
+            | Op::Shl { dst, a, b, .. }
+            | Op::Shr { dst, a, b, .. }
+            | Op::Sra { dst, a, b, .. }
+            | Op::Eq { dst, a, b }
+            | Op::Ne { dst, a, b }
+            | Op::Lt { dst, a, b }
+            | Op::Ge { dst, a, b }
+            | Op::LtS { dst, a, b, .. }
+            | Op::GeS { dst, a, b, .. }
+            | Op::ShlOr { dst, a, b, .. } => reg_ok(*dst) && reg_ok(*a) && reg_ok(*b),
+            Op::Not { dst, a, .. }
+            | Op::Neg { dst, a, .. }
+            | Op::RedAnd { dst, a, .. }
+            | Op::RedOr { dst, a }
+            | Op::RedXor { dst, a }
+            | Op::Slice { dst, a, .. }
+            | Op::Sext { dst, a, .. } => reg_ok(*dst) && reg_ok(*a),
+            Op::Mux { dst, cond, t, f } => {
+                reg_ok(*dst) && reg_ok(*cond) && reg_ok(*t) && reg_ok(*f)
+            }
+            Op::Select { dst, sel, base, n: k } => {
+                reg_ok(*dst) && reg_ok(*sel) && *k >= 1 && (*base as usize + *k as usize) <= n
+            }
+            Op::Write { slot, src } | Op::WriteNext { slot, src } => {
+                reg_ok(*src) && (*slot as usize) < nslots
+            }
+            Op::WriteMasked { slot, src, .. } | Op::WriteNextMasked { slot, src, .. } => {
+                reg_ok(*src) && (*slot as usize) < nslots
+            }
+            Op::MemRead { dst, mem, addr, words } => {
+                reg_ok(*dst) && reg_ok(*addr) && (*mem as usize) < nmems && *words >= 1
+            }
+            Op::MemWrite { mem, addr, data, words } => {
+                reg_ok(*addr) && reg_ok(*data) && (*mem as usize) < nmems && *words >= 1
+            }
+            Op::Jz { cond, target } => reg_ok(*cond) && (*target as usize) <= tape.ops.len(),
+            Op::JneConst { a, target, .. } => {
+                reg_ok(*a) && (*target as usize) <= tape.ops.len()
+            }
+            Op::Jmp { target } => (*target as usize) <= tape.ops.len(),
+        };
+        assert!(ok, "invalid tape op {op:?}");
+    }
+}
+
+/// Constant-folds a statement list (the "comp" optimization phase, run
+/// before [`compile_block`]).
+pub(crate) fn fold_stmts(stmts: &[Stmt]) -> Vec<Stmt> {
+    stmts.iter().map(fold_stmt).collect()
+}
+
+/// Fuses a run of tapes into one linear program (jump targets are
+/// rebased; virtual registers can be reused across blocks because every
+/// block defines its registers before use). This is how the fully
+/// specialized engine eliminates per-block dispatch — the analog of
+/// SimJIT compiling the whole model into one C++ translation unit.
+pub(crate) fn fuse(tapes: &[&Tape]) -> Tape {
+    let mut ops = Vec::with_capacity(tapes.iter().map(|t| t.ops.len()).sum());
+    let mut nregs = 0u16;
+    for t in tapes {
+        let base = ops.len() as u32;
+        nregs = nregs.max(t.nregs);
+        for op in &t.ops {
+            let mut op = op.clone();
+            match &mut op {
+                Op::Jz { target, .. } | Op::Jmp { target } | Op::JneConst { target, .. } => {
+                    *target += base
+                }
+                _ => {}
+            }
+            ops.push(op);
+        }
+    }
+    Tape { ops, nregs }
+}
+
+/// Constant-folds an expression: subtrees with no signal or memory reads
+/// are evaluated at compile time (the "comp" optimization phase).
+pub(crate) fn fold_expr(e: &Expr) -> Expr {
+    let mut reads = Vec::new();
+    e.collect_reads(&mut reads);
+    let mut mem_reads = Vec::new();
+    e.collect_mem_reads(&mut mem_reads);
+    if reads.is_empty() && mem_reads.is_empty() {
+        let v = e.eval(&mut |_| unreachable!(), &mut |_, _| unreachable!());
+        return Expr::Const(v);
+    }
+    match e {
+        Expr::Slice { expr, lo, hi } => Expr::Slice { expr: Box::new(fold_expr(expr)), lo: *lo, hi: *hi },
+        Expr::Concat(parts) => Expr::Concat(parts.iter().map(fold_expr).collect()),
+        Expr::Unary(op, a) => Expr::Unary(*op, Box::new(fold_expr(a))),
+        Expr::Binary(op, a, b) => Expr::Binary(*op, Box::new(fold_expr(a)), Box::new(fold_expr(b))),
+        Expr::Mux { cond, then_, else_ } => Expr::Mux {
+            cond: Box::new(fold_expr(cond)),
+            then_: Box::new(fold_expr(then_)),
+            else_: Box::new(fold_expr(else_)),
+        },
+        Expr::Select { sel, options } => Expr::Select {
+            sel: Box::new(fold_expr(sel)),
+            options: options.iter().map(fold_expr).collect(),
+        },
+        Expr::Zext(a, w) => Expr::Zext(Box::new(fold_expr(a)), *w),
+        Expr::Sext(a, w) => Expr::Sext(Box::new(fold_expr(a)), *w),
+        Expr::Trunc(a, w) => Expr::Trunc(Box::new(fold_expr(a)), *w),
+        Expr::MemRead { mem, addr } => Expr::MemRead { mem: *mem, addr: Box::new(fold_expr(addr)) },
+        _ => e.clone(),
+    }
+}
+
+fn fold_stmt(s: &Stmt) -> Stmt {
+    match s {
+        Stmt::Assign(lv, e) => Stmt::Assign(lv.clone(), fold_expr(e)),
+        Stmt::If { cond, then_, else_ } => Stmt::If {
+            cond: fold_expr(cond),
+            then_: then_.iter().map(fold_stmt).collect(),
+            else_: else_.iter().map(fold_stmt).collect(),
+        },
+        Stmt::Switch { subject, arms, default } => Stmt::Switch {
+            subject: fold_expr(subject),
+            arms: arms
+                .iter()
+                .map(|(k, body)| (*k, body.iter().map(fold_stmt).collect()))
+                .collect(),
+            default: default.iter().map(fold_stmt).collect(),
+        },
+        Stmt::MemWrite { mem, addr, data } => Stmt::MemWrite {
+            mem: *mem,
+            addr: fold_expr(addr),
+            data: fold_expr(data),
+        },
+    }
+}
+
+struct Compiler<'a> {
+    design: &'a Design,
+    ops: Vec<Op>,
+    next_reg: u16,
+    seq: bool,
+}
+
+impl Compiler<'_> {
+    fn alloc(&mut self) -> Reg {
+        let r = self.next_reg;
+        self.next_reg = self
+            .next_reg
+            .checked_add(1)
+            .expect("tape register budget (65536) exceeded; split the block");
+        r
+    }
+
+    fn slot_of(&self, sig: SignalId) -> u32 {
+        self.design.net_of(sig).index() as u32
+    }
+
+    fn width_of(&self, sig: SignalId) -> u32 {
+        self.design.signal(sig).width
+    }
+
+    fn mem_index(&self, m: MemId) -> u32 {
+        m.index() as u32
+    }
+
+    fn expr_width(&self, e: &Expr) -> u32 {
+        expr_width(self.design, e)
+    }
+
+    fn emit_stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Assign(lv, e) => {
+                let src = self.emit_expr(e);
+                let slot = self.slot_of(lv.signal);
+                let full = lv.lo == 0 && lv.hi == self.width_of(lv.signal);
+                match (self.seq, full) {
+                    (false, true) => self.ops.push(Op::Write { slot, src }),
+                    (true, true) => self.ops.push(Op::WriteNext { slot, src }),
+                    (false, false) => self.ops.push(Op::WriteMasked {
+                        slot,
+                        src,
+                        lo: lv.lo,
+                        field: mask_of(lv.width()) << lv.lo,
+                    }),
+                    (true, false) => self.ops.push(Op::WriteNextMasked {
+                        slot,
+                        src,
+                        lo: lv.lo,
+                        field: mask_of(lv.width()) << lv.lo,
+                    }),
+                }
+            }
+            Stmt::If { cond, then_, else_ } => {
+                let c = self.emit_expr(cond);
+                let jz_at = self.ops.len();
+                self.ops.push(Op::Jz { cond: c, target: 0 });
+                for s in then_ {
+                    self.emit_stmt(s);
+                }
+                if else_.is_empty() {
+                    let end = self.ops.len() as u32;
+                    self.patch(jz_at, end);
+                } else {
+                    let jmp_at = self.ops.len();
+                    self.ops.push(Op::Jmp { target: 0 });
+                    let else_start = self.ops.len() as u32;
+                    self.patch(jz_at, else_start);
+                    for s in else_ {
+                        self.emit_stmt(s);
+                    }
+                    let end = self.ops.len() as u32;
+                    self.patch(jmp_at, end);
+                }
+            }
+            Stmt::Switch { subject, arms, default } => {
+                let s_reg = self.emit_expr(subject);
+                let mut end_jumps = Vec::new();
+                for (k, body) in arms {
+                    let jne_at = self.ops.len();
+                    self.ops.push(Op::JneConst { a: s_reg, k: k.as_u128(), target: 0 });
+                    for st in body {
+                        self.emit_stmt(st);
+                    }
+                    end_jumps.push(self.ops.len());
+                    self.ops.push(Op::Jmp { target: 0 });
+                    let next_arm = self.ops.len() as u32;
+                    self.patch(jne_at, next_arm);
+                }
+                for st in default {
+                    self.emit_stmt(st);
+                }
+                let end = self.ops.len() as u32;
+                for j in end_jumps {
+                    self.patch(j, end);
+                }
+            }
+            Stmt::MemWrite { mem, addr, data } => {
+                let a = self.emit_expr(addr);
+                let d = self.emit_expr(data);
+                let words = self.design.mem(*mem).words;
+                self.ops.push(Op::MemWrite { mem: self.mem_index(*mem), addr: a, data: d, words });
+            }
+        }
+    }
+
+    fn patch(&mut self, at: usize, target: u32) {
+        match &mut self.ops[at] {
+            Op::Jz { target: t, .. } | Op::JneConst { target: t, .. } | Op::Jmp { target: t } => {
+                *t = target
+            }
+            _ => unreachable!("patching a non-jump op"),
+        }
+    }
+
+    fn emit_expr(&mut self, e: &Expr) -> Reg {
+        match e {
+            Expr::Read(sig) => {
+                let dst = self.alloc();
+                self.ops.push(Op::Read { dst, slot: self.slot_of(*sig) });
+                dst
+            }
+            Expr::Const(c) => {
+                let dst = self.alloc();
+                self.ops.push(Op::Const { dst, val: c.as_u128() });
+                dst
+            }
+            Expr::Slice { expr, lo, hi } => {
+                let a = self.emit_expr(expr);
+                let dst = self.alloc();
+                self.ops.push(Op::Slice { dst, a, lo: *lo, mask: mask_of(hi - lo) });
+                dst
+            }
+            Expr::Concat(parts) => {
+                let mut acc = self.emit_expr(&parts[0]);
+                for p in &parts[1..] {
+                    let b = self.emit_expr(p);
+                    let dst = self.alloc();
+                    self.ops.push(Op::ShlOr { dst, a: acc, b, shift: self.expr_width(p) });
+                    acc = dst;
+                }
+                acc
+            }
+            Expr::Unary(op, inner) => {
+                let a = self.emit_expr(inner);
+                let w = self.expr_width(inner);
+                let dst = self.alloc();
+                let m = mask_of(w);
+                self.ops.push(match op {
+                    UnaryOp::Not => Op::Not { dst, a, mask: m },
+                    UnaryOp::Neg => Op::Neg { dst, a, mask: m },
+                    UnaryOp::ReduceAnd => Op::RedAnd { dst, a, mask: m },
+                    UnaryOp::ReduceOr => Op::RedOr { dst, a },
+                    UnaryOp::ReduceXor => Op::RedXor { dst, a },
+                });
+                dst
+            }
+            Expr::Binary(op, ea, eb) => {
+                let a = self.emit_expr(ea);
+                let b = self.emit_expr(eb);
+                let w = self.expr_width(ea);
+                let m = mask_of(w);
+                let ext = 128 - w;
+                let dst = self.alloc();
+                self.ops.push(match op {
+                    BinOp::Add => Op::Add { dst, a, b, mask: m },
+                    BinOp::Sub => Op::Sub { dst, a, b, mask: m },
+                    BinOp::Mul => Op::Mul { dst, a, b, mask: m },
+                    BinOp::And => Op::And { dst, a, b },
+                    BinOp::Or => Op::Or { dst, a, b },
+                    BinOp::Xor => Op::Xor { dst, a, b },
+                    BinOp::Shl => Op::Shl { dst, a, b, width: w, mask: m },
+                    BinOp::Shr => Op::Shr { dst, a, b, width: w },
+                    BinOp::Sra => Op::Sra { dst, a, b, width: w, mask: m, ext },
+                    BinOp::Eq => Op::Eq { dst, a, b },
+                    BinOp::Ne => Op::Ne { dst, a, b },
+                    BinOp::Lt => Op::Lt { dst, a, b },
+                    BinOp::Ge => Op::Ge { dst, a, b },
+                    BinOp::LtS => Op::LtS { dst, a, b, ext },
+                    BinOp::GeS => Op::GeS { dst, a, b, ext },
+                });
+                dst
+            }
+            Expr::Mux { cond, then_, else_ } => {
+                let c = self.emit_expr(cond);
+                let t = self.emit_expr(then_);
+                let f = self.emit_expr(else_);
+                let dst = self.alloc();
+                self.ops.push(Op::Mux { dst, cond: c, t, f });
+                dst
+            }
+            Expr::Select { sel, options } => {
+                let s = self.emit_expr(sel);
+                let tmp: Vec<Reg> = options.iter().map(|o| self.emit_expr(o)).collect();
+                let base = self.next_reg;
+                for (i, r) in tmp.iter().enumerate() {
+                    let dst = self.alloc();
+                    debug_assert_eq!(dst, base + i as u16);
+                    self.ops.push(Op::Copy { dst, a: *r });
+                }
+                let dst = self.alloc();
+                self.ops.push(Op::Select { dst, sel: s, base, n: options.len() as u16 });
+                dst
+            }
+            Expr::Zext(inner, _) => self.emit_expr(inner),
+            Expr::Sext(inner, w) => {
+                let a = self.emit_expr(inner);
+                let iw = self.expr_width(inner);
+                let dst = self.alloc();
+                self.ops.push(Op::Sext {
+                    dst,
+                    a,
+                    sign_bit: 1u128 << (iw - 1),
+                    ext_or: mask_of(*w) & !mask_of(iw),
+                });
+                dst
+            }
+            Expr::Trunc(inner, w) => {
+                let a = self.emit_expr(inner);
+                let dst = self.alloc();
+                self.ops.push(Op::Slice { dst, a, lo: 0, mask: mask_of(*w) });
+                dst
+            }
+            Expr::MemRead { mem, addr } => {
+                let a = self.emit_expr(addr);
+                let dst = self.alloc();
+                let words = self.design.mem(*mem).words;
+                self.ops.push(Op::MemRead { dst, mem: self.mem_index(*mem), addr: a, words });
+                dst
+            }
+        }
+    }
+}
+
+/// Computes the width of an IR expression against a design's signal table.
+pub(crate) fn expr_width(design: &Design, e: &Expr) -> u32 {
+    match e {
+        Expr::Read(s) => design.signal(*s).width,
+        Expr::Const(c) => c.width(),
+        Expr::Slice { lo, hi, .. } => hi - lo,
+        Expr::Concat(parts) => parts.iter().map(|p| expr_width(design, p)).sum(),
+        Expr::Unary(op, a) => match op {
+            UnaryOp::Not | UnaryOp::Neg => expr_width(design, a),
+            _ => 1,
+        },
+        Expr::Binary(op, a, _) => match op {
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Ge | BinOp::LtS | BinOp::GeS => 1,
+            _ => expr_width(design, a),
+        },
+        Expr::Mux { then_, .. } => expr_width(design, then_),
+        Expr::Select { options, .. } => expr_width(design, &options[0]),
+        Expr::Zext(_, w) | Expr::Sext(_, w) | Expr::Trunc(_, w) => *w,
+        Expr::MemRead { mem, .. } => design.mem(*mem).width,
+    }
+}
+
+/// Executes a tape over the packed state.
+///
+/// When `TRACK` is true, combinational writes that change a slot's value
+/// push the slot index into `changed` (used by the event-driven specialized
+/// engine for sensitivity propagation).
+///
+/// Uses unchecked indexing in the hot loop; every index is range-checked
+/// once by [`validate`] at simulator construction, which makes the
+/// unchecked accesses sound.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn exec_tape<const TRACK: bool>(
+    tape: &Tape,
+    regs: &mut [u128],
+    cur: &mut [u128],
+    next: &mut [u128],
+    mems: &mut [Vec<u128>],
+    pending: &mut Vec<(u32, u64, u128)>,
+    changed: &mut Vec<u32>,
+) {
+    macro_rules! r {
+        ($i:expr) => {
+            unsafe { *regs.get_unchecked(*$i as usize) }
+        };
+    }
+    macro_rules! w {
+        ($i:expr, $v:expr) => {{
+            // Evaluate the value expression outside the unsafe block so
+            // nested register reads keep their own narrow unsafe scope.
+            let v = $v;
+            unsafe { *regs.get_unchecked_mut(*$i as usize) = v }
+        }};
+    }
+    let ops = &tape.ops;
+    let mut pc = 0usize;
+    while pc < ops.len() {
+        match unsafe { ops.get_unchecked(pc) } {
+            Op::Const { dst, val } => w!(dst, *val),
+            Op::Read { dst, slot } => {
+                w!(dst, unsafe { *cur.get_unchecked(*slot as usize) })
+            }
+            Op::Copy { dst, a } => w!(dst, r!(a)),
+            Op::Add { dst, a, b, mask } => w!(dst, r!(a).wrapping_add(r!(b)) & mask),
+            Op::Sub { dst, a, b, mask } => w!(dst, r!(a).wrapping_sub(r!(b)) & mask),
+            Op::Mul { dst, a, b, mask } => w!(dst, r!(a).wrapping_mul(r!(b)) & mask),
+            Op::And { dst, a, b } => w!(dst, r!(a) & r!(b)),
+            Op::Or { dst, a, b } => w!(dst, r!(a) | r!(b)),
+            Op::Xor { dst, a, b } => w!(dst, r!(a) ^ r!(b)),
+            Op::Not { dst, a, mask } => w!(dst, !r!(a) & mask),
+            Op::Neg { dst, a, mask } => w!(dst, r!(a).wrapping_neg() & mask),
+            Op::Shl { dst, a, b, width, mask } => {
+                let amt = r!(b);
+                w!(dst, if amt >= *width as u128 { 0 } else { (r!(a) << amt) & mask });
+            }
+            Op::Shr { dst, a, b, width } => {
+                let amt = r!(b);
+                w!(dst, if amt >= *width as u128 { 0 } else { r!(a) >> amt });
+            }
+            Op::Sra { dst, a, b, width, mask, ext } => {
+                let amt = (r!(b)).min(*width as u128) as u32;
+                let v = (r!(a) << ext) as i128 >> ext;
+                w!(dst, ((v >> amt.min(127)) as u128) & mask);
+            }
+            Op::Eq { dst, a, b } => w!(dst, (r!(a) == r!(b)) as u128),
+            Op::Ne { dst, a, b } => w!(dst, (r!(a) != r!(b)) as u128),
+            Op::Lt { dst, a, b } => w!(dst, (r!(a) < r!(b)) as u128),
+            Op::Ge { dst, a, b } => w!(dst, (r!(a) >= r!(b)) as u128),
+            Op::LtS { dst, a, b, ext } => {
+                w!(dst, (((r!(a) << ext) as i128) < ((r!(b) << ext) as i128)) as u128)
+            }
+            Op::GeS { dst, a, b, ext } => {
+                w!(dst, (((r!(a) << ext) as i128) >= ((r!(b) << ext) as i128)) as u128)
+            }
+            Op::RedAnd { dst, a, mask } => w!(dst, (r!(a) == *mask) as u128),
+            Op::RedOr { dst, a } => w!(dst, (r!(a) != 0) as u128),
+            Op::RedXor { dst, a } => w!(dst, (r!(a).count_ones() % 2) as u128),
+            Op::Slice { dst, a, lo, mask } => w!(dst, (r!(a) >> lo) & mask),
+            Op::ShlOr { dst, a, b, shift } => w!(dst, (r!(a) << shift) | r!(b)),
+            Op::Mux { dst, cond, t, f } => {
+                w!(dst, if r!(cond) != 0 { r!(t) } else { r!(f) });
+            }
+            Op::Select { dst, sel, base, n } => {
+                let idx = (r!(sel) as usize).min(*n as usize - 1);
+                let v = unsafe { *regs.get_unchecked(*base as usize + idx) };
+                w!(dst, v);
+            }
+            Op::Sext { dst, a, sign_bit, ext_or } => {
+                let v = r!(a);
+                w!(dst, if v & sign_bit != 0 { v | ext_or } else { v });
+            }
+            Op::Write { slot, src } => {
+                let s = *slot as usize;
+                let v = r!(src);
+                let c = unsafe { cur.get_unchecked_mut(s) };
+                if TRACK {
+                    if *c != v {
+                        *c = v;
+                        changed.push(*slot);
+                    }
+                } else {
+                    *c = v;
+                }
+            }
+            Op::WriteMasked { slot, src, lo, field } => {
+                let s = *slot as usize;
+                let c = unsafe { cur.get_unchecked_mut(s) };
+                let v = (*c & !field) | ((r!(src) << lo) & field);
+                if TRACK {
+                    if *c != v {
+                        *c = v;
+                        changed.push(*slot);
+                    }
+                } else {
+                    *c = v;
+                }
+            }
+            Op::WriteNext { slot, src } => {
+                let v = r!(src);
+                unsafe { *next.get_unchecked_mut(*slot as usize) = v };
+            }
+            Op::WriteNextMasked { slot, src, lo, field } => {
+                let v = r!(src);
+                let n = unsafe { next.get_unchecked_mut(*slot as usize) };
+                *n = (*n & !field) | ((v << lo) & field);
+            }
+            Op::MemRead { dst, mem, addr, words } => {
+                let a = (r!(addr) as u64) % words;
+                let v = unsafe {
+                    *mems.get_unchecked(*mem as usize).get_unchecked(a as usize)
+                };
+                w!(dst, v);
+            }
+            Op::MemWrite { mem, addr, data, words } => {
+                let a = (r!(addr) as u64) % words;
+                pending.push((*mem, a, r!(data)));
+            }
+            Op::Jz { cond, target } => {
+                if r!(cond) == 0 {
+                    pc = *target as usize;
+                    continue;
+                }
+            }
+            Op::JneConst { a, k, target } => {
+                if r!(a) != *k {
+                    pc = *target as usize;
+                    continue;
+                }
+            }
+            Op::Jmp { target } => {
+                pc = *target as usize;
+                continue;
+            }
+        }
+        pc += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtl_bits::Bits;
+
+    #[test]
+    fn fold_expr_collapses_constant_subtrees() {
+        let e = Expr::k(8, 3) + Expr::k(8, 4);
+        assert_eq!(fold_expr(&e), Expr::Const(Bits::new(8, 7)));
+        // A read prevents folding at the top but folds the const subtree.
+        let sig = SignalId::from_index(0);
+        let e = Expr::Read(sig) + (Expr::k(8, 3) + Expr::k(8, 4));
+        match fold_expr(&e) {
+            Expr::Binary(BinOp::Add, a, b) => {
+                assert_eq!(*a, Expr::Read(sig));
+                assert_eq!(*b, Expr::Const(Bits::new(8, 7)));
+            }
+            other => panic!("unexpected fold result: {other:?}"),
+        }
+    }
+}

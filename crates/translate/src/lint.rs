@@ -1,0 +1,153 @@
+//! A lint tool over elaborated designs.
+//!
+//! Demonstrates the model/tool split: like the simulator and translator,
+//! the linter is just another consumer of an elaborated [`Design`].
+
+use mtl_core::{BlockBody, Design, SignalKind};
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LintWarning {
+    /// A net is read by a block but has no driver (and is not a top-level
+    /// input): it will be stuck at zero.
+    UndrivenNet { signal: String },
+    /// A net is driven but nothing reads it (and it is not a top-level
+    /// output): dead logic.
+    UnreadNet { signal: String },
+    /// A native block makes the design untranslatable.
+    NativeBlock { block: String },
+}
+
+impl std::fmt::Display for LintWarning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LintWarning::UndrivenNet { signal } => {
+                write!(f, "net `{signal}` is read but never driven (stuck at zero)")
+            }
+            LintWarning::UnreadNet { signal } => {
+                write!(f, "net `{signal}` is driven but never read (dead logic)")
+            }
+            LintWarning::NativeBlock { block } => {
+                write!(f, "block `{block}` is native (FL/CL); design is not Verilog-translatable")
+            }
+        }
+    }
+}
+
+/// Lints a design, returning all findings.
+///
+/// # Examples
+///
+/// ```
+/// use mtl_stdlib::MuxReg;
+/// use mtl_translate::lint;
+///
+/// let design = mtl_core::elaborate(&MuxReg::default()).unwrap();
+/// // A fully connected structural design lints clean apart from the
+/// // top-level reset, which MuxReg does not use.
+/// let warnings = lint(&design);
+/// assert!(warnings.iter().all(|w| w.to_string().contains("reset")));
+/// ```
+pub fn lint(design: &Design) -> Vec<LintWarning> {
+    let mut warnings = Vec::new();
+
+    let nnets = design.nets().len();
+    let mut read = vec![false; nnets];
+    let mut written = vec![false; nnets];
+    for block in design.blocks() {
+        for &r in &block.reads {
+            read[design.net_of(r).index()] = true;
+        }
+        for &w in &block.writes {
+            written[design.net_of(w).index()] = true;
+        }
+        if let BlockBody::Native(..) = block.body {
+            warnings.push(LintWarning::NativeBlock {
+                block: format!(
+                    "{}.{}",
+                    design.module_path(block.module),
+                    block.name
+                ),
+            });
+        }
+    }
+
+    // Top-level ports are externally driven/observed.
+    let mut external_in = vec![false; nnets];
+    let mut external_out = vec![false; nnets];
+    for &p in &design.module(design.top()).ports {
+        let net = design.net_of(p).index();
+        match design.signal(p).kind {
+            SignalKind::InPort => external_in[net] = true,
+            SignalKind::OutPort => external_out[net] = true,
+            SignalKind::Wire => {}
+        }
+    }
+
+    for (i, net) in design.nets().iter().enumerate() {
+        let repr = design.signal_path(net.signals[0]);
+        if read[i] && !written[i] && !external_in[i] {
+            warnings.push(LintWarning::UndrivenNet { signal: repr.clone() });
+        }
+        if written[i] && !read[i] && !external_out[i] {
+            warnings.push(LintWarning::UnreadNet { signal: repr });
+        }
+    }
+    warnings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtl_core::{Component, Ctx};
+
+    struct Undriven;
+    impl Component for Undriven {
+        fn name(&self) -> String {
+            "Undriven".into()
+        }
+        fn build(&self, c: &mut Ctx) {
+            let w = c.wire("floating", 8);
+            let out = c.out_port("out", 8);
+            c.comb("copy", |b| b.assign(out, w));
+        }
+    }
+
+    #[test]
+    fn undriven_wire_is_reported() {
+        let design = mtl_core::elaborate(&Undriven).unwrap();
+        let warnings = lint(&design);
+        assert!(
+            warnings
+                .iter()
+                .any(|w| matches!(w, LintWarning::UndrivenNet { signal } if signal.contains("floating"))),
+            "{warnings:?}"
+        );
+    }
+
+    struct DeadLogic;
+    impl Component for DeadLogic {
+        fn name(&self) -> String {
+            "DeadLogic".into()
+        }
+        fn build(&self, c: &mut Ctx) {
+            let a = c.in_port("a", 4);
+            let unused = c.wire("unused", 4);
+            let out = c.out_port("out", 4);
+            c.comb("dead", |b| b.assign(unused, a));
+            c.comb("live", |b| b.assign(out, a));
+        }
+    }
+
+    #[test]
+    fn unread_wire_is_reported() {
+        let design = mtl_core::elaborate(&DeadLogic).unwrap();
+        let warnings = lint(&design);
+        assert!(
+            warnings
+                .iter()
+                .any(|w| matches!(w, LintWarning::UnreadNet { signal } if signal.contains("unused"))),
+            "{warnings:?}"
+        );
+    }
+}

@@ -1,0 +1,925 @@
+//! A parser for the Verilog-2001 subset emitted by [`translate`].
+//!
+//! This closes the SimJIT-RTL loop the way Verilator does for PyMTL: the
+//! emitted Verilog is re-parsed into a [`VerilogLibrary`] whose modules can
+//! be re-elaborated as ordinary components and simulated. Round-tripping a
+//! design through text and comparing traces is the repository's analog of
+//! the paper's `--test-verilog` flow.
+//!
+//! [`translate`]: crate::translate
+
+use std::collections::HashMap;
+use std::fmt;
+
+use mtl_bits::Bits;
+use mtl_core::{Component, Ctx, Expr, MemRef, SignalRef};
+
+/// Error produced while parsing Verilog source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseVerilogError {
+    message: String,
+    line: usize,
+}
+
+impl fmt::Display for ParseVerilogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verilog parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseVerilogError {}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    /// A sized literal like `8'hff`.
+    Literal(Bits),
+    /// A bare decimal integer (indices, ranges).
+    Int(u64),
+    Punct(&'static str),
+    Eof,
+}
+
+struct Lexer {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+const PUNCTS: &[&str] = &[
+    "<<", ">>>", ">>", "==", "!=", "<=", ">=", "(", ")", "[", "]", "{", "}", ",", ";", ":",
+    "?", "=", "<", ">", "+", "-", "*", "&", "|", "^", "~", ".", "@", "#",
+];
+
+fn lex(src: &str) -> Result<Lexer, ParseVerilogError> {
+    let mut toks = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    'outer: while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c.is_ascii_digit() {
+            // Either a sized literal (starts with width then ') or an int.
+            let start = i;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            if i < bytes.len() && bytes[i] == b'\'' {
+                // Sized literal: width ' base digits
+                i += 1; // '
+                let base_start = i;
+                i += 1; // base char
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let lit: Bits = text.parse().map_err(|e| ParseVerilogError {
+                    message: format!("bad literal `{text}`: {e}"),
+                    line,
+                })?;
+                let _ = base_start;
+                toks.push((Tok::Literal(lit), line));
+            } else {
+                let v: u64 = src[start..i].parse().map_err(|_| ParseVerilogError {
+                    message: format!("bad integer `{}`", &src[start..i]),
+                    line,
+                })?;
+                toks.push((Tok::Int(v), line));
+            }
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' || c == '$' {
+            let start = i;
+            i += 1;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'$')
+            {
+                i += 1;
+            }
+            toks.push((Tok::Ident(src[start..i].to_string()), line));
+            continue;
+        }
+        for p in PUNCTS {
+            if src[i..].starts_with(p) {
+                toks.push((Tok::Punct(p), line));
+                i += p.len();
+                continue 'outer;
+            }
+        }
+        return Err(ParseVerilogError { message: format!("unexpected character `{c}`"), line });
+    }
+    toks.push((Tok::Eof, line));
+    Ok(Lexer { toks, pos: 0 })
+}
+
+impl Lexer {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].0
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].0
+    }
+
+    fn line(&self) -> usize {
+        self.toks[self.pos].1
+    }
+
+    fn next(&mut self) -> Tok {
+        let t = self.toks[self.pos].0.clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseVerilogError {
+        ParseVerilogError { message: msg.into(), line: self.line() }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), ParseVerilogError> {
+        match self.next() {
+            Tok::Punct(q) if q == p => Ok(()),
+            other => Err(self.err(format!("expected `{p}`, found {other:?}"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseVerilogError> {
+        match self.next() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseVerilogError> {
+        match self.next() {
+            Tok::Ident(s) if s == kw => Ok(()),
+            other => Err(self.err(format!("expected `{kw}`, found {other:?}"))),
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Tok::Punct(q) if *q == p) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Tok::Ident(s) if s == kw) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<u64, ParseVerilogError> {
+        match self.next() {
+            Tok::Int(v) => Ok(v),
+            other => Err(self.err(format!("expected integer, found {other:?}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AST
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    In,
+    Out,
+}
+
+#[derive(Debug, Clone)]
+struct PortDecl {
+    dir: Dir,
+    width: u32,
+    name: String,
+}
+
+#[derive(Debug, Clone)]
+struct NetDecl {
+    width: u32,
+    name: String,
+}
+
+#[derive(Debug, Clone)]
+struct MemDecl {
+    width: u32,
+    words: u64,
+    name: String,
+}
+
+#[derive(Debug, Clone)]
+enum VExpr {
+    Ident(String),
+    Lit(Bits),
+    Part { base: Box<VExpr>, hi: u64, lo: u64 },
+    Index { base: String, index: Box<VExpr> },
+    Concat(Vec<VExpr>),
+    Unary(char, Box<VExpr>),
+    Binary(String, Box<VExpr>, Box<VExpr>),
+    Ternary(Box<VExpr>, Box<VExpr>, Box<VExpr>),
+    Signed(Box<VExpr>),
+}
+
+#[derive(Debug, Clone)]
+enum VLValue {
+    Full(String),
+    Part { name: String, hi: u64, lo: u64 },
+    MemIndex { name: String, index: VExpr },
+}
+
+#[derive(Debug, Clone)]
+enum VStmt {
+    Assign(VLValue, VExpr),
+    If { cond: VExpr, then_: Vec<VStmt>, else_: Vec<VStmt> },
+    Case { subject: VExpr, arms: Vec<(Bits, Vec<VStmt>)>, default: Vec<VStmt> },
+}
+
+#[derive(Debug, Clone)]
+struct AlwaysBlock {
+    seq: bool,
+    stmts: Vec<VStmt>,
+}
+
+#[derive(Debug, Clone)]
+struct InstanceDecl {
+    module: String,
+    name: String,
+    /// (port name, connected identifier)
+    pins: Vec<(String, String)>,
+}
+
+#[derive(Debug, Clone)]
+struct ParsedModule {
+    name: String,
+    ports: Vec<PortDecl>,
+    wires: Vec<NetDecl>,
+    mems: Vec<MemDecl>,
+    assigns: Vec<(VLValue, VExpr)>,
+    instances: Vec<InstanceDecl>,
+    always: Vec<AlwaysBlock>,
+}
+
+/// A parsed collection of Verilog modules that can be re-elaborated as
+/// RustMTL components.
+#[derive(Debug, Clone)]
+pub struct VerilogLibrary {
+    modules: HashMap<String, ParsedModule>,
+    order: Vec<String>,
+}
+
+impl VerilogLibrary {
+    /// Parses Verilog source (the subset emitted by
+    /// [`translate`](crate::translate)).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseVerilogError`] pointing at the offending line.
+    pub fn parse(src: &str) -> Result<Self, ParseVerilogError> {
+        let mut lx = lex(src)?;
+        let mut modules = HashMap::new();
+        let mut order = Vec::new();
+        while !matches!(lx.peek(), Tok::Eof) {
+            let m = parse_module(&mut lx)?;
+            order.push(m.name.clone());
+            modules.insert(m.name.clone(), m);
+        }
+        Ok(Self { modules, order })
+    }
+
+    /// Names of the parsed modules, in source order (top last).
+    pub fn module_names(&self) -> &[String] {
+        &self.order
+    }
+
+    /// Returns a component that elaborates the named module (and its
+    /// submodules, resolved within this library).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the module does not exist; check
+    /// [`module_names`](Self::module_names) first.
+    pub fn component<'a>(&'a self, name: &str) -> VerilogComponent<'a> {
+        let module = self
+            .modules
+            .get(name)
+            .unwrap_or_else(|| panic!("no module `{name}` in library; have {:?}", self.order));
+        VerilogComponent { lib: self, module }
+    }
+
+    /// The last module in the file — by emission convention, the top.
+    pub fn top_component(&self) -> VerilogComponent<'_> {
+        self.component(self.order.last().expect("empty library"))
+    }
+}
+
+fn parse_width_spec(lx: &mut Lexer) -> Result<u32, ParseVerilogError> {
+    // Optional [msb:0]
+    if lx.eat_punct("[") {
+        let msb = lx.expect_int()?;
+        lx.expect_punct(":")?;
+        let lsb = lx.expect_int()?;
+        lx.expect_punct("]")?;
+        if lsb != 0 {
+            return Err(lx.err("only [msb:0] ranges supported"));
+        }
+        Ok(msb as u32 + 1)
+    } else {
+        Ok(1)
+    }
+}
+
+fn parse_module(lx: &mut Lexer) -> Result<ParsedModule, ParseVerilogError> {
+    lx.expect_keyword("module")?;
+    let name = lx.expect_ident()?;
+    lx.expect_punct("(")?;
+    // Port name list (names repeated in declarations below).
+    while !lx.eat_punct(")") {
+        match lx.next() {
+            Tok::Ident(_) => {}
+            Tok::Punct(",") => {}
+            other => return Err(lx.err(format!("unexpected token in port list: {other:?}"))),
+        }
+    }
+    lx.expect_punct(";")?;
+
+    let mut m = ParsedModule {
+        name,
+        ports: Vec::new(),
+        wires: Vec::new(),
+        mems: Vec::new(),
+        assigns: Vec::new(),
+        instances: Vec::new(),
+        always: Vec::new(),
+    };
+
+    loop {
+        if lx.eat_keyword("endmodule") {
+            break;
+        }
+        if lx.eat_keyword("input") {
+            let width = parse_width_spec(lx)?;
+            let pname = lx.expect_ident()?;
+            lx.expect_punct(";")?;
+            if pname != "clk" {
+                m.ports.push(PortDecl { dir: Dir::In, width, name: pname });
+            }
+        } else if lx.eat_keyword("output") {
+            let _reg = lx.eat_keyword("reg");
+            let width = parse_width_spec(lx)?;
+            let pname = lx.expect_ident()?;
+            lx.expect_punct(";")?;
+            m.ports.push(PortDecl { dir: Dir::Out, width, name: pname });
+        } else if lx.eat_keyword("wire") {
+            let width = parse_width_spec(lx)?;
+            let wname = lx.expect_ident()?;
+            lx.expect_punct(";")?;
+            m.wires.push(NetDecl { width, name: wname });
+        } else if lx.eat_keyword("reg") {
+            let width = parse_width_spec(lx)?;
+            let rname = lx.expect_ident()?;
+            if lx.eat_punct("[") {
+                // Memory: reg [w:0] name [0:N];
+                let lo = lx.expect_int()?;
+                lx.expect_punct(":")?;
+                let hi = lx.expect_int()?;
+                lx.expect_punct("]")?;
+                lx.expect_punct(";")?;
+                if lo != 0 {
+                    return Err(lx.err("memory ranges must start at 0"));
+                }
+                m.mems.push(MemDecl { width, words: hi + 1, name: rname });
+            } else {
+                lx.expect_punct(";")?;
+                m.wires.push(NetDecl { width, name: rname });
+            }
+        } else if lx.eat_keyword("assign") {
+            let lv = parse_lvalue(lx)?;
+            lx.expect_punct("=")?;
+            let rhs = parse_expr(lx)?;
+            lx.expect_punct(";")?;
+            m.assigns.push((lv, rhs));
+        } else if lx.eat_keyword("always") {
+            lx.expect_punct("@")?;
+            lx.expect_punct("(")?;
+            let seq = if lx.eat_punct("*") {
+                false
+            } else {
+                lx.expect_keyword("posedge")?;
+                lx.expect_keyword("clk")?;
+                true
+            };
+            lx.expect_punct(")")?;
+            lx.expect_keyword("begin")?;
+            let stmts = parse_stmts(lx)?;
+            m.always.push(AlwaysBlock { seq, stmts });
+        } else {
+            // Module instance: MODNAME instname ( .pin(net), ... );
+            let module = lx.expect_ident()?;
+            let iname = lx.expect_ident()?;
+            lx.expect_punct("(")?;
+            let mut pins = Vec::new();
+            loop {
+                if lx.eat_punct(")") {
+                    break;
+                }
+                lx.eat_punct(",");
+                if lx.eat_punct(")") {
+                    break;
+                }
+                lx.expect_punct(".")?;
+                let pin = lx.expect_ident()?;
+                lx.expect_punct("(")?;
+                let net = lx.expect_ident()?;
+                lx.expect_punct(")")?;
+                pins.push((pin, net));
+            }
+            lx.expect_punct(";")?;
+            m.instances.push(InstanceDecl { module, name: iname, pins });
+        }
+    }
+    Ok(m)
+}
+
+fn parse_lvalue(lx: &mut Lexer) -> Result<VLValue, ParseVerilogError> {
+    let name = lx.expect_ident()?;
+    if lx.eat_punct("[") {
+        // Either [int], [int:int], or [expr] (memory write).
+        if let Tok::Int(hi) = lx.peek().clone() {
+            if matches!(lx.peek2(), Tok::Punct(":") | Tok::Punct("]")) {
+                lx.next();
+                if lx.eat_punct(":") {
+                    let lo = lx.expect_int()?;
+                    lx.expect_punct("]")?;
+                    return Ok(VLValue::Part { name, hi, lo });
+                }
+                lx.expect_punct("]")?;
+                return Ok(VLValue::Part { name, hi, lo: hi });
+            }
+        }
+        let index = parse_expr(lx)?;
+        lx.expect_punct("]")?;
+        return Ok(VLValue::MemIndex { name, index });
+    }
+    Ok(VLValue::Full(name))
+}
+
+fn parse_stmts(lx: &mut Lexer) -> Result<Vec<VStmt>, ParseVerilogError> {
+    let mut stmts = Vec::new();
+    loop {
+        if lx.eat_keyword("end") {
+            return Ok(stmts);
+        }
+        stmts.push(parse_stmt(lx)?);
+    }
+}
+
+fn parse_stmt(lx: &mut Lexer) -> Result<VStmt, ParseVerilogError> {
+    if lx.eat_keyword("if") {
+        lx.expect_punct("(")?;
+        let cond = parse_expr(lx)?;
+        lx.expect_punct(")")?;
+        lx.expect_keyword("begin")?;
+        let then_ = parse_stmts(lx)?;
+        let else_ = if lx.eat_keyword("else") {
+            lx.expect_keyword("begin")?;
+            parse_stmts(lx)?
+        } else {
+            Vec::new()
+        };
+        return Ok(VStmt::If { cond, then_, else_ });
+    }
+    if lx.eat_keyword("case") {
+        lx.expect_punct("(")?;
+        let subject = parse_expr(lx)?;
+        lx.expect_punct(")")?;
+        let mut arms = Vec::new();
+        let mut default = Vec::new();
+        loop {
+            if lx.eat_keyword("endcase") {
+                break;
+            }
+            if lx.eat_keyword("default") {
+                lx.expect_punct(":")?;
+                lx.expect_keyword("begin")?;
+                default = parse_stmts(lx)?;
+            } else {
+                let key = match lx.next() {
+                    Tok::Literal(k) => k,
+                    other => return Err(lx.err(format!("expected case key, found {other:?}"))),
+                };
+                lx.expect_punct(":")?;
+                lx.expect_keyword("begin")?;
+                let body = parse_stmts(lx)?;
+                arms.push((key, body));
+            }
+        }
+        return Ok(VStmt::Case { subject, arms, default });
+    }
+    // Assignment (blocking or non-blocking).
+    let lv = parse_lvalue(lx)?;
+    if !lx.eat_punct("<=") {
+        lx.expect_punct("=")?;
+    }
+    let rhs = parse_expr(lx)?;
+    lx.expect_punct(";")?;
+    Ok(VStmt::Assign(lv, rhs))
+}
+
+// Expression parsing with precedence climbing.
+fn parse_expr(lx: &mut Lexer) -> Result<VExpr, ParseVerilogError> {
+    parse_ternary(lx)
+}
+
+fn parse_ternary(lx: &mut Lexer) -> Result<VExpr, ParseVerilogError> {
+    let cond = parse_binary(lx, 0)?;
+    if lx.eat_punct("?") {
+        let t = parse_ternary(lx)?;
+        lx.expect_punct(":")?;
+        let f = parse_ternary(lx)?;
+        Ok(VExpr::Ternary(Box::new(cond), Box::new(t), Box::new(f)))
+    } else {
+        Ok(cond)
+    }
+}
+
+const BIN_LEVELS: &[&[&str]] = &[
+    &["|"],
+    &["^"],
+    &["&"],
+    &["==", "!="],
+    &["<", ">=", "<=", ">"],
+    &["<<", ">>", ">>>"],
+    &["+", "-"],
+    &["*"],
+];
+
+fn parse_binary(lx: &mut Lexer, level: usize) -> Result<VExpr, ParseVerilogError> {
+    if level >= BIN_LEVELS.len() {
+        return parse_unary(lx);
+    }
+    let mut lhs = parse_binary(lx, level + 1)?;
+    loop {
+        let mut matched = None;
+        if let Tok::Punct(p) = lx.peek() {
+            if BIN_LEVELS[level].contains(p) {
+                matched = Some(p.to_string());
+            }
+        }
+        match matched {
+            Some(op) => {
+                lx.next();
+                let rhs = parse_binary(lx, level + 1)?;
+                lhs = VExpr::Binary(op, Box::new(lhs), Box::new(rhs));
+            }
+            None => return Ok(lhs),
+        }
+    }
+}
+
+fn parse_unary(lx: &mut Lexer) -> Result<VExpr, ParseVerilogError> {
+    for op in ['~', '-', '&', '|', '^'] {
+        let p: &str = match op {
+            '~' => "~",
+            '-' => "-",
+            '&' => "&",
+            '|' => "|",
+            '^' => "^",
+            _ => unreachable!(),
+        };
+        if matches!(lx.peek(), Tok::Punct(q) if *q == p) {
+            lx.next();
+            let inner = parse_unary(lx)?;
+            return Ok(VExpr::Unary(op, Box::new(inner)));
+        }
+    }
+    parse_postfix(lx)
+}
+
+fn parse_postfix(lx: &mut Lexer) -> Result<VExpr, ParseVerilogError> {
+    let mut e = parse_primary(lx)?;
+    while lx.eat_punct("[") {
+        // Part select on an expression or identifier, or memory index.
+        if let Tok::Int(hi) = lx.peek().clone() {
+            if matches!(lx.peek2(), Tok::Punct(":") | Tok::Punct("]")) {
+                lx.next();
+                if lx.eat_punct(":") {
+                    let lo = lx.expect_int()?;
+                    lx.expect_punct("]")?;
+                    e = VExpr::Part { base: Box::new(e), hi, lo };
+                } else {
+                    lx.expect_punct("]")?;
+                    e = VExpr::Part { base: Box::new(e), hi, lo: hi };
+                }
+                continue;
+            }
+        }
+        let index = parse_expr(lx)?;
+        lx.expect_punct("]")?;
+        match e {
+            VExpr::Ident(name) => e = VExpr::Index { base: name, index: Box::new(index) },
+            _ => return Err(lx.err("dynamic index on non-identifier")),
+        }
+    }
+    Ok(e)
+}
+
+fn parse_primary(lx: &mut Lexer) -> Result<VExpr, ParseVerilogError> {
+    match lx.next() {
+        Tok::Punct("(") => {
+            let e = parse_expr(lx)?;
+            lx.expect_punct(")")?;
+            Ok(e)
+        }
+        Tok::Punct("{") => {
+            let mut parts = Vec::new();
+            loop {
+                parts.push(parse_expr(lx)?);
+                if lx.eat_punct("}") {
+                    break;
+                }
+                lx.expect_punct(",")?;
+            }
+            Ok(VExpr::Concat(parts))
+        }
+        Tok::Ident(s) if s == "$signed" => {
+            lx.expect_punct("(")?;
+            let e = parse_expr(lx)?;
+            lx.expect_punct(")")?;
+            Ok(VExpr::Signed(Box::new(e)))
+        }
+        Tok::Ident(s) => Ok(VExpr::Ident(s)),
+        Tok::Literal(v) => Ok(VExpr::Lit(v)),
+        // Bare integers appear as shift amounts; treat as 32-bit constants
+        // (shift-amount width is irrelevant to the IR semantics).
+        Tok::Int(v) => Ok(VExpr::Lit(Bits::new(32, v as u128))),
+        other => Err(lx.err(format!("unexpected token in expression: {other:?}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Re-elaboration as a Component
+// ---------------------------------------------------------------------------
+
+/// A parsed Verilog module viewed as a RustMTL [`Component`].
+///
+/// Elaborating this component reconstructs the design (hierarchy, signals,
+/// IR blocks) from the Verilog text, enabling translated-and-reparsed
+/// co-simulation.
+pub struct VerilogComponent<'a> {
+    lib: &'a VerilogLibrary,
+    module: &'a ParsedModule,
+}
+
+struct NameEnv {
+    signals: HashMap<String, SignalRef>,
+    mems: HashMap<String, MemRef>,
+}
+
+impl NameEnv {
+    fn sig(&self, name: &str) -> SignalRef {
+        *self
+            .signals
+            .get(name)
+            .unwrap_or_else(|| panic!("verilog reconstruction: unknown signal `{name}`"))
+    }
+
+    fn mem(&self, name: &str) -> MemRef {
+        *self
+            .mems
+            .get(name)
+            .unwrap_or_else(|| panic!("verilog reconstruction: unknown memory `{name}`"))
+    }
+}
+
+impl Component for VerilogComponent<'_> {
+    fn name(&self) -> String {
+        self.module.name.clone()
+    }
+
+    fn build(&self, c: &mut Ctx) {
+        let mut env = NameEnv { signals: HashMap::new(), mems: HashMap::new() };
+        env.signals.insert("reset".to_string(), c.reset());
+
+        for p in &self.module.ports {
+            if p.name == "reset" {
+                continue; // implicit, already declared
+            }
+            let sig = match p.dir {
+                Dir::In => c.in_port(&p.name, p.width),
+                Dir::Out => c.out_port(&p.name, p.width),
+            };
+            env.signals.insert(p.name.clone(), sig);
+        }
+        for w in &self.module.wires {
+            let sig = c.wire(&w.name, w.width);
+            env.signals.insert(w.name.clone(), sig);
+        }
+        for mem in &self.module.mems {
+            let m = c.mem(&mem.name, mem.words, mem.width);
+            env.mems.insert(mem.name.clone(), m);
+        }
+
+        for inst in &self.module.instances {
+            let child_comp = self.lib.component(&inst.module);
+            let child = c.instantiate(&inst.name, &child_comp);
+            for (pin, net) in &inst.pins {
+                if pin == "clk" {
+                    continue;
+                }
+                if pin == "reset" && net == "reset" {
+                    continue; // auto-connected by instantiate
+                }
+                let child_port = c.port_of(&child, pin);
+                let parent_sig = env.sig(net);
+                c.connect(parent_sig, child_port);
+            }
+        }
+
+        for (i, (lv, rhs)) in self.module.assigns.iter().enumerate() {
+            let expr = to_expr(rhs, &env);
+            let lv = lv.clone();
+            let envref = &env;
+            c.comb(&format!("assign_{i}"), |b| {
+                emit_assign(b, &lv, expr, envref);
+            });
+        }
+
+        for (i, blk) in self.module.always.iter().enumerate() {
+            let stmts = blk.stmts.clone();
+            let envref = &env;
+            if blk.seq {
+                c.seq(&format!("always_seq_{i}"), |b| {
+                    for s in &stmts {
+                        build_stmt(b, s, envref);
+                    }
+                });
+            } else {
+                c.comb(&format!("always_comb_{i}"), |b| {
+                    for s in &stmts {
+                        build_stmt(b, s, envref);
+                    }
+                });
+            }
+        }
+    }
+}
+
+fn emit_assign(b: &mut mtl_core::BlockBuilder, lv: &VLValue, expr: Expr, env: &NameEnv) {
+    match lv {
+        VLValue::Full(name) => b.assign(env.sig(name), expr),
+        VLValue::Part { name, hi, lo } => {
+            b.assign_slice(env.sig(name), *lo as u32, *hi as u32 + 1, expr)
+        }
+        VLValue::MemIndex { name, index } => {
+            let addr = to_expr(index, env);
+            b.mem_write(env.mem(name), addr, expr);
+        }
+    }
+}
+
+fn build_stmt(b: &mut mtl_core::BlockBuilder, s: &VStmt, env: &NameEnv) {
+    match s {
+        VStmt::Assign(lv, rhs) => {
+            let expr = to_expr(rhs, env);
+            emit_assign(b, lv, expr, env);
+        }
+        VStmt::If { cond, then_, else_ } => {
+            let cexpr = to_bool(to_expr(cond, env));
+            if else_.is_empty() {
+                b.if_(cexpr, |b| {
+                    for s in then_ {
+                        build_stmt(b, s, env);
+                    }
+                });
+            } else {
+                b.if_else(
+                    cexpr,
+                    |b| {
+                        for s in then_ {
+                            build_stmt(b, s, env);
+                        }
+                    },
+                    |b| {
+                        for s in else_ {
+                            build_stmt(b, s, env);
+                        }
+                    },
+                );
+            }
+        }
+        VStmt::Case { subject, arms, default } => {
+            let subj = to_expr(subject, env);
+            b.switch(subj, |sw| {
+                for (k, body) in arms {
+                    sw.case(*k, |b| {
+                        for s in body {
+                            build_stmt(b, s, env);
+                        }
+                    });
+                }
+                sw.default(|b| {
+                    for s in default {
+                        build_stmt(b, s, env);
+                    }
+                });
+            });
+        }
+    }
+}
+
+/// Conditions in emitted code are always 1-bit expressions already, but be
+/// permissive: reduce wider expressions with `|`.
+fn to_bool(e: Expr) -> Expr {
+    e
+}
+
+fn strip_signed(e: &VExpr) -> &VExpr {
+    match e {
+        VExpr::Signed(inner) => inner,
+        other => other,
+    }
+}
+
+fn to_expr(v: &VExpr, env: &NameEnv) -> Expr {
+    match v {
+        VExpr::Ident(name) => env.sig(name).ex(),
+        VExpr::Lit(b) => Expr::Const(*b),
+        VExpr::Part { base, hi, lo } => {
+            to_expr(base, env).slice(*lo as u32, *hi as u32 + 1)
+        }
+        VExpr::Index { base, index } => {
+            let addr = to_expr(index, env);
+            env.mem(base).read(addr)
+        }
+        VExpr::Concat(parts) => Expr::Concat(parts.iter().map(|p| to_expr(p, env)).collect()),
+        VExpr::Unary(op, a) => {
+            let inner = to_expr(a, env);
+            match op {
+                '~' => !inner,
+                '-' => -inner,
+                '&' => inner.reduce_and(),
+                '|' => inner.reduce_or(),
+                '^' => inner.reduce_xor(),
+                _ => unreachable!(),
+            }
+        }
+        VExpr::Binary(op, a, b) => {
+            let signed = matches!(**a, VExpr::Signed(_)) || matches!(**b, VExpr::Signed(_));
+            let lhs = to_expr(strip_signed(a), env);
+            let rhs = to_expr(strip_signed(b), env);
+            match (op.as_str(), signed) {
+                ("+", _) => lhs + rhs,
+                ("-", _) => lhs - rhs,
+                ("*", _) => lhs * rhs,
+                ("&", _) => lhs & rhs,
+                ("|", _) => lhs | rhs,
+                ("^", _) => lhs ^ rhs,
+                ("<<", _) => lhs.sll(rhs),
+                (">>", _) => lhs.srl(rhs),
+                (">>>", _) => lhs.sra(rhs),
+                ("==", _) => lhs.eq(rhs),
+                ("!=", _) => lhs.ne(rhs),
+                ("<", false) => lhs.lt(rhs),
+                (">=", false) => lhs.ge(rhs),
+                ("<", true) => lhs.lt_s(rhs),
+                (">=", true) => lhs.ge_s(rhs),
+                ("<=", false) => lhs.le(rhs),
+                (">", false) => lhs.gt(rhs),
+                ("<=", true) => rhs.clone().ge_s(lhs),
+                (">", true) => rhs.lt_s(lhs),
+                (other, _) => panic!("unsupported verilog operator `{other}`"),
+            }
+        }
+        VExpr::Ternary(c, t, f) => {
+            to_expr(c, env).mux(to_expr(t, env), to_expr(f, env))
+        }
+        VExpr::Signed(inner) => to_expr(inner, env),
+    }
+}

@@ -1,0 +1,54 @@
+//! RustMTL: a unified framework for vertically integrated computer
+//! architecture research.
+//!
+//! This is the umbrella crate: it re-exports every subsystem so examples
+//! and downstream users need a single dependency. See the README for a
+//! guided tour and `DESIGN.md` for the system inventory.
+//!
+//! * [`core`] — components, signals, IR, elaboration (the modeling DSEL)
+//! * [`sim`] — the four simulation engines + VCD
+//! * [`translate`] — Verilog-2001 emission, re-parsing, lint
+//! * [`stdlib`] — registers, muxes, queues, arbiters, test harnesses
+//! * [`net`] — the mesh network case study (FL/CL/RTL)
+//! * [`proc`] — the MtlRisc32 processor case study (ISA/ISS/FL/CL/RTL)
+//! * [`accel`] — the dot-product accelerator and the compute tile
+//! * [`eda`] — analytical area/energy/timing estimation
+//!
+//! # Examples
+//!
+//! ```
+//! use rustmtl::prelude::*;
+//!
+//! struct Register { nbits: u32 }
+//! impl Component for Register {
+//!     fn name(&self) -> String { format!("Register_{}", self.nbits) }
+//!     fn build(&self, c: &mut Ctx) {
+//!         let in_ = c.in_port("in_", self.nbits);
+//!         let out = c.out_port("out", self.nbits);
+//!         c.seq("seq_logic", |b| b.assign(out, in_));
+//!     }
+//! }
+//!
+//! let mut sim = Sim::build(&Register { nbits: 8 }, Engine::SpecializedOpt).unwrap();
+//! sim.poke_port("in_", b(8, 0x42));
+//! sim.cycle();
+//! assert_eq!(sim.peek_port("out"), b(8, 0x42));
+//! ```
+
+pub use mtl_accel as accel;
+pub use mtl_bits as bits;
+pub use mtl_core as core;
+pub use mtl_eda as eda;
+pub use mtl_net as net;
+pub use mtl_proc as proc;
+pub use mtl_sim as sim;
+pub use mtl_stdlib as stdlib;
+pub use mtl_translate as translate;
+
+/// The most commonly used items, for `use rustmtl::prelude::*`.
+pub mod prelude {
+    pub use mtl_bits::{b, clog2, Bits};
+    pub use mtl_core::{elaborate, Component, Ctx, Expr, MsgLayout, SignalRef};
+    pub use mtl_sim::{Engine, Sim, VcdWriter};
+    pub use mtl_translate::{lint, translate, VerilogLibrary};
+}

@@ -1,0 +1,174 @@
+//! Simulation-tool API behavior: VCD output, memory backdoors, poke
+//! validation, and overheads accounting.
+
+use rustmtl::core::{Component, Ctx, Expr};
+use rustmtl::prelude::*;
+use rustmtl::sim::{Engine, Sim, VcdWriter};
+use rustmtl::stdlib::{Counter, NormalQueue, Register};
+
+#[test]
+fn vcd_contains_header_scopes_and_changes() {
+    let mut sim = Sim::build(&Counter::new(4), Engine::SpecializedOpt).unwrap();
+    sim.reset();
+    sim.poke_port("en", b(1, 1));
+    sim.poke_port("clear", b(1, 0));
+    let mut buf = Vec::new();
+    {
+        let mut vcd = VcdWriter::new(&mut buf, &sim).unwrap();
+        for _ in 0..5 {
+            sim.cycle();
+            vcd.sample(&sim).unwrap();
+        }
+    }
+    let text = String::from_utf8(buf).unwrap();
+    assert!(text.contains("$scope module top $end"));
+    assert!(text.contains("$var wire 4"));
+    assert!(text.contains("$enddefinitions $end"));
+    // Five timestamps ('#' may also appear as a VCD identifier code, so
+    // count only timestamp lines) and at least one value change.
+    let timestamps = text.lines().filter(|l| l.starts_with('#')).count();
+    assert_eq!(timestamps, 5);
+    assert!(text.contains("b1 ") || text.contains("b01 ") || text.contains("b10 "));
+}
+
+#[test]
+#[should_panic(expected = "not a top-level input port")]
+fn poking_an_output_port_panics() {
+    let mut sim = Sim::build(&Register::new(8), Engine::SpecializedOpt).unwrap();
+    sim.poke_port("out", b(8, 1));
+}
+
+#[test]
+#[should_panic(expected = "width mismatch")]
+fn poking_with_wrong_width_panics() {
+    let mut sim = Sim::build(&Register::new(8), Engine::SpecializedOpt).unwrap();
+    sim.poke_port("in_", b(4, 1));
+}
+
+#[test]
+#[should_panic(expected = "no top-level port")]
+fn unknown_port_lists_alternatives() {
+    let sim = Sim::build(&Register::new(8), Engine::SpecializedOpt).unwrap();
+    let _ = sim.peek_port("nonexistent");
+}
+
+#[test]
+fn mem_backdoor_round_trips_on_every_engine() {
+    for engine in Engine::ALL {
+        let mut sim = Sim::build(&NormalQueue::new(8, 4), engine).unwrap();
+        let mem = sim.find_mem("storage");
+        sim.poke_mem(mem, 2, b(8, 0xAB));
+        assert_eq!(sim.peek_mem(mem, 2), b(8, 0xAB), "{engine}");
+        assert_eq!(sim.peek_mem(mem, 1), b(8, 0), "{engine}");
+    }
+}
+
+#[test]
+fn overheads_are_recorded_per_phase() {
+    let sim = Sim::build(&NormalQueue::new(32, 8), Engine::SpecializedOpt).unwrap();
+    let o = sim.overheads();
+    // Elaboration and schedule construction always happen; the tape
+    // engine must also record cgen (it compiled at least two blocks).
+    assert!(o.total().as_nanos() > 0);
+    let interp = Sim::build(&NormalQueue::new(32, 8), Engine::Interpreted).unwrap();
+    assert_eq!(interp.overheads().cgen.as_nanos(), 0, "interpreted engines never codegen");
+}
+
+#[test]
+fn eval_settles_combinational_logic_without_clocking() {
+    struct TwoStage;
+    impl Component for TwoStage {
+        fn name(&self) -> String {
+            "TwoStage".into()
+        }
+        fn build(&self, c: &mut Ctx) {
+            let a = c.in_port("a", 8);
+            let t = c.wire("t", 8);
+            let o = c.out_port("o", 8);
+            c.comb("s1", |b| b.assign(t, a + Expr::k(8, 1)));
+            c.comb("s2", |b| b.assign(o, t.ex().sll(Expr::k(2, 1))));
+        }
+    }
+    for engine in Engine::ALL {
+        let mut sim = Sim::build(&TwoStage, engine).unwrap();
+        sim.poke_port("a", b(8, 5));
+        sim.eval();
+        assert_eq!(sim.peek_port("o"), b(8, 12), "{engine}");
+        assert_eq!(sim.cycle_count(), 0, "{engine}: eval must not clock");
+    }
+}
+
+#[test]
+fn run_advances_exactly_n_cycles() {
+    let mut sim = Sim::build(&Counter::new(8), Engine::SpecializedOpt).unwrap();
+    sim.reset();
+    sim.poke_port("en", b(1, 1));
+    sim.poke_port("clear", b(1, 0));
+    let before = sim.cycle_count();
+    sim.run(17);
+    assert_eq!(sim.cycle_count() - before, 17);
+    assert_eq!(sim.peek_port("count"), b(8, 17));
+}
+
+#[test]
+fn line_trace_renders_named_signals() {
+    let mut sim = Sim::build(&Counter::new(8), Engine::SpecializedOpt).unwrap();
+    sim.reset();
+    sim.poke_port("en", b(1, 1));
+    sim.poke_port("clear", b(1, 0));
+    sim.run(3);
+    let count = sim.design().top_port("count");
+    let line = sim.line_trace(&[("count", count)]);
+    assert!(line.contains("cyc"), "{line}");
+    assert!(line.contains("count=3"), "{line}");
+}
+
+#[test]
+fn find_signal_locates_internal_state() {
+    let sim = Sim::build(&NormalQueue::new(8, 4), Engine::SpecializedOpt).unwrap();
+    let cnt = sim.find_signal("top.count");
+    assert_eq!(sim.design().signal(cnt).width, 3);
+}
+
+#[test]
+fn activity_counts_counter_bit_toggles() {
+    // An n-bit binary counter running for 2^k cycles toggles bit 0 every
+    // cycle, bit 1 every other cycle, ... — total toggles ~ 2N.
+    for engine in Engine::ALL {
+        let mut sim = Sim::build(&Counter::new(8), engine).unwrap();
+        sim.reset();
+        sim.poke_port("en", b(1, 1));
+        sim.poke_port("clear", b(1, 0));
+        sim.enable_activity();
+        sim.run(64);
+        let count_sig = sim.design().top_port("count");
+        let toggles = sim.activity_of(count_sig);
+        // 64 increments: bit0=64, bit1=32, bit2=16 ... = 127 toggles.
+        assert_eq!(toggles, 127, "{engine}");
+    }
+}
+
+#[test]
+fn dynamic_energy_scales_with_activity() {
+    let design1 = rustmtl::core::elaborate(&Counter::new(8)).unwrap();
+    let mut idle = Sim::new(design1, Engine::SpecializedOpt);
+    idle.reset();
+    idle.poke_port("en", b(1, 0));
+    idle.poke_port("clear", b(1, 0));
+    idle.enable_activity();
+    idle.run(64);
+
+    let design2 = rustmtl::core::elaborate(&Counter::new(8)).unwrap();
+    let mut busy = Sim::new(design2, Engine::SpecializedOpt);
+    busy.reset();
+    busy.poke_port("en", b(1, 1));
+    busy.poke_port("clear", b(1, 0));
+    busy.enable_activity();
+    busy.run(64);
+
+    let tech = rustmtl::eda::TechModel::default();
+    let e_idle = rustmtl::eda::dynamic_energy(idle.design(), idle.net_activity(), &tech);
+    let e_busy = rustmtl::eda::dynamic_energy(busy.design(), busy.net_activity(), &tech);
+    assert_eq!(e_idle, 0.0, "a gated counter burns no dynamic energy");
+    assert!(e_busy > 0.0);
+}
