@@ -1,26 +1,76 @@
 //! Ablation studies over the design choices called out in DESIGN.md:
 //! processor microarchitecture (multicycle FSM vs 5-stage pipeline),
 //! router elastic-buffer depth, and cache capacity.
+//!
+//! Every ablation point is a run-to-completion or fixed-window sim with
+//! deterministic cycle/latency results, declared as one `mtl-sweep`
+//! campaign: the points run sharded across workers, results are cached
+//! under `target/sweep-cache/`, and the full record lands in
+//! `BENCH_ablations.json`.
+
+use std::time::Duration;
 
 use mtl_accel::{
     mvmult_data, mvmult_scalar_program, MvMultLayout, Tile, TileConfig, XcelLevel,
 };
-use mtl_bench::banner;
+use mtl_bench::{banner, write_bench_report};
 use mtl_core::{Component, Ctx};
 use mtl_net::{MeshNetworkStructural, NetStats, TrafficGen};
 use mtl_proc::{CacheLevel, MngrAdapter, ProcLevel, TestMemory};
 use mtl_sim::{Engine, Sim};
+use mtl_sweep::{Campaign, CampaignReport, Job, JobMetrics};
+
+const BUFFER_DEPTHS: [usize; 4] = [1, 2, 4, 8];
+const CACHE_LINES: [u64; 4] = [4, 16, 64, 128];
 
 fn main() {
     banner("Ablations: processor pipeline, buffer depth, cache size", "design choices");
-    proc_ablation();
-    buffer_ablation();
-    cache_ablation();
+
+    let mut campaign = Campaign::new("ablations")
+        .job(tile_job(
+            "proc/multicycle",
+            TileConfig { proc: ProcLevel::Rtl, cache: CacheLevel::Rtl, xcel: XcelLevel::Rtl },
+            32,
+        ))
+        .job(tile_job(
+            "proc/pipelined",
+            TileConfig { proc: ProcLevel::PipeRtl, cache: CacheLevel::Rtl, xcel: XcelLevel::Rtl },
+            32,
+        ));
+    for depth in BUFFER_DEPTHS {
+        for injection in [100u32, 600] {
+            campaign = campaign.job(buffer_job(depth, injection));
+        }
+    }
+    for nlines in CACHE_LINES {
+        campaign = campaign.job(tile_job(
+            format!("cache/nlines{nlines}"),
+            TileConfig { proc: ProcLevel::Cl, cache: CacheLevel::Cl, xcel: XcelLevel::Cl },
+            nlines,
+        ));
+    }
+
+    let report = campaign.run();
+    proc_ablation(&report);
+    buffer_ablation(&report);
+    cache_ablation(&report);
+    write_bench_report(&report, "ablations");
 }
 
-// --- 1. Processor microarchitecture -----------------------------------------
+// --- 1 & 3. Tile kernel runs (processor microarchitecture, cache size) ------
 
-fn run_tile_cycles(config: TileConfig, nlines: u64) -> u64 {
+fn tile_job(name: impl Into<String>, config: TileConfig, nlines: u64) -> Job {
+    Job::new(name, move |_ctx| {
+        let cycles = run_tile_cycles(config, nlines)?;
+        Ok(JobMetrics::new().det("cycles", cycles))
+    })
+    .param("config", config)
+    .param("cache_nlines", nlines)
+    .param("kernel", "scalar mvmult 8x16")
+    .budget(Duration::from_secs(120))
+}
+
+fn run_tile_cycles(config: TileConfig, nlines: u64) -> Result<u64, String> {
     let layout = MvMultLayout::default();
     let (rows, cols) = (8u32, 16u32);
     let (mat, vec) = mvmult_data(rows, cols);
@@ -72,32 +122,48 @@ fn run_tile_cycles(config: TileConfig, nlines: u64) -> u64 {
         let base = (layout.vec_base / 4) as usize;
         m[base..base + vec.len()].copy_from_slice(&vec);
     }
-    let mut sim = Sim::build(&h, Engine::SpecializedOpt).unwrap();
+    let mut sim = Sim::build(&h, Engine::SpecializedOpt).map_err(|e| format!("{e:?}"))?;
     sim.reset();
     let mut cycles = 0u64;
     while sim.peek_port("halted").is_zero() {
         sim.cycle();
         cycles += 1;
-        assert!(cycles < 20_000_000);
+        if cycles >= 20_000_000 {
+            return Err("kernel did not halt within 20M cycles".to_string());
+        }
     }
-    cycles
+    Ok(cycles)
 }
 
-fn proc_ablation() {
+fn proc_ablation(report: &CampaignReport) {
     println!("\n--- processor microarchitecture (scalar 8x16 kernel, RTL caches) ---");
-    let multi = run_tile_cycles(
-        TileConfig { proc: ProcLevel::Rtl, cache: CacheLevel::Rtl, xcel: XcelLevel::Rtl },
-        32,
-    );
-    let pipe = run_tile_cycles(
-        TileConfig { proc: ProcLevel::PipeRtl, cache: CacheLevel::Rtl, xcel: XcelLevel::Rtl },
-        32,
-    );
-    println!("  multicycle FSM core : {multi:>8} cycles");
-    println!("  5-stage pipelined   : {pipe:>8} cycles  ({:.2}x fewer)", multi as f64 / pipe as f64);
+    let multi = report.get("proc/multicycle").and_then(|j| j.u64("cycles"));
+    let pipe = report.get("proc/pipelined").and_then(|j| j.u64("cycles"));
+    match (multi, pipe) {
+        (Some(multi), Some(pipe)) => {
+            println!("  multicycle FSM core : {multi:>8} cycles");
+            println!(
+                "  5-stage pipelined   : {pipe:>8} cycles  ({:.2}x fewer)",
+                multi as f64 / pipe as f64
+            );
+        }
+        _ => println!("  failed (see BENCH_ablations.json)"),
+    }
 }
 
 // --- 2. Router elastic-buffer depth ------------------------------------------
+
+fn buffer_job(nentries: usize, injection: u32) -> Job {
+    Job::new(format!("buffer/depth{nentries}/inj{injection:03}"), move |_ctx| {
+        let (avg_latency, accepted_permille) = mesh_latency(nentries, injection);
+        Ok(JobMetrics::new()
+            .det("avg_latency", avg_latency)
+            .det("accepted_permille", accepted_permille))
+    })
+    .param("nentries", nentries)
+    .param("injection_permille", injection)
+    .budget(Duration::from_secs(60))
+}
 
 fn mesh_latency(nentries: usize, injection: u32) -> (f64, f64) {
     struct H {
@@ -138,27 +204,29 @@ fn mesh_latency(nentries: usize, injection: u32) -> (f64, f64) {
     (st.avg_latency(), st.received as f64 * 1000.0 / (1500.0 * 16.0))
 }
 
-fn buffer_ablation() {
+fn buffer_ablation(report: &CampaignReport) {
     println!("\n--- router elastic-buffer depth (16-node CL mesh) ---");
     println!("  {:>8} {:>18} {:>18}", "depth", "latency @ 10%", "accepted @ 60%");
-    for depth in [1usize, 2, 4, 8] {
-        let (lat, _) = mesh_latency(depth, 100);
-        let (_, acc) = mesh_latency(depth, 600);
-        println!("  {depth:>8} {lat:>18.1} {acc:>18.1}");
+    for depth in BUFFER_DEPTHS {
+        let lat = report.metric(&format!("buffer/depth{depth}/inj100"), "avg_latency");
+        let acc = report.metric(&format!("buffer/depth{depth}/inj600"), "accepted_permille");
+        match (lat, acc) {
+            (Some(lat), Some(acc)) => println!("  {depth:>8} {lat:>18.1} {acc:>18.1}"),
+            _ => println!("  {depth:>8} {:>18} {:>18}", "failed", "-"),
+        }
     }
     println!("  (depth 1 halves link throughput — the reason the routers use 2+)");
 }
 
 // --- 3. Cache capacity --------------------------------------------------------
 
-fn cache_ablation() {
+fn cache_ablation(report: &CampaignReport) {
     println!("\n--- cache capacity (scalar 8x16 kernel, CL tile) ---");
     println!("  {:>8} {:>12}", "lines", "cycles");
-    for nlines in [4u64, 16, 64, 128] {
-        let cycles = run_tile_cycles(
-            TileConfig { proc: ProcLevel::Cl, cache: CacheLevel::Cl, xcel: XcelLevel::Cl },
-            nlines,
-        );
-        println!("  {nlines:>8} {cycles:>12}");
+    for nlines in CACHE_LINES {
+        match report.get(&format!("cache/nlines{nlines}")).and_then(|j| j.u64("cycles")) {
+            Some(cycles) => println!("  {nlines:>8} {cycles:>12}"),
+            None => println!("  {nlines:>8} {:>12}", "failed"),
+        }
     }
 }

@@ -6,100 +6,169 @@
 //! and reports performance normalized to the pure instruction-set
 //! simulator running the same kernel — exactly the axes of the paper's
 //! Figure 13 (LOD score vs. relative simulator performance).
+//!
+//! The 55 kernel runs (27 configs × 2 engines + the ISS reference) are
+//! independent sims, declared as an `mtl-sweep` campaign: sharded,
+//! panic-isolated, and reported to `BENCH_fig13.json`. Simulated cycle
+//! counts are deterministic metrics; kernel wall-times (and thus the
+//! relative-performance columns) are timing metrics.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use mtl_accel::{mvmult_data, mvmult_xcel_program, run_tile, MvMultLayout, TileConfig};
-use mtl_bench::banner;
+use mtl_bench::{banner, write_bench_report};
 use mtl_proc::Iss;
 use mtl_sim::Engine;
+use mtl_sweep::{Campaign, CampaignReport, Job, JobMetrics};
 
 const ROWS: u32 = 8;
 const COLS: u32 = 16;
 
-fn iss_time(program: &[u32], layout: MvMultLayout) -> f64 {
-    let (mat, vec) = mvmult_data(ROWS, COLS);
-    // Median of several runs; the ISS is very fast on this kernel.
-    let mut best = f64::INFINITY;
-    for _ in 0..5 {
-        let mut iss = Iss::new(1 << 16);
-        iss.load(0, program);
-        iss.load(layout.mat_base, &mat);
-        iss.load(layout.vec_base, &vec);
-        let t0 = Instant::now();
-        let mut reps = 0;
-        while t0.elapsed().as_millis() < 50 {
-            let mut i = iss.clone();
-            i.run(10_000_000);
-            assert!(i.halted);
-            reps += 1;
+fn iss_job() -> Job {
+    Job::new("iss", |_ctx| {
+        let layout = MvMultLayout::default();
+        let program = mvmult_xcel_program(ROWS, COLS, layout);
+        let (mat, vec) = mvmult_data(ROWS, COLS);
+        // Median of several runs; the ISS is very fast on this kernel.
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            let mut iss = Iss::new(1 << 16);
+            iss.load(0, &program);
+            iss.load(layout.mat_base, &mat);
+            iss.load(layout.vec_base, &vec);
+            let t0 = Instant::now();
+            let mut reps = 0;
+            while t0.elapsed().as_millis() < 50 {
+                let mut i = iss.clone();
+                i.run(10_000_000);
+                if !i.halted {
+                    return Err("ISS did not halt on the kernel".to_string());
+                }
+                reps += 1;
+            }
+            best = best.min(t0.elapsed().as_secs_f64() / reps as f64);
         }
-        best = best.min(t0.elapsed().as_secs_f64() / reps as f64);
+        Ok(JobMetrics::new().timing("kernel_secs", best))
+    })
+    .param("kernel", format!("mvmult {ROWS}x{COLS}"))
+    .budget(Duration::from_secs(30))
+    .uncacheable()
+}
+
+fn engine_short(engine: Engine) -> &'static str {
+    match engine {
+        Engine::Interpreted => "interp",
+        _ => "spec",
     }
-    best
+}
+
+fn tile_job(config: TileConfig, engine: Engine) -> Job {
+    Job::new(format!("{config}/{}", engine_short(engine)), move |_ctx| {
+        let layout = MvMultLayout::default();
+        let program = mvmult_xcel_program(ROWS, COLS, layout);
+        let (mat, vec) = mvmult_data(ROWS, COLS);
+        let data: Vec<(u32, &[u32])> =
+            vec![(layout.mat_base, &mat), (layout.vec_base, &vec)];
+        let t0 = Instant::now();
+        let r = run_tile(config, &program, &data, 5_000_000, engine);
+        let dt = t0.elapsed().as_secs_f64();
+        Ok(JobMetrics::new()
+            .det("cycles", r.cycles)
+            .det("lod", config.lod() as u64)
+            .timing("kernel_secs", dt))
+    })
+    .param("config", config)
+    .param("lod", config.lod())
+    .param("engine", engine)
+    .budget(Duration::from_secs(120))
+    .uncacheable() // kernel wall-time is the measurement
 }
 
 fn main() {
     banner("Figure 13: simulator performance vs level of detail", "Fig. 13");
-    let layout = MvMultLayout::default();
-    let program = mvmult_xcel_program(ROWS, COLS, layout);
-    let (mat, vec) = mvmult_data(ROWS, COLS);
-    let data: Vec<(u32, &[u32])> = vec![(layout.mat_base, &mat), (layout.vec_base, &vec)];
 
-    let t_iss = iss_time(&program, layout);
+    let mut campaign = Campaign::new("fig13").job(iss_job());
+    for config in TileConfig::all() {
+        for engine in [Engine::Interpreted, Engine::SpecializedOpt] {
+            campaign = campaign.job(tile_job(config, engine));
+        }
+    }
+    let report = campaign.run();
+    print_tables(&report);
+    write_bench_report(&report, "fig13");
+}
+
+fn print_tables(report: &CampaignReport) {
+    let Some(t_iss) = report.metric("iss", "kernel_secs") else {
+        println!("ISS reference failed; cannot normalize (see BENCH_fig13.json)");
+        return;
+    };
     println!("pure ISS reference: {:.3} ms per kernel (LOD 1, perf 1.0)\n", t_iss * 1e3);
 
     println!(
         "{:<16} {:>4} {:>12} {:>14} {:>14}",
         "config <P,C,A>", "LOD", "cycles", "interp perf", "specialized perf"
     );
-    let mut rows: Vec<(TileConfig, u32, u64, f64, f64)> = Vec::new();
+    // (config, lod, cycles, interp perf, specialized perf)
+    let mut rows: Vec<(TileConfig, u32, u64, Option<f64>, Option<f64>)> = Vec::new();
     for config in TileConfig::all() {
-        let mut perf = [0.0f64; 2];
-        let mut cycles = 0;
-        for (i, engine) in [Engine::Interpreted, Engine::SpecializedOpt].iter().enumerate() {
-            let t0 = Instant::now();
-            let r = run_tile(config, &program, &data, 5_000_000, *engine);
-            let dt = t0.elapsed().as_secs_f64();
-            cycles = r.cycles;
-            perf[i] = t_iss / dt;
-        }
-        rows.push((config, config.lod(), cycles, perf[0], perf[1]));
+        let perf = |engine| {
+            report
+                .metric(&format!("{config}/{}", engine_short(engine)), "kernel_secs")
+                .map(|dt| t_iss / dt)
+        };
+        let cycles = report
+            .get(&format!("{config}/spec"))
+            .and_then(|j| j.u64("cycles"))
+            .or_else(|| report.get(&format!("{config}/interp")).and_then(|j| j.u64("cycles")))
+            .unwrap_or(0);
+        rows.push((
+            config,
+            config.lod(),
+            cycles,
+            perf(Engine::Interpreted),
+            perf(Engine::SpecializedOpt),
+        ));
     }
     rows.sort_by_key(|r| r.1);
+    let fmt = |p: Option<f64>| match p {
+        Some(v) => format!("{v:>14.4}"),
+        None => format!("{:>14}", "failed"),
+    };
     for (config, lod, cycles, p_int, p_spec) in &rows {
         println!(
-            "{:<16} {:>4} {:>12} {:>14.4} {:>14.4}",
+            "{:<16} {:>4} {:>12} {} {}",
             config.to_string(),
             lod,
             cycles,
-            p_int,
-            p_spec
+            fmt(*p_int),
+            fmt(*p_spec)
         );
     }
 
     // Shape summary: specialization lifts every configuration; detail
     // costs performance.
-    let lod3: Vec<&(TileConfig, u32, u64, f64, f64)> =
-        rows.iter().filter(|r| r.1 == 3).collect();
-    let lod9: Vec<&(TileConfig, u32, u64, f64, f64)> =
-        rows.iter().filter(|r| r.1 == 9).collect();
-    let avg = |v: &[&(TileConfig, u32, u64, f64, f64)], f: fn(&(TileConfig, u32, u64, f64, f64)) -> f64| {
-        v.iter().map(|r| f(r)).sum::<f64>() / v.len() as f64
+    let mean_at = |lod: u32, pick: fn(&(TileConfig, u32, u64, Option<f64>, Option<f64>)) -> Option<f64>| {
+        let vals: Vec<f64> = rows.iter().filter(|r| r.1 == lod).filter_map(pick).collect();
+        if vals.is_empty() {
+            f64::NAN
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
     };
     println!(
         "\nLOD 3 mean perf: interp {:.4}, specialized {:.4}",
-        avg(&lod3, |r| r.3),
-        avg(&lod3, |r| r.4)
+        mean_at(3, |r| r.3),
+        mean_at(3, |r| r.4)
     );
     println!(
         "LOD 9 mean perf: interp {:.4}, specialized {:.4}",
-        avg(&lod9, |r| r.3),
-        avg(&lod9, |r| r.4)
+        mean_at(9, |r| r.3),
+        mean_at(9, |r| r.4)
     );
     println!(
         "specialization lift across all configs: {:.1}x (geometric mean)",
-        geomean(rows.iter().map(|r| r.4 / r.3))
+        geomean(rows.iter().filter_map(|r| Some(r.4? / r.3?)))
     );
 }
 

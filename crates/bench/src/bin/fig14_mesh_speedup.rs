@@ -8,79 +8,180 @@
 //! from measured rates and measured overheads. The hand-written Rust
 //! simulator plays the role of the paper's hand-coded C++/Verilator
 //! baselines.
+//!
+//! The 13 measurements (3 levels × 4 engines + the handwritten baseline)
+//! run as an `mtl-sweep` campaign and land in `BENCH_fig14.json`.
 
 use std::time::{Duration, Instant};
 
-use mtl_bench::{banner, measure_handwritten_rate, measure_rate, mesh_harness, RateMeasurement};
+use mtl_bench::{
+    banner, measure_handwritten_rate, measure_rate_bounded, mesh_harness, rate_metrics,
+    write_bench_report,
+};
 use mtl_net::NetLevel;
 use mtl_sim::Engine;
+use mtl_sweep::{Campaign, CampaignReport, Job, JobMetrics};
 
 const NROUTERS: usize = 64;
 const INJECTION: u32 = 300; // near saturation for the 8x8 mesh
 const TARGETS: [u64; 6] = [100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+const LEVELS: [NetLevel; 3] = [NetLevel::Fl, NetLevel::Cl, NetLevel::Rtl];
+
+fn job_name(level: NetLevel, engine: Engine) -> String {
+    format!("{level}/{engine}")
+}
+
+fn engine_job(level: NetLevel, engine: Engine) -> Job {
+    // Interpreted engines are slow; cap their measurement burden.
+    let (min_wall, max_cycles) = match engine {
+        Engine::Interpreted => (Duration::from_millis(1500), 20_000),
+        Engine::InterpretedOpt => (Duration::from_millis(1200), 50_000),
+        _ => (Duration::from_millis(800), 2_000_000),
+    };
+    Job::new(job_name(level, engine), move |ctx| {
+        let harness = mesh_harness(level, NROUTERS, INJECTION);
+        let mut m =
+            measure_rate_bounded(&harness, engine, min_wall, max_cycles, ctx.deadline());
+        // The RTL specialization path includes Verilog translation +
+        // re-parse ("veri"); charge it for the specialized engines on
+        // RTL models, mirroring SimJIT-RTL's pipeline.
+        if level == NetLevel::Rtl
+            && matches!(engine, Engine::Specialized | Engine::SpecializedOpt)
+        {
+            let t0 = Instant::now();
+            let design = mtl_core::elaborate(&*mtl_net::network(level, NROUTERS, 32))
+                .map_err(|e| format!("elaboration for veri overhead: {e:?}"))?;
+            if let Ok(v) = mtl_translate::translate(&design) {
+                let _ = mtl_translate::VerilogLibrary::parse(&v)
+                    .map_err(|e| format!("emitted Verilog failed to reparse: {e}"))?;
+            }
+            m.overheads.veri = t0.elapsed();
+        }
+        Ok(rate_metrics(&m))
+    })
+    .param("level", level)
+    .param("engine", engine)
+    .param("nrouters", NROUTERS)
+    .param("injection_permille", INJECTION)
+    .budget(Duration::from_secs(60))
+    .uncacheable()
+}
+
+fn handwritten_job() -> Job {
+    Job::new("handwritten", |_ctx| {
+        let rate = measure_handwritten_rate(
+            NROUTERS,
+            INJECTION,
+            Duration::from_millis(500),
+            20_000_000,
+        );
+        Ok(JobMetrics::new().timing("cycles_per_sec", rate))
+    })
+    .param("nrouters", NROUTERS)
+    .param("injection_permille", INJECTION)
+    .budget(Duration::from_secs(30))
+    .uncacheable()
+}
+
+/// Rate + overhead for one engine, reconstructed from the report.
+#[derive(Clone, Copy)]
+struct Point {
+    rate: f64,
+    overhead_secs: f64,
+}
+
+impl Point {
+    fn from_report(report: &CampaignReport, name: &str) -> Option<Point> {
+        let job = report.get(name)?;
+        Some(Point {
+            rate: job.f64("cycles_per_sec")?,
+            overhead_secs: job.f64("overhead_total_secs").unwrap_or(0.0),
+        })
+    }
+
+    fn sim_time(&self, n: u64) -> f64 {
+        n as f64 / self.rate
+    }
+
+    fn total_time(&self, n: u64) -> f64 {
+        self.sim_time(n) + self.overhead_secs
+    }
+}
+
+fn print_level(report: &CampaignReport, level: NetLevel, handwritten: Option<f64>) {
+    println!("\n--- {level} {NROUTERS}-node mesh (injection {INJECTION}/1000) ---");
+    let mut points: Vec<(Engine, Option<Point>)> = Vec::new();
+    for engine in Engine::ALL {
+        let name = job_name(level, engine);
+        let point = Point::from_report(report, &name);
+        match (&point, report.get(&name)) {
+            (Some(p), Some(job)) => println!(
+                "  {engine:18} rate {:>12.0} cyc/s   overheads {:.3}s (measured over {} cycles)",
+                p.rate,
+                p.overhead_secs,
+                job.u64("measured_cycles").unwrap_or(0),
+            ),
+            _ => println!("  {engine:18} FAILED (see BENCH_fig14.json)"),
+        }
+        points.push((engine, point));
+    }
+    match handwritten {
+        Some(rate) => {
+            println!("  {:18} rate {rate:>12.0} cyc/s (ELL baseline)", "handwritten")
+        }
+        None => println!("  {:18} FAILED", "handwritten"),
+    }
+
+    let Some(base) = points[0].1 else {
+        println!("  (interpreted baseline failed; speedup table skipped)");
+        return;
+    };
+    println!("\n  speedup over interpreted (solid = sim only / dotted = incl. overheads)");
+    print!("  {:>10}", "cycles");
+    for (engine, _) in &points[1..] {
+        print!("  {:>22}", engine.to_string());
+    }
+    println!("  {:>22}", "handwritten");
+    for n in TARGETS {
+        print!("  {n:>10}");
+        for (_, point) in &points[1..] {
+            match point {
+                Some(m) => print!(
+                    "  {:>11.1} /{:>8.1}",
+                    base.sim_time(n) / m.sim_time(n),
+                    base.total_time(n) / m.total_time(n)
+                ),
+                None => print!("  {:>11} /{:>8}", "failed", "-"),
+            }
+        }
+        match handwritten {
+            Some(rate) => print!("  {:>11.1} /{:>8}", base.sim_time(n) / (n as f64 / rate), "-"),
+            None => print!("  {:>11} /{:>8}", "failed", "-"),
+        }
+        println!();
+    }
+    if let (Some(best), Some(hw)) = (points.last().unwrap().1, handwritten) {
+        println!(
+            "  gap to handwritten baseline at steady state: {:.1}x",
+            hw / best.rate
+        );
+    }
+}
 
 fn main() {
     banner("Figure 14: mesh simulator speedup vs target cycles", "Fig. 14");
-
-    for level in [NetLevel::Fl, NetLevel::Cl, NetLevel::Rtl] {
-        println!("\n--- {level} 64-node mesh (injection {INJECTION}/1000) ---");
-        let mut measurements: Vec<(Engine, RateMeasurement)> = Vec::new();
+    let mut campaign = Campaign::new("fig14");
+    for level in LEVELS {
         for engine in Engine::ALL {
-            // Interpreted engines are slow; cap their measurement burden.
-            let (min_wall, max_cycles) = match engine {
-                Engine::Interpreted => (Duration::from_millis(1500), 20_000),
-                Engine::InterpretedOpt => (Duration::from_millis(1200), 50_000),
-                _ => (Duration::from_millis(800), 2_000_000),
-            };
-            let mut m = measure_rate(&mesh_harness(level, NROUTERS, INJECTION), engine, min_wall, max_cycles);
-            // The RTL specialization path includes Verilog translation +
-            // re-parse ("veri"); charge it for the specialized engines on
-            // RTL models, mirroring SimJIT-RTL's pipeline.
-            if level == NetLevel::Rtl
-                && matches!(engine, Engine::Specialized | Engine::SpecializedOpt)
-            {
-                let t0 = Instant::now();
-                let design =
-                    mtl_core::elaborate(&*mtl_net::network(level, NROUTERS, 32)).unwrap();
-                if let Ok(v) = mtl_translate::translate(&design) {
-                    let _ = mtl_translate::VerilogLibrary::parse(&v).unwrap();
-                }
-                m.overheads.veri = t0.elapsed();
-            }
-            println!(
-                "  {engine:18} rate {:>12.0} cyc/s   overheads {:.3}s (measured over {} cycles)",
-                m.cycles_per_sec,
-                m.overheads.total().as_secs_f64(),
-                m.measured_cycles
-            );
-            measurements.push((engine, m));
+            campaign = campaign.job(engine_job(level, engine));
         }
-        let handwritten =
-            measure_handwritten_rate(NROUTERS, INJECTION, Duration::from_millis(500), 20_000_000);
-        println!("  {:18} rate {handwritten:>12.0} cyc/s (ELL baseline)", "handwritten");
-
-        let base = measurements[0].1;
-        println!("\n  speedup over interpreted (solid = sim only / dotted = incl. overheads)");
-        print!("  {:>10}", "cycles");
-        for (engine, _) in &measurements[1..] {
-            print!("  {:>22}", engine.to_string());
-        }
-        println!("  {:>22}", "handwritten");
-        for n in TARGETS {
-            print!("  {n:>10}");
-            for (_, m) in &measurements[1..] {
-                let solid = base.sim_time(n) / m.sim_time(n);
-                let dotted = base.total_time(n) / m.total_time(n);
-                print!("  {:>11.1} /{:>8.1}", solid, dotted);
-            }
-            let hw_solid = base.sim_time(n) / (n as f64 / handwritten);
-            print!("  {hw_solid:>11.1} /{:>8}", "-");
-            println!();
-        }
-        let best = measurements.last().unwrap().1;
-        println!(
-            "  gap to handwritten baseline at steady state: {:.1}x",
-            handwritten / best.cycles_per_sec
-        );
     }
+    campaign = campaign.job(handwritten_job());
+    let report = campaign.run();
+
+    let handwritten = report.metric("handwritten", "cycles_per_sec");
+    for level in LEVELS {
+        print_level(&report, level, handwritten);
+    }
+    write_bench_report(&report, "fig14");
 }

@@ -1,18 +1,31 @@
 //! Shared measurement utilities for the figure-regeneration binaries.
 //!
 //! Each binary under `src/bin/` regenerates one table or figure from the
-//! paper's evaluation (see `DESIGN.md` §5 for the index). The common
-//! methodology lives here: build a simulator, measure its steady-state
-//! simulation rate (cycles/second), and capture its construction
+//! paper's evaluation (see `DESIGN.md` §5 for the index). The figure
+//! binaries declare [`mtl_sweep::Campaign`]s of independent measurement
+//! [`Job`]s; the shared methodology lives here: build a simulator inside
+//! the job, measure its steady-state simulation rate (cycles/second) with
+//! [`mtl_sweep::measure_batched`] (warmup excluded from the timed window,
+//! batch doubling clamped to the cycle cap), and capture its construction
 //! overheads, so speedup-vs-run-length curves can be reported exactly the
 //! way Figure 14 reports them (solid = steady-state rate ratio, dotted =
 //! including one-time overheads).
+//!
+//! Every campaign binary writes a machine-readable `BENCH_<fig>.json`
+//! report (schema in `EXPERIMENTS.md`) next to its stdout tables; set
+//! `RUSTMTL_BENCH_DIR` to redirect the reports, `RUSTMTL_JOBS` to control
+//! sweep parallelism. Rates measured with many concurrent workers contend
+//! for cores: for publication-quality absolute rates run with
+//! `RUSTMTL_JOBS=1`; relative shapes (speedup curves) are robust because
+//! contention cancels in the ratios.
 
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use mtl_core::Component;
 use mtl_net::{MeshTrafficHarness, NetLevel};
 use mtl_sim::{Engine, Overheads, Sim};
+use mtl_sweep::{measure_batched, Job, JobCtx, JobMetrics};
 
 /// A measured simulation rate plus its construction overheads.
 #[derive(Debug, Clone, Copy)]
@@ -40,34 +53,37 @@ impl RateMeasurement {
 
 /// Builds a simulator for `top` and measures its simulation rate.
 ///
-/// Runs a short warmup, then measures in doubling batches until at least
-/// `min_wall` has elapsed or `max_cycles` have been simulated.
+/// Runs a short untimed warmup, restarts the clock, then measures in
+/// doubling batches until at least `min_wall` has elapsed or exactly
+/// `max_cycles` have been simulated (batches are clamped, never
+/// overshooting the cap — short `cap`-bounded RTL measurements execute
+/// precisely the budgeted cycles).
 pub fn measure_rate(
     top: &dyn Component,
     engine: Engine,
     min_wall: Duration,
     max_cycles: u64,
 ) -> RateMeasurement {
+    measure_rate_bounded(top, engine, min_wall, max_cycles, None)
+}
+
+/// [`measure_rate`] with an optional hard deadline (used by campaign jobs
+/// to honor their wall-clock budget cooperatively).
+pub fn measure_rate_bounded(
+    top: &dyn Component,
+    engine: Engine,
+    min_wall: Duration,
+    max_cycles: u64,
+    deadline: Option<Instant>,
+) -> RateMeasurement {
     let mut sim = Sim::build(top, engine).expect("elaboration failed");
     let overheads = *sim.overheads();
     sim.reset();
-    sim.run(16);
-    let mut batch = 64u64;
-    let mut total_cycles = 0u64;
-    let t0 = Instant::now();
-    loop {
-        sim.run(batch);
-        total_cycles += batch;
-        if t0.elapsed() >= min_wall || total_cycles >= max_cycles {
-            break;
-        }
-        batch = (batch * 2).min(max_cycles - total_cycles);
-    }
-    let elapsed = t0.elapsed().as_secs_f64();
+    let m = measure_batched(|n| sim.run(n), 16, 64, min_wall, max_cycles, deadline);
     RateMeasurement {
-        cycles_per_sec: total_cycles as f64 / elapsed,
+        cycles_per_sec: m.rate(),
         overheads,
-        measured_cycles: total_cycles,
+        measured_cycles: m.work,
     }
 }
 
@@ -85,19 +101,82 @@ pub fn measure_handwritten_rate(
     max_cycles: u64,
 ) -> f64 {
     let mut mesh = mtl_net::HandwrittenMesh::new(nrouters, injection_permille, 0xBEEF);
-    mesh.run(16);
-    let mut batch = 1024u64;
-    let mut total = 0u64;
-    let t0 = Instant::now();
-    loop {
-        mesh.run(batch);
-        total += batch;
-        if t0.elapsed() >= min_wall || total >= max_cycles {
-            break;
-        }
-        batch = (batch * 2).min(max_cycles - total);
+    measure_batched(|n| mesh.run(n), 16, 1024, min_wall, max_cycles, None).rate()
+}
+
+/// Converts a [`RateMeasurement`] into campaign metrics: the simulated
+/// cycle count is deterministic; the rate and construction-overhead
+/// phases are wall-clock timing.
+pub fn rate_metrics(m: &RateMeasurement) -> JobMetrics {
+    JobMetrics::new()
+        .det("measured_cycles", m.measured_cycles)
+        .timing("cycles_per_sec", m.cycles_per_sec)
+        .timing("overhead_elab_secs", m.overheads.elab.as_secs_f64())
+        .timing("overhead_cgen_secs", m.overheads.cgen.as_secs_f64())
+        .timing("overhead_veri_secs", m.overheads.veri.as_secs_f64())
+        .timing("overhead_comp_secs", m.overheads.comp.as_secs_f64())
+        .timing("overhead_wrap_secs", m.overheads.wrap.as_secs_f64())
+        .timing("overhead_total_secs", m.overheads.total().as_secs_f64())
+}
+
+/// Reads the overhead phases back out of job metrics produced by
+/// [`rate_metrics`] (for tables that report total-time speedups).
+pub fn overheads_from_metrics(metrics: &JobMetrics) -> f64 {
+    metrics.f64("overhead_total_secs").unwrap_or(0.0)
+}
+
+/// A campaign job measuring the simulation rate of a mesh-traffic
+/// harness under one engine — the shared measurement point of Figures
+/// 14 and 15.
+pub fn mesh_rate_job(
+    name: impl Into<String>,
+    level: NetLevel,
+    nrouters: usize,
+    injection_permille: u32,
+    engine: Engine,
+    min_wall: Duration,
+    max_cycles: u64,
+) -> Job {
+    Job::new(name, move |ctx: &JobCtx| {
+        let harness = mesh_harness(level, nrouters, injection_permille);
+        let m = measure_rate_bounded(&harness, engine, min_wall, max_cycles, ctx.deadline());
+        Ok(rate_metrics(&m))
+    })
+    .param("level", level)
+    .param("nrouters", nrouters)
+    .param("injection_permille", injection_permille)
+    .param("engine", engine)
+    .param("min_wall_ms", min_wall.as_millis())
+    .param("max_cycles", max_cycles)
+    // Rates are wall-clock measurements: caching would freeze them.
+    .uncacheable()
+}
+
+/// Where `BENCH_<name>.json` reports go: `RUSTMTL_BENCH_DIR` if set,
+/// otherwise the current directory.
+pub fn bench_report_path(name: &str) -> PathBuf {
+    let dir = std::env::var("RUSTMTL_BENCH_DIR").unwrap_or_default();
+    let base =
+        if dir.is_empty() { PathBuf::from(".") } else { PathBuf::from(dir) };
+    base.join(format!("BENCH_{name}.json"))
+}
+
+/// Writes a campaign report to [`bench_report_path`] and echoes the
+/// location plus failure counts on stdout.
+pub fn write_bench_report(report: &mtl_sweep::CampaignReport, name: &str) {
+    let path = bench_report_path(name);
+    match report.write_json(&path) {
+        Ok(()) => println!(
+            "\nwrote {} ({} jobs, {} failed, {} cached, {} workers, {:.1}s wall)",
+            path.display(),
+            report.jobs.len(),
+            report.failed_count(),
+            report.cached_count(),
+            report.workers,
+            report.wall.as_secs_f64(),
+        ),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
     }
-    total as f64 / t0.elapsed().as_secs_f64()
 }
 
 /// Formats a duration in seconds with millisecond precision.

@@ -1,0 +1,199 @@
+//! Content-addressed result cache.
+//!
+//! Every job gets an FNV-1a fingerprint over the campaign name, job name,
+//! ordered parameters, per-job seed, and a cache format version. Finished
+//! results are persisted as one JSON file per fingerprint under
+//! `target/sweep-cache/` (override with `RUSTMTL_SWEEP_CACHE=<dir>`,
+//! disable with `RUSTMTL_SWEEP_CACHE=0`), so re-running a campaign skips
+//! every measurement point whose identity is unchanged.
+
+use std::path::{Path, PathBuf};
+
+use crate::job::{Job, JobMetrics};
+use crate::json::{self, Json};
+
+/// Bump when the cache entry format or fingerprint inputs change.
+const CACHE_FORMAT: u32 = 1;
+
+/// 64-bit FNV-1a over a byte stream.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    pub fn new() -> Fnv1a {
+        Fnv1a(0xCBF2_9CE4_8422_2325)
+    }
+
+    pub fn write(&mut self, bytes: &[u8]) -> &mut Fnv1a {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        self
+    }
+
+    pub fn write_str(&mut self, s: &str) -> &mut Fnv1a {
+        // Length-prefix so ("ab","c") and ("a","bc") hash differently.
+        self.write(&(s.len() as u64).to_le_bytes()).write(s.as_bytes())
+    }
+
+    pub fn write_u64(&mut self, v: u64) -> &mut Fnv1a {
+        self.write(&v.to_le_bytes())
+    }
+
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Fnv1a {
+        Fnv1a::new()
+    }
+}
+
+/// Convenience: FNV-1a of one string.
+pub fn fnv1a(s: &str) -> u64 {
+    Fnv1a::new().write_str(s).finish()
+}
+
+/// The fingerprint identifying one measurement point's result.
+pub fn job_fingerprint(campaign: &str, job: &Job, seed: u64) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(CACHE_FORMAT as u64)
+        .write_str(campaign)
+        .write_str(&job.name)
+        .write_u64(seed)
+        .write_u64(job.params.len() as u64);
+    for (k, v) in &job.params {
+        h.write_str(k).write_str(v);
+    }
+    h.finish()
+}
+
+/// Where (and whether) results are persisted.
+#[derive(Debug, Clone)]
+pub enum CacheSetting {
+    /// Resolve from `RUSTMTL_SWEEP_CACHE`, defaulting to
+    /// `target/sweep-cache/`.
+    Default,
+    /// Use an explicit directory.
+    Dir(PathBuf),
+    /// Never read or write cached results.
+    Disabled,
+}
+
+impl CacheSetting {
+    pub(crate) fn resolve(&self) -> Option<PathBuf> {
+        match self {
+            CacheSetting::Disabled => None,
+            CacheSetting::Dir(d) => Some(d.clone()),
+            CacheSetting::Default => match std::env::var("RUSTMTL_SWEEP_CACHE") {
+                Ok(v) if v == "0" || v.eq_ignore_ascii_case("off") => None,
+                Ok(v) if !v.is_empty() => Some(PathBuf::from(v)),
+                _ => Some(PathBuf::from("target/sweep-cache")),
+            },
+        }
+    }
+}
+
+/// A resolved, ready-to-use cache directory.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) the cache directory; `None` if creation
+    /// fails — caching then silently degrades to "always miss".
+    pub fn open(dir: &Path) -> Option<ResultCache> {
+        std::fs::create_dir_all(dir).ok()?;
+        Some(ResultCache { dir: dir.to_path_buf() })
+    }
+
+    fn entry_path(&self, fingerprint: u64) -> PathBuf {
+        self.dir.join(format!("{fingerprint:016x}.json"))
+    }
+
+    /// Loads a cached result; any unreadable/corrupt entry is a miss.
+    pub fn load(&self, fingerprint: u64) -> Option<JobMetrics> {
+        let text = std::fs::read_to_string(self.entry_path(fingerprint)).ok()?;
+        let doc = json::parse(&text).ok()?;
+        if doc.get("format").and_then(Json::as_u64) != Some(CACHE_FORMAT as u64) {
+            return None;
+        }
+        JobMetrics::from_json(doc.get("metrics"), doc.get("timing"))
+    }
+
+    /// Persists a result. Failures are ignored: the cache is an
+    /// optimization, never a correctness dependency.
+    pub fn store(&self, fingerprint: u64, job_name: &str, metrics: &JobMetrics) {
+        let (det, timing) = metrics.to_json();
+        let mut doc = Json::obj();
+        doc.set("format", CACHE_FORMAT)
+            .set("job", job_name)
+            .set("fingerprint", format!("{fingerprint:016x}"))
+            .set("metrics", det)
+            .set("timing", timing);
+        let path = self.entry_path(fingerprint);
+        let tmp = path.with_extension("json.tmp");
+        // Write-then-rename so concurrent campaigns never observe a
+        // half-written entry.
+        if std::fs::write(&tmp, doc.to_pretty()).is_ok() {
+            let _ = std::fs::rename(&tmp, &path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Metric;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("mtl-sweep-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fingerprints_separate_distinct_points() {
+        let mk = |name: &str, inj: u32, seed| {
+            let job =
+                Job::new(name, |_| Ok(JobMetrics::new())).param("inj", inj).param("level", "cl");
+            job_fingerprint("fig15", &job, seed)
+        };
+        let base = mk("a", 20, 1);
+        assert_eq!(base, mk("a", 20, 1), "fingerprints must be stable");
+        assert_ne!(base, mk("b", 20, 1));
+        assert_ne!(base, mk("a", 80, 1));
+        assert_ne!(base, mk("a", 20, 2));
+    }
+
+    #[test]
+    fn round_trips_metrics_through_disk() {
+        let dir = tmp_dir("roundtrip");
+        let cache = ResultCache::open(&dir).unwrap();
+        let metrics = JobMetrics::new()
+            .det("cycles", 600u64)
+            .det("engine", "specialized-opt")
+            .det("latency", 13.25)
+            .timing("cycles_per_sec", 1.25e6);
+        cache.store(42, "point", &metrics);
+        let back = cache.load(42).unwrap();
+        assert_eq!(back, metrics);
+        assert_eq!(back.get("engine"), Some(Metric::Str("specialized-opt".into())));
+        assert!(cache.load(43).is_none(), "unknown fingerprint must miss");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_are_misses() {
+        let dir = tmp_dir("corrupt");
+        let cache = ResultCache::open(&dir).unwrap();
+        std::fs::write(dir.join(format!("{:016x}.json", 7u64)), "{not json").unwrap();
+        assert!(cache.load(7).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

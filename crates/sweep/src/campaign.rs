@@ -1,0 +1,473 @@
+//! Campaigns: a set of independent jobs, a sharded executor, and the
+//! JSON report.
+//!
+//! The executor honors `RUSTMTL_JOBS` (or the machine's available
+//! parallelism) and runs jobs on scoped worker threads pulling from a
+//! shared queue. Each job is isolated with `catch_unwind` and an optional
+//! wall-clock budget, so one pathological configuration degrades to a
+//! `failed` entry in the report instead of killing the campaign. Results
+//! land in slots indexed by declaration order, so the report — and its
+//! canonical (wall-clock-free) form — is identical for any worker count.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::cache::{job_fingerprint, CacheSetting, Fnv1a, ResultCache};
+use crate::job::{Job, JobCtx, JobOutcome, JobReport};
+use crate::json::Json;
+use crate::progress::Progress;
+
+/// A simulation campaign: named, seeded, and ready to run.
+pub struct Campaign {
+    name: String,
+    seed: u64,
+    jobs: Vec<Job>,
+    workers: Option<usize>,
+    cache: CacheSetting,
+}
+
+impl Campaign {
+    pub fn new(name: impl Into<String>) -> Campaign {
+        Campaign {
+            name: name.into(),
+            seed: 0x5EED_0000_BEEF,
+            jobs: Vec::new(),
+            workers: None,
+            cache: CacheSetting::Default,
+        }
+    }
+
+    /// Sets the campaign seed; per-job seeds are derived from it and the
+    /// job name, so renaming the campaign's seed re-randomizes every
+    /// point deterministically.
+    pub fn seed(mut self, seed: u64) -> Campaign {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the worker count (otherwise `RUSTMTL_JOBS`, otherwise
+    /// available parallelism).
+    pub fn workers(mut self, workers: usize) -> Campaign {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Adds one job.
+    pub fn job(mut self, job: Job) -> Campaign {
+        self.jobs.push(job);
+        self
+    }
+
+    /// Adds many jobs.
+    pub fn jobs(mut self, jobs: impl IntoIterator<Item = Job>) -> Campaign {
+        self.jobs.extend(jobs);
+        self
+    }
+
+    /// Uses an explicit result-cache directory.
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Campaign {
+        self.cache = CacheSetting::Dir(dir.into());
+        self
+    }
+
+    /// Disables the result cache for this run.
+    pub fn no_cache(mut self) -> Campaign {
+        self.cache = CacheSetting::Disabled;
+        self
+    }
+
+    fn resolve_workers(&self, njobs: usize) -> usize {
+        let configured = self.workers.or_else(|| {
+            std::env::var("RUSTMTL_JOBS").ok().and_then(|v| v.trim().parse::<usize>().ok())
+        });
+        let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        configured.unwrap_or(hw).clamp(1, njobs.max(1))
+    }
+
+    /// Runs every job and returns the complete report. Never panics on
+    /// job failure; panicking jobs become `failed` report entries.
+    pub fn run(self) -> CampaignReport {
+        let Campaign { name, seed, jobs, .. } = &self;
+        {
+            let mut names: Vec<&str> = jobs.iter().map(|j| j.name()).collect();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), jobs.len(), "campaign '{name}': job names must be unique");
+        }
+        let workers = self.resolve_workers(jobs.len());
+        let cache = self.cache.resolve().and_then(|dir| ResultCache::open(&dir));
+        let campaign_name = name.clone();
+        let campaign_seed = *seed;
+        let started = Instant::now();
+        let total = jobs.len();
+        let progress = Progress::new(total);
+
+        // Declaration-order result slots keep reports deterministic
+        // regardless of completion order.
+        let mut slots: Vec<Option<JobReport>> = Vec::new();
+        slots.resize_with(total, || None);
+        let results = Mutex::new(slots);
+
+        let mut pending: VecDeque<(usize, u64, u64, Job)> = VecDeque::new();
+        for (idx, job) in self.jobs.into_iter().enumerate() {
+            let job_seed = Fnv1a::new()
+                .write_u64(campaign_seed)
+                .write_str(job.name())
+                .finish();
+            let fingerprint = job_fingerprint(&campaign_name, &job, job_seed);
+            // Cache probe: hits never hit the worker pool.
+            if job.cacheable {
+                if let Some(metrics) = cache.as_ref().and_then(|c| c.load(fingerprint)) {
+                    results.lock().unwrap()[idx] = Some(JobReport {
+                        name: job.name().to_string(),
+                        params: job.params.clone(),
+                        seed: job_seed,
+                        fingerprint,
+                        outcome: JobOutcome::Done { metrics, cached: true },
+                        wall: Duration::ZERO,
+                    });
+                    progress.job_done(job.name(), false, true);
+                    continue;
+                }
+            }
+            pending.push_back((idx, job_seed, fingerprint, job));
+        }
+
+        let queue = Mutex::new(pending);
+        let worker_loop = || loop {
+            let Some((idx, job_seed, fingerprint, job)) =
+                queue.lock().unwrap_or_else(|e| e.into_inner()).pop_front()
+            else {
+                break;
+            };
+            let report = execute_job(job, job_seed, fingerprint, cache.as_ref());
+            progress.job_done(&report.name, !report.outcome.is_done(), false);
+            results.lock().unwrap_or_else(|e| e.into_inner())[idx] = Some(report);
+        };
+        if workers <= 1 {
+            // Single-thread fallback: run inline, no thread machinery.
+            worker_loop();
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(worker_loop);
+                }
+            });
+        }
+
+        let jobs: Vec<JobReport> = results
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner())
+            .into_iter()
+            .map(|slot| slot.expect("every job slot filled"))
+            .collect();
+        CampaignReport {
+            campaign: campaign_name,
+            seed: campaign_seed,
+            workers,
+            wall: started.elapsed(),
+            jobs,
+        }
+    }
+}
+
+fn execute_job(
+    job: Job,
+    job_seed: u64,
+    fingerprint: u64,
+    cache: Option<&ResultCache>,
+) -> JobReport {
+    let name = job.name().to_string();
+    let params = job.params.clone();
+    let budget = job.budget;
+    let cacheable = job.cacheable;
+    let ctx = JobCtx { seed: job_seed, deadline: budget.map(|b| Instant::now() + b) };
+    let t0 = Instant::now();
+    let run = job.run;
+    let outcome = match catch_unwind(AssertUnwindSafe(|| {
+        // Fault-injection hook for exercising the robustness path end to
+        // end (see tests/sweep_smoke.rs and the PR acceptance criteria).
+        if let Ok(pat) = std::env::var("RUSTMTL_SWEEP_INJECT_PANIC") {
+            if !pat.is_empty() && name.contains(&pat) {
+                panic!("injected panic (RUSTMTL_SWEEP_INJECT_PANIC={pat})");
+            }
+        }
+        run(&ctx)
+    })) {
+        Ok(Ok(metrics)) => {
+            let wall = t0.elapsed();
+            match budget {
+                Some(b) if wall > b => JobOutcome::Failed {
+                    error: format!(
+                        "exceeded wall-clock budget of {:.3}s",
+                        b.as_secs_f64()
+                    ),
+                },
+                _ => JobOutcome::Done { metrics, cached: false },
+            }
+        }
+        Ok(Err(error)) => JobOutcome::Failed { error },
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&'static str>().copied())
+                .unwrap_or("non-string panic payload");
+            JobOutcome::Failed { error: format!("panicked: {msg}") }
+        }
+    };
+    if cacheable {
+        if let (JobOutcome::Done { metrics, .. }, Some(cache)) = (&outcome, cache) {
+            cache.store(fingerprint, &name, metrics);
+        }
+    }
+    JobReport { name, params, seed: job_seed, fingerprint, outcome, wall: t0.elapsed() }
+}
+
+/// Everything a finished campaign measured, in declaration order.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    pub campaign: String,
+    pub seed: u64,
+    pub workers: usize,
+    pub wall: Duration,
+    pub jobs: Vec<JobReport>,
+}
+
+impl CampaignReport {
+    /// Looks a job up by name.
+    pub fn get(&self, name: &str) -> Option<&JobReport> {
+        self.jobs.iter().find(|j| j.name == name)
+    }
+
+    /// Shorthand for `get(name)` then metric lookup.
+    pub fn metric(&self, job: &str, metric: &str) -> Option<f64> {
+        self.get(job).and_then(|j| j.f64(metric))
+    }
+
+    pub fn done_count(&self) -> usize {
+        self.jobs.iter().filter(|j| j.outcome.is_done()).count()
+    }
+
+    pub fn failed_count(&self) -> usize {
+        self.jobs.len() - self.done_count()
+    }
+
+    pub fn cached_count(&self) -> usize {
+        self.jobs.iter().filter(|j| j.outcome.is_cached()).count()
+    }
+
+    /// The full report document (the `BENCH_*.json` schema — see
+    /// EXPERIMENTS.md).
+    pub fn to_json(&self) -> Json {
+        let mut doc = Json::obj();
+        doc.set("campaign", self.campaign.as_str())
+            .set("seed", self.seed)
+            .set("workers", self.workers)
+            .set("wall_secs", self.wall.as_secs_f64());
+        let mut summary = Json::obj();
+        summary
+            .set("jobs", self.jobs.len())
+            .set("done", self.done_count())
+            .set("failed", self.failed_count())
+            .set("cached", self.cached_count());
+        doc.set("summary", summary);
+        let jobs: Vec<Json> =
+            self.jobs.iter().map(|j| job_json(j, true)).collect();
+        doc.set("jobs", Json::Arr(jobs));
+        doc
+    }
+
+    /// The canonical form: wall-clock-dependent fields (worker count,
+    /// wall times, timing metrics, cache flags) stripped. Two runs of the
+    /// same campaign — any worker count, warm or cold cache — produce
+    /// byte-identical canonical reports; the determinism tests assert
+    /// exactly this.
+    pub fn to_canonical_json(&self) -> Json {
+        let mut doc = Json::obj();
+        doc.set("campaign", self.campaign.as_str()).set("seed", self.seed);
+        let jobs: Vec<Json> =
+            self.jobs.iter().map(|j| job_json(j, false)).collect();
+        doc.set("jobs", Json::Arr(jobs));
+        doc
+    }
+
+    /// Pretty-printed [`CampaignReport::to_json`].
+    pub fn json_string(&self) -> String {
+        self.to_json().to_pretty()
+    }
+
+    /// Pretty-printed [`CampaignReport::to_canonical_json`].
+    pub fn canonical_json_string(&self) -> String {
+        self.to_canonical_json().to_pretty()
+    }
+
+    /// Writes the report to `path` (the `BENCH_<fig>.json` convention).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from writing the file.
+    pub fn write_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path.as_ref(), self.json_string())
+    }
+}
+
+fn job_json(job: &JobReport, full: bool) -> Json {
+    let mut j = Json::obj();
+    j.set("name", job.name.as_str());
+    let mut params = Json::obj();
+    for (k, v) in &job.params {
+        params.set(k.clone(), v.as_str());
+    }
+    // Per-job seeds use the full 64 bits; hex strings keep them exact
+    // (JSON numbers are f64 and truncate past 2^53).
+    j.set("params", params)
+        .set("seed", format!("{:016x}", job.seed))
+        .set("fingerprint", format!("{:016x}", job.fingerprint));
+    match &job.outcome {
+        JobOutcome::Done { metrics, cached } => {
+            j.set("outcome", "done");
+            if full {
+                j.set("cached", *cached).set("wall_secs", job.wall.as_secs_f64());
+            }
+            let (det, timing) = metrics.to_json();
+            j.set("metrics", det);
+            if full {
+                j.set("timing", timing);
+            }
+        }
+        JobOutcome::Failed { error } => {
+            j.set("outcome", "failed");
+            if full {
+                j.set("wall_secs", job.wall.as_secs_f64());
+            }
+            j.set("error", error.as_str());
+        }
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobMetrics;
+
+    fn arithmetic_campaign(workers: usize) -> CampaignReport {
+        Campaign::new("unit")
+            .seed(7)
+            .workers(workers)
+            .no_cache()
+            .jobs((0..13).map(|i| {
+                Job::new(format!("point{i:02}"), move |ctx| {
+                    Ok(JobMetrics::new()
+                        .det("square", (i * i) as u64)
+                        .det("seed_lo", ctx.seed & 0xFFFF)
+                        .timing("wallish", i as f64 * 0.25))
+                })
+                .param("i", i)
+            }))
+            .run()
+    }
+
+    #[test]
+    fn report_is_identical_across_worker_counts() {
+        let one = arithmetic_campaign(1);
+        let four = arithmetic_campaign(4);
+        assert_eq!(one.canonical_json_string(), four.canonical_json_string());
+        assert_eq!(one.done_count(), 13);
+        assert_eq!(four.workers, 4);
+        assert_eq!(one.workers, 1);
+        assert_eq!(one.metric("point03", "square"), Some(9.0));
+    }
+
+    #[test]
+    fn panics_degrade_to_failed_entries() {
+        let report = Campaign::new("unit-panics")
+            .workers(3)
+            .no_cache()
+            .job(Job::new("fine", |_| Ok(JobMetrics::new().det("v", 1u64))))
+            .job(Job::new("boom", |_| -> Result<JobMetrics, String> {
+                panic!("deliberate test panic")
+            }))
+            .job(Job::new("errs", |_| Err("soft failure".to_string())))
+            .run();
+        assert_eq!(report.done_count(), 1);
+        assert_eq!(report.failed_count(), 2);
+        let boom = report.get("boom").unwrap();
+        match &boom.outcome {
+            JobOutcome::Failed { error } => {
+                assert!(error.contains("deliberate test panic"), "{error}")
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+        // The report document is still complete and well-formed.
+        let doc = crate::json::parse(&report.json_string()).unwrap();
+        assert_eq!(doc.get("summary").unwrap().get("failed").unwrap().as_u64(), Some(2));
+        assert_eq!(doc.get("jobs").unwrap().as_arr().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn budget_overrun_is_reported_failed() {
+        let report = Campaign::new("unit-budget")
+            .workers(1)
+            .no_cache()
+            .job(
+                Job::new("slow", |_| {
+                    std::thread::sleep(Duration::from_millis(30));
+                    Ok(JobMetrics::new())
+                })
+                .budget(Duration::from_millis(5)),
+            )
+            .run();
+        assert_eq!(report.failed_count(), 1);
+        let err = match &report.get("slow").unwrap().outcome {
+            JobOutcome::Failed { error } => error.clone(),
+            other => panic!("expected budget failure, got {other:?}"),
+        };
+        assert!(err.contains("budget"), "{err}");
+    }
+
+    #[test]
+    fn cache_round_trip_reuses_every_fingerprint() {
+        let dir = std::env::temp_dir()
+            .join(format!("mtl-sweep-campaign-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let build = || {
+            Campaign::new("unit-cache")
+                .workers(2)
+                .cache_dir(&dir)
+                .jobs((0..6).map(|i| {
+                    Job::new(format!("p{i}"), move |_| {
+                        Ok(JobMetrics::new().det("v", (i * 10) as u64))
+                    })
+                    .param("i", i)
+                }))
+        };
+        let cold = build().run();
+        assert_eq!(cold.cached_count(), 0);
+        assert_eq!(cold.done_count(), 6);
+        let warm = build().run();
+        assert_eq!(warm.cached_count(), 6, "warm run must reuse every fingerprint");
+        assert_eq!(cold.canonical_json_string(), warm.canonical_json_string());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn uncacheable_jobs_rerun_even_with_warm_cache() {
+        let dir = std::env::temp_dir()
+            .join(format!("mtl-sweep-uncacheable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let build = || {
+            Campaign::new("unit-uncacheable").workers(1).cache_dir(&dir).job(
+                Job::new("fresh", |_| Ok(JobMetrics::new().det("v", 1u64))).uncacheable(),
+            )
+        };
+        build().run();
+        let again = build().run();
+        assert_eq!(again.cached_count(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,297 @@
+//! Jobs: one measurement point of a campaign.
+//!
+//! A [`Job`] packages a *builder closure* (which constructs its simulator
+//! and runs the measurement entirely inside the worker thread — `Sim` and
+//! the component graph are `Rc`-based and deliberately never cross
+//! threads), plus the identifying parameters used for reporting and
+//! result-cache fingerprinting.
+
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+
+/// A single metric value produced by a job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    U64(u64),
+    F64(f64),
+    Str(String),
+}
+
+impl Metric {
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Metric::U64(v) => Some(*v as f64),
+            Metric::F64(v) => Some(*v),
+            Metric::Str(_) => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Metric::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        match self {
+            Metric::U64(v) => Json::from(*v),
+            Metric::F64(v) => Json::from(*v),
+            Metric::Str(s) => Json::from(s.as_str()),
+        }
+    }
+
+    fn from_json(j: &Json) -> Option<Metric> {
+        match j {
+            Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= u64::MAX as f64 => {
+                Some(Metric::U64(*n as u64))
+            }
+            Json::Num(n) => Some(Metric::F64(*n)),
+            Json::Str(s) => Some(Metric::Str(s.clone())),
+            _ => None,
+        }
+    }
+}
+
+impl From<u64> for Metric {
+    fn from(v: u64) -> Metric {
+        Metric::U64(v)
+    }
+}
+
+impl From<f64> for Metric {
+    fn from(v: f64) -> Metric {
+        Metric::F64(v)
+    }
+}
+
+impl From<&str> for Metric {
+    fn from(v: &str) -> Metric {
+        Metric::Str(v.to_string())
+    }
+}
+
+/// What a job measured.
+///
+/// Metrics are split into two classes so campaign reports can be compared
+/// across runs and worker counts:
+///
+/// * **deterministic** — pure functions of the design, parameters, and
+///   seed (simulated cycle counts, latency statistics, delivered-packet
+///   counts). Byte-identical no matter how the campaign is scheduled.
+/// * **timing** — wall-clock-derived (simulation rates, speedups,
+///   overhead phases). Reported and cached, but excluded from the
+///   canonical (determinism-checked) report form.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JobMetrics {
+    deterministic: Vec<(String, Metric)>,
+    timing: Vec<(String, f64)>,
+}
+
+impl JobMetrics {
+    pub fn new() -> JobMetrics {
+        JobMetrics::default()
+    }
+
+    /// Records a deterministic metric (builder style).
+    pub fn det(mut self, name: impl Into<String>, value: impl Into<Metric>) -> JobMetrics {
+        self.deterministic.push((name.into(), value.into()));
+        self
+    }
+
+    /// Records a wall-clock-derived metric in whatever unit the campaign
+    /// documents (seconds, cycles/second, ...).
+    pub fn timing(mut self, name: impl Into<String>, value: f64) -> JobMetrics {
+        self.timing.push((name.into(), value));
+        self
+    }
+
+    /// Looks up a metric of either class by name.
+    pub fn get(&self, name: &str) -> Option<Metric> {
+        self.deterministic
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.clone())
+            .or_else(|| {
+                self.timing.iter().find(|(k, _)| k == name).map(|(_, v)| Metric::F64(*v))
+            })
+    }
+
+    /// `get` then `as_f64`, for report math.
+    pub fn f64(&self, name: &str) -> Option<f64> {
+        self.get(name).and_then(|m| m.as_f64())
+    }
+
+    pub fn deterministic(&self) -> &[(String, Metric)] {
+        &self.deterministic
+    }
+
+    pub fn timings(&self) -> &[(String, f64)] {
+        &self.timing
+    }
+
+    pub(crate) fn to_json(&self) -> (Json, Json) {
+        let mut det = Json::obj();
+        for (k, v) in &self.deterministic {
+            det.set(k.clone(), v.to_json());
+        }
+        let mut timing = Json::obj();
+        for (k, v) in &self.timing {
+            timing.set(k.clone(), *v);
+        }
+        (det, timing)
+    }
+
+    pub(crate) fn from_json(det: Option<&Json>, timing: Option<&Json>) -> Option<JobMetrics> {
+        let mut metrics = JobMetrics::new();
+        if let Some(fields) = det.and_then(|d| d.as_obj()) {
+            for (k, v) in fields {
+                metrics.deterministic.push((k.clone(), Metric::from_json(v)?));
+            }
+        }
+        if let Some(fields) = timing.and_then(|t| t.as_obj()) {
+            for (k, v) in fields {
+                metrics.timing.push((k.clone(), v.as_f64()?));
+            }
+        }
+        Some(metrics)
+    }
+}
+
+/// Handed to the job closure: the deterministic per-job seed and the
+/// wall-clock budget, for cooperative early termination of sweeps.
+#[derive(Debug, Clone)]
+pub struct JobCtx {
+    /// Deterministic seed derived from the campaign seed and job name.
+    pub seed: u64,
+    pub(crate) deadline: Option<Instant>,
+}
+
+impl JobCtx {
+    /// True once the job's wall-clock budget is spent. Long-running jobs
+    /// should poll this between batches and return what they have.
+    pub fn over_budget(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// The job's deadline, if it has a budget.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+}
+
+type JobFn = Box<dyn FnOnce(&JobCtx) -> Result<JobMetrics, String> + Send + 'static>;
+
+/// One measurement point: identifying metadata plus the closure that
+/// builds and measures a simulator from scratch on a worker thread.
+pub struct Job {
+    pub(crate) name: String,
+    pub(crate) params: Vec<(String, String)>,
+    pub(crate) budget: Option<Duration>,
+    pub(crate) cacheable: bool,
+    pub(crate) run: JobFn,
+}
+
+impl Job {
+    /// Creates a job. `name` must be unique within its campaign (it keys
+    /// the report and, together with the parameters, the result cache).
+    pub fn new(
+        name: impl Into<String>,
+        run: impl FnOnce(&JobCtx) -> Result<JobMetrics, String> + Send + 'static,
+    ) -> Job {
+        Job {
+            name: name.into(),
+            params: Vec::new(),
+            budget: None,
+            cacheable: true,
+            run: Box::new(run),
+        }
+    }
+
+    /// Adds an identifying parameter (reported, and part of the cache
+    /// fingerprint).
+    pub fn param(mut self, key: impl Into<String>, value: impl ToString) -> Job {
+        self.params.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// Sets a wall-clock budget. A job still running past its budget is
+    /// reported as failed (cooperatively — see [`JobCtx::over_budget`]).
+    pub fn budget(mut self, budget: Duration) -> Job {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Excludes this job from the result cache (e.g. pure wall-clock
+    /// measurements that must be re-taken every run).
+    pub fn uncacheable(mut self) -> Job {
+        self.cacheable = false;
+        self
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job")
+            .field("name", &self.name)
+            .field("params", &self.params)
+            .field("budget", &self.budget)
+            .field("cacheable", &self.cacheable)
+            .finish_non_exhaustive()
+    }
+}
+
+/// How a job ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome {
+    /// The job produced metrics (freshly, or replayed from the cache).
+    Done { metrics: JobMetrics, cached: bool },
+    /// The job panicked, returned an error, or blew its wall-clock
+    /// budget; the campaign carries on.
+    Failed { error: String },
+}
+
+impl JobOutcome {
+    pub fn is_done(&self) -> bool {
+        matches!(self, JobOutcome::Done { .. })
+    }
+
+    pub fn is_cached(&self) -> bool {
+        matches!(self, JobOutcome::Done { cached: true, .. })
+    }
+
+    pub fn metrics(&self) -> Option<&JobMetrics> {
+        match self {
+            JobOutcome::Done { metrics, .. } => Some(metrics),
+            JobOutcome::Failed { .. } => None,
+        }
+    }
+}
+
+/// A finished job as it appears in the campaign report.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    pub name: String,
+    pub params: Vec<(String, String)>,
+    pub seed: u64,
+    pub fingerprint: u64,
+    pub outcome: JobOutcome,
+    /// Wall-clock execution time (zero for cache hits).
+    pub wall: Duration,
+}
+
+impl JobReport {
+    /// Shorthand: a metric value if the job succeeded.
+    pub fn f64(&self, metric: &str) -> Option<f64> {
+        self.outcome.metrics().and_then(|m| m.f64(metric))
+    }
+
+    pub fn u64(&self, metric: &str) -> Option<u64> {
+        self.outcome.metrics().and_then(|m| m.get(metric)).and_then(|m| m.as_u64())
+    }
+}

@@ -1,0 +1,129 @@
+//! Live campaign progress: jobs done / total and an ETA, written to
+//! stderr so `BENCH_*.json`-producing stdout stays clean.
+//!
+//! On a terminal the line is redrawn in place; otherwise milestone lines
+//! (every ~10% and every failure) are printed so CI logs stay short.
+//! Silence entirely with `RUSTMTL_SWEEP_QUIET=1`.
+
+use std::io::{IsTerminal, Write};
+use std::sync::Mutex;
+use std::time::Instant;
+
+pub struct Progress {
+    total: usize,
+    started: Instant,
+    mode: Mode,
+    state: Mutex<State>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mode {
+    Quiet,
+    Tty,
+    Log,
+}
+
+struct State {
+    done: usize,
+    failed: usize,
+    cached: usize,
+    next_milestone: usize,
+}
+
+impl Progress {
+    pub fn new(total: usize) -> Progress {
+        let mode = if std::env::var("RUSTMTL_SWEEP_QUIET").map_or(false, |v| v != "0") {
+            Mode::Quiet
+        } else if std::io::stderr().is_terminal() {
+            Mode::Tty
+        } else {
+            Mode::Log
+        };
+        Progress {
+            total,
+            started: Instant::now(),
+            mode,
+            state: Mutex::new(State {
+                done: 0,
+                failed: 0,
+                cached: 0,
+                next_milestone: 1,
+            }),
+        }
+    }
+
+    /// Records one finished job and repaints/logs progress.
+    pub fn job_done(&self, name: &str, failed: bool, cached: bool) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.done += 1;
+        st.failed += usize::from(failed);
+        st.cached += usize::from(cached);
+        if self.mode == Mode::Quiet {
+            return;
+        }
+        let elapsed = self.started.elapsed().as_secs_f64();
+        // Cache hits are ~free; base the ETA on executed jobs only.
+        let executed = st.done - st.cached;
+        let eta = if executed == 0 {
+            f64::NAN
+        } else {
+            elapsed / executed as f64 * (self.total - st.done) as f64
+        };
+        let counters = format!(
+            "[{}/{}] {}{}",
+            st.done,
+            self.total,
+            if st.failed > 0 { format!("{} failed, ", st.failed) } else { String::new() },
+            if st.cached > 0 { format!("{} cached, ", st.cached) } else { String::new() },
+        );
+        match self.mode {
+            Mode::Tty => {
+                let eta_s = if eta.is_nan() { "-".to_string() } else { format!("{eta:.1}s") };
+                let mut err = std::io::stderr().lock();
+                let _ = write!(
+                    err,
+                    "\r\x1b[2K{counters}elapsed {elapsed:.1}s, eta {eta_s}  {status} {name}",
+                    status = if failed { "FAILED" } else { "ok" },
+                );
+                if st.done == self.total {
+                    let _ = writeln!(err);
+                }
+                let _ = err.flush();
+            }
+            Mode::Log => {
+                // Always log failures; otherwise only ~10 milestones.
+                let milestone = st.done * 10 / self.total.max(1) >= st.next_milestone
+                    || st.done == self.total;
+                if milestone {
+                    st.next_milestone = st.done * 10 / self.total.max(1) + 1;
+                }
+                if failed || milestone {
+                    eprintln!(
+                        "{counters}elapsed {elapsed:.1}s  {status} {name}",
+                        status = if failed { "FAILED" } else { "ok" },
+                    );
+                }
+            }
+            Mode::Quiet => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_outcomes() {
+        // Exercise the accounting path directly (stderr in tests is not a
+        // terminal, so this also walks the Log mode milestone logic).
+        let p = Progress::new(20);
+        for i in 0..20 {
+            p.job_done(&format!("job{i}"), i == 3, i % 2 == 0);
+        }
+        let st = p.state.lock().unwrap();
+        assert_eq!(st.done, 20);
+        assert_eq!(st.failed, 1);
+        assert_eq!(st.cached, 10);
+    }
+}

@@ -1,0 +1,149 @@
+//! The shared steady-state measurement methodology.
+//!
+//! This is the batched-doubling loop previously duplicated across the
+//! `mtl-bench` binaries, with two measurement-bias fixes:
+//!
+//! 1. **Timing restarts after warmup.** The warmup batch runs first and a
+//!    fresh `Instant` is taken afterwards, so cold-start effects never
+//!    leak into the measured window.
+//! 2. **Work is clamped, never overshot.** The first batch and every
+//!    doubled batch are clamped to the remaining `max_work`, so short
+//!    (`cap`-bounded) RTL measurements execute exactly the budgeted
+//!    number of cycles and the reported work matches the work performed.
+
+use std::time::{Duration, Instant};
+
+/// Result of [`measure_batched`]: units of work performed inside the
+/// timed window and the window's wall-clock length.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchedMeasurement {
+    /// Work units (simulated cycles) inside the timed window.
+    pub work: u64,
+    /// Wall-clock seconds for the timed window (floored at 1ns so rates
+    /// never divide by zero).
+    pub secs: f64,
+    /// True if the loop stopped because a deadline expired.
+    pub deadline_hit: bool,
+}
+
+impl BatchedMeasurement {
+    /// Work units per wall-clock second.
+    pub fn rate(&self) -> f64 {
+        self.work as f64 / self.secs
+    }
+}
+
+/// Measures the steady-state rate of `step` (which advances a simulation
+/// by the given number of work units).
+///
+/// Runs `warmup` untimed units first, restarts the clock, then measures
+/// in doubling batches (starting at `first_batch`) until `min_wall` has
+/// elapsed, `max_work` units have been executed, or `deadline` passes.
+pub fn measure_batched(
+    mut step: impl FnMut(u64),
+    warmup: u64,
+    first_batch: u64,
+    min_wall: Duration,
+    max_work: u64,
+    deadline: Option<Instant>,
+) -> BatchedMeasurement {
+    assert!(max_work > 0, "max_work must be positive");
+    if warmup > 0 {
+        step(warmup);
+    }
+    let mut batch = first_batch.clamp(1, max_work);
+    let mut work = 0u64;
+    let mut deadline_hit = false;
+    // Fresh clock: warmup must not count against the measured window.
+    let t0 = Instant::now();
+    loop {
+        step(batch);
+        work += batch;
+        if t0.elapsed() >= min_wall || work >= max_work {
+            break;
+        }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            deadline_hit = true;
+            break;
+        }
+        batch = (batch * 2).min(max_work - work);
+    }
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+    BatchedMeasurement { work, secs, deadline_hit }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamps_to_max_work_exactly() {
+        // max_work smaller than the default first batch: the old loop
+        // overshot here; the fixed one must not.
+        let mut executed = 0u64;
+        let m = measure_batched(
+            |n| executed += n,
+            16,
+            64,
+            Duration::from_secs(3600),
+            30,
+            None,
+        );
+        assert_eq!(m.work, 30);
+        assert_eq!(executed, 16 + 30, "warmup plus exactly max_work");
+
+        // Doubling must clamp on the last batch too: 64+128+256+512 = 960,
+        // remaining 40 of 1000.
+        let mut executed = 0u64;
+        let m = measure_batched(
+            |n| executed += n,
+            0,
+            64,
+            Duration::from_secs(3600),
+            1000,
+            None,
+        );
+        assert_eq!(m.work, 1000);
+        assert_eq!(executed, 1000);
+    }
+
+    #[test]
+    fn warmup_is_outside_the_timed_window() {
+        let mut calls: Vec<u64> = Vec::new();
+        let m = measure_batched(
+            |n| {
+                calls.push(n);
+                if calls.len() == 1 {
+                    // An expensive warmup must not depress the rate.
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+            },
+            8,
+            4,
+            Duration::from_micros(1),
+            1 << 30,
+            None,
+        );
+        assert_eq!(calls[0], 8, "first call is the warmup batch");
+        assert!(
+            m.secs < 0.020,
+            "timed window ({}s) must exclude the 25ms warmup",
+            m.secs
+        );
+    }
+
+    #[test]
+    fn stops_at_deadline() {
+        let deadline = Instant::now() + Duration::from_millis(10);
+        let m = measure_batched(
+            |_| std::thread::sleep(Duration::from_millis(4)),
+            0,
+            1,
+            Duration::from_secs(3600),
+            1 << 40,
+            Some(deadline),
+        );
+        assert!(m.deadline_hit);
+        assert!(m.work < 1 << 20);
+    }
+}

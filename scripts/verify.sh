@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Tier-1 verification: the offline build, the full test suite, and a tiny
+# end-to-end campaign through the mtl-sweep orchestration path (16-node
+# CL mesh, 2 engines, 2 injection rates — a couple of seconds).
+#
+# Usage: scripts/verify.sh   (from the repository root)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release"
+cargo build --release
+
+echo "== tier-1: cargo test"
+cargo test -q
+
+echo "== smoke campaign: fig15 --smoke (writes BENCH_fig15_smoke.json)"
+RUSTMTL_BENCH_DIR="${RUSTMTL_BENCH_DIR:-target}" \
+    cargo run -p mtl-bench --bin fig15_injection_sweep --release -- --smoke
+
+echo "== verify: OK"

@@ -13,6 +13,8 @@
 //! * [`proc`] — the MtlRisc32 processor case study (ISA/ISS/FL/CL/RTL)
 //! * [`accel`] — the dot-product accelerator and the compute tile
 //! * [`eda`] — analytical area/energy/timing estimation
+//! * [`sweep`] — parallel simulation campaigns (sharded execution,
+//!   result caching, JSON reports)
 //!
 //! # Examples
 //!
@@ -43,6 +45,7 @@ pub use mtl_net as net;
 pub use mtl_proc as proc;
 pub use mtl_sim as sim;
 pub use mtl_stdlib as stdlib;
+pub use mtl_sweep as sweep;
 pub use mtl_translate as translate;
 
 /// The most commonly used items, for `use rustmtl::prelude::*`.

@@ -1,0 +1,162 @@
+//! End-to-end smoke tests for `mtl-sweep` campaigns driving real
+//! RustMTL simulations (tier-1).
+//!
+//! Three properties are load-bearing for the campaign subsystem:
+//!
+//! 1. **Worker-count independence** — a campaign of deterministic sim
+//!    jobs produces a byte-identical canonical report whether it runs on
+//!    one worker or several. Scheduling is a performance knob, never a
+//!    results knob (the same contract the engines make for simulation).
+//! 2. **Cache warmth** — rerunning an identical campaign against a warm
+//!    cache replays *every* fingerprint without re-simulating, and the
+//!    canonical report is unchanged.
+//! 3. **Panic isolation** — one exploding job yields a complete,
+//!    parseable report with that job marked failed, not a dead campaign.
+
+use rustmtl::net::{measure_network_pattern, NetLevel, TrafficPattern};
+use rustmtl::sim::Engine;
+use rustmtl::sweep::json::parse as parse_json;
+use rustmtl::sweep::{Campaign, CampaignReport, Job, JobMetrics, Json};
+
+/// A small but real deterministic workload: fixed-seed traffic sims on a
+/// 16-node CL mesh (warmup 64, window 256 cycles — well under a second
+/// per point even interpreted).
+fn mesh_job(pattern: TrafficPattern, offered: u32) -> Job {
+    Job::new(format!("{pattern:?}/off{offered:03}"), move |_ctx| {
+        let m = measure_network_pattern(
+            NetLevel::Cl,
+            16,
+            pattern,
+            offered,
+            64,
+            256,
+            Engine::SpecializedOpt,
+        );
+        Ok(JobMetrics::new()
+            .det("injected", m.injected)
+            .det("received", m.received)
+            .det("avg_latency", m.avg_latency))
+    })
+    .param("pattern", format!("{pattern:?}"))
+    .param("offered_permille", offered)
+}
+
+fn smoke_campaign() -> Campaign {
+    let mut campaign = Campaign::new("sweep_smoke").seed(7);
+    for pattern in [TrafficPattern::UniformRandom, TrafficPattern::Transpose] {
+        for offered in [200u32, 500] {
+            campaign = campaign.job(mesh_job(pattern, offered));
+        }
+    }
+    campaign
+}
+
+/// A unique scratch directory under the cargo target dir, cleaned first.
+fn scratch_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn one_worker_and_many_workers_agree_byte_for_byte() {
+    let serial = smoke_campaign().no_cache().workers(1).run();
+    let sharded = smoke_campaign().no_cache().workers(4).run();
+    assert_eq!(serial.done_count(), 4);
+    assert_eq!(sharded.done_count(), 4);
+    assert_eq!(
+        serial.canonical_json_string(),
+        sharded.canonical_json_string(),
+        "canonical reports must not depend on worker count"
+    );
+}
+
+#[test]
+fn warm_cache_rerun_replays_every_fingerprint() {
+    let dir = scratch_dir("sweep-smoke-cache");
+    let cold = smoke_campaign().cache_dir(&dir).run();
+    assert_eq!(cold.done_count(), 4);
+    assert_eq!(cold.cached_count(), 0, "first run must actually execute");
+
+    let warm = smoke_campaign().cache_dir(&dir).run();
+    assert_eq!(warm.done_count(), 4);
+    assert_eq!(warm.cached_count(), 4, "every job must replay from cache");
+    for job in &warm.jobs {
+        assert!(job.outcome.is_cached(), "{} missed the warm cache", job.name);
+    }
+    assert_eq!(
+        cold.canonical_json_string(),
+        warm.canonical_json_string(),
+        "cache replay must reproduce the cold-run results exactly"
+    );
+}
+
+#[test]
+fn a_panicking_job_degrades_to_a_failed_point() {
+    fn bomb() -> Job {
+        Job::new("bomb", |_ctx| panic!("injected failure")).param("kind", "bomb")
+    }
+    let report = smoke_campaign().no_cache().job(bomb()).workers(2).run();
+    assert_eq!(report.done_count(), 4);
+    assert_eq!(report.failed_count(), 1);
+    let bomb = report.get("bomb").expect("failed job still reported");
+    match &bomb.outcome {
+        rustmtl::sweep::JobOutcome::Failed { error } => {
+            assert!(error.contains("injected failure"), "panic message preserved: {error}")
+        }
+        other => panic!("expected Failed, got {other:?}"),
+    }
+
+    // The full JSON report stays complete and parseable.
+    let parsed = parse_json(&report.json_string()).expect("report parses");
+    let jobs = parsed.get("jobs").and_then(Json::as_arr).expect("jobs array");
+    assert_eq!(jobs.len(), 5);
+    let summary = parsed.get("summary").expect("summary object");
+    assert_eq!(summary.get("failed").and_then(Json::as_u64), Some(1));
+}
+
+#[test]
+fn failed_and_uncacheable_jobs_never_enter_the_cache() {
+    let dir = scratch_dir("sweep-smoke-nocache-classes");
+    fn volatile() -> Job {
+        Job::new("volatile", |_ctx| Ok(JobMetrics::new().det("x", 1u64))).uncacheable()
+    }
+    fn failing() -> Job {
+        Job::new("failing", |_ctx| Err("nope".to_string()))
+    }
+    let first = Campaign::new("classes")
+        .cache_dir(&dir)
+        .job(volatile())
+        .job(failing())
+        .run();
+    assert_eq!(first.done_count(), 1);
+    assert_eq!(first.failed_count(), 1);
+
+    let second = Campaign::new("classes")
+        .cache_dir(&dir)
+        .job(volatile())
+        .job(failing())
+        .run();
+    assert_eq!(second.cached_count(), 0, "neither job class may be replayed");
+    assert_eq!(second.failed_count(), 1);
+}
+
+/// The report schema the docs promise (EXPERIMENTS.md): round-trip the
+/// full JSON and spot-check the documented fields.
+#[test]
+fn report_schema_matches_the_documented_shape() {
+    let report: CampaignReport = smoke_campaign().no_cache().workers(2).run();
+    let parsed = parse_json(&report.json_string()).expect("well-formed JSON");
+    assert_eq!(parsed.get("campaign").and_then(Json::as_str), Some("sweep_smoke"));
+    assert_eq!(parsed.get("seed").and_then(Json::as_u64), Some(7));
+    assert_eq!(parsed.get("workers").and_then(Json::as_u64), Some(2));
+    assert!(parsed.get("wall_secs").and_then(Json::as_f64).is_some());
+    let jobs = parsed.get("jobs").and_then(Json::as_arr).expect("jobs");
+    for job in jobs {
+        assert!(job.get("name").and_then(Json::as_str).is_some());
+        assert!(job.get("fingerprint").and_then(Json::as_str).is_some());
+        assert_eq!(job.get("outcome").and_then(Json::as_str), Some("done"));
+        assert!(job.get("metrics").is_some());
+        assert!(job.get("params").is_some());
+    }
+}
