@@ -266,6 +266,8 @@ pub struct TileRunResult {
     pub instret: u64,
     /// Final memory contents.
     pub mem: Vec<u32>,
+    /// Simulation profile, when requested via [`run_tile_profiled`].
+    pub profile: Option<mtl_sim::SimProfile>,
 }
 
 /// Runs a program on a tile configuration to completion.
@@ -282,6 +284,24 @@ pub fn run_tile(
     max_cycles: u64,
     engine: Engine,
 ) -> TileRunResult {
+    run_tile_profiled(config, program, data, max_cycles, engine, false)
+}
+
+/// [`run_tile`] with optional simulation profiling; when `profile` is
+/// true, the returned [`TileRunResult::profile`] holds the collected
+/// [`SimProfile`](mtl_sim::SimProfile).
+///
+/// # Panics
+///
+/// Panics if the tile does not halt within `max_cycles`.
+pub fn run_tile_profiled(
+    config: TileConfig,
+    program: &[u32],
+    data: &[(u32, &[u32])],
+    max_cycles: u64,
+    engine: Engine,
+    profile: bool,
+) -> TileRunResult {
     let harness = TileHarness::new(config, 1 << 16, vec![]);
     let mem = harness.mem_handle();
     let outputs = harness.outputs();
@@ -294,6 +314,9 @@ pub fn run_tile(
         }
     }
     let mut sim = Sim::build(&harness, engine).expect("tile elaboration");
+    if profile {
+        sim.enable_profiling();
+    }
     sim.reset();
     let mut cycles = 0;
     while sim.peek_port("halted").is_zero() {
@@ -304,5 +327,5 @@ pub fn run_tile(
     let instret = sim.peek_port("instret").as_u64();
     let outs = outputs.borrow().clone();
     let mem_final = mem.borrow().clone();
-    TileRunResult { outputs: outs, cycles, instret, mem: mem_final }
+    TileRunResult { outputs: outs, cycles, instret, mem: mem_final, profile: sim.profile() }
 }

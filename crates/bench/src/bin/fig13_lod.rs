@@ -12,23 +12,62 @@
 //! panic-isolated, and reported to `BENCH_fig13.json`. Simulated cycle
 //! counts are deterministic metrics; kernel wall-times (and thus the
 //! relative-performance columns) are timing metrics.
+//!
+//! Flags:
+//!
+//! * `--smoke` — a small kernel on three representative configurations
+//!   (all-FL, all-CL, all-RTL), for CI; still writes `BENCH_fig13.json`.
+//! * `--profile` — enable simulation profiling in every tile job and
+//!   attach the hottest blocks to each job's `profile` report section.
 
 use std::time::{Duration, Instant};
 
-use mtl_accel::{mvmult_data, mvmult_xcel_program, run_tile, MvMultLayout, TileConfig};
-use mtl_bench::{banner, write_bench_report};
-use mtl_proc::Iss;
+use mtl_accel::{
+    mvmult_data, mvmult_xcel_program, run_tile_profiled, MvMultLayout, TileConfig,
+};
+use mtl_bench::{banner, has_flag, profile_json, write_bench_report, PROFILE_TOP_N};
+use mtl_proc::{CacheLevel, Iss, ProcLevel};
 use mtl_sim::Engine;
 use mtl_sweep::{Campaign, CampaignReport, Job, JobMetrics};
 
-const ROWS: u32 = 8;
-const COLS: u32 = 16;
+/// Kernel size, configuration list, and profiling mode for one run.
+#[derive(Clone)]
+struct Spec {
+    rows: u32,
+    cols: u32,
+    configs: Vec<TileConfig>,
+    max_cycles: u64,
+    profile: bool,
+}
 
-fn iss_job() -> Job {
-    Job::new("iss", |_ctx| {
+impl Spec {
+    fn full(profile: bool) -> Spec {
+        Spec { rows: 8, cols: 16, configs: TileConfig::all(), max_cycles: 5_000_000, profile }
+    }
+
+    fn smoke(profile: bool) -> Spec {
+        use mtl_accel::XcelLevel;
+        let uniform = |p, c, x| TileConfig { proc: p, cache: c, xcel: x };
+        Spec {
+            rows: 4,
+            cols: 4,
+            configs: vec![
+                uniform(ProcLevel::Fl, CacheLevel::Fl, XcelLevel::Fl),
+                uniform(ProcLevel::Cl, CacheLevel::Cl, XcelLevel::Cl),
+                uniform(ProcLevel::Rtl, CacheLevel::Rtl, XcelLevel::Rtl),
+            ],
+            max_cycles: 2_000_000,
+            profile,
+        }
+    }
+}
+
+fn iss_job(spec: &Spec) -> Job {
+    let (rows, cols) = (spec.rows, spec.cols);
+    Job::new("iss", move |_ctx| {
         let layout = MvMultLayout::default();
-        let program = mvmult_xcel_program(ROWS, COLS, layout);
-        let (mat, vec) = mvmult_data(ROWS, COLS);
+        let program = mvmult_xcel_program(rows, cols, layout);
+        let (mat, vec) = mvmult_data(rows, cols);
         // Median of several runs; the ISS is very fast on this kernel.
         let mut best = f64::INFINITY;
         for _ in 0..5 {
@@ -50,7 +89,7 @@ fn iss_job() -> Job {
         }
         Ok(JobMetrics::new().timing("kernel_secs", best))
     })
-    .param("kernel", format!("mvmult {ROWS}x{COLS}"))
+    .param("kernel", format!("mvmult {rows}x{cols}"))
     .budget(Duration::from_secs(30))
     .uncacheable()
 }
@@ -62,20 +101,26 @@ fn engine_short(engine: Engine) -> &'static str {
     }
 }
 
-fn tile_job(config: TileConfig, engine: Engine) -> Job {
+fn tile_job(spec: &Spec, config: TileConfig, engine: Engine) -> Job {
+    let (rows, cols) = (spec.rows, spec.cols);
+    let (max_cycles, profile) = (spec.max_cycles, spec.profile);
     Job::new(format!("{config}/{}", engine_short(engine)), move |_ctx| {
         let layout = MvMultLayout::default();
-        let program = mvmult_xcel_program(ROWS, COLS, layout);
-        let (mat, vec) = mvmult_data(ROWS, COLS);
+        let program = mvmult_xcel_program(rows, cols, layout);
+        let (mat, vec) = mvmult_data(rows, cols);
         let data: Vec<(u32, &[u32])> =
             vec![(layout.mat_base, &mat), (layout.vec_base, &vec)];
         let t0 = Instant::now();
-        let r = run_tile(config, &program, &data, 5_000_000, engine);
+        let r = run_tile_profiled(config, &program, &data, max_cycles, engine, profile);
         let dt = t0.elapsed().as_secs_f64();
-        Ok(JobMetrics::new()
+        let mut metrics = JobMetrics::new()
             .det("cycles", r.cycles)
             .det("lod", config.lod() as u64)
-            .timing("kernel_secs", dt))
+            .timing("kernel_secs", dt);
+        if let Some(p) = &r.profile {
+            metrics = metrics.with_profile(profile_json(p, PROFILE_TOP_N));
+        }
+        Ok(metrics)
     })
     .param("config", config)
     .param("lod", config.lod())
@@ -86,19 +131,33 @@ fn tile_job(config: TileConfig, engine: Engine) -> Job {
 
 fn main() {
     banner("Figure 13: simulator performance vs level of detail", "Fig. 13");
+    let profile = has_flag("--profile");
+    let spec = if has_flag("--smoke") { Spec::smoke(profile) } else { Spec::full(profile) };
+    if spec.profile {
+        println!("(profiling enabled: per-job `profile` sections in the report)");
+    }
 
-    let mut campaign = Campaign::new("fig13").job(iss_job());
-    for config in TileConfig::all() {
+    let mut campaign = Campaign::new("fig13").job(iss_job(&spec));
+    for &config in &spec.configs {
         for engine in [Engine::Interpreted, Engine::SpecializedOpt] {
-            campaign = campaign.job(tile_job(config, engine));
+            campaign = campaign.job(tile_job(&spec, config, engine));
         }
     }
     let report = campaign.run();
-    print_tables(&report);
+    print_tables(&report, &spec);
     write_bench_report(&report, "fig13");
 }
 
-fn print_tables(report: &CampaignReport) {
+/// One printed line of the LOD table.
+struct Row {
+    config: TileConfig,
+    lod: u32,
+    cycles: u64,
+    interp: Option<f64>,
+    spec: Option<f64>,
+}
+
+fn print_tables(report: &CampaignReport, spec: &Spec) {
     let Some(t_iss) = report.metric("iss", "kernel_secs") else {
         println!("ISS reference failed; cannot normalize (see BENCH_fig13.json)");
         return;
@@ -109,9 +168,8 @@ fn print_tables(report: &CampaignReport) {
         "{:<16} {:>4} {:>12} {:>14} {:>14}",
         "config <P,C,A>", "LOD", "cycles", "interp perf", "specialized perf"
     );
-    // (config, lod, cycles, interp perf, specialized perf)
-    let mut rows: Vec<(TileConfig, u32, u64, Option<f64>, Option<f64>)> = Vec::new();
-    for config in TileConfig::all() {
+    let mut rows: Vec<Row> = Vec::new();
+    for &config in &spec.configs {
         let perf = |engine| {
             report
                 .metric(&format!("{config}/{}", engine_short(engine)), "kernel_secs")
@@ -122,34 +180,34 @@ fn print_tables(report: &CampaignReport) {
             .and_then(|j| j.u64("cycles"))
             .or_else(|| report.get(&format!("{config}/interp")).and_then(|j| j.u64("cycles")))
             .unwrap_or(0);
-        rows.push((
+        rows.push(Row {
             config,
-            config.lod(),
+            lod: config.lod(),
             cycles,
-            perf(Engine::Interpreted),
-            perf(Engine::SpecializedOpt),
-        ));
+            interp: perf(Engine::Interpreted),
+            spec: perf(Engine::SpecializedOpt),
+        });
     }
-    rows.sort_by_key(|r| r.1);
+    rows.sort_by_key(|r| r.lod);
     let fmt = |p: Option<f64>| match p {
         Some(v) => format!("{v:>14.4}"),
         None => format!("{:>14}", "failed"),
     };
-    for (config, lod, cycles, p_int, p_spec) in &rows {
+    for row in &rows {
         println!(
             "{:<16} {:>4} {:>12} {} {}",
-            config.to_string(),
-            lod,
-            cycles,
-            fmt(*p_int),
-            fmt(*p_spec)
+            row.config.to_string(),
+            row.lod,
+            row.cycles,
+            fmt(row.interp),
+            fmt(row.spec)
         );
     }
 
     // Shape summary: specialization lifts every configuration; detail
     // costs performance.
-    let mean_at = |lod: u32, pick: fn(&(TileConfig, u32, u64, Option<f64>, Option<f64>)) -> Option<f64>| {
-        let vals: Vec<f64> = rows.iter().filter(|r| r.1 == lod).filter_map(pick).collect();
+    let mean_at = |lod: u32, pick: fn(&Row) -> Option<f64>| {
+        let vals: Vec<f64> = rows.iter().filter(|r| r.lod == lod).filter_map(pick).collect();
         if vals.is_empty() {
             f64::NAN
         } else {
@@ -158,17 +216,17 @@ fn print_tables(report: &CampaignReport) {
     };
     println!(
         "\nLOD 3 mean perf: interp {:.4}, specialized {:.4}",
-        mean_at(3, |r| r.3),
-        mean_at(3, |r| r.4)
+        mean_at(3, |r| r.interp),
+        mean_at(3, |r| r.spec)
     );
     println!(
         "LOD 9 mean perf: interp {:.4}, specialized {:.4}",
-        mean_at(9, |r| r.3),
-        mean_at(9, |r| r.4)
+        mean_at(9, |r| r.interp),
+        mean_at(9, |r| r.spec)
     );
     println!(
         "specialization lift across all configs: {:.1}x (geometric mean)",
-        geomean(rows.iter().filter_map(|r| Some(r.4? / r.3?)))
+        geomean(rows.iter().filter_map(|r| Some(r.spec? / r.interp?)))
     );
 }
 

@@ -10,13 +10,15 @@
 //! baselines.
 //!
 //! The 13 measurements (3 levels × 4 engines + the handwritten baseline)
-//! run as an `mtl-sweep` campaign and land in `BENCH_fig14.json`.
+//! run as an `mtl-sweep` campaign and land in `BENCH_fig14.json`. Pass
+//! `--profile` to enable simulation profiling in every engine job and
+//! attach the hottest blocks to each job's `profile` report section.
 
 use std::time::{Duration, Instant};
 
 use mtl_bench::{
-    banner, measure_handwritten_rate, measure_rate_bounded, mesh_harness, rate_metrics,
-    write_bench_report,
+    banner, has_flag, measure_handwritten_rate, measure_rate_instrumented, mesh_harness,
+    profile_json, rate_metrics, write_bench_report, PROFILE_TOP_N,
 };
 use mtl_net::NetLevel;
 use mtl_sim::Engine;
@@ -31,7 +33,7 @@ fn job_name(level: NetLevel, engine: Engine) -> String {
     format!("{level}/{engine}")
 }
 
-fn engine_job(level: NetLevel, engine: Engine) -> Job {
+fn engine_job(level: NetLevel, engine: Engine, profile: bool) -> Job {
     // Interpreted engines are slow; cap their measurement burden.
     let (min_wall, max_cycles) = match engine {
         Engine::Interpreted => (Duration::from_millis(1500), 20_000),
@@ -40,8 +42,14 @@ fn engine_job(level: NetLevel, engine: Engine) -> Job {
     };
     Job::new(job_name(level, engine), move |ctx| {
         let harness = mesh_harness(level, NROUTERS, INJECTION);
-        let mut m =
-            measure_rate_bounded(&harness, engine, min_wall, max_cycles, ctx.deadline());
+        let (mut m, prof) = measure_rate_instrumented(
+            &harness,
+            engine,
+            min_wall,
+            max_cycles,
+            ctx.deadline(),
+            profile,
+        );
         // The RTL specialization path includes Verilog translation +
         // re-parse ("veri"); charge it for the specialized engines on
         // RTL models, mirroring SimJIT-RTL's pipeline.
@@ -57,7 +65,11 @@ fn engine_job(level: NetLevel, engine: Engine) -> Job {
             }
             m.overheads.veri = t0.elapsed();
         }
-        Ok(rate_metrics(&m))
+        let mut metrics = rate_metrics(&m);
+        if let Some(p) = prof {
+            metrics = metrics.with_profile(profile_json(&p, PROFILE_TOP_N));
+        }
+        Ok(metrics)
     })
     .param("level", level)
     .param("engine", engine)
@@ -170,10 +182,14 @@ fn print_level(report: &CampaignReport, level: NetLevel, handwritten: Option<f64
 
 fn main() {
     banner("Figure 14: mesh simulator speedup vs target cycles", "Fig. 14");
+    let profile = has_flag("--profile");
+    if profile {
+        println!("(profiling enabled: per-job `profile` sections in the report)");
+    }
     let mut campaign = Campaign::new("fig14");
     for level in LEVELS {
         for engine in Engine::ALL {
-            campaign = campaign.job(engine_job(level, engine));
+            campaign = campaign.job(engine_job(level, engine, profile));
         }
     }
     campaign = campaign.job(handwritten_job());

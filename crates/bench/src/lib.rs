@@ -24,8 +24,8 @@ use std::time::{Duration, Instant};
 
 use mtl_core::Component;
 use mtl_net::{MeshTrafficHarness, NetLevel};
-use mtl_sim::{Engine, Overheads, Sim};
-use mtl_sweep::{measure_batched, Job, JobCtx, JobMetrics};
+use mtl_sim::{Engine, Overheads, Sim, SimProfile};
+use mtl_sweep::{measure_batched, Job, JobCtx, JobMetrics, Json};
 
 /// A measured simulation rate plus its construction overheads.
 #[derive(Debug, Clone, Copy)]
@@ -76,15 +76,34 @@ pub fn measure_rate_bounded(
     max_cycles: u64,
     deadline: Option<Instant>,
 ) -> RateMeasurement {
+    measure_rate_instrumented(top, engine, min_wall, max_cycles, deadline, false).0
+}
+
+/// [`measure_rate_bounded`] with optional simulation profiling. With
+/// `profile` set, the returned [`SimProfile`] covers the whole run
+/// (warmup included) — note profiling instrumentation slows the measured
+/// rate, so profiled rates are for explanation, not for headline numbers.
+pub fn measure_rate_instrumented(
+    top: &dyn Component,
+    engine: Engine,
+    min_wall: Duration,
+    max_cycles: u64,
+    deadline: Option<Instant>,
+    profile: bool,
+) -> (RateMeasurement, Option<SimProfile>) {
     let mut sim = Sim::build(top, engine).expect("elaboration failed");
     let overheads = *sim.overheads();
+    if profile {
+        sim.enable_profiling();
+    }
     sim.reset();
     let m = measure_batched(|n| sim.run(n), 16, 64, min_wall, max_cycles, deadline);
-    RateMeasurement {
+    let measurement = RateMeasurement {
         cycles_per_sec: m.rate(),
         overheads,
         measured_cycles: m.work,
-    }
+    };
+    (measurement, sim.profile())
 }
 
 /// Builds the standard near-saturation mesh harness used by Figures 14-16.
@@ -125,6 +144,45 @@ pub fn overheads_from_metrics(metrics: &JobMetrics) -> f64 {
     metrics.f64("overhead_total_secs").unwrap_or(0.0)
 }
 
+/// Renders a [`SimProfile`] as the `profile` section of a per-job report:
+/// summary counters, the `top_n` hottest blocks, histogram summaries, and
+/// the `top_n` most active nets. Schema documented in `EXPERIMENTS.md`.
+pub fn profile_json(p: &SimProfile, top_n: usize) -> Json {
+    let mut j = Json::obj();
+    j.set("engine", p.engine.to_string())
+        .set("cycles", p.cycles)
+        .set("settle_points", p.settles)
+        .set("block_executions", p.total_block_runs());
+    let hot: Vec<Json> = p
+        .hot_blocks(top_n)
+        .into_iter()
+        .map(|h| {
+            let mut o = Json::obj();
+            o.set("path", h.path.as_str()).set("runs", h.runs).set("wall_ns", h.nanos);
+            o
+        })
+        .collect();
+    j.set("hot_blocks", Json::Arr(hot));
+    let hist = |h: &mtl_sim::Hist| {
+        let mut o = Json::obj();
+        o.set("samples", h.samples()).set("mean", h.mean()).set("max", h.max());
+        o
+    };
+    j.set("fixpoint_iters", hist(&p.fixpoint_iters));
+    j.set("queue_depth", hist(&p.queue_depth));
+    let nets: Vec<Json> = p
+        .active_nets(top_n)
+        .into_iter()
+        .map(|(path, toggles)| {
+            let mut o = Json::obj();
+            o.set("path", path.as_str()).set("bit_toggles", toggles);
+            o
+        })
+        .collect();
+    j.set("active_nets", Json::Arr(nets));
+    j
+}
+
 /// A campaign job measuring the simulation rate of a mesh-traffic
 /// harness under one engine — the shared measurement point of Figures
 /// 14 and 15.
@@ -137,10 +195,46 @@ pub fn mesh_rate_job(
     min_wall: Duration,
     max_cycles: u64,
 ) -> Job {
+    mesh_rate_job_profiled(
+        name,
+        level,
+        nrouters,
+        injection_permille,
+        engine,
+        min_wall,
+        max_cycles,
+        false,
+    )
+}
+
+/// [`mesh_rate_job`] with optional profiling: the job metrics gain a
+/// `profile` section listing the [`PROFILE_TOP_N`] hottest blocks.
+#[allow(clippy::too_many_arguments)]
+pub fn mesh_rate_job_profiled(
+    name: impl Into<String>,
+    level: NetLevel,
+    nrouters: usize,
+    injection_permille: u32,
+    engine: Engine,
+    min_wall: Duration,
+    max_cycles: u64,
+    profile: bool,
+) -> Job {
     Job::new(name, move |ctx: &JobCtx| {
         let harness = mesh_harness(level, nrouters, injection_permille);
-        let m = measure_rate_bounded(&harness, engine, min_wall, max_cycles, ctx.deadline());
-        Ok(rate_metrics(&m))
+        let (m, prof) = measure_rate_instrumented(
+            &harness,
+            engine,
+            min_wall,
+            max_cycles,
+            ctx.deadline(),
+            profile,
+        );
+        let mut metrics = rate_metrics(&m);
+        if let Some(p) = prof {
+            metrics = metrics.with_profile(profile_json(&p, PROFILE_TOP_N));
+        }
+        Ok(metrics)
     })
     .param("level", level)
     .param("nrouters", nrouters)
@@ -150,6 +244,14 @@ pub fn mesh_rate_job(
     .param("max_cycles", max_cycles)
     // Rates are wall-clock measurements: caching would freeze them.
     .uncacheable()
+}
+
+/// How many hot blocks / active nets a `--profile` report attaches.
+pub const PROFILE_TOP_N: usize = 10;
+
+/// Whether a figure binary was invoked with the given flag.
+pub fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
 }
 
 /// Where `BENCH_<name>.json` reports go: `RUSTMTL_BENCH_DIR` if set,

@@ -15,13 +15,20 @@
 //! All engines implement identical simulation semantics; the test suite
 //! checks trace equivalence on randomized designs. Construction overheads
 //! are recorded per phase in [`Overheads`] (the paper's Fig. 16).
+//!
+//! Opt-in profiling ([`Sim::enable_profiling`] → [`SimProfile`]) collects
+//! engine-independent logical block-execution counts plus engine-specific
+//! physical timing/queue statistics; see the [`profile`](crate::profile)
+//! module docs for the metric split.
 
 mod interp;
 mod overheads;
+pub mod profile;
 mod sim;
 mod tape;
 mod vcd;
 
 pub use overheads::Overheads;
+pub use profile::{Hist, HotBlock, SimProfile};
 pub use sim::{Engine, Sim};
 pub use vcd::VcdWriter;

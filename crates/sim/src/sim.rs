@@ -12,6 +12,7 @@ use mtl_core::{
 
 use crate::interp::{exec_stmts, DenseSens, DenseStore, HashSens, HashStore, SensMap, Store};
 use crate::overheads::Overheads;
+use crate::profile::{EngineStats, SimProfile};
 use crate::tape::{compile_block, exec_tape, fold_stmts, fuse, validate, Tape};
 
 /// Simulation engine selection; see `DESIGN.md` for the mapping onto the
@@ -64,6 +65,29 @@ trait EngineImpl {
     fn poke_mem(&mut self, mem: usize, addr: u64, v: Bits);
     fn set_activity(&mut self, on: bool);
     fn activity(&self) -> &[u64];
+    fn set_profiling(&mut self, on: bool);
+    fn stats(&self) -> Option<&EngineStats>;
+}
+
+/// Logical profiling state kept in the `Sim` wrapper (engine-independent
+/// by construction: it is computed from settled-value snapshots, never
+/// from what the backend happened to execute).
+struct ProfileState {
+    /// Settled net values as of the last observation, indexed by net.
+    snapshot: Vec<Bits>,
+    /// Scratch: which nets changed at the current settle point.
+    changed: Vec<bool>,
+    /// For each combinational block, the net slots whose settled-value
+    /// change counts as an execution: its reads (minus nets it writes
+    /// itself, mirroring the engines' sensitivity lists) plus its writes
+    /// (covering re-evaluation triggered through memories).
+    comb_triggers: Vec<(u32, Vec<u32>)>,
+    /// Sequential block indices (run once per clock edge, every engine).
+    seq_blocks: Vec<u32>,
+    /// Logical execution count per block.
+    block_runs: Vec<u64>,
+    /// Settle points observed (`eval()` + `cycle()` calls).
+    settles: u64,
 }
 
 /// A constructed simulator for an elaborated design.
@@ -101,6 +125,7 @@ pub struct Sim {
     engine: Engine,
     overheads: Overheads,
     backend: Box<dyn EngineImpl>,
+    profile: Option<ProfileState>,
 }
 
 impl Sim {
@@ -155,7 +180,7 @@ impl Sim {
                 Box::new(TapeEngine::new(design.clone(), natives, false, &mut overheads))
             }
         };
-        Sim { design, engine, overheads, backend }
+        Sim { design, engine, overheads, backend, profile: None }
     }
 
     /// The engine this simulator runs on.
@@ -215,29 +240,40 @@ impl Sim {
     /// the clock.
     pub fn eval(&mut self) {
         self.backend.eval();
+        self.observe_settle(false);
     }
 
     /// Advances one clock cycle: settle combinational logic, run sequential
     /// blocks, commit register and memory state, and re-settle.
     pub fn cycle(&mut self) {
         self.backend.cycle();
+        self.observe_settle(true);
     }
 
     /// Advances `n` clock cycles.
     pub fn run(&mut self, n: u64) {
-        for _ in 0..n {
-            self.backend.cycle();
+        if self.profile.is_some() {
+            for _ in 0..n {
+                self.cycle();
+            }
+        } else {
+            for _ in 0..n {
+                self.backend.cycle();
+            }
         }
     }
 
-    /// Asserts reset for two cycles, then deasserts it.
+    /// Asserts reset for two cycles, then deasserts it and re-settles, so
+    /// state observed before the next `cycle()` already reflects
+    /// deasserted reset.
     pub fn reset(&mut self) {
         let reset = self.design.reset();
         let slot = self.design.net_of(reset).index() as u32;
         self.backend.poke(slot, Bits::from_bool(true));
-        self.backend.cycle();
-        self.backend.cycle();
+        self.cycle();
+        self.cycle();
         self.backend.poke(slot, Bits::from_bool(false));
+        self.eval();
     }
 
     /// The number of clock edges simulated so far.
@@ -246,16 +282,37 @@ impl Sim {
     }
 
     /// Reads a word from a design memory (test backdoor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the memory.
     pub fn peek_mem(&self, mem: MemId, addr: u64) -> Bits {
-        self.backend.peek_mem(mem.index(), addr % self.design.mem(mem).words)
+        let info = self.design.mem(mem);
+        assert!(
+            addr < info.words,
+            "peek_mem address {addr} out of range for `{}` ({} words)",
+            info.name,
+            info.words
+        );
+        self.backend.peek_mem(mem.index(), addr)
     }
 
     /// Writes a word to a design memory (test backdoor, e.g. program
     /// loading).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the memory or `v` has the wrong width.
     pub fn poke_mem(&mut self, mem: MemId, addr: u64, v: Bits) {
         let info = self.design.mem(mem);
         assert_eq!(info.width, v.width(), "poke_mem width mismatch on `{}`", info.name);
-        self.backend.poke_mem(mem.index(), addr % info.words, v);
+        assert!(
+            addr < info.words,
+            "poke_mem address {addr} out of range for `{}` ({} words)",
+            info.name,
+            info.words
+        );
+        self.backend.poke_mem(mem.index(), addr, v);
     }
 
     /// Enables per-net activity (register bit-toggle) counting.
@@ -311,14 +368,41 @@ impl Sim {
     /// Finds a signal by hierarchical path suffix (e.g. `proc.pc`),
     /// for observing internal state in tests and line traces.
     ///
+    /// The suffix must align with a path-component boundary: `pc` matches
+    /// `top.proc.pc` but not `top.proc.xpc`.
+    ///
     /// # Panics
     ///
-    /// Panics if no signal path ends with `suffix`.
+    /// Panics if no signal path ends with `suffix`, or if the suffix is
+    /// ambiguous (matches signals on different nets — aliases of one net
+    /// are the same state and resolve to the first match).
     pub fn find_signal(&self, suffix: &str) -> SignalId {
-        (0..self.design.signals().len())
+        let matches: Vec<SignalId> = (0..self.design.signals().len())
             .map(SignalId::from_index)
-            .find(|&s| self.design.signal_path(s).ends_with(suffix))
-            .unwrap_or_else(|| panic!("no signal path ending in `{suffix}`"))
+            .filter(|&s| {
+                let path = self.design.signal_path(s);
+                path.ends_with(suffix)
+                    && (path.len() == suffix.len()
+                        || path.as_bytes()[path.len() - suffix.len() - 1] == b'.')
+            })
+            .collect();
+        match matches.as_slice() {
+            [] => panic!("no signal path ending in component suffix `{suffix}`"),
+            [one] => *one,
+            many => {
+                let net0 = self.design.net_of(many[0]);
+                if many.iter().all(|&s| self.design.net_of(s) == net0) {
+                    many[0]
+                } else {
+                    let paths: Vec<String> =
+                        many.iter().map(|&s| self.design.signal_path(s)).collect();
+                    panic!(
+                        "signal suffix `{suffix}` is ambiguous across nets; candidates: {}",
+                        paths.join(", ")
+                    );
+                }
+            }
+        }
     }
 
     /// Finds a memory by leaf name anywhere in the design.
@@ -333,6 +417,128 @@ impl Sim {
             }
         }
         panic!("no memory named `{name}` in design");
+    }
+
+    /// Enables profiling: logical block-execution counting in the wrapper,
+    /// physical timing/queue instrumentation in the backend, and per-net
+    /// activity counters (see [`SimProfile`] for the metric split).
+    ///
+    /// Profiling adds per-settle overhead proportional to the design size,
+    /// so it is off by default; enable it before the window of interest
+    /// and read the result with [`Sim::profile`]. Idempotent.
+    pub fn enable_profiling(&mut self) {
+        if self.profile.is_some() {
+            return;
+        }
+        self.backend.set_activity(true);
+        self.backend.set_profiling(true);
+        let design = &self.design;
+        let nets = design.nets().len();
+        let snapshot: Vec<Bits> = (0..nets).map(|s| self.backend.peek(s as u32)).collect();
+        let mut comb_triggers = Vec::new();
+        let mut seq_blocks = Vec::new();
+        for (i, b) in design.blocks().iter().enumerate() {
+            match b.kind {
+                BlockKind::Comb => {
+                    let own: Vec<u32> =
+                        b.writes.iter().map(|&w| design.net_of(w).index() as u32).collect();
+                    let mut slots: Vec<u32> = b
+                        .reads
+                        .iter()
+                        .map(|&r| design.net_of(r).index() as u32)
+                        .filter(|s| !own.contains(s))
+                        .chain(own.iter().copied())
+                        .collect();
+                    slots.sort_unstable();
+                    slots.dedup();
+                    comb_triggers.push((i as u32, slots));
+                }
+                BlockKind::Seq => seq_blocks.push(i as u32),
+            }
+        }
+        self.profile = Some(ProfileState {
+            snapshot,
+            changed: vec![false; nets],
+            comb_triggers,
+            seq_blocks,
+            block_runs: vec![0; design.blocks().len()],
+            settles: 0,
+        });
+    }
+
+    /// Whether [`Sim::enable_profiling`] has been called.
+    pub fn profiling_enabled(&self) -> bool {
+        self.profile.is_some()
+    }
+
+    /// The profile collected so far, or `None` if profiling was never
+    /// enabled. May be called repeatedly; each call snapshots the current
+    /// counters.
+    pub fn profile(&self) -> Option<SimProfile> {
+        let p = self.profile.as_ref()?;
+        let stats = self.backend.stats().expect("backend profiling enabled with wrapper");
+        let design = &self.design;
+        let block_paths = (0..design.blocks().len())
+            .map(|i| design.block_path(mtl_core::BlockId::from_index(i)))
+            .collect();
+        let net_paths = design
+            .nets()
+            .iter()
+            .map(|n| {
+                n.signals
+                    .first()
+                    .map(|&s| design.signal_path(s))
+                    .unwrap_or_else(|| "<unconnected>".to_string())
+            })
+            .collect();
+        let mut net_activity = self.backend.activity().to_vec();
+        net_activity.resize(design.nets().len(), 0);
+        Some(SimProfile {
+            engine: self.engine,
+            cycles: self.backend.cycles(),
+            settles: p.settles,
+            block_runs: p.block_runs.clone(),
+            block_nanos: stats.block_nanos.clone(),
+            block_paths,
+            engine_settles: stats.settles,
+            fixpoint_iters: stats.fixpoint.clone(),
+            queue_depth: stats.queue_depth.clone(),
+            net_activity,
+            net_paths,
+        })
+    }
+
+    /// Logical profiling hook: called after every settle point (`eval()`
+    /// or `cycle()`). Diffs settled net values against the last snapshot
+    /// and charges an execution to each block whose trigger set changed;
+    /// sequential blocks are charged once per clock edge. Because this is
+    /// a pure function of the value trace, the counts are identical on
+    /// every engine.
+    fn observe_settle(&mut self, clocked: bool) {
+        let Some(p) = self.profile.as_mut() else { return };
+        p.settles += 1;
+        let mut any = false;
+        for (slot, prev) in p.snapshot.iter_mut().enumerate() {
+            let now = self.backend.peek(slot as u32);
+            let changed = now != *prev;
+            p.changed[slot] = changed;
+            if changed {
+                *prev = now;
+                any = true;
+            }
+        }
+        if any {
+            for (b, slots) in &p.comb_triggers {
+                if slots.iter().any(|&s| p.changed[s as usize]) {
+                    p.block_runs[*b as usize] += 1;
+                }
+            }
+        }
+        if clocked {
+            for &b in &p.seq_blocks {
+                p.block_runs[b as usize] += 1;
+            }
+        }
     }
 }
 
@@ -358,6 +564,7 @@ struct InterpEngine<S: Store, M: SensMap> {
     boxed: bool,
     track_activity: bool,
     activity: Vec<u64>,
+    prof: Option<EngineStats>,
 }
 
 struct StoreView<'a, S: Store> {
@@ -461,6 +668,7 @@ impl<S: Store, M: SensMap> InterpEngine<S, M> {
             boxed,
             track_activity: false,
             activity: Vec::new(),
+            prof: None,
         }
     }
 
@@ -519,9 +727,36 @@ impl<S: Store, M: SensMap> InterpEngine<S, M> {
     }
 
     fn propagate(&mut self) {
+        if self.prof.is_none() {
+            while let Some(b) = self.queue.pop_front() {
+                self.in_queue[b as usize] = false;
+                self.run_block(b);
+            }
+            return;
+        }
+        let mut pops = 0u64;
         while let Some(b) = self.queue.pop_front() {
             self.in_queue[b as usize] = false;
+            let depth = self.queue.len() as u64;
+            let t0 = Instant::now();
             self.run_block(b);
+            let dt = t0.elapsed().as_nanos() as u64;
+            let p = self.prof.as_mut().expect("profiling enabled");
+            p.queue_depth.record(depth);
+            p.block_nanos[b as usize] += dt;
+            pops += 1;
+        }
+        let p = self.prof.as_mut().expect("profiling enabled");
+        p.settles += 1;
+        p.fixpoint.record(pops);
+    }
+
+    fn run_block_timed(&mut self, b: u32) {
+        let t0 = Instant::now();
+        self.run_block(b);
+        let dt = t0.elapsed().as_nanos() as u64;
+        if let Some(p) = self.prof.as_mut() {
+            p.block_nanos[b as usize] += dt;
         }
     }
 }
@@ -545,8 +780,14 @@ impl<S: Store, M: SensMap> EngineImpl for InterpEngine<S, M> {
     fn cycle(&mut self) {
         self.propagate();
         let seq = self.seq_blocks.clone();
-        for b in seq {
-            self.run_block(b);
+        if self.prof.is_some() {
+            for b in seq {
+                self.run_block_timed(b);
+            }
+        } else {
+            for b in seq {
+                self.run_block(b);
+            }
         }
         // Commit registers.
         let regs = std::mem::take(&mut self.reg_slots);
@@ -609,6 +850,18 @@ impl<S: Store, M: SensMap> EngineImpl for InterpEngine<S, M> {
     fn activity(&self) -> &[u64] {
         &self.activity
     }
+
+    fn set_profiling(&mut self, on: bool) {
+        if on && self.prof.is_none() {
+            self.prof = Some(EngineStats::new(self.design.blocks().len()));
+        } else if !on {
+            self.prof = None;
+        }
+    }
+
+    fn stats(&self) -> Option<&EngineStats> {
+        self.prof.as_ref()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -633,6 +886,9 @@ struct TapeEngine {
     tapes: Vec<Tape>,
     natives: Vec<Option<NativeFn>>,
     seq_order: Vec<u32>,
+    /// Levelized combinational order (also the unfused schedule profiling
+    /// runs so per-block time stays attributable).
+    comb_order: Vec<u32>,
     /// Fused static schedules (opt mode only).
     comb_plan: Vec<Chunk>,
     seq_plan: Vec<Chunk>,
@@ -648,6 +904,7 @@ struct TapeEngine {
     dirty: bool,
     track_activity: bool,
     activity: Vec<u64>,
+    prof: Option<EngineStats>,
 }
 
 struct PackedView<'a> {
@@ -837,6 +1094,7 @@ impl TapeEngine {
             tapes,
             natives,
             seq_order,
+            comb_order,
             comb_plan,
             seq_plan,
             reg_slots,
@@ -851,6 +1109,7 @@ impl TapeEngine {
             dirty: true,
             track_activity: false,
             activity: Vec::new(),
+            prof: None,
         }
     }
 
@@ -909,16 +1168,58 @@ impl TapeEngine {
     }
 
     fn propagate_event(&mut self) {
+        if self.prof.is_none() {
+            while let Some(b) = self.queue.pop_front() {
+                self.in_queue[b as usize] = false;
+                self.run_block::<true>(b);
+            }
+            return;
+        }
+        let mut pops = 0u64;
         while let Some(b) = self.queue.pop_front() {
             self.in_queue[b as usize] = false;
+            let depth = self.queue.len() as u64;
+            let t0 = Instant::now();
             self.run_block::<true>(b);
+            let dt = t0.elapsed().as_nanos() as u64;
+            let p = self.prof.as_mut().expect("profiling enabled");
+            p.queue_depth.record(depth);
+            p.block_nanos[b as usize] += dt;
+            pops += 1;
+        }
+        let p = self.prof.as_mut().expect("profiling enabled");
+        p.settles += 1;
+        p.fixpoint.record(pops);
+    }
+
+    fn run_block_timed<const TRACK: bool>(&mut self, b: u32) {
+        let t0 = Instant::now();
+        self.run_block::<TRACK>(b);
+        let dt = t0.elapsed().as_nanos() as u64;
+        if let Some(p) = self.prof.as_mut() {
+            p.block_nanos[b as usize] += dt;
         }
     }
 
     fn full_comb_pass(&mut self) {
-        let plan = std::mem::take(&mut self.comb_plan);
-        self.run_plan(&plan);
-        self.comb_plan = plan;
+        if self.prof.is_some() {
+            // Profiled static pass: run the same levelized order the fused
+            // plan encodes, but block-by-block, so wall time is
+            // attributable per block.
+            let order = std::mem::take(&mut self.comb_order);
+            for &b in &order {
+                self.run_block_timed::<false>(b);
+            }
+            let pass_blocks = order.len() as u64;
+            self.comb_order = order;
+            let p = self.prof.as_mut().expect("profiling enabled");
+            p.settles += 1;
+            p.fixpoint.record(pass_blocks);
+        } else {
+            let plan = std::mem::take(&mut self.comb_plan);
+            self.run_plan(&plan);
+            self.comb_plan = plan;
+        }
         self.dirty = false;
     }
 
@@ -960,10 +1261,23 @@ impl TapeEngine {
     fn run_seq_blocks(&mut self) {
         if self.event_mode {
             let order = std::mem::take(&mut self.seq_order);
+            if self.prof.is_some() {
+                for &b in &order {
+                    self.run_block_timed::<true>(b);
+                }
+            } else {
+                for &b in &order {
+                    // Track combinational-style writes from native
+                    // sequential blocks so misuse behaves identically
+                    // across engines.
+                    self.run_block::<true>(b);
+                }
+            }
+            self.seq_order = order;
+        } else if self.prof.is_some() {
+            let order = std::mem::take(&mut self.seq_order);
             for &b in &order {
-                // Track combinational-style writes from native sequential
-                // blocks so misuse behaves identically across engines.
-                self.run_block::<true>(b);
+                self.run_block_timed::<false>(b);
             }
             self.seq_order = order;
         } else {
@@ -1087,5 +1401,17 @@ impl EngineImpl for TapeEngine {
 
     fn activity(&self) -> &[u64] {
         &self.activity
+    }
+
+    fn set_profiling(&mut self, on: bool) {
+        if on && self.prof.is_none() {
+            self.prof = Some(EngineStats::new(self.design.blocks().len()));
+        } else if !on {
+            self.prof = None;
+        }
+    }
+
+    fn stats(&self) -> Option<&EngineStats> {
+        self.prof.as_ref()
     }
 }

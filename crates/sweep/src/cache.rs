@@ -122,19 +122,22 @@ impl ResultCache {
         if doc.get("format").and_then(Json::as_u64) != Some(CACHE_FORMAT as u64) {
             return None;
         }
-        JobMetrics::from_json(doc.get("metrics"), doc.get("timing"))
+        JobMetrics::from_json(doc.get("metrics"), doc.get("timing"), doc.get("profile"))
     }
 
     /// Persists a result. Failures are ignored: the cache is an
     /// optimization, never a correctness dependency.
     pub fn store(&self, fingerprint: u64, job_name: &str, metrics: &JobMetrics) {
-        let (det, timing) = metrics.to_json();
+        let (det, timing, profile) = metrics.to_json();
         let mut doc = Json::obj();
         doc.set("format", CACHE_FORMAT)
             .set("job", job_name)
             .set("fingerprint", format!("{fingerprint:016x}"))
             .set("metrics", det)
             .set("timing", timing);
+        if let Some(profile) = profile {
+            doc.set("profile", profile);
+        }
         let path = self.entry_path(fingerprint);
         let tmp = path.with_extension("json.tmp");
         // Write-then-rename so concurrent campaigns never observe a

@@ -333,10 +333,15 @@ fn job_json(job: &JobReport, full: bool) -> Json {
             if full {
                 j.set("cached", *cached).set("wall_secs", job.wall.as_secs_f64());
             }
-            let (det, timing) = metrics.to_json();
+            let (det, timing, profile) = metrics.to_json();
             j.set("metrics", det);
             if full {
                 j.set("timing", timing);
+                // The profile section carries wall-clock data, so like
+                // `timing` it never enters the canonical form.
+                if let Some(profile) = profile {
+                    j.set("profile", profile);
+                }
             }
         }
         JobOutcome::Failed { error } => {

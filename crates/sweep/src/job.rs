@@ -83,10 +83,16 @@ impl From<&str> for Metric {
 /// * **timing** — wall-clock-derived (simulation rates, speedups,
 ///   overhead phases). Reported and cached, but excluded from the
 ///   canonical (determinism-checked) report form.
+///
+/// A job may also attach a **profile** section (arbitrary JSON, typically
+/// rendered from an `mtl-sim` `SimProfile`): it contains wall-clock data,
+/// so like `timing` it appears in the full report and the cache but never
+/// in the canonical form.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct JobMetrics {
     deterministic: Vec<(String, Metric)>,
     timing: Vec<(String, f64)>,
+    profile: Option<Json>,
 }
 
 impl JobMetrics {
@@ -105,6 +111,19 @@ impl JobMetrics {
     pub fn timing(mut self, name: impl Into<String>, value: f64) -> JobMetrics {
         self.timing.push((name.into(), value));
         self
+    }
+
+    /// Attaches a simulation-profile section (builder style). Emitted in
+    /// the full JSON report under `"profile"`; excluded from the
+    /// canonical form because it contains wall-clock data.
+    pub fn with_profile(mut self, profile: Json) -> JobMetrics {
+        self.profile = Some(profile);
+        self
+    }
+
+    /// The attached profile section, if any.
+    pub fn profile(&self) -> Option<&Json> {
+        self.profile.as_ref()
     }
 
     /// Looks up a metric of either class by name.
@@ -131,7 +150,7 @@ impl JobMetrics {
         &self.timing
     }
 
-    pub(crate) fn to_json(&self) -> (Json, Json) {
+    pub(crate) fn to_json(&self) -> (Json, Json, Option<Json>) {
         let mut det = Json::obj();
         for (k, v) in &self.deterministic {
             det.set(k.clone(), v.to_json());
@@ -140,10 +159,14 @@ impl JobMetrics {
         for (k, v) in &self.timing {
             timing.set(k.clone(), *v);
         }
-        (det, timing)
+        (det, timing, self.profile.clone())
     }
 
-    pub(crate) fn from_json(det: Option<&Json>, timing: Option<&Json>) -> Option<JobMetrics> {
+    pub(crate) fn from_json(
+        det: Option<&Json>,
+        timing: Option<&Json>,
+        profile: Option<&Json>,
+    ) -> Option<JobMetrics> {
         let mut metrics = JobMetrics::new();
         if let Some(fields) = det.and_then(|d| d.as_obj()) {
             for (k, v) in fields {
@@ -155,6 +178,7 @@ impl JobMetrics {
                 metrics.timing.push((k.clone(), v.as_f64()?));
             }
         }
+        metrics.profile = profile.filter(|p| !matches!(p, Json::Null)).cloned();
         Some(metrics)
     }
 }

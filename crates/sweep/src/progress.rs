@@ -32,7 +32,7 @@ struct State {
 
 impl Progress {
     pub fn new(total: usize) -> Progress {
-        let mode = if std::env::var("RUSTMTL_SWEEP_QUIET").map_or(false, |v| v != "0") {
+        let mode = if std::env::var("RUSTMTL_SWEEP_QUIET").is_ok_and(|v| v != "0") {
             Mode::Quiet
         } else if std::io::stderr().is_terminal() {
             Mode::Tty

@@ -14,8 +14,15 @@ cargo build --release
 echo "== tier-1: cargo test"
 cargo test -q
 
+echo "== lint: cargo clippy --workspace -D warnings"
+cargo clippy --workspace -- -D warnings
+
 echo "== smoke campaign: fig15 --smoke (writes BENCH_fig15_smoke.json)"
 RUSTMTL_BENCH_DIR="${RUSTMTL_BENCH_DIR:-target}" \
     cargo run -p mtl-bench --bin fig15_injection_sweep --release -- --smoke
+
+echo "== profiled smoke campaign: fig13 --smoke --profile (writes BENCH_fig13.json)"
+RUSTMTL_BENCH_DIR="${RUSTMTL_BENCH_DIR:-target}" \
+    cargo run -p mtl-bench --bin fig13_lod --release -- --smoke --profile
 
 echo "== verify: OK"

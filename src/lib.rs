@@ -52,6 +52,6 @@ pub use mtl_translate as translate;
 pub mod prelude {
     pub use mtl_bits::{b, clog2, Bits};
     pub use mtl_core::{elaborate, Component, Ctx, Expr, MsgLayout, SignalRef};
-    pub use mtl_sim::{Engine, Sim, VcdWriter};
+    pub use mtl_sim::{Engine, Sim, SimProfile, VcdWriter};
     pub use mtl_translate::{lint, translate, VerilogLibrary};
 }

@@ -215,6 +215,140 @@ fn engines_agree_on_random_designs() {
     }
 }
 
+/// Regression for the `reset()` staleness bug: combinational logic that
+/// reads reset directly must be re-settled after deassertion, so peeks
+/// between `reset()` and the next `cycle()` already see reset low.
+#[test]
+fn reset_resettles_combinational_state_on_every_engine() {
+    struct ResetVisible;
+    impl Component for ResetVisible {
+        fn name(&self) -> String {
+            "ResetVisible".into()
+        }
+        fn build(&self, c: &mut Ctx) {
+            let reset = c.reset();
+            let count = c.wire("count", 8);
+            let ready = c.out_port("ready", 1);
+            c.seq("step", |b| {
+                b.if_else(
+                    reset,
+                    |b| b.assign(count, Expr::k(8, 0)),
+                    |b| b.assign(count, count + Expr::k(8, 1)),
+                );
+            });
+            // Combinational read of reset: stale under the old reset().
+            c.comb("gate", |b| b.assign(ready, !reset.ex()));
+        }
+    }
+    for engine in Engine::ALL {
+        let mut sim = Sim::build(&ResetVisible, engine).expect("elaborates");
+        sim.reset();
+        assert_eq!(
+            sim.peek_port("ready"),
+            b(1, 1),
+            "{engine}: comb state must reflect deasserted reset immediately after reset()"
+        );
+        // reset() must leave the design fully settled: an eval() changes
+        // nothing.
+        let before: Vec<Bits> = (0..sim.design().signals().len())
+            .map(|i| sim.peek(rustmtl::core::SignalId::from_index(i)))
+            .collect();
+        sim.eval();
+        let after: Vec<Bits> = (0..sim.design().signals().len())
+            .map(|i| sim.peek(rustmtl::core::SignalId::from_index(i)))
+            .collect();
+        assert_eq!(before, after, "{engine}: reset() left unsettled combinational state");
+    }
+}
+
+/// Profiler consistency: logical per-block execution counts are a pure
+/// function of the value trace, so identical designs and stimulus must
+/// yield identical (and non-zero) counts on all four engines — even
+/// though the physical work each engine does differs wildly.
+#[test]
+fn profiler_block_counts_agree_across_engines() {
+    for seed in [2u64, 6, 11] {
+        let mut sims: Vec<Sim> = Engine::ALL
+            .iter()
+            .map(|&e| Sim::build(&RandomRtl { seed }, e).expect("random design must elaborate"))
+            .collect();
+        for sim in &mut sims {
+            sim.enable_profiling();
+            sim.reset();
+        }
+        let mut rng = Rng(seed ^ 0x5EED);
+        for _ in 0..25 {
+            for i in 0..3 {
+                let name = format!("in{i}");
+                let w = {
+                    let d = sims[0].design();
+                    d.signal(d.top_port(&name)).width
+                };
+                let v = Bits::new(w, rng.next() as u128 | ((rng.next() as u128) << 64));
+                for sim in &mut sims {
+                    sim.poke_port(&name, v);
+                }
+            }
+            for sim in &mut sims {
+                sim.cycle();
+            }
+        }
+        let profiles: Vec<_> =
+            sims.iter().map(|s| s.profile().expect("profiling enabled")).collect();
+        let reference = &profiles[0];
+        assert!(
+            reference.total_block_runs() > 0,
+            "seed {seed}: stimulus must execute some blocks"
+        );
+        assert!(
+            reference.block_runs.iter().any(|&r| r > 0),
+            "seed {seed}: per-block counts must be non-zero somewhere"
+        );
+        for p in &profiles[1..] {
+            assert_eq!(
+                p.block_runs, reference.block_runs,
+                "seed {seed}: {} disagrees with {} on logical block counts",
+                p.engine, reference.engine
+            );
+            assert_eq!(p.cycles, reference.cycles, "seed {seed}");
+            assert_eq!(p.settles, reference.settles, "seed {seed}");
+            assert_eq!(
+                p.net_activity, reference.net_activity,
+                "seed {seed}: activity counters diverged on {}",
+                p.engine
+            );
+        }
+        // Physical stats sanity: event-driven engines observe a queue,
+        // the static engine has none, and every engine spent time.
+        for p in &profiles {
+            match p.engine {
+                Engine::SpecializedOpt => assert_eq!(
+                    p.queue_depth.samples(),
+                    0,
+                    "static engine has no event queue"
+                ),
+                _ => assert!(
+                    p.queue_depth.samples() > 0,
+                    "{}: event engine must record queue pops",
+                    p.engine
+                ),
+            }
+            assert!(
+                p.fixpoint_iters.samples() > 0,
+                "{}: settle passes must be recorded",
+                p.engine
+            );
+            assert!(
+                p.block_nanos.iter().sum::<u64>() > 0,
+                "{}: cumulative block time must be non-zero",
+                p.engine
+            );
+            let report = p.report(5);
+            assert!(report.contains("hot blocks"), "{}:\n{report}", p.engine);
+        }
+    }
+}
+
 #[test]
 fn engines_agree_on_wide_widths() {
     // Seeds chosen to exercise 64-128 bit paths more heavily via the

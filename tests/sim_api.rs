@@ -131,6 +131,109 @@ fn find_signal_locates_internal_state() {
 }
 
 #[test]
+fn find_signal_matches_only_on_path_component_boundaries() {
+    struct SuffixTrap;
+    impl Component for SuffixTrap {
+        fn name(&self) -> String {
+            "SuffixTrap".into()
+        }
+        fn build(&self, c: &mut Ctx) {
+            let pc = c.out_port("pc", 8);
+            let xpc = c.in_port("xpc", 8);
+            c.comb("copy", |b| b.assign(pc, xpc));
+        }
+    }
+    let sim = Sim::build(&SuffixTrap, Engine::SpecializedOpt).unwrap();
+    // `pc` must find top.pc, never top.xpc (the old ends_with bug).
+    let sig = sim.find_signal("pc");
+    assert_eq!(sim.design().signal_path(sig), "top.pc");
+}
+
+#[test]
+#[should_panic(expected = "ambiguous")]
+fn find_signal_panics_listing_candidates_on_ambiguity() {
+    struct TwoRegs;
+    impl Component for TwoRegs {
+        fn name(&self) -> String {
+            "TwoRegs".into()
+        }
+        fn build(&self, c: &mut Ctx) {
+            let i = c.in_port("i", 8);
+            let a = c.out_port("a", 8);
+            let b_ = c.out_port("b", 8);
+            let left = c.instantiate("left", &Register::new(8));
+            let right = c.instantiate("right", &Register::new(8));
+            c.connect(i, c.port_of(&left, "in_"));
+            c.connect(c.port_of(&left, "out"), a);
+            c.connect(i, c.port_of(&right, "in_"));
+            c.connect(c.port_of(&right, "out"), b_);
+        }
+    }
+    let sim = Sim::build(&TwoRegs, Engine::SpecializedOpt).unwrap();
+    // Both registers have an `out` on different nets: must panic.
+    let _ = sim.find_signal("out");
+}
+
+#[test]
+fn find_signal_tolerates_aliases_of_one_net() {
+    // A child port connected straight to a parent port puts two signal
+    // paths on one net; resolving either is unambiguous state.
+    let sim = Sim::build(&Register::new(8), Engine::SpecializedOpt).unwrap();
+    let sig = sim.find_signal("out");
+    assert_eq!(sim.design().signal(sig).width, 8);
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn peek_mem_out_of_range_panics_with_bounds() {
+    let sim = Sim::build(&NormalQueue::new(8, 4), Engine::SpecializedOpt).unwrap();
+    let mem = sim.find_mem("storage");
+    let _ = sim.peek_mem(mem, 4); // 4-word memory: addresses 0..=3
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn poke_mem_out_of_range_panics_with_bounds() {
+    let mut sim = Sim::build(&NormalQueue::new(8, 4), Engine::SpecializedOpt).unwrap();
+    let mem = sim.find_mem("storage");
+    sim.poke_mem(mem, 100, b(8, 1));
+}
+
+#[test]
+fn profiling_collects_counts_time_and_a_report() {
+    for engine in Engine::ALL {
+        let mut sim = Sim::build(&Counter::new(8), engine).unwrap();
+        assert!(sim.profile().is_none(), "{engine}: no profile before enabling");
+        sim.enable_profiling();
+        sim.reset();
+        sim.poke_port("en", b(1, 1));
+        sim.poke_port("clear", b(1, 0));
+        sim.run(32);
+        let p = sim.profile().expect("profile collected");
+        assert_eq!(p.engine, engine);
+        assert_eq!(p.cycles, sim.cycle_count());
+        assert!(p.total_block_runs() > 0, "{engine}");
+        // The counter's seq block runs once per observed clock edge
+        // (reset contributes 2, the run 32).
+        let seq_runs: u64 = sim
+            .design()
+            .blocks()
+            .iter()
+            .zip(&p.block_runs)
+            .filter(|(info, _)| info.kind == rustmtl::core::BlockKind::Seq)
+            .map(|(_, &runs)| runs)
+            .sum();
+        assert_eq!(seq_runs, 34, "{engine}");
+        assert!(p.block_nanos.iter().sum::<u64>() > 0, "{engine}: wall time attributed");
+        // Activity rollups ride along (count changes every cycle).
+        assert!(p.net_activity.iter().sum::<u64>() > 0, "{engine}");
+        let report = p.report(5);
+        assert!(report.contains("cycles"), "{engine}:\n{report}");
+        assert!(report.contains("hot blocks"), "{engine}:\n{report}");
+    }
+}
+
+#[test]
 fn activity_counts_counter_bit_toggles() {
     // An n-bit binary counter running for 2^k cycles toggles bit 0 every
     // cycle, bit 1 every other cycle, ... — total toggles ~ 2N.

@@ -141,6 +141,84 @@ fn failed_and_uncacheable_jobs_never_enter_the_cache() {
     assert_eq!(second.failed_count(), 1);
 }
 
+/// A profiled sim job: the per-job `profile` section appears in the
+/// full JSON report but never in the canonical form, so profiling is
+/// free to carry wall-clock data without breaking determinism checks.
+#[test]
+fn profile_sections_reach_the_full_report_but_not_the_canonical_form() {
+    use rustmtl::prelude::*;
+    use rustmtl::stdlib::Counter;
+
+    fn counter_job(profile: bool) -> Job {
+        Job::new("counter", move |_ctx| {
+            let mut sim = Sim::build(&Counter::new(8), Engine::SpecializedOpt)
+                .map_err(|e| format!("{e:?}"))?;
+            if profile {
+                sim.enable_profiling();
+            }
+            sim.reset();
+            sim.poke_port("en", b(1, 1));
+            sim.poke_port("clear", b(1, 0));
+            sim.run(50);
+            let mut metrics = JobMetrics::new().det("count", sim.peek_port("count").as_u64());
+            if let Some(p) = sim.profile() {
+                let mut section = Json::obj();
+                section.set("engine", p.engine.to_string());
+                section.set("cycles", p.cycles);
+                section.set("block_executions", p.total_block_runs());
+                metrics = metrics.with_profile(section);
+            }
+            Ok(metrics)
+        })
+    }
+
+    let plain = Campaign::new("prof").no_cache().job(counter_job(false)).run();
+    let profiled = Campaign::new("prof").no_cache().job(counter_job(true)).run();
+    assert_eq!(profiled.done_count(), 1);
+
+    // Full report carries the section with real numbers...
+    let parsed = parse_json(&profiled.json_string()).expect("report parses");
+    let job = &parsed.get("jobs").and_then(Json::as_arr).expect("jobs")[0];
+    let section = job.get("profile").expect("profile section in full report");
+    assert!(section.get("block_executions").and_then(Json::as_u64).unwrap() > 0);
+    assert_eq!(section.get("cycles").and_then(Json::as_u64), Some(52));
+
+    // ...the canonical form never mentions it, and is byte-identical
+    // with profiling on or off.
+    assert!(!profiled.canonical_json_string().contains("profile"));
+    assert_eq!(
+        plain.canonical_json_string(),
+        profiled.canonical_json_string(),
+        "profiling must not perturb the canonical report"
+    );
+
+    // An unprofiled job simply has no section.
+    let plain_parsed = parse_json(&plain.json_string()).expect("parses");
+    let plain_job = &plain_parsed.get("jobs").and_then(Json::as_arr).unwrap()[0];
+    assert!(plain_job.get("profile").is_none());
+}
+
+/// Profile sections survive a cache round-trip.
+#[test]
+fn cached_jobs_replay_their_profile_sections() {
+    let dir = scratch_dir("sweep-smoke-profile-cache");
+    fn job_with_profile() -> Job {
+        Job::new("p", |_ctx| {
+            let mut section = Json::obj();
+            section.set("block_executions", 42u64);
+            Ok(JobMetrics::new().det("x", 1u64).with_profile(section))
+        })
+    }
+    let cold = Campaign::new("profcache").cache_dir(&dir).job(job_with_profile()).run();
+    assert_eq!(cold.cached_count(), 0);
+    let warm = Campaign::new("profcache").cache_dir(&dir).job(job_with_profile()).run();
+    assert_eq!(warm.cached_count(), 1);
+    let parsed = parse_json(&warm.json_string()).expect("parses");
+    let job = &parsed.get("jobs").and_then(Json::as_arr).unwrap()[0];
+    let section = job.get("profile").expect("profile replayed from cache");
+    assert_eq!(section.get("block_executions").and_then(Json::as_u64), Some(42));
+}
+
 /// The report schema the docs promise (EXPERIMENTS.md): round-trip the
 /// full JSON and spot-check the documented fields.
 #[test]
