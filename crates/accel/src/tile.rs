@@ -2,8 +2,7 @@
 //! processor + L1 instruction cache + L1 data cache + dot-product
 //! accelerator sharing the D$ port through an arbiter.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use mtl_core::{Component, Ctx};
 use mtl_proc::{
@@ -229,7 +228,7 @@ impl TileHarness {
     }
 
     /// Handle to collected `proc2mngr` values.
-    pub fn outputs(&self) -> Rc<RefCell<Vec<u32>>> {
+    pub fn outputs(&self) -> Arc<Mutex<Vec<u32>>> {
         self.mngr.outputs()
     }
 }
@@ -306,7 +305,7 @@ pub fn run_tile_profiled(
     let mem = harness.mem_handle();
     let outputs = harness.outputs();
     {
-        let mut m = mem.borrow_mut();
+        let mut m = mem.lock().unwrap();
         m[..program.len()].copy_from_slice(program);
         for (addr, words) in data {
             let base = (*addr / 4) as usize;
@@ -325,7 +324,7 @@ pub fn run_tile_profiled(
         assert!(cycles <= max_cycles, "{config} tile did not halt in {max_cycles} cycles");
     }
     let instret = sim.peek_port("instret").as_u64();
-    let outs = outputs.borrow().clone();
-    let mem_final = mem.borrow().clone();
+    let outs = outputs.lock().unwrap().clone();
+    let mem_final = mem.lock().unwrap().clone();
     TileRunResult { outputs: outs, cycles, instret, mem: mem_final, profile: sim.profile() }
 }

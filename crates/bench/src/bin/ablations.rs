@@ -115,7 +115,7 @@ fn run_tile_cycles(config: TileConfig, nlines: u64) -> Result<u64, String> {
     let h = H { config, nlines, mngr: MngrAdapter::new(vec![]), mem: TestMemory::new(2, 1 << 16, 2) };
     {
         let handle = h.mem.handle();
-        let mut m = handle.borrow_mut();
+        let mut m = handle.lock().unwrap();
         m[..program.len()].copy_from_slice(&program);
         let base = (layout.mat_base / 4) as usize;
         m[base..base + mat.len()].copy_from_slice(&mat);
@@ -169,7 +169,7 @@ fn mesh_latency(nentries: usize, injection: u32) -> (f64, f64) {
     struct H {
         nentries: usize,
         injection: u32,
-        stats: std::rc::Rc<std::cell::RefCell<NetStats>>,
+        stats: std::sync::Arc<std::sync::Mutex<NetStats>>,
     }
     impl Component for H {
         fn name(&self) -> String {
@@ -193,14 +193,14 @@ fn mesh_latency(nentries: usize, injection: u32) -> (f64, f64) {
             }
         }
     }
-    let stats = std::rc::Rc::new(std::cell::RefCell::new(NetStats::default()));
+    let stats = std::sync::Arc::new(std::sync::Mutex::new(NetStats::default()));
     let h = H { nentries, injection, stats: stats.clone() };
     let mut sim = Sim::build(&h, Engine::SpecializedOpt).unwrap();
     sim.reset();
     sim.run(300);
-    stats.borrow_mut().clear();
+    stats.lock().unwrap().clear();
     sim.run(1500);
-    let st = stats.borrow();
+    let st = stats.lock().unwrap();
     (st.avg_latency(), st.received as f64 * 1000.0 / (1500.0 * 16.0))
 }
 

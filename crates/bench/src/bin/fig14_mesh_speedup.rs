@@ -9,10 +9,14 @@
 //! simulator plays the role of the paper's hand-coded C++/Verilator
 //! baselines.
 //!
-//! The 13 measurements (3 levels × 4 engines + the handwritten baseline)
-//! run as an `mtl-sweep` campaign and land in `BENCH_fig14.json`. Pass
-//! `--profile` to enable simulation profiling in every engine job and
-//! attach the hottest blocks to each job's `profile` report section.
+//! The 16 measurements (3 levels × 5 engines + the handwritten baseline)
+//! run as an `mtl-sweep` campaign and land in `BENCH_fig14.json`. The
+//! `specialized-par` series records its worker-thread count (resolved
+//! from `MTL_SIM_THREADS` / available parallelism) in its job params.
+//! Pass `--profile` to enable simulation profiling in every engine job
+//! and attach the hottest blocks to each job's `profile` report section;
+//! pass `--smoke` for a fast CI-sized run (same campaign shape, much
+//! smaller measurement windows).
 
 use std::time::{Duration, Instant};
 
@@ -33,14 +37,17 @@ fn job_name(level: NetLevel, engine: Engine) -> String {
     format!("{level}/{engine}")
 }
 
-fn engine_job(level: NetLevel, engine: Engine, profile: bool) -> Job {
+fn engine_job(level: NetLevel, engine: Engine, profile: bool, smoke: bool) -> Job {
     // Interpreted engines are slow; cap their measurement burden.
-    let (min_wall, max_cycles) = match engine {
-        Engine::Interpreted => (Duration::from_millis(1500), 20_000),
-        Engine::InterpretedOpt => (Duration::from_millis(1200), 50_000),
-        _ => (Duration::from_millis(800), 2_000_000),
+    let (min_wall, max_cycles) = match (engine, smoke) {
+        (Engine::Interpreted, false) => (Duration::from_millis(1500), 20_000),
+        (Engine::InterpretedOpt, false) => (Duration::from_millis(1200), 50_000),
+        (_, false) => (Duration::from_millis(800), 2_000_000),
+        (Engine::Interpreted, true) => (Duration::from_millis(60), 1_000),
+        (Engine::InterpretedOpt, true) => (Duration::from_millis(60), 3_000),
+        (_, true) => (Duration::from_millis(60), 50_000),
     };
-    Job::new(job_name(level, engine), move |ctx| {
+    let mut job = Job::new(job_name(level, engine), move |ctx| {
         let harness = mesh_harness(level, NROUTERS, INJECTION);
         let (mut m, prof) = measure_rate_instrumented(
             &harness,
@@ -75,18 +82,24 @@ fn engine_job(level: NetLevel, engine: Engine, profile: bool) -> Job {
     .param("engine", engine)
     .param("nrouters", NROUTERS)
     .param("injection_permille", INJECTION)
-    .budget(Duration::from_secs(60))
-    .uncacheable()
+    .budget(Duration::from_secs(if smoke { 20 } else { 60 }))
+    .uncacheable();
+    // The parallel engine's rate depends on its worker count; record it
+    // so the series is interpretable without knowing the machine.
+    if engine == Engine::SpecializedPar {
+        job = job.param("threads", mtl_sim::default_threads());
+    }
+    if profile {
+        job = job.expects_profile();
+    }
+    job
 }
 
-fn handwritten_job() -> Job {
-    Job::new("handwritten", |_ctx| {
-        let rate = measure_handwritten_rate(
-            NROUTERS,
-            INJECTION,
-            Duration::from_millis(500),
-            20_000_000,
-        );
+fn handwritten_job(smoke: bool) -> Job {
+    let (min_wall, max_cycles) =
+        if smoke { (Duration::from_millis(60), 200_000) } else { (Duration::from_millis(500), 20_000_000) };
+    Job::new("handwritten", move |_ctx| {
+        let rate = measure_handwritten_rate(NROUTERS, INJECTION, min_wall, max_cycles);
         Ok(JobMetrics::new().timing("cycles_per_sec", rate))
     })
     .param("nrouters", NROUTERS)
@@ -186,13 +199,17 @@ fn main() {
     if profile {
         println!("(profiling enabled: per-job `profile` sections in the report)");
     }
+    let smoke = has_flag("--smoke");
+    if smoke {
+        println!("(smoke mode: CI-sized measurement windows)");
+    }
     let mut campaign = Campaign::new("fig14");
     for level in LEVELS {
         for engine in Engine::ALL {
-            campaign = campaign.job(engine_job(level, engine, profile));
+            campaign = campaign.job(engine_job(level, engine, profile, smoke));
         }
     }
-    campaign = campaign.job(handwritten_job());
+    campaign = campaign.job(handwritten_job(smoke));
     let report = campaign.run();
 
     let handwritten = report.metric("handwritten", "cycles_per_sec");

@@ -629,6 +629,37 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "invalid slice")]
+    fn zero_width_slice_panics() {
+        let _ = Bits::new(8, 0xFF).slice(3, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid slice")]
+    fn zero_width_with_slice_panics() {
+        let _ = Bits::new(8, 0xFF).with_slice(3, 3, Bits::new(1, 0));
+    }
+
+    #[test]
+    fn shifts_at_and_beyond_width_saturate() {
+        let a = Bits::new(13, 0x1FFF);
+        // amount = width - 1: one surviving bit.
+        assert_eq!(a << 12, Bits::new(13, 0x1000));
+        assert_eq!(a >> 12, Bits::new(13, 1));
+        // amount = width exactly: everything shifted out.
+        assert_eq!(a << 13, Bits::zero(13));
+        assert_eq!(a >> 13, Bits::zero(13));
+        // amount far beyond the width (would overflow a u128 shift).
+        assert_eq!(a << 200, Bits::zero(13));
+        assert_eq!(a >> 200, Bits::zero(13));
+        // Arithmetic right shift fills with the sign bit at saturation.
+        assert_eq!(Bits::new(13, 0x1000).shr_signed(13), Bits::ones(13));
+        assert_eq!(Bits::new(13, 0x1000).shr_signed(255), Bits::ones(13));
+        assert_eq!(Bits::new(13, 0x0FFF).shr_signed(13), Bits::zero(13));
+        assert_eq!(Bits::new(13, 0x0FFF).shr_signed(255), Bits::zero(13));
+    }
+
+    #[test]
     fn concat_orders_msb_first() {
         let hi = Bits::new(4, 0xA);
         let lo = Bits::new(8, 0xBC);

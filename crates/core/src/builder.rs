@@ -10,7 +10,8 @@ use mtl_bits::Bits;
 
 use crate::component::Component;
 use crate::design::{
-    BlockBody, BlockInfo, BlockKind, MemInfo, ModuleInfo, NativeLevel, SignalInfo, SignalKind,
+    BlockBody, BlockInfo, BlockKind, MemInfo, ModuleInfo, NativeFn, NativeLevel, SignalInfo,
+    SignalKind,
 };
 use crate::ids::{MemId, ModuleId, NetId, SignalId};
 use crate::ir::{Expr, LValue, Stmt};
@@ -192,6 +193,8 @@ pub(crate) struct Proto {
     pub modules: Vec<ModuleInfo>,
     pub signals: Vec<SignalInfo>,
     pub blocks: Vec<BlockInfo>,
+    /// Native closures parallel to `blocks` (None for IR blocks).
+    pub natives: Vec<Option<NativeFn>>,
     pub mems: Vec<MemInfo>,
     pub connections: Vec<(SignalId, SignalId)>,
 }
@@ -341,7 +344,7 @@ impl<'a> Ctx<'a> {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn add_block(&mut self, name: &str, kind: BlockKind, body: BlockBody, reads: Vec<SignalId>, writes: Vec<SignalId>, mem_reads: Vec<MemId>, mem_writes: Vec<MemId>) {
+    fn add_block(&mut self, name: &str, kind: BlockKind, body: BlockBody, native: Option<NativeFn>, reads: Vec<SignalId>, writes: Vec<SignalId>, mem_reads: Vec<MemId>, mem_writes: Vec<MemId>) {
         self.proto.blocks.push(BlockInfo {
             name: name.to_string(),
             module: self.module,
@@ -352,6 +355,7 @@ impl<'a> Ctx<'a> {
             mem_writes,
             mem_reads,
         });
+        self.proto.natives.push(native);
     }
 
     /// Defines a combinational IR block (the `@s.combinational` analog).
@@ -363,7 +367,7 @@ impl<'a> Ctx<'a> {
         f(&mut b);
         let stmts = b.finish();
         let (reads, writes, mem_reads, mem_writes) = analyze(&stmts);
-        self.add_block(name, BlockKind::Comb, BlockBody::Ir(stmts), reads, writes, mem_reads, mem_writes);
+        self.add_block(name, BlockKind::Comb, BlockBody::Ir(stmts), None, reads, writes, mem_reads, mem_writes);
     }
 
     /// Defines a sequential IR block (the `@s.tick_rtl` analog).
@@ -374,7 +378,7 @@ impl<'a> Ctx<'a> {
         f(&mut b);
         let stmts = b.finish();
         let (reads, writes, mem_reads, mem_writes) = analyze(&stmts);
-        self.add_block(name, BlockKind::Seq, BlockBody::Ir(stmts), reads, writes, mem_reads, mem_writes);
+        self.add_block(name, BlockKind::Seq, BlockBody::Ir(stmts), None, reads, writes, mem_reads, mem_writes);
     }
 
     /// Defines a functional-level sequential block (the `@s.tick_fl`
@@ -386,7 +390,7 @@ impl<'a> Ctx<'a> {
         name: &str,
         reads: &[SignalRef],
         writes: &[SignalRef],
-        f: impl FnMut(&mut dyn SignalView) + 'static,
+        f: impl FnMut(&mut dyn SignalView) + Send + 'static,
     ) {
         self.native(name, BlockKind::Seq, NativeLevel::Fl, reads, writes, f);
     }
@@ -397,7 +401,7 @@ impl<'a> Ctx<'a> {
         name: &str,
         reads: &[SignalRef],
         writes: &[SignalRef],
-        f: impl FnMut(&mut dyn SignalView) + 'static,
+        f: impl FnMut(&mut dyn SignalView) + Send + 'static,
     ) {
         self.native(name, BlockKind::Seq, NativeLevel::Cl, reads, writes, f);
     }
@@ -410,7 +414,7 @@ impl<'a> Ctx<'a> {
         level: NativeLevel,
         reads: &[SignalRef],
         writes: &[SignalRef],
-        f: impl FnMut(&mut dyn SignalView) + 'static,
+        f: impl FnMut(&mut dyn SignalView) + Send + 'static,
     ) {
         self.native(name, BlockKind::Comb, level, reads, writes, f);
     }
@@ -422,12 +426,13 @@ impl<'a> Ctx<'a> {
         level: NativeLevel,
         reads: &[SignalRef],
         writes: &[SignalRef],
-        f: impl FnMut(&mut dyn SignalView) + 'static,
+        f: impl FnMut(&mut dyn SignalView) + Send + 'static,
     ) {
         self.add_block(
             name,
             kind,
-            BlockBody::Native(level, Box::new(f)),
+            BlockBody::Native(level),
+            Some(Box::new(f)),
             reads.iter().map(|s| s.id).collect(),
             writes.iter().map(|s| s.id).collect(),
             Vec::new(),

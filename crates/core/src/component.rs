@@ -66,6 +66,7 @@ pub fn elaborate(top: &dyn Component) -> Result<Design, ElabError> {
         }],
         signals: Vec::new(),
         blocks: Vec::new(),
+        natives: Vec::new(),
         mems: Vec::new(),
         connections: Vec::new(),
     };
@@ -81,7 +82,7 @@ pub fn elaborate(top: &dyn Component) -> Result<Design, ElabError> {
 }
 
 fn finalize(proto: Proto, reset: SignalId) -> Result<Design, ElabError> {
-    let Proto { modules, mut signals, blocks, mems, connections } = proto;
+    let Proto { modules, mut signals, blocks, natives, mems, connections } = proto;
 
     // 1. Union-find over connections to form nets.
     let mut uf: Vec<usize> = (0..signals.len()).collect();
@@ -132,6 +133,7 @@ fn finalize(proto: Proto, reset: SignalId) -> Result<Design, ElabError> {
         modules,
         signals,
         blocks,
+        natives: natives.into_iter().map(crate::design::NativeCell::new).collect(),
         mems,
         connections,
         nets,

@@ -95,22 +95,55 @@ pub enum NativeLevel {
 ///
 /// The closure receives a [`SignalView`] for reading signals and writing
 /// values (combinational) or next-values (sequential).
-pub type NativeFn = Box<dyn FnMut(&mut dyn SignalView)>;
+///
+/// Native functions are `Send` so an elaborated [`Design`] is a plain
+/// data structure that can cross threads (the parallel engine depends on
+/// this); captured shared state must use `Arc<Mutex<..>>` rather than
+/// `Rc<RefCell<..>>`.
+pub type NativeFn = Box<dyn FnMut(&mut dyn SignalView) + Send>;
 
 /// The body of an update block.
+///
+/// Native closures are stored out-of-band in the [`Design`]'s native
+/// table (index-based storage keyed by block index), so block metadata
+/// stays plain `Send + Sync` data; see [`Design::take_natives`].
 pub enum BlockBody {
     /// Translatable IR statements (RTL modeling).
     Ir(Vec<Stmt>),
-    /// An opaque Rust closure (FL/CL modeling) with its abstraction level.
-    Native(NativeLevel, NativeFn),
+    /// An opaque Rust closure (FL/CL modeling) with its abstraction level;
+    /// the closure itself lives in the design's native table.
+    Native(NativeLevel),
 }
 
 impl fmt::Debug for BlockBody {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BlockBody::Ir(stmts) => f.debug_tuple("Ir").field(&stmts.len()).finish(),
-            BlockBody::Native(level, _) => f.debug_tuple("Native").field(level).finish(),
+            BlockBody::Native(level) => f.debug_tuple("Native").field(level).finish(),
         }
+    }
+}
+
+/// Slot in the design's native-closure table: present until a simulator
+/// claims it via [`Design::take_natives`]. The mutex makes the cell (and
+/// thus the whole [`Design`]) `Sync` while staying cheap — it is locked
+/// only at claim time, never during simulation.
+pub(crate) struct NativeCell(std::sync::Mutex<Option<NativeFn>>);
+
+impl NativeCell {
+    pub(crate) fn new(f: Option<NativeFn>) -> Self {
+        NativeCell(std::sync::Mutex::new(f))
+    }
+}
+
+impl fmt::Debug for NativeCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = match self.0.lock() {
+            Ok(g) if g.is_some() => "present",
+            Ok(_) => "taken",
+            Err(_) => "poisoned",
+        };
+        write!(f, "NativeCell({state})")
     }
 }
 
@@ -214,9 +247,20 @@ pub struct Design {
     pub(crate) mems: Vec<MemInfo>,
     pub(crate) connections: Vec<(SignalId, SignalId)>,
     pub(crate) nets: Vec<NetInfo>,
+    /// Native closures indexed by block (None for IR blocks), stored
+    /// out-of-band so the rest of the design is plain shareable data.
+    pub(crate) natives: Vec<NativeCell>,
     /// The global reset net's representative signal.
     pub(crate) reset: SignalId,
 }
+
+/// An elaborated design is pure data plus claimable native closures, so
+/// it can be shared across threads (`Arc<Design>`); the parallel engine
+/// relies on this. Compile-time check.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Design>();
+};
 
 impl Design {
     /// The root module of the hierarchy.
@@ -254,10 +298,31 @@ impl Design {
         &self.blocks
     }
 
-    /// Mutable access to blocks; simulators use this to take ownership of
-    /// native closures.
+    /// Mutable access to blocks (metadata only; native closures live in
+    /// the design's native table, see [`Design::take_natives`]).
     pub fn blocks_mut(&mut self) -> &mut [BlockInfo] {
         &mut self.blocks
+    }
+
+    /// Claims ownership of all native closures, indexed by block (None
+    /// for IR blocks, and for natives already taken).
+    ///
+    /// Simulators call this once at construction; the design left behind
+    /// is pure data, freely shareable across threads.
+    pub fn take_natives(&self) -> Vec<Option<NativeFn>> {
+        self.natives
+            .iter()
+            .map(|cell| cell.0.lock().expect("native cell poisoned").take())
+            .collect()
+    }
+
+    /// Whether the native closure for a block is still present (i.e. not
+    /// yet claimed by a simulator).
+    pub fn has_native(&self, block: BlockId) -> bool {
+        self.natives
+            .get(block.index())
+            .map(|cell| cell.0.lock().expect("native cell poisoned").is_some())
+            .unwrap_or(false)
     }
 
     /// Metadata for a memory.
@@ -449,8 +514,8 @@ impl Design {
                 if b.module == m {
                     let score = match &b.body {
                         BlockBody::Ir(_) => 3,
-                        BlockBody::Native(NativeLevel::Cl, _) => 2,
-                        BlockBody::Native(NativeLevel::Fl, _) => 1,
+                        BlockBody::Native(NativeLevel::Cl) => 2,
+                        BlockBody::Native(NativeLevel::Fl) => 1,
                     };
                     max = max.max(score);
                 }

@@ -7,8 +7,7 @@
 //! benches use to regenerate the paper's §III-D numbers (zero-load latency
 //! ≈ 13 cycles, saturation ≈ 32% injection for an 8×8 CL mesh).
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use mtl_bits::Bits;
 use mtl_core::{Component, Ctx};
@@ -101,7 +100,7 @@ pub struct TrafficGen {
     /// Stop injecting after this many packets (u64::MAX = unlimited).
     limit: u64,
     pattern: TrafficPattern,
-    stats: Rc<RefCell<NetStats>>,
+    stats: Arc<Mutex<NetStats>>,
 }
 
 impl TrafficGen {
@@ -113,7 +112,7 @@ impl TrafficGen {
         payload_nbits: u32,
         injection_permille: u32,
         seed: u64,
-        stats: Rc<RefCell<NetStats>>,
+        stats: Arc<Mutex<NetStats>>,
     ) -> Self {
         assert!(injection_permille <= 1000);
         Self {
@@ -189,7 +188,7 @@ impl Component for TrafficGen {
                 let ts = msg.slice(plo, phi).as_u64();
                 let mask = if pw >= 64 { u64::MAX } else { (1u64 << pw) - 1 };
                 let latency = (cyc.wrapping_sub(ts)) & mask;
-                let mut st = stats.borrow_mut();
+                let mut st = stats.lock().unwrap();
                 st.received += 1;
                 st.total_latency += latency;
                 st.max_latency = st.max_latency.max(latency);
@@ -207,7 +206,7 @@ impl Component for TrafficGen {
                     .with_slice(slo, shi, Bits::new(shi - slo, id as u128))
                     .with_slice(plo, phi, Bits::new(pw, (cyc as u128) & ((1u128 << pw) - 1)));
                 src_q.push_back(msg);
-                stats.borrow_mut().injected += 1;
+                stats.lock().unwrap().injected += 1;
             }
             // Publish next-cycle interface state.
             match src_q.front() {
@@ -237,7 +236,7 @@ pub struct MeshTrafficHarness {
     pub seed: u64,
     /// Traffic pattern.
     pub pattern: TrafficPattern,
-    stats: Rc<RefCell<NetStats>>,
+    stats: Arc<Mutex<NetStats>>,
 }
 
 impl MeshTrafficHarness {
@@ -255,7 +254,7 @@ impl MeshTrafficHarness {
             injection_permille,
             seed,
             pattern: TrafficPattern::UniformRandom,
-            stats: Rc::new(RefCell::new(NetStats::default())),
+            stats: Arc::new(Mutex::new(NetStats::default())),
         }
     }
 
@@ -266,7 +265,7 @@ impl MeshTrafficHarness {
     }
 
     /// The shared statistics record.
-    pub fn stats(&self) -> Rc<RefCell<NetStats>> {
+    pub fn stats(&self) -> Arc<Mutex<NetStats>> {
         self.stats.clone()
     }
 }
@@ -359,9 +358,9 @@ pub fn measure_network_pattern(
     let mut sim = Sim::build(&harness, engine).expect("harness elaboration");
     sim.reset();
     sim.run(warmup);
-    stats.borrow_mut().clear();
+    stats.lock().unwrap().clear();
     sim.run(measure);
-    let st = stats.borrow();
+    let st = stats.lock().unwrap();
     assert_eq!(st.misrouted, 0, "misrouted packets detected");
     NetMeasurement {
         avg_latency: st.avg_latency(),

@@ -1,8 +1,7 @@
 //! Network conservation: every injected packet is delivered exactly once
 //! (no loss, no duplication), across abstraction levels.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use mtl_core::{Component, Ctx};
 use mtl_net::{network, NetLevel, NetStats, TrafficGen};
@@ -12,7 +11,7 @@ struct LimitedHarness {
     level: NetLevel,
     nrouters: usize,
     per_gen: u64,
-    stats: Rc<RefCell<NetStats>>,
+    stats: Arc<Mutex<NetStats>>,
 }
 
 impl Component for LimitedHarness {
@@ -40,7 +39,7 @@ impl Component for LimitedHarness {
 }
 
 fn check_conservation(level: NetLevel, nrouters: usize, per_gen: u64) {
-    let stats = Rc::new(RefCell::new(NetStats::default()));
+    let stats = Arc::new(Mutex::new(NetStats::default()));
     let h = LimitedHarness { level, nrouters, per_gen, stats: stats.clone() };
     let mut sim = Sim::build(&h, Engine::SpecializedOpt).unwrap();
     sim.reset();
@@ -50,7 +49,7 @@ fn check_conservation(level: NetLevel, nrouters: usize, per_gen: u64) {
     loop {
         sim.run(200);
         guard += 1;
-        let st = stats.borrow();
+        let st = stats.lock().unwrap();
         assert!(st.received <= st.injected, "{level}: duplicated packets");
         assert_eq!(st.misrouted, 0, "{level}: misrouted packets");
         if st.received == expected {
@@ -60,7 +59,7 @@ fn check_conservation(level: NetLevel, nrouters: usize, per_gen: u64) {
     }
     // Nothing extra arrives after the drain.
     sim.run(500);
-    let st = stats.borrow();
+    let st = stats.lock().unwrap();
     assert_eq!(st.injected, expected);
     assert_eq!(st.received, expected, "{level}: delivery count drifted after drain");
 }
@@ -85,7 +84,7 @@ fn full_rtl_mesh_survives_verilog_round_trip() {
     // Translate a complete 16-node RTL mesh to Verilog, reparse it, and
     // drive identical traffic through both: delivery statistics must
     // match exactly (the network is deterministic given the generators).
-    let golden_stats = Rc::new(RefCell::new(NetStats::default()));
+    let golden_stats = Arc::new(Mutex::new(NetStats::default()));
     let golden = LimitedHarness {
         level: NetLevel::Rtl,
         nrouters: 16,
@@ -105,7 +104,7 @@ fn full_rtl_mesh_survives_verilog_round_trip() {
 
     struct RoundTrip<'a> {
         net: mtl_translate::VerilogComponent<'a>,
-        stats: Rc<RefCell<NetStats>>,
+        stats: Arc<Mutex<NetStats>>,
     }
     impl Component for RoundTrip<'_> {
         fn name(&self) -> String {
@@ -128,14 +127,14 @@ fn full_rtl_mesh_survives_verilog_round_trip() {
             }
         }
     }
-    let rt_stats = Rc::new(RefCell::new(NetStats::default()));
+    let rt_stats = Arc::new(Mutex::new(NetStats::default()));
     let rt = RoundTrip { net: lib.top_component(), stats: rt_stats.clone() };
     let mut rt_sim = Sim::build(&rt, Engine::SpecializedOpt).unwrap();
     rt_sim.reset();
     rt_sim.run(2_000);
 
-    let a = golden_stats.borrow();
-    let b = rt_stats.borrow();
+    let a = golden_stats.lock().unwrap();
+    let b = rt_stats.lock().unwrap();
     assert_eq!(a.injected, b.injected);
     assert_eq!(a.received, b.received);
     assert_eq!(a.total_latency, b.total_latency, "latency profile must match cycle-exactly");

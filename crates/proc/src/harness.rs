@@ -2,8 +2,7 @@
 //! processors — the paper's test-bench-reuse pattern applied to the
 //! processor case study.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use mtl_bits::Bits;
 use mtl_core::{Component, Ctx};
@@ -88,17 +87,17 @@ pub fn cache_component(level: CacheLevel, nlines: u64) -> Box<dyn Component> {
 /// channel and collecting `proc2mngr` outputs.
 pub struct MngrAdapter {
     inputs: Vec<u32>,
-    outputs: Rc<RefCell<Vec<u32>>>,
+    outputs: Arc<Mutex<Vec<u32>>>,
 }
 
 impl MngrAdapter {
     /// Creates an adapter that supplies `inputs` in order.
     pub fn new(inputs: Vec<u32>) -> Self {
-        Self { inputs, outputs: Rc::new(RefCell::new(Vec::new())) }
+        Self { inputs, outputs: Arc::new(Mutex::new(Vec::new())) }
     }
 
     /// Shared handle to the collected `proc2mngr` values.
-    pub fn outputs(&self) -> Rc<RefCell<Vec<u32>>> {
+    pub fn outputs(&self) -> Arc<Mutex<Vec<u32>>> {
         self.outputs.clone()
     }
 }
@@ -122,7 +121,7 @@ impl Component for MngrAdapter {
         c.tick_fl("mngr_tick", &reads, &writes, move |s| {
             if s.read(reset.id()).reduce_or() {
                 idx = 0;
-                outputs.borrow_mut().clear();
+                outputs.lock().unwrap().clear();
                 s.write_next(to_proc.val.id(), Bits::from_bool(false));
                 s.write_next(from_proc.rdy.id(), Bits::from_bool(false));
                 return;
@@ -137,7 +136,7 @@ impl Component for MngrAdapter {
                 s.write_next(to_proc.val.id(), Bits::from_bool(false));
             }
             if s.read(from_proc.val.id()).reduce_or() && s.read(from_proc.rdy.id()).reduce_or() {
-                outputs.borrow_mut().push(s.read(from_proc.msg.id()).as_u64() as u32);
+                outputs.lock().unwrap().push(s.read(from_proc.msg.id()).as_u64() as u32);
             }
             s.write_next(from_proc.rdy.id(), Bits::from_bool(true));
         });
@@ -171,7 +170,7 @@ impl ProcMemHarness {
     }
 
     /// Handle to collected `proc2mngr` outputs.
-    pub fn outputs(&self) -> Rc<RefCell<Vec<u32>>> {
+    pub fn outputs(&self) -> Arc<Mutex<Vec<u32>>> {
         self.mngr.outputs()
     }
 }
@@ -240,7 +239,7 @@ pub fn run_proc_program(
     let mem = harness.mem_handle();
     let outputs = harness.outputs();
     {
-        let mut m = mem.borrow_mut();
+        let mut m = mem.lock().unwrap();
         m[..program.len()].copy_from_slice(program);
     }
     let mut sim = Sim::build(&harness, engine).expect("harness elaboration");
@@ -252,7 +251,7 @@ pub fn run_proc_program(
         assert!(cycles <= max_cycles, "{level} processor did not halt in {max_cycles} cycles");
     }
     let instret = sim.peek_port("instret").as_u64();
-    let outs = outputs.borrow().clone();
+    let outs = outputs.lock().unwrap().clone();
     ProcRunResult { outputs: outs, cycles, instret }
 }
 

@@ -151,13 +151,12 @@ mod tests {
     use crate::test_memory::TestMemory;
     use mtl_core::{Component, Ctx};
     use mtl_sim::{Engine, Sim};
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     /// An FL component that writes then reads back a sequence through the
     /// proxy and records what it saw.
     struct ProxyUser {
-        log: Rc<RefCell<Vec<u32>>>,
+        log: Arc<Mutex<Vec<u32>>>,
         mem: TestMemory,
     }
 
@@ -208,7 +207,7 @@ mod tests {
                     }
                     3..=5 => {
                         if let Some(v) = proxy.read(0x100 + 4 * (phase as u32 - 3)) {
-                            log.borrow_mut().push(v);
+                            log.lock().unwrap().push(v);
                             phase += 1;
                         }
                     }
@@ -222,7 +221,7 @@ mod tests {
 
     #[test]
     fn proxy_writes_then_reads_back() {
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
         let user = ProxyUser { log: log.clone(), mem: TestMemory::new(1, 256, 2) };
         let mut sim = Sim::build(&user, Engine::SpecializedOpt).unwrap();
         sim.reset();
@@ -232,6 +231,6 @@ mod tests {
             cycles += 1;
             assert!(cycles < 500, "proxy user never finished");
         }
-        assert_eq!(*log.borrow(), vec![10, 11, 12]);
+        assert_eq!(*log.lock().unwrap(), vec![10, 11, 12]);
     }
 }

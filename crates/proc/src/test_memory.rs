@@ -1,8 +1,7 @@
 //! A multi-port FL test memory with configurable latency.
 
-use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use mtl_bits::Bits;
 use mtl_core::{Component, Ctx};
@@ -11,7 +10,7 @@ use crate::mem_msg::{mem_req_layout, mem_resp_layout, MEM_WRITE};
 
 /// Shared backing storage for [`TestMemory`]; a backdoor handle lets test
 /// benches load programs and inspect results without simulating traffic.
-pub type MemHandle = Rc<RefCell<Vec<u32>>>;
+pub type MemHandle = Arc<Mutex<Vec<u32>>>;
 
 /// A word-addressed FL memory servicing `nports` val/rdy request/response
 /// channels with a fixed pipelined latency.
@@ -31,7 +30,7 @@ impl TestMemory {
     /// response latency (cycles, ≥1).
     pub fn new(nports: usize, words: usize, latency: u64) -> Self {
         assert!(nports >= 1 && latency >= 1);
-        Self { nports, words, latency, data: Rc::new(RefCell::new(vec![0; words])) }
+        Self { nports, words, latency, data: Arc::new(Mutex::new(vec![0; words])) }
     }
 
     /// The backdoor handle to the backing storage.
@@ -103,10 +102,10 @@ impl Component for TestMemory {
                     let widx = (addr / 4) % words;
                     let rdata = if ty == MEM_WRITE {
                         let wdata = req_l.unpack(req, "data").as_u64() as u32;
-                        data.borrow_mut()[widx] = wdata;
+                        data.lock().unwrap()[widx] = wdata;
                         0
                     } else {
-                        data.borrow()[widx]
+                        data.lock().unwrap()[widx]
                     };
                     let resp = crate::mem_msg::mem_resp(&resp_l, ty, opq, rdata);
                     inflight[p].push_back((cyc + latency, resp));
@@ -182,7 +181,7 @@ mod tests {
         let resp_l = mem_resp_layout();
         let mem = TestMemory::new(1, 64, 1);
         let handle = mem.handle();
-        handle.borrow_mut()[3] = 0xABCD;
+        handle.lock().unwrap()[3] = 0xABCD;
         let mut sim = Sim::build(&mem, Engine::SpecializedOpt).unwrap();
         sim.reset();
         sim.cycle();
@@ -206,8 +205,8 @@ mod tests {
         let resp_l = mem_resp_layout();
         let mem = TestMemory::new(2, 64, 1);
         let handle = mem.handle();
-        handle.borrow_mut()[1] = 11;
-        handle.borrow_mut()[2] = 22;
+        handle.lock().unwrap()[1] = 11;
+        handle.lock().unwrap()[2] = 22;
         let mut sim = Sim::build(&mem, Engine::SpecializedOpt).unwrap();
         sim.reset();
         sim.cycle();

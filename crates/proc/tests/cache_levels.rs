@@ -2,8 +2,7 @@
 //! every (processor level × cache level) pair — the mixed-level
 //! simulation matrix that motivates the paper's Figure 13.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use mtl_core::{Component, Ctx};
 use mtl_proc::{
@@ -100,8 +99,8 @@ fn run_with_caches(
 ) -> (Vec<u32>, u64) {
     let harness = ProcCacheHarness::new(proc_level, cache_level, inputs);
     let mem = harness.mem.handle();
-    let outputs: Rc<RefCell<Vec<u32>>> = harness.mngr.outputs();
-    mem.borrow_mut()[..program.len()].copy_from_slice(program);
+    let outputs: Arc<Mutex<Vec<u32>>> = harness.mngr.outputs();
+    mem.lock().unwrap()[..program.len()].copy_from_slice(program);
     let mut sim = Sim::build(&harness, Engine::SpecializedOpt).unwrap();
     sim.reset();
     let mut cycles = 0;
@@ -113,7 +112,7 @@ fn run_with_caches(
             "{proc_level}/{cache_level:?} did not halt in {max_cycles} cycles"
         );
     }
-    let outs = outputs.borrow().clone();
+    let outs = outputs.lock().unwrap().clone();
     (outs, cycles)
 }
 

@@ -2,8 +2,9 @@
 //!
 //! This crate is the analog of PyMTL's `SimulationTool` plus the paper's
 //! SimJIT specializers. A [`Sim`] consumes an elaborated
-//! [`Design`](mtl_core::Design) and simulates it under one of four
-//! [`Engine`]s that reproduce the paper's performance regimes:
+//! [`Design`](mtl_core::Design) and simulates it under one of five
+//! [`Engine`]s; the first four reproduce the paper's performance regimes
+//! and the fifth parallelizes the fastest one:
 //!
 //! | Engine | Paper analog | Architecture |
 //! |---|---|---|
@@ -11,6 +12,7 @@
 //! | [`Engine::InterpretedOpt`] | PyPy | event-driven, tree-walking IR, dense pre-resolved storage |
 //! | [`Engine::Specialized`] | SimJIT | IR compiled to a linear tape VM, event-driven dispatch |
 //! | [`Engine::SpecializedOpt`] | SimJIT+PyPy | tape VM plus fully static levelized schedule |
+//! | [`Engine::SpecializedPar`] | multithreaded codegen (e.g. Verilator `--threads`) | fused tapes partitioned into connected components, run on worker threads with double-buffered register nets and a per-cycle barrier |
 //!
 //! All engines implement identical simulation semantics; the test suite
 //! checks trace equivalence on randomized designs. Construction overheads
@@ -23,12 +25,14 @@
 
 mod interp;
 mod overheads;
+mod par;
 pub mod profile;
 mod sim;
 mod tape;
 mod vcd;
 
 pub use overheads::Overheads;
+pub use par::default_threads;
 pub use profile::{Hist, HotBlock, SimProfile};
-pub use sim::{Engine, Sim};
+pub use sim::{Engine, Sim, SimConfig};
 pub use vcd::VcdWriter;

@@ -1,7 +1,7 @@
-//! The [`Sim`] simulation tool and its four engines.
+//! The [`Sim`] simulation tool and its five engines.
 
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 use mtl_bits::Bits;
@@ -31,15 +31,23 @@ pub enum Engine {
     /// Tapes plus a fully static levelized schedule — no event queue at all
     /// (the SimJIT+PyPy analog).
     SpecializedOpt,
+    /// Fused tapes partitioned into independent combinational islands and
+    /// executed on worker threads with double-buffered cross-partition
+    /// (register) nets and a per-cycle barrier; clean partitions are
+    /// skipped. Cycle-exact with `SpecializedOpt` by construction. Thread
+    /// count comes from `MTL_SIM_THREADS` (default: available cores,
+    /// capped at 8) or [`SimConfig::threads`].
+    SpecializedPar,
 }
 
 impl Engine {
     /// All engines, in increasing order of specialization.
-    pub const ALL: [Engine; 4] = [
+    pub const ALL: [Engine; 5] = [
         Engine::Interpreted,
         Engine::InterpretedOpt,
         Engine::Specialized,
         Engine::SpecializedOpt,
+        Engine::SpecializedPar,
     ];
 }
 
@@ -50,12 +58,23 @@ impl std::fmt::Display for Engine {
             Engine::InterpretedOpt => "interpreted-opt",
             Engine::Specialized => "specialized",
             Engine::SpecializedOpt => "specialized-opt",
+            Engine::SpecializedPar => "specialized-par",
         };
         write!(f, "{s}")
     }
 }
 
-trait EngineImpl {
+/// Construction-time simulator configuration.
+#[derive(Debug, Clone, Default)]
+pub struct SimConfig {
+    /// Worker-thread count for [`Engine::SpecializedPar`] (including the
+    /// control thread; `1` means fully sequential execution). `None`
+    /// defers to the `MTL_SIM_THREADS` environment variable, falling back
+    /// to available parallelism capped at 8. Other engines ignore it.
+    pub threads: Option<usize>,
+}
+
+pub(crate) trait EngineImpl {
     fn poke(&mut self, slot: u32, v: Bits);
     fn peek(&self, slot: u32) -> Bits;
     fn eval(&mut self);
@@ -121,7 +140,7 @@ struct ProfileState {
 /// assert_eq!(sim.peek_port("out"), b(8, 42));
 /// ```
 pub struct Sim {
-    design: Rc<Design>,
+    design: Arc<Design>,
     engine: Engine,
     overheads: Overheads,
     backend: Box<dyn EngineImpl>,
@@ -148,17 +167,16 @@ impl Sim {
     ///
     /// Construction phases (code generation, optimization, wrapper tables,
     /// schedule creation) are timed into [`Sim::overheads`].
-    pub fn new(mut design: Design, engine: Engine) -> Sim {
+    pub fn new(design: Design, engine: Engine) -> Sim {
+        Sim::with_config(design, engine, &SimConfig::default())
+    }
+
+    /// [`Sim::new`] with explicit configuration (currently the
+    /// `SpecializedPar` worker-thread count).
+    pub fn with_config(design: Design, engine: Engine, cfg: &SimConfig) -> Sim {
         // Take ownership of native closures so the Design can be shared.
-        let natives: Vec<Option<NativeFn>> = design
-            .blocks_mut()
-            .iter_mut()
-            .map(|b| match &mut b.body {
-                BlockBody::Native(_, f) => Some(std::mem::replace(f, Box::new(|_| {}))),
-                BlockBody::Ir(_) => None,
-            })
-            .collect();
-        let design = Rc::new(design);
+        let natives: Vec<Option<NativeFn>> = design.take_natives();
+        let design = Arc::new(design);
         let mut overheads = Overheads::default();
         let backend: Box<dyn EngineImpl> = match engine {
             Engine::Interpreted => Box::new(InterpEngine::<HashStore, HashSens>::new(
@@ -179,8 +197,33 @@ impl Sim {
             Engine::SpecializedOpt => {
                 Box::new(TapeEngine::new(design.clone(), natives, false, &mut overheads))
             }
+            Engine::SpecializedPar => Box::new(crate::par::ParTapeEngine::new(
+                design.clone(),
+                natives,
+                cfg.threads.unwrap_or_else(crate::par::default_threads),
+                &mut overheads,
+            )),
         };
         Sim { design, engine, overheads, backend, profile: None }
+    }
+
+    /// [`Sim::build`] with explicit configuration (e.g. a fixed
+    /// `SpecializedPar` thread count, independent of `MTL_SIM_THREADS`).
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`ElabError`] from elaboration.
+    pub fn build_with_config(
+        top: &dyn Component,
+        engine: Engine,
+        cfg: &SimConfig,
+    ) -> Result<Sim, ElabError> {
+        let t0 = Instant::now();
+        let design = mtl_core::elaborate(top)?;
+        let elab = t0.elapsed();
+        let mut sim = Sim::with_config(design, engine, cfg);
+        sim.overheads.elab = elab;
+        Ok(sim)
     }
 
     /// The engine this simulator runs on.
@@ -503,6 +546,7 @@ impl Sim {
             engine_settles: stats.settles,
             fixpoint_iters: stats.fixpoint.clone(),
             queue_depth: stats.queue_depth.clone(),
+            partition_nanos: stats.partition_nanos.clone(),
             net_activity,
             net_paths,
         })
@@ -547,7 +591,7 @@ impl Sim {
 // ---------------------------------------------------------------------------
 
 struct InterpEngine<S: Store, M: SensMap> {
-    design: Rc<Design>,
+    design: Arc<Design>,
     store: S,
     sens: M,
     mem_sens: Vec<Vec<u32>>,
@@ -600,7 +644,7 @@ impl<S: Store> SignalView for StoreView<'_, S> {
 
 impl<S: Store, M: SensMap> InterpEngine<S, M> {
     fn new(
-        design: Rc<Design>,
+        design: Arc<Design>,
         natives: Vec<Option<NativeFn>>,
         boxed: bool,
         o: &mut Overheads,
@@ -876,7 +920,7 @@ enum Chunk {
 }
 
 struct TapeEngine {
-    design: Rc<Design>,
+    design: Arc<Design>,
     cur: Vec<u128>,
     next: Vec<u128>,
     widths: Vec<u32>,
@@ -907,16 +951,16 @@ struct TapeEngine {
     prof: Option<EngineStats>,
 }
 
-struct PackedView<'a> {
-    design: &'a Design,
-    cur: &'a mut [u128],
-    next: &'a mut [u128],
-    widths: &'a [u32],
-    changed: &'a mut Vec<u32>,
-    cycles: u64,
+pub(crate) struct PackedView<'a> {
+    pub(crate) design: &'a Design,
+    pub(crate) cur: &'a mut [u128],
+    pub(crate) next: &'a mut [u128],
+    pub(crate) widths: &'a [u32],
+    pub(crate) changed: &'a mut Vec<u32>,
+    pub(crate) cycles: u64,
 }
 
-fn mask_of(width: u32) -> u128 {
+pub(crate) fn mask_of(width: u32) -> u128 {
     if width >= 128 {
         u128::MAX
     } else {
@@ -953,7 +997,7 @@ impl SignalView for PackedView<'_> {
 
 impl TapeEngine {
     fn new(
-        design: Rc<Design>,
+        design: Arc<Design>,
         natives: Vec<Option<NativeFn>>,
         event_mode: bool,
         o: &mut Overheads,
@@ -1122,7 +1166,7 @@ impl TapeEngine {
                     &mut self.regs,
                     &mut self.cur,
                     &mut self.next,
-                    &mut self.mems,
+                    &self.mems,
                     &mut self.pending,
                     &mut self.changed,
                 );
@@ -1231,7 +1275,7 @@ impl TapeEngine {
                     &mut self.regs,
                     &mut self.cur,
                     &mut self.next,
-                    &mut self.mems,
+                    &self.mems,
                     &mut self.pending,
                     &mut self.changed,
                 ),

@@ -508,12 +508,67 @@ pub(crate) fn expr_width(design: &Design, e: &Expr) -> u32 {
 /// once by [`validate`] at simulator construction, which makes the
 /// unchecked accesses sound.
 #[allow(clippy::too_many_arguments)]
+/// Read access to memory columns for the tape executor, so the same
+/// core runs over plain `Vec<u128>` storage (single-threaded engines)
+/// and shared-slot storage (the parallel engine). Mem writes are always
+/// deferred through `pending`, so read access is all the executor needs.
+pub(crate) trait TapeMems {
+    /// # Safety
+    ///
+    /// `mem`/`addr` must be in range (guaranteed by [`validate`] plus the
+    /// per-op `% words` wrap).
+    unsafe fn read(&self, mem: usize, addr: usize) -> u128;
+}
+
+impl TapeMems for [Vec<u128>] {
+    #[inline(always)]
+    unsafe fn read(&self, mem: usize, addr: usize) -> u128 {
+        unsafe { *self.get_unchecked(mem).get_unchecked(addr) }
+    }
+}
+
+/// Executes a tape over exclusive (`&mut`) packed state.
 pub(crate) fn exec_tape<const TRACK: bool>(
     tape: &Tape,
     regs: &mut [u128],
     cur: &mut [u128],
     next: &mut [u128],
-    mems: &mut [Vec<u128>],
+    mems: &[Vec<u128>],
+    pending: &mut Vec<(u32, u64, u128)>,
+    changed: &mut Vec<u32>,
+) {
+    // SAFETY: `cur`/`next` are exclusive borrows covering every slot a
+    // validated tape can touch.
+    unsafe {
+        exec_tape_ptr::<TRACK, _>(
+            tape,
+            regs,
+            cur.as_mut_ptr(),
+            next.as_mut_ptr(),
+            mems,
+            pending,
+            changed,
+        )
+    }
+}
+
+/// The tape executor core over raw state pointers.
+///
+/// # Safety
+///
+/// Callers must guarantee, for the duration of the call:
+/// - `cur` and `next` point to arrays covering every net slot the tape
+///   references (ensured by [`validate`]);
+/// - no other thread concurrently writes any slot this tape reads, and
+///   no other thread concurrently reads or writes any slot this tape
+///   writes (the parallel engine proves this by partition construction;
+///   the single-threaded wrapper has exclusive borrows).
+pub(crate) unsafe fn exec_tape_ptr<const TRACK: bool, M: TapeMems + ?Sized>(
+    tape: &Tape,
+    regs: &mut [u128],
+    cur: *mut u128,
+    next: *mut u128,
+    mems: &M,
     pending: &mut Vec<(u32, u64, u128)>,
     changed: &mut Vec<u32>,
 ) {
@@ -536,7 +591,7 @@ pub(crate) fn exec_tape<const TRACK: bool>(
         match unsafe { ops.get_unchecked(pc) } {
             Op::Const { dst, val } => w!(dst, *val),
             Op::Read { dst, slot } => {
-                w!(dst, unsafe { *cur.get_unchecked(*slot as usize) })
+                w!(dst, unsafe { *cur.add(*slot as usize) })
             }
             Op::Copy { dst, a } => w!(dst, r!(a)),
             Op::Add { dst, a, b, mask } => w!(dst, r!(a).wrapping_add(r!(b)) & mask),
@@ -590,7 +645,7 @@ pub(crate) fn exec_tape<const TRACK: bool>(
             Op::Write { slot, src } => {
                 let s = *slot as usize;
                 let v = r!(src);
-                let c = unsafe { cur.get_unchecked_mut(s) };
+                let c = unsafe { &mut *cur.add(s) };
                 if TRACK {
                     if *c != v {
                         *c = v;
@@ -602,7 +657,7 @@ pub(crate) fn exec_tape<const TRACK: bool>(
             }
             Op::WriteMasked { slot, src, lo, field } => {
                 let s = *slot as usize;
-                let c = unsafe { cur.get_unchecked_mut(s) };
+                let c = unsafe { &mut *cur.add(s) };
                 let v = (*c & !field) | ((r!(src) << lo) & field);
                 if TRACK {
                     if *c != v {
@@ -615,18 +670,16 @@ pub(crate) fn exec_tape<const TRACK: bool>(
             }
             Op::WriteNext { slot, src } => {
                 let v = r!(src);
-                unsafe { *next.get_unchecked_mut(*slot as usize) = v };
+                unsafe { *next.add(*slot as usize) = v };
             }
             Op::WriteNextMasked { slot, src, lo, field } => {
                 let v = r!(src);
-                let n = unsafe { next.get_unchecked_mut(*slot as usize) };
+                let n = unsafe { &mut *next.add(*slot as usize) };
                 *n = (*n & !field) | ((v << lo) & field);
             }
             Op::MemRead { dst, mem, addr, words } => {
                 let a = (r!(addr) as u64) % words;
-                let v = unsafe {
-                    *mems.get_unchecked(*mem as usize).get_unchecked(a as usize)
-                };
+                let v = unsafe { mems.read(*mem as usize, a as usize) };
                 w!(dst, v);
             }
             Op::MemWrite { mem, addr, data, words } => {

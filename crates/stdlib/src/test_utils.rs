@@ -5,8 +5,8 @@
 //! unchanged — the paper's central test-reuse claim. Sinks support
 //! deterministic pseudo-random stalling to shake out flow-control bugs.
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use mtl_bits::Bits;
 use mtl_core::{Component, Ctx};
@@ -121,14 +121,14 @@ pub struct TestSink {
     expected: Vec<Bits>,
     stall_percent: u8,
     seed: u64,
-    received: Rc<Cell<usize>>,
+    received: Arc<AtomicUsize>,
 }
 
 impl TestSink {
     /// Creates a sink expecting exactly `expected`, in order.
     pub fn new(width: u32, expected: Vec<Bits>) -> Self {
         assert!(expected.iter().all(|m| m.width() == width), "sink message width mismatch");
-        Self { width, expected, stall_percent: 0, seed: 0xD00D, received: Rc::new(Cell::new(0)) }
+        Self { width, expected, stall_percent: 0, seed: 0xD00D, received: Arc::new(AtomicUsize::new(0)) }
     }
 
     /// Adds pseudo-random backpressure with the given percent probability
@@ -141,7 +141,7 @@ impl TestSink {
 
     /// A counter of messages received so far, shared with the elaborated
     /// model (readable after simulation).
-    pub fn received_counter(&self) -> Rc<Cell<usize>> {
+    pub fn received_counter(&self) -> Arc<AtomicUsize> {
         self.received.clone()
     }
 }
@@ -165,14 +165,14 @@ impl Component for TestSink {
             &[in_.rdy, done],
             move |s| {
                 if s.read(reset.id()).reduce_or() {
-                    received.set(0);
+                    received.store(0, Ordering::Relaxed);
                     s.write_next(in_.rdy.id(), Bits::from_bool(false));
                     s.write_next(done.id(), Bits::from_bool(false));
                     return;
                 }
                 let val = s.read(in_.val.id()).reduce_or();
                 let rdy = s.read(in_.rdy.id()).reduce_or();
-                let idx = received.get();
+                let idx = received.load(Ordering::Relaxed);
                 if val && rdy {
                     let msg = s.read(in_.msg.id());
                     assert!(
@@ -185,9 +185,9 @@ impl Component for TestSink {
                         "sink message {idx} mismatch: got {msg}, expected {}",
                         expected[idx]
                     );
-                    received.set(idx + 1);
+                    received.store(idx + 1, Ordering::Relaxed);
                 }
-                let want_more = received.get() < expected.len();
+                let want_more = received.load(Ordering::Relaxed) < expected.len();
                 let stall_now = stall > 0 && rng.chance(stall);
                 s.write_next(in_.rdy.id(), Bits::from_bool(want_more && !stall_now));
                 s.write_next(done.id(), Bits::from_bool(!want_more));

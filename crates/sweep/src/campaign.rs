@@ -98,6 +98,17 @@ impl Campaign {
             assert_eq!(names.len(), jobs.len(), "campaign '{name}': job names must be unique");
         }
         let workers = self.resolve_workers(jobs.len());
+        // Nested-parallelism budget: jobs may build `specialized-par`
+        // simulators, which size their thread pools from
+        // `MTL_SIM_THREADS`. With several campaign shards each spawning
+        // its own simulator workers the machine oversubscribes, so unless
+        // the user pinned a count we divide the cores among the shards.
+        // (The variable stays set for the process — deliberate, so every
+        // shard of this and subsequent runs sees the same budget.)
+        if std::env::var_os("MTL_SIM_THREADS").is_none() {
+            let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+            std::env::set_var("MTL_SIM_THREADS", (hw / workers).max(1).to_string());
+        }
         let cache = self.cache.resolve().and_then(|dir| ResultCache::open(&dir));
         let campaign_name = name.clone();
         let campaign_seed = *seed;
@@ -118,9 +129,17 @@ impl Campaign {
                 .write_str(job.name())
                 .finish();
             let fingerprint = job_fingerprint(&campaign_name, &job, job_seed);
-            // Cache probe: hits never hit the worker pool.
+            // Cache probe: hits never hit the worker pool. A job that
+            // expects a profile section is only satisfied by a cached
+            // result that actually carries one — otherwise a warm cache
+            // would silently answer a `--profile` run with profile-less
+            // results from an earlier plain run.
             if job.cacheable {
-                if let Some(metrics) = cache.as_ref().and_then(|c| c.load(fingerprint)) {
+                if let Some(metrics) = cache
+                    .as_ref()
+                    .and_then(|c| c.load(fingerprint))
+                    .filter(|m| !job.expects_profile || m.profile().is_some())
+                {
                     results.lock().unwrap()[idx] = Some(JobReport {
                         name: job.name().to_string(),
                         params: job.params.clone(),

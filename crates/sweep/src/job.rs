@@ -214,6 +214,7 @@ pub struct Job {
     pub(crate) params: Vec<(String, String)>,
     pub(crate) budget: Option<Duration>,
     pub(crate) cacheable: bool,
+    pub(crate) expects_profile: bool,
     pub(crate) run: JobFn,
 }
 
@@ -229,6 +230,7 @@ impl Job {
             params: Vec::new(),
             budget: None,
             cacheable: true,
+            expects_profile: false,
             run: Box::new(run),
         }
     }
@@ -251,6 +253,16 @@ impl Job {
     /// measurements that must be re-taken every run).
     pub fn uncacheable(mut self) -> Job {
         self.cacheable = false;
+        self
+    }
+
+    /// Declares that this job attaches a `profile` section to its
+    /// metrics (e.g. a `--profile` run). A cached result *without* a
+    /// profile section then no longer satisfies the job: the cache probe
+    /// treats it as a miss and the job re-runs, so enabling profiling
+    /// against a warm cache actually produces profiles.
+    pub fn expects_profile(mut self) -> Job {
+        self.expects_profile = true;
         self
     }
 

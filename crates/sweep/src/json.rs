@@ -307,7 +307,14 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
             }
             loop {
                 skip_ws(bytes, pos);
+                let key_pos = *pos;
                 let key = parse_string(bytes, pos)?;
+                // Reject duplicates instead of silently keeping both:
+                // `get` returns the first match, so a duplicate would
+                // shadow data without any error surfacing.
+                if fields.iter().any(|(k, _)| *k == key) {
+                    return Err(format!("duplicate key {key:?} at byte {key_pos}"));
+                }
                 skip_ws(bytes, pos);
                 expect(bytes, pos, b':')?;
                 let value = parse_value(bytes, pos)?;
@@ -456,5 +463,30 @@ mod tests {
     fn parses_escapes_and_unicode() {
         let j = parse(r#"{"k":"aA\t\\ ü"}"#).unwrap();
         assert_eq!(j.get("k").unwrap().as_str(), Some("aA\t\\ ü"));
+    }
+
+    /// Regression: duplicate object keys used to be kept silently, with
+    /// `get` returning the first — later data shadowed without any
+    /// error. They are now rejected with the byte position of the
+    /// offending key.
+    #[test]
+    fn rejects_duplicate_object_keys_with_position() {
+        let err = parse(r#"{"a":1,"b":2,"a":3}"#).unwrap_err();
+        assert!(err.contains("duplicate key \"a\""), "{err}");
+        assert!(err.contains("byte 13"), "position of the second \"a\": {err}");
+        let nested = parse(r#"{"o":{"k":1,"k":2}}"#).unwrap_err();
+        assert!(nested.contains("duplicate key \"k\""), "{nested}");
+        // The same key in *different* objects is of course fine.
+        assert!(parse(r#"{"o1":{"k":1},"o2":{"k":2}}"#).is_ok());
+    }
+
+    /// Regression: data after a complete top-level value must be an
+    /// error with the position where the garbage starts.
+    #[test]
+    fn rejects_trailing_garbage_with_position() {
+        let err = parse("{\"a\":1} trailing").unwrap_err();
+        assert!(err.contains("trailing data at byte 8"), "{err}");
+        let err = parse("[1,2]]").unwrap_err();
+        assert!(err.contains("trailing data at byte 5"), "{err}");
     }
 }

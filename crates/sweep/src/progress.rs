@@ -62,13 +62,7 @@ impl Progress {
             return;
         }
         let elapsed = self.started.elapsed().as_secs_f64();
-        // Cache hits are ~free; base the ETA on executed jobs only.
-        let executed = st.done - st.cached;
-        let eta = if executed == 0 {
-            f64::NAN
-        } else {
-            elapsed / executed as f64 * (self.total - st.done) as f64
-        };
+        let eta = eta_secs(elapsed, st.done, st.cached, self.total);
         let counters = format!(
             "[{}/{}] {}{}",
             st.done,
@@ -109,9 +103,43 @@ impl Progress {
     }
 }
 
+/// Estimated seconds remaining, given elapsed wall time and the
+/// counters so far.
+///
+/// Cache hits are ~free (they resolve in the probe pass before any
+/// worker starts), so the per-job rate is based on *executed* jobs only
+/// — counting cached jobs at full weight used to collapse the ETA
+/// toward zero on warm-cache runs. The remaining jobs are all
+/// un-cached by construction, so they carry full weight. `NaN` until
+/// the first executed job provides a rate.
+fn eta_secs(elapsed: f64, done: usize, cached: usize, total: usize) -> f64 {
+    let executed = done - cached;
+    if executed == 0 {
+        f64::NAN
+    } else {
+        elapsed / executed as f64 * (total - done) as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Regression: cache-hit jobs must not count at full weight in the
+    /// ETA rate. 4 of 5 finished jobs were cache hits resolved in ~0s;
+    /// the one executed job took the whole 10s, so 5 remaining
+    /// (necessarily un-cached) jobs project to 50s — not the 10s a
+    /// naive `elapsed / done` rate would claim.
+    #[test]
+    fn eta_rates_executed_jobs_only() {
+        assert_eq!(eta_secs(10.0, 5, 4, 10), 50.0);
+        // All-executed campaigns are unchanged by the fix.
+        assert_eq!(eta_secs(10.0, 5, 0, 10), 10.0);
+        // No executed job yet: no rate, no estimate.
+        assert!(eta_secs(0.1, 3, 3, 10).is_nan());
+        // Finished campaign: nothing remaining.
+        assert_eq!(eta_secs(10.0, 10, 4, 10), 0.0);
+    }
 
     #[test]
     fn counts_outcomes() {

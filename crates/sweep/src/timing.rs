@@ -22,7 +22,9 @@ pub struct BatchedMeasurement {
     /// Wall-clock seconds for the timed window (floored at 1ns so rates
     /// never divide by zero).
     pub secs: f64,
-    /// True if the loop stopped because a deadline expired.
+    /// True if the deadline had passed by the time the loop stopped —
+    /// whether the deadline check broke the loop or a final batch
+    /// satisfied another exit condition while overrunning the budget.
     pub deadline_hit: bool,
 }
 
@@ -53,21 +55,36 @@ pub fn measure_batched(
     }
     let mut batch = first_batch.clamp(1, max_work);
     let mut work = 0u64;
-    let mut deadline_hit = false;
     // Fresh clock: warmup must not count against the measured window.
     let t0 = Instant::now();
     loop {
         step(batch);
         work += batch;
-        if t0.elapsed() >= min_wall || work >= max_work {
+        let now = Instant::now();
+        if now.duration_since(t0) >= min_wall || work >= max_work {
             break;
         }
-        if deadline.is_some_and(|d| Instant::now() >= d) {
-            deadline_hit = true;
+        if deadline.is_some_and(|d| now >= d) {
             break;
         }
         batch = (batch * 2).min(max_work - work);
+        // Deadlines are only checked between batches, so an unclamped
+        // doubled batch could blow far past the budget. Clamp the next
+        // batch to what the observed rate fits in the remaining time.
+        if let Some(d) = deadline {
+            let elapsed = now.duration_since(t0).as_secs_f64();
+            if elapsed > 0.0 {
+                let rate = work as f64 / elapsed;
+                let remaining = d.saturating_duration_since(now).as_secs_f64();
+                batch = batch.min(((rate * remaining) as u64).max(1));
+            }
+        }
     }
+    // Honest reporting: the deadline counts as hit whenever it had
+    // passed by the time the loop stopped, not only when the deadline
+    // check itself was the exit condition (a final batch can satisfy
+    // `min_wall` and overrun the deadline at the same time).
+    let deadline_hit = deadline.is_some_and(|d| Instant::now() >= d);
     let secs = t0.elapsed().as_secs_f64().max(1e-9);
     BatchedMeasurement { work, secs, deadline_hit }
 }
@@ -145,5 +162,51 @@ mod tests {
         );
         assert!(m.deadline_hit);
         assert!(m.work < 1 << 20);
+    }
+
+    /// Regression: the deadline is only checked between batches, so
+    /// unclamped doubling used to overshoot the budget by up to 2x (the
+    /// final batch alone equaled all prior work). With the clamp, the
+    /// next batch never exceeds what the observed rate fits in the time
+    /// remaining before the deadline.
+    #[test]
+    fn deadline_clamps_batch_growth() {
+        // ~1ms of work per unit. Unclamped doubling from 1 would run
+        // batches 1,2,4,8,16 (31ms, still before the 32ms deadline) and
+        // then a 32-unit batch for ~63 units total. The clamp caps that
+        // final batch at roughly the one unit that still fits.
+        let deadline = Instant::now() + Duration::from_millis(32);
+        let m = measure_batched(
+            |n| std::thread::sleep(Duration::from_millis(n)),
+            0,
+            1,
+            Duration::from_secs(3600),
+            1 << 40,
+            Some(deadline),
+        );
+        assert!(m.deadline_hit);
+        assert!(
+            m.work < 48,
+            "clamped loop must not overshoot a 32-unit budget by 2x (did {} units)",
+            m.work
+        );
+    }
+
+    /// Regression: a final batch that satisfies `min_wall` while
+    /// overrunning the deadline used to report `deadline_hit: false`
+    /// because the `min_wall` break ran before the deadline check.
+    #[test]
+    fn deadline_overrun_in_final_batch_is_reported() {
+        let deadline = Instant::now() + Duration::from_millis(5);
+        let m = measure_batched(
+            |_| std::thread::sleep(Duration::from_millis(20)),
+            0,
+            1,
+            Duration::from_millis(10),
+            1 << 40,
+            Some(deadline),
+        );
+        assert_eq!(m.work, 1, "one batch satisfies min_wall");
+        assert!(m.deadline_hit, "the deadline passed during that batch");
     }
 }

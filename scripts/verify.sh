@@ -17,6 +17,10 @@ cargo test -q
 echo "== lint: cargo clippy --workspace -D warnings"
 cargo clippy --workspace -- -D warnings
 
+echo "== engine equivalence with specialized-par at 1 and 4 threads"
+MTL_SIM_THREADS=1 cargo test -q --release --test engine_equivalence
+MTL_SIM_THREADS=4 cargo test -q --release --test engine_equivalence
+
 echo "== smoke campaign: fig15 --smoke (writes BENCH_fig15_smoke.json)"
 RUSTMTL_BENCH_DIR="${RUSTMTL_BENCH_DIR:-target}" \
     cargo run -p mtl-bench --bin fig15_injection_sweep --release -- --smoke
@@ -24,5 +28,9 @@ RUSTMTL_BENCH_DIR="${RUSTMTL_BENCH_DIR:-target}" \
 echo "== profiled smoke campaign: fig13 --smoke --profile (writes BENCH_fig13.json)"
 RUSTMTL_BENCH_DIR="${RUSTMTL_BENCH_DIR:-target}" \
     cargo run -p mtl-bench --bin fig13_lod --release -- --smoke --profile
+
+echo "== parallel smoke campaign: fig14 --smoke (all five engine series)"
+RUSTMTL_BENCH_DIR="${RUSTMTL_BENCH_DIR:-target}" \
+    cargo run -p mtl-bench --bin fig14_mesh_speedup --release -- --smoke
 
 echo "== verify: OK"

@@ -2,8 +2,7 @@
 //! simulated design (the adapters' semantics only exist at simulation
 //! time).
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use rustmtl::core::{Bits, Component, Ctx, InValRdyQueue, OutValRdyQueue};
 use rustmtl::sim::{Engine, Sim};
@@ -12,7 +11,7 @@ use rustmtl::sim::{Engine, Sim};
 /// bundle through the two adapters, recording occupancy history.
 struct AdapterPipe {
     capacity: usize,
-    history: Rc<RefCell<Vec<(usize, usize)>>>,
+    history: Arc<Mutex<Vec<(usize, usize)>>>,
 }
 
 impl Component for AdapterPipe {
@@ -44,7 +43,7 @@ impl Component for AdapterPipe {
             while !rx.is_empty() && !tx.is_full() {
                 tx.push(rx.pop().expect("non-empty"));
             }
-            history.borrow_mut().push((rx.len(), tx.len()));
+            history.lock().unwrap().push((rx.len(), tx.len()));
             rx.post(s);
             tx.post(s);
         });
@@ -53,7 +52,7 @@ impl Component for AdapterPipe {
 
 #[test]
 fn adapter_pipe_preserves_order_under_random_stalls() {
-    let history = Rc::new(RefCell::new(Vec::new()));
+    let history = Arc::new(Mutex::new(Vec::new()));
     let pipe = AdapterPipe { capacity: 2, history: history.clone() };
     let mut sim = Sim::build(&pipe, Engine::SpecializedOpt).unwrap();
     sim.reset();
@@ -92,12 +91,12 @@ fn adapter_pipe_preserves_order_under_random_stalls() {
     }
     assert_eq!(got, msgs, "messages lost, duplicated, or reordered");
     // Occupancy never exceeded the configured capacity.
-    assert!(history.borrow().iter().all(|&(a, b)| a <= 2 && b <= 2));
+    assert!(history.lock().unwrap().iter().all(|&(a, b)| a <= 2 && b <= 2));
 }
 
 #[test]
 fn adapter_capacity_backpressures_the_producer() {
-    let pipe = AdapterPipe { capacity: 1, history: Rc::new(RefCell::new(Vec::new())) };
+    let pipe = AdapterPipe { capacity: 1, history: Arc::new(Mutex::new(Vec::new())) };
     let mut sim = Sim::build(&pipe, Engine::SpecializedOpt).unwrap();
     sim.reset();
     // Sink never ready: after the internal buffers fill, rdy must drop.

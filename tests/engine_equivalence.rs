@@ -2,14 +2,14 @@
 //!
 //! Generates random acyclic RTL designs (random-width signals, random
 //! combinational expression DAGs, random registers and memories), drives
-//! them with random inputs, and checks that all four simulation engines
+//! them with random inputs, and checks that all five simulation engines
 //! produce bit-identical values on every net, every cycle. This is the
 //! load-bearing property behind the framework: engine choice is a
 //! performance knob, never a semantics knob.
 
 use rustmtl::core::{Component, Ctx, Expr, SignalRef};
 use rustmtl::prelude::*;
-use rustmtl::sim::{Engine, Sim};
+use rustmtl::sim::{Engine, Sim, SimConfig};
 
 struct Rng(u64);
 
@@ -57,7 +57,12 @@ impl RandomRtl {
         }
         let a = Self::random_expr(rng, avail, width, depth - 1);
         let b = Self::random_expr(rng, avail, width, depth - 1);
-        match rng.below(10) {
+        // Shift amounts driven from a live expression: the low bits of `b`
+        // are an arbitrary runtime value, so amounts routinely meet or
+        // exceed `width` and the generators exercise the saturating shift
+        // semantics on every engine.
+        let amt_w = width.min(8);
+        match rng.below(13) {
             0 => a + b,
             1 => a - b,
             2 => a * b,
@@ -77,6 +82,9 @@ impl RandomRtl {
                     !a
                 }
             }
+            9 => a.sll(b.trunc(amt_w)),
+            10 => a.srl(b.trunc(amt_w)),
+            11 => a.sra(b.trunc(amt_w)),
             _ => a.clone().lt(b.clone()).mux(Expr::k(width, 1), b),
         }
     }
@@ -263,7 +271,7 @@ fn reset_resettles_combinational_state_on_every_engine() {
 
 /// Profiler consistency: logical per-block execution counts are a pure
 /// function of the value trace, so identical designs and stimulus must
-/// yield identical (and non-zero) counts on all four engines — even
+/// yield identical (and non-zero) counts on all five engines — even
 /// though the physical work each engine does differs wildly.
 #[test]
 fn profiler_block_counts_agree_across_engines() {
@@ -322,10 +330,10 @@ fn profiler_block_counts_agree_across_engines() {
         // the static engine has none, and every engine spent time.
         for p in &profiles {
             match p.engine {
-                Engine::SpecializedOpt => assert_eq!(
+                Engine::SpecializedOpt | Engine::SpecializedPar => assert_eq!(
                     p.queue_depth.samples(),
                     0,
-                    "static engine has no event queue"
+                    "static-schedule engine has no event queue"
                 ),
                 _ => assert!(
                     p.queue_depth.samples() > 0,
@@ -355,5 +363,163 @@ fn engines_agree_on_wide_widths() {
     // random width draws.
     for seed in 100..=104 {
         run_equivalence(seed, 25);
+    }
+}
+
+/// Shift and slice edge cases driven from signal values: the shift amount
+/// arrives on an input port and routinely meets or exceeds the data
+/// width, and the slices sit on the width boundaries. Every engine must
+/// agree with the `Bits` reference semantics (shifts saturate to
+/// all-zeros / sign fill; slices are `[lo, hi)`).
+#[test]
+fn shift_and_slice_edges_agree_on_all_engines() {
+    const W: u32 = 13;
+    struct ShiftEdges;
+    impl Component for ShiftEdges {
+        fn name(&self) -> String {
+            "ShiftEdges".into()
+        }
+        fn build(&self, c: &mut Ctx) {
+            let data = c.in_port("data", W);
+            let amt = c.in_port("amt", 8);
+            let sll = c.out_port("sll", W);
+            let srl = c.out_port("srl", W);
+            let sra = c.out_port("sra", W);
+            let top = c.out_port("top", 1);
+            let full = c.out_port("full", W);
+            let mid = c.out_port("mid", 5);
+            c.comb("shifts", |b| {
+                b.assign(sll, data.ex().sll(amt.ex()));
+                b.assign(srl, data.ex().srl(amt.ex()));
+                b.assign(sra, data.ex().sra(amt.ex()));
+            });
+            c.comb("slices", |b| {
+                b.assign(top, data.ex().bit(W - 1));
+                b.assign(full, data.ex().slice(0, W));
+                b.assign(mid, data.ex().slice(4, 9));
+            });
+        }
+    }
+    let mut sims: Vec<Sim> = Engine::ALL
+        .iter()
+        .map(|&e| Sim::build(&ShiftEdges, e).expect("elaborates"))
+        .collect();
+    for sim in &mut sims {
+        sim.reset();
+    }
+    // (data, amount): amounts straddle the width boundary, with the MSB
+    // both set (sra fills with ones) and clear (sra fills with zeros).
+    let stimuli: [(u128, u128); 6] = [
+        (0x0234, 0),   // no shift
+        (0x1FFF, 12),  // amount = width - 1
+        (0x1FFF, 13),  // amount = width exactly
+        (0x1000, 14),  // amount > width, MSB set
+        (0x0FFF, 200), // amount far beyond width, MSB clear
+        (0x1AAA, 255), // max representable amount
+    ];
+    for &(data, amt) in &stimuli {
+        for sim in &mut sims {
+            sim.poke_port("data", b(W, data));
+            sim.poke_port("amt", b(8, amt));
+            sim.eval();
+        }
+        let d = b(W, data);
+        let expect = [
+            ("sll", d << amt as u32),
+            ("srl", d >> amt as u32),
+            ("sra", d.shr_signed(amt as u32)),
+            ("top", b(1, (data >> (W - 1)) & 1)),
+            ("full", d),
+            ("mid", d.slice(4, 9)),
+        ];
+        for sim in &sims {
+            for (port, want) in &expect {
+                assert_eq!(
+                    sim.peek_port(port),
+                    *want,
+                    "{}: `{port}` wrong for data={data:#x} amt={amt}",
+                    sim.engine()
+                );
+            }
+        }
+    }
+}
+
+/// A zero-width slice is a structural error, not a silent no-op: it must
+/// be rejected at elaboration time on every engine's shared front end.
+#[test]
+fn zero_width_slice_is_rejected_at_elaboration() {
+    struct ZeroSlice;
+    impl Component for ZeroSlice {
+        fn name(&self) -> String {
+            "ZeroSlice".into()
+        }
+        fn build(&self, c: &mut Ctx) {
+            let a = c.in_port("a", 8);
+            let out = c.out_port("out", 8);
+            c.comb("bad", |b| b.assign(out, a.ex().slice(3, 3).zext(8)));
+        }
+    }
+    let err = rustmtl::core::elaborate(&ZeroSlice).expect_err("zero-width slice must not elaborate");
+    let msg = format!("{err}");
+    assert!(msg.contains("slice"), "error should name the slice: {msg}");
+}
+
+/// The parallel engine must be cycle-exact with `SpecializedOpt` at
+/// explicit thread counts — fully sequential (1) and sharded (4) —
+/// including the logical profile counters, not just settled values.
+#[test]
+fn specialized_par_matches_opt_at_explicit_thread_counts() {
+    for threads in [1usize, 4] {
+        for seed in [3u64, 7, 12] {
+            let mut opt =
+                Sim::build(&RandomRtl { seed }, Engine::SpecializedOpt).expect("elaborates");
+            let cfg = SimConfig { threads: Some(threads) };
+            let mut par = Sim::build_with_config(&RandomRtl { seed }, Engine::SpecializedPar, &cfg)
+                .expect("elaborates");
+            opt.enable_profiling();
+            par.enable_profiling();
+            opt.reset();
+            par.reset();
+            let nsignals = opt.design().signals().len();
+            let mut rng = Rng(seed ^ 0xFACE);
+            for cycle in 0..30 {
+                for i in 0..3 {
+                    let name = format!("in{i}");
+                    let w = {
+                        let d = opt.design();
+                        d.signal(d.top_port(&name)).width
+                    };
+                    let v = Bits::new(w, rng.next() as u128 | ((rng.next() as u128) << 64));
+                    opt.poke_port(&name, v);
+                    par.poke_port(&name, v);
+                }
+                opt.cycle();
+                par.cycle();
+                for si in 0..nsignals {
+                    let sig = rustmtl::core::SignalId::from_index(si);
+                    assert_eq!(
+                        par.peek(sig),
+                        opt.peek(sig),
+                        "threads={threads} seed={seed}: diverged on `{}` at cycle {cycle}",
+                        opt.design().signal_path(sig)
+                    );
+                }
+            }
+            let po = opt.profile().expect("profiling enabled");
+            let pp = par.profile().expect("profiling enabled");
+            assert_eq!(pp.block_runs, po.block_runs, "threads={threads} seed={seed}: block runs");
+            assert_eq!(pp.cycles, po.cycles, "threads={threads} seed={seed}: cycles");
+            assert_eq!(pp.settles, po.settles, "threads={threads} seed={seed}: settles");
+            assert_eq!(
+                pp.net_activity, po.net_activity,
+                "threads={threads} seed={seed}: activity counters"
+            );
+            assert!(
+                pp.partition_nanos.len() <= threads.max(1),
+                "threads={threads}: at most {threads} workers expected, got {}",
+                pp.partition_nanos.len()
+            );
+        }
     }
 }

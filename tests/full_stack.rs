@@ -50,7 +50,7 @@ fn run_kernel_on(tile: &dyn Component) -> Vec<u32> {
         RoundTripHarness { tile, mngr: MngrAdapter::new(vec![]), mem: TestMemory::new(2, 1 << 16, 2) };
     let mem = harness.mem.handle();
     {
-        let mut m = mem.borrow_mut();
+        let mut m = mem.lock().unwrap();
         m[..program.len()].copy_from_slice(&program);
         let base = (layout.mat_base / 4) as usize;
         m[base..base + mat.len()].copy_from_slice(&mat);
@@ -66,7 +66,7 @@ fn run_kernel_on(tile: &dyn Component) -> Vec<u32> {
         assert!(cycles < 3_000_000, "round-trip tile did not halt");
     }
     let base = (layout.out_base / 4) as usize;
-    let m = mem.borrow();
+    let m = mem.lock().unwrap();
     m[base..base + rows as usize].to_vec()
 }
 

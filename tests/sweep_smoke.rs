@@ -219,6 +219,54 @@ fn cached_jobs_replay_their_profile_sections() {
     assert_eq!(section.get("block_executions").and_then(Json::as_u64), Some(42));
 }
 
+/// Regression: a warm cache used to satisfy a `--profile` run with
+/// profile-less results stored by an earlier plain run — profiling
+/// would silently produce no profiles. A job marked `expects_profile`
+/// now treats such entries as misses and re-executes.
+#[test]
+fn profile_runs_are_not_satisfied_by_profileless_cache_entries() {
+    let dir = scratch_dir("sweep-smoke-profile-miss");
+    fn point(profiled: bool) -> Job {
+        let job = Job::new("point", move |_ctx| {
+            let mut metrics = JobMetrics::new().det("x", 1u64);
+            if profiled {
+                let mut section = Json::obj();
+                section.set("block_executions", 7u64);
+                metrics = metrics.with_profile(section);
+            }
+            Ok(metrics)
+        });
+        if profiled {
+            job.expects_profile()
+        } else {
+            job
+        }
+    }
+    // A cold, unprofiled run seeds the cache with a profile-less entry.
+    let plain = Campaign::new("profmiss").cache_dir(&dir).job(point(false)).run();
+    assert_eq!(plain.cached_count(), 0);
+
+    // A profiled run against that warm cache: the entry lacks a profile
+    // section, so it must miss and the job must actually execute.
+    let profiled = Campaign::new("profmiss").cache_dir(&dir).job(point(true)).run();
+    assert_eq!(
+        profiled.cached_count(),
+        0,
+        "a profile-less cache entry must not satisfy a job that expects a profile"
+    );
+    let parsed = parse_json(&profiled.json_string()).expect("parses");
+    let job = &parsed.get("jobs").and_then(Json::as_arr).expect("jobs")[0];
+    assert!(job.get("profile").is_some(), "the re-run produced a real profile section");
+
+    // The re-run stored a profiled result, so a second profiled run is
+    // a clean cache hit — and it still replays the profile.
+    let warm = Campaign::new("profmiss").cache_dir(&dir).job(point(true)).run();
+    assert_eq!(warm.cached_count(), 1, "profiled entry satisfies a profiled job");
+    let parsed = parse_json(&warm.json_string()).expect("parses");
+    let job = &parsed.get("jobs").and_then(Json::as_arr).expect("jobs")[0];
+    assert!(job.get("profile").is_some(), "profile replayed from the refreshed entry");
+}
+
 /// The report schema the docs promise (EXPERIMENTS.md): round-trip the
 /// full JSON and spot-check the documented fields.
 #[test]
