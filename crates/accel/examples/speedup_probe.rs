@@ -10,8 +10,19 @@ use mtl_sim::Engine;
 fn run(config: TileConfig, rows: u32, cols: u32, accel: bool) -> u64 {
     let layout = MvMultLayout::default();
     let (mat, vec) = mvmult_data(rows, cols);
-    let program = if accel { mvmult_xcel_program(rows, cols, layout) } else { mvmult_scalar_program(rows, cols, layout) };
-    run_tile(config, &program, &[(layout.mat_base, &mat), (layout.vec_base, &vec)], 10_000_000, Engine::SpecializedOpt).cycles
+    let program = if accel {
+        mvmult_xcel_program(rows, cols, layout)
+    } else {
+        mvmult_scalar_program(rows, cols, layout)
+    };
+    run_tile(
+        config,
+        &program,
+        &[(layout.mat_base, &mat), (layout.vec_base, &vec)],
+        10_000_000,
+        Engine::SpecializedOpt,
+    )
+    .cycles
 }
 
 fn main() {
@@ -23,7 +34,10 @@ fn main() {
         for (rows, cols) in [(8u32, 16u32), (16, 32), (32, 32)] {
             let s = run(config, rows, cols, false);
             let a = run(config, rows, cols, true);
-            println!("{label} {rows}x{cols}: scalar={s} accel={a} speedup={:.2}x", s as f64 / a as f64);
+            println!(
+                "{label} {rows}x{cols}: scalar={s} accel={a} speedup={:.2}x",
+                s as f64 / a as f64
+            );
         }
     }
 }

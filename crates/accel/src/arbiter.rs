@@ -31,14 +31,10 @@ impl Component for MemArbiter {
             let grant0 = p0.req.val.ex();
             // Forward the selected request with the opaque field replaced
             // by the requester id.
-            let sel0 = p0.req.msg.ex().slice(ohi, rw).concat_with(
-                Expr::k(2, 0),
-                p0.req.msg.slice(0, olo),
-            );
-            let sel1 = p1.req.msg.ex().slice(ohi, rw).concat_with(
-                Expr::k(2, 1),
-                p1.req.msg.slice(0, olo),
-            );
+            let sel0 =
+                p0.req.msg.ex().slice(ohi, rw).concat_with(Expr::k(2, 0), p0.req.msg.slice(0, olo));
+            let sel1 =
+                p1.req.msg.ex().slice(ohi, rw).concat_with(Expr::k(2, 1), p1.req.msg.slice(0, olo));
             b.assign(out.req.msg, grant0.clone().mux(sel0, sel1));
             b.assign(out.req.val, p0.req.val.ex() | p1.req.val.ex());
             b.assign(p0.req.rdy, out.req.rdy.ex() & grant0.clone());
@@ -59,10 +55,7 @@ impl Component for MemArbiter {
         });
         c.comb("resp_rdy_comb", |b| {
             let for1 = out.resp.msg.slice(rlo, rhi).eq(Expr::k(2, 1));
-            b.assign(
-                out.resp.rdy,
-                for1.mux(p1.resp.rdy.ex(), p0.resp.rdy.ex()),
-            );
+            b.assign(out.resp.rdy, for1.mux(p1.resp.rdy.ex(), p0.resp.rdy.ex()));
         });
     }
 }

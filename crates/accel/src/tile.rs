@@ -120,10 +120,7 @@ impl Tile {
 
 impl Component for Tile {
     fn name(&self) -> String {
-        format!(
-            "Tile_{}_{}_{}",
-            self.config.proc, self.config.cache, self.config.xcel
-        )
+        format!("Tile_{}_{}_{}", self.config.proc, self.config.cache, self.config.xcel)
     }
 
     fn build(&self, c: &mut Ctx) {
@@ -147,15 +144,16 @@ impl Component for Tile {
         let arb = c.instantiate("arb", &MemArbiter);
 
         // Instruction path: proc.imem -> icache -> tile.imem.
-        c.connect_reqresp(
-            c.parent_reqresp_of(&proc, "imem"),
-            c.child_reqresp_of(&icache, "proc"),
-        );
+        c.connect_reqresp(c.parent_reqresp_of(&proc, "imem"), c.child_reqresp_of(&icache, "proc"));
         let ic_mem = c.parent_reqresp_of(&icache, "mem");
         c.connect_valrdy(ic_mem.req, {
             // tile.imem is a parent bundle: req out / resp in. Alias the
             // cache's request straight through to the tile port.
-            mtl_core::InValRdy { msg: imem_out.req.msg, val: imem_out.req.val, rdy: imem_out.req.rdy }
+            mtl_core::InValRdy {
+                msg: imem_out.req.msg,
+                val: imem_out.req.val,
+                rdy: imem_out.req.rdy,
+            }
         });
         c.connect_valrdy(
             mtl_core::OutValRdy {
@@ -171,11 +169,14 @@ impl Component for Tile {
         c.connect_reqresp(c.parent_reqresp_of(&xcel, "mem"), c.child_reqresp_of(&arb, "p1"));
         c.connect_reqresp(c.parent_reqresp_of(&arb, "out"), c.child_reqresp_of(&dcache, "proc"));
         let dc_mem = c.parent_reqresp_of(&dcache, "mem");
-        c.connect_valrdy(dc_mem.req, mtl_core::InValRdy {
-            msg: dmem_out.req.msg,
-            val: dmem_out.req.val,
-            rdy: dmem_out.req.rdy,
-        });
+        c.connect_valrdy(
+            dc_mem.req,
+            mtl_core::InValRdy {
+                msg: dmem_out.req.msg,
+                val: dmem_out.req.val,
+                rdy: dmem_out.req.rdy,
+            },
+        );
         c.connect_valrdy(
             mtl_core::OutValRdy {
                 msg: dmem_out.resp.msg,
@@ -189,11 +190,10 @@ impl Component for Tile {
         c.connect_reqresp(c.parent_reqresp_of(&proc, "xcel"), c.child_reqresp_of(&xcel, "cpu"));
 
         // Manager channels and status.
-        c.connect_valrdy(c.out_valrdy_of(&proc, "proc2mngr"), mtl_core::InValRdy {
-            msg: p2m.msg,
-            val: p2m.val,
-            rdy: p2m.rdy,
-        });
+        c.connect_valrdy(
+            c.out_valrdy_of(&proc, "proc2mngr"),
+            mtl_core::InValRdy { msg: p2m.msg, val: p2m.val, rdy: p2m.rdy },
+        );
         c.connect_valrdy(
             mtl_core::OutValRdy { msg: m2p.msg, val: m2p.val, rdy: m2p.rdy },
             c.in_valrdy_of(&proc, "mngr2proc"),
@@ -215,11 +215,7 @@ impl TileHarness {
     /// Creates a harness with `mem_words` of memory and fixed manager
     /// inputs.
     pub fn new(config: TileConfig, mem_words: usize, inputs: Vec<u32>) -> Self {
-        Self {
-            config,
-            mngr: MngrAdapter::new(inputs),
-            mem: TestMemory::new(2, mem_words, 2),
-        }
+        Self { config, mngr: MngrAdapter::new(inputs), mem: TestMemory::new(2, mem_words, 2) }
     }
 
     /// Backdoor handle to main memory.

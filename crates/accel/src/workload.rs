@@ -123,9 +123,8 @@ pub fn mvmult_xcel_program(rows: u32, cols: u32, layout: MvMultLayout) -> Vec<u3
 /// Deterministic test data: `A[r][c] = (r + 2c + 1) mod 251`,
 /// `x[c] = (3c + 7) mod 241`.
 pub fn mvmult_data(rows: u32, cols: u32) -> (Vec<u32>, Vec<u32>) {
-    let mat: Vec<u32> = (0..rows)
-        .flat_map(|r| (0..cols).map(move |c| (r + 2 * c + 1) % 251))
-        .collect();
+    let mat: Vec<u32> =
+        (0..rows).flat_map(|r| (0..cols).map(move |c| (r + 2 * c + 1) % 251)).collect();
     let vec: Vec<u32> = (0..cols).map(|c| (3 * c + 7) % 241).collect();
     (mat, vec)
 }
@@ -134,9 +133,7 @@ pub fn mvmult_data(rows: u32, cols: u32) -> (Vec<u32>, Vec<u32>) {
 pub fn mvmult_reference(rows: u32, cols: u32) -> Vec<u32> {
     let (mat, vec) = mvmult_data(rows, cols);
     (0..rows as usize)
-        .map(|r| {
-            mtl_proc::dot_product(&mat[r * cols as usize..(r + 1) * cols as usize], &vec)
-        })
+        .map(|r| mtl_proc::dot_product(&mat[r * cols as usize..(r + 1) * cols as usize], &vec))
         .collect()
 }
 

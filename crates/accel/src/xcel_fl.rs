@@ -83,11 +83,7 @@ impl Component for DotProductFL {
                 if index < size {
                     // The resumable proxy makes this read look like a
                     // plain list access that occasionally "isn't ready".
-                    let (base, dst) = if phase == 0 {
-                        (src0, &mut a)
-                    } else {
-                        (src1, &mut b)
-                    };
+                    let (base, dst) = if phase == 0 { (src0, &mut a) } else { (src1, &mut b) };
                     if let Some(v) = proxy.read(base + 4 * index) {
                         dst.push(v);
                         if phase == 1 {

@@ -70,8 +70,7 @@ fn cl_tile_accelerator_speedup_is_significant() {
 
 #[test]
 fn rtl_tile_accelerator_speedup_holds() {
-    let config =
-        TileConfig { proc: ProcLevel::Rtl, cache: CacheLevel::Rtl, xcel: XcelLevel::Rtl };
+    let config = TileConfig { proc: ProcLevel::Rtl, cache: CacheLevel::Rtl, xcel: XcelLevel::Rtl };
     let scalar = check_tile(config, 4, 8, false);
     let accel = check_tile(config, 4, 8, true);
     let speedup = scalar as f64 / accel as f64;
@@ -104,8 +103,7 @@ fn engines_agree_on_tile_cycle_counts() {
 #[test]
 fn rtl_accelerator_handles_zero_length_vectors() {
     // Degenerate config: size 0 -> result 0, no memory traffic.
-    let config =
-        TileConfig { proc: ProcLevel::Fl, cache: CacheLevel::Fl, xcel: XcelLevel::Rtl };
+    let config = TileConfig { proc: ProcLevel::Fl, cache: CacheLevel::Fl, xcel: XcelLevel::Rtl };
     let program = mtl_proc::assemble(
         "addi x1, x0, 0
          csrw 0x7E1, x1

@@ -2,7 +2,9 @@
 //! of detail (the microcosm of Figure 13) and the §III-C kernels.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mtl_accel::{mvmult_data, mvmult_xcel_program, MvMultLayout, TileConfig, TileHarness, XcelLevel};
+use mtl_accel::{
+    mvmult_data, mvmult_xcel_program, MvMultLayout, TileConfig, TileHarness, XcelLevel,
+};
 use mtl_proc::{CacheLevel, ProcLevel};
 use mtl_sim::{Engine, Sim};
 

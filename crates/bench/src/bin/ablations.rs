@@ -10,9 +10,7 @@
 
 use std::time::Duration;
 
-use mtl_accel::{
-    mvmult_data, mvmult_scalar_program, MvMultLayout, Tile, TileConfig, XcelLevel,
-};
+use mtl_accel::{mvmult_data, mvmult_scalar_program, MvMultLayout, Tile, TileConfig, XcelLevel};
 use mtl_bench::{banner, write_bench_report};
 use mtl_core::{Component, Ctx};
 use mtl_net::{MeshNetworkStructural, NetStats, TrafficGen};
@@ -100,10 +98,7 @@ fn run_tile_cycles(config: TileConfig, nlines: u64) -> Result<u64, String> {
                 c.parent_reqresp_of(&tile, "dmem"),
                 c.child_reqresp_of(&mem, "port1"),
             );
-            c.connect_valrdy(
-                c.out_valrdy_of(&mngr, "to_proc"),
-                c.in_valrdy_of(&tile, "mngr2proc"),
-            );
+            c.connect_valrdy(c.out_valrdy_of(&mngr, "to_proc"), c.in_valrdy_of(&tile, "mngr2proc"));
             c.connect_valrdy(
                 c.out_valrdy_of(&tile, "proc2mngr"),
                 c.in_valrdy_of(&mngr, "from_proc"),
@@ -112,7 +107,8 @@ fn run_tile_cycles(config: TileConfig, nlines: u64) -> Result<u64, String> {
         }
     }
 
-    let h = H { config, nlines, mngr: MngrAdapter::new(vec![]), mem: TestMemory::new(2, 1 << 16, 2) };
+    let h =
+        H { config, nlines, mngr: MngrAdapter::new(vec![]), mem: TestMemory::new(2, 1 << 16, 2) };
     {
         let handle = h.mem.handle();
         let mut m = handle.lock().unwrap();
@@ -180,7 +176,8 @@ fn mesh_latency(nentries: usize, injection: u32) -> (f64, f64) {
             let net = MeshNetworkStructural::cl(n, 32, self.nentries);
             let net = c.instantiate("net", &net);
             for i in 0..n {
-                let gen = TrafficGen::new(i, n, 32, self.injection, 7 + i as u64, self.stats.clone());
+                let gen =
+                    TrafficGen::new(i, n, 32, self.injection, 7 + i as u64, self.stats.clone());
                 let g = c.instantiate(&format!("gen_{i}"), &gen);
                 c.connect_valrdy(
                     c.out_valrdy_of(&g, "out"),

@@ -17,13 +17,12 @@ use mtl_sim::Engine;
 
 fn main() {
     banner("Figure 5(b): RTL tile area / timing / net speedup", "Fig. 5(b)");
-    let config =
-        TileConfig { proc: ProcLevel::Rtl, cache: CacheLevel::Rtl, xcel: XcelLevel::Rtl };
+    let config = TileConfig { proc: ProcLevel::Rtl, cache: CacheLevel::Rtl, xcel: XcelLevel::Rtl };
     // Use the largest supported caches for the area analysis; the paper's
     // tile has multi-KB L1s, so small caches overstate the accelerator's
     // relative area (see EXPERIMENTS.md).
-    let design = mtl_core::elaborate(&Tile { config, cache_nlines: 128 })
-        .expect("tile elaboration");
+    let design =
+        mtl_core::elaborate(&Tile { config, cache_nlines: 128 }).expect("tile elaboration");
     let report = mtl_eda::analyze(&design).expect("EDA analysis");
 
     println!("total tile area: {:.0} gate equivalents", report.area);

@@ -22,9 +22,7 @@
 
 use std::time::{Duration, Instant};
 
-use mtl_accel::{
-    mvmult_data, mvmult_xcel_program, run_tile_profiled, MvMultLayout, TileConfig,
-};
+use mtl_accel::{mvmult_data, mvmult_xcel_program, run_tile_profiled, MvMultLayout, TileConfig};
 use mtl_bench::{banner, has_flag, profile_json, write_bench_report, PROFILE_TOP_N};
 use mtl_proc::{CacheLevel, Iss, ProcLevel};
 use mtl_sim::Engine;
@@ -108,8 +106,7 @@ fn tile_job(spec: &Spec, config: TileConfig, engine: Engine) -> Job {
         let layout = MvMultLayout::default();
         let program = mvmult_xcel_program(rows, cols, layout);
         let (mat, vec) = mvmult_data(rows, cols);
-        let data: Vec<(u32, &[u32])> =
-            vec![(layout.mat_base, &mat), (layout.vec_base, &vec)];
+        let data: Vec<(u32, &[u32])> = vec![(layout.mat_base, &mat), (layout.vec_base, &vec)];
         let t0 = Instant::now();
         let r = run_tile_profiled(config, &program, &data, max_cycles, engine, profile);
         let dt = t0.elapsed().as_secs_f64();

@@ -60,8 +60,7 @@ fn engine_job(level: NetLevel, engine: Engine, profile: bool, smoke: bool) -> Jo
         // The RTL specialization path includes Verilog translation +
         // re-parse ("veri"); charge it for the specialized engines on
         // RTL models, mirroring SimJIT-RTL's pipeline.
-        if level == NetLevel::Rtl
-            && matches!(engine, Engine::Specialized | Engine::SpecializedOpt)
+        if level == NetLevel::Rtl && matches!(engine, Engine::Specialized | Engine::SpecializedOpt)
         {
             let t0 = Instant::now();
             let design = mtl_core::elaborate(&*mtl_net::network(level, NROUTERS, 32))
@@ -96,8 +95,11 @@ fn engine_job(level: NetLevel, engine: Engine, profile: bool, smoke: bool) -> Jo
 }
 
 fn handwritten_job(smoke: bool) -> Job {
-    let (min_wall, max_cycles) =
-        if smoke { (Duration::from_millis(60), 200_000) } else { (Duration::from_millis(500), 20_000_000) };
+    let (min_wall, max_cycles) = if smoke {
+        (Duration::from_millis(60), 200_000)
+    } else {
+        (Duration::from_millis(500), 20_000_000)
+    };
     Job::new("handwritten", move |_ctx| {
         let rate = measure_handwritten_rate(NROUTERS, INJECTION, min_wall, max_cycles);
         Ok(JobMetrics::new().timing("cycles_per_sec", rate))
@@ -186,10 +188,7 @@ fn print_level(report: &CampaignReport, level: NetLevel, handwritten: Option<f64
         println!();
     }
     if let (Some(best), Some(hw)) = (points.last().unwrap().1, handwritten) {
-        println!(
-            "  gap to handwritten baseline at steady state: {:.1}x",
-            hw / best.rate
-        );
+        println!("  gap to handwritten baseline at steady state: {:.1}x", hw / best.rate);
     }
 }
 

@@ -107,22 +107,17 @@ impl SweepSpec {
     fn print_tables(&self, report: &CampaignReport) {
         let baseline = self.engines[0];
         for &level in &self.levels {
-            println!(
-                "\n--- {level} {}-node mesh, 100K-cycle workload profile ---",
-                self.nrouters
-            );
+            println!("\n--- {level} {}-node mesh, 100K-cycle workload profile ---", self.nrouters);
             print!("{:>10}", "inj/1000");
             for engine in &self.engines[1..] {
                 print!(" {:>16}", engine.to_string());
             }
             println!();
             for &inj in &self.rates {
-                let base = report
-                    .metric(&Self::job_name(level, inj, baseline), "cycles_per_sec");
+                let base = report.metric(&Self::job_name(level, inj, baseline), "cycles_per_sec");
                 print!("{inj:>10}");
                 for &engine in &self.engines[1..] {
-                    let rate = report
-                        .metric(&Self::job_name(level, inj, engine), "cycles_per_sec");
+                    let rate = report.metric(&Self::job_name(level, inj, engine), "cycles_per_sec");
                     match (base, rate) {
                         (Some(b), Some(r)) if b > 0.0 => {
                             print!(" {:>15.1}x", r / b)

@@ -22,14 +22,13 @@ fn main() {
     for level in [NetLevel::Cl, NetLevel::Rtl] {
         for nodes in [16usize, 64] {
             for engine in [Engine::Interpreted, Engine::SpecializedOpt] {
-                let mut sim = Sim::build(&mesh_harness(level, nodes, 300), engine)
-                    .expect("mesh elaboration");
+                let mut sim =
+                    Sim::build(&mesh_harness(level, nodes, 300), engine).expect("mesh elaboration");
                 // The RTL specialization path includes the Verilog
                 // translate-and-reparse step (SimJIT-RTL's "veri" phase).
                 if level == NetLevel::Rtl && engine == Engine::SpecializedOpt {
                     let t0 = Instant::now();
-                    let design =
-                        mtl_core::elaborate(&*mtl_net::network(level, nodes, 32)).unwrap();
+                    let design = mtl_core::elaborate(&*mtl_net::network(level, nodes, 32)).unwrap();
                     let verilog = mtl_translate::translate(&design).unwrap();
                     let _ = mtl_translate::VerilogLibrary::parse(&verilog).unwrap();
                     sim.overheads_mut().veri = t0.elapsed();

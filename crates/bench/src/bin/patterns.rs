@@ -53,10 +53,7 @@ fn pattern_job(pattern: TrafficPattern, offered: u32) -> Job {
 }
 
 fn print_table(report: &CampaignReport) {
-    println!(
-        "{:<16} {:>12} {:>14} {:>14}",
-        "pattern", "offered", "accepted", "avg latency"
-    );
+    println!("{:<16} {:>12} {:>14} {:>14}", "pattern", "offered", "accepted", "avg latency");
     for pattern in PATTERNS {
         for offered in OFFERED {
             match report.get(&job_name(pattern, offered)) {

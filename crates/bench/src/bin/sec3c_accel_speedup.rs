@@ -38,14 +38,8 @@ fn main() {
         "tile", "kernel", "scalar cyc", "accel cyc", "speedup"
     );
     for (config, label) in [
-        (
-            TileConfig { proc: ProcLevel::Cl, cache: CacheLevel::Cl, xcel: XcelLevel::Cl },
-            "CL",
-        ),
-        (
-            TileConfig { proc: ProcLevel::Rtl, cache: CacheLevel::Rtl, xcel: XcelLevel::Rtl },
-            "RTL",
-        ),
+        (TileConfig { proc: ProcLevel::Cl, cache: CacheLevel::Cl, xcel: XcelLevel::Cl }, "CL"),
+        (TileConfig { proc: ProcLevel::Rtl, cache: CacheLevel::Rtl, xcel: XcelLevel::Rtl }, "RTL"),
     ] {
         for (rows, cols) in [(8u32, 16u32), (16, 32), (32, 64)] {
             let scalar = kernel_cycles(config, rows, cols, false);

@@ -98,16 +98,17 @@ pub fn measure_rate_instrumented(
     }
     sim.reset();
     let m = measure_batched(|n| sim.run(n), 16, 64, min_wall, max_cycles, deadline);
-    let measurement = RateMeasurement {
-        cycles_per_sec: m.rate(),
-        overheads,
-        measured_cycles: m.work,
-    };
+    let measurement =
+        RateMeasurement { cycles_per_sec: m.rate(), overheads, measured_cycles: m.work };
     (measurement, sim.profile())
 }
 
 /// Builds the standard near-saturation mesh harness used by Figures 14-16.
-pub fn mesh_harness(level: NetLevel, nrouters: usize, injection_permille: u32) -> MeshTrafficHarness {
+pub fn mesh_harness(
+    level: NetLevel,
+    nrouters: usize,
+    injection_permille: u32,
+) -> MeshTrafficHarness {
     MeshTrafficHarness::new(level, nrouters, injection_permille, 0xBEEF)
 }
 
@@ -258,8 +259,7 @@ pub fn has_flag(flag: &str) -> bool {
 /// otherwise the current directory.
 pub fn bench_report_path(name: &str) -> PathBuf {
     let dir = std::env::var("RUSTMTL_BENCH_DIR").unwrap_or_default();
-    let base =
-        if dir.is_empty() { PathBuf::from(".") } else { PathBuf::from(dir) };
+    let base = if dir.is_empty() { PathBuf::from(".") } else { PathBuf::from(dir) };
     base.join(format!("BENCH_{name}.json"))
 }
 

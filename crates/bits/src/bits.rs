@@ -55,10 +55,7 @@ impl Bits {
             (1..=MAX_WIDTH).contains(&width),
             "Bits width must be in 1..={MAX_WIDTH}, got {width}"
         );
-        Self {
-            width,
-            value: value & Self::mask_for(width),
-        }
+        Self { width, value: value & Self::mask_for(width) }
     }
 
     /// Creates a new `Bits`, returning `None` if `value` does not fit in
@@ -194,10 +191,7 @@ impl Bits {
         assert!(lo < hi && hi <= self.width, "invalid slice [{lo},{hi}) of width {}", self.width);
         assert_eq!(v.width, hi - lo, "slice width mismatch");
         let field_mask = Self::mask_for(hi - lo) << lo;
-        Self {
-            width: self.width,
-            value: (self.value & !field_mask) | (v.value << lo),
-        }
+        Self { width: self.width, value: (self.value & !field_mask) | (v.value << lo) }
     }
 
     /// Concatenates `self` (as the most-significant part) with `low`.
@@ -208,10 +202,7 @@ impl Bits {
     pub fn concat(self, low: Bits) -> Self {
         let width = self.width + low.width;
         assert!(width <= MAX_WIDTH, "concat width {width} exceeds {MAX_WIDTH}");
-        Self {
-            width,
-            value: (self.value << low.width) | low.value,
-        }
+        Self { width, value: (self.value << low.width) | low.value }
     }
 
     /// Zero-extends to `width` bits.
@@ -487,9 +478,9 @@ impl FromStr for Bits {
     /// assert_eq!(v, Bits::new(8, 0xff));
     /// ```
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let (width_str, rest) = s
-            .split_once('\'')
-            .ok_or_else(|| ParseBitsError::new(format!("invalid bits literal `{s}`: missing ' separator")))?;
+        let (width_str, rest) = s.split_once('\'').ok_or_else(|| {
+            ParseBitsError::new(format!("invalid bits literal `{s}`: missing ' separator"))
+        })?;
         let width: u32 = width_str
             .trim()
             .parse()

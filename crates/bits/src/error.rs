@@ -20,9 +20,7 @@ pub struct ParseBitsError {
 
 impl ParseBitsError {
     pub(crate) fn new(message: impl Into<String>) -> Self {
-        Self {
-            message: message.into(),
-        }
+        Self { message: message.into() }
     }
 }
 

@@ -18,8 +18,8 @@ use std::collections::VecDeque;
 
 use mtl_bits::Bits;
 
-use crate::bundle::{InValRdy, OutValRdy};
 use crate::builder::SignalRef;
+use crate::bundle::{InValRdy, OutValRdy};
 use crate::view::SignalView;
 
 /// Consumer-side adapter for an [`InValRdy`] bundle: received messages
@@ -68,10 +68,7 @@ impl InValRdyQueue {
     /// Publishes next-cycle interface signals; call at the bottom of the
     /// tick block.
     pub fn post(&mut self, s: &mut dyn SignalView) {
-        s.write_next(
-            self.bundle.rdy.id(),
-            Bits::from_bool(self.queue.len() < self.capacity),
-        );
+        s.write_next(self.bundle.rdy.id(), Bits::from_bool(self.queue.len() < self.capacity));
     }
 
     /// Pops the oldest received message, if any.

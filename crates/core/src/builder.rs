@@ -266,12 +266,7 @@ impl<'a> Ctx<'a> {
         assert!((1..=128).contains(&width), "mem `{name}` width must be in 1..=128");
         assert!(words >= 1, "mem `{name}` must have at least one word");
         let id = MemId::from_index(self.proto.mems.len());
-        self.proto.mems.push(MemInfo {
-            name: name.to_string(),
-            module: self.module,
-            words,
-            width,
-        });
+        self.proto.mems.push(MemInfo { name: name.to_string(), module: self.module, words, width });
         MemRef { id, width, words }
     }
 
@@ -332,11 +327,8 @@ impl<'a> Ctx<'a> {
                 return SignalRef { id: p, width: info.width };
             }
         }
-        let avail: Vec<_> = module
-            .ports
-            .iter()
-            .map(|&p| self.proto.signals[p.index()].name.clone())
-            .collect();
+        let avail: Vec<_> =
+            module.ports.iter().map(|&p| self.proto.signals[p.index()].name.clone()).collect();
         panic!(
             "no port `{name}` on instance `{}` ({}); available: {avail:?}",
             module.name, module.component
@@ -344,7 +336,17 @@ impl<'a> Ctx<'a> {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn add_block(&mut self, name: &str, kind: BlockKind, body: BlockBody, native: Option<NativeFn>, reads: Vec<SignalId>, writes: Vec<SignalId>, mem_reads: Vec<MemId>, mem_writes: Vec<MemId>) {
+    fn add_block(
+        &mut self,
+        name: &str,
+        kind: BlockKind,
+        body: BlockBody,
+        native: Option<NativeFn>,
+        reads: Vec<SignalId>,
+        writes: Vec<SignalId>,
+        mem_reads: Vec<MemId>,
+        mem_writes: Vec<MemId>,
+    ) {
         self.proto.blocks.push(BlockInfo {
             name: name.to_string(),
             module: self.module,
@@ -367,7 +369,16 @@ impl<'a> Ctx<'a> {
         f(&mut b);
         let stmts = b.finish();
         let (reads, writes, mem_reads, mem_writes) = analyze(&stmts);
-        self.add_block(name, BlockKind::Comb, BlockBody::Ir(stmts), None, reads, writes, mem_reads, mem_writes);
+        self.add_block(
+            name,
+            BlockKind::Comb,
+            BlockBody::Ir(stmts),
+            None,
+            reads,
+            writes,
+            mem_reads,
+            mem_writes,
+        );
     }
 
     /// Defines a sequential IR block (the `@s.tick_rtl` analog).
@@ -378,7 +389,16 @@ impl<'a> Ctx<'a> {
         f(&mut b);
         let stmts = b.finish();
         let (reads, writes, mem_reads, mem_writes) = analyze(&stmts);
-        self.add_block(name, BlockKind::Seq, BlockBody::Ir(stmts), None, reads, writes, mem_reads, mem_writes);
+        self.add_block(
+            name,
+            BlockKind::Seq,
+            BlockBody::Ir(stmts),
+            None,
+            reads,
+            writes,
+            mem_reads,
+            mem_writes,
+        );
     }
 
     /// Defines a functional-level sequential block (the `@s.tick_fl`
@@ -483,10 +503,8 @@ impl BlockBuilder {
 
     /// Assigns an expression to a signal.
     pub fn assign(&mut self, target: SignalRef, e: impl Into<Expr>) {
-        self.stmts.push(Stmt::Assign(
-            LValue { signal: target.id, lo: 0, hi: target.width() },
-            e.into(),
-        ));
+        self.stmts
+            .push(Stmt::Assign(LValue { signal: target.id, lo: 0, hi: target.width() }, e.into()));
     }
 
     /// Assigns an expression to a bit range `[lo, hi)` of a signal.

@@ -187,12 +187,7 @@ pub struct NetInfo {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ElabError {
     /// Two connected signals have different widths.
-    WidthMismatch {
-        a: String,
-        b: String,
-        a_width: u32,
-        b_width: u32,
-    },
+    WidthMismatch { a: String, b: String, a_width: u32, b_width: u32 },
     /// A net is written by more than one update block.
     MultipleDrivers { net: String, blocks: Vec<String> },
     /// A net is written by both a combinational and a sequential block.
@@ -208,22 +203,18 @@ pub enum ElabError {
 impl fmt::Display for ElabError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ElabError::WidthMismatch { a, b, a_width, b_width } => write!(
-                f,
-                "cannot connect `{a}` (width {a_width}) to `{b}` (width {b_width})"
-            ),
+            ElabError::WidthMismatch { a, b, a_width, b_width } => {
+                write!(f, "cannot connect `{a}` (width {a_width}) to `{b}` (width {b_width})")
+            }
             ElabError::MultipleDrivers { net, blocks } => {
                 write!(f, "net `{net}` is driven by multiple blocks: {}", blocks.join(", "))
             }
-            ElabError::MixedDrivers { net } => write!(
-                f,
-                "net `{net}` is written by both combinational and sequential blocks"
-            ),
-            ElabError::CombCycle { blocks } => write!(
-                f,
-                "combinational cycle through blocks: {}",
-                blocks.join(" -> ")
-            ),
+            ElabError::MixedDrivers { net } => {
+                write!(f, "net `{net}` is written by both combinational and sequential blocks")
+            }
+            ElabError::CombCycle { blocks } => {
+                write!(f, "combinational cycle through blocks: {}", blocks.join(" -> "))
+            }
             ElabError::TypeError { block, message } => {
                 write!(f, "type error in block `{block}`: {message}")
             }
@@ -451,11 +442,8 @@ impl Design {
             }
         }
 
-        let mut ready: Vec<BlockId> = comb_blocks
-            .iter()
-            .copied()
-            .filter(|b| indegree[b] == 0)
-            .collect();
+        let mut ready: Vec<BlockId> =
+            comb_blocks.iter().copied().filter(|b| indegree[b] == 0).collect();
         let mut order = Vec::with_capacity(comb_blocks.len());
         while let Some(b) = ready.pop() {
             order.push(b);
@@ -499,11 +487,7 @@ impl Design {
     /// native CL blocks as 2, native FL blocks as 1; the design score is the
     /// maximum per module summed over direct children of the top module.
     pub fn level_of_detail(&self) -> u32 {
-        self.modules[0]
-            .children
-            .iter()
-            .map(|&child| self.subtree_lod(child))
-            .sum()
+        self.modules[0].children.iter().map(|&child| self.subtree_lod(child)).sum()
     }
 
     fn subtree_lod(&self, root: ModuleId) -> u32 {

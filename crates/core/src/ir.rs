@@ -84,11 +84,7 @@ pub enum Expr {
     /// Binary operation.
     Binary(BinOp, Box<Expr>, Box<Expr>),
     /// Two-way multiplexer: `cond ? then_ : else_` (`cond` must be 1 bit).
-    Mux {
-        cond: Box<Expr>,
-        then_: Box<Expr>,
-        else_: Box<Expr>,
-    },
+    Mux { cond: Box<Expr>, then_: Box<Expr>, else_: Box<Expr> },
     /// N-way selection: `options[sel]`. Out-of-range selects yield the last
     /// option (hardware "don't care" made deterministic).
     Select { sel: Box<Expr>, options: Vec<Expr> },
@@ -365,8 +361,7 @@ impl Expr {
                 }
             }
             Expr::Select { sel, options } => {
-                let idx = (sel.eval(read_sig, read_mem).as_u128() as usize)
-                    .min(options.len() - 1);
+                let idx = (sel.eval(read_sig, read_mem).as_u128() as usize).min(options.len() - 1);
                 options[idx].eval(read_sig, read_mem)
             }
             Expr::Zext(e, w) => e.eval(read_sig, read_mem).zext(*w),
@@ -449,18 +444,10 @@ pub enum Stmt {
     /// shadow `next` value committed at the clock edge.
     Assign(LValue, Expr),
     /// Conditional execution.
-    If {
-        cond: Expr,
-        then_: Vec<Stmt>,
-        else_: Vec<Stmt>,
-    },
+    If { cond: Expr, then_: Vec<Stmt>, else_: Vec<Stmt> },
     /// Multi-way dispatch on a subject expression. The first matching arm
     /// executes; `default` executes when no arm matches.
-    Switch {
-        subject: Expr,
-        arms: Vec<(Bits, Vec<Stmt>)>,
-        default: Vec<Stmt>,
-    },
+    Switch { subject: Expr, arms: Vec<(Bits, Vec<Stmt>)>, default: Vec<Stmt> },
     /// Synchronous memory write (sequential blocks only); committed at the
     /// clock edge.
     MemWrite { mem: MemId, addr: Expr, data: Expr },
@@ -601,7 +588,12 @@ mod tests {
     fn mux_and_select_evaluate() {
         let m = Expr::bool(true).mux(Expr::k(4, 1), Expr::k(4, 2));
         assert_eq!(eval_const(&m), Bits::new(4, 1));
-        let s = Expr::k(2, 2).select(vec![Expr::k(4, 10), Expr::k(4, 11), Expr::k(4, 12), Expr::k(4, 13)]);
+        let s = Expr::k(2, 2).select(vec![
+            Expr::k(4, 10),
+            Expr::k(4, 11),
+            Expr::k(4, 12),
+            Expr::k(4, 13),
+        ]);
         assert_eq!(eval_const(&s), Bits::new(4, 12));
         // out-of-range select clamps to the last option
         let s = Expr::k(2, 3).select(vec![Expr::k(4, 10), Expr::k(4, 11)]);
@@ -635,10 +627,7 @@ mod tests {
         let s2 = SignalId::from_index(2);
         let stmt = Stmt::If {
             cond: Expr::Read(s0),
-            then_: vec![Stmt::Assign(
-                LValue { signal: s2, lo: 0, hi: 4 },
-                Expr::Read(s1),
-            )],
+            then_: vec![Stmt::Assign(LValue { signal: s2, lo: 0, hi: 4 }, Expr::Read(s1))],
             else_: vec![],
         };
         let mut reads = Vec::new();
@@ -653,10 +642,7 @@ mod tests {
     fn switch_first_match_wins() {
         let sw = Stmt::Switch {
             subject: Expr::k(2, 1),
-            arms: vec![
-                (Bits::new(2, 0), vec![]),
-                (Bits::new(2, 1), vec![]),
-            ],
+            arms: vec![(Bits::new(2, 0), vec![]), (Bits::new(2, 1), vec![])],
             default: vec![],
         };
         // structural test only: reads of the subject are collected

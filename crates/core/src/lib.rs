@@ -56,8 +56,8 @@ pub use builder::{BlockBuilder, Ctx, Instance, MemRef, SignalRef, SwitchBuilder}
 pub use bundle::{ChildReqResp, InValRdy, OutValRdy, ParentReqResp};
 pub use component::{elaborate, Component};
 pub use design::{
-    BlockBody, BlockInfo, BlockKind, Design, ElabError, MemInfo, ModuleInfo, NativeFn,
-    NativeLevel, NetInfo, SignalInfo, SignalKind,
+    BlockBody, BlockInfo, BlockKind, Design, ElabError, MemInfo, ModuleInfo, NativeFn, NativeLevel,
+    NetInfo, SignalInfo, SignalKind,
 };
 pub use ids::{BlockId, MemId, ModuleId, NetId, SignalId};
 pub use ir::{BinOp, Expr, LValue, Stmt, UnaryOp};

@@ -186,10 +186,9 @@ impl MsgLayout {
         );
         let mut parts = Vec::with_capacity(self.fields.len());
         for f in &self.fields {
-            let e = fields
-                .iter()
-                .find(|(n, _)| *n == f.name)
-                .unwrap_or_else(|| panic!("missing field `{}` in build of `{}`", f.name, self.name));
+            let e = fields.iter().find(|(n, _)| *n == f.name).unwrap_or_else(|| {
+                panic!("missing field `{}` in build of `{}`", f.name, self.name)
+            });
             parts.push(e.1.clone());
         }
         Expr::Concat(parts)
@@ -249,11 +248,7 @@ mod tests {
     #[test]
     fn build_expr_concats_in_declaration_order() {
         let l = layout();
-        let e = l.build(&[
-            ("c", Expr::k(4, 0xD)),
-            ("a", Expr::k(4, 0xA)),
-            ("b", Expr::k(8, 0xBC)),
-        ]);
+        let e = l.build(&[("c", Expr::k(4, 0xD)), ("a", Expr::k(4, 0xA)), ("b", Expr::k(8, 0xBC))]);
         let v = e.eval(&mut |_| panic!("no signals"), &mut |_, _| panic!("no mems"));
         assert_eq!(v, Bits::new(16, 0xABCD));
     }

@@ -206,18 +206,13 @@ impl Component for DeepHierarchy {
 #[test]
 fn hierarchical_paths_are_dotted() {
     let design = elaborate(&DeepHierarchy).unwrap();
-    let has_path = design
-        .blocks()
-        .iter()
-        .enumerate()
-        .any(|(i, _)| design.block_path(mtl_core::BlockId::from_index(i)) == "top.mid.leaf.inv");
+    let has_path =
+        design.blocks().iter().enumerate().any(|(i, _)| {
+            design.block_path(mtl_core::BlockId::from_index(i)) == "top.mid.leaf.inv"
+        });
     assert!(has_path, "expected top.mid.leaf.inv block path");
     // Reset is threaded automatically through both levels.
-    let resets = design
-        .signals()
-        .iter()
-        .filter(|s| s.name == "reset")
-        .count();
+    let resets = design.signals().iter().filter(|s| s.name == "reset").count();
     assert_eq!(resets, 3);
     let reset_net = design.net_of(design.reset());
     assert_eq!(design.net(reset_net).signals.len(), 3, "resets all share one net");

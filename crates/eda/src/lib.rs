@@ -91,12 +91,8 @@ impl EdaReport {
     /// The fraction of total area attributed to the child instance whose
     /// name contains `needle`.
     pub fn area_fraction(&self, needle: &str) -> f64 {
-        let part: f64 = self
-            .area_by_child
-            .iter()
-            .filter(|(n, _)| n.contains(needle))
-            .map(|(_, a)| a)
-            .sum();
+        let part: f64 =
+            self.area_by_child.iter().filter(|(n, _)| n.contains(needle)).map(|(_, a)| a).sum();
         part / self.area
     }
 }
@@ -141,12 +137,8 @@ pub fn analyze_with(design: &Design, tech: &TechModel) -> Result<EdaReport, EdaE
         if net.is_register {
             let _ = NetId::from_index(ni);
             // Attribute the register to the module of the driving block.
-            let owner = net
-                .driver
-                .map(|b| design.block(b).module)
-                .unwrap_or_else(|| design.top());
-            *reg_area_by_module.entry(owner).or_default() +=
-                net.width as f64 * tech.reg_per_bit;
+            let owner = net.driver.map(|b| design.block(b).module).unwrap_or_else(|| design.top());
+            *reg_area_by_module.entry(owner).or_default() += net.width as f64 * tech.reg_per_bit;
         }
     }
     let mut mem_area_by_module: HashMap<ModuleId, f64> = HashMap::new();
@@ -187,8 +179,7 @@ pub fn analyze_with(design: &Design, tech: &TechModel) -> Result<EdaReport, EdaE
     let area: f64 = by_child.values().sum();
 
     // --- Timing ----------------------------------------------------------
-    let cycle_time = critical_path(design, None)
-        .map_err(|message| EdaError { message })?;
+    let cycle_time = critical_path(design, None).map_err(|message| EdaError { message })?;
 
     // --- Energy ----------------------------------------------------------
     let energy_per_cycle = area * tech.energy_per_ge;
@@ -366,13 +357,7 @@ fn stmt_depth(s: &Stmt) -> f64 {
     match s {
         Stmt::Assign(_, e) => expr_depth(e),
         Stmt::If { cond, then_, else_ } => {
-            expr_depth(cond)
-                + 1.0
-                + then_
-                    .iter()
-                    .chain(else_)
-                    .map(stmt_depth)
-                    .fold(0.0, f64::max)
+            expr_depth(cond) + 1.0 + then_.iter().chain(else_).map(stmt_depth).fold(0.0, f64::max)
         }
         Stmt::Switch { subject, arms, default } => {
             expr_depth(subject)
@@ -397,8 +382,8 @@ fn expr_depth(e: &Expr) -> f64 {
         Expr::Binary(op, a, b) => {
             let base = expr_depth(a).max(expr_depth(b));
             base + match op {
-                BinOp::Add | BinOp::Sub => 6.0,  // log-depth prefix adder
-                BinOp::Mul => 12.0,              // wallace tree + final add
+                BinOp::Add | BinOp::Sub => 6.0, // log-depth prefix adder
+                BinOp::Mul => 12.0,             // wallace tree + final add
                 BinOp::Shl | BinOp::Shr | BinOp::Sra => 5.0,
                 BinOp::And | BinOp::Or | BinOp::Xor => 1.0,
                 _ => 5.0, // comparators

@@ -11,6 +11,9 @@ fn main() {
     println!("8x8 CL zero-load: avg_latency={:.1} received={}", zl.avg_latency, zl.received);
     for inj in [100u32, 200, 250, 300, 320, 350, 400, 500] {
         let m = measure_network(NetLevel::Cl, 64, inj, 500, 2000, Engine::SpecializedOpt);
-        println!("inj={:3} accepted={:6.1} latency={:8.1}", inj, m.accepted_permille, m.avg_latency);
+        println!(
+            "inj={:3} accepted={:6.1} latency={:8.1}",
+            inj, m.accepted_permille, m.avg_latency
+        );
     }
 }

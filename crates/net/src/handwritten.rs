@@ -37,11 +37,7 @@ struct HwRouter {
 
 impl HwRouter {
     fn new() -> Self {
-        Self {
-            in_q: Default::default(),
-            out_q: Default::default(),
-            rr: [0; NPORTS],
-        }
+        Self { in_q: Default::default(), out_q: Default::default(), rr: [0; NPORTS] }
     }
 }
 

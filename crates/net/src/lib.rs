@@ -116,8 +116,8 @@ mod tests {
                     hops += 1;
                     assert!(hops <= 2 * side, "routing loop {src}->{dest}");
                 }
-                let manhattan = (src % side).abs_diff(dest % side)
-                    + (src / side).abs_diff(dest / side);
+                let manhattan =
+                    (src % side).abs_diff(dest % side) + (src / side).abs_diff(dest / side);
                 assert_eq!(hops, manhattan, "non-minimal route {src}->{dest}");
             }
         }

@@ -25,13 +25,7 @@ pub fn net_msg_layout(nrouters: usize, payload_nbits: u32) -> MsgLayout {
 }
 
 /// Convenience packer for a network message.
-pub fn make_net_msg(
-    layout: &MsgLayout,
-    dest: u64,
-    src: u64,
-    opaque: u64,
-    payload: u64,
-) -> Bits {
+pub fn make_net_msg(layout: &MsgLayout, dest: u64, src: u64, opaque: u64, payload: u64) -> Bits {
     let (dlo, dhi) = layout.field_range("dest");
     let (plo, phi) = layout.field_range("payload");
     layout.pack(&[

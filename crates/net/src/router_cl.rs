@@ -112,10 +112,7 @@ impl Component for RouterCL {
             }
             // 4. Publish next-cycle interface state.
             for p in 0..NPORTS {
-                s.write_next(
-                    ins_c[p].rdy.id(),
-                    Bits::from_bool(in_q[p].len() < nentries),
-                );
+                s.write_next(ins_c[p].rdy.id(), Bits::from_bool(in_q[p].len() < nentries));
                 match out_q[p].front() {
                     Some(&m) => {
                         s.write_next(outs_c[p].msg.id(), m);

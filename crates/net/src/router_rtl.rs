@@ -100,36 +100,29 @@ impl Component for RouterRTL {
                 let dest_y = dest.slice(log_side, 2 * log_side);
                 let kx = |v: u128| Expr::k(log_side, v);
                 let dir = |d: usize| Expr::k(3, d as u128);
-                let route = dest_x
-                    .clone()
-                    .gt(kx(my_x))
-                    .mux(
-                        dir(EAST),
-                        dest_x.lt(kx(my_x)).mux(
-                            dir(WEST),
-                            dest_y
-                                .clone()
-                                .gt(kx(my_y))
-                                .mux(dir(SOUTH), dest_y.lt(kx(my_y)).mux(dir(NORTH), dir(TERM))),
-                        ),
-                    );
+                let route = dest_x.clone().gt(kx(my_x)).mux(
+                    dir(EAST),
+                    dest_x.lt(kx(my_x)).mux(
+                        dir(WEST),
+                        dest_y
+                            .clone()
+                            .gt(kx(my_y))
+                            .mux(dir(SOUTH), dest_y.lt(kx(my_y)).mux(dir(NORTH), dir(TERM))),
+                    ),
+                );
                 b.assign(routes[p], route);
             }
         });
 
         // Request vectors and arbitration per output.
-        let reqs: Vec<_> = (0..NPORTS)
-            .map(|o| c.wire(&format!("reqs_{o}"), NPORTS as u32))
-            .collect();
+        let reqs: Vec<_> =
+            (0..NPORTS).map(|o| c.wire(&format!("reqs_{o}"), NPORTS as u32)).collect();
         c.comb("req_comb", |b| {
             for o in 0..NPORTS {
                 let bits: Vec<Expr> = (0..NPORTS)
                     .rev()
                     .map(|i| {
-                        hol_val[i]
-                            .ex()
-                            .and(routes[i].eq(Expr::k(3, o as u128)))
-                            .and(oq_rdy[o])
+                        hol_val[i].ex().and(routes[i].eq(Expr::k(3, o as u128))).and(oq_rdy[o])
                     })
                     .collect();
                 b.assign(reqs[o], Expr::concat(bits));
@@ -139,9 +132,8 @@ impl Component for RouterRTL {
         let arbiters: Vec<_> = (0..NPORTS)
             .map(|o| c.instantiate(&format!("arb_{o}"), &RoundRobinArbiter::new(NPORTS)))
             .collect();
-        let grants: Vec<_> = (0..NPORTS)
-            .map(|o| c.wire(&format!("grants_{o}"), NPORTS as u32))
-            .collect();
+        let grants: Vec<_> =
+            (0..NPORTS).map(|o| c.wire(&format!("grants_{o}"), NPORTS as u32)).collect();
         for o in 0..NPORTS {
             c.connect(reqs[o], c.port_of(&arbiters[o], "reqs"));
             c.connect(c.port_of(&arbiters[o], "grants"), grants[o]);
@@ -241,7 +233,9 @@ mod tests {
         let mut got = Vec::new();
         for _ in 0..10 {
             if sim.peek_port(&format!("out_{EAST}_val")) == b(1, 1) {
-                got.push(layout.unpack(sim.peek_port(&format!("out_{EAST}_msg")), "opaque").as_u64());
+                got.push(
+                    layout.unpack(sim.peek_port(&format!("out_{EAST}_msg")), "opaque").as_u64(),
+                );
             }
             sim.cycle();
             if got.len() == 2 {

@@ -241,12 +241,7 @@ pub struct MeshTrafficHarness {
 
 impl MeshTrafficHarness {
     /// Creates a harness; see the field docs for parameters.
-    pub fn new(
-        level: NetLevel,
-        nrouters: usize,
-        injection_permille: u32,
-        seed: u64,
-    ) -> Self {
+    pub fn new(level: NetLevel, nrouters: usize, injection_permille: u32, seed: u64) -> Self {
         Self {
             level,
             nrouters,
@@ -393,10 +388,22 @@ mod tests {
         // Classic NoC result: neighbor traffic sustains far more load than
         // transpose on a minimally-routed mesh.
         let neighbor = measure_network_pattern(
-            NetLevel::Cl, 16, TrafficPattern::Neighbor, 700, 300, 1200, Engine::SpecializedOpt,
+            NetLevel::Cl,
+            16,
+            TrafficPattern::Neighbor,
+            700,
+            300,
+            1200,
+            Engine::SpecializedOpt,
         );
         let transpose = measure_network_pattern(
-            NetLevel::Cl, 16, TrafficPattern::Transpose, 700, 300, 1200, Engine::SpecializedOpt,
+            NetLevel::Cl,
+            16,
+            TrafficPattern::Transpose,
+            700,
+            300,
+            1200,
+            Engine::SpecializedOpt,
         );
         assert!(
             neighbor.accepted_permille > transpose.accepted_permille * 1.2,
@@ -451,9 +458,6 @@ mod tests {
             let m = measure_network(NetLevel::Cl, 4, 100, 100, 400, engine);
             counts.push((m.injected, m.received));
         }
-        assert!(
-            counts.windows(2).all(|w| w[0] == w[1]),
-            "engines disagree: {counts:?}"
-        );
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "engines disagree: {counts:?}");
     }
 }

@@ -26,14 +26,8 @@ impl Component for LimitedHarness {
             let gen = TrafficGen::new(i, self.nrouters, 32, 400, 3 + i as u64, self.stats.clone())
                 .with_limit(self.per_gen);
             let g = c.instantiate(&format!("gen_{i}"), &gen);
-            c.connect_valrdy(
-                c.out_valrdy_of(&g, "out"),
-                c.in_valrdy_of(&net, &format!("in__{i}")),
-            );
-            c.connect_valrdy(
-                c.out_valrdy_of(&net, &format!("out_{i}")),
-                c.in_valrdy_of(&g, "in_"),
-            );
+            c.connect_valrdy(c.out_valrdy_of(&g, "out"), c.in_valrdy_of(&net, &format!("in__{i}")));
+            c.connect_valrdy(c.out_valrdy_of(&net, &format!("out_{i}")), c.in_valrdy_of(&g, "in_"));
         }
     }
 }

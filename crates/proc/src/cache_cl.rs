@@ -69,7 +69,11 @@ impl Component for CacheCL {
             Idle,
             /// Refilling a line; `sent` requests issued, `got` words
             /// received so far.
-            Refill { line_addr: u32, sent: usize, got: usize },
+            Refill {
+                line_addr: u32,
+                sent: usize,
+                got: usize,
+            },
             /// Waiting for the write-through ack.
             WriteAck,
         }

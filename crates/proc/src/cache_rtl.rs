@@ -91,16 +91,11 @@ impl Component for CacheRTL {
             b.assign(proc.resp.val, state.eq(st(RESP)));
             b.assign(
                 proc.resp.msg,
-                Expr::concat(vec![
-                    r_type.ex(),
-                    r_opq.ex(),
-                    is_write.mux(Expr::k(32, 0), rd_word),
-                ]),
+                Expr::concat(vec![r_type.ex(), r_opq.ex(), is_write.mux(Expr::k(32, 0), rd_word)]),
             );
 
             // Memory requests: refill reads or the write-through.
-            let line_base =
-                Expr::concat(vec![r_tag.ex(), r_idx.ex(), Expr::k(4, 0)]);
+            let line_base = Expr::concat(vec![r_tag.ex(), r_idx.ex(), Expr::k(4, 0)]);
             let rf_addr = line_base + Expr::concat(vec![Expr::k(28, 0), cnt.ex(), Expr::k(2, 0)]);
             b.assign(mem.req.val, state.eq(st(RF_REQ)) | state.eq(st(WT)));
             b.assign(

@@ -308,9 +308,7 @@ pub fn assemble(src: &str) -> Result<Vec<u32>, AsmError> {
 
 fn parse_reg(tok: &str) -> Result<u8, String> {
     let tok = tok.trim();
-    let num = tok
-        .strip_prefix('x')
-        .ok_or_else(|| format!("expected register, got `{tok}`"))?;
+    let num = tok.strip_prefix('x').ok_or_else(|| format!("expected register, got `{tok}`"))?;
     let r: u8 = num.parse().map_err(|_| format!("bad register `{tok}`"))?;
     if r >= 32 {
         return Err(format!("register `{tok}` out of range"));
@@ -347,11 +345,7 @@ fn to_i16(v: i32) -> Result<i16, String> {
     })
 }
 
-fn branch_target(
-    tok: &str,
-    here: usize,
-    labels: &HashMap<String, usize>,
-) -> Result<i16, String> {
+fn branch_target(tok: &str, here: usize, labels: &HashMap<String, usize>) -> Result<i16, String> {
     let tok = tok.trim();
     if let Some(&target) = labels.get(tok) {
         let delta = target as i64 - here as i64;
@@ -371,11 +365,7 @@ fn parse_mem_operand(tok: &str) -> Result<(i16, u8), String> {
     Ok((to_i16(imm)?, reg))
 }
 
-fn parse_line(
-    text: &str,
-    here: usize,
-    labels: &HashMap<String, usize>,
-) -> Result<Instr, String> {
+fn parse_line(text: &str, here: usize, labels: &HashMap<String, usize>) -> Result<Instr, String> {
     let (mnemonic, rest) = match text.split_once(char::is_whitespace) {
         Some((m, r)) => (m, r),
         None => (text, ""),

@@ -4,16 +4,13 @@
 use std::collections::VecDeque;
 
 use crate::isa::{
-    Instr, CSR_MNGR2PROC, CSR_PROC2MNGR, CSR_XCEL_GO, CSR_XCEL_SIZE, CSR_XCEL_SRC0,
-    CSR_XCEL_SRC1,
+    Instr, CSR_MNGR2PROC, CSR_PROC2MNGR, CSR_XCEL_GO, CSR_XCEL_SIZE, CSR_XCEL_SRC0, CSR_XCEL_SRC1,
 };
 
 /// The paper's Figure 6 functional dot product (manual implementation),
 /// over word memory with wrapping arithmetic.
 pub fn dot_product(src0: &[u32], src1: &[u32]) -> u32 {
-    src0.iter()
-        .zip(src1)
-        .fold(0u32, |acc, (&x, &y)| acc.wrapping_add(x.wrapping_mul(y)))
+    src0.iter().zip(src1).fold(0u32, |acc, (&x, &y)| acc.wrapping_add(x.wrapping_mul(y)))
 }
 
 #[derive(Debug, Default, Clone)]
@@ -191,10 +188,9 @@ impl Iss {
             }
             Csrr { rd, csr } => {
                 let v = match csr {
-                    CSR_MNGR2PROC => self
-                        .mngr2proc
-                        .pop_front()
-                        .expect("csrr from empty mngr2proc channel"),
+                    CSR_MNGR2PROC => {
+                        self.mngr2proc.pop_front().expect("csrr from empty mngr2proc channel")
+                    }
                     CSR_XCEL_GO => self.xcel.result,
                     other => panic!("csrr from unknown csr {other:#x}"),
                 };

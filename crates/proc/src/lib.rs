@@ -49,10 +49,10 @@ pub use isa::{
     CSR_XCEL_SRC0, CSR_XCEL_SRC1,
 };
 pub use iss::{dot_product, Iss};
-pub use mem_proxy::MemPortProxy;
 pub use mem_msg::{
     mem_read_req, mem_req_layout, mem_resp, mem_resp_layout, mem_write_req, MEM_READ, MEM_WRITE,
 };
+pub use mem_proxy::MemPortProxy;
 pub use proc_cl::ProcCL;
 pub use proc_fl::ProcFL;
 pub use proc_pipe::ProcPipeRTL;

@@ -23,10 +23,7 @@ pub fn mem_req_layout() -> MsgLayout {
 
 /// The memory response layout: `type(2) opaque(2) data(32)`.
 pub fn mem_resp_layout() -> MsgLayout {
-    MsgLayout::new("MemRespMsg")
-        .field("type", 2)
-        .field("opaque", 2)
-        .field("data", 32)
+    MsgLayout::new("MemRespMsg").field("type", 2).field("opaque", 2).field("data", 32)
 }
 
 /// Packs a read request.

@@ -6,11 +6,12 @@ use mtl_bits::Bits;
 use mtl_core::{Component, Ctx, InValRdyQueue, OutValRdyQueue};
 
 use crate::isa::{
-    Instr, CSR_MNGR2PROC, CSR_PROC2MNGR, CSR_XCEL_GO, CSR_XCEL_SIZE, CSR_XCEL_SRC0,
-    CSR_XCEL_SRC1,
+    Instr, CSR_MNGR2PROC, CSR_PROC2MNGR, CSR_XCEL_GO, CSR_XCEL_SIZE, CSR_XCEL_SRC0, CSR_XCEL_SRC1,
 };
 use crate::mem_msg::{mem_req_layout, mem_resp_layout};
-use crate::xcel_msg::{xcel_req_layout, xcel_resp_layout, XCEL_GO, XCEL_SIZE, XCEL_SRC0, XCEL_SRC1};
+use crate::xcel_msg::{
+    xcel_req_layout, xcel_resp_layout, XCEL_GO, XCEL_SIZE, XCEL_SRC0, XCEL_SRC1,
+};
 
 /// Pure ALU semantics shared by the FL and CL processor models.
 pub(crate) fn alu(instr: Instr, rs1: u32, rs2: u32) -> u32 {
@@ -198,10 +199,8 @@ impl Component for ProcFL {
                                 if dmem_req.is_full() {
                                     done = false;
                                 } else {
-                                    let addr =
-                                        rd_of(rs1, &regs).wrapping_add(imm as i32 as u32);
-                                    dmem_req
-                                        .push(crate::mem_msg::mem_read_req(&req_l, 0, addr));
+                                    let addr = rd_of(rs1, &regs).wrapping_add(imm as i32 as u32);
+                                    dmem_req.push(crate::mem_msg::mem_read_req(&req_l, 0, addr));
                                     state = S::WaitLoad(rd);
                                 }
                             }
@@ -209,8 +208,7 @@ impl Component for ProcFL {
                                 if dmem_req.is_full() {
                                     done = false;
                                 } else {
-                                    let addr =
-                                        rd_of(rs1, &regs).wrapping_add(imm as i32 as u32);
+                                    let addr = rd_of(rs1, &regs).wrapping_add(imm as i32 as u32);
                                     dmem_req.push(crate::mem_msg::mem_write_req(
                                         &req_l,
                                         0,
@@ -278,9 +276,7 @@ impl Component for ProcFL {
                                     if xcel_req.is_full() {
                                         done = false;
                                     } else {
-                                        xcel_req.push(crate::xcel_msg::xcel_req(
-                                            &xreq_l, ctrl, v,
-                                        ));
+                                        xcel_req.push(crate::xcel_msg::xcel_req(&xreq_l, ctrl, v));
                                     }
                                 } else {
                                     panic!("csrw to unknown csr {csr:#x}");

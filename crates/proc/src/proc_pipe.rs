@@ -103,28 +103,16 @@ fn decode(c: &mut Ctx, prefix: &str, instr: SignalRef) -> Decode {
         bd.assign(d.is_halt, op.clone().eq(k6(63)));
         bd.assign(d.csr_p2m, d.csr.eq(Expr::k(16, 0x7C0)));
         bd.assign(d.csr_m2p, d.csr.eq(Expr::k(16, 0x7C1)));
-        bd.assign(
-            d.csr_xcel,
-            d.csr.ge(Expr::k(16, 0x7E0)) & d.csr.lt(Expr::k(16, 0x7E4)),
-        );
+        bd.assign(d.csr_xcel, d.csr.ge(Expr::k(16, 0x7E0)) & d.csr.lt(Expr::k(16, 0x7E4)));
         bd.assign(d.csr_xgo, d.csr.eq(Expr::k(16, 0x7E0)));
         bd.assign(
             d.has_rd,
             d.is_alu.ex() | d.is_lw.ex() | d.is_jal.ex() | d.is_jalr.ex() | d.is_csrr.ex(),
         );
-        bd.assign(
-            d.reads_rs1,
-            !(d.is_jal.ex() | d.is_halt.ex() | d.is_csrr.ex()),
-        );
-        bd.assign(
-            d.reads_rs2,
-            d.is_rtype.ex() | d.is_branch.ex() | d.is_sw.ex(),
-        );
+        bd.assign(d.reads_rs1, !(d.is_jal.ex() | d.is_halt.ex() | d.is_csrr.ex()));
+        bd.assign(d.reads_rs2, d.is_rtype.ex() | d.is_branch.ex() | d.is_sw.ex());
         bd.assign(d.rs1_field, d.is_branch.mux(d.a, d.b));
-        bd.assign(
-            d.rs2_field,
-            d.is_sw.mux(d.a.ex(), d.is_branch.mux(d.b.ex(), d.cf.ex())),
-        );
+        bd.assign(d.rs2_field, d.is_sw.mux(d.a.ex(), d.is_branch.mux(d.b.ex(), d.cf.ex())));
     });
     d
 }
@@ -213,10 +201,7 @@ impl Component for ProcPipeRTL {
         c.comb("alu_comb", |b| {
             let op2 = dx.is_rtype.mux(
                 dx_rs2.ex(),
-                opx.clone().eq(Expr::k(6, 16)).mux(
-                    dx.imm_sx.ex(),
-                    dx_instr.slice(0, 16).zext(32),
-                ),
+                opx.clone().eq(Expr::k(6, 16)).mux(dx.imm_sx.ex(), dx_instr.slice(0, 16).zext(32)),
             );
             let shamt = op2.clone().trunc(5).zext(32);
             b.switch(opx.clone(), |sw| {
@@ -247,9 +232,7 @@ impl Component for ProcPipeRTL {
                 sw.case(mtl_core::Bits::new(6, 32), |b| b.assign(taken, dx_rs1.eq(dx_rs2)));
                 sw.case(mtl_core::Bits::new(6, 33), |b| b.assign(taken, dx_rs1.ne(dx_rs2)));
                 sw.case(mtl_core::Bits::new(6, 34), |b| b.assign(taken, dx_rs1.lt_s(dx_rs2)));
-                sw.case(mtl_core::Bits::new(6, 35), |b| {
-                    b.assign(taken, !dx_rs1.lt_s(dx_rs2))
-                });
+                sw.case(mtl_core::Bits::new(6, 35), |b| b.assign(taken, !dx_rs1.lt_s(dx_rs2)));
                 sw.default(|b| b.assign(taken, Expr::bool(false)));
             });
         });
@@ -294,8 +277,7 @@ impl Component for ProcPipeRTL {
             };
             b.assign(
                 hazard,
-                (fd.reads_rs1.ex() & busy(fd.rs1_field))
-                    | (fd.reads_rs2.ex() & busy(fd.rs2_field)),
+                (fd.reads_rs1.ex() & busy(fd.rs1_field)) | (fd.reads_rs2.ex() & busy(fd.rs2_field)),
             );
         });
 
@@ -304,20 +286,14 @@ impl Component for ProcPipeRTL {
             let xm_ready = !xm_valid.ex() | m_done.ex();
             b.assign(xfer_dx_xm, dx_valid.ex() & xm_ready);
             let dx_ready = !dx_valid.ex() | xfer_dx_xm.ex();
-            b.assign(
-                xfer_fd_dx,
-                fd_valid.ex() & dx_ready & !hazard.ex() & !halt_seen.ex(),
-            );
+            b.assign(xfer_fd_dx, fd_valid.ex() & dx_ready & !hazard.ex() & !halt_seen.ex());
             b.assign(
                 redirect,
                 xfer_dx_xm.ex()
                     & (dx.is_jal.ex() | dx.is_jalr.ex() | (dx.is_branch.ex() & taken.ex())),
             );
             let btarget = dx_pc + dx.imm_sx.ex().sll(Expr::k(2, 2));
-            b.assign(
-                redirect_target,
-                dx.is_jalr.mux(dx_rs1 + dx.imm_sx.ex(), btarget),
-            );
+            b.assign(redirect_target, dx.is_jalr.mux(dx_rs1 + dx.imm_sx.ex(), btarget));
         });
 
         // --- Interface outputs -------------------------------------------------
@@ -338,10 +314,7 @@ impl Component for ProcPipeRTL {
                     Expr::k(32, 0),
                 ]),
             );
-            b.assign(
-                resp_stale,
-                resp_l.get(imem.resp.msg.ex(), "opaque").trunc(1).ne(epoch.ex()),
-            );
+            b.assign(resp_stale, resp_l.get(imem.resp.msg.ex(), "opaque").trunc(1).ne(epoch.ex()));
             b.assign(imem.resp.rdy, fd_free | resp_stale.ex());
 
             // Data memory from M.
@@ -359,10 +332,7 @@ impl Component for ProcPipeRTL {
 
             // Coprocessor + manager channels from M.
             b.assign(xcel.req.val, xm_valid.ex() & xm.is_csrw.ex() & xm.csr_xcel.ex());
-            b.assign(
-                xcel.req.msg,
-                Expr::concat(vec![xm.csr.slice(0, 2), xm_result.ex()]),
-            );
+            b.assign(xcel.req.msg, Expr::concat(vec![xm.csr.slice(0, 2), xm_result.ex()]));
             b.assign(xcel.resp.rdy, xm_valid.ex() & xm.is_csrr.ex() & xm.csr_xgo.ex());
             b.assign(p2m.val, xm_valid.ex() & xm.is_csrw.ex() & xm.csr_p2m.ex());
             b.assign(p2m.msg, xm_result.ex());

@@ -102,10 +102,7 @@ impl Component for ProcRTL {
             b.assign(csr, ir.slice(0, 16));
 
             b.assign(is_rtype, opcode.lt(k6(11)));
-            b.assign(
-                is_alu,
-                opcode.lt(k6(11)) | (opcode.ge(k6(16)) & opcode.lt(k6(21))),
-            );
+            b.assign(is_alu, opcode.lt(k6(11)) | (opcode.ge(k6(16)) & opcode.lt(k6(21))));
             b.assign(is_lw, opcode.eq(k6(24)));
             b.assign(is_sw, opcode.eq(k6(25)));
             b.assign(is_branch, opcode.ge(k6(32)) & opcode.lt(k6(36)));
@@ -116,10 +113,7 @@ impl Component for ProcRTL {
             b.assign(is_halt, opcode.eq(k6(63)));
             b.assign(csr_p2m, csr.eq(Expr::k(16, 0x7C0)));
             b.assign(csr_m2p, csr.eq(Expr::k(16, 0x7C1)));
-            b.assign(
-                csr_xcel,
-                csr.ge(Expr::k(16, 0x7E0)) & csr.lt(Expr::k(16, 0x7E4)),
-            );
+            b.assign(csr_xcel, csr.ge(Expr::k(16, 0x7E0)) & csr.lt(Expr::k(16, 0x7E4)));
             b.assign(csr_xgo, csr.eq(Expr::k(16, 0x7E0)));
             b.assign(in_ex, state.eq(Expr::k(3, EX)));
         });
@@ -127,18 +121,12 @@ impl Component for ProcRTL {
         // Register file read addressing.
         c.comb("rf_read_comb", |b| {
             b.assign(raddr0, is_branch.mux(fld_a, fld_b));
-            b.assign(
-                raddr1,
-                is_sw.mux(fld_a.ex(), is_branch.mux(fld_b.ex(), fld_c.ex())),
-            );
+            b.assign(raddr1, is_sw.mux(fld_a.ex(), is_branch.mux(fld_b.ex(), fld_c.ex())));
         });
 
         // ALU.
         c.comb("alu_comb", |b| {
-            let op2 = is_rtype.mux(
-                rdata1.ex(),
-                opcode.eq(k6(16)).mux(imm_sx.ex(), imm_zx.ex()),
-            );
+            let op2 = is_rtype.mux(rdata1.ex(), opcode.eq(k6(16)).mux(imm_sx.ex(), imm_zx.ex()));
             let shamt = op2.clone().trunc(5).zext(32);
             b.switch(opcode, |sw| {
                 let arm = |sw: &mut mtl_core::SwitchBuilder, op: u128, e: Expr| {
@@ -166,9 +154,7 @@ impl Component for ProcRTL {
                 sw.case(mtl_core::Bits::new(6, 32), |b| b.assign(taken, rdata0.eq(rdata1)));
                 sw.case(mtl_core::Bits::new(6, 33), |b| b.assign(taken, rdata0.ne(rdata1)));
                 sw.case(mtl_core::Bits::new(6, 34), |b| b.assign(taken, rdata0.lt_s(rdata1)));
-                sw.case(mtl_core::Bits::new(6, 35), |b| {
-                    b.assign(taken, !rdata0.lt_s(rdata1))
-                });
+                sw.case(mtl_core::Bits::new(6, 35), |b| b.assign(taken, !rdata0.lt_s(rdata1)));
                 sw.default(|b| b.assign(taken, Expr::bool(false)));
             });
         });
@@ -195,17 +181,11 @@ impl Component for ProcRTL {
                     rdata1.ex(),
                 ]),
             );
-            b.assign(
-                dmem.resp.rdy,
-                state.eq(Expr::k(3, MLD)) | state.eq(Expr::k(3, MST)),
-            );
+            b.assign(dmem.resp.rdy, state.eq(Expr::k(3, MLD)) | state.eq(Expr::k(3, MST)));
 
             // Accelerator interface.
             b.assign(xcel.req.val, in_ex.ex() & is_csrw.ex() & csr_xcel.ex());
-            b.assign(
-                xcel.req.msg,
-                Expr::concat(vec![csr.slice(0, 2), rdata0.ex()]),
-            );
+            b.assign(xcel.req.msg, Expr::concat(vec![csr.slice(0, 2), rdata0.ex()]));
             b.assign(xcel.resp.rdy, in_ex.ex() & is_csrr.ex() & csr_xgo.ex());
 
             // Manager channels.

@@ -52,9 +52,8 @@ impl Component for TestMemory {
         let latency = self.latency;
         let words = self.words;
 
-        let reqs: Vec<_> = (0..self.nports)
-            .map(|p| c.in_valrdy(&format!("port{p}_req"), req_l.width()))
-            .collect();
+        let reqs: Vec<_> =
+            (0..self.nports).map(|p| c.in_valrdy(&format!("port{p}_req"), req_l.width())).collect();
         let resps: Vec<_> = (0..self.nports)
             .map(|p| c.out_valrdy(&format!("port{p}_resp"), resp_l.width()))
             .collect();
@@ -67,8 +66,7 @@ impl Component for TestMemory {
         }
 
         // Per-port in-flight responses: (ready_cycle, message).
-        let mut inflight: Vec<VecDeque<(u64, Bits)>> =
-            vec![VecDeque::new(); self.nports];
+        let mut inflight: Vec<VecDeque<(u64, Bits)>> = vec![VecDeque::new(); self.nports];
         let reqs_c = reqs.clone();
         let resps_c = resps.clone();
 
@@ -92,8 +90,7 @@ impl Component for TestMemory {
                     inflight[p].pop_front();
                 }
                 // Accept a new request.
-                if s.read(reqs_c[p].val.id()).reduce_or()
-                    && s.read(reqs_c[p].rdy.id()).reduce_or()
+                if s.read(reqs_c[p].val.id()).reduce_or() && s.read(reqs_c[p].rdy.id()).reduce_or()
                 {
                     let req = s.read(reqs_c[p].msg.id());
                     let ty = req_l.unpack(req, "type").as_u64();

@@ -26,10 +26,7 @@ pub fn xcel_resp_layout() -> MsgLayout {
 
 /// Packs an accelerator request.
 pub fn xcel_req(layout: &MsgLayout, ctrl: u64, data: u32) -> Bits {
-    layout.pack(&[
-        ("ctrl", Bits::new(2, ctrl as u128)),
-        ("data", Bits::new(32, data as u128)),
-    ])
+    layout.pack(&[("ctrl", Bits::new(2, ctrl as u128)), ("data", Bits::new(32, data as u128))])
 }
 
 #[cfg(test)]

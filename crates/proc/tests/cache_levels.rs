@@ -6,8 +6,8 @@ use std::sync::{Arc, Mutex};
 
 use mtl_core::{Component, Ctx};
 use mtl_proc::{
-    assemble, proc_component, CacheCL, CacheFL, CacheRTL, Iss, MngrAdapter, ProcLevel,
-    TestMemory, PROC_LEVELS,
+    assemble, proc_component, CacheCL, CacheFL, CacheRTL, Iss, MngrAdapter, ProcLevel, TestMemory,
+    PROC_LEVELS,
 };
 use mtl_sim::{Engine, Sim};
 
@@ -161,8 +161,7 @@ fn full_matrix_produces_iss_results() {
     let expected = iss_outputs(&program, &[]);
     for proc_level in PROC_LEVELS {
         for cache_level in CACHE_LEVELS {
-            let (outs, _) =
-                run_with_caches(proc_level, cache_level, &program, vec![], 2_000_000);
+            let (outs, _) = run_with_caches(proc_level, cache_level, &program, vec![], 2_000_000);
             assert_eq!(outs, expected, "{proc_level}/{cache_level:?} diverged");
         }
     }
@@ -181,10 +180,7 @@ fn caches_exploit_locality() {
         run_with_caches(ProcLevel::Cl, CacheLevel::Fl, &program, vec![], 2_000_000);
     // The CL cache must provide a measurable benefit on instruction
     // fetches alone (every fetch after the first line hit).
-    assert!(
-        cl_cycles < fl_cycles,
-        "cache gave no speedup: CL$ {cl_cycles} vs FL$ {fl_cycles}"
-    );
+    assert!(cl_cycles < fl_cycles, "cache gave no speedup: CL$ {cl_cycles} vs FL$ {fl_cycles}");
 }
 
 #[test]

@@ -132,8 +132,7 @@ fn pipelining_beats_multicycle_on_straightline_code() {
     let program = assemble(&body).unwrap();
     let pipe =
         run_proc_program(ProcLevel::PipeRtl, &program, vec![], 100_000, Engine::SpecializedOpt);
-    let multi =
-        run_proc_program(ProcLevel::Rtl, &program, vec![], 100_000, Engine::SpecializedOpt);
+    let multi = run_proc_program(ProcLevel::Rtl, &program, vec![], 100_000, Engine::SpecializedOpt);
     assert_eq!(pipe.outputs, multi.outputs);
     assert!(
         (pipe.cycles as f64) < 0.7 * multi.cycles as f64,
@@ -224,13 +223,8 @@ fn random_programs_lockstep_on_pipe_core() {
         instrs.push(Instr::Halt);
         let program: Vec<u32> = instrs.into_iter().map(Instr::encode).collect();
         let expected = iss_outputs(&program, &[]);
-        let r = run_proc_program(
-            ProcLevel::PipeRtl,
-            &program,
-            vec![],
-            400_000,
-            Engine::SpecializedOpt,
-        );
+        let r =
+            run_proc_program(ProcLevel::PipeRtl, &program, vec![], 400_000, Engine::SpecializedOpt);
         assert_eq!(r.outputs, expected, "seed {seed}");
     }
 }

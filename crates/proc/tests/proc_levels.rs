@@ -145,10 +145,7 @@ fn all_engines_agree_per_level() {
             let r = run_proc_program(level, &program, vec![], 100_000, engine);
             results.push((r.outputs.clone(), r.cycles));
         }
-        assert!(
-            results.windows(2).all(|w| w[0] == w[1]),
-            "{level}: engines disagree: {results:?}"
-        );
+        assert!(results.windows(2).all(|w| w[0] == w[1]), "{level}: engines disagree: {results:?}");
     }
 }
 
@@ -252,8 +249,7 @@ fn random_programs_lockstep_with_iss() {
         let program = random_program(seed, 60);
         let expected = iss_outputs(&program, &[]);
         for level in PROC_LEVELS {
-            let r =
-                run_proc_program(level, &program, vec![], 400_000, Engine::SpecializedOpt);
+            let r = run_proc_program(level, &program, vec![], 400_000, Engine::SpecializedOpt);
             assert_eq!(r.outputs, expected, "{level} diverged from ISS on seed {seed}");
         }
     }

@@ -169,13 +169,10 @@ pub(crate) fn eval_expr<S: Store>(
     if boxed {
         return *eval_expr_boxed(e, design, store, mems);
     }
-    e.eval(
-        &mut |sig| store.get(design.net_of(sig).index() as u32),
-        &mut |mem, addr| {
-            let words = design.mem(mem).words;
-            mems[mem.index()][(addr % words) as usize]
-        },
-    )
+    e.eval(&mut |sig| store.get(design.net_of(sig).index() as u32), &mut |mem, addr| {
+        let words = design.mem(mem).words;
+        mems[mem.index()][(addr % words) as usize]
+    })
 }
 
 /// Boxed tree-walk evaluation: every intermediate result is a fresh heap
@@ -295,11 +292,8 @@ pub(crate) fn exec_stmts<S: Store>(
                 let full_width = design.signal(lv.signal).width;
                 let full = lv.lo == 0 && lv.hi == full_width;
                 if seq {
-                    let nv = if full {
-                        v
-                    } else {
-                        store.get_next(slot).with_slice(lv.lo, lv.hi, v)
-                    };
+                    let nv =
+                        if full { v } else { store.get_next(slot).with_slice(lv.lo, lv.hi, v) };
                     store.set_next(slot, nv);
                 } else {
                     let nv = if full { v } else { store.get(slot).with_slice(lv.lo, lv.hi, v) };

@@ -46,9 +46,7 @@ use mtl_core::{BlockBody, Design, NativeFn};
 use crate::overheads::Overheads;
 use crate::profile::EngineStats;
 use crate::sim::{mask_of, EngineImpl, PackedView};
-use crate::tape::{
-    compile_block, exec_tape_ptr, fold_stmts, fuse, validate, Op, Tape, TapeMems,
-};
+use crate::tape::{compile_block, exec_tape_ptr, fold_stmts, fuse, validate, Op, Tape, TapeMems};
 
 /// Default worker-thread count: `MTL_SIM_THREADS` if set (clamped to at
 /// least 1), else available parallelism capped at 8.
@@ -546,8 +544,7 @@ impl ParTapeEngine {
             .iter()
             .map(|b| b.index() as u32)
             .collect();
-        let seq_order: Vec<u32> =
-            design.seq_blocks().iter().map(|b| b.index() as u32).collect();
+        let seq_order: Vec<u32> = design.seq_blocks().iter().map(|b| b.index() as u32).collect();
         let reg_slots: Vec<u32> = design
             .nets()
             .iter()
@@ -585,9 +582,7 @@ impl ParTapeEngine {
             .iter()
             .filter_map(|i| i.as_ref().ok())
             .map(|run| comb_components(&design, run).len())
-            .chain(
-                seq_items.iter().filter_map(|i| i.as_ref().ok()).map(|run| run.len()),
-            )
+            .chain(seq_items.iter().filter_map(|i| i.as_ref().ok()).map(|run| run.len()))
             .max()
             .unwrap_or(0);
         let nworkers = threads.max(1).min(width_cap.max(1));
@@ -598,8 +593,7 @@ impl ParTapeEngine {
             blocks.iter().map(|&b| block_tapes[b as usize].ops.len() as u64).sum()
         };
         let fuse_blocks = |blocks: &[u32]| -> Tape {
-            let parts: Vec<&Tape> =
-                blocks.iter().map(|&b| &block_tapes[b as usize]).collect();
+            let parts: Vec<&Tape> = blocks.iter().map(|&b| &block_tapes[b as usize]).collect();
             fuse(&parts)
         };
         let mut build_program = |items: Vec<Result<Vec<u32>, u32>>, comb: bool| -> Vec<Item> {
@@ -615,13 +609,10 @@ impl ParTapeEngine {
                             // Sequential blocks are mutually independent
                             // (shadow-state writers, one writer block per
                             // memory): shard at block granularity.
-                            let costs: Vec<u64> =
-                                run.iter().map(|&b| tape_cost(&[b])).collect();
+                            let costs: Vec<u64> = run.iter().map(|&b| tape_cost(&[b])).collect();
                             lpt_assign(&costs, nworkers)
                                 .into_iter()
-                                .map(|shard| {
-                                    shard.into_iter().map(|i| run[i as usize]).collect()
-                                })
+                                .map(|shard| shard.into_iter().map(|i| run[i as usize]).collect())
                                 .filter(|g: &Vec<u32>| !g.is_empty())
                                 .collect()
                         };
@@ -632,16 +623,12 @@ impl ParTapeEngine {
                                 comb,
                             });
                         }
-                        let unit_ids: Vec<u32> =
-                            (base..units.len() as u32).collect();
+                        let unit_ids: Vec<u32> = (base..units.len() as u32).collect();
                         let assign: Vec<Vec<u32>> = if comb {
-                            let costs: Vec<u64> =
-                                groups.iter().map(|g| tape_cost(g)).collect();
+                            let costs: Vec<u64> = groups.iter().map(|g| tape_cost(g)).collect();
                             lpt_assign(&costs, nworkers)
                                 .into_iter()
-                                .map(|shard| {
-                                    shard.into_iter().map(|i| base + i).collect()
-                                })
+                                .map(|shard| shard.into_iter().map(|i| base + i).collect())
                                 .collect()
                         } else {
                             let mut a: Vec<Vec<u32>> = vec![Vec::new(); nworkers];
@@ -698,9 +685,7 @@ impl ParTapeEngine {
                 let info = &design.blocks()[b as usize];
                 for &r in &info.reads {
                     let slot = design.net_of(r).index();
-                    if !own.contains(&(slot as u32))
-                        && !slot_readers[slot].contains(&(u as u32))
-                    {
+                    if !own.contains(&(slot as u32)) && !slot_readers[slot].contains(&(u as u32)) {
                         slot_readers[slot].push(u as u32);
                     }
                 }
@@ -786,9 +771,7 @@ impl ParTapeEngine {
     fn run_parallel_step(&mut self, sidx: u32) {
         let sh = Arc::clone(&self.shared);
         let step = &sh.steps[sidx as usize];
-        if step.comb
-            && !step.units.iter().any(|&u| sh.dirty[u as usize].load(Ordering::Relaxed))
-        {
+        if step.comb && !step.units.iter().any(|&u| sh.dirty[u as usize].load(Ordering::Relaxed)) {
             return;
         }
         if self.handles.is_empty() {

@@ -243,8 +243,7 @@ impl SimProfile {
             let _ = writeln!(s, "  event-queue depth:   (static schedule, no queue)");
         }
         if !self.partition_nanos.is_empty() {
-            let parts: Vec<String> =
-                self.partition_nanos.iter().map(|n| n.to_string()).collect();
+            let parts: Vec<String> = self.partition_nanos.iter().map(|n| n.to_string()).collect();
             let _ = writeln!(
                 s,
                 "  partition busy ns:   [{}] over {} workers",

@@ -689,11 +689,8 @@ impl<S: Store, M: SensMap> InterpEngine<S, M> {
             .filter(|(_, n)| n.is_register)
             .map(|(i, _)| i as u32)
             .collect();
-        let mems = design
-            .mems()
-            .iter()
-            .map(|m| vec![Bits::zero(m.width); m.words as usize])
-            .collect();
+        let mems =
+            design.mems().iter().map(|m| vec![Bits::zero(m.width); m.words as usize]).collect();
         o.simc += t0.elapsed();
         Self {
             design,
@@ -837,9 +834,8 @@ impl<S: Store, M: SensMap> EngineImpl for InterpEngine<S, M> {
         let regs = std::mem::take(&mut self.reg_slots);
         for &slot in &regs {
             if self.track_activity {
-                let delta = (self.store.get(slot).as_u128()
-                    ^ self.store.get_next(slot).as_u128())
-                .count_ones() as u64;
+                let delta = (self.store.get(slot).as_u128() ^ self.store.get_next(slot).as_u128())
+                    .count_ones() as u64;
                 self.activity[slot as usize] += delta;
             }
             if self.store.commit(slot) {
@@ -1367,8 +1363,7 @@ impl EngineImpl for TapeEngine {
                 let s = slot as usize;
                 if self.cur[s] != self.next[s] {
                     if self.track_activity {
-                        self.activity[s] +=
-                            (self.cur[s] ^ self.next[s]).count_ones() as u64;
+                        self.activity[s] += (self.cur[s] ^ self.next[s]).count_ones() as u64;
                     }
                     self.cur[s] = self.next[s];
                     self.wake_readers(slot);

@@ -6,7 +6,6 @@
 //! engines lower each IR block to a flat three-address tape with
 //! pre-resolved net slots, precomputed masks, and constant-folded operands.
 
-
 use mtl_core::ir::{BinOp, Expr, Stmt, UnaryOp};
 use mtl_core::{BlockKind, Design, MemId, SignalId};
 
@@ -17,45 +16,203 @@ type Reg = u16;
 /// precomputed width masks.
 #[derive(Debug, Clone)]
 pub(crate) enum Op {
-    Const { dst: Reg, val: u128 },
-    Read { dst: Reg, slot: u32 },
-    Copy { dst: Reg, a: Reg },
-    Add { dst: Reg, a: Reg, b: Reg, mask: u128 },
-    Sub { dst: Reg, a: Reg, b: Reg, mask: u128 },
-    Mul { dst: Reg, a: Reg, b: Reg, mask: u128 },
-    And { dst: Reg, a: Reg, b: Reg },
-    Or { dst: Reg, a: Reg, b: Reg },
-    Xor { dst: Reg, a: Reg, b: Reg },
-    Not { dst: Reg, a: Reg, mask: u128 },
-    Neg { dst: Reg, a: Reg, mask: u128 },
-    Shl { dst: Reg, a: Reg, b: Reg, width: u32, mask: u128 },
-    Shr { dst: Reg, a: Reg, b: Reg, width: u32 },
-    Sra { dst: Reg, a: Reg, b: Reg, width: u32, mask: u128, ext: u32 },
-    Eq { dst: Reg, a: Reg, b: Reg },
-    Ne { dst: Reg, a: Reg, b: Reg },
-    Lt { dst: Reg, a: Reg, b: Reg },
-    Ge { dst: Reg, a: Reg, b: Reg },
-    LtS { dst: Reg, a: Reg, b: Reg, ext: u32 },
-    GeS { dst: Reg, a: Reg, b: Reg, ext: u32 },
-    RedAnd { dst: Reg, a: Reg, mask: u128 },
-    RedOr { dst: Reg, a: Reg },
-    RedXor { dst: Reg, a: Reg },
-    Slice { dst: Reg, a: Reg, lo: u32, mask: u128 },
+    Const {
+        dst: Reg,
+        val: u128,
+    },
+    Read {
+        dst: Reg,
+        slot: u32,
+    },
+    Copy {
+        dst: Reg,
+        a: Reg,
+    },
+    Add {
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+        mask: u128,
+    },
+    Sub {
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+        mask: u128,
+    },
+    Mul {
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+        mask: u128,
+    },
+    And {
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    Or {
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    Xor {
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    Not {
+        dst: Reg,
+        a: Reg,
+        mask: u128,
+    },
+    Neg {
+        dst: Reg,
+        a: Reg,
+        mask: u128,
+    },
+    Shl {
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+        width: u32,
+        mask: u128,
+    },
+    Shr {
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+        width: u32,
+    },
+    Sra {
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+        width: u32,
+        mask: u128,
+        ext: u32,
+    },
+    Eq {
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    Ne {
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    Lt {
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    Ge {
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    LtS {
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+        ext: u32,
+    },
+    GeS {
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+        ext: u32,
+    },
+    RedAnd {
+        dst: Reg,
+        a: Reg,
+        mask: u128,
+    },
+    RedOr {
+        dst: Reg,
+        a: Reg,
+    },
+    RedXor {
+        dst: Reg,
+        a: Reg,
+    },
+    Slice {
+        dst: Reg,
+        a: Reg,
+        lo: u32,
+        mask: u128,
+    },
     /// `dst = (a << shift) | b` — concatenation folding.
-    ShlOr { dst: Reg, a: Reg, b: Reg, shift: u32 },
-    Mux { dst: Reg, cond: Reg, t: Reg, f: Reg },
+    ShlOr {
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+        shift: u32,
+    },
+    Mux {
+        dst: Reg,
+        cond: Reg,
+        t: Reg,
+        f: Reg,
+    },
     /// `dst = regs[base + min(sel, n-1)]`; options live in consecutive regs.
-    Select { dst: Reg, sel: Reg, base: Reg, n: u16 },
-    Sext { dst: Reg, a: Reg, sign_bit: u128, ext_or: u128 },
-    Write { slot: u32, src: Reg },
-    WriteMasked { slot: u32, src: Reg, lo: u32, field: u128 },
-    WriteNext { slot: u32, src: Reg },
-    WriteNextMasked { slot: u32, src: Reg, lo: u32, field: u128 },
-    MemRead { dst: Reg, mem: u32, addr: Reg, words: u64 },
-    MemWrite { mem: u32, addr: Reg, data: Reg, words: u64 },
-    Jz { cond: Reg, target: u32 },
-    JneConst { a: Reg, k: u128, target: u32 },
-    Jmp { target: u32 },
+    Select {
+        dst: Reg,
+        sel: Reg,
+        base: Reg,
+        n: u16,
+    },
+    Sext {
+        dst: Reg,
+        a: Reg,
+        sign_bit: u128,
+        ext_or: u128,
+    },
+    Write {
+        slot: u32,
+        src: Reg,
+    },
+    WriteMasked {
+        slot: u32,
+        src: Reg,
+        lo: u32,
+        field: u128,
+    },
+    WriteNext {
+        slot: u32,
+        src: Reg,
+    },
+    WriteNextMasked {
+        slot: u32,
+        src: Reg,
+        lo: u32,
+        field: u128,
+    },
+    MemRead {
+        dst: Reg,
+        mem: u32,
+        addr: Reg,
+        words: u64,
+    },
+    MemWrite {
+        mem: u32,
+        addr: Reg,
+        data: Reg,
+        words: u64,
+    },
+    Jz {
+        cond: Reg,
+        target: u32,
+    },
+    JneConst {
+        a: Reg,
+        k: u128,
+        target: u32,
+    },
+    Jmp {
+        target: u32,
+    },
 }
 
 /// A compiled update block.
@@ -77,18 +234,12 @@ fn mask_of(width: u32) -> u128 {
 ///
 /// `slot_of` maps a signal to its packed state slot (its net index).
 pub(crate) fn compile_block(design: &Design, stmts: &[Stmt], kind: BlockKind) -> Tape {
-    let mut c = Compiler {
-        design,
-        ops: Vec::new(),
-        next_reg: 0,
-        seq: kind == BlockKind::Seq,
-    };
+    let mut c = Compiler { design, ops: Vec::new(), next_reg: 0, seq: kind == BlockKind::Seq };
     for s in stmts {
         c.emit_stmt(s);
     }
     Tape { ops: c.ops, nregs: c.next_reg }
 }
-
 
 /// Validates that every register and memory index in a tape is in range;
 /// called once at construction so the executor can use unchecked reads.
@@ -142,9 +293,7 @@ pub(crate) fn validate(tape: &Tape, nslots: usize, nmems: usize) {
                 reg_ok(*addr) && reg_ok(*data) && (*mem as usize) < nmems && *words >= 1
             }
             Op::Jz { cond, target } => reg_ok(*cond) && (*target as usize) <= tape.ops.len(),
-            Op::JneConst { a, target, .. } => {
-                reg_ok(*a) && (*target as usize) <= tape.ops.len()
-            }
+            Op::JneConst { a, target, .. } => reg_ok(*a) && (*target as usize) <= tape.ops.len(),
             Op::Jmp { target } => (*target as usize) <= tape.ops.len(),
         };
         assert!(ok, "invalid tape op {op:?}");
@@ -194,7 +343,9 @@ pub(crate) fn fold_expr(e: &Expr) -> Expr {
         return Expr::Const(v);
     }
     match e {
-        Expr::Slice { expr, lo, hi } => Expr::Slice { expr: Box::new(fold_expr(expr)), lo: *lo, hi: *hi },
+        Expr::Slice { expr, lo, hi } => {
+            Expr::Slice { expr: Box::new(fold_expr(expr)), lo: *lo, hi: *hi }
+        }
         Expr::Concat(parts) => Expr::Concat(parts.iter().map(fold_expr).collect()),
         Expr::Unary(op, a) => Expr::Unary(*op, Box::new(fold_expr(a))),
         Expr::Binary(op, a, b) => Expr::Binary(*op, Box::new(fold_expr(a)), Box::new(fold_expr(b))),
@@ -225,17 +376,12 @@ fn fold_stmt(s: &Stmt) -> Stmt {
         },
         Stmt::Switch { subject, arms, default } => Stmt::Switch {
             subject: fold_expr(subject),
-            arms: arms
-                .iter()
-                .map(|(k, body)| (*k, body.iter().map(fold_stmt).collect()))
-                .collect(),
+            arms: arms.iter().map(|(k, body)| (*k, body.iter().map(fold_stmt).collect())).collect(),
             default: default.iter().map(fold_stmt).collect(),
         },
-        Stmt::MemWrite { mem, addr, data } => Stmt::MemWrite {
-            mem: *mem,
-            addr: fold_expr(addr),
-            data: fold_expr(data),
-        },
+        Stmt::MemWrite { mem, addr, data } => {
+            Stmt::MemWrite { mem: *mem, addr: fold_expr(addr), data: fold_expr(data) }
+        }
     }
 }
 

@@ -80,8 +80,7 @@ impl Component for NormalQueue {
         });
 
         let wrap = |ptr: mtl_core::SignalRef| -> Expr {
-            ptr.eq(Expr::k(ptr_w, (n - 1) as u128))
-                .mux(Expr::k(ptr_w, 0), ptr + Expr::k(ptr_w, 1))
+            ptr.eq(Expr::k(ptr_w, (n - 1) as u128)).mux(Expr::k(ptr_w, 0), ptr + Expr::k(ptr_w, 1))
         };
         let enq_wrap = wrap(enq_ptr);
         let deq_wrap = wrap(deq_ptr);

@@ -79,32 +79,27 @@ impl Component for TestSource {
         let stall = self.stall_percent;
         let mut rng = XorShift::new(self.seed);
         let mut idx = 0usize;
-        c.tick_fl(
-            "src_tick",
-            &[out.val, out.rdy, reset],
-            &[out.msg, out.val, done],
-            move |s| {
-                if s.read(reset.id()).reduce_or() {
-                    idx = 0;
-                    s.write_next(out.val.id(), Bits::from_bool(false));
-                    s.write_next(done.id(), Bits::from_bool(false));
-                    return;
-                }
-                let val = s.read(out.val.id()).reduce_or();
-                let rdy = s.read(out.rdy.id()).reduce_or();
-                if val && rdy {
-                    idx += 1;
-                }
-                let stalled = stall > 0 && rng.chance(stall);
-                if idx < msgs.len() && !stalled {
-                    s.write_next(out.msg.id(), msgs[idx]);
-                    s.write_next(out.val.id(), Bits::from_bool(true));
-                } else {
-                    s.write_next(out.val.id(), Bits::from_bool(false));
-                }
-                s.write_next(done.id(), Bits::from_bool(idx >= msgs.len()));
-            },
-        );
+        c.tick_fl("src_tick", &[out.val, out.rdy, reset], &[out.msg, out.val, done], move |s| {
+            if s.read(reset.id()).reduce_or() {
+                idx = 0;
+                s.write_next(out.val.id(), Bits::from_bool(false));
+                s.write_next(done.id(), Bits::from_bool(false));
+                return;
+            }
+            let val = s.read(out.val.id()).reduce_or();
+            let rdy = s.read(out.rdy.id()).reduce_or();
+            if val && rdy {
+                idx += 1;
+            }
+            let stalled = stall > 0 && rng.chance(stall);
+            if idx < msgs.len() && !stalled {
+                s.write_next(out.msg.id(), msgs[idx]);
+                s.write_next(out.val.id(), Bits::from_bool(true));
+            } else {
+                s.write_next(out.val.id(), Bits::from_bool(false));
+            }
+            s.write_next(done.id(), Bits::from_bool(idx >= msgs.len()));
+        });
     }
 }
 
@@ -128,7 +123,13 @@ impl TestSink {
     /// Creates a sink expecting exactly `expected`, in order.
     pub fn new(width: u32, expected: Vec<Bits>) -> Self {
         assert!(expected.iter().all(|m| m.width() == width), "sink message width mismatch");
-        Self { width, expected, stall_percent: 0, seed: 0xD00D, received: Arc::new(AtomicUsize::new(0)) }
+        Self {
+            width,
+            expected,
+            stall_percent: 0,
+            seed: 0xD00D,
+            received: Arc::new(AtomicUsize::new(0)),
+        }
     }
 
     /// Adds pseudo-random backpressure with the given percent probability
@@ -159,40 +160,35 @@ impl Component for TestSink {
         let stall = self.stall_percent;
         let mut rng = XorShift::new(self.seed);
         let received = self.received.clone();
-        c.tick_fl(
-            "sink_tick",
-            &[in_.msg, in_.val, in_.rdy, reset],
-            &[in_.rdy, done],
-            move |s| {
-                if s.read(reset.id()).reduce_or() {
-                    received.store(0, Ordering::Relaxed);
-                    s.write_next(in_.rdy.id(), Bits::from_bool(false));
-                    s.write_next(done.id(), Bits::from_bool(false));
-                    return;
-                }
-                let val = s.read(in_.val.id()).reduce_or();
-                let rdy = s.read(in_.rdy.id()).reduce_or();
-                let idx = received.load(Ordering::Relaxed);
-                if val && rdy {
-                    let msg = s.read(in_.msg.id());
-                    assert!(
-                        idx < expected.len(),
-                        "sink received extra message {msg} after {} expected",
-                        expected.len()
-                    );
-                    assert_eq!(
-                        msg, expected[idx],
-                        "sink message {idx} mismatch: got {msg}, expected {}",
-                        expected[idx]
-                    );
-                    received.store(idx + 1, Ordering::Relaxed);
-                }
-                let want_more = received.load(Ordering::Relaxed) < expected.len();
-                let stall_now = stall > 0 && rng.chance(stall);
-                s.write_next(in_.rdy.id(), Bits::from_bool(want_more && !stall_now));
-                s.write_next(done.id(), Bits::from_bool(!want_more));
-            },
-        );
+        c.tick_fl("sink_tick", &[in_.msg, in_.val, in_.rdy, reset], &[in_.rdy, done], move |s| {
+            if s.read(reset.id()).reduce_or() {
+                received.store(0, Ordering::Relaxed);
+                s.write_next(in_.rdy.id(), Bits::from_bool(false));
+                s.write_next(done.id(), Bits::from_bool(false));
+                return;
+            }
+            let val = s.read(in_.val.id()).reduce_or();
+            let rdy = s.read(in_.rdy.id()).reduce_or();
+            let idx = received.load(Ordering::Relaxed);
+            if val && rdy {
+                let msg = s.read(in_.msg.id());
+                assert!(
+                    idx < expected.len(),
+                    "sink received extra message {msg} after {} expected",
+                    expected.len()
+                );
+                assert_eq!(
+                    msg, expected[idx],
+                    "sink message {idx} mismatch: got {msg}, expected {}",
+                    expected[idx]
+                );
+                received.store(idx + 1, Ordering::Relaxed);
+            }
+            let want_more = received.load(Ordering::Relaxed) < expected.len();
+            let stall_now = stall > 0 && rng.chance(stall);
+            s.write_next(in_.rdy.id(), Bits::from_bool(want_more && !stall_now));
+            s.write_next(done.id(), Bits::from_bool(!want_more));
+        });
     }
 }
 
@@ -260,13 +256,11 @@ impl Component for SourceSinkHarness {
         let done = c.out_port("done", 1);
         let src = c.instantiate(
             "src",
-            &TestSource::new(self.width, self.src_msgs.clone())
-                .with_stalls(self.src_stall, 0xABCD),
+            &TestSource::new(self.width, self.src_msgs.clone()).with_stalls(self.src_stall, 0xABCD),
         );
         let sink = c.instantiate(
             "sink",
-            &TestSink::new(self.width, self.sink_msgs.clone())
-                .with_stalls(self.sink_stall, 0x1234),
+            &TestSink::new(self.width, self.sink_msgs.clone()).with_stalls(self.sink_stall, 0x1234),
         );
         let dut = c.instantiate("dut", &*self.dut);
 
@@ -348,12 +342,9 @@ mod tests {
     #[test]
     fn harness_drives_queue_with_stalls_on_all_engines() {
         for engine in Engine::ALL {
-            let h = SourceSinkHarness::new(
-                Box::new(NormalQueue::new(8, 2)),
-                8,
-                counting_msgs(8, 30),
-            )
-            .with_stalls(30, 30);
+            let h =
+                SourceSinkHarness::new(Box::new(NormalQueue::new(8, 2)), 8, counting_msgs(8, 30))
+                    .with_stalls(30, 30);
             let mut sim = Sim::build(&h, engine).unwrap();
             sim.reset();
             run_until_done(&mut sim, "done", 2_000);

@@ -46,7 +46,8 @@ impl Component for Crossbar {
     fn build(&self, c: &mut Ctx) {
         let in_ = c.in_ports("in_", self.nports, self.nbits);
         let sel_w = clog2(self.nports as u64);
-        let sels: Vec<_> = (0..self.nports).map(|i| c.in_port(&format!("sel_{i}"), sel_w)).collect();
+        let sels: Vec<_> =
+            (0..self.nports).map(|i| c.in_port(&format!("sel_{i}"), sel_w)).collect();
         let outs = c.out_ports("out", self.nports, self.nbits);
         c.comb("xbar_comb", |b| {
             for i in 0..self.nports {

@@ -9,11 +9,7 @@ use proptest::prelude::*;
 
 /// Drives a queue with explicit per-cycle (offer, accept) stall patterns
 /// and returns the received sequence.
-fn drive_queue(
-    dut: &dyn mtl_core::Component,
-    msgs: &[u8],
-    pattern: &[(bool, bool)],
-) -> Vec<u8> {
+fn drive_queue(dut: &dyn mtl_core::Component, msgs: &[u8], pattern: &[(bool, bool)]) -> Vec<u8> {
     let mut sim = Sim::build(dut, Engine::SpecializedOpt).unwrap();
     sim.reset();
     let mut sent = 0usize;

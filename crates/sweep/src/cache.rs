@@ -154,8 +154,7 @@ mod tests {
     use crate::job::Metric;
 
     fn tmp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir()
-            .join(format!("mtl-sweep-test-{tag}-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("mtl-sweep-test-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }

@@ -124,10 +124,7 @@ impl Campaign {
 
         let mut pending: VecDeque<(usize, u64, u64, Job)> = VecDeque::new();
         for (idx, job) in self.jobs.into_iter().enumerate() {
-            let job_seed = Fnv1a::new()
-                .write_u64(campaign_seed)
-                .write_str(job.name())
-                .finish();
+            let job_seed = Fnv1a::new().write_u64(campaign_seed).write_str(job.name()).finish();
             let fingerprint = job_fingerprint(&campaign_name, &job, job_seed);
             // Cache probe: hits never hit the worker pool. A job that
             // expects a profile section is only satisfied by a cached
@@ -220,10 +217,7 @@ fn execute_job(
             let wall = t0.elapsed();
             match budget {
                 Some(b) if wall > b => JobOutcome::Failed {
-                    error: format!(
-                        "exceeded wall-clock budget of {:.3}s",
-                        b.as_secs_f64()
-                    ),
+                    error: format!("exceeded wall-clock budget of {:.3}s", b.as_secs_f64()),
                 },
                 _ => JobOutcome::Done { metrics, cached: false },
             }
@@ -294,8 +288,7 @@ impl CampaignReport {
             .set("failed", self.failed_count())
             .set("cached", self.cached_count());
         doc.set("summary", summary);
-        let jobs: Vec<Json> =
-            self.jobs.iter().map(|j| job_json(j, true)).collect();
+        let jobs: Vec<Json> = self.jobs.iter().map(|j| job_json(j, true)).collect();
         doc.set("jobs", Json::Arr(jobs));
         doc
     }
@@ -308,8 +301,7 @@ impl CampaignReport {
     pub fn to_canonical_json(&self) -> Json {
         let mut doc = Json::obj();
         doc.set("campaign", self.campaign.as_str()).set("seed", self.seed);
-        let jobs: Vec<Json> =
-            self.jobs.iter().map(|j| job_json(j, false)).collect();
+        let jobs: Vec<Json> = self.jobs.iter().map(|j| job_json(j, false)).collect();
         doc.set("jobs", Json::Arr(jobs));
         doc
     }
@@ -456,19 +448,14 @@ mod tests {
 
     #[test]
     fn cache_round_trip_reuses_every_fingerprint() {
-        let dir = std::env::temp_dir()
-            .join(format!("mtl-sweep-campaign-cache-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("mtl-sweep-campaign-cache-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let build = || {
-            Campaign::new("unit-cache")
-                .workers(2)
-                .cache_dir(&dir)
-                .jobs((0..6).map(|i| {
-                    Job::new(format!("p{i}"), move |_| {
-                        Ok(JobMetrics::new().det("v", (i * 10) as u64))
-                    })
+            Campaign::new("unit-cache").workers(2).cache_dir(&dir).jobs((0..6).map(|i| {
+                Job::new(format!("p{i}"), move |_| Ok(JobMetrics::new().det("v", (i * 10) as u64)))
                     .param("i", i)
-                }))
+            }))
         };
         let cold = build().run();
         assert_eq!(cold.cached_count(), 0);
@@ -481,13 +468,14 @@ mod tests {
 
     #[test]
     fn uncacheable_jobs_rerun_even_with_warm_cache() {
-        let dir = std::env::temp_dir()
-            .join(format!("mtl-sweep-uncacheable-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("mtl-sweep-uncacheable-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let build = || {
-            Campaign::new("unit-uncacheable").workers(1).cache_dir(&dir).job(
-                Job::new("fresh", |_| Ok(JobMetrics::new().det("v", 1u64))).uncacheable(),
-            )
+            Campaign::new("unit-uncacheable")
+                .workers(1)
+                .cache_dir(&dir)
+                .job(Job::new("fresh", |_| Ok(JobMetrics::new().det("v", 1u64))).uncacheable())
         };
         build().run();
         let again = build().run();

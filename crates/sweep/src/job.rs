@@ -132,9 +132,7 @@ impl JobMetrics {
             .iter()
             .find(|(k, _)| k == name)
             .map(|(_, v)| v.clone())
-            .or_else(|| {
-                self.timing.iter().find(|(k, _)| k == name).map(|(_, v)| Metric::F64(*v))
-            })
+            .or_else(|| self.timing.iter().find(|(k, _)| k == name).map(|(_, v)| Metric::F64(*v)))
     }
 
     /// `get` then `as_f64`, for report math.

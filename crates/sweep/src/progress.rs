@@ -43,12 +43,7 @@ impl Progress {
             total,
             started: Instant::now(),
             mode,
-            state: Mutex::new(State {
-                done: 0,
-                failed: 0,
-                cached: 0,
-                next_milestone: 1,
-            }),
+            state: Mutex::new(State { done: 0, failed: 0, cached: 0, next_milestone: 1 }),
         }
     }
 
@@ -86,8 +81,8 @@ impl Progress {
             }
             Mode::Log => {
                 // Always log failures; otherwise only ~10 milestones.
-                let milestone = st.done * 10 / self.total.max(1) >= st.next_milestone
-                    || st.done == self.total;
+                let milestone =
+                    st.done * 10 / self.total.max(1) >= st.next_milestone || st.done == self.total;
                 if milestone {
                     st.next_milestone = st.done * 10 / self.total.max(1) + 1;
                 }

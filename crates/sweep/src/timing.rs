@@ -98,28 +98,14 @@ mod tests {
         // max_work smaller than the default first batch: the old loop
         // overshot here; the fixed one must not.
         let mut executed = 0u64;
-        let m = measure_batched(
-            |n| executed += n,
-            16,
-            64,
-            Duration::from_secs(3600),
-            30,
-            None,
-        );
+        let m = measure_batched(|n| executed += n, 16, 64, Duration::from_secs(3600), 30, None);
         assert_eq!(m.work, 30);
         assert_eq!(executed, 16 + 30, "warmup plus exactly max_work");
 
         // Doubling must clamp on the last batch too: 64+128+256+512 = 960,
         // remaining 40 of 1000.
         let mut executed = 0u64;
-        let m = measure_batched(
-            |n| executed += n,
-            0,
-            64,
-            Duration::from_secs(3600),
-            1000,
-            None,
-        );
+        let m = measure_batched(|n| executed += n, 0, 64, Duration::from_secs(3600), 1000, None);
         assert_eq!(m.work, 1000);
         assert_eq!(executed, 1000);
     }
@@ -142,11 +128,7 @@ mod tests {
             None,
         );
         assert_eq!(calls[0], 8, "first call is the warmup batch");
-        assert!(
-            m.secs < 0.020,
-            "timed window ({}s) must exclude the 25ms warmup",
-            m.secs
-        );
+        assert!(m.secs < 0.020, "timed window ({}s) must exclude the 25ms warmup", m.secs);
     }
 
     #[test]

@@ -9,9 +9,7 @@ use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 
 use mtl_core::ir::{BinOp, Expr, Stmt, UnaryOp};
-use mtl_core::{
-    BlockBody, BlockKind, Design, MemId, ModuleId, NetId, SignalId, SignalKind,
-};
+use mtl_core::{BlockBody, BlockKind, Design, MemId, ModuleId, NetId, SignalId, SignalKind};
 
 /// Error returned when a design cannot be translated to Verilog.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -438,7 +436,7 @@ fn emit_expr(design: &Design, scope: &Scope<'_>, e: &Expr) -> String {
         Expr::Slice { expr, lo, hi } => {
             let inner = emit_expr(design, scope, expr);
             if hi - lo == 1 {
-                format!("({inner}[{lo}])", )
+                format!("({inner}[{lo}])",)
             } else {
                 format!("({inner}[{}:{}])", hi - 1, lo)
             }

@@ -34,13 +34,7 @@ pub fn to_dot(design: &Design) -> String {
     // One node per module, labeled instance:Component.
     for (mi, m) in design.modules().iter().enumerate() {
         let id = ModuleId::from_index(mi);
-        writeln!(
-            out,
-            "  m{mi} [label=\"{}\\n{}\"];",
-            design.module_path(id),
-            m.component
-        )
-        .unwrap();
+        writeln!(out, "  m{mi} [label=\"{}\\n{}\"];", design.module_path(id), m.component).unwrap();
     }
 
     // Hierarchy edges (dashed).
@@ -93,7 +87,9 @@ mod tests {
         // Hierarchy edges from top to both children.
         assert!(dot.matches("style=dashed").count() >= 2);
         // At least one connectivity edge (mux -> reg_).
-        assert!(dot.lines().any(|l| l.trim().starts_with('m') && l.contains("->") && !l.contains("dashed")));
+        assert!(dot
+            .lines()
+            .any(|l| l.trim().starts_with('m') && l.contains("->") && !l.contains("dashed")));
         assert!(dot.ends_with("}\n"));
     }
 }

@@ -63,11 +63,7 @@ pub fn lint(design: &Design) -> Vec<LintWarning> {
         }
         if let BlockBody::Native(..) = block.body {
             warnings.push(LintWarning::NativeBlock {
-                block: format!(
-                    "{}.{}",
-                    design.module_path(block.module),
-                    block.name
-                ),
+                block: format!("{}.{}", design.module_path(block.module), block.name),
             });
         }
     }
@@ -118,9 +114,9 @@ mod tests {
         let design = mtl_core::elaborate(&Undriven).unwrap();
         let warnings = lint(&design);
         assert!(
-            warnings
-                .iter()
-                .any(|w| matches!(w, LintWarning::UndrivenNet { signal } if signal.contains("floating"))),
+            warnings.iter().any(
+                |w| matches!(w, LintWarning::UndrivenNet { signal } if signal.contains("floating"))
+            ),
             "{warnings:?}"
         );
     }
@@ -144,9 +140,9 @@ mod tests {
         let design = mtl_core::elaborate(&DeadLogic).unwrap();
         let warnings = lint(&design);
         assert!(
-            warnings
-                .iter()
-                .any(|w| matches!(w, LintWarning::UnreadNet { signal } if signal.contains("unused"))),
+            warnings.iter().any(
+                |w| matches!(w, LintWarning::UnreadNet { signal } if signal.contains("unused"))
+            ),
             "{warnings:?}"
         );
     }

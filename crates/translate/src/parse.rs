@@ -50,8 +50,8 @@ struct Lexer {
 }
 
 const PUNCTS: &[&str] = &[
-    "<<", ">>>", ">>", "==", "!=", "<=", ">=", "(", ")", "[", "]", "{", "}", ",", ";", ":",
-    "?", "=", "<", ">", "+", "-", "*", "&", "|", "^", "~", ".", "@", "#",
+    "<<", ">>>", ">>", "==", "!=", "<=", ">=", "(", ")", "[", "]", "{", "}", ",", ";", ":", "?",
+    "=", "<", ">", "+", "-", "*", "&", "|", "^", "~", ".", "@", "#",
 ];
 
 fn lex(src: &str) -> Result<Lexer, ParseVerilogError> {
@@ -112,7 +112,9 @@ fn lex(src: &str) -> Result<Lexer, ParseVerilogError> {
             let start = i;
             i += 1;
             while i < bytes.len()
-                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'$')
+                && ((bytes[i] as char).is_ascii_alphanumeric()
+                    || bytes[i] == b'_'
+                    || bytes[i] == b'$')
             {
                 i += 1;
             }
@@ -871,9 +873,7 @@ fn to_expr(v: &VExpr, env: &NameEnv) -> Expr {
     match v {
         VExpr::Ident(name) => env.sig(name).ex(),
         VExpr::Lit(b) => Expr::Const(*b),
-        VExpr::Part { base, hi, lo } => {
-            to_expr(base, env).slice(*lo as u32, *hi as u32 + 1)
-        }
+        VExpr::Part { base, hi, lo } => to_expr(base, env).slice(*lo as u32, *hi as u32 + 1),
         VExpr::Index { base, index } => {
             let addr = to_expr(index, env);
             env.mem(base).read(addr)
@@ -917,9 +917,7 @@ fn to_expr(v: &VExpr, env: &NameEnv) -> Expr {
                 (other, _) => panic!("unsupported verilog operator `{other}`"),
             }
         }
-        VExpr::Ternary(c, t, f) => {
-            to_expr(c, env).mux(to_expr(t, env), to_expr(f, env))
-        }
+        VExpr::Ternary(c, t, f) => to_expr(c, env).mux(to_expr(t, env), to_expr(f, env)),
         VExpr::Signed(inner) => to_expr(inner, env),
     }
 }

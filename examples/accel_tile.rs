@@ -64,16 +64,12 @@ fn main() {
     }
 
     // 3. Implementation: analytical EDA report for the RTL tile.
-    let config =
-        TileConfig { proc: ProcLevel::Rtl, cache: CacheLevel::Rtl, xcel: XcelLevel::Rtl };
+    let config = TileConfig { proc: ProcLevel::Rtl, cache: CacheLevel::Rtl, xcel: XcelLevel::Rtl };
     let design = rustmtl::core::elaborate(&Tile::new(config)).unwrap();
     let report = rustmtl::eda::analyze(&design).unwrap();
     println!(
         "RTL tile: {:.0} gate equivalents, critical path {:.0} gate delays",
         report.area, report.cycle_time
     );
-    println!(
-        "accelerator area fraction: {:.1}%",
-        100.0 * report.area_fraction("xcel")
-    );
+    println!("accelerator area fraction: {:.1}%", 100.0 * report.area_fraction("xcel"));
 }

@@ -14,7 +14,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Build and simulate (Figure 4's test harness) ---------------------
     let model = MuxReg::new(8, 4);
     let mut sim = Sim::build(&model, Engine::SpecializedOpt)?;
-    println!("elaborated {} signals, {} nets", sim.design().signals().len(), sim.design().nets().len());
+    println!(
+        "elaborated {} signals, {} nets",
+        sim.design().signals().len(),
+        sim.design().nets().len()
+    );
 
     for i in 0..4u64 {
         sim.poke_port(&format!("in__{i}"), b(8, 0x10 + i as u128));

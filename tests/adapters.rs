@@ -74,8 +74,8 @@ fn adapter_pipe_preserves_order_under_random_stalls() {
         let rdy = lfsr % 5 != 0;
         sim.poke_port("out_rdy", Bits::from_bool(rdy));
         sim.eval();
-        let in_handshake = sim.peek_port("in__val").reduce_or()
-            && sim.peek_port("in__rdy").reduce_or();
+        let in_handshake =
+            sim.peek_port("in__val").reduce_or() && sim.peek_port("in__rdy").reduce_or();
         let out_handshake =
             sim.peek_port("out_val").reduce_or() && sim.peek_port("out_rdy").reduce_or();
         if out_handshake {

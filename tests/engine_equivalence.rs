@@ -123,22 +123,15 @@ impl Component for RandomRtl {
             let reg = c.wire(&format!("r{i}"), w);
             let expr = Self::random_expr(&mut rng, &avail, w, 2);
             c.seq(&format!("seq{i}"), |b| {
-                b.if_else(
-                    reset,
-                    |b| b.assign(reg, Expr::k(w, 0)),
-                    |b| b.assign(reg, expr.clone()),
-                );
+                b.if_else(reset, |b| b.assign(reg, Expr::k(w, 0)), |b| b.assign(reg, expr.clone()));
             });
             avail.push(reg);
         }
         // Memory write + read path.
         let addr_src = avail[rng.below(avail.len() as u64) as usize];
         let data_src = avail[rng.below(avail.len() as u64) as usize];
-        let data16 = if data_src.width() >= 16 {
-            data_src.ex().trunc(16)
-        } else {
-            data_src.ex().zext(16)
-        };
+        let data16 =
+            if data_src.width() >= 16 { data_src.ex().trunc(16) } else { data_src.ex().zext(16) };
         c.seq("mem_seq", |b| {
             b.mem_write(mem, addr_src.ex().trunc(1).zext(3), data16.clone());
         });
@@ -152,13 +145,7 @@ impl Component for RandomRtl {
         let out = c.out_port("out", 32);
         let taps: Vec<Expr> = avail
             .iter()
-            .map(|s| {
-                if s.width() >= 32 {
-                    s.ex().trunc(32)
-                } else {
-                    s.ex().zext(32)
-                }
-            })
+            .map(|s| if s.width() >= 32 { s.ex().trunc(32) } else { s.ex().zext(32) })
             .collect();
         c.comb("fold", |b| {
             let mut acc = Expr::k(32, 0);
@@ -304,10 +291,7 @@ fn profiler_block_counts_agree_across_engines() {
         let profiles: Vec<_> =
             sims.iter().map(|s| s.profile().expect("profiling enabled")).collect();
         let reference = &profiles[0];
-        assert!(
-            reference.total_block_runs() > 0,
-            "seed {seed}: stimulus must execute some blocks"
-        );
+        assert!(reference.total_block_runs() > 0, "seed {seed}: stimulus must execute some blocks");
         assert!(
             reference.block_runs.iter().any(|&r| r > 0),
             "seed {seed}: per-block counts must be non-zero somewhere"
@@ -341,11 +325,7 @@ fn profiler_block_counts_agree_across_engines() {
                     p.engine
                 ),
             }
-            assert!(
-                p.fixpoint_iters.samples() > 0,
-                "{}: settle passes must be recorded",
-                p.engine
-            );
+            assert!(p.fixpoint_iters.samples() > 0, "{}: settle passes must be recorded", p.engine);
             assert!(
                 p.block_nanos.iter().sum::<u64>() > 0,
                 "{}: cumulative block time must be non-zero",
@@ -400,10 +380,8 @@ fn shift_and_slice_edges_agree_on_all_engines() {
             });
         }
     }
-    let mut sims: Vec<Sim> = Engine::ALL
-        .iter()
-        .map(|&e| Sim::build(&ShiftEdges, e).expect("elaborates"))
-        .collect();
+    let mut sims: Vec<Sim> =
+        Engine::ALL.iter().map(|&e| Sim::build(&ShiftEdges, e).expect("elaborates")).collect();
     for sim in &mut sims {
         sim.reset();
     }
@@ -460,7 +438,8 @@ fn zero_width_slice_is_rejected_at_elaboration() {
             c.comb("bad", |b| b.assign(out, a.ex().slice(3, 3).zext(8)));
         }
     }
-    let err = rustmtl::core::elaborate(&ZeroSlice).expect_err("zero-width slice must not elaborate");
+    let err =
+        rustmtl::core::elaborate(&ZeroSlice).expect_err("zero-width slice must not elaborate");
     let msg = format!("{err}");
     assert!(msg.contains("slice"), "error should name the slice: {msg}");
 }

@@ -5,10 +5,8 @@
 //! of the framework in one test: DSEL → elaboration → translation →
 //! parsing → mixed-level composition → simulation.
 
-
 use rustmtl::accel::{
-    mvmult_data, mvmult_reference, mvmult_xcel_program, MvMultLayout, Tile, TileConfig,
-    XcelLevel,
+    mvmult_data, mvmult_reference, mvmult_xcel_program, MvMultLayout, Tile, TileConfig, XcelLevel,
 };
 use rustmtl::core::{elaborate, Component, Ctx};
 use rustmtl::proc::{CacheLevel, MngrAdapter, ProcLevel, TestMemory};
@@ -46,8 +44,11 @@ fn run_kernel_on(tile: &dyn Component) -> Vec<u32> {
     let (mat, vec) = mvmult_data(rows, cols);
     let program = mvmult_xcel_program(rows, cols, layout);
 
-    let harness =
-        RoundTripHarness { tile, mngr: MngrAdapter::new(vec![]), mem: TestMemory::new(2, 1 << 16, 2) };
+    let harness = RoundTripHarness {
+        tile,
+        mngr: MngrAdapter::new(vec![]),
+        mem: TestMemory::new(2, 1 << 16, 2),
+    };
     let mem = harness.mem.handle();
     {
         let mut m = mem.lock().unwrap();
@@ -72,8 +73,7 @@ fn run_kernel_on(tile: &dyn Component) -> Vec<u32> {
 
 #[test]
 fn rtl_tile_survives_verilog_round_trip_and_computes() {
-    let config =
-        TileConfig { proc: ProcLevel::Rtl, cache: CacheLevel::Rtl, xcel: XcelLevel::Rtl };
+    let config = TileConfig { proc: ProcLevel::Rtl, cache: CacheLevel::Rtl, xcel: XcelLevel::Rtl };
     let tile = Tile::new(config);
 
     // Golden: the original tile.
@@ -93,8 +93,7 @@ fn rtl_tile_survives_verilog_round_trip_and_computes() {
 
 #[test]
 fn rtl_tile_verilog_is_substantial_and_structured() {
-    let config =
-        TileConfig { proc: ProcLevel::Rtl, cache: CacheLevel::Rtl, xcel: XcelLevel::Rtl };
+    let config = TileConfig { proc: ProcLevel::Rtl, cache: CacheLevel::Rtl, xcel: XcelLevel::Rtl };
     let design = elaborate(&Tile::new(config)).unwrap();
     let verilog = translate(&design).unwrap();
     // Hardware-generation sanity: one module per unique component.

@@ -124,19 +124,11 @@ fn failed_and_uncacheable_jobs_never_enter_the_cache() {
     fn failing() -> Job {
         Job::new("failing", |_ctx| Err("nope".to_string()))
     }
-    let first = Campaign::new("classes")
-        .cache_dir(&dir)
-        .job(volatile())
-        .job(failing())
-        .run();
+    let first = Campaign::new("classes").cache_dir(&dir).job(volatile()).job(failing()).run();
     assert_eq!(first.done_count(), 1);
     assert_eq!(first.failed_count(), 1);
 
-    let second = Campaign::new("classes")
-        .cache_dir(&dir)
-        .job(volatile())
-        .job(failing())
-        .run();
+    let second = Campaign::new("classes").cache_dir(&dir).job(volatile()).job(failing()).run();
     assert_eq!(second.cached_count(), 0, "neither job class may be replayed");
     assert_eq!(second.failed_count(), 1);
 }

@@ -28,10 +28,7 @@ enum Recipe {
 }
 
 fn recipe_strategy() -> impl Strategy<Value = Recipe> {
-    let leaf = prop_oneof![
-        (0u8..3).prop_map(Recipe::Input),
-        any::<u64>().prop_map(Recipe::Const),
-    ];
+    let leaf = prop_oneof![(0u8..3).prop_map(Recipe::Input), any::<u64>().prop_map(Recipe::Const),];
     leaf.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Recipe::Add(a.into(), b.into())),
@@ -41,10 +38,12 @@ fn recipe_strategy() -> impl Strategy<Value = Recipe> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Recipe::Or(a.into(), b.into())),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Recipe::Xor(a.into(), b.into())),
             inner.clone().prop_map(|a| Recipe::Not(a.into())),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(c, t, f)| Recipe::Mux(c.into(), t.into(), f.into())),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Recipe::LtPick(a.into(), b.into())),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, f)| Recipe::Mux(
+                c.into(),
+                t.into(),
+                f.into()
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Recipe::LtPick(a.into(), b.into())),
             inner.clone().prop_map(|a| Recipe::SextSlice(a.into())),
             (inner, 0u8..31).prop_map(|(a, s)| Recipe::Shift(a.into(), s)),
         ]
@@ -95,11 +94,7 @@ impl Component for OneBlock {
     }
 
     fn build(&self, c: &mut Ctx) {
-        let inputs = vec![
-            c.in_port("i0", 8),
-            c.in_port("i1", 16),
-            c.in_port("i2", 32),
-        ];
+        let inputs = vec![c.in_port("i0", 8), c.in_port("i1", 16), c.in_port("i2", 32)];
         let out = c.out_port("out", 32);
         let reg_out = c.out_port("reg_out", 32);
         let e = to_expr(&self.recipe, &inputs);
