@@ -255,6 +255,13 @@ pub fn has_flag(flag: &str) -> bool {
     std::env::args().any(|a| a == flag)
 }
 
+/// The value following `--flag` on the command line (`--flag VALUE`), if
+/// present.
+pub fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
 /// Where `BENCH_<name>.json` reports go: `RUSTMTL_BENCH_DIR` if set,
 /// otherwise the current directory.
 pub fn bench_report_path(name: &str) -> PathBuf {

@@ -1,0 +1,583 @@
+//! Deterministic random-RTL generation for differential fuzzing.
+//!
+//! The generator is *descriptor-based*: [`RtlDesc`] stores every generated
+//! signal with its driving [`Expr`] over **symbolic** [`SignalId`]s that
+//! index the descriptor's flat signal table (inputs, then wires, then
+//! registers). [`RandomRtl::build`] remaps those symbolic ids to the real
+//! elaborated ids. Keeping the description as plain data is what makes the
+//! fuzzer's shrinker possible: it can drop or neutralize table entries and
+//! re-build a smaller component, and the minimized descriptor can be
+//! pretty-printed back to a standalone Rust reproducer ([`repro_snippet`]).
+//!
+//! Generated designs are **lint-clean by construction**: every wire and
+//! register is driven by exactly one block, a final `fold` block reads
+//! every signal into the single `out` port, and all structural widths
+//! match (there are no structural connections at all).
+
+use mtl_core::{BinOp, Component, Ctx, Expr, MemId, MemRef, SignalId, SignalRef, UnaryOp};
+
+/// xorshift64* PRNG: tiny, deterministic, and identical across platforms.
+/// The state must be non-zero.
+pub(crate) struct Rng(pub u64);
+
+impl Rng {
+    pub fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    pub fn bits128(&mut self) -> u128 {
+        self.next() as u128 | ((self.next() as u128) << 64)
+    }
+}
+
+/// Shape knobs for [`RtlDesc::generate`]: how many of each signal class to
+/// generate and how deep the random expression trees grow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RtlShape {
+    /// Number of top-level input ports (`in0..`).
+    pub inputs: usize,
+    /// Number of combinational wires (`w0..`), not counting `mem_out`.
+    pub wires: usize,
+    /// Number of registers (`r0..`).
+    pub regs: usize,
+    /// Maximum random expression depth.
+    pub depth: u32,
+}
+
+impl Default for RtlShape {
+    fn default() -> Self {
+        RtlShape { inputs: 3, wires: 10, regs: 5, depth: 2 }
+    }
+}
+
+/// One generated signal: its leaf name, width, and symbolic driving
+/// expression (`Expr::Read` ids index the descriptor's signal table).
+#[derive(Debug, Clone)]
+pub struct SigDef {
+    /// Leaf name (`w3`, `r1`, `mem_out`).
+    pub name: String,
+    /// Bit width.
+    pub width: u32,
+    /// Driving expression over symbolic table indices.
+    pub expr: Expr,
+}
+
+/// A generated random RTL design as plain data.
+///
+/// Signal table index space: `inputs` occupy `[0, I)`, `wires` occupy
+/// `[I, I + W)` (the memory read port `mem_out` is the last wire), and
+/// `regs` occupy `[I + W, I + W + R)`. The design always carries an 8x16
+/// memory `m` when `mem_write` is present.
+#[derive(Debug, Clone)]
+pub struct RtlDesc {
+    /// The seed this descriptor was generated from (kept through shrinking
+    /// so the reproducer can name its origin).
+    pub seed: u64,
+    /// Input ports: `(name, width)`.
+    pub inputs: Vec<(String, u32)>,
+    /// Combinational wires, each driven by its own comb block.
+    pub wires: Vec<SigDef>,
+    /// Registers, each driven by its own seq block with a reset-to-zero
+    /// clause.
+    pub regs: Vec<SigDef>,
+    /// Synchronous memory write path: `(addr expr (3b), data expr (16b))`.
+    pub mem_write: Option<(Expr, Expr)>,
+}
+
+pub(crate) const MEM_WORDS: u64 = 8;
+pub(crate) const MEM_WIDTH: u32 = 16;
+const MEM_ADDR_BITS: u32 = 3;
+
+/// Resize a symbolic read of table entry `idx` (width `from`) to `to` bits.
+fn resize(e: Expr, from: u32, to: u32, signed: bool) -> Expr {
+    if from == to {
+        e
+    } else if from < to {
+        if signed {
+            e.sext(to)
+        } else {
+            e.zext(to)
+        }
+    } else {
+        e.trunc(to)
+    }
+}
+
+/// Builds a random expression of `width` bits over the available table
+/// entries `avail` (`(table index, width)` pairs).
+///
+/// The operator mix mirrors the long-standing engine-equivalence
+/// generator: arithmetic, bitwise logic, comparisons feeding muxes,
+/// concat/truncate reshaping, and shifts whose amounts are driven from
+/// live expression values (so amounts routinely meet or exceed the data
+/// width, exercising the saturating shift semantics on every engine).
+fn random_expr(rng: &mut Rng, avail: &[(usize, u32)], width: u32, depth: u32) -> Expr {
+    if depth == 0 || rng.below(4) == 0 {
+        // Leaf: a resized signal read or a constant.
+        if !avail.is_empty() && rng.below(4) != 0 {
+            let (idx, w) = avail[rng.below(avail.len() as u64) as usize];
+            let signed = rng.below(2) == 1;
+            return resize(Expr::Read(SignalId::from_index(idx)), w, width, signed);
+        }
+        return Expr::k(width, rng.bits128());
+    }
+    let a = random_expr(rng, avail, width, depth - 1);
+    let b = random_expr(rng, avail, width, depth - 1);
+    let amt_w = width.min(8);
+    match rng.below(13) {
+        0 => a + b,
+        1 => a - b,
+        2 => a * b,
+        3 => a & b,
+        4 => a | b,
+        5 => a ^ b,
+        6 => a.eq(b).mux(
+            random_expr(rng, avail, width, depth - 1),
+            random_expr(rng, avail, width, depth - 1),
+        ),
+        7 => a.sll(Expr::k(3, rng.below(8) as u128)),
+        8 => {
+            if width > 1 {
+                let cut = 1 + rng.below(width as u64 - 1) as u32;
+                Expr::concat(vec![a.trunc(width - cut), b.trunc(cut)])
+            } else {
+                !a
+            }
+        }
+        9 => a.sll(b.trunc(amt_w)),
+        10 => a.srl(b.trunc(amt_w)),
+        11 => a.sra(b.trunc(amt_w)),
+        _ => a.clone().lt(b.clone()).mux(Expr::k(width, 1), b),
+    }
+}
+
+impl RtlDesc {
+    /// Generates a descriptor deterministically from `seed` and `shape`.
+    pub fn generate(seed: u64, shape: RtlShape) -> RtlDesc {
+        let mut rng = Rng(seed.max(1));
+
+        // Draw all widths first so expressions can reference any table
+        // entry (in particular, wires may feed registers declared later).
+        let inputs: Vec<(String, u32)> =
+            (0..shape.inputs).map(|i| (format!("in{i}"), 1 + rng.below(32) as u32)).collect();
+        let wire_widths: Vec<u32> = (0..shape.wires).map(|_| 1 + rng.below(48) as u32).collect();
+        let reg_widths: Vec<u32> = (0..shape.regs).map(|_| 1 + rng.below(32) as u32).collect();
+
+        let nin = inputs.len();
+        let nwires = shape.wires + 1; // + mem_out
+        let reg_base = nin + nwires;
+
+        // (table index, width) of everything, for register expressions.
+        let mut all: Vec<(usize, u32)> = Vec::new();
+        for (i, (_, w)) in inputs.iter().enumerate() {
+            all.push((i, *w));
+        }
+        for (i, &w) in wire_widths.iter().enumerate() {
+            all.push((nin + i, w));
+        }
+        all.push((nin + shape.wires, MEM_WIDTH)); // mem_out
+        for (i, &w) in reg_widths.iter().enumerate() {
+            all.push((reg_base + i, w));
+        }
+
+        // Wires: wire `i` may read inputs, earlier wires, and any register
+        // — never later wires, so the comb graph is acyclic by
+        // construction (registers break the feedback path).
+        let mut wires: Vec<SigDef> = Vec::new();
+        for (i, &w) in wire_widths.iter().enumerate() {
+            let mut avail: Vec<(usize, u32)> = all[..nin + i].to_vec();
+            avail.extend(all[reg_base..].iter().copied());
+            let expr = random_expr(&mut rng, &avail, w, shape.depth);
+            wires.push(SigDef { name: format!("w{i}"), width: w, expr });
+        }
+
+        // The memory read port: an async read at a live address.
+        let addr_avail: Vec<(usize, u32)> = all
+            .iter()
+            .copied()
+            .filter(|&(idx, _)| idx != nin + shape.wires) // not mem_out itself
+            .collect();
+        let (ai, aw) = addr_avail[rng.below(addr_avail.len() as u64) as usize];
+        let addr = resize(Expr::Read(SignalId::from_index(ai)), aw, MEM_ADDR_BITS, false);
+        wires.push(SigDef {
+            name: "mem_out".to_string(),
+            width: MEM_WIDTH,
+            expr: Expr::MemRead { mem: MemId::from_index(0), addr: Box::new(addr) },
+        });
+
+        // Registers: sequential, so they may read anything (including
+        // themselves and later registers).
+        let mut regs: Vec<SigDef> = Vec::new();
+        for (i, &w) in reg_widths.iter().enumerate() {
+            let expr = random_expr(&mut rng, &all, w, shape.depth);
+            regs.push(SigDef { name: format!("r{i}"), width: w, expr });
+        }
+
+        // Memory write path: synchronous write at a live address/data pair.
+        let (ai, aw) = all[rng.below(all.len() as u64) as usize];
+        let (di, dw) = all[rng.below(all.len() as u64) as usize];
+        let waddr = resize(Expr::Read(SignalId::from_index(ai)), aw, MEM_ADDR_BITS, false);
+        let wdata = resize(Expr::Read(SignalId::from_index(di)), dw, MEM_WIDTH, false);
+
+        RtlDesc { seed, inputs, wires, regs, mem_write: Some((waddr, wdata)) }
+    }
+
+    /// Width of every table entry, in table order.
+    pub fn table_widths(&self) -> Vec<u32> {
+        self.inputs
+            .iter()
+            .map(|&(_, w)| w)
+            .chain(self.wires.iter().map(|d| d.width))
+            .chain(self.regs.iter().map(|d| d.width))
+            .collect()
+    }
+
+    /// Name of every table entry, in table order.
+    pub fn table_names(&self) -> Vec<String> {
+        self.inputs
+            .iter()
+            .map(|(n, _)| n.clone())
+            .chain(self.wires.iter().map(|d| d.name.clone()))
+            .chain(self.regs.iter().map(|d| d.name.clone()))
+            .collect()
+    }
+
+    /// Whether the descriptor still references a memory anywhere.
+    pub fn uses_mem(&self) -> bool {
+        if self.mem_write.is_some() {
+            return true;
+        }
+        let mut mems = Vec::new();
+        for d in self.wires.iter().chain(&self.regs) {
+            d.expr.collect_mem_reads(&mut mems);
+        }
+        !mems.is_empty()
+    }
+}
+
+/// A random but well-formed RTL component, deterministic per seed.
+///
+/// `RandomRtl::new(seed)` generates the default shape (3 inputs, 10 wires
+/// plus a memory read port, 5 registers, an 8x16 memory, and a final
+/// xor-fold into a 32-bit `out` port) — the same family of designs the
+/// engine-equivalence suite has always used. `from_desc` builds an
+/// arbitrary (e.g. shrunk) descriptor.
+pub struct RandomRtl {
+    desc: RtlDesc,
+}
+
+impl RandomRtl {
+    /// Generates the default-shape design for `seed`.
+    pub fn new(seed: u64) -> RandomRtl {
+        RandomRtl { desc: RtlDesc::generate(seed, RtlShape::default()) }
+    }
+
+    /// Wraps an explicit descriptor (used by the fuzzer's shrinker).
+    pub fn from_desc(desc: RtlDesc) -> RandomRtl {
+        RandomRtl { desc }
+    }
+
+    /// The underlying descriptor.
+    pub fn desc(&self) -> &RtlDesc {
+        &self.desc
+    }
+}
+
+/// Rewrites symbolic table indices in `e` to elaborated signal ids
+/// (`table`) and the symbolic memory id to `mem`.
+fn remap(e: &Expr, table: &[SignalRef], mem: Option<MemRef>) -> Expr {
+    match e {
+        Expr::Read(sig) => Expr::Read(table[sig.index()].id()),
+        Expr::Const(c) => Expr::Const(*c),
+        Expr::Slice { expr, lo, hi } => {
+            Expr::Slice { expr: Box::new(remap(expr, table, mem)), lo: *lo, hi: *hi }
+        }
+        Expr::Concat(parts) => Expr::Concat(parts.iter().map(|p| remap(p, table, mem)).collect()),
+        Expr::Unary(op, a) => Expr::Unary(*op, Box::new(remap(a, table, mem))),
+        Expr::Binary(op, a, b) => {
+            Expr::Binary(*op, Box::new(remap(a, table, mem)), Box::new(remap(b, table, mem)))
+        }
+        Expr::Mux { cond, then_, else_ } => Expr::Mux {
+            cond: Box::new(remap(cond, table, mem)),
+            then_: Box::new(remap(then_, table, mem)),
+            else_: Box::new(remap(else_, table, mem)),
+        },
+        Expr::Select { sel, options } => Expr::Select {
+            sel: Box::new(remap(sel, table, mem)),
+            options: options.iter().map(|o| remap(o, table, mem)).collect(),
+        },
+        Expr::Zext(a, w) => Expr::Zext(Box::new(remap(a, table, mem)), *w),
+        Expr::Sext(a, w) => Expr::Sext(Box::new(remap(a, table, mem)), *w),
+        Expr::Trunc(a, w) => Expr::Trunc(Box::new(remap(a, table, mem)), *w),
+        Expr::MemRead { addr, .. } => Expr::MemRead {
+            mem: mem.expect("descriptor reads a memory it does not declare").id(),
+            addr: Box::new(remap(addr, table, mem)),
+        },
+    }
+}
+
+impl Component for RandomRtl {
+    fn name(&self) -> String {
+        format!("RandomRtl_{}", self.desc.seed)
+    }
+
+    fn build(&self, c: &mut Ctx) {
+        let d = &self.desc;
+        let reset = c.reset();
+
+        // Declare the whole signal table first so expressions can
+        // reference any entry regardless of declaration order.
+        let mut table: Vec<SignalRef> = Vec::new();
+        for (name, w) in &d.inputs {
+            table.push(c.in_port(name, *w));
+        }
+        let mem = if d.uses_mem() { Some(c.mem("m", MEM_WORDS, MEM_WIDTH)) } else { None };
+        for def in d.wires.iter().chain(&d.regs) {
+            table.push(c.wire(&def.name, def.width));
+        }
+
+        let nin = d.inputs.len();
+        for (i, def) in d.wires.iter().enumerate() {
+            let target = table[nin + i];
+            let expr = remap(&def.expr, &table, mem);
+            c.comb(&format!("comb_{}", def.name), |b| b.assign(target, expr));
+        }
+        for (i, def) in d.regs.iter().enumerate() {
+            let target = table[nin + d.wires.len() + i];
+            let expr = remap(&def.expr, &table, mem);
+            let w = def.width;
+            c.seq(&format!("seq_{}", def.name), |b| {
+                b.if_else(
+                    reset,
+                    |b| b.assign(target, Expr::k(w, 0)),
+                    |b| b.assign(target, expr.clone()),
+                );
+            });
+        }
+        if let Some((addr, data)) = &d.mem_write {
+            let addr = remap(addr, &table, mem);
+            let data = remap(data, &table, mem);
+            c.seq("mem_seq", |b| {
+                b.mem_write(mem.expect("mem_write implies a memory"), addr, data);
+            });
+        }
+
+        // The fold guarantees every signal is read (no unread-output /
+        // dead-logic lint) and gives the testbench one observation point.
+        let out = c.out_port("out", 32);
+        let taps: Vec<Expr> = table
+            .iter()
+            .map(|s| {
+                if s.width() >= 32 {
+                    s.ex().trunc(32)
+                } else if s.width() < 32 {
+                    s.ex().zext(32)
+                } else {
+                    s.ex()
+                }
+            })
+            .collect();
+        c.comb("fold", |b| {
+            let mut acc = Expr::k(32, 0);
+            for t in taps {
+                acc = acc ^ t;
+            }
+            b.assign(out, acc);
+        });
+    }
+}
+
+/// Width inference for symbolic descriptor expressions, mirroring the IR
+/// type checker's result widths. `widths` is the descriptor signal table.
+pub(crate) fn expr_width(e: &Expr, widths: &[u32]) -> u32 {
+    match e {
+        Expr::Read(sig) => widths[sig.index()],
+        Expr::Const(c) => c.width(),
+        Expr::Slice { lo, hi, .. } => hi - lo,
+        Expr::Concat(parts) => parts.iter().map(|p| expr_width(p, widths)).sum(),
+        Expr::Unary(op, a) => match op {
+            UnaryOp::Not | UnaryOp::Neg => expr_width(a, widths),
+            UnaryOp::ReduceAnd | UnaryOp::ReduceOr | UnaryOp::ReduceXor => 1,
+        },
+        Expr::Binary(op, a, _) => match op {
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Ge | BinOp::LtS | BinOp::GeS => 1,
+            _ => expr_width(a, widths),
+        },
+        Expr::Mux { then_, .. } => expr_width(then_, widths),
+        Expr::Select { options, .. } => expr_width(&options[0], widths),
+        Expr::Zext(_, w) | Expr::Sext(_, w) | Expr::Trunc(_, w) => *w,
+        Expr::MemRead { .. } => MEM_WIDTH,
+    }
+}
+
+/// Renders a symbolic descriptor expression as Rust source using the
+/// builder API (`names` maps table indices to `SignalRef` variable names).
+fn expr_rust(e: &Expr, names: &[String]) -> String {
+    match e {
+        Expr::Read(sig) => format!("{}.ex()", names[sig.index()]),
+        Expr::Const(c) => format!("Expr::k({}, {:#x})", c.width(), c.as_u128()),
+        Expr::Slice { expr, lo, hi } => format!("{}.slice({lo}, {hi})", expr_rust(expr, names)),
+        Expr::Concat(parts) => {
+            let inner: Vec<String> = parts.iter().map(|p| expr_rust(p, names)).collect();
+            format!("Expr::concat(vec![{}])", inner.join(", "))
+        }
+        Expr::Unary(op, a) => {
+            let a = expr_rust(a, names);
+            match op {
+                UnaryOp::Not => format!("(!{a})"),
+                UnaryOp::Neg => format!("(-{a})"),
+                UnaryOp::ReduceAnd => format!("{a}.reduce_and()"),
+                UnaryOp::ReduceOr => format!("{a}.reduce_or()"),
+                UnaryOp::ReduceXor => format!("{a}.reduce_xor()"),
+            }
+        }
+        Expr::Binary(op, a, b) => {
+            let (a, b) = (expr_rust(a, names), expr_rust(b, names));
+            match op {
+                BinOp::Add => format!("({a} + {b})"),
+                BinOp::Sub => format!("({a} - {b})"),
+                BinOp::Mul => format!("({a} * {b})"),
+                BinOp::And => format!("({a} & {b})"),
+                BinOp::Or => format!("({a} | {b})"),
+                BinOp::Xor => format!("({a} ^ {b})"),
+                BinOp::Shl => format!("{a}.sll({b})"),
+                BinOp::Shr => format!("{a}.srl({b})"),
+                BinOp::Sra => format!("{a}.sra({b})"),
+                BinOp::Eq => format!("{a}.eq({b})"),
+                BinOp::Ne => format!("{a}.ne({b})"),
+                BinOp::Lt => format!("{a}.lt({b})"),
+                BinOp::Ge => format!("{a}.ge({b})"),
+                BinOp::LtS => format!("{a}.lt_s({b})"),
+                BinOp::GeS => format!("{a}.ge_s({b})"),
+            }
+        }
+        Expr::Mux { cond, then_, else_ } => format!(
+            "{}.mux({}, {})",
+            expr_rust(cond, names),
+            expr_rust(then_, names),
+            expr_rust(else_, names)
+        ),
+        Expr::Select { sel, options } => {
+            let inner: Vec<String> = options.iter().map(|o| expr_rust(o, names)).collect();
+            format!("{}.select(vec![{}])", expr_rust(sel, names), inner.join(", "))
+        }
+        Expr::Zext(a, w) => format!("{}.zext({w})", expr_rust(a, names)),
+        Expr::Sext(a, w) => format!("{}.sext({w})", expr_rust(a, names)),
+        Expr::Trunc(a, w) => format!("{}.trunc({w})", expr_rust(a, names)),
+        Expr::MemRead { addr, .. } => format!("m.read({})", expr_rust(addr, names)),
+    }
+}
+
+/// Renders a descriptor as a standalone Rust reproducer: a `Component`
+/// impl plus a test that replays the fuzzer's stimulus (each cycle drives
+/// every input with the next two draws of `Rng(seed ^ 0xABCD)`, packed
+/// `lo | hi << 64`) across all engines.
+pub fn repro_snippet(desc: &RtlDesc, note: &str) -> String {
+    let names = desc.table_names();
+    let mut s = String::new();
+    s.push_str(&format!(
+        "// Differential-fuzzer reproducer, minimized from RandomRtl_{} .\n// {}\n",
+        desc.seed, note
+    ));
+    s.push_str("use rustmtl::core::{Component, Ctx, Expr};\n\n");
+    s.push_str("struct Repro;\n\nimpl Component for Repro {\n");
+    s.push_str("    fn name(&self) -> String { \"Repro\".into() }\n");
+    s.push_str("    fn build(&self, c: &mut Ctx) {\n");
+    if !desc.regs.is_empty() {
+        s.push_str("        let reset = c.reset();\n");
+    }
+    for (name, w) in &desc.inputs {
+        s.push_str(&format!("        let {name} = c.in_port(\"{name}\", {w});\n"));
+    }
+    if desc.uses_mem() {
+        s.push_str(&format!("        let m = c.mem(\"m\", {MEM_WORDS}, {MEM_WIDTH});\n"));
+    }
+    for d in desc.wires.iter().chain(&desc.regs) {
+        s.push_str(&format!("        let {} = c.wire(\"{}\", {});\n", d.name, d.name, d.width));
+    }
+    for d in &desc.wires {
+        s.push_str(&format!(
+            "        c.comb(\"comb_{}\", |b| b.assign({}, {}));\n",
+            d.name,
+            d.name,
+            expr_rust(&d.expr, &names)
+        ));
+    }
+    for d in &desc.regs {
+        s.push_str(&format!(
+            "        c.seq(\"seq_{}\", |b| {{\n            b.if_else(reset, |b| b.assign({}, \
+             Expr::k({}, 0)), |b| b.assign({}, {}));\n        }});\n",
+            d.name,
+            d.name,
+            d.width,
+            d.name,
+            expr_rust(&d.expr, &names)
+        ));
+    }
+    if let Some((addr, data)) = &desc.mem_write {
+        s.push_str(&format!(
+            "        c.seq(\"mem_seq\", |b| b.mem_write(m, {}, {}));\n",
+            expr_rust(addr, &names),
+            expr_rust(data, &names)
+        ));
+    }
+    s.push_str("        let out = c.out_port(\"out\", 32);\n");
+    s.push_str("        c.comb(\"fold\", |b| {\n            let mut acc = Expr::k(32, 0);\n");
+    for (i, name) in names.iter().enumerate() {
+        let w = desc.table_widths()[i];
+        let tap = if w >= 32 {
+            format!("{name}.ex().trunc(32)")
+        } else if w < 32 {
+            format!("{name}.ex().zext(32)")
+        } else {
+            format!("{name}.ex()")
+        };
+        s.push_str(&format!("            acc = acc ^ {tap};\n"));
+    }
+    s.push_str("            b.assign(out, acc);\n        });\n    }\n}\n\n");
+    s.push_str(&format!(
+        "// Stimulus: seed the xorshift64* rng with {:#x} ^ 0xABCD; each cycle, for\n\
+         // each input in declaration order, draw lo and hi u64s and poke\n\
+         // Bits::new(width, lo as u128 | (hi as u128) << 64).\n",
+        desc.seed
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = RtlDesc::generate(42, RtlShape::default());
+        let b = RtlDesc::generate(42, RtlShape::default());
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn default_designs_elaborate_strictly() {
+        for seed in 1..=20 {
+            mtl_core::elaborate(&RandomRtl::new(seed)).expect("generated design must elaborate");
+        }
+    }
+
+    #[test]
+    fn snippet_mentions_every_signal() {
+        let desc = RtlDesc::generate(3, RtlShape::default());
+        let snip = repro_snippet(&desc, "test");
+        for name in desc.table_names() {
+            assert!(snip.contains(&name), "snippet must declare `{name}`:\n{snip}");
+        }
+        assert!(snip.contains("c.mem(\"m\""));
+    }
+}

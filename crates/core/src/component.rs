@@ -56,6 +56,28 @@ pub trait Component {
 /// (width mismatch, multiple drivers, combinational cycle, IR type error,
 /// or invalid memory use).
 pub fn elaborate(top: &dyn Component) -> Result<Design, ElabError> {
+    let (proto, reset) = build_proto(top);
+    finalize(proto, reset, true)
+}
+
+/// Elaborates a component *leniently*, never rejecting the design.
+///
+/// Where [`elaborate`] returns the first [`ElabError`], this entry point
+/// keeps going: mismatched connection widths still union (the net takes the
+/// widest member), multiply-driven nets keep their first writer, and the
+/// memory-use, IR type, and combinational-cycle checks are skipped entirely.
+///
+/// The resulting [`Design`] is for *analysis tools only* — the linter in
+/// particular needs to inspect defective designs that `elaborate` would
+/// refuse to produce. Do not simulate or translate an unchecked design: the
+/// invariants the engines rely on (one driver per net, acyclic comb logic,
+/// width-correct IR) are not established.
+pub fn elaborate_unchecked(top: &dyn Component) -> Design {
+    let (proto, reset) = build_proto(top);
+    finalize(proto, reset, false).expect("lenient elaboration cannot fail")
+}
+
+fn build_proto(top: &dyn Component) -> (Proto, SignalId) {
     let mut proto = Proto {
         modules: vec![ModuleInfo {
             name: "top".to_string(),
@@ -78,10 +100,10 @@ pub fn elaborate(top: &dyn Component) -> Result<Design, ElabError> {
     let reset = ctx.in_port("reset", 1);
     ctx.reset = reset;
     top.build(&mut ctx);
-    finalize(proto, reset.id())
+    (proto, reset.id())
 }
 
-fn finalize(proto: Proto, reset: SignalId) -> Result<Design, ElabError> {
+fn finalize(proto: Proto, reset: SignalId, strict: bool) -> Result<Design, ElabError> {
     let Proto { modules, mut signals, blocks, natives, mems, connections } = proto;
 
     // 1. Union-find over connections to form nets.
@@ -94,9 +116,10 @@ fn finalize(proto: Proto, reset: SignalId) -> Result<Design, ElabError> {
         x
     }
     for &(a, b) in &connections {
-        // Width check before unioning.
+        // Width check before unioning. Lenient elaboration unions anyway so
+        // the linter can still see the mismatched net as one group.
         let (wa, wb) = (signals[a.index()].width, signals[b.index()].width);
-        if wa != wb {
+        if wa != wb && strict {
             return Err(ElabError::WidthMismatch {
                 a: signal_path(&modules, &signals, a),
                 b: signal_path(&modules, &signals, b),
@@ -127,6 +150,13 @@ fn finalize(proto: Proto, reset: SignalId) -> Result<Design, ElabError> {
         });
         nets[net.index()].signals.push(SignalId::from_index(i));
         signals[i].net = net;
+        // Under strict elaboration all members have equal width (checked
+        // above), so taking the max is a no-op there; under lenient
+        // elaboration the net adopts its widest member.
+        let w = signals[i].width;
+        if w > nets[net.index()].width {
+            nets[net.index()].width = w;
+        }
     }
 
     let design = Design {
@@ -150,6 +180,8 @@ fn finalize(proto: Proto, reset: SignalId) -> Result<Design, ElabError> {
             match driver[net.index()] {
                 None => driver[net.index()] = Some(bid),
                 Some(prev) if prev == bid => {}
+                // Lenient: first writer wins; the linter reports the rest.
+                Some(_) if !strict => {}
                 Some(prev) => {
                     return Err(ElabError::MultipleDrivers {
                         net: design.signal_path(w),
@@ -163,7 +195,7 @@ fn finalize(proto: Proto, reset: SignalId) -> Result<Design, ElabError> {
     // is a conflict.
     let top_ports: Vec<SignalId> = design.modules[0].ports.clone();
     for &p in &top_ports {
-        if design.signals[p.index()].kind == SignalKind::InPort {
+        if design.signals[p.index()].kind == SignalKind::InPort && strict {
             let net = design.signals[p.index()].net;
             if let Some(b) = driver[net.index()] {
                 return Err(ElabError::MultipleDrivers {
@@ -179,6 +211,12 @@ fn finalize(proto: Proto, reset: SignalId) -> Result<Design, ElabError> {
             design.nets[ni].is_register =
                 design.blocks[b.index()].kind == crate::design::BlockKind::Seq;
         }
+    }
+
+    if !strict {
+        // Lenient elaboration stops here: the remaining passes only reject
+        // designs, and analysis tools want the defective design itself.
+        return Ok(design);
     }
 
     // 4. Memory use: each memory written by at most one sequential block.

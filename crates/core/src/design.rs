@@ -513,4 +513,54 @@ impl Design {
     pub fn net_initial(&self, net: NetId) -> Bits {
         Bits::zero(self.nets[net.index()].width)
     }
+
+    /// All blocks that write each net, indexed by net. Unlike
+    /// [`NetInfo::driver`] (which records the single legal driver chosen at
+    /// elaboration) this reports *every* writer, which is what the linter
+    /// needs to diagnose multiply-driven nets on leniently elaborated
+    /// designs. Each block appears at most once per net.
+    pub fn net_writers(&self) -> Vec<Vec<BlockId>> {
+        let mut writers: Vec<Vec<BlockId>> = vec![Vec::new(); self.nets.len()];
+        for (bi, block) in self.blocks.iter().enumerate() {
+            let bid = BlockId::from_index(bi);
+            for &w in &block.writes {
+                let net = self.signals[w.index()].net.index();
+                if !writers[net].contains(&bid) {
+                    writers[net].push(bid);
+                }
+            }
+        }
+        writers
+    }
+
+    /// All blocks that read each net, indexed by net. Each block appears at
+    /// most once per net.
+    pub fn net_readers(&self) -> Vec<Vec<BlockId>> {
+        let mut readers: Vec<Vec<BlockId>> = vec![Vec::new(); self.nets.len()];
+        for (bi, block) in self.blocks.iter().enumerate() {
+            let bid = BlockId::from_index(bi);
+            for &r in &block.reads {
+                let net = self.signals[r.index()].net.index();
+                if !readers[net].contains(&bid) {
+                    readers[net].push(bid);
+                }
+            }
+        }
+        readers
+    }
+
+    /// A representative hierarchical path for a net: the path of its first
+    /// member signal (members are ordered by declaration).
+    pub fn net_path(&self, net: NetId) -> String {
+        self.signal_path(self.nets[net.index()].signals[0])
+    }
+
+    /// Whether a net contains a top-level port of the given kind. Such nets
+    /// are externally driven (`InPort`) or externally observed (`OutPort`).
+    pub fn net_has_top_port(&self, net: NetId, kind: SignalKind) -> bool {
+        self.nets[net.index()].signals.iter().any(|&s| {
+            let info = &self.signals[s.index()];
+            info.module == self.top() && info.kind == kind
+        })
+    }
 }

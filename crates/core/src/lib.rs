@@ -47,6 +47,7 @@ mod component;
 mod design;
 mod ids;
 pub mod ir;
+mod lint;
 mod msg;
 mod typecheck;
 mod view;
@@ -54,13 +55,14 @@ mod view;
 pub use adapters::{InValRdyQueue, OutValRdyQueue};
 pub use builder::{BlockBuilder, Ctx, Instance, MemRef, SignalRef, SwitchBuilder};
 pub use bundle::{ChildReqResp, InValRdy, OutValRdy, ParentReqResp};
-pub use component::{elaborate, Component};
+pub use component::{elaborate, elaborate_unchecked, Component};
 pub use design::{
     BlockBody, BlockInfo, BlockKind, Design, ElabError, MemInfo, ModuleInfo, NativeFn, NativeLevel,
     NetInfo, SignalInfo, SignalKind,
 };
 pub use ids::{BlockId, MemId, ModuleId, NetId, SignalId};
 pub use ir::{BinOp, Expr, LValue, Stmt, UnaryOp};
+pub use lint::{lint, Diagnostic, LintRule, Severity};
 pub use msg::{Field, MsgLayout};
 pub use view::SignalView;
 

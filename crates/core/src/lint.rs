@@ -1,0 +1,424 @@
+//! Structural design linter.
+//!
+//! The paper's model/tool split names linters alongside simulation and
+//! translation as first-class consumers of elaborated design instances.
+//! [`lint`] inspects a [`Design`] and reports structured [`Diagnostic`]s
+//! with exact hierarchical signal paths for five rule categories:
+//!
+//! * **Combinational cycles** — the full cycle is printed, block by block,
+//!   with the net carrying each dependency edge.
+//! * **Multiply-driven nets** — more than one writer (including the
+//!   implicit `<external>` driver of a top-level input port).
+//! * **Width mismatches** across structural connections.
+//! * **Undriven inputs / unread outputs** — dead interface signals.
+//! * **Mixed drivers** — a net written by both a sequential and a
+//!   combinational block (the "sequential block writes a net also written
+//!   combinationally" hazard).
+//!
+//! Strict [`elaborate`](crate::elaborate) already *rejects* the error-class
+//! defects, so the linter is usually fed a design from
+//! [`elaborate_unchecked`](crate::elaborate_unchecked), which unions
+//! mismatched connections, keeps the first of several drivers, and skips
+//! the cycle check — preserving the defect for diagnosis instead of
+//! aborting on it.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::design::{BlockKind, Design, SignalKind};
+use crate::ids::{BlockId, NetId};
+
+/// How serious a [`Diagnostic`] is.
+///
+/// `Error` diagnostics describe designs that strict elaboration would
+/// reject (and that the engines cannot faithfully simulate); `Warning`
+/// diagnostics describe legal-but-suspicious structure such as dead
+/// interface signals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but simulable.
+    Warning,
+    /// Structurally broken; strict elaboration rejects it.
+    Error,
+}
+
+/// Which lint rule fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintRule {
+    /// A cycle through combinational blocks.
+    CombCycle,
+    /// A net with more than one writer.
+    MultiplyDriven,
+    /// A structural connection between signals of different widths.
+    WidthMismatch,
+    /// A net written by both sequential and combinational blocks.
+    MixedDrivers,
+    /// An input port whose net has no writer and no external driver.
+    UndrivenInput,
+    /// An output port whose net no block (and no external observer) reads.
+    UnreadOutput,
+}
+
+impl fmt::Display for LintRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LintRule::CombCycle => "comb-cycle",
+            LintRule::MultiplyDriven => "multiply-driven",
+            LintRule::WidthMismatch => "width-mismatch",
+            LintRule::MixedDrivers => "mixed-drivers",
+            LintRule::UndrivenInput => "undriven-input",
+            LintRule::UnreadOutput => "unread-output",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One linter finding: the rule, its severity, the hierarchical paths of
+/// the signals and blocks involved, and a rendered message.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// The rule that fired.
+    pub rule: LintRule,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Hierarchical paths of the signals involved (e.g. `top.mux.sel`).
+    pub signals: Vec<String>,
+    /// Hierarchical paths of the blocks involved (`<external>` marks the
+    /// implicit driver/observer of a top-level port).
+    pub blocks: Vec<String>,
+    /// Human-readable description, including the paths.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(f, "[{sev}] {}: {}", self.rule, self.message)
+    }
+}
+
+/// Lints an elaborated design, returning diagnostics sorted errors-first.
+///
+/// Runs all rule categories; the order within a severity follows rule
+/// category (cycles, multiple drivers, width mismatches, mixed drivers,
+/// then the dead-interface warnings) and, within a rule, design order.
+pub fn lint(design: &Design) -> Vec<Diagnostic> {
+    let writers = design.net_writers();
+    let readers = design.net_readers();
+
+    let mut errors = Vec::new();
+    let mut warnings = Vec::new();
+
+    comb_cycles(design, &mut errors);
+    multiply_driven(design, &writers, &mut errors);
+    width_mismatches(design, &mut errors);
+    mixed_drivers(design, &writers, &mut errors);
+    undriven_inputs(design, &writers, &mut warnings);
+    unread_outputs(design, &readers, &mut warnings);
+
+    errors.extend(warnings);
+    errors
+}
+
+/// Detects cycles through combinational blocks with Tarjan's SCC algorithm
+/// (iterative) and renders each cycle in full: `blockA -[net]-> blockB ...`.
+///
+/// Self-edges (a block reading a net it also writes) are excluded, matching
+/// [`Design::comb_schedule`], which tolerates them.
+fn comb_cycles(design: &Design, out: &mut Vec<Diagnostic>) {
+    let comb: Vec<BlockId> = (0..design.blocks().len())
+        .map(BlockId::from_index)
+        .filter(|&b| design.block(b).kind == BlockKind::Comb)
+        .collect();
+    if comb.is_empty() {
+        return;
+    }
+    let slot: HashMap<BlockId, usize> = comb.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+
+    // One comb driver per net (first writer, matching lenient elaboration).
+    let mut driver_of_net: HashMap<NetId, BlockId> = HashMap::new();
+    for &b in &comb {
+        for &w in &design.block(b).writes {
+            driver_of_net.entry(design.net_of(w)).or_insert(b);
+        }
+    }
+
+    // Edges driver -> reader, labeled with the net carrying the dependency.
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); comb.len()];
+    let mut edge_net: HashMap<(usize, usize), NetId> = HashMap::new();
+    for (bi, &b) in comb.iter().enumerate() {
+        for &r in &design.block(b).reads {
+            let net = design.net_of(r);
+            if let Some(&d) = driver_of_net.get(&net) {
+                let di = slot[&d];
+                if di != bi && !succ[di].contains(&bi) {
+                    succ[di].push(bi);
+                    edge_net.insert((di, bi), net);
+                }
+            }
+        }
+    }
+
+    for scc in tarjan_sccs(&succ) {
+        if scc.len() < 2 {
+            continue;
+        }
+        let cycle = extract_cycle(&succ, &scc);
+        let mut signals = Vec::new();
+        let mut blocks = Vec::new();
+        let mut rendered = String::new();
+        for (i, &node) in cycle.iter().enumerate() {
+            let next = cycle[(i + 1) % cycle.len()];
+            let net = edge_net[&(node, next)];
+            blocks.push(design.block_path(comb[node]));
+            signals.push(design.net_path(net));
+            rendered.push_str(&format!(
+                "{} -[{}]-> ",
+                design.block_path(comb[node]),
+                design.net_path(net)
+            ));
+        }
+        rendered.push_str(&design.block_path(comb[cycle[0]]));
+        out.push(Diagnostic {
+            rule: LintRule::CombCycle,
+            severity: Severity::Error,
+            signals,
+            blocks,
+            message: format!("combinational cycle: {rendered}"),
+        });
+    }
+}
+
+/// Iterative Tarjan strongly-connected components; returns SCCs in reverse
+/// topological order, nodes in discovery order.
+fn tarjan_sccs(succ: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = succ.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs = Vec::new();
+
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        // (node, next child position) call stack.
+        let mut call: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut ci)) = call.last_mut() {
+            if *ci == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if *ci < succ[v].len() {
+                let w = succ[v][*ci];
+                *ci += 1;
+                if index[w] == usize::MAX {
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut scc = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    scc.reverse();
+                    sccs.push(scc);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+/// Finds one concrete cycle through `scc` (which is strongly connected and
+/// has >= 2 nodes): the shortest path from a successor of `scc[0]` back to
+/// `scc[0]`, restricted to SCC members.
+fn extract_cycle(succ: &[Vec<usize>], scc: &[usize]) -> Vec<usize> {
+    let start = scc[0];
+    let in_scc: Vec<bool> = {
+        let mut v = vec![false; succ.len()];
+        for &n in scc {
+            v[n] = true;
+        }
+        v
+    };
+    // BFS from start back to start.
+    let mut prev: HashMap<usize, usize> = HashMap::new();
+    let mut queue = std::collections::VecDeque::new();
+    for &s in &succ[start] {
+        if in_scc[s] && !prev.contains_key(&s) {
+            prev.insert(s, start);
+            queue.push_back(s);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        if v == start {
+            break;
+        }
+        for &w in &succ[v] {
+            if in_scc[w] && !prev.contains_key(&w) && w != start {
+                prev.insert(w, v);
+                queue.push_back(w);
+            } else if in_scc[w] && w == start {
+                // Reconstruct start -> ... -> v, then close the loop.
+                let mut path = vec![v];
+                let mut cur = v;
+                while cur != start {
+                    cur = prev[&cur];
+                    path.push(cur);
+                }
+                path.reverse();
+                return path;
+            }
+        }
+    }
+    // Strong connectivity guarantees the loop above returns; this is a
+    // defensive fallback for a malformed SCC.
+    vec![start]
+}
+
+fn multiply_driven(design: &Design, writers: &[Vec<BlockId>], out: &mut Vec<Diagnostic>) {
+    for (ni, ws) in writers.iter().enumerate() {
+        let net = NetId::from_index(ni);
+        let external = design.net_has_top_port(net, SignalKind::InPort);
+        let total = ws.len() + usize::from(external && !ws.is_empty());
+        if total < 2 {
+            continue;
+        }
+        let mut blocks = Vec::new();
+        if external {
+            blocks.push("<external>".to_string());
+        }
+        blocks.extend(ws.iter().map(|&b| design.block_path(b)));
+        let signals: Vec<String> =
+            design.net(net).signals.iter().map(|&s| design.signal_path(s)).collect();
+        out.push(Diagnostic {
+            rule: LintRule::MultiplyDriven,
+            severity: Severity::Error,
+            message: format!(
+                "net `{}` has {} drivers: {}",
+                design.net_path(net),
+                blocks.len(),
+                blocks.join(", ")
+            ),
+            signals,
+            blocks,
+        });
+    }
+}
+
+fn width_mismatches(design: &Design, out: &mut Vec<Diagnostic>) {
+    for &(a, b) in design.connections() {
+        let (wa, wb) = (design.signal(a).width, design.signal(b).width);
+        if wa != wb {
+            let (pa, pb) = (design.signal_path(a), design.signal_path(b));
+            out.push(Diagnostic {
+                rule: LintRule::WidthMismatch,
+                severity: Severity::Error,
+                message: format!("connection `{pa}` ({wa} bits) <-> `{pb}` ({wb} bits)"),
+                signals: vec![pa, pb],
+                blocks: Vec::new(),
+            });
+        }
+    }
+}
+
+fn mixed_drivers(design: &Design, writers: &[Vec<BlockId>], out: &mut Vec<Diagnostic>) {
+    for (ni, ws) in writers.iter().enumerate() {
+        let seq: Vec<BlockId> =
+            ws.iter().copied().filter(|&b| design.block(b).kind == BlockKind::Seq).collect();
+        let comb: Vec<BlockId> =
+            ws.iter().copied().filter(|&b| design.block(b).kind == BlockKind::Comb).collect();
+        if seq.is_empty() || comb.is_empty() {
+            continue;
+        }
+        let net = NetId::from_index(ni);
+        out.push(Diagnostic {
+            rule: LintRule::MixedDrivers,
+            severity: Severity::Error,
+            message: format!(
+                "net `{}` is written both sequentially (`{}`) and combinationally (`{}`)",
+                design.net_path(net),
+                design.block_path(seq[0]),
+                design.block_path(comb[0]),
+            ),
+            signals: vec![design.net_path(net)],
+            blocks: ws.iter().map(|&b| design.block_path(b)).collect(),
+        });
+    }
+}
+
+fn undriven_inputs(design: &Design, writers: &[Vec<BlockId>], out: &mut Vec<Diagnostic>) {
+    for (ni, ws) in writers.iter().enumerate() {
+        let net = NetId::from_index(ni);
+        if !ws.is_empty() || design.net_has_top_port(net, SignalKind::InPort) {
+            continue;
+        }
+        let inputs: Vec<String> = design
+            .net(net)
+            .signals
+            .iter()
+            .filter(|&&s| design.signal(s).kind == SignalKind::InPort)
+            .map(|&s| design.signal_path(s))
+            .collect();
+        if inputs.is_empty() {
+            continue;
+        }
+        out.push(Diagnostic {
+            rule: LintRule::UndrivenInput,
+            severity: Severity::Warning,
+            message: format!("input `{}` is never driven (stuck at zero)", inputs.join("`, `")),
+            signals: inputs,
+            blocks: Vec::new(),
+        });
+    }
+}
+
+fn unread_outputs(design: &Design, readers: &[Vec<BlockId>], out: &mut Vec<Diagnostic>) {
+    for (ni, rs) in readers.iter().enumerate() {
+        let net = NetId::from_index(ni);
+        // A top-level port of either direction means the net is externally
+        // observable (or externally driven); not dead.
+        if !rs.is_empty()
+            || design.net_has_top_port(net, SignalKind::InPort)
+            || design.net_has_top_port(net, SignalKind::OutPort)
+        {
+            continue;
+        }
+        let outputs: Vec<String> = design
+            .net(net)
+            .signals
+            .iter()
+            .filter(|&&s| design.signal(s).kind == SignalKind::OutPort)
+            .map(|&s| design.signal_path(s))
+            .collect();
+        if outputs.is_empty() {
+            continue;
+        }
+        out.push(Diagnostic {
+            rule: LintRule::UnreadOutput,
+            severity: Severity::Warning,
+            message: format!("output `{}` is never read (dead logic)", outputs.join("`, `")),
+            signals: outputs,
+            blocks: Vec::new(),
+        });
+    }
+}

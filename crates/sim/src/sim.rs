@@ -147,6 +147,35 @@ pub struct Sim {
     profile: Option<ProfileState>,
 }
 
+/// The `MTL_LINT` gate run at simulator construction.
+///
+/// * `MTL_LINT=deny` — print every diagnostic to stderr and panic if any
+///   has [`Severity::Error`].
+/// * `MTL_LINT=warn` — print every diagnostic to stderr and continue.
+/// * `MTL_LINT=off` or unset — do nothing (zero overhead).
+///
+/// An unrecognized value prints a note and behaves like `off`, so a typo in
+/// a CI environment never silently changes simulation semantics.
+fn lint_gate(design: &Design) {
+    let mode = std::env::var("MTL_LINT").unwrap_or_default();
+    match mode.as_str() {
+        "deny" | "warn" => {}
+        "" | "off" => return,
+        other => {
+            eprintln!("mtl-lint: unrecognized MTL_LINT={other} (expected deny|warn|off); lint off");
+            return;
+        }
+    }
+    let diags = mtl_core::lint(design);
+    for d in &diags {
+        eprintln!("mtl-lint: {d}");
+    }
+    if mode == "deny" {
+        let errors = diags.iter().filter(|d| d.severity == mtl_core::Severity::Error).count();
+        assert!(errors == 0, "MTL_LINT=deny: {errors} lint error(s) in design (see stderr)");
+    }
+}
+
 impl Sim {
     /// Elaborates a component and constructs a simulator, recording the
     /// elaboration time in [`Sim::overheads`].
@@ -174,6 +203,7 @@ impl Sim {
     /// [`Sim::new`] with explicit configuration (currently the
     /// `SpecializedPar` worker-thread count).
     pub fn with_config(design: Design, engine: Engine, cfg: &SimConfig) -> Sim {
+        lint_gate(&design);
         // Take ownership of native closures so the Design can be shared.
         let natives: Vec<Option<NativeFn>> = design.take_natives();
         let design = Arc::new(design);

@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# CI stage 0 — static checks: formatting and clippy with warnings denied.
+# Fast, no test execution; this is the first tier of the CI gate.
+set -eu
+cd "$(dirname "$0")/../.."
+
+echo "== static: cargo fmt --check"
+cargo fmt --check
+
+echo "== static: cargo clippy --workspace -D warnings"
+cargo clippy --workspace -- -D warnings

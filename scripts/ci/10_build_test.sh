@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# CI stage 1 — tier-1 gate: the offline release build and the full test
+# suite (unit, integration, doc tests). This stage must stay green on
+# every commit.
+set -eu
+cd "$(dirname "$0")/../.."
+
+echo "== tier-1: cargo build --release"
+cargo build --release
+
+echo "== tier-1: cargo test"
+cargo test -q

@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# CI stage 2 — engine equivalence: the randomized five-engine agreement
+# suite, re-run with the parallel engine pinned to 1 and 4 worker threads
+# so both the sequential fallback and the sharded path are exercised.
+set -eu
+cd "$(dirname "$0")/../.."
+
+echo "== equivalence: specialized-par at 1 thread"
+MTL_SIM_THREADS=1 cargo test -q --release --test engine_equivalence
+
+echo "== equivalence: specialized-par at 4 threads"
+MTL_SIM_THREADS=4 cargo test -q --release --test engine_equivalence

@@ -1,0 +1,9 @@
+#!/usr/bin/env sh
+# CI stage 3 — design lint: run the mtl-check structural linter over
+# every example/bench design in the repository. Any Error-severity
+# diagnostic fails the stage (warnings are reported but non-fatal).
+set -eu
+cd "$(dirname "$0")/../.."
+
+echo "== lint: mtl-check over every example/bench design"
+cargo run -p mtl-bench --release --bin lint_designs

@@ -1,36 +1,22 @@
 #!/usr/bin/env sh
-# Tier-1 verification: the offline build, the full test suite, and a tiny
-# end-to-end campaign through the mtl-sweep orchestration path (16-node
-# CL mesh, 2 engines, 2 injection rates — a couple of seconds).
+# Full verification: runs every CI stage in order, exactly as the tiered
+# CI pipeline does (.github/workflows/ci.yml calls the same scripts).
+#
+#   stage 0  scripts/ci/00_static.sh        fmt --check, clippy -D warnings
+#   stage 1  scripts/ci/10_build_test.sh    release build + full test suite
+#   stage 2  scripts/ci/20_equivalence.sh   engine equivalence at 1/4 threads
+#   stage 3  scripts/ci/30_lint_designs.sh  design lint over every design
+#   stage 4  scripts/ci/40_fuzz.sh          differential fuzz, 25 iters, seed 7
+#   stage 5  scripts/ci/50_smoke.sh         mtl-sweep campaign smoke runs
 #
 # Usage: scripts/verify.sh   (from the repository root)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== tier-1: cargo build --release"
-cargo build --release
-
-echo "== tier-1: cargo test"
-cargo test -q
-
-echo "== lint: cargo clippy --workspace -D warnings"
-cargo clippy --workspace -- -D warnings
-
-echo "== engine equivalence with specialized-par at 1 and 4 threads"
-MTL_SIM_THREADS=1 cargo test -q --release --test engine_equivalence
-MTL_SIM_THREADS=4 cargo test -q --release --test engine_equivalence
-
-echo "== smoke campaign: fig15 --smoke (writes BENCH_fig15_smoke.json)"
-RUSTMTL_BENCH_DIR="${RUSTMTL_BENCH_DIR:-target}" \
-    cargo run -p mtl-bench --bin fig15_injection_sweep --release -- --smoke
-
-echo "== profiled smoke campaign: fig13 --smoke --profile (writes BENCH_fig13.json)"
-RUSTMTL_BENCH_DIR="${RUSTMTL_BENCH_DIR:-target}" \
-    cargo run -p mtl-bench --bin fig13_lod --release -- --smoke --profile
-
-echo "== parallel smoke campaign: fig14 --smoke (all five engine series)"
-RUSTMTL_BENCH_DIR="${RUSTMTL_BENCH_DIR:-target}" \
-    cargo run -p mtl-bench --bin fig14_mesh_speedup --release -- --smoke
+for stage in scripts/ci/*.sh; do
+    echo "==== $stage"
+    sh "$stage"
+done
 
 echo "== verify: OK"

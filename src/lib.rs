@@ -15,6 +15,10 @@
 //! * [`eda`] — analytical area/energy/timing estimation
 //! * [`sweep`] — parallel simulation campaigns (sharded execution,
 //!   result caching, JSON reports)
+//! * [`check`] — the design linter and the five-engine differential
+//!   fuzzer (note: `check::lint` is the structural design linter;
+//!   `translate::lint` — also in the prelude — checks Verilog
+//!   translatability)
 //!
 //! # Examples
 //!
@@ -39,6 +43,7 @@
 
 pub use mtl_accel as accel;
 pub use mtl_bits as bits;
+pub use mtl_check as check;
 pub use mtl_core as core;
 pub use mtl_eda as eda;
 pub use mtl_net as net;

@@ -1,13 +1,17 @@
 //! Engine equivalence on randomized RTL designs.
 //!
-//! Generates random acyclic RTL designs (random-width signals, random
-//! combinational expression DAGs, random registers and memories), drives
-//! them with random inputs, and checks that all five simulation engines
-//! produce bit-identical values on every net, every cycle. This is the
-//! load-bearing property behind the framework: engine choice is a
-//! performance knob, never a semantics knob.
+//! Drives the `mtl-check` random design generator ([`RandomRtl`]: random
+//! acyclic RTL with random-width signals, random combinational expression
+//! DAGs, random registers and memories) with random inputs, and checks
+//! that all five simulation engines produce bit-identical values on every
+//! net, every cycle. This is the load-bearing property behind the
+//! framework: engine choice is a performance knob, never a semantics
+//! knob. The `fuzz` binary (`crates/bench/src/bin/fuzz.rs`) extends this
+//! with shrinking and reproducer emission; these tests pin specific
+//! seeds and edge-case designs as regressions.
 
-use rustmtl::core::{Component, Ctx, Expr, SignalRef};
+use rustmtl::check::RandomRtl;
+use rustmtl::core::{Component, Ctx, Expr};
 use rustmtl::prelude::*;
 use rustmtl::sim::{Engine, Sim, SimConfig};
 
@@ -22,139 +26,6 @@ impl Rng {
         self.0 = x;
         x.wrapping_mul(0x2545_F491_4F6C_DD1D)
     }
-
-    fn below(&mut self, n: u64) -> u64 {
-        self.next() % n
-    }
-}
-
-/// A random but well-formed RTL component, deterministic per seed.
-struct RandomRtl {
-    seed: u64,
-}
-
-impl RandomRtl {
-    /// Builds a random expression over the available signals.
-    fn random_expr(rng: &mut Rng, avail: &[SignalRef], width: u32, depth: u32) -> Expr {
-        if depth == 0 || rng.below(4) == 0 {
-            // Leaf: a resized signal read or a constant.
-            if !avail.is_empty() && rng.below(4) != 0 {
-                let s = avail[rng.below(avail.len() as u64) as usize];
-                let e = s.ex();
-                return if s.width() == width {
-                    e
-                } else if s.width() < width {
-                    if rng.below(2) == 0 {
-                        e.zext(width)
-                    } else {
-                        e.sext(width)
-                    }
-                } else {
-                    e.trunc(width)
-                };
-            }
-            return Expr::k(width, rng.next() as u128 | ((rng.next() as u128) << 64));
-        }
-        let a = Self::random_expr(rng, avail, width, depth - 1);
-        let b = Self::random_expr(rng, avail, width, depth - 1);
-        // Shift amounts driven from a live expression: the low bits of `b`
-        // are an arbitrary runtime value, so amounts routinely meet or
-        // exceed `width` and the generators exercise the saturating shift
-        // semantics on every engine.
-        let amt_w = width.min(8);
-        match rng.below(13) {
-            0 => a + b,
-            1 => a - b,
-            2 => a * b,
-            3 => a & b,
-            4 => a | b,
-            5 => a ^ b,
-            6 => a.eq(b).mux(
-                Self::random_expr(rng, avail, width, depth - 1),
-                Self::random_expr(rng, avail, width, depth - 1),
-            ),
-            7 => a.sll(Expr::k(3, rng.below(8) as u128)),
-            8 => {
-                if width > 1 {
-                    let cut = 1 + rng.below(width as u64 - 1) as u32;
-                    Expr::concat(vec![a.trunc(width - cut), b.trunc(cut)])
-                } else {
-                    !a
-                }
-            }
-            9 => a.sll(b.trunc(amt_w)),
-            10 => a.srl(b.trunc(amt_w)),
-            11 => a.sra(b.trunc(amt_w)),
-            _ => a.clone().lt(b.clone()).mux(Expr::k(width, 1), b),
-        }
-    }
-}
-
-impl Component for RandomRtl {
-    fn name(&self) -> String {
-        format!("RandomRtl_{}", self.seed)
-    }
-
-    fn build(&self, c: &mut Ctx) {
-        let mut rng = Rng(self.seed.max(1));
-        let reset = c.reset();
-        let mut avail: Vec<SignalRef> = Vec::new();
-
-        // A few inputs.
-        for i in 0..3 {
-            let w = 1 + rng.below(32) as u32;
-            avail.push(c.in_port(&format!("in{i}"), w));
-        }
-        // A memory exercised by one register pipeline.
-        let mem = c.mem("m", 8, 16);
-
-        // Random combinational wires (each driven by its own block so the
-        // dependency graph stays acyclic by construction).
-        for i in 0..10 {
-            let w = 1 + rng.below(48) as u32;
-            let wire = c.wire(&format!("w{i}"), w);
-            let expr = Self::random_expr(&mut rng, &avail, w, 2);
-            c.comb(&format!("comb{i}"), |b| b.assign(wire, expr));
-            avail.push(wire);
-        }
-        // Random registers (sequential blocks over everything so far).
-        for i in 0..5 {
-            let w = 1 + rng.below(32) as u32;
-            let reg = c.wire(&format!("r{i}"), w);
-            let expr = Self::random_expr(&mut rng, &avail, w, 2);
-            c.seq(&format!("seq{i}"), |b| {
-                b.if_else(reset, |b| b.assign(reg, Expr::k(w, 0)), |b| b.assign(reg, expr.clone()));
-            });
-            avail.push(reg);
-        }
-        // Memory write + read path.
-        let addr_src = avail[rng.below(avail.len() as u64) as usize];
-        let data_src = avail[rng.below(avail.len() as u64) as usize];
-        let data16 =
-            if data_src.width() >= 16 { data_src.ex().trunc(16) } else { data_src.ex().zext(16) };
-        c.seq("mem_seq", |b| {
-            b.mem_write(mem, addr_src.ex().trunc(1).zext(3), data16.clone());
-        });
-        let mo = c.wire("mem_out", 16);
-        c.comb("mem_comb", |b| {
-            b.assign(mo, mem.read(addr_src.ex().trunc(1).zext(3)));
-        });
-        avail.push(mo);
-
-        // Outputs: xor-fold of a few signals, plus direct taps.
-        let out = c.out_port("out", 32);
-        let taps: Vec<Expr> = avail
-            .iter()
-            .map(|s| if s.width() >= 32 { s.ex().trunc(32) } else { s.ex().zext(32) })
-            .collect();
-        c.comb("fold", |b| {
-            let mut acc = Expr::k(32, 0);
-            for t in taps {
-                acc = acc ^ t;
-            }
-            b.assign(out, acc);
-        });
-    }
 }
 
 fn run_equivalence(seed: u64, cycles: u64) {
@@ -162,7 +33,7 @@ fn run_equivalence(seed: u64, cycles: u64) {
     // identically; separate instances keep ownership simple).
     let mut sims: Vec<Sim> = Engine::ALL
         .iter()
-        .map(|&e| Sim::build(&RandomRtl { seed }, e).expect("random design must elaborate"))
+        .map(|&e| Sim::build(&RandomRtl::new(seed), e).expect("random design must elaborate"))
         .collect();
     let nsignals = sims[0].design().signals().len();
 
@@ -265,7 +136,7 @@ fn profiler_block_counts_agree_across_engines() {
     for seed in [2u64, 6, 11] {
         let mut sims: Vec<Sim> = Engine::ALL
             .iter()
-            .map(|&e| Sim::build(&RandomRtl { seed }, e).expect("random design must elaborate"))
+            .map(|&e| Sim::build(&RandomRtl::new(seed), e).expect("random design must elaborate"))
             .collect();
         for sim in &mut sims {
             sim.enable_profiling();
@@ -452,10 +323,11 @@ fn specialized_par_matches_opt_at_explicit_thread_counts() {
     for threads in [1usize, 4] {
         for seed in [3u64, 7, 12] {
             let mut opt =
-                Sim::build(&RandomRtl { seed }, Engine::SpecializedOpt).expect("elaborates");
+                Sim::build(&RandomRtl::new(seed), Engine::SpecializedOpt).expect("elaborates");
             let cfg = SimConfig { threads: Some(threads) };
-            let mut par = Sim::build_with_config(&RandomRtl { seed }, Engine::SpecializedPar, &cfg)
-                .expect("elaborates");
+            let mut par =
+                Sim::build_with_config(&RandomRtl::new(seed), Engine::SpecializedPar, &cfg)
+                    .expect("elaborates");
             opt.enable_profiling();
             par.enable_profiling();
             opt.reset();

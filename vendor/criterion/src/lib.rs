@@ -185,9 +185,7 @@ mod tests {
                 std::thread::sleep(Duration::from_micros(60));
             })
         });
-        group.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| {
-            b.iter(|| x * 2)
-        });
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| b.iter(|| x * 2));
         group.finish();
         assert!(runs >= 3);
     }
