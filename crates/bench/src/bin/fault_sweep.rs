@@ -1,0 +1,304 @@
+//! Resilience campaign: seeded fault injection over the mesh network and
+//! the accelerator tile at FL/CL/RTL.
+//!
+//! For each design point this sweep draws seeded random [`FaultPlan`]s
+//! (transient bit-flips plus stuck-at faults on injectable nets), runs a
+//! golden-vs-faulted differential simulation per plan, and tallies the
+//! outcome taxonomy from `EXPERIMENTS.md`: **masked** (no divergence),
+//! **silent** (internal state corrupted, outputs clean — the SDC risk
+//! class), and **detected** (a top-level output diverged). Alongside the
+//! taxonomy it reports mean first-divergence cycle and mean blast radius
+//! (how many distinct nets a fault corrupts).
+//!
+//! Every metric here is deterministic — plans are seeded, traces are
+//! engine-independent (`mtl_fault::engine_agreement` is enforced by the
+//! test suite) — so unlike the rate-measuring figure binaries these jobs
+//! are cacheable and journalable. The campaign exercises the full
+//! hardened `mtl-sweep` path: per-job watchdogs, bounded retry, and a
+//! checkpoint journal so an interrupted campaign resumes without
+//! recomputing finished jobs (`--journal PATH` overrides the location).
+//!
+//! `--smoke` runs a small FL/CL-only variant (< 2s) used by
+//! `scripts/ci/45_fault.sh`, which also kills and resumes it to smoke the
+//! checkpoint/resume path. Writes `BENCH_fault.json`
+//! (`BENCH_fault_smoke.json` for `--smoke`).
+
+use std::time::Duration;
+
+use mtl_accel::{TileConfig, TileHarness, XcelLevel};
+use mtl_bench::{arg_value, banner, mesh_harness, write_bench_report};
+use mtl_core::Component;
+use mtl_fault::{run_diff, DiffConfig, FaultPlan, Outcome, PlanSpec};
+use mtl_net::NetLevel;
+use mtl_proc::{CacheLevel, ProcLevel};
+use mtl_sim::{Engine, Sim};
+use mtl_sweep::{Campaign, CampaignReport, Job, JobMetrics};
+
+/// One design under fault injection. `Copy` so job closures can rebuild
+/// it inside the worker thread (sims never cross threads).
+#[derive(Debug, Clone, Copy)]
+enum Dut {
+    /// Mesh traffic harness at one network level.
+    Mesh(NetLevel, usize),
+    /// Accelerator tile (uniform level across proc/cache/xcel).
+    Tile(ProcLevel, CacheLevel, XcelLevel),
+}
+
+impl Dut {
+    fn label(&self) -> String {
+        match *self {
+            Dut::Mesh(level, n) => format!("mesh{n}/{level}"),
+            Dut::Tile(p, _, _) => format!("tile/{p}"),
+        }
+    }
+
+    fn build(&self) -> Box<dyn Component> {
+        match *self {
+            // Moderate load so faults land on busy logic, not idle wires.
+            Dut::Mesh(level, n) => Box::new(mesh_harness(level, n, 200)),
+            Dut::Tile(p, c, x) => {
+                let config = TileConfig { proc: p, cache: c, xcel: x };
+                // A few proc2mngr words keep the frontend and cache
+                // machinery active through the observation window.
+                Box::new(TileHarness::new(config, 1 << 10, vec![3, 1, 4, 1, 5, 9]))
+            }
+        }
+    }
+}
+
+struct Spec {
+    report_name: &'static str,
+    duts: Vec<Dut>,
+    /// Independent jobs per design point (journal/resume granularity).
+    chunks: u32,
+    /// Differential runs per job.
+    trials: u64,
+    /// Observation window after reset, in cycles.
+    cycles: u64,
+    /// Faults drawn per plan.
+    faults: usize,
+    engine: Engine,
+    watchdog: Duration,
+}
+
+impl Spec {
+    fn full() -> Spec {
+        let uniform = |p, c, x| Dut::Tile(p, c, x);
+        Spec {
+            report_name: "fault",
+            duts: vec![
+                Dut::Mesh(NetLevel::Fl, 16),
+                Dut::Mesh(NetLevel::Cl, 16),
+                Dut::Mesh(NetLevel::Rtl, 16),
+                uniform(ProcLevel::Fl, CacheLevel::Fl, XcelLevel::Fl),
+                uniform(ProcLevel::Cl, CacheLevel::Cl, XcelLevel::Cl),
+                uniform(ProcLevel::Rtl, CacheLevel::Rtl, XcelLevel::Rtl),
+            ],
+            chunks: 4,
+            trials: 6,
+            cycles: 200,
+            faults: 2,
+            engine: Engine::SpecializedOpt,
+            watchdog: Duration::from_secs(120),
+        }
+    }
+
+    /// The CI smoke variant: two small designs, four jobs total, so the
+    /// kill/resume smoke has several journal entries to replay.
+    fn smoke() -> Spec {
+        Spec {
+            report_name: "fault_smoke",
+            duts: vec![
+                Dut::Mesh(NetLevel::Cl, 16),
+                Dut::Tile(ProcLevel::Fl, CacheLevel::Fl, XcelLevel::Fl),
+            ],
+            chunks: 2,
+            trials: 2,
+            cycles: 60,
+            faults: 1,
+            engine: Engine::Interpreted,
+            watchdog: Duration::from_secs(60),
+        }
+    }
+
+    fn job_name(dut: Dut, chunk: u32) -> String {
+        format!("{}/chunk{chunk}", dut.label())
+    }
+
+    fn campaign(&self, journal: &std::path::Path) -> Campaign {
+        let mut campaign = Campaign::new(self.report_name).retry(1).journal(journal);
+        for &dut in &self.duts {
+            for chunk in 0..self.chunks {
+                campaign = campaign.job(self.fault_job(dut, chunk));
+            }
+        }
+        campaign
+    }
+
+    fn fault_job(&self, dut: Dut, chunk: u32) -> Job {
+        let (trials, cycles, faults, engine) = (self.trials, self.cycles, self.faults, self.engine);
+        Job::new(Self::job_name(dut, chunk), move |ctx| {
+            let top = dut.build();
+            // One throwaway elaboration yields the design plans are drawn
+            // against; the differential runs build their own simulators.
+            let probe = Sim::build(top.as_ref(), Engine::Interpreted)
+                .map_err(|e| format!("elaboration failed: {e:?}"))?;
+            let window = PlanSpec::new(faults, 2, 1 + cycles.max(1));
+            let cfg = DiffConfig::new(engine, cycles);
+            let mut tally = Tally::default();
+            for trial in 0..trials {
+                let seed = mix(ctx.seed, (u64::from(chunk) << 32) | trial);
+                let plan = FaultPlan::random(seed, probe.design(), &window);
+                let report = run_diff(top.as_ref(), &plan, &cfg)?;
+                tally.add(&report);
+            }
+            Ok(tally.metrics(trials))
+        })
+        .param("dut", dut.label())
+        .param("chunk", chunk)
+        .param("engine", engine)
+        .param("cycles", cycles)
+        .param("faults_per_trial", faults)
+        .watchdog(self.watchdog)
+    }
+
+    fn print_table(&self, report: &CampaignReport) {
+        println!(
+            "\n--- fault taxonomy: {} trials x {} fault(s) per design point, \
+             {}-cycle window, {} engine ---",
+            self.trials * u64::from(self.chunks),
+            self.faults,
+            self.cycles,
+            self.engine,
+        );
+        println!(
+            "{:<12} {:>7} {:>7} {:>7} {:>9} {:>14} {:>12}",
+            "design", "masked", "silent", "detect", "injected", "mean div cycle", "mean blast"
+        );
+        for &dut in &self.duts {
+            let mut total = Tally::default();
+            let mut failed = false;
+            for chunk in 0..self.chunks {
+                match report.get(&Self::job_name(dut, chunk)).and_then(Tally::from_report) {
+                    Some(t) => total.merge(&t),
+                    None => failed = true,
+                }
+            }
+            let div = if total.diverged > 0 {
+                format!("{:>14.1}", total.sum_first_div as f64 / total.diverged as f64)
+            } else {
+                format!("{:>14}", "-")
+            };
+            let blast = if total.diverged > 0 {
+                format!("{:>12.1}", total.sum_blast as f64 / total.diverged as f64)
+            } else {
+                format!("{:>12}", "-")
+            };
+            println!(
+                "{:<12} {:>7} {:>7} {:>7} {:>9} {div} {blast}{}",
+                dut.label(),
+                total.masked,
+                total.silent,
+                total.detected,
+                total.injected_bits,
+                if failed { "   (some chunks failed)" } else { "" },
+            );
+        }
+    }
+}
+
+/// Running outcome totals for one or more jobs.
+#[derive(Debug, Default)]
+struct Tally {
+    masked: u64,
+    silent: u64,
+    detected: u64,
+    /// Trials that diverged at all (silent + detected).
+    diverged: u64,
+    sum_first_div: u64,
+    sum_blast: u64,
+    injected_bits: u64,
+}
+
+impl Tally {
+    fn add(&mut self, r: &mtl_fault::FaultReport) {
+        match r.outcome {
+            Outcome::Masked => self.masked += 1,
+            Outcome::Silent => self.silent += 1,
+            Outcome::Detected => self.detected += 1,
+        }
+        if let Some(c) = r.first_divergence {
+            self.diverged += 1;
+            self.sum_first_div += c;
+            self.sum_blast += r.blast_radius.len() as u64;
+        }
+        self.injected_bits += r.injected_bits;
+    }
+
+    fn merge(&mut self, other: &Tally) {
+        self.masked += other.masked;
+        self.silent += other.silent;
+        self.detected += other.detected;
+        self.diverged += other.diverged;
+        self.sum_first_div += other.sum_first_div;
+        self.sum_blast += other.sum_blast;
+        self.injected_bits += other.injected_bits;
+    }
+
+    fn metrics(&self, trials: u64) -> JobMetrics {
+        JobMetrics::new()
+            .det("trials", trials)
+            .det("masked", self.masked)
+            .det("silent", self.silent)
+            .det("detected", self.detected)
+            .det("diverged", self.diverged)
+            .det("sum_first_divergence", self.sum_first_div)
+            .det("sum_blast_radius", self.sum_blast)
+            .det("injected_bits", self.injected_bits)
+    }
+
+    fn from_report(job: &mtl_sweep::JobReport) -> Option<Tally> {
+        Some(Tally {
+            masked: job.u64("masked")?,
+            silent: job.u64("silent")?,
+            detected: job.u64("detected")?,
+            diverged: job.u64("diverged")?,
+            sum_first_div: job.u64("sum_first_divergence")?,
+            sum_blast: job.u64("sum_blast_radius")?,
+            injected_bits: job.u64("injected_bits")?,
+        })
+    }
+}
+
+/// SplitMix64 finalizer: decorrelates per-trial plan seeds from the
+/// campaign seed and trial index.
+fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut spec = if smoke { Spec::smoke() } else { Spec::full() };
+    // Tight watchdogs for the CI hang smoke (scripts/ci/45_fault.sh);
+    // production campaigns keep the generous defaults.
+    if let Some(ms) = arg_value("--watchdog-ms").and_then(|v| v.parse().ok()) {
+        spec.watchdog = Duration::from_millis(ms);
+    }
+    banner("Fault-injection resilience campaign", "EXPERIMENTS.md, fault taxonomy");
+    let journal = arg_value("--journal")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| format!("target/sweep-journal/{}.jsonl", spec.report_name).into());
+    let report = spec.campaign(&journal).run();
+    spec.print_table(&report);
+    println!(
+        "\n{} replayed from journal, {} cached, {} executed, {} timed out",
+        report.replayed_count(),
+        report.cached_count(),
+        report.executed_count(),
+        report.timed_out_count(),
+    );
+    write_bench_report(&report, spec.report_name);
+}

@@ -7,29 +7,90 @@
 //!
 //! Usage:
 //!   cargo run -p mtl-bench --release --bin fuzz -- \
-//!       [--iters N] [--seed S] [--cycles C]
+//!       [--iters N] [--seed S] [--cycles C] [--repro-dir DIR] [--fault]
 //!
 //! Defaults: 100 iterations, seed 7, 25 cycles per design. The run is
 //! fully deterministic in (iters, seed, cycles); CI pins all three so a
 //! red fuzz stage is reproducible locally with the same flags.
+//!
+//! With `--repro-dir`, a mismatch additionally writes the minimized
+//! reproducer to `DIR/repro_seed_<seed>.rs` (directory created as needed,
+//! temp-file + rename so a partial file is never left behind).
+//!
+//! With `--fault`, runs the fault-differential mode instead: each
+//! iteration draws a seeded fault plan over the random design and asserts
+//! every engine produces the identical golden-vs-faulty divergence report
+//! (first-divergence cycle, masked/silent/detected classification, blast
+//! radius). Fault-mode defaults: 25 iterations, 20 cycles, 3 faults/plan.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use mtl_bench::arg_value;
-use mtl_check::{design_seed, fuzz_one, FuzzConfig};
+use mtl_check::{
+    design_seed, fault_fuzz_one, fuzz_one, write_repro_atomic, FaultFuzzConfig, FuzzConfig,
+};
+
+fn fault_main(seed_arg: Option<u64>, iters_arg: Option<u64>, cycles_arg: Option<u64>) -> ExitCode {
+    let mut cfg = FaultFuzzConfig::default();
+    if let Some(v) = iters_arg {
+        cfg.iters = v;
+    }
+    if let Some(v) = seed_arg {
+        cfg.seed = v;
+    }
+    if let Some(v) = cycles_arg {
+        cfg.cycles = v;
+    }
+
+    println!(
+        "fault differential: {} designs, base seed {}, {} cycles/design, \
+         {} faults/plan, 7 engine configs",
+        cfg.iters, cfg.seed, cfg.cycles, cfg.faults
+    );
+    let t0 = Instant::now();
+    let (mut masked, mut silent, mut detected) = (0u64, 0u64, 0u64);
+    for iter in 0..cfg.iters {
+        let seed = design_seed(cfg.seed, iter);
+        match fault_fuzz_one(seed, &cfg) {
+            Ok(mtl_fault::Outcome::Masked) => masked += 1,
+            Ok(mtl_fault::Outcome::Silent) => silent += 1,
+            Ok(mtl_fault::Outcome::Detected) => detected += 1,
+            Err(e) => {
+                eprintln!("fault differential mismatch at iteration {iter}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!(
+        "fault fuzz: OK — {} faulted designs agreed ({masked} masked, {silent} silent, \
+         {detected} detected) in {:.1}s",
+        cfg.iters,
+        t0.elapsed().as_secs_f64()
+    );
+    ExitCode::SUCCESS
+}
 
 fn main() -> ExitCode {
+    let seed_arg = arg_value("--seed").map(|v| v.parse().expect("--seed takes an integer"));
+    let iters_arg = arg_value("--iters").map(|v| v.parse().expect("--iters takes an integer"));
+    let cycles_arg = arg_value("--cycles").map(|v| v.parse().expect("--cycles takes an integer"));
+    if std::env::args().any(|a| a == "--fault") {
+        return fault_main(seed_arg, iters_arg, cycles_arg);
+    }
+
     let mut cfg = FuzzConfig::default();
-    if let Some(v) = arg_value("--iters") {
-        cfg.iters = v.parse().expect("--iters takes an integer");
+    if let Some(v) = iters_arg {
+        cfg.iters = v;
     }
-    if let Some(v) = arg_value("--seed") {
-        cfg.seed = v.parse().expect("--seed takes an integer");
+    if let Some(v) = seed_arg {
+        cfg.seed = v;
     }
-    if let Some(v) = arg_value("--cycles") {
-        cfg.cycles = v.parse().expect("--cycles takes an integer");
+    if let Some(v) = cycles_arg {
+        cfg.cycles = v;
     }
+    let repro_dir = arg_value("--repro-dir").map(PathBuf::from);
 
     println!(
         "differential fuzz: {} iterations, base seed {}, {} cycles/design, 6 engine configs",
@@ -42,6 +103,13 @@ fn main() -> ExitCode {
         if let Some(mut failure) = fuzz_one(seed, &cfg) {
             failure.iter = iter;
             eprintln!("{failure}");
+            if let Some(dir) = &repro_dir {
+                let name = format!("repro_seed_{:#x}.rs", failure.design_seed);
+                match write_repro_atomic(dir, &name, &failure.repro) {
+                    Ok(path) => eprintln!("reproducer written to {}", path.display()),
+                    Err(e) => eprintln!("failed to write reproducer to {}: {e}", dir.display()),
+                }
+            }
             return ExitCode::FAILURE;
         }
         if (iter + 1) % progress_every == 0 || iter + 1 == cfg.iters {

@@ -18,7 +18,13 @@
 //!   designs and runs each under all five engines (`SpecializedPar` at 1
 //!   and 4 threads), comparing settled values and logical profile counts
 //!   cycle-by-cycle; mismatches are shrunk ([`shrink`]) and reported as
-//!   ready-to-paste Rust reproducers.
+//!   ready-to-paste Rust reproducers (written durably with
+//!   [`write_repro_atomic`]).
+//! * **Fault differential** — [`fault_fuzz`] extends the agreement
+//!   property to *faulted* runs: a seeded `mtl_fault::FaultPlan` is drawn
+//!   over each random design and every engine must produce the identical
+//!   golden-vs-faulty divergence report (first-divergence cycle,
+//!   masked/silent/detected classification, blast radius).
 //!
 //! # Examples
 //!
@@ -53,12 +59,16 @@
 //! mtl_check::fuzz(&cfg).expect("engines must agree");
 //! ```
 
+mod fault_diff;
 mod fuzz;
+mod repro;
 mod rtl;
 
+pub use fault_diff::{fault_fuzz, fault_fuzz_one, FaultFuzzConfig, FaultFuzzSummary};
 pub use fuzz::{
     design_seed, engines_under_test, fuzz, fuzz_one, run_differential, shrink, Divergence,
     DivergenceKind, EngineSel, FuzzConfig, FuzzFailure, FuzzSummary,
 };
 pub use mtl_core::{elaborate_unchecked, lint, Diagnostic, LintRule, Severity};
+pub use repro::write_repro_atomic;
 pub use rtl::{repro_snippet, RandomRtl, RtlDesc, RtlShape, SigDef};

@@ -1,0 +1,67 @@
+//! Durable reproducer output.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::process;
+
+/// Atomically writes a reproducer file under `dir`, creating the
+/// directory (and parents) first.
+///
+/// The contents go to a process-unique temporary file in the same
+/// directory which is then renamed over the final name, so a crash,
+/// watchdog kill, or concurrent writer can never leave a truncated
+/// reproducer behind — a half-written repro is worse than none, because
+/// it looks actionable. Returns the final path.
+///
+/// # Errors
+///
+/// Propagates directory-creation, write, and rename failures.
+pub fn write_repro_atomic(dir: &Path, file_name: &str, contents: &str) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let final_path = dir.join(file_name);
+    let tmp_path = dir.join(format!(".{file_name}.{}.tmp", process::id()));
+    fs::write(&tmp_path, contents)?;
+    match fs::rename(&tmp_path, &final_path) {
+        Ok(()) => Ok(final_path),
+        Err(e) => {
+            // Best-effort cleanup; the rename error is the one to report.
+            let _ = fs::remove_file(&tmp_path);
+            Err(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mtl_check_repro_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn creates_nested_dirs_and_writes_contents() {
+        let base = temp_dir("nested");
+        let dir = base.join("a").join("b");
+        let path = write_repro_atomic(&dir, "repro.rs", "fn main() {}").unwrap();
+        assert_eq!(path, dir.join("repro.rs"));
+        assert_eq!(fs::read_to_string(&path).unwrap(), "fn main() {}");
+        // No temporary file left behind.
+        let leftovers: Vec<_> = fs::read_dir(&dir).unwrap().collect();
+        assert_eq!(leftovers.len(), 1);
+        let _ = fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn overwrites_existing_repro_atomically() {
+        let dir = temp_dir("overwrite");
+        write_repro_atomic(&dir, "repro.rs", "old").unwrap();
+        let path = write_repro_atomic(&dir, "repro.rs", "new").unwrap();
+        assert_eq!(fs::read_to_string(path).unwrap(), "new");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

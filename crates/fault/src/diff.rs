@@ -1,0 +1,231 @@
+//! Golden-vs-faulty differential runs and outcome classification.
+
+use mtl_core::{Component, SignalKind};
+use mtl_sim::{Engine, Sim, SimConfig};
+
+use crate::plan::FaultPlan;
+
+/// How a fault campaign classifies one injected fault's effect, judged
+/// over the observation window (see `EXPERIMENTS.md` for the taxonomy):
+///
+/// * **Masked** — no net ever diverged from the golden run: the fault was
+///   logically masked (overwritten, unused, or off the sensitized path).
+/// * **Silent** — internal state diverged but no top-level output port
+///   ever did: latent corruption the environment cannot observe within
+///   the window (the silent-data-corruption risk class).
+/// * **Detected** — a top-level output port diverged: the corruption is
+///   architecturally visible to the environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    Masked,
+    Silent,
+    Detected,
+}
+
+impl std::fmt::Display for Outcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Outcome::Masked => "masked",
+            Outcome::Silent => "silent",
+            Outcome::Detected => "detected",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The result of one golden-vs-faulty differential run.
+///
+/// Derived entirely from the two value traces, so it is engine-independent
+/// whenever the traces are — which [`engine_agreement`] asserts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Classification over the observation window.
+    pub outcome: Outcome,
+    /// First cycle on which any net diverged from golden.
+    pub first_divergence: Option<u64>,
+    /// First cycle on which a top-level output port diverged.
+    pub detected_at: Option<u64>,
+    /// Hierarchical paths of every net that diverged at least once
+    /// (sorted, deduplicated): the fault's blast radius.
+    pub blast_radius: Vec<String>,
+    /// Bits disturbed in the faulty run.
+    pub injected_bits: u64,
+    /// Cycles observed after reset.
+    pub cycles: u64,
+    /// FNV-1a fingerprint of the faulty run's full value trace (every
+    /// net, every cycle). Equal fingerprints across engines mean
+    /// byte-identical faulty traces.
+    pub trace_fingerprint: u64,
+}
+
+/// Configuration for [`run_diff`].
+#[derive(Debug, Clone, Copy)]
+pub struct DiffConfig {
+    /// Engine both runs use.
+    pub engine: Engine,
+    /// `SpecializedPar` worker count (`None`: engine default).
+    pub threads: Option<usize>,
+    /// Observation window: cycles simulated after `reset()`.
+    pub cycles: u64,
+}
+
+impl DiffConfig {
+    /// A window of `cycles` on the given engine with default threading.
+    pub fn new(engine: Engine, cycles: u64) -> DiffConfig {
+        DiffConfig { engine, threads: None, cycles }
+    }
+}
+
+fn build(top: &dyn Component, cfg: &DiffConfig) -> Result<Sim, String> {
+    let sim_cfg = SimConfig { threads: cfg.threads };
+    Sim::build_with_config(top, cfg.engine, &sim_cfg)
+        .map_err(|e| format!("elaboration failed: {e:?}"))
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
+fn fnv_fold(hash: &mut u64, v: u128) {
+    for b in v.to_le_bytes() {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// Runs a golden and a faulted simulation of `top` in lockstep on one
+/// engine and classifies the fault's effect.
+///
+/// Both simulators are reset, the plan is installed on the faulty one,
+/// and both advance `cfg.cycles` cycles; designs drive themselves (the
+/// mesh and tile harnesses generate their own traffic), so no external
+/// stimulus is applied beyond reset. Every net is compared every cycle.
+///
+/// # Errors
+///
+/// Returns elaboration failures and unresolvable fault targets.
+pub fn run_diff(
+    top: &dyn Component,
+    plan: &FaultPlan,
+    cfg: &DiffConfig,
+) -> Result<FaultReport, String> {
+    let mut golden = build(top, cfg)?;
+    let mut faulty = build(top, cfg)?;
+    plan.apply(&mut faulty)?;
+    golden.reset();
+    faulty.reset();
+
+    let design = golden.design();
+    // One representative signal per net, plus whether the net surfaces
+    // at a top-level output port (the detection boundary).
+    let mut probes: Vec<(usize, mtl_core::SignalId, bool)> = Vec::new();
+    for (i, n) in design.nets().iter().enumerate() {
+        let Some(&sig) = n.signals.first() else { continue };
+        let output = n.signals.iter().any(|&s| {
+            let info = design.signal(s);
+            info.kind == SignalKind::OutPort && info.module == design.top()
+        });
+        probes.push((i, sig, output));
+    }
+
+    let mut first_divergence = None;
+    let mut detected_at = None;
+    let mut diverged: Vec<bool> = vec![false; design.nets().len()];
+    let mut fingerprint = FNV_OFFSET;
+    for _ in 0..cfg.cycles {
+        // The cycle about to be simulated, in `cycle_count` time (the
+        // time base fault plans are scheduled in).
+        let cycle = faulty.cycle_count();
+        golden.cycle();
+        faulty.cycle();
+        for &(net, sig, output) in &probes {
+            let f = faulty.peek(sig);
+            fnv_fold(&mut fingerprint, f.as_u128());
+            if f != golden.peek(sig) {
+                first_divergence.get_or_insert(cycle);
+                if output {
+                    detected_at.get_or_insert(cycle);
+                }
+                diverged[net] = true;
+            }
+        }
+    }
+    let design = golden.design();
+    let mut blast_radius: Vec<String> = diverged
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d)
+        .map(|(i, _)| design.net_path(mtl_core::NetId::from_index(i)))
+        .collect();
+    blast_radius.sort();
+    blast_radius.dedup();
+    let outcome = if detected_at.is_some() {
+        Outcome::Detected
+    } else if first_divergence.is_some() {
+        Outcome::Silent
+    } else {
+        Outcome::Masked
+    };
+    Ok(FaultReport {
+        outcome,
+        first_divergence,
+        detected_at,
+        blast_radius,
+        injected_bits: faulty.injected_bits(),
+        cycles: cfg.cycles,
+        trace_fingerprint: fingerprint,
+    })
+}
+
+/// The simulator configurations [`engine_agreement`] runs: all five
+/// engines, with `SpecializedPar` additionally pinned to 1 and 4 worker
+/// threads (the partitioned double-buffered paths must agree at every
+/// width).
+pub fn agreement_configs(cycles: u64) -> Vec<DiffConfig> {
+    let mut cfgs: Vec<DiffConfig> =
+        Engine::ALL.iter().map(|&e| DiffConfig::new(e, cycles)).collect();
+    cfgs.push(DiffConfig { engine: Engine::SpecializedPar, threads: Some(1), cycles });
+    cfgs.push(DiffConfig { engine: Engine::SpecializedPar, threads: Some(4), cycles });
+    cfgs
+}
+
+/// Runs [`run_diff`] under every configuration of [`agreement_configs`]
+/// and asserts they all produced the same report — same faulty-trace
+/// fingerprint (byte-identical traces), same first-divergence cycle,
+/// same classification, same blast radius.
+///
+/// # Errors
+///
+/// Returns the first disagreement, naming both configurations, or any
+/// per-run error.
+pub fn engine_agreement(
+    top: &dyn Component,
+    plan: &FaultPlan,
+    cycles: u64,
+) -> Result<FaultReport, String> {
+    let cfgs = agreement_configs(cycles);
+    let mut reference: Option<(DiffConfig, FaultReport)> = None;
+    for cfg in cfgs {
+        let report = run_diff(top, plan, &cfg)
+            .map_err(|e| format!("{} (threads {:?}): {e}", cfg.engine, cfg.threads))?;
+        match &reference {
+            None => reference = Some((cfg, report)),
+            Some((ref_cfg, ref_report)) => {
+                if *ref_report != report {
+                    return Err(format!(
+                        "engines disagree on the faulted run ({}): \
+                         {} (threads {:?}) reported {:?}, \
+                         but {} (threads {:?}) reported {:?}",
+                        plan.summary(),
+                        ref_cfg.engine,
+                        ref_cfg.threads,
+                        ref_report,
+                        cfg.engine,
+                        cfg.threads,
+                        report,
+                    ));
+                }
+            }
+        }
+    }
+    Ok(reference.expect("at least one configuration ran").1)
+}

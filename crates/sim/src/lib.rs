@@ -34,5 +34,5 @@ mod vcd;
 pub use overheads::Overheads;
 pub use par::default_threads;
 pub use profile::{Hist, HotBlock, SimProfile};
-pub use sim::{Engine, Sim, SimConfig};
+pub use sim::{Engine, InjectKind, Injection, Sim, SimConfig};
 pub use vcd::VcdWriter;

@@ -959,9 +959,56 @@ impl EngineImpl for ParTapeEngine {
 
     fn cycle(&mut self) {
         self.eval();
+        self.edge();
+        self.comb_phase();
+        self.cycles += 1;
+    }
+
+    fn edge(&mut self) {
         self.seq_phase();
         self.commit();
+    }
+
+    fn exec_block(&mut self, b: u32) {
+        if matches!(self.design.blocks()[b as usize].body, BlockBody::Ir(_)) {
+            let sh = Arc::clone(&self.shared);
+            let mut pending = sh.pending[0].lock().unwrap();
+            // SAFETY: workers are parked at the barrier; the control
+            // thread has exclusive access to the shared state.
+            unsafe {
+                exec_unit_tape(
+                    &sh.block_tapes[b as usize],
+                    &mut self.regs,
+                    &sh,
+                    &mut pending,
+                    &mut self.changed,
+                )
+            };
+        } else {
+            self.run_native(b);
+        }
+    }
+
+    fn force(&mut self, slot: u32, v: Bits, also_next: bool) {
+        let s = slot as usize;
+        let sh = Arc::clone(&self.shared);
+        // SAFETY: workers are parked at the barrier between steps.
+        unsafe {
+            sh.cur_mut()[s] = v.as_u128();
+            if also_next {
+                sh.next_mut()[s] = v.as_u128();
+            }
+        }
+    }
+
+    fn settle_full(&mut self) {
+        for i in 0..self.comb_units.len() {
+            self.mark_unit(self.comb_units[i]);
+        }
         self.comb_phase();
+    }
+
+    fn bump_cycles(&mut self) {
         self.cycles += 1;
     }
 

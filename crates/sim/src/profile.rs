@@ -146,6 +146,12 @@ pub struct SimProfile {
     /// Settle points observed (one per `eval()` or `cycle()` call since
     /// profiling was enabled). Logical: engine-independent.
     pub settles: u64,
+    /// Bits disturbed by fault injection so far (one per masked bit per
+    /// faulted cycle). Logical: engine-independent.
+    pub injections: u64,
+    /// Cycles on which at least one installed fault was active. Logical:
+    /// engine-independent.
+    pub faulted_cycles: u64,
     /// Logical execution count per block (engine-independent), indexed by
     /// block.
     pub block_runs: Vec<u64>,
@@ -304,6 +310,8 @@ mod tests {
             engine: Engine::Interpreted,
             cycles: 1,
             settles: 1,
+            injections: 0,
+            faulted_cycles: 0,
             block_runs: vec![5, 9, 9],
             block_nanos: vec![10, 30, 30],
             block_paths: vec!["top.c".into(), "top.b".into(), "top.a".into()],

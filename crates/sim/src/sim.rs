@@ -86,6 +86,115 @@ pub(crate) trait EngineImpl {
     fn activity(&self) -> &[u64];
     fn set_profiling(&mut self, on: bool);
     fn stats(&self) -> Option<&EngineStats>;
+    // Fault-injection primitives (see `Sim::inject`). These let the
+    // wrapper drive a cycle manually — settle, clock edge, re-settle —
+    // with identical sequencing on every engine, which is what makes
+    // faulty traces byte-identical across backends.
+    /// Runs the sequential blocks and commits register/memory shadow
+    /// state (the clock-edge half of `cycle()`), without settling
+    /// combinational logic and without advancing the cycle counter.
+    fn edge(&mut self);
+    /// Executes one block serially through the engine's native write
+    /// path. Used by the wrapper's levelized injection settle.
+    fn exec_block(&mut self, b: u32);
+    /// Overwrites a net's settled value without waking readers or
+    /// marking schedules dirty. With `also_next`, the shadow (`next`)
+    /// copy is overwritten too, so a forced register value survives the
+    /// commit unless a sequential block reassigns it (SEU semantics:
+    /// hold paths keep the flipped bit, update paths overwrite it).
+    fn force(&mut self, slot: u32, v: Bits, also_next: bool);
+    /// Unconditionally re-evaluates every combinational block (full
+    /// settle), washing out any forced values whose faults expired.
+    fn settle_full(&mut self);
+    /// Advances the cycle counter (split out of `cycle()` so the
+    /// wrapper's faulted path can bump it after the post-edge settle,
+    /// matching the counter's position in the normal path).
+    fn bump_cycles(&mut self);
+}
+
+/// The disturbance a scheduled [`Injection`] applies to its target net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InjectKind {
+    /// Transient single-event upset: XOR the mask into the settled value.
+    /// On a register net the flipped bits persist across the clock edge
+    /// unless the register captures a new value that cycle.
+    Flip,
+    /// Stuck-at-0: masked bits forced low for the fault's duration.
+    StuckAt0,
+    /// Stuck-at-1: masked bits forced high for the fault's duration.
+    StuckAt1,
+}
+
+impl std::fmt::Display for InjectKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            InjectKind::Flip => "flip",
+            InjectKind::StuckAt0 => "stuck-at-0",
+            InjectKind::StuckAt1 => "stuck-at-1",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One scheduled fault on a net, installed with [`Sim::inject`].
+///
+/// The fault is applied as a post-settle/pre-edge hook: on each cycle in
+/// `[cycle, cycle + duration)` the simulator settles combinational logic,
+/// applies the disturbance, re-settles in a fixed levelized order while
+/// holding the disturbed value forced, and only then clocks the edge — so
+/// sequential state captures the faulty values. Stuck-at faults are also
+/// held through the post-edge settle; transient flips are not (their
+/// effect persists only through whatever state latched them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Injection {
+    /// Any signal on the target net (internal signals allowed).
+    pub sig: SignalId,
+    /// Bits of the net to disturb; must be non-zero and within the net's
+    /// width.
+    pub mask: u128,
+    /// Disturbance kind.
+    pub kind: InjectKind,
+    /// First cycle (as counted by [`Sim::cycle_count`]) the fault is
+    /// active.
+    pub cycle: u64,
+    /// Number of consecutive cycles the fault is active (≥ 1; transient
+    /// flips are conventionally 1).
+    pub duration: u64,
+}
+
+/// An installed fault: the [`Injection`] resolved to a net slot.
+struct FaultState {
+    slot: u32,
+    width: u32,
+    is_reg: bool,
+    mask: u128,
+    kind: InjectKind,
+    cycle: u64,
+    duration: u64,
+}
+
+impl FaultState {
+    /// Whether the fault disturbs the pre-edge settle of `cycle`.
+    fn active_pre(&self, cycle: u64) -> bool {
+        cycle >= self.cycle && cycle - self.cycle < self.duration
+    }
+
+    /// Whether the fault is still forced after the edge of `cycle`
+    /// (stuck-at faults only; a flip is a one-shot disturbance whose
+    /// persistence comes from state that latched it).
+    fn active_post(&self, cycle: u64) -> bool {
+        self.kind != InjectKind::Flip && self.active_pre(cycle)
+    }
+
+    /// The forced value given a freshly driven clean value `v`.
+    fn apply(&self, v: u128, width_mask: u128) -> u128 {
+        let forced = match self.kind {
+            InjectKind::Flip => v ^ self.mask,
+            InjectKind::StuckAt0 => v & !self.mask,
+            InjectKind::StuckAt1 => v | self.mask,
+        };
+        forced & width_mask
+    }
 }
 
 /// Logical profiling state kept in the `Sim` wrapper (engine-independent
@@ -145,6 +254,20 @@ pub struct Sim {
     overheads: Overheads,
     backend: Box<dyn EngineImpl>,
     profile: Option<ProfileState>,
+    /// Installed faults (empty in the common case: the fast paths in
+    /// `cycle`/`run` are untouched unless `inject` was called).
+    faults: Vec<FaultState>,
+    /// Levelized combinational order for the injection settle; computed
+    /// once on first `inject`.
+    inject_sched: Vec<u32>,
+    /// A forced (stuck-at) settle ran and its fault has since expired:
+    /// the next settle must be a full pass to wash the forces out.
+    fault_cleanup: bool,
+    /// Bits disturbed so far (one count per masked bit per faulted
+    /// cycle).
+    injected_bits: u64,
+    /// Cycles on which at least one fault was active.
+    faulted_cycles: u64,
 }
 
 /// The `MTL_LINT` gate run at simulator construction.
@@ -234,7 +357,18 @@ impl Sim {
                 &mut overheads,
             )),
         };
-        Sim { design, engine, overheads, backend, profile: None }
+        Sim {
+            design,
+            engine,
+            overheads,
+            backend,
+            profile: None,
+            faults: Vec::new(),
+            inject_sched: Vec::new(),
+            fault_cleanup: false,
+            injected_bits: 0,
+            faulted_cycles: 0,
+        }
     }
 
     /// [`Sim::build`] with explicit configuration (e.g. a fixed
@@ -310,22 +444,52 @@ impl Sim {
     }
 
     /// Propagates combinational logic to a fixed point without advancing
-    /// the clock.
+    /// the clock. With a fault currently active, the settle holds the
+    /// disturbed values forced, so peeks observe the faulty network.
     pub fn eval(&mut self) {
-        self.backend.eval();
+        if self.faults.is_empty() && !self.fault_cleanup {
+            self.backend.eval();
+        } else {
+            let now = self.backend.cycles();
+            let pre: Vec<usize> = self.active_faults(now, false);
+            if !pre.is_empty() {
+                self.forced_settle(&pre);
+            } else if self.fault_cleanup {
+                self.backend.settle_full();
+                self.fault_cleanup = false;
+            } else {
+                self.backend.eval();
+            }
+        }
         self.observe_settle(false);
     }
 
     /// Advances one clock cycle: settle combinational logic, run sequential
-    /// blocks, commit register and memory state, and re-settle.
+    /// blocks, commit register and memory state, and re-settle. Cycles on
+    /// which an installed fault is active take the injection path (see
+    /// [`Sim::inject`]); all other cycles are unaffected.
     pub fn cycle(&mut self) {
-        self.backend.cycle();
+        if self.faults.is_empty() && !self.fault_cleanup {
+            self.backend.cycle();
+        } else {
+            let now = self.backend.cycles();
+            let pre = self.active_faults(now, false);
+            if !pre.is_empty() {
+                self.faulted_cycle(now, &pre);
+            } else {
+                if self.fault_cleanup {
+                    self.backend.settle_full();
+                    self.fault_cleanup = false;
+                }
+                self.backend.cycle();
+            }
+        }
         self.observe_settle(true);
     }
 
     /// Advances `n` clock cycles.
     pub fn run(&mut self, n: u64) {
-        if self.profile.is_some() {
+        if self.profile.is_some() || !self.faults.is_empty() || self.fault_cleanup {
             for _ in 0..n {
                 self.cycle();
             }
@@ -352,6 +516,145 @@ impl Sim {
     /// The number of clock edges simulated so far.
     pub fn cycle_count(&self) -> u64 {
         self.backend.cycles()
+    }
+
+    /// Installs a scheduled fault (transient bit-flip or stuck-at) on a
+    /// net. Multiple faults may be installed, including on the same net;
+    /// they compound in installation order.
+    ///
+    /// Injection is a post-settle/pre-edge hook: on each active cycle the
+    /// wrapper applies the disturbance and re-settles combinational logic
+    /// in the design's levelized block order with the disturbed value held
+    /// forced, then clocks the edge, then re-settles (stuck-at faults stay
+    /// forced, flips do not). Because the wrapper drives this sequence
+    /// through engine-agnostic primitives in one fixed order, all five
+    /// engines produce byte-identical faulty traces for the same faults —
+    /// a property `mtl-check` asserts differentially.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask is zero or exceeds the net width, if the
+    /// duration is zero, or if the target net is an undriven non-register
+    /// net (e.g. a top-level input: nothing would restore it after the
+    /// fault expires — drive stimulus through `poke` instead).
+    pub fn inject(&mut self, inj: Injection) {
+        let net = self.design.net_of(inj.sig);
+        let slot = net.index() as u32;
+        let info = &self.design.nets()[net.index()];
+        let path = self.design.signal_path(inj.sig);
+        assert!(inj.mask != 0, "injection on `{path}` has an empty mask");
+        assert!(
+            inj.mask & !mask_of(info.width) == 0,
+            "injection mask {:#x} exceeds the {}-bit width of `{path}`",
+            inj.mask,
+            info.width
+        );
+        assert!(inj.duration >= 1, "injection on `{path}` has zero duration");
+        assert!(
+            info.is_register || !self.design.net_writers()[net.index()].is_empty(),
+            "injection target `{path}` is an undriven non-register net; \
+             poke stimulus instead of injecting faults on inputs"
+        );
+        if self.inject_sched.is_empty() {
+            self.inject_sched = self
+                .design
+                .comb_schedule()
+                .expect("design validated at elaboration")
+                .iter()
+                .map(|b| b.index() as u32)
+                .collect();
+        }
+        self.faults.push(FaultState {
+            slot,
+            width: info.width,
+            is_reg: info.is_register,
+            mask: inj.mask,
+            kind: inj.kind,
+            cycle: inj.cycle,
+            duration: inj.duration,
+        });
+    }
+
+    /// Total disturbed bits so far (one per masked bit per faulted
+    /// cycle).
+    pub fn injected_bits(&self) -> u64 {
+        self.injected_bits
+    }
+
+    /// Cycles simulated so far on which at least one fault was active.
+    pub fn faulted_cycle_count(&self) -> u64 {
+        self.faulted_cycles
+    }
+
+    /// Indices of faults active at `now` (post-edge window if `post`).
+    fn active_faults(&self, now: u64, post: bool) -> Vec<usize> {
+        self.faults
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| if post { f.active_post(now) } else { f.active_pre(now) })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Settles combinational logic with the given faults held forced:
+    /// one full pass over the levelized schedule, re-applying each force
+    /// whenever a driver overwrote it with a fresh clean value. A full
+    /// levelized pass makes every combinational net a pure function of
+    /// sequential state, inputs, and forces — all identical across
+    /// engines — so the post-settle state is engine-independent no matter
+    /// what (engine-specific) unsettled state it started from.
+    fn forced_settle(&mut self, active: &[usize]) {
+        let mut forced: Vec<u128> = Vec::with_capacity(active.len());
+        for &fi in active {
+            let f = &self.faults[fi];
+            let v = self.backend.peek(f.slot).as_u128();
+            let t = f.apply(v, mask_of(f.width));
+            self.backend.force(f.slot, Bits::new(f.width, t), f.is_reg);
+            forced.push(t);
+        }
+        let sched = std::mem::take(&mut self.inject_sched);
+        for &b in &sched {
+            self.backend.exec_block(b);
+            for (k, &fi) in active.iter().enumerate() {
+                let f = &self.faults[fi];
+                let v = self.backend.peek(f.slot).as_u128();
+                if v != forced[k] {
+                    // The net's driver ran and wrote a fresh clean value:
+                    // recompute the disturbance from it and re-force (a
+                    // plain re-XOR would double-apply a flip).
+                    let t = f.apply(v, mask_of(f.width));
+                    self.backend.force(f.slot, Bits::new(f.width, t), f.is_reg);
+                    forced[k] = t;
+                }
+            }
+        }
+        self.inject_sched = sched;
+    }
+
+    /// One clock cycle with the faults `pre` active: forced settle,
+    /// clock edge, post-edge settle (forced again for stuck-at faults,
+    /// full clean re-settle otherwise).
+    fn faulted_cycle(&mut self, now: u64, pre: &[usize]) {
+        self.forced_settle(pre);
+        self.faulted_cycles += 1;
+        for &fi in pre {
+            self.injected_bits += self.faults[fi].mask.count_ones() as u64;
+        }
+        self.backend.edge();
+        let post = self.active_faults(now, true);
+        if post.is_empty() {
+            // The faults latched whatever state captured them; wash all
+            // forced combinational values back to clean ones. This must
+            // be a full pass on every engine: an event-driven settle
+            // would only re-run blocks downstream of changed registers,
+            // leaving stale faulty values elsewhere.
+            self.backend.settle_full();
+            self.fault_cleanup = false;
+        } else {
+            self.forced_settle(&post);
+            self.fault_cleanup = true;
+        }
+        self.backend.bump_cycles();
     }
 
     /// Reads a word from a design memory (test backdoor).
@@ -570,6 +873,8 @@ impl Sim {
             engine: self.engine,
             cycles: self.backend.cycles(),
             settles: p.settles,
+            injections: self.injected_bits,
+            faulted_cycles: self.faulted_cycles,
             block_runs: p.block_runs.clone(),
             block_nanos: stats.block_nanos.clone(),
             block_paths,
@@ -850,6 +1155,12 @@ impl<S: Store, M: SensMap> EngineImpl for InterpEngine<S, M> {
 
     fn cycle(&mut self) {
         self.propagate();
+        self.edge();
+        self.propagate();
+        self.cycles += 1;
+    }
+
+    fn edge(&mut self) {
         let seq = self.seq_blocks.clone();
         if self.prof.is_some() {
             for b in seq {
@@ -890,7 +1201,34 @@ impl<S: Store, M: SensMap> EngineImpl for InterpEngine<S, M> {
                 }
             }
         }
+    }
+
+    fn exec_block(&mut self, b: u32) {
+        if self.prof.is_some() {
+            self.run_block_timed(b);
+        } else {
+            self.run_block(b);
+        }
+    }
+
+    fn force(&mut self, slot: u32, v: Bits, also_next: bool) {
+        self.store.set(slot, v);
+        if also_next {
+            self.store.set_next(slot, v);
+        }
+    }
+
+    fn settle_full(&mut self) {
+        let blocks = self.design.clone();
+        for (i, b) in blocks.blocks().iter().enumerate() {
+            if b.kind == BlockKind::Comb {
+                self.enqueue(i as u32);
+            }
+        }
         self.propagate();
+    }
+
+    fn bump_cycles(&mut self) {
         self.cycles += 1;
     }
 
@@ -1386,6 +1724,16 @@ impl EngineImpl for TapeEngine {
 
     fn cycle(&mut self) {
         self.eval();
+        self.edge();
+        if self.event_mode {
+            self.propagate_event();
+        } else {
+            self.full_comb_pass();
+        }
+        self.cycles += 1;
+    }
+
+    fn edge(&mut self) {
         self.run_seq_blocks();
         if self.event_mode {
             let regs = std::mem::take(&mut self.reg_slots);
@@ -1430,11 +1778,41 @@ impl EngineImpl for TapeEngine {
                 }
             }
         }
+    }
+
+    fn exec_block(&mut self, b: u32) {
         if self.event_mode {
+            self.run_block::<true>(b);
+        } else {
+            self.run_block::<false>(b);
+        }
+    }
+
+    fn force(&mut self, slot: u32, v: Bits, also_next: bool) {
+        let s = slot as usize;
+        self.cur[s] = v.as_u128();
+        if also_next {
+            self.next[s] = v.as_u128();
+        }
+    }
+
+    fn settle_full(&mut self) {
+        if self.event_mode {
+            let order = std::mem::take(&mut self.comb_order);
+            for &b in &order {
+                if !self.in_queue[b as usize] {
+                    self.in_queue[b as usize] = true;
+                    self.queue.push_back(b);
+                }
+            }
+            self.comb_order = order;
             self.propagate_event();
         } else {
             self.full_comb_pass();
         }
+    }
+
+    fn bump_cycles(&mut self) {
         self.cycles += 1;
     }
 

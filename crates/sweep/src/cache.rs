@@ -13,7 +13,8 @@ use crate::job::{Job, JobMetrics};
 use crate::json::{self, Json};
 
 /// Bump when the cache entry format or fingerprint inputs change.
-const CACHE_FORMAT: u32 = 1;
+/// (2: added the `check` integrity field.)
+const CACHE_FORMAT: u32 = 2;
 
 /// 64-bit FNV-1a over a byte stream.
 #[derive(Debug, Clone, Copy)]
@@ -115,14 +116,35 @@ impl ResultCache {
         self.dir.join(format!("{fingerprint:016x}.json"))
     }
 
-    /// Loads a cached result; any unreadable/corrupt entry is a miss.
+    /// Loads a cached result.
+    ///
+    /// A missing file is a silent miss (the normal cold-cache case). A
+    /// file that is *present but does not decode* — unparseable,
+    /// truncated, wrong format version, or failing its integrity
+    /// checksum (any bit flip, even one that still parses as JSON) —
+    /// is **corrupt**: it is discarded with a warning on stderr and the
+    /// probe misses, so the job simply re-executes and rewrites the
+    /// entry. Bad cached bytes must never become silent bad results.
     pub fn load(&self, fingerprint: u64) -> Option<JobMetrics> {
-        let text = std::fs::read_to_string(self.entry_path(fingerprint)).ok()?;
-        let doc = json::parse(&text).ok()?;
-        if doc.get("format").and_then(Json::as_u64) != Some(CACHE_FORMAT as u64) {
-            return None;
+        let path = self.entry_path(fingerprint);
+        let text = std::fs::read_to_string(&path).ok()?;
+        let decoded = json::parse(&text).ok().and_then(|doc| {
+            if doc.get("format").and_then(Json::as_u64) != Some(CACHE_FORMAT as u64) {
+                return None;
+            }
+            if doc.get("check").and_then(Json::as_str) != Some(entry_checksum(&doc).as_str()) {
+                return None;
+            }
+            JobMetrics::from_json(doc.get("metrics"), doc.get("timing"), doc.get("profile"))
+        });
+        if decoded.is_none() {
+            eprintln!(
+                "mtl-sweep: discarding corrupt cache entry {} (job will re-execute)",
+                path.display()
+            );
+            let _ = std::fs::remove_file(&path);
         }
-        JobMetrics::from_json(doc.get("metrics"), doc.get("timing"), doc.get("profile"))
+        decoded
     }
 
     /// Persists a result. Failures are ignored: the cache is an
@@ -138,6 +160,8 @@ impl ResultCache {
         if let Some(profile) = profile {
             doc.set("profile", profile);
         }
+        let check = entry_checksum(&doc);
+        doc.set("check", check);
         let path = self.entry_path(fingerprint);
         let tmp = path.with_extension("json.tmp");
         // Write-then-rename so concurrent campaigns never observe a
@@ -146,6 +170,18 @@ impl ResultCache {
             let _ = std::fs::rename(&tmp, &path);
         }
     }
+}
+
+/// Integrity checksum of an entry: FNV-1a over the compact rendering of
+/// every field except `check` itself. The emitter is byte-stable and the
+/// parser preserves field order, so the checksum survives a
+/// store → parse → re-render round trip; any flipped bit in the payload
+/// changes it.
+fn entry_checksum(doc: &Json) -> String {
+    let fields = doc.as_obj().expect("cache entries are objects");
+    let body =
+        Json::Obj(fields.iter().filter(|(k, _)| k != "check").cloned().collect()).to_compact();
+    format!("{:016x}", fnv1a(&body))
 }
 
 #[cfg(test)]
@@ -191,11 +227,52 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_entries_are_misses() {
+    fn corrupt_entries_are_misses_and_are_discarded() {
         let dir = tmp_dir("corrupt");
         let cache = ResultCache::open(&dir).unwrap();
-        std::fs::write(dir.join(format!("{:016x}.json", 7u64)), "{not json").unwrap();
+        let path = dir.join(format!("{:016x}.json", 7u64));
+        std::fs::write(&path, "{not json").unwrap();
         assert!(cache.load(7).is_none());
+        assert!(!path.exists(), "corrupt entry must be removed, not left to warn forever");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Regression: a bit-flipped cache entry must be rejected wherever
+    /// the flip lands. Flips in structural bytes used to fail the parse
+    /// (and were a miss), but a flip inside a *digit* or a *key name*
+    /// still parsed cleanly and could replay wrong numbers or silently
+    /// drop fields — the `check` integrity field catches those.
+    #[test]
+    fn bit_flipped_entries_are_rejected_at_every_position() {
+        let dir = tmp_dir("bitflip");
+        let cache = ResultCache::open(&dir).unwrap();
+        let metrics = JobMetrics::new().det("cycles", 600u64).timing("rate", 1.25e6);
+        cache.store(11, "point", &metrics);
+        let path = dir.join(format!("{:016x}.json", 11u64));
+        let pristine = std::fs::read(&path).unwrap();
+        assert_eq!(cache.load(11), Some(metrics.clone()), "pristine entry loads");
+
+        // Flip one bit at a spread of positions, including ones that
+        // keep the document valid JSON (digits, key characters).
+        for pos in (0..pristine.len()).step_by(7) {
+            let mut bytes = pristine.clone();
+            bytes[pos] ^= 0x01;
+            if bytes == pristine {
+                continue;
+            }
+            std::fs::write(&path, &bytes).unwrap();
+            assert!(cache.load(11).is_none(), "flip at byte {pos} must invalidate the entry");
+            assert!(!path.exists(), "flip at byte {pos}: entry must be discarded");
+        }
+
+        // Truncation (torn write, full disk) is likewise discarded.
+        std::fs::write(&path, &pristine[..pristine.len() / 2]).unwrap();
+        assert!(cache.load(11).is_none());
+        assert!(!path.exists());
+
+        // And after discarding, a re-store works and loads again.
+        cache.store(11, "point", &metrics);
+        assert_eq!(cache.load(11), Some(metrics));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

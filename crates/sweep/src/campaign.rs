@@ -3,20 +3,28 @@
 //!
 //! The executor honors `RUSTMTL_JOBS` (or the machine's available
 //! parallelism) and runs jobs on scoped worker threads pulling from a
-//! shared queue. Each job is isolated with `catch_unwind` and an optional
-//! wall-clock budget, so one pathological configuration degrades to a
-//! `failed` entry in the report instead of killing the campaign. Results
-//! land in slots indexed by declaration order, so the report — and its
-//! canonical (wall-clock-free) form — is identical for any worker count.
+//! shared queue. Each job is isolated with `catch_unwind` plus an
+//! optional [`JobBudget`]: the soft part is a cooperative deadline, the
+//! hard part a watchdog that abandons a genuinely hung attempt and
+//! records it as `timed_out` — so one pathological configuration
+//! degrades to a report entry instead of killing (or hanging) the
+//! campaign. Panicking and timed-out jobs can be retried with
+//! exponential backoff ([`Campaign::retry`]), and a checkpoint journal
+//! ([`Campaign::journal`]) makes interrupted runs resumable with every
+//! finished job replayed rather than recomputed. Results land in slots
+//! indexed by declaration order, so the report — and its canonical
+//! (wall-clock-free) form — is identical for any worker count.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::cache::{job_fingerprint, CacheSetting, Fnv1a, ResultCache};
-use crate::job::{Job, JobCtx, JobOutcome, JobReport};
+use crate::job::{Job, JobBudget, JobCtx, JobFn, JobMetrics, JobOutcome, JobReport};
+use crate::journal::Journal;
 use crate::json::Json;
 use crate::progress::Progress;
 
@@ -27,6 +35,9 @@ pub struct Campaign {
     jobs: Vec<Job>,
     workers: Option<usize>,
     cache: CacheSetting,
+    retries: u32,
+    backoff: Duration,
+    journal: Option<PathBuf>,
 }
 
 impl Campaign {
@@ -37,6 +48,9 @@ impl Campaign {
             jobs: Vec::new(),
             workers: None,
             cache: CacheSetting::Default,
+            retries: 0,
+            backoff: Duration::from_millis(50),
+            journal: None,
         }
     }
 
@@ -79,6 +93,32 @@ impl Campaign {
         self
     }
 
+    /// Allows up to `retries` re-runs of a job whose attempt *panicked*
+    /// or was *killed by the watchdog* — the transient failure classes.
+    /// Jobs that return `Err` are deterministic failures and are never
+    /// retried. Attempts back off exponentially from
+    /// [`Campaign::retry_backoff`] (default 50 ms).
+    pub fn retry(mut self, retries: u32) -> Campaign {
+        self.retries = retries;
+        self
+    }
+
+    /// Sets the base backoff between retry attempts (doubled per
+    /// attempt).
+    pub fn retry_backoff(mut self, backoff: Duration) -> Campaign {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Enables the checkpoint journal at `path`: every finished job is
+    /// appended as it completes, and a re-run of the same campaign
+    /// (same name and seed) against the same path *replays* those
+    /// results instead of recomputing them. See [`crate::journal`].
+    pub fn journal(mut self, path: impl Into<PathBuf>) -> Campaign {
+        self.journal = Some(path.into());
+        self
+    }
+
     fn resolve_workers(&self, njobs: usize) -> usize {
         let configured = self.workers.or_else(|| {
             std::env::var("RUSTMTL_JOBS").ok().and_then(|v| v.trim().parse::<usize>().ok())
@@ -88,7 +128,8 @@ impl Campaign {
     }
 
     /// Runs every job and returns the complete report. Never panics on
-    /// job failure; panicking jobs become `failed` report entries.
+    /// job failure; panicking jobs become `failed` report entries and
+    /// watchdog-killed jobs `timed_out` entries.
     pub fn run(self) -> CampaignReport {
         let Campaign { name, seed, jobs, .. } = &self;
         {
@@ -110,8 +151,29 @@ impl Campaign {
             std::env::set_var("MTL_SIM_THREADS", (hw / workers).max(1).to_string());
         }
         let cache = self.cache.resolve().and_then(|dir| ResultCache::open(&dir));
+        let (journal, replay) = match &self.journal {
+            Some(path) => match Journal::open(path, name, *seed) {
+                Some((journal, replay)) => (Some(journal), replay),
+                None => {
+                    eprintln!(
+                        "mtl-sweep: cannot open journal {} (campaign runs unjournalled)",
+                        path.display()
+                    );
+                    (None, Default::default())
+                }
+            },
+            None => (None, Default::default()),
+        };
+        // Crash-the-campaign hook for the resume smoke test: the process
+        // exits (as if killed) after N *freshly executed* jobs complete
+        // and reach the journal.
+        let exit_after: Option<usize> =
+            std::env::var("RUSTMTL_SWEEP_EXIT_AFTER").ok().and_then(|v| v.trim().parse().ok());
+        let executed = AtomicUsize::new(0);
         let campaign_name = name.clone();
         let campaign_seed = *seed;
+        let retries = self.retries;
+        let backoff = self.backoff;
         let started = Instant::now();
         let total = jobs.len();
         let progress = Progress::new(total);
@@ -126,6 +188,25 @@ impl Campaign {
         for (idx, job) in self.jobs.into_iter().enumerate() {
             let job_seed = Fnv1a::new().write_u64(campaign_seed).write_str(job.name()).finish();
             let fingerprint = job_fingerprint(&campaign_name, &job, job_seed);
+            // Journal replay first: results checkpointed by an earlier
+            // (interrupted) run of this exact campaign, regardless of
+            // cache configuration.
+            if let Some(metrics) =
+                replay.get(&fingerprint).filter(|m| !job.expects_profile || m.profile().is_some())
+            {
+                results.lock().unwrap()[idx] = Some(JobReport {
+                    name: job.name().to_string(),
+                    params: job.params.clone(),
+                    seed: job_seed,
+                    fingerprint,
+                    outcome: JobOutcome::Done { metrics: metrics.clone(), cached: false },
+                    wall: Duration::ZERO,
+                    attempts: 0,
+                    replayed: true,
+                });
+                progress.job_done(job.name(), false, true);
+                continue;
+            }
             // Cache probe: hits never hit the worker pool. A job that
             // expects a profile section is only satisfied by a cached
             // result that actually carries one — otherwise a warm cache
@@ -137,6 +218,9 @@ impl Campaign {
                     .and_then(|c| c.load(fingerprint))
                     .filter(|m| !job.expects_profile || m.profile().is_some())
                 {
+                    if let Some(journal) = &journal {
+                        journal.record(fingerprint, job.name(), &metrics);
+                    }
                     results.lock().unwrap()[idx] = Some(JobReport {
                         name: job.name().to_string(),
                         params: job.params.clone(),
@@ -144,6 +228,8 @@ impl Campaign {
                         fingerprint,
                         outcome: JobOutcome::Done { metrics, cached: true },
                         wall: Duration::ZERO,
+                        attempts: 0,
+                        replayed: false,
                     });
                     progress.job_done(job.name(), false, true);
                     continue;
@@ -159,9 +245,19 @@ impl Campaign {
             else {
                 break;
             };
-            let report = execute_job(job, job_seed, fingerprint, cache.as_ref());
+            let report = execute_job(job, job_seed, fingerprint, cache.as_ref(), retries, backoff);
+            if let (JobOutcome::Done { metrics, .. }, Some(journal)) = (&report.outcome, &journal) {
+                journal.record(fingerprint, &report.name, metrics);
+            }
             progress.job_done(&report.name, !report.outcome.is_done(), false);
             results.lock().unwrap_or_else(|e| e.into_inner())[idx] = Some(report);
+            if let Some(n) = exit_after {
+                if executed.fetch_add(1, Ordering::SeqCst) + 1 >= n {
+                    // Simulated kill: journalled state is on disk, the
+                    // rest of the campaign dies with the process.
+                    std::process::exit(99);
+                }
+            }
         };
         if workers <= 1 {
             // Single-thread fallback: run inline, no thread machinery.
@@ -190,54 +286,140 @@ impl Campaign {
     }
 }
 
-fn execute_job(
-    job: Job,
-    job_seed: u64,
-    fingerprint: u64,
-    cache: Option<&ResultCache>,
-) -> JobReport {
-    let name = job.name().to_string();
-    let params = job.params.clone();
-    let budget = job.budget;
-    let cacheable = job.cacheable;
-    let ctx = JobCtx { seed: job_seed, deadline: budget.map(|b| Instant::now() + b) };
-    let t0 = Instant::now();
-    let run = job.run;
-    let outcome = match catch_unwind(AssertUnwindSafe(|| {
-        // Fault-injection hook for exercising the robustness path end to
-        // end (see tests/sweep_smoke.rs and the PR acceptance criteria).
+/// One attempt's raw result, before retry policy is applied.
+enum Attempt {
+    Done(JobMetrics),
+    /// `Err` from the job closure, or a soft-budget overrun:
+    /// deterministic — never retried.
+    SoftErr(String),
+    /// The closure panicked: transient by assumption — retried.
+    Panicked(String),
+    /// The watchdog abandoned the attempt after the hard limit.
+    TimedOut(Duration),
+}
+
+/// Runs the closure once with panic isolation and the test-only fault
+/// hooks. Runs inline; the caller decides whether to wrap a watchdog
+/// around it.
+fn run_attempt_inline(run: &JobFn, name: &str, ctx: &JobCtx) -> Attempt {
+    match catch_unwind(AssertUnwindSafe(|| {
+        // Fault-injection hooks for exercising the robustness paths end
+        // to end (see tests/resilience.rs and scripts/ci/45_fault.sh):
+        // panic or hang any job whose name matches the pattern.
         if let Ok(pat) = std::env::var("RUSTMTL_SWEEP_INJECT_PANIC") {
             if !pat.is_empty() && name.contains(&pat) {
                 panic!("injected panic (RUSTMTL_SWEEP_INJECT_PANIC={pat})");
             }
         }
-        run(&ctx)
-    })) {
-        Ok(Ok(metrics)) => {
-            let wall = t0.elapsed();
-            match budget {
-                Some(b) if wall > b => JobOutcome::Failed {
-                    error: format!("exceeded wall-clock budget of {:.3}s", b.as_secs_f64()),
-                },
-                _ => JobOutcome::Done { metrics, cached: false },
+        if let Ok(pat) = std::env::var("RUSTMTL_SWEEP_INJECT_HANG") {
+            if !pat.is_empty() && name.contains(&pat) {
+                loop {
+                    std::thread::sleep(Duration::from_secs(3600));
+                }
             }
         }
-        Ok(Err(error)) => JobOutcome::Failed { error },
+        run(ctx)
+    })) {
+        Ok(Ok(metrics)) => Attempt::Done(metrics),
+        Ok(Err(error)) => Attempt::SoftErr(error),
         Err(payload) => {
             let msg = payload
                 .downcast_ref::<String>()
                 .map(String::as_str)
                 .or_else(|| payload.downcast_ref::<&'static str>().copied())
                 .unwrap_or("non-string panic payload");
-            JobOutcome::Failed { error: format!("panicked: {msg}") }
+            Attempt::Panicked(format!("panicked: {msg}"))
         }
+    }
+}
+
+/// Runs one attempt under the hard watchdog limit: the closure executes
+/// on a dedicated thread and the caller waits at most `limit` for its
+/// result. A thread cannot be killed, so a hung attempt is *abandoned* —
+/// detached and leaked; it keeps no locks the campaign needs, its
+/// eventual result (if any) is discarded with the channel, and it dies
+/// with the process.
+fn run_attempt_watchdog(run: &JobFn, name: &str, ctx: &JobCtx, limit: Duration) -> Attempt {
+    let (tx, rx) = mpsc::channel();
+    let run = std::sync::Arc::clone(run);
+    let thread_name = name.to_string();
+    let ctx = ctx.clone();
+    let spawned = std::thread::Builder::new().name(format!("sweep-job-{name}")).spawn(move || {
+        let _ = tx.send(run_attempt_inline(&run, &thread_name, &ctx));
+    });
+    if spawned.is_err() {
+        return Attempt::SoftErr("failed to spawn watchdog job thread".to_string());
+    }
+    match rx.recv_timeout(limit) {
+        Ok(attempt) => attempt,
+        Err(_) => Attempt::TimedOut(limit),
+    }
+}
+
+fn execute_job(
+    job: Job,
+    job_seed: u64,
+    fingerprint: u64,
+    cache: Option<&ResultCache>,
+    retries: u32,
+    backoff: Duration,
+) -> JobReport {
+    let name = job.name().to_string();
+    let params = job.params.clone();
+    let JobBudget { soft, hard } = job.budget;
+    let cacheable = job.cacheable;
+    let run = job.run;
+    let t0 = Instant::now();
+    let mut attempts = 0u32;
+    let outcome = loop {
+        // The soft deadline is per attempt: a retried job gets a fresh
+        // cooperative budget, like it gets a fresh watchdog window.
+        let ctx = JobCtx { seed: job_seed, deadline: soft.map(|b| Instant::now() + b) };
+        let attempt_start = Instant::now();
+        attempts += 1;
+        let attempt = match hard {
+            Some(limit) => run_attempt_watchdog(&run, &name, &ctx, limit),
+            None => run_attempt_inline(&run, &name, &ctx),
+        };
+        let (retryable, outcome) = match attempt {
+            Attempt::Done(metrics) => {
+                let wall = attempt_start.elapsed();
+                match soft {
+                    Some(b) if wall > b => (
+                        false,
+                        JobOutcome::Failed {
+                            error: format!("exceeded wall-clock budget of {:.3}s", b.as_secs_f64()),
+                        },
+                    ),
+                    _ => (false, JobOutcome::Done { metrics, cached: false }),
+                }
+            }
+            Attempt::SoftErr(error) => (false, JobOutcome::Failed { error }),
+            Attempt::Panicked(error) => (true, JobOutcome::Failed { error }),
+            Attempt::TimedOut(limit) => (true, JobOutcome::TimedOut { limit }),
+        };
+        if !retryable || attempts > retries {
+            break outcome;
+        }
+        // Exponential backoff: base * 2^(attempt-1), saturating.
+        let exp = backoff.saturating_mul(1u32 << (attempts - 1).min(16));
+        std::thread::sleep(exp);
     };
     if cacheable {
         if let (JobOutcome::Done { metrics, .. }, Some(cache)) = (&outcome, cache) {
             cache.store(fingerprint, &name, metrics);
         }
     }
-    JobReport { name, params, seed: job_seed, fingerprint, outcome, wall: t0.elapsed() }
+    JobReport {
+        name,
+        params,
+        seed: job_seed,
+        fingerprint,
+        outcome,
+        wall: t0.elapsed(),
+        attempts,
+        replayed: false,
+    }
 }
 
 /// Everything a finished campaign measured, in declaration order.
@@ -265,12 +447,28 @@ impl CampaignReport {
         self.jobs.iter().filter(|j| j.outcome.is_done()).count()
     }
 
+    /// Jobs that ended in any non-`Done` state (failures and timeouts).
     pub fn failed_count(&self) -> usize {
         self.jobs.len() - self.done_count()
     }
 
     pub fn cached_count(&self) -> usize {
         self.jobs.iter().filter(|j| j.outcome.is_cached()).count()
+    }
+
+    /// Jobs abandoned by the watchdog.
+    pub fn timed_out_count(&self) -> usize {
+        self.jobs.iter().filter(|j| j.outcome.is_timed_out()).count()
+    }
+
+    /// Jobs replayed from the checkpoint journal this run.
+    pub fn replayed_count(&self) -> usize {
+        self.jobs.iter().filter(|j| j.replayed).count()
+    }
+
+    /// Jobs actually executed this run (not cached, not replayed).
+    pub fn executed_count(&self) -> usize {
+        self.jobs.iter().filter(|j| j.attempts > 0).count()
     }
 
     /// The full report document (the `BENCH_*.json` schema — see
@@ -286,7 +484,9 @@ impl CampaignReport {
             .set("jobs", self.jobs.len())
             .set("done", self.done_count())
             .set("failed", self.failed_count())
-            .set("cached", self.cached_count());
+            .set("timed_out", self.timed_out_count())
+            .set("cached", self.cached_count())
+            .set("replayed", self.replayed_count());
         doc.set("summary", summary);
         let jobs: Vec<Json> = self.jobs.iter().map(|j| job_json(j, true)).collect();
         doc.set("jobs", Json::Arr(jobs));
@@ -342,7 +542,10 @@ fn job_json(job: &JobReport, full: bool) -> Json {
         JobOutcome::Done { metrics, cached } => {
             j.set("outcome", "done");
             if full {
-                j.set("cached", *cached).set("wall_secs", job.wall.as_secs_f64());
+                j.set("cached", *cached)
+                    .set("replayed", job.replayed)
+                    .set("attempts", job.attempts)
+                    .set("wall_secs", job.wall.as_secs_f64());
             }
             let (det, timing, profile) = metrics.to_json();
             j.set("metrics", det);
@@ -358,9 +561,16 @@ fn job_json(job: &JobReport, full: bool) -> Json {
         JobOutcome::Failed { error } => {
             j.set("outcome", "failed");
             if full {
-                j.set("wall_secs", job.wall.as_secs_f64());
+                j.set("attempts", job.attempts).set("wall_secs", job.wall.as_secs_f64());
             }
             j.set("error", error.as_str());
+        }
+        JobOutcome::TimedOut { limit } => {
+            j.set("outcome", "timed_out");
+            if full {
+                j.set("attempts", job.attempts).set("wall_secs", job.wall.as_secs_f64());
+            }
+            j.set("error", format!("watchdog: no result within {:.3}s", limit.as_secs_f64()));
         }
     }
     j

@@ -6,6 +6,7 @@
 //! threads), plus the identifying parameters used for reporting and
 //! result-cache fingerprinting.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::json::Json;
@@ -203,14 +204,35 @@ impl JobCtx {
     }
 }
 
-type JobFn = Box<dyn FnOnce(&JobCtx) -> Result<JobMetrics, String> + Send + 'static>;
+/// Job closures are `Fn` behind an `Arc` (not `FnOnce`) so the executor
+/// can re-run the same job for retry attempts and hand a clone to the
+/// watchdog thread without consuming it.
+pub(crate) type JobFn = Arc<dyn Fn(&JobCtx) -> Result<JobMetrics, String> + Send + Sync + 'static>;
+
+/// A job's wall-clock budget, in two independently configurable parts:
+///
+/// * **soft** — a *cooperative* deadline. It sets [`JobCtx::deadline`],
+///   which well-behaved long jobs poll via [`JobCtx::over_budget`]; a job
+///   that finishes past it is reported as failed. It cannot stop a job
+///   that never yields.
+/// * **hard** — the *watchdog* limit. The attempt runs on a dedicated
+///   thread; if it has not finished after this long it is abandoned and
+///   recorded as [`JobOutcome::TimedOut`], and the campaign carries on.
+///   This is what bounds a genuinely hung job (infinite loop, deadlock).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobBudget {
+    /// Cooperative deadline (sets [`JobCtx::deadline`]).
+    pub soft: Option<Duration>,
+    /// Watchdog limit; the attempt is killed (abandoned) past this.
+    pub hard: Option<Duration>,
+}
 
 /// One measurement point: identifying metadata plus the closure that
 /// builds and measures a simulator from scratch on a worker thread.
 pub struct Job {
     pub(crate) name: String,
     pub(crate) params: Vec<(String, String)>,
-    pub(crate) budget: Option<Duration>,
+    pub(crate) budget: JobBudget,
     pub(crate) cacheable: bool,
     pub(crate) expects_profile: bool,
     pub(crate) run: JobFn,
@@ -221,15 +243,15 @@ impl Job {
     /// the report and, together with the parameters, the result cache).
     pub fn new(
         name: impl Into<String>,
-        run: impl FnOnce(&JobCtx) -> Result<JobMetrics, String> + Send + 'static,
+        run: impl Fn(&JobCtx) -> Result<JobMetrics, String> + Send + Sync + 'static,
     ) -> Job {
         Job {
             name: name.into(),
             params: Vec::new(),
-            budget: None,
+            budget: JobBudget::default(),
             cacheable: true,
             expects_profile: false,
-            run: Box::new(run),
+            run: Arc::new(run),
         }
     }
 
@@ -240,10 +262,24 @@ impl Job {
         self
     }
 
-    /// Sets a wall-clock budget. A job still running past its budget is
-    /// reported as failed (cooperatively — see [`JobCtx::over_budget`]).
+    /// Sets the cooperative (soft) wall-clock budget. A job still running
+    /// past it is reported as failed (see [`JobCtx::over_budget`]).
     pub fn budget(mut self, budget: Duration) -> Job {
-        self.budget = Some(budget);
+        self.budget.soft = Some(budget);
+        self
+    }
+
+    /// Sets the watchdog (hard) wall-clock limit: the attempt runs on a
+    /// dedicated thread and is abandoned and recorded as
+    /// [`JobOutcome::TimedOut`] if still running after `limit`.
+    pub fn watchdog(mut self, limit: Duration) -> Job {
+        self.budget.hard = Some(limit);
+        self
+    }
+
+    /// Sets both budget components at once.
+    pub fn budget_spec(mut self, budget: JobBudget) -> Job {
+        self.budget = budget;
         self
     }
 
@@ -285,9 +321,16 @@ impl std::fmt::Debug for Job {
 pub enum JobOutcome {
     /// The job produced metrics (freshly, or replayed from the cache).
     Done { metrics: JobMetrics, cached: bool },
-    /// The job panicked, returned an error, or blew its wall-clock
+    /// The job panicked, returned an error, or blew its soft wall-clock
     /// budget; the campaign carries on.
     Failed { error: String },
+    /// The watchdog gave up on the job after its hard limit (every retry
+    /// attempt, if retries were configured); the hung attempt was
+    /// abandoned and the campaign carried on without it.
+    TimedOut {
+        /// The hard limit each attempt was given.
+        limit: Duration,
+    },
 }
 
 impl JobOutcome {
@@ -299,10 +342,14 @@ impl JobOutcome {
         matches!(self, JobOutcome::Done { cached: true, .. })
     }
 
+    pub fn is_timed_out(&self) -> bool {
+        matches!(self, JobOutcome::TimedOut { .. })
+    }
+
     pub fn metrics(&self) -> Option<&JobMetrics> {
         match self {
             JobOutcome::Done { metrics, .. } => Some(metrics),
-            JobOutcome::Failed { .. } => None,
+            JobOutcome::Failed { .. } | JobOutcome::TimedOut { .. } => None,
         }
     }
 }
@@ -315,8 +362,15 @@ pub struct JobReport {
     pub seed: u64,
     pub fingerprint: u64,
     pub outcome: JobOutcome,
-    /// Wall-clock execution time (zero for cache hits).
+    /// Wall-clock execution time (zero for cache hits and journal
+    /// replays).
     pub wall: Duration,
+    /// Execution attempts spent (0 for cache hits and journal replays,
+    /// 1 for a clean first run, more when retries were configured).
+    pub attempts: u32,
+    /// True if the result was replayed from a checkpoint journal rather
+    /// than computed or loaded from the cache this run.
+    pub replayed: bool,
 }
 
 impl JobReport {

@@ -1,0 +1,220 @@
+//! Checkpoint journal: incremental JSONL log of finished jobs.
+//!
+//! A campaign configured with [`Campaign::journal`](crate::Campaign)
+//! appends one line per completed job as it finishes, so an interrupted
+//! run (crash, Ctrl-C, watchdog-killed process, machine loss) can be
+//! restarted and every already-finished job is *replayed* from the
+//! journal instead of recomputed. The file is line-oriented on purpose:
+//! appends are atomic enough at line granularity, and a kill mid-write
+//! corrupts at most the final line, which resume skips with a warning.
+//!
+//! Layout: the first line is a header binding the journal to one
+//! `(campaign, seed, format)` identity; each further line is one
+//! completed job keyed by its fingerprint (the same identity hash the
+//! result cache uses, covering campaign name, job name, ordered
+//! parameters, and per-job seed). A journal whose header does not match
+//! the resuming campaign is ignored and overwritten — replaying results
+//! across a renamed or reseeded campaign would silently mix experiments.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::job::JobMetrics;
+use crate::json::{self, Json};
+
+/// Bump when the journal header or entry layout changes.
+const JOURNAL_FORMAT: u32 = 1;
+
+/// An open, append-mode checkpoint journal.
+#[derive(Debug)]
+pub struct Journal {
+    file: Mutex<File>,
+    path: PathBuf,
+}
+
+/// Completed jobs recovered from an existing journal, keyed by job
+/// fingerprint.
+pub type Replay = HashMap<u64, JobMetrics>;
+
+impl Journal {
+    /// Opens `path` for the given campaign identity, recovering completed
+    /// jobs from any compatible existing journal.
+    ///
+    /// * No file: a fresh journal is created (header written) and the
+    ///   replay map is empty.
+    /// * Matching header: every well-formed entry line is recovered;
+    ///   corrupt or truncated lines (a killed writer's torn final line,
+    ///   bit rot) are skipped with a warning on stderr. The file is kept
+    ///   and further entries append to it.
+    /// * Mismatched or unreadable header: the journal belongs to a
+    ///   different campaign/seed/format — it is discarded (with a
+    ///   warning) and rewritten from scratch.
+    ///
+    /// Returns `None` (journalling disabled, campaign still runs) if the
+    /// file cannot be created or opened.
+    pub fn open(path: &Path, campaign: &str, seed: u64) -> Option<(Journal, Replay)> {
+        let mut replay = Replay::new();
+        let mut keep_existing = false;
+        if let Ok(text) = std::fs::read_to_string(path) {
+            let mut lines = text.lines();
+            match lines.next().map(|h| header_matches(h, campaign, seed)) {
+                Some(true) => {
+                    keep_existing = true;
+                    for (i, line) in lines.enumerate() {
+                        if line.trim().is_empty() {
+                            continue;
+                        }
+                        match parse_entry(line) {
+                            Some((fingerprint, metrics)) => {
+                                replay.insert(fingerprint, metrics);
+                            }
+                            None => eprintln!(
+                                "mtl-sweep: skipping corrupt journal line {} in {} \
+                                 (job will be re-executed)",
+                                i + 2,
+                                path.display()
+                            ),
+                        }
+                    }
+                }
+                Some(false) => {
+                    eprintln!(
+                        "mtl-sweep: journal {} belongs to a different campaign/seed; \
+                         starting it over",
+                        path.display()
+                    );
+                }
+                None => {}
+            }
+        }
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let mut opts = OpenOptions::new();
+        if keep_existing {
+            opts.append(true);
+        } else {
+            opts.write(true).truncate(true);
+        }
+        let mut file = opts.create(true).open(path).ok()?;
+        if !keep_existing {
+            let mut header = Json::obj();
+            header
+                .set("journal", "mtl-sweep")
+                .set("format", JOURNAL_FORMAT)
+                .set("campaign", campaign)
+                .set("seed", format!("{seed:016x}"));
+            writeln!(file, "{}", header.to_compact()).ok()?;
+            file.flush().ok()?;
+        }
+        Some((Journal { file: Mutex::new(file), path: path.to_path_buf() }, replay))
+    }
+
+    /// Appends one completed job. Flushed immediately — a checkpoint that
+    /// only exists in a userspace buffer protects against nothing.
+    pub fn record(&self, fingerprint: u64, name: &str, metrics: &JobMetrics) {
+        let (det, timing, profile) = metrics.to_json();
+        let mut entry = Json::obj();
+        entry
+            .set("fingerprint", format!("{fingerprint:016x}"))
+            .set("name", name)
+            .set("metrics", det)
+            .set("timing", timing);
+        if let Some(profile) = profile {
+            entry.set("profile", profile);
+        }
+        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        if writeln!(file, "{}", entry.to_compact()).and_then(|()| file.flush()).is_err() {
+            eprintln!(
+                "mtl-sweep: failed to append to journal {} (resume would recompute this job)",
+                self.path.display()
+            );
+        }
+    }
+}
+
+fn header_matches(line: &str, campaign: &str, seed: u64) -> bool {
+    let Ok(h) = json::parse(line) else { return false };
+    h.get("journal").and_then(Json::as_str) == Some("mtl-sweep")
+        && h.get("format").and_then(Json::as_u64) == Some(JOURNAL_FORMAT as u64)
+        && h.get("campaign").and_then(Json::as_str) == Some(campaign)
+        && h.get("seed").and_then(Json::as_str) == Some(format!("{seed:016x}").as_str())
+}
+
+fn parse_entry(line: &str) -> Option<(u64, JobMetrics)> {
+    let doc = json::parse(line).ok()?;
+    let fingerprint = u64::from_str_radix(doc.get("fingerprint")?.as_str()?, 16).ok()?;
+    let metrics = JobMetrics::from_json(doc.get("metrics"), doc.get("timing"), doc.get("profile"))?;
+    Some((fingerprint, metrics))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_journal(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mtl-sweep-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir.join("campaign.jsonl")
+    }
+
+    #[test]
+    fn round_trips_entries_across_reopen() {
+        let path = tmp_journal("roundtrip");
+        let (journal, replay) = Journal::open(&path, "camp", 7).unwrap();
+        assert!(replay.is_empty());
+        journal.record(0xAB, "a", &JobMetrics::new().det("v", 1u64));
+        journal.record(0xCD, "b", &JobMetrics::new().det("v", 2u64).timing("t", 0.5));
+        drop(journal);
+
+        let (journal, replay) = Journal::open(&path, "camp", 7).unwrap();
+        assert_eq!(replay.len(), 2);
+        assert_eq!(replay[&0xAB].get("v").unwrap().as_u64(), Some(1));
+        assert_eq!(replay[&0xCD].f64("t"), Some(0.5));
+        // Appending after resume keeps earlier entries.
+        journal.record(0xEF, "c", &JobMetrics::new());
+        drop(journal);
+        let (_, replay) = Journal::open(&path, "camp", 7).unwrap();
+        assert_eq!(replay.len(), 3);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn torn_final_line_is_skipped_not_fatal() {
+        let path = tmp_journal("torn");
+        let (journal, _) = Journal::open(&path, "camp", 7).unwrap();
+        journal.record(0xAB, "a", &JobMetrics::new().det("v", 1u64));
+        drop(journal);
+        // Simulate a kill mid-append: a truncated trailing line.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"fingerprint\":\"00cd\",\"name\":\"b\",\"met");
+        std::fs::write(&path, text).unwrap();
+
+        let (_, replay) = Journal::open(&path, "camp", 7).unwrap();
+        assert_eq!(replay.len(), 1, "intact entry survives, torn one is skipped");
+        assert!(replay.contains_key(&0xAB));
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn mismatched_identity_starts_over() {
+        let path = tmp_journal("identity");
+        let (journal, _) = Journal::open(&path, "camp", 7).unwrap();
+        journal.record(0xAB, "a", &JobMetrics::new().det("v", 1u64));
+        drop(journal);
+
+        // Same path, different seed: stale checkpoints must not replay.
+        let (_, replay) = Journal::open(&path, "camp", 8).unwrap();
+        assert!(replay.is_empty());
+        // And the file was rewritten for the new identity.
+        let (_, replay) = Journal::open(&path, "camp", 8).unwrap();
+        assert!(replay.is_empty());
+        let (_, replay) = Journal::open(&path, "camp", 7).unwrap();
+        assert!(replay.is_empty(), "old-identity entries are gone for good");
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+}

@@ -236,8 +236,16 @@ impl<T: Into<Json>> From<Vec<T>> for Json {
     }
 }
 
+/// Deepest container nesting [`parse`] accepts. The parser is recursive,
+/// so without a limit a hostile or corrupted document of `[[[[...`
+/// overflows the thread stack — an abort, not a catchable error. Reports
+/// this subsystem emits nest a handful of levels; 128 is two orders of
+/// magnitude of headroom.
+pub const MAX_DEPTH: usize = 128;
+
 /// Parses a JSON document (the subset this module emits plus ordinary
-/// whitespace and unicode escapes).
+/// whitespace and unicode escapes). Container nesting is limited to
+/// [`MAX_DEPTH`].
 ///
 /// # Errors
 ///
@@ -245,7 +253,7 @@ impl<T: Into<Json>> From<Vec<T>> for Json {
 pub fn parse(text: &str) -> Result<Json, String> {
     let bytes = text.as_bytes();
     let mut pos = 0usize;
-    let value = parse_value(bytes, &mut pos)?;
+    let value = parse_value(bytes, &mut pos, 0)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(format!("trailing data at byte {pos}"));
@@ -268,7 +276,7 @@ fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
         None => Err("unexpected end of input".to_string()),
@@ -277,6 +285,9 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
         Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
         Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
         Some(b'[') => {
+            if depth >= MAX_DEPTH {
+                return Err(format!("nesting deeper than {MAX_DEPTH} at byte {pos}"));
+            }
             *pos += 1;
             let mut items = Vec::new();
             skip_ws(bytes, pos);
@@ -285,7 +296,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
                 return Ok(Json::Arr(items));
             }
             loop {
-                items.push(parse_value(bytes, pos)?);
+                items.push(parse_value(bytes, pos, depth + 1)?);
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -298,6 +309,9 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
             }
         }
         Some(b'{') => {
+            if depth >= MAX_DEPTH {
+                return Err(format!("nesting deeper than {MAX_DEPTH} at byte {pos}"));
+            }
             *pos += 1;
             let mut fields = Vec::new();
             skip_ws(bytes, pos);
@@ -317,7 +331,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
                 }
                 skip_ws(bytes, pos);
                 expect(bytes, pos, b':')?;
-                let value = parse_value(bytes, pos)?;
+                let value = parse_value(bytes, pos, depth + 1)?;
                 fields.push((key, value));
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
@@ -478,6 +492,34 @@ mod tests {
         assert!(nested.contains("duplicate key \"k\""), "{nested}");
         // The same key in *different* objects is of course fine.
         assert!(parse(r#"{"o1":{"k":1},"o2":{"k":2}}"#).is_ok());
+    }
+
+    /// The recursive parser must refuse pathological nesting *before*
+    /// the thread stack does: exactly [`MAX_DEPTH`] containers parse,
+    /// one more is a clean error (not an abort).
+    #[test]
+    fn nesting_depth_limit_is_exact_at_the_boundary() {
+        let nested = |n: usize| format!("{}0{}", "[".repeat(n), "]".repeat(n));
+        assert!(parse(&nested(MAX_DEPTH)).is_ok(), "{MAX_DEPTH} levels must parse");
+        let err = parse(&nested(MAX_DEPTH + 1)).unwrap_err();
+        assert!(err.contains("nesting deeper than 128"), "{err}");
+        // Mixed objects/arrays share the same budget.
+        let mixed = format!(
+            "{}{}1{}{}",
+            r#"{"k":"#.repeat(MAX_DEPTH / 2),
+            "[".repeat(MAX_DEPTH / 2),
+            "]".repeat(MAX_DEPTH / 2),
+            "}".repeat(MAX_DEPTH / 2)
+        );
+        assert!(parse(&mixed).is_ok());
+        let too_deep = format!(
+            "{}{}1{}{}",
+            r#"{"k":"#.repeat(MAX_DEPTH / 2 + 1),
+            "[".repeat(MAX_DEPTH / 2),
+            "]".repeat(MAX_DEPTH / 2),
+            "}".repeat(MAX_DEPTH / 2 + 1)
+        );
+        assert!(parse(&too_deep).is_err());
     }
 
     /// Regression: data after a complete top-level value must be an

@@ -6,8 +6,10 @@
 //! single-threaded (matching the paper's CPython/Verilator regimes and
 //! DESIGN.md §6); this crate adds the layer above: declare a
 //! [`Campaign`] of [`Job`]s and run them across worker threads with
-//! result caching, panic/budget isolation, live progress, and a
-//! machine-readable JSON report (`BENCH_*.json`).
+//! result caching, panic isolation, per-job watchdogs ([`JobBudget`]),
+//! bounded retry with backoff, checkpoint/resume journalling
+//! ([`journal`]), live progress, and a machine-readable JSON report
+//! (`BENCH_*.json`).
 //!
 //! ```
 //! use mtl_sweep::{Campaign, Job, JobMetrics};
@@ -37,12 +39,14 @@
 pub mod cache;
 pub mod campaign;
 pub mod job;
+pub mod journal;
 pub mod json;
 pub mod progress;
 pub mod timing;
 
 pub use cache::{fnv1a, Fnv1a, ResultCache};
 pub use campaign::{Campaign, CampaignReport};
-pub use job::{Job, JobCtx, JobMetrics, JobOutcome, JobReport, Metric};
+pub use job::{Job, JobBudget, JobCtx, JobMetrics, JobOutcome, JobReport, Metric};
+pub use journal::Journal;
 pub use json::Json;
 pub use timing::{measure_batched, BatchedMeasurement};

@@ -1,0 +1,65 @@
+#!/usr/bin/env sh
+# CI stage 4.5 — fault injection + campaign resilience:
+#
+#   (a) seed-pinned fault-differential fuzz: seeded random fault plans on
+#       random RTL designs must produce byte-identical faulty traces and
+#       identical masked/silent/detected reports on every engine
+#       configuration (all five engines + specialized-par at 1/4
+#       threads);
+#   (b) checkpoint/resume smoke: the fault_sweep --smoke campaign is
+#       killed after two jobs (RUSTMTL_SWEEP_EXIT_AFTER) and restarted;
+#       the restart must replay exactly the journalled jobs and
+#       recompute none of them;
+#   (c) watchdog smoke: injected hangs (RUSTMTL_SWEEP_INJECT_HANG) are
+#       killed by the per-job watchdog and the campaign still completes
+#       every healthy job.
+#
+# Everything is seed-pinned: a red run reproduces locally with exactly
+# these commands.
+set -eu
+cd "$(dirname "$0")/../.."
+
+echo "== fault fuzz: 15 iterations, seed 7 (7 engine configs must agree)"
+cargo run -p mtl-bench --release --bin fuzz -- --fault --iters 15 --seed 7
+
+JOURNAL=target/sweep-journal/ci_fault_smoke.jsonl
+rm -f "$JOURNAL"
+
+echo "== resume smoke: kill fault_sweep --smoke after 2 of 4 jobs"
+set +e
+RUSTMTL_SWEEP_CACHE=0 RUSTMTL_SWEEP_EXIT_AFTER=2 RUSTMTL_BENCH_DIR=target \
+    cargo run -q -p mtl-bench --release --bin fault_sweep -- \
+    --smoke --journal "$JOURNAL" >/dev/null 2>&1
+status=$?
+set -e
+if [ "$status" -ne 99 ]; then
+    echo "expected the simulated kill (exit 99), got exit $status"
+    exit 1
+fi
+
+echo "== resume smoke: restart must replay 2 jobs and re-execute only the rest"
+out=$(RUSTMTL_SWEEP_CACHE=0 RUSTMTL_BENCH_DIR=target \
+    cargo run -q -p mtl-bench --release --bin fault_sweep -- \
+    --smoke --journal "$JOURNAL")
+echo "$out" | grep -q "2 replayed from journal" || {
+    echo "$out"; echo "FAIL: resume did not replay the journalled jobs"; exit 1; }
+echo "$out" | grep -q "2 executed" || {
+    echo "$out"; echo "FAIL: resume recomputed already-finished jobs"; exit 1; }
+echo "$out" | grep -q "0 failed" || {
+    echo "$out"; echo "FAIL: resumed campaign had failures"; exit 1; }
+
+echo "== watchdog smoke: injected hangs must time out; healthy jobs must finish"
+rm -f "$JOURNAL"
+out=$(RUSTMTL_SWEEP_CACHE=0 RUSTMTL_SWEEP_INJECT_HANG=mesh RUSTMTL_BENCH_DIR=target \
+    cargo run -q -p mtl-bench --release --bin fault_sweep -- \
+    --smoke --journal "$JOURNAL" --watchdog-ms 300)
+echo "$out" | grep -q "2 timed out" || {
+    echo "$out"; echo "FAIL: watchdog did not kill the injected hangs"; exit 1; }
+# 4 jobs attempted (2 healthy + 2 hung), and only the hung pair failed.
+echo "$out" | grep -q "4 executed" || {
+    echo "$out"; echo "FAIL: not every job was attempted"; exit 1; }
+echo "$out" | grep -q "2 failed" || {
+    echo "$out"; echo "FAIL: healthy jobs did not complete alongside the hangs"; exit 1; }
+rm -f "$JOURNAL"
+
+echo "== fault stage: OK"

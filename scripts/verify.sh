@@ -7,6 +7,7 @@
 #   stage 2  scripts/ci/20_equivalence.sh   engine equivalence at 1/4 threads
 #   stage 3  scripts/ci/30_lint_designs.sh  design lint over every design
 #   stage 4  scripts/ci/40_fuzz.sh          differential fuzz, 25 iters, seed 7
+#   stage 4.5 scripts/ci/45_fault.sh        fault differential + resume/watchdog
 #   stage 5  scripts/ci/50_smoke.sh         mtl-sweep campaign smoke runs
 #
 # Usage: scripts/verify.sh   (from the repository root)

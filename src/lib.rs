@@ -19,6 +19,9 @@
 //!   fuzzer (note: `check::lint` is the structural design linter;
 //!   `translate::lint` — also in the prelude — checks Verilog
 //!   translatability)
+//! * [`fault`] — deterministic fault injection: seeded fault plans,
+//!   golden-vs-faulty differential runs, masked/silent/detected
+//!   classification
 //!
 //! # Examples
 //!
@@ -46,6 +49,7 @@ pub use mtl_bits as bits;
 pub use mtl_check as check;
 pub use mtl_core as core;
 pub use mtl_eda as eda;
+pub use mtl_fault as fault;
 pub use mtl_net as net;
 pub use mtl_proc as proc;
 pub use mtl_sim as sim;

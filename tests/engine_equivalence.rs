@@ -315,6 +315,37 @@ fn zero_width_slice_is_rejected_at_elaboration() {
     assert!(msg.contains("slice"), "error should name the slice: {msg}");
 }
 
+/// Equivalence must also hold under *perturbation*: a seeded fault plan
+/// injected into a random RTL design makes every engine configuration
+/// (all five engines, plus `SpecializedPar` at 1 and 4 worker threads)
+/// diverge from the golden run *identically* — same faulty-trace
+/// fingerprint, same first-divergence cycle, same masked/silent/detected
+/// classification, same blast radius. Fault injection stresses the
+/// settle machinery differently from clean simulation (forces are
+/// re-applied mid-settle), so this is a distinct property from
+/// `engines_agree_on_random_designs`, not a corollary.
+#[test]
+fn engines_diverge_identically_under_fault_plans() {
+    use rustmtl::fault::{engine_agreement, FaultPlan, Outcome, PlanSpec};
+
+    let mut non_masked = 0;
+    for seed in [1u64, 4, 8, 13] {
+        let design = RandomRtl::new(seed);
+        let probe = Sim::build(&design, Engine::Interpreted).expect("elaborates");
+        let plan = FaultPlan::random(seed ^ 0xFA17, probe.design(), &PlanSpec::new(3, 2, 31));
+        drop(probe);
+        let report =
+            engine_agreement(&design, &plan, 30).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert!(report.injected_bits > 0, "seed {seed}: plan must disturb something");
+        if report.outcome != Outcome::Masked {
+            non_masked += 1;
+        }
+    }
+    // Masking is legitimate per-seed, but if *every* plan were masked the
+    // injection hook would effectively be a no-op and this test vacuous.
+    assert!(non_masked > 0, "at least one seeded plan must visibly perturb the design");
+}
+
 /// The parallel engine must be cycle-exact with `SpecializedOpt` at
 /// explicit thread counts — fully sequential (1) and sharded (4) —
 /// including the logical profile counters, not just settled values.

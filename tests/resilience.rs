@@ -1,0 +1,237 @@
+//! Campaign hardening end-to-end (tier-1): watchdog, retry, resume.
+//!
+//! `mtl-sweep` campaigns must survive the failure modes long sweeps
+//! actually hit — a wedged simulation, a transiently flaky job, a killed
+//! process — without losing finished work or poisoning results:
+//!
+//! 1. **Watchdog** — a hung job is killed at its hard budget and
+//!    reported `TimedOut`; the campaign finishes every other job.
+//! 2. **Retry** — panics and timeouts (transient classes) are retried
+//!    with backoff up to the configured bound; deterministic `Err`
+//!    failures are *never* retried (re-running a broken configuration
+//!    cannot fix it, only hide it).
+//! 3. **Checkpoint/resume** — a journalled campaign replays completed
+//!    jobs from its journal on restart, executing nothing a prior run
+//!    already finished.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rustmtl::sweep::{Campaign, Job, JobMetrics, JobOutcome};
+
+/// A unique scratch directory under the cargo target dir, cleaned first.
+fn scratch_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn quick_job(name: &str, value: u64) -> Job {
+    Job::new(name, move |_ctx| Ok(JobMetrics::new().det("value", value))).param("value", value)
+}
+
+#[test]
+fn watchdog_kills_hung_jobs_and_the_campaign_continues() {
+    let hang = Job::new("hang", |_ctx| {
+        // A wedged simulation: never returns on its own. The watchdog
+        // abandons the thread; it parks until the process exits.
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    })
+    .watchdog(Duration::from_millis(100));
+
+    let report = Campaign::new("watchdog")
+        .no_cache()
+        .workers(2)
+        .job(quick_job("a", 1))
+        .job(hang)
+        .job(quick_job("b", 2))
+        .run();
+
+    assert_eq!(report.done_count(), 2, "healthy jobs must complete");
+    assert_eq!(report.timed_out_count(), 1);
+    let hung = report.get("hang").expect("hung job still reported");
+    match &hung.outcome {
+        JobOutcome::TimedOut { limit } => assert_eq!(*limit, Duration::from_millis(100)),
+        other => panic!("expected TimedOut, got {other:?}"),
+    }
+    assert!(hung.outcome.metrics().is_none(), "a timed-out job has no metrics");
+    // The JSON report carries the taxonomy through.
+    let json = report.json_string();
+    assert!(json.contains("timed_out"), "summary must count timeouts: {json}");
+}
+
+#[test]
+fn transient_panics_are_retried_until_they_succeed() {
+    let attempts = Arc::new(AtomicU32::new(0));
+    let seen = attempts.clone();
+    let flaky = Job::new("flaky", move |_ctx| {
+        if seen.fetch_add(1, Ordering::SeqCst) == 0 {
+            panic!("transient wobble");
+        }
+        Ok(JobMetrics::new().det("value", 7u64))
+    });
+
+    let report = Campaign::new("retry").no_cache().retry(2).job(flaky).run();
+    assert_eq!(report.done_count(), 1, "second attempt must succeed");
+    let job = report.get("flaky").unwrap();
+    assert_eq!(job.attempts, 2, "one panic, one success");
+    assert_eq!(job.u64("value"), Some(7));
+    assert_eq!(attempts.load(Ordering::SeqCst), 2);
+}
+
+#[test]
+fn hung_attempts_are_retried_after_the_watchdog_fires() {
+    let attempts = Arc::new(AtomicU32::new(0));
+    let seen = attempts.clone();
+    let wedges_once = Job::new("wedges_once", move |_ctx| {
+        if seen.fetch_add(1, Ordering::SeqCst) == 0 {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+        Ok(JobMetrics::new().det("value", 3u64))
+    })
+    .watchdog(Duration::from_millis(100));
+
+    let report = Campaign::new("retry-hang")
+        .no_cache()
+        .retry(1)
+        .retry_backoff(Duration::from_millis(1))
+        .job(wedges_once)
+        .run();
+    assert_eq!(report.done_count(), 1, "retry after watchdog kill must succeed");
+    assert_eq!(report.timed_out_count(), 0, "the final outcome is success, not timeout");
+    assert_eq!(report.get("wedges_once").unwrap().attempts, 2);
+}
+
+#[test]
+fn deterministic_errors_are_never_retried() {
+    let attempts = Arc::new(AtomicU32::new(0));
+    let seen = attempts.clone();
+    let broken = Job::new("broken", move |_ctx| {
+        seen.fetch_add(1, Ordering::SeqCst);
+        Err::<JobMetrics, String>("configuration invalid".into())
+    });
+
+    let report = Campaign::new("noretry").no_cache().retry(5).job(broken).run();
+    assert_eq!(report.failed_count(), 1);
+    assert_eq!(
+        attempts.load(Ordering::SeqCst),
+        1,
+        "a deterministic Err must run exactly once regardless of the retry budget"
+    );
+    assert_eq!(report.get("broken").unwrap().attempts, 1);
+}
+
+#[test]
+fn exhausted_retries_report_the_last_failure() {
+    let always = Job::new("always_panics", |_ctx| -> Result<JobMetrics, String> {
+        panic!("hard panic");
+    });
+    let report = Campaign::new("exhaust")
+        .no_cache()
+        .retry(2)
+        .retry_backoff(Duration::from_millis(1))
+        .job(always)
+        .run();
+    assert_eq!(report.failed_count(), 1);
+    let job = report.get("always_panics").unwrap();
+    assert_eq!(job.attempts, 3, "initial attempt plus two retries");
+    match &job.outcome {
+        JobOutcome::Failed { error } => {
+            assert!(error.contains("hard panic"), "last panic preserved: {error}")
+        }
+        other => panic!("expected Failed, got {other:?}"),
+    }
+}
+
+#[test]
+fn journalled_campaigns_resume_without_recomputing_finished_jobs() {
+    let dir = scratch_dir("resilience-journal");
+    let journal = dir.join("campaign.jsonl");
+    let executions = Arc::new(AtomicU32::new(0));
+
+    let build = |executions: Arc<AtomicU32>| {
+        let mut campaign = Campaign::new("resume").seed(7).no_cache().journal(&journal).workers(2);
+        for i in 0..4u64 {
+            let counter = executions.clone();
+            campaign = campaign.job(
+                Job::new(format!("job{i}"), move |_ctx| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    Ok(JobMetrics::new().det("value", i * 10))
+                })
+                .param("i", i),
+            );
+        }
+        campaign
+    };
+
+    let first = build(executions.clone()).run();
+    assert_eq!(first.done_count(), 4);
+    assert_eq!(first.replayed_count(), 0);
+    assert_eq!(executions.load(Ordering::SeqCst), 4, "cold run executes everything");
+
+    // Same campaign identity, same journal: everything replays, nothing
+    // re-executes (cache is off, so the journal alone must carry it).
+    let second = build(executions.clone()).run();
+    assert_eq!(second.done_count(), 4);
+    assert_eq!(second.replayed_count(), 4, "every finished job replays from the journal");
+    assert_eq!(second.executed_count(), 0);
+    assert_eq!(
+        executions.load(Ordering::SeqCst),
+        4,
+        "resume must not run a single job closure again"
+    );
+    for job in &second.jobs {
+        assert!(job.replayed, "{} should be journal-replayed", job.name);
+        assert_eq!(job.attempts, 0, "{}: replay is not an attempt", job.name);
+    }
+    // Replayed metrics are the originals.
+    for i in 0..4u64 {
+        assert_eq!(second.get(&format!("job{i}")).unwrap().u64("value"), Some(i * 10));
+    }
+
+    // A different campaign seed is a different identity: the stale
+    // journal must not replay into it.
+    let third = build(executions.clone()).seed(8).run();
+    assert_eq!(third.replayed_count(), 0, "reseeded campaign must not reuse old results");
+    assert_eq!(executions.load(Ordering::SeqCst), 8);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A partially journalled campaign (simulating a mid-run kill) replays
+/// the finished prefix and executes only the remainder.
+#[test]
+fn partial_journals_resume_exactly_where_they_left_off() {
+    let dir = scratch_dir("resilience-partial");
+    let journal = dir.join("campaign.jsonl");
+    let executions = Arc::new(AtomicU32::new(0));
+
+    let build = |executions: Arc<AtomicU32>, jobs: std::ops::Range<u64>| {
+        let mut campaign = Campaign::new("partial").no_cache().journal(&journal).workers(1);
+        for i in jobs {
+            let counter = executions.clone();
+            campaign = campaign.job(
+                Job::new(format!("job{i}"), move |_ctx| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    Ok(JobMetrics::new().det("value", i))
+                })
+                .param("i", i),
+            );
+        }
+        campaign
+    };
+
+    // "First run" only reaches jobs 0 and 1 before dying.
+    build(executions.clone(), 0..2).run();
+    assert_eq!(executions.load(Ordering::SeqCst), 2);
+
+    // The restarted full campaign replays those two and runs the rest.
+    let resumed = build(executions.clone(), 0..5).run();
+    assert_eq!(resumed.done_count(), 5);
+    assert_eq!(resumed.replayed_count(), 2);
+    assert_eq!(resumed.executed_count(), 3);
+    assert_eq!(executions.load(Ordering::SeqCst), 5, "exactly the unfinished jobs ran");
+    let _ = std::fs::remove_dir_all(&dir);
+}
