@@ -22,17 +22,24 @@
 //! `scripts/ci/45_fault.sh`, which also kills and resumes it to smoke the
 //! checkpoint/resume path. Writes `BENCH_fault.json`
 //! (`BENCH_fault_smoke.json` for `--smoke`).
+//!
+//! `--serve SOCKET` runs the same campaign as a thin client of a running
+//! `mtl_serve` daemon (`fault_chunk` jobs from the server registry,
+//! which reproduce this binary's plans bit for bit): the daemon's shared
+//! compile cache means concurrent sweeps over the same design points
+//! compile each design once, and its journal directory owns resume.
 
 use std::time::Duration;
 
 use mtl_accel::{TileConfig, TileHarness, XcelLevel};
-use mtl_bench::{arg_value, banner, mesh_harness, write_bench_report};
+use mtl_bench::{arg_value, banner, mesh_harness, write_bench_json, write_bench_report};
 use mtl_core::Component;
 use mtl_fault::{run_diff, DiffConfig, FaultPlan, Outcome, PlanSpec};
 use mtl_net::NetLevel;
 use mtl_proc::{CacheLevel, ProcLevel};
+use mtl_serve::Client;
 use mtl_sim::{Engine, Sim};
-use mtl_sweep::{Campaign, CampaignReport, Job, JobMetrics};
+use mtl_sweep::{Campaign, CampaignReport, Job, JobMetrics, Json};
 
 /// One design under fault injection. `Copy` so job closures can rebuild
 /// it inside the worker thread (sims never cross threads).
@@ -162,7 +169,59 @@ impl Spec {
         .watchdog(self.watchdog)
     }
 
+    /// The equivalent campaign as an `mtl-serve` submission spec, using
+    /// the server's `fault_chunk` registry kind. Field values mirror
+    /// [`Spec::fault_job`] exactly; the journal is forwarded only when
+    /// pinned on the command line (otherwise the daemon's
+    /// `--journal-dir` owns placement, which is what makes server-side
+    /// resume work from any client cwd).
+    fn serve_spec(&self, journal: Option<&str>) -> Json {
+        let mut spec = Json::obj();
+        spec.set("name", self.report_name).set("retries", 1u32);
+        if let Some(path) = journal {
+            spec.set("journal", path);
+        }
+        let mut jobs: Vec<Json> = Vec::new();
+        for &dut in &self.duts {
+            for chunk in 0..self.chunks {
+                let mut j = Json::obj();
+                j.set("kind", "fault_chunk").set("name", Self::job_name(dut, chunk));
+                match dut {
+                    Dut::Mesh(level, n) => {
+                        j.set("dut", "mesh")
+                            .set("level", level.to_string())
+                            .set("nrouters", n)
+                            .set("injection", 200u32);
+                    }
+                    Dut::Tile(p, c, x) => {
+                        j.set("dut", "tile")
+                            .set("proc", p.to_string())
+                            .set("cache", c.to_string())
+                            .set("xcel", x.to_string());
+                    }
+                }
+                j.set("chunk", chunk)
+                    .set("trials", self.trials)
+                    .set("cycles", self.cycles)
+                    .set("faults", self.faults)
+                    .set("engine", self.engine.to_string())
+                    .set("watchdog_ms", self.watchdog.as_millis() as u64);
+                jobs.push(j);
+            }
+        }
+        spec.set("jobs", jobs);
+        spec
+    }
+
     fn print_table(&self, report: &CampaignReport) {
+        self.print_table_with(&|name| report.get(name).and_then(Tally::from_report));
+    }
+
+    fn print_table_json(&self, report: &Json) {
+        self.print_table_with(&|name| report_job(report, name).and_then(Tally::from_json));
+    }
+
+    fn print_table_with(&self, lookup: &dyn Fn(&str) -> Option<Tally>) {
         println!(
             "\n--- fault taxonomy: {} trials x {} fault(s) per design point, \
              {}-cycle window, {} engine ---",
@@ -179,7 +238,7 @@ impl Spec {
             let mut total = Tally::default();
             let mut failed = false;
             for chunk in 0..self.chunks {
-                match report.get(&Self::job_name(dut, chunk)).and_then(Tally::from_report) {
+                match lookup(&Self::job_name(dut, chunk)) {
                     Some(t) => total.merge(&t),
                     None => failed = true,
                 }
@@ -268,6 +327,58 @@ impl Tally {
             injected_bits: job.u64("injected_bits")?,
         })
     }
+
+    /// The same extraction from a server-side report document (one
+    /// entry of the report's `jobs` array).
+    fn from_json(job: &Json) -> Option<Tally> {
+        let metrics = job.get("metrics")?;
+        let m = |key: &str| metrics.get(key).and_then(Json::as_u64);
+        Some(Tally {
+            masked: m("masked")?,
+            silent: m("silent")?,
+            detected: m("detected")?,
+            diverged: m("diverged")?,
+            sum_first_div: m("sum_first_divergence")?,
+            sum_blast: m("sum_blast_radius")?,
+            injected_bits: m("injected_bits")?,
+        })
+    }
+}
+
+/// Finds one job entry by name in a server-side campaign report.
+fn report_job<'a>(report: &'a Json, name: &str) -> Option<&'a Json> {
+    report
+        .get("jobs")?
+        .as_arr()?
+        .iter()
+        .find(|j| j.get("name").and_then(Json::as_str) == Some(name))
+}
+
+/// Runs the campaign as a thin client of an `mtl_serve` daemon and
+/// prints the same table and summary lines as a standalone run.
+fn run_serve(spec: &Spec, socket: &str, journal: Option<&str>) -> Result<(), String> {
+    let mut client =
+        Client::connect(socket.as_ref()).map_err(|e| format!("cannot connect to {socket}: {e}"))?;
+    client.hello()?;
+    println!("(serve mode: campaign submitted to {socket})");
+    let report = client.submit(&spec.serve_spec(journal), |event| {
+        let s = |k: &str| event.get(k).and_then(Json::as_str).unwrap_or("?").to_string();
+        let n = |k: &str| event.get(k).and_then(Json::as_u64).unwrap_or(0);
+        println!("  [{}/{}] {}: {}", n("done"), n("total"), s("job"), s("outcome"));
+    })?;
+    spec.print_table_json(&report);
+    let jobs = report.get("jobs").and_then(Json::as_arr).unwrap_or(&[]);
+    let count = |pred: &dyn Fn(&Json) -> bool| jobs.iter().filter(|j| pred(j)).count();
+    let flag = |j: &Json, k: &str| j.get(k).and_then(Json::as_bool).unwrap_or(false);
+    println!(
+        "\n{} replayed from journal, {} cached, {} executed, {} timed out",
+        count(&|j| flag(j, "replayed")),
+        count(&|j| flag(j, "cached")),
+        count(&|j| j.get("attempts").and_then(Json::as_u64).unwrap_or(0) > 0),
+        count(&|j| j.get("outcome").and_then(Json::as_str) == Some("timed_out")),
+    );
+    write_bench_json(&report, spec.report_name);
+    Ok(())
 }
 
 /// SplitMix64 finalizer: decorrelates per-trial plan seeds from the
@@ -288,6 +399,14 @@ fn main() {
         spec.watchdog = Duration::from_millis(ms);
     }
     banner("Fault-injection resilience campaign", "EXPERIMENTS.md, fault taxonomy");
+    if let Some(socket) = arg_value("--serve") {
+        let journal = arg_value("--journal");
+        if let Err(e) = run_serve(&spec, &socket, journal.as_deref()) {
+            eprintln!("fault_sweep --serve: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
     let journal = arg_value("--journal")
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|| format!("target/sweep-journal/{}.jsonl", spec.report_name).into());

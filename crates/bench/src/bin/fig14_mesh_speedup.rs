@@ -17,16 +17,26 @@
 //! and attach the hottest blocks to each job's `profile` report section;
 //! pass `--smoke` for a fast CI-sized run (same campaign shape, much
 //! smaller measurement windows).
+//!
+//! Pass `--serve SOCKET` to delegate the engine measurements to a
+//! running `mtl_serve` daemon as `mesh_rate` registry jobs (the
+//! handwritten baseline still runs locally — it is a plain Rust loop
+//! with nothing to compile). The daemon's warm compile cache removes
+//! construction overheads from repeat runs, so the serve-side dotted
+//! curves reflect a persistent-session workflow; the RTL `veri`
+//! translation overhead is only charged in standalone runs.
+//! `--profile` requires in-process simulators and rejects `--serve`.
 
 use std::time::{Duration, Instant};
 
 use mtl_bench::{
     banner, has_flag, measure_handwritten_rate, measure_rate_instrumented, mesh_harness,
-    profile_json, rate_metrics, write_bench_report, PROFILE_TOP_N,
+    profile_json, rate_metrics, write_bench_json, write_bench_report, PROFILE_TOP_N,
 };
 use mtl_net::NetLevel;
+use mtl_serve::Client;
 use mtl_sim::Engine;
-use mtl_sweep::{Campaign, CampaignReport, Job, JobMetrics};
+use mtl_sweep::{Campaign, CampaignReport, Job, JobMetrics, Json};
 
 const NROUTERS: usize = 64;
 const INJECTION: u32 = 300; // near saturation for the 8x8 mesh
@@ -37,16 +47,22 @@ fn job_name(level: NetLevel, engine: Engine) -> String {
     format!("{level}/{engine}")
 }
 
-fn engine_job(level: NetLevel, engine: Engine, profile: bool, smoke: bool) -> Job {
-    // Interpreted engines are slow; cap their measurement burden.
-    let (min_wall, max_cycles) = match (engine, smoke) {
+/// Per-engine measurement window — interpreted engines are slow; cap
+/// their measurement burden. Shared by the in-process jobs and the
+/// `--serve` spec so both modes measure the same way.
+fn measurement_window(engine: Engine, smoke: bool) -> (Duration, u64) {
+    match (engine, smoke) {
         (Engine::Interpreted, false) => (Duration::from_millis(1500), 20_000),
         (Engine::InterpretedOpt, false) => (Duration::from_millis(1200), 50_000),
         (_, false) => (Duration::from_millis(800), 2_000_000),
         (Engine::Interpreted, true) => (Duration::from_millis(60), 1_000),
         (Engine::InterpretedOpt, true) => (Duration::from_millis(60), 3_000),
         (_, true) => (Duration::from_millis(60), 50_000),
-    };
+    }
+}
+
+fn engine_job(level: NetLevel, engine: Engine, profile: bool, smoke: bool) -> Job {
+    let (min_wall, max_cycles) = measurement_window(engine, smoke);
     let mut job = Job::new(job_name(level, engine), move |ctx| {
         let harness = mesh_harness(level, NROUTERS, INJECTION);
         let (mut m, prof) = measure_rate_instrumented(
@@ -115,6 +131,7 @@ fn handwritten_job(smoke: bool) -> Job {
 struct Point {
     rate: f64,
     overhead_secs: f64,
+    measured_cycles: u64,
 }
 
 impl Point {
@@ -123,6 +140,24 @@ impl Point {
         Some(Point {
             rate: job.f64("cycles_per_sec")?,
             overhead_secs: job.f64("overhead_total_secs").unwrap_or(0.0),
+            measured_cycles: job.u64("measured_cycles").unwrap_or(0),
+        })
+    }
+
+    /// The same extraction from a server-side report document, where
+    /// timing metrics live in each job entry's `timing` section.
+    fn from_json(report: &Json, name: &str) -> Option<Point> {
+        let job = report
+            .get("jobs")?
+            .as_arr()?
+            .iter()
+            .find(|j| j.get("name").and_then(Json::as_str) == Some(name))?;
+        let timing = job.get("timing")?;
+        let f = |key: &str| timing.get(key).and_then(Json::as_f64);
+        Some(Point {
+            rate: f("cycles_per_sec")?,
+            overhead_secs: f("overhead_total_secs").unwrap_or(0.0),
+            measured_cycles: f("measured_cycles").unwrap_or(0.0) as u64,
         })
     }
 
@@ -135,20 +170,17 @@ impl Point {
     }
 }
 
-fn print_level(report: &CampaignReport, level: NetLevel, handwritten: Option<f64>) {
+fn print_level(lookup: &dyn Fn(&str) -> Option<Point>, level: NetLevel, handwritten: Option<f64>) {
     println!("\n--- {level} {NROUTERS}-node mesh (injection {INJECTION}/1000) ---");
     let mut points: Vec<(Engine, Option<Point>)> = Vec::new();
     for engine in Engine::ALL {
-        let name = job_name(level, engine);
-        let point = Point::from_report(report, &name);
-        match (&point, report.get(&name)) {
-            (Some(p), Some(job)) => println!(
+        let point = lookup(&job_name(level, engine));
+        match &point {
+            Some(p) => println!(
                 "  {engine:18} rate {:>12.0} cyc/s   overheads {:.3}s (measured over {} cycles)",
-                p.rate,
-                p.overhead_secs,
-                job.u64("measured_cycles").unwrap_or(0),
+                p.rate, p.overhead_secs, p.measured_cycles,
             ),
-            _ => println!("  {engine:18} FAILED (see BENCH_fig14.json)"),
+            None => println!("  {engine:18} FAILED (see BENCH_fig14.json)"),
         }
         points.push((engine, point));
     }
@@ -192,6 +224,59 @@ fn print_level(report: &CampaignReport, level: NetLevel, handwritten: Option<f64
     }
 }
 
+/// The engine measurements as an `mtl-serve` submission: one
+/// `mesh_rate` registry job per (level, engine), with the same
+/// measurement windows as the in-process campaign.
+fn serve_spec(smoke: bool) -> Json {
+    let mut spec = Json::obj();
+    spec.set("name", "fig14").set("no_cache", true);
+    let mut jobs: Vec<Json> = Vec::new();
+    for level in LEVELS {
+        for engine in Engine::ALL {
+            let (min_wall, max_cycles) = measurement_window(engine, smoke);
+            let mut j = Json::obj();
+            j.set("kind", "mesh_rate")
+                .set("name", job_name(level, engine))
+                .set("level", level.to_string())
+                .set("nrouters", NROUTERS)
+                .set("injection", INJECTION)
+                .set("engine", engine.to_string())
+                .set("min_wall_ms", min_wall.as_millis() as u64)
+                .set("max_cycles", max_cycles)
+                .set("budget_ms", if smoke { 20_000u64 } else { 60_000 });
+            jobs.push(j);
+        }
+    }
+    spec.set("jobs", jobs);
+    spec
+}
+
+/// Delegates the engine measurements to a daemon; the handwritten
+/// baseline (a plain Rust loop, nothing to compile or share) runs
+/// locally either way.
+fn run_serve(socket: &str, smoke: bool) -> Result<(), String> {
+    let mut client =
+        Client::connect(socket.as_ref()).map_err(|e| format!("cannot connect to {socket}: {e}"))?;
+    client.hello()?;
+    println!("(serve mode: engine measurements delegated to {socket})");
+    let report = client.submit(&serve_spec(smoke), |event| {
+        let s = |k: &str| event.get(k).and_then(Json::as_str).unwrap_or("?").to_string();
+        let n = |k: &str| event.get(k).and_then(Json::as_u64).unwrap_or(0);
+        println!("  [{}/{}] {}: {}", n("done"), n("total"), s("job"), s("outcome"));
+    })?;
+    let (min_wall, max_cycles) = if smoke {
+        (Duration::from_millis(60), 200_000)
+    } else {
+        (Duration::from_millis(500), 20_000_000)
+    };
+    let handwritten = Some(measure_handwritten_rate(NROUTERS, INJECTION, min_wall, max_cycles));
+    for level in LEVELS {
+        print_level(&|name| Point::from_json(&report, name), level, handwritten);
+    }
+    write_bench_json(&report, "fig14");
+    Ok(())
+}
+
 fn main() {
     banner("Figure 14: mesh simulator speedup vs target cycles", "Fig. 14");
     let profile = has_flag("--profile");
@@ -201,6 +286,17 @@ fn main() {
     let smoke = has_flag("--smoke");
     if smoke {
         println!("(smoke mode: CI-sized measurement windows)");
+    }
+    if let Some(socket) = mtl_bench::arg_value("--serve") {
+        if profile {
+            eprintln!("fig14_mesh_speedup: --profile needs in-process simulators; drop --serve");
+            std::process::exit(2);
+        }
+        if let Err(e) = run_serve(&socket, smoke) {
+            eprintln!("fig14_mesh_speedup --serve: {e}");
+            std::process::exit(1);
+        }
+        return;
     }
     let mut campaign = Campaign::new("fig14");
     for level in LEVELS {
@@ -213,7 +309,7 @@ fn main() {
 
     let handwritten = report.metric("handwritten", "cycles_per_sec");
     for level in LEVELS {
-        print_level(&report, level, handwritten);
+        print_level(&|name| Point::from_report(&report, name), level, handwritten);
     }
     write_bench_report(&report, "fig14");
 }

@@ -288,6 +288,18 @@ pub fn write_bench_report(report: &mtl_sweep::CampaignReport, name: &str) {
     }
 }
 
+/// Writes an already-rendered report document to [`bench_report_path`].
+/// The `--serve` client paths use this: the server returns the campaign
+/// report as JSON (the same schema `write_bench_report` produces), so
+/// there is no local `CampaignReport` to serialize.
+pub fn write_bench_json(doc: &Json, name: &str) {
+    let path = bench_report_path(name);
+    match std::fs::write(&path, doc.to_pretty()) {
+        Ok(()) => println!("\nwrote {} (server-side campaign report)", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}
+
 /// Formats a duration in seconds with millisecond precision.
 pub fn secs(d: Duration) -> String {
     format!("{:.3}", d.as_secs_f64())

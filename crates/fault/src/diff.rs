@@ -76,10 +76,17 @@ impl DiffConfig {
     }
 }
 
-fn build(top: &dyn Component, cfg: &DiffConfig) -> Result<Sim, String> {
+fn build(
+    top: &dyn Component,
+    cfg: &DiffConfig,
+    shared: Option<(&mtl_sim::ArtifactCache, u64)>,
+) -> Result<Sim, String> {
     let sim_cfg = SimConfig { threads: cfg.threads };
-    Sim::build_with_config(top, cfg.engine, &sim_cfg)
-        .map_err(|e| format!("elaboration failed: {e:?}"))
+    match shared {
+        Some((cache, key)) => Sim::build_shared(top, cfg.engine, &sim_cfg, cache, key),
+        None => Sim::build_with_config(top, cfg.engine, &sim_cfg),
+    }
+    .map_err(|e| format!("elaboration failed: {e:?}"))
 }
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -108,8 +115,36 @@ pub fn run_diff(
     plan: &FaultPlan,
     cfg: &DiffConfig,
 ) -> Result<FaultReport, String> {
-    let mut golden = build(top, cfg)?;
-    let mut faulty = build(top, cfg)?;
+    run_diff_inner(top, plan, cfg, None)
+}
+
+/// [`run_diff`] with both simulators built through a shared
+/// [`mtl_sim::ArtifactCache`] under `key`, so a campaign hammering one
+/// design point compiles its tapes once instead of twice per trial. The
+/// key must identify the design `top` elaborates to (not the plan, seed,
+/// or window — those vary per trial and share the same compile).
+///
+/// # Errors
+///
+/// Identical to [`run_diff`].
+pub fn run_diff_shared(
+    top: &dyn Component,
+    plan: &FaultPlan,
+    cfg: &DiffConfig,
+    cache: &mtl_sim::ArtifactCache,
+    key: u64,
+) -> Result<FaultReport, String> {
+    run_diff_inner(top, plan, cfg, Some((cache, key)))
+}
+
+fn run_diff_inner(
+    top: &dyn Component,
+    plan: &FaultPlan,
+    cfg: &DiffConfig,
+    shared: Option<(&mtl_sim::ArtifactCache, u64)>,
+) -> Result<FaultReport, String> {
+    let mut golden = build(top, cfg, shared)?;
+    let mut faulty = build(top, cfg, shared)?;
     plan.apply(&mut faulty)?;
     golden.reset();
     faulty.reset();

@@ -48,7 +48,10 @@
 mod diff;
 mod plan;
 
-pub use diff::{agreement_configs, engine_agreement, run_diff, DiffConfig, FaultReport, Outcome};
+pub use diff::{
+    agreement_configs, engine_agreement, run_diff, run_diff_shared, DiffConfig, FaultReport,
+    Outcome,
+};
 pub use plan::{Fault, FaultKind, FaultPlan, PlanSpec, Targets};
 
 #[cfg(test)]

@@ -1,0 +1,503 @@
+//! The campaign-spec registry: JSON campaign descriptions → executable
+//! [`Campaign`]s.
+//!
+//! A client cannot ship closures over a socket, so submissions name
+//! *job kinds* from a fixed catalog and the server instantiates the
+//! closures — the same pattern as a build farm's rule registry. Each
+//! sim-building kind derives a **compile key** from the parameters that
+//! shape the elaborated design (level, size — never seeds, trial
+//! counts, or the campaign name) and builds through the server's shared
+//! [`ArtifactCache`], so concurrent campaigns hammering the same design
+//! point compile its tapes once.
+//!
+//! Spec shape (see DESIGN.md §10 for the full schema):
+//!
+//! ```json
+//! {"name": "A", "seed": 7, "retries": 1,
+//!  "jobs": [
+//!    {"kind": "mesh_cycles", "name": "mesh16/cl", "level": "CL",
+//!     "nrouters": 16, "cycles": 200, "engine": "specialized-opt"},
+//!    {"kind": "fault_chunk", "name": "mesh16/CL/chunk0", "dut": "mesh",
+//!     "level": "CL", "nrouters": 16, "chunk": 0, "trials": 2,
+//!     "cycles": 60, "faults": 1}
+//!  ]}
+//! ```
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use mtl_accel::{TileConfig, TileHarness, XcelLevel};
+use mtl_fault::{run_diff_shared, DiffConfig, FaultPlan, Outcome, PlanSpec};
+use mtl_net::{MeshTrafficHarness, NetLevel};
+use mtl_proc::{CacheLevel, ProcLevel};
+use mtl_sim::{ArtifactCache, Engine, Sim, SimConfig};
+use mtl_sweep::{Campaign, Fnv1a, Job, JobMetrics, Json};
+
+/// Server-side fallbacks applied to specs that don't pin their own
+/// paths: campaigns cache into `cache_dir` and journal into
+/// `journal_dir/<campaign>.jsonl`.
+#[derive(Debug, Clone, Default)]
+pub struct SpecDefaults {
+    pub cache_dir: Option<PathBuf>,
+    pub journal_dir: Option<PathBuf>,
+}
+
+fn str_field(spec: &Json, key: &str) -> Option<String> {
+    spec.get(key).and_then(Json::as_str).map(str::to_string)
+}
+
+fn u64_field(spec: &Json, key: &str) -> Option<u64> {
+    spec.get(key).and_then(Json::as_u64)
+}
+
+pub fn parse_engine(s: &str) -> Result<Engine, String> {
+    match s {
+        "interpreted" => Ok(Engine::Interpreted),
+        "interpreted-opt" => Ok(Engine::InterpretedOpt),
+        "specialized" => Ok(Engine::Specialized),
+        "specialized-opt" => Ok(Engine::SpecializedOpt),
+        "specialized-par" => Ok(Engine::SpecializedPar),
+        other => Err(format!("unknown engine \"{other}\"")),
+    }
+}
+
+pub fn parse_net_level(s: &str) -> Result<NetLevel, String> {
+    match s.to_ascii_uppercase().as_str() {
+        "FL" => Ok(NetLevel::Fl),
+        "CL" => Ok(NetLevel::Cl),
+        "RTL" => Ok(NetLevel::Rtl),
+        other => Err(format!("unknown net level \"{other}\"")),
+    }
+}
+
+pub fn parse_proc_level(s: &str) -> Result<ProcLevel, String> {
+    match s.to_ascii_uppercase().as_str() {
+        "FL" => Ok(ProcLevel::Fl),
+        "CL" => Ok(ProcLevel::Cl),
+        "RTL" => Ok(ProcLevel::Rtl),
+        "RTL-PIPE" => Ok(ProcLevel::PipeRtl),
+        other => Err(format!("unknown proc level \"{other}\"")),
+    }
+}
+
+pub fn parse_cache_level(s: &str) -> Result<CacheLevel, String> {
+    match s.to_ascii_uppercase().as_str() {
+        "FL" => Ok(CacheLevel::Fl),
+        "CL" => Ok(CacheLevel::Cl),
+        "RTL" => Ok(CacheLevel::Rtl),
+        other => Err(format!("unknown cache level \"{other}\"")),
+    }
+}
+
+pub fn parse_xcel_level(s: &str) -> Result<XcelLevel, String> {
+    match s.to_ascii_uppercase().as_str() {
+        "FL" => Ok(XcelLevel::Fl),
+        "CL" => Ok(XcelLevel::Cl),
+        "RTL" => Ok(XcelLevel::Rtl),
+        other => Err(format!("unknown xcel level \"{other}\"")),
+    }
+}
+
+/// Builds a runnable [`Campaign`] from a submitted spec.
+///
+/// The returned campaign is *not yet prepared* — the scheduler calls
+/// [`Campaign::prepare`] so journal replay and cache probes happen on
+/// its thread, not the connection's.
+///
+/// # Errors
+///
+/// Returns a protocol-level message for any malformed or unknown field;
+/// nothing is partially registered on error.
+pub fn campaign_from_spec(
+    spec: &Json,
+    defaults: &SpecDefaults,
+    artifacts: &Arc<ArtifactCache>,
+) -> Result<Campaign, String> {
+    let name = str_field(spec, "name").ok_or("campaign spec needs a string \"name\"")?;
+    if name.is_empty() || name.contains(['/', '\n']) {
+        return Err(format!("campaign name {name:?} must be a non-empty path-safe string"));
+    }
+    let mut campaign = Campaign::new(&name);
+    if let Some(seed) = u64_field(spec, "seed") {
+        campaign = campaign.seed(seed);
+    }
+    if let Some(retries) = u64_field(spec, "retries") {
+        campaign = campaign.retry(retries as u32);
+    }
+    if let Some(ms) = u64_field(spec, "retry_backoff_ms") {
+        campaign = campaign.retry_backoff(Duration::from_millis(ms));
+    }
+    if spec.get("no_cache").and_then(Json::as_bool).unwrap_or(false) {
+        campaign = campaign.no_cache();
+    } else if let Some(dir) = str_field(spec, "cache_dir")
+        .or_else(|| defaults.cache_dir.as_ref().map(|d| d.to_string_lossy().into_owned()))
+    {
+        campaign = campaign.cache_dir(dir);
+    }
+    if let Some(path) = str_field(spec, "journal") {
+        campaign = campaign.journal(path);
+    } else if let Some(dir) = &defaults.journal_dir {
+        campaign = campaign.journal(dir.join(format!("{name}.jsonl")));
+    }
+    let jobs =
+        spec.get("jobs").and_then(Json::as_arr).ok_or("campaign spec needs a \"jobs\" array")?;
+    if jobs.is_empty() {
+        return Err("campaign spec has no jobs".to_string());
+    }
+    for (i, job_spec) in jobs.iter().enumerate() {
+        let job = job_from_spec(job_spec, artifacts)
+            .map_err(|e| format!("job {i} of campaign \"{name}\": {e}"))?;
+        campaign = campaign.job(job);
+    }
+    Ok(campaign)
+}
+
+/// Instantiates one job from the kind catalog.
+fn job_from_spec(spec: &Json, artifacts: &Arc<ArtifactCache>) -> Result<Job, String> {
+    let kind = str_field(spec, "kind").ok_or("job needs a string \"kind\"")?;
+    let name = str_field(spec, "name").ok_or("job needs a string \"name\"")?;
+    let mut job = match kind.as_str() {
+        "sleep_ms" => sleep_job(&name, spec),
+        "fail" => fail_job(&name),
+        "mesh_cycles" => mesh_cycles_job(&name, spec, artifacts)?,
+        "tile_cycles" => tile_cycles_job(&name, spec, artifacts)?,
+        "mesh_rate" => mesh_rate_job(&name, spec, artifacts)?,
+        "fault_chunk" => fault_chunk_job(&name, spec, artifacts)?,
+        other => return Err(format!("unknown job kind \"{other}\"")),
+    };
+    if let Some(ms) = u64_field(spec, "watchdog_ms") {
+        job = job.watchdog(Duration::from_millis(ms));
+    }
+    if let Some(ms) = u64_field(spec, "budget_ms") {
+        job = job.budget(Duration::from_millis(ms));
+    }
+    if spec.get("uncacheable").and_then(Json::as_bool).unwrap_or(false) {
+        job = job.uncacheable();
+    }
+    Ok(job)
+}
+
+/// Test/bench aid: sleeps, then reports how long it was asked to sleep.
+fn sleep_job(name: &str, spec: &Json) -> Job {
+    let ms = u64_field(spec, "ms").unwrap_or(10);
+    Job::new(name, move |_ctx| {
+        std::thread::sleep(Duration::from_millis(ms));
+        Ok(JobMetrics::new().det("slept_ms", ms))
+    })
+    .param("kind", "sleep_ms")
+    .param("ms", ms)
+}
+
+/// Test aid: fails deterministically (exercises partial-resume paths —
+/// failures are never journalled, so they re-run after a restart).
+fn fail_job(name: &str) -> Job {
+    Job::new(name, |_ctx| Err("injected failure (kind=fail)".to_string())).param("kind", "fail")
+}
+
+fn engine_of(spec: &Json) -> Result<Engine, String> {
+    match str_field(spec, "engine") {
+        Some(s) => parse_engine(&s),
+        None => Ok(Engine::SpecializedOpt),
+    }
+}
+
+/// The compile key for a design point: FNV over the parameters that
+/// shape the elaborated design. Seeds, cycle counts, and campaign names
+/// deliberately excluded — they don't change the compiled tapes, and
+/// including them would defeat cross-campaign sharing.
+fn compile_key(parts: &[&str]) -> u64 {
+    let mut h = Fnv1a::new();
+    for p in parts {
+        h.write_str(p);
+    }
+    h.finish()
+}
+
+struct MeshParams {
+    level: NetLevel,
+    nrouters: usize,
+    injection: u32,
+    key: u64,
+}
+
+fn mesh_params(spec: &Json) -> Result<MeshParams, String> {
+    let level = parse_net_level(&str_field(spec, "level").ok_or("mesh job needs \"level\"")?)?;
+    let nrouters = u64_field(spec, "nrouters").unwrap_or(16) as usize;
+    let root = (nrouters as f64).sqrt() as usize;
+    if root * root != nrouters || nrouters == 0 {
+        return Err(format!("\"nrouters\" must be a positive perfect square, got {nrouters}"));
+    }
+    let injection = u64_field(spec, "injection").unwrap_or(200) as u32;
+    let key =
+        compile_key(&["mesh", &level.to_string(), &nrouters.to_string(), &injection.to_string()]);
+    Ok(MeshParams { level, nrouters, injection, key })
+}
+
+/// Deterministic mesh run: `cycles` cycles of seeded traffic, reporting
+/// the delivery statistics. Cacheable and journalable (the same seed
+/// reproduces the same traffic on every engine).
+fn mesh_cycles_job(name: &str, spec: &Json, artifacts: &Arc<ArtifactCache>) -> Result<Job, String> {
+    let p = mesh_params(spec)?;
+    let cycles = u64_field(spec, "cycles").unwrap_or(200);
+    let engine = engine_of(spec)?;
+    let artifacts = artifacts.clone();
+    let (level, nrouters, injection, key) = (p.level, p.nrouters, p.injection, p.key);
+    Ok(Job::new(name, move |ctx| {
+        let harness = MeshTrafficHarness::new(level, nrouters, injection, ctx.seed);
+        let stats = harness.stats();
+        let mut sim = Sim::build_shared(&harness, engine, &SimConfig::default(), &artifacts, key)
+            .map_err(|e| format!("elaboration failed: {e:?}"))?;
+        sim.reset();
+        sim.run(cycles);
+        let s = stats.lock().map_err(|_| "stats poisoned".to_string())?;
+        Ok(JobMetrics::new()
+            .det("cycles", cycles)
+            .det("injected", s.injected)
+            .det("received", s.received)
+            .det("total_latency", s.total_latency)
+            .det("max_latency", s.max_latency)
+            .det("misrouted", s.misrouted))
+    })
+    .param("kind", "mesh_cycles")
+    .param("level", p.level)
+    .param("nrouters", p.nrouters)
+    .param("injection", p.injection)
+    .param("cycles", cycles)
+    .param("engine", engine))
+}
+
+struct TileParams {
+    config: TileConfig,
+    key: u64,
+}
+
+fn tile_params(spec: &Json) -> Result<TileParams, String> {
+    let proc = parse_proc_level(&str_field(spec, "proc").ok_or("tile job needs \"proc\"")?)?;
+    let cache = parse_cache_level(&str_field(spec, "cache").ok_or("tile job needs \"cache\"")?)?;
+    let xcel = parse_xcel_level(&str_field(spec, "xcel").ok_or("tile job needs \"xcel\"")?)?;
+    let config = TileConfig { proc, cache, xcel };
+    let key = compile_key(&["tile", &proc.to_string(), &cache.to_string(), &xcel.to_string()]);
+    Ok(TileParams { config, key })
+}
+
+/// Deterministic tile run: executes until the processor halts (or
+/// `max_cycles`), reporting cycles and retired instructions.
+fn tile_cycles_job(name: &str, spec: &Json, artifacts: &Arc<ArtifactCache>) -> Result<Job, String> {
+    let p = tile_params(spec)?;
+    let max_cycles = u64_field(spec, "max_cycles").unwrap_or(20_000);
+    let engine = engine_of(spec)?;
+    let artifacts = artifacts.clone();
+    let (config, key) = (p.config, p.key);
+    Ok(Job::new(name, move |_ctx| {
+        let harness = TileHarness::new(config, 1 << 10, vec![3, 1, 4, 1, 5, 9]);
+        let mut sim = Sim::build_shared(&harness, engine, &SimConfig::default(), &artifacts, key)
+            .map_err(|e| format!("elaboration failed: {e:?}"))?;
+        sim.reset();
+        let mut cycles = 0u64;
+        while cycles < max_cycles && sim.peek_port("halted").as_u128() == 0 {
+            sim.cycle();
+            cycles += 1;
+        }
+        Ok(JobMetrics::new()
+            .det("cycles", cycles)
+            .det("halted", sim.peek_port("halted").as_u128() as u64)
+            .det("instret", sim.peek_port("instret").as_u128() as u64))
+    })
+    .param("kind", "tile_cycles")
+    .param("proc", config.proc)
+    .param("cache", config.cache)
+    .param("xcel", config.xcel)
+    .param("max_cycles", max_cycles)
+    .param("engine", engine))
+}
+
+/// Timing measurement: simulate for at least `min_wall_ms`, report
+/// cycles/second. Uncacheable by construction — wall-clock rates are
+/// machine- and load-dependent, so they are timing metrics (excluded
+/// from the canonical report) and never reused.
+fn mesh_rate_job(name: &str, spec: &Json, artifacts: &Arc<ArtifactCache>) -> Result<Job, String> {
+    let p = mesh_params(spec)?;
+    let min_wall = Duration::from_millis(u64_field(spec, "min_wall_ms").unwrap_or(200));
+    let max_cycles = u64_field(spec, "max_cycles").unwrap_or(1_000_000);
+    let engine = engine_of(spec)?;
+    let artifacts = artifacts.clone();
+    let (level, nrouters, injection, key) = (p.level, p.nrouters, p.injection, p.key);
+    Ok(Job::new(name, move |ctx| {
+        let harness = MeshTrafficHarness::new(level, nrouters, injection, ctx.seed);
+        let mut sim = Sim::build_shared(&harness, engine, &SimConfig::default(), &artifacts, key)
+            .map_err(|e| format!("elaboration failed: {e:?}"))?;
+        sim.reset();
+        let t0 = std::time::Instant::now();
+        let mut cycles = 0u64;
+        let batch = 256u64;
+        while t0.elapsed() < min_wall && cycles < max_cycles {
+            sim.run(batch);
+            cycles += batch;
+        }
+        let rate = cycles as f64 / t0.elapsed().as_secs_f64();
+        Ok(JobMetrics::new()
+            .timing("cycles_per_sec", rate)
+            .timing("measured_cycles", cycles as f64)
+            .timing("overhead_total_secs", sim.overheads().total().as_secs_f64()))
+    })
+    .uncacheable()
+    .param("kind", "mesh_rate")
+    .param("level", p.level)
+    .param("nrouters", p.nrouters)
+    .param("injection", p.injection)
+    .param("engine", engine))
+}
+
+/// One fault-injection chunk, mirroring `fault_sweep`'s job body and
+/// metric keys exactly (so `fault_sweep --serve` prints the same table
+/// from server-side results) — but built through [`run_diff_shared`],
+/// so every trial of every campaign reuses one compile of the design.
+fn fault_chunk_job(name: &str, spec: &Json, artifacts: &Arc<ArtifactCache>) -> Result<Job, String> {
+    let dut = str_field(spec, "dut").ok_or("fault_chunk needs \"dut\" (mesh|tile)")?;
+    enum Dut {
+        Mesh(NetLevel, usize, u32),
+        Tile(TileConfig),
+    }
+    let (dut, key) = match dut.as_str() {
+        "mesh" => {
+            let p = mesh_params(spec)?;
+            (Dut::Mesh(p.level, p.nrouters, p.injection), p.key)
+        }
+        "tile" => {
+            let p = tile_params(spec)?;
+            (Dut::Tile(p.config), p.key)
+        }
+        other => return Err(format!("unknown dut \"{other}\" (expected mesh|tile)")),
+    };
+    let chunk = u64_field(spec, "chunk").unwrap_or(0) as u32;
+    let trials = u64_field(spec, "trials").unwrap_or(2);
+    let cycles = u64_field(spec, "cycles").unwrap_or(60);
+    let faults = u64_field(spec, "faults").unwrap_or(1) as usize;
+    let engine = engine_of(spec)?;
+    let artifacts = artifacts.clone();
+    let dut_label = match &dut {
+        Dut::Mesh(level, n, _) => format!("mesh{n}/{level}"),
+        Dut::Tile(c) => format!("tile/{}", c.proc),
+    };
+    let job = Job::new(name, move |ctx| {
+        let top: Box<dyn mtl_core::Component> = match &dut {
+            Dut::Mesh(level, n, inj) => Box::new(MeshTrafficHarness::new(*level, *n, *inj, 0xBEEF)),
+            Dut::Tile(config) => {
+                Box::new(TileHarness::new(*config, 1 << 10, vec![3, 1, 4, 1, 5, 9]))
+            }
+        };
+        // One probe elaboration yields the design plans are drawn
+        // against; sharing the cache makes it nearly free after the
+        // first trial of the first campaign.
+        let probe = Sim::build_shared(
+            top.as_ref(),
+            Engine::Interpreted,
+            &SimConfig::default(),
+            &artifacts,
+            key,
+        )
+        .map_err(|e| format!("elaboration failed: {e:?}"))?;
+        let window = PlanSpec::new(faults, 2, 1 + cycles.max(1));
+        let cfg = DiffConfig::new(engine, cycles);
+        let (mut masked, mut silent, mut detected, mut diverged) = (0u64, 0u64, 0u64, 0u64);
+        let (mut sum_first_div, mut sum_blast, mut injected_bits) = (0u64, 0u64, 0u64);
+        for trial in 0..trials {
+            let seed = mix(ctx.seed, (u64::from(chunk) << 32) | trial);
+            let plan = FaultPlan::random(seed, probe.design(), &window);
+            let report = run_diff_shared(top.as_ref(), &plan, &cfg, &artifacts, key)?;
+            match report.outcome {
+                Outcome::Masked => masked += 1,
+                Outcome::Silent => silent += 1,
+                Outcome::Detected => detected += 1,
+            }
+            if let Some(c) = report.first_divergence {
+                diverged += 1;
+                sum_first_div += c;
+                sum_blast += report.blast_radius.len() as u64;
+            }
+            injected_bits += report.injected_bits;
+        }
+        Ok(JobMetrics::new()
+            .det("trials", trials)
+            .det("masked", masked)
+            .det("silent", silent)
+            .det("detected", detected)
+            .det("diverged", diverged)
+            .det("sum_first_divergence", sum_first_div)
+            .det("sum_blast_radius", sum_blast)
+            .det("injected_bits", injected_bits))
+    })
+    .param("kind", "fault_chunk")
+    .param("dut", dut_label)
+    .param("chunk", chunk)
+    .param("engine", engine)
+    .param("cycles", cycles)
+    .param("faults_per_trial", faults);
+    Ok(job)
+}
+
+/// SplitMix64 finalizer — the same per-trial seed derivation as
+/// `fault_sweep`, so serve-side fault chunks reproduce the standalone
+/// campaign's plans bit for bit.
+fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(text: &str) -> Json {
+        mtl_sweep::json::parse(text).unwrap()
+    }
+
+    #[test]
+    fn specs_build_campaigns_and_bad_specs_are_rejected() {
+        let artifacts = Arc::new(ArtifactCache::new());
+        let defaults = SpecDefaults::default();
+        let good = spec(
+            r#"{"name":"a","seed":7,"no_cache":true,"jobs":[
+                {"kind":"sleep_ms","name":"s1","ms":1},
+                {"kind":"mesh_cycles","name":"m1","level":"FL","nrouters":4,"cycles":5}
+            ]}"#,
+        );
+        assert!(campaign_from_spec(&good, &defaults, &artifacts).is_ok());
+        for bad in [
+            r#"{"jobs":[]}"#,
+            r#"{"name":"a","jobs":[]}"#,
+            r#"{"name":"a"}"#,
+            r#"{"name":"a/b","jobs":[{"kind":"sleep_ms","name":"s"}]}"#,
+            r#"{"name":"a","jobs":[{"kind":"warp","name":"s"}]}"#,
+            r#"{"name":"a","jobs":[{"kind":"mesh_cycles","name":"m","level":"XL"}]}"#,
+            r#"{"name":"a","jobs":[{"kind":"mesh_cycles","name":"m","level":"FL","nrouters":7}]}"#,
+            r#"{"name":"a","jobs":[{"kind":"fault_chunk","name":"f","dut":"ufo"}]}"#,
+        ] {
+            assert!(campaign_from_spec(&spec(bad), &defaults, &artifacts).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn mesh_cycles_jobs_share_compiles_and_stay_deterministic() {
+        let artifacts = Arc::new(ArtifactCache::new());
+        let defaults = SpecDefaults::default();
+        let make = |name: &str| {
+            spec(&format!(
+                r#"{{"name":"{name}","no_cache":true,"jobs":[
+                    {{"kind":"mesh_cycles","name":"m","level":"CL","nrouters":4,
+                      "cycles":40,"engine":"specialized-opt"}}
+                ]}}"#
+            ))
+        };
+        let a = campaign_from_spec(&make("a"), &defaults, &artifacts).unwrap().run();
+        let b = campaign_from_spec(&make("a"), &defaults, &artifacts).unwrap().run();
+        // Same campaign name → same job seed → identical traffic.
+        assert_eq!(a.get("m").unwrap().u64("received"), b.get("m").unwrap().u64("received"));
+        assert!(a.get("m").unwrap().u64("received").unwrap() > 0, "traffic must flow");
+        let stats = artifacts.stats();
+        assert_eq!(stats.tape_hits, 1, "second build reuses the first compile: {stats:?}");
+    }
+}

@@ -1,0 +1,216 @@
+//! The connection layer: JSONL over a Unix socket or stdio.
+//!
+//! Each accepted connection gets its own thread reading request lines.
+//! A `submit` turns the connection into an event stream until the
+//! campaign's `campaign_done` line; other ops are simple
+//! request/response. A client that disconnects mid-campaign abandons
+//! its *stream*, not its campaign — the scheduler keeps running the
+//! jobs and the journal keeps checkpointing, which is exactly what
+//! makes kill/resume work (scripts/ci/55_serve.sh).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::Shutdown;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use mtl_sim::ArtifactCache;
+use mtl_sweep::Json;
+
+use crate::protocol::{self, Request};
+use crate::registry::{campaign_from_spec, SpecDefaults};
+use crate::scheduler::Scheduler;
+
+/// Daemon configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfig {
+    /// Worker-pool size; 0 means all hardware threads.
+    pub workers: usize,
+    /// Default result-cache directory for specs that don't pin one.
+    pub cache_dir: Option<PathBuf>,
+    /// Journal directory: campaigns journal to `<dir>/<name>.jsonl`
+    /// unless their spec pins an explicit path.
+    pub journal_dir: Option<PathBuf>,
+}
+
+/// The campaign server: a [`Scheduler`] plus the connection front-end.
+/// Cloneable handle semantics via `Arc` — `serve_unix` can run on one
+/// thread while another polls [`Server::stats`] or calls
+/// [`Server::stop`].
+#[derive(Clone)]
+pub struct Server {
+    inner: Arc<Inner>,
+}
+
+struct Inner {
+    sched: Scheduler,
+    defaults: SpecDefaults,
+    stop: AtomicBool,
+}
+
+impl Server {
+    pub fn new(cfg: ServerConfig) -> Server {
+        let workers = if cfg.workers == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            cfg.workers
+        };
+        if let Some(dir) = &cfg.journal_dir {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let sched = Scheduler::new(workers, Arc::new(ArtifactCache::new()));
+        let defaults = SpecDefaults { cache_dir: cfg.cache_dir, journal_dir: cfg.journal_dir };
+        Server { inner: Arc::new(Inner { sched, defaults, stop: AtomicBool::new(false) }) }
+    }
+
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.inner.sched
+    }
+
+    /// Asks the accept loop (unix or stdio) to return.
+    pub fn stop(&self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        self.inner.sched.shutdown();
+    }
+
+    pub fn stopping(&self) -> bool {
+        self.inner.stop.load(Ordering::SeqCst)
+    }
+
+    /// Binds `socket` and serves connections until [`Server::stop`].
+    /// A stale socket file from a killed daemon is replaced.
+    ///
+    /// # Errors
+    ///
+    /// Returns bind errors; per-connection I/O errors only end that
+    /// connection.
+    pub fn serve_unix(&self, socket: &Path) -> std::io::Result<()> {
+        let _ = std::fs::remove_file(socket);
+        let listener = UnixListener::bind(socket)?;
+        listener.set_nonblocking(true)?;
+        let mut handlers = Vec::new();
+        let mut streams: Vec<UnixStream> = Vec::new();
+        while !self.stopping() {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if let Ok(s) = stream.try_clone() {
+                        streams.push(s);
+                    }
+                    let server = self.clone();
+                    handlers.push(std::thread::spawn(move || {
+                        let reader = match stream.try_clone() {
+                            Ok(s) => s,
+                            Err(_) => return,
+                        };
+                        server.handle_connection(BufReader::new(reader), stream);
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => break,
+            }
+        }
+        let _ = std::fs::remove_file(socket);
+        // A handler blocked reading an idle connection only notices the
+        // stop when its read returns — force that by shutting every
+        // accepted stream before joining (a peer that already closed is
+        // a harmless error here).
+        for s in &streams {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+
+    /// Serves one JSONL conversation on stdin/stdout (the `--stdio`
+    /// daemon mode, handy under a supervisor that owns the transport).
+    pub fn serve_stdio(&self) {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        self.handle_connection(stdin.lock(), stdout.lock());
+    }
+
+    /// One request/response conversation; returns when the peer closes
+    /// or a `shutdown` op is processed.
+    fn handle_connection(&self, reader: impl BufRead, mut writer: impl Write) {
+        let mut write_line = move |doc: &Json| -> std::io::Result<()> {
+            writer.write_all(doc.to_compact().as_bytes())?;
+            writer.write_all(b"\n")?;
+            writer.flush()
+        };
+        for line in reader.lines() {
+            let Ok(line) = line else { return };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let outcome = match protocol::parse_request(&line) {
+                Err(e) => write_line(&protocol::error_response(&e)),
+                Ok(Request::Hello) => {
+                    write_line(&protocol::hello_response(self.inner.sched.workers()))
+                }
+                Ok(Request::Stats) => {
+                    let (artifacts, active, completed) = self.inner.sched.stats();
+                    write_line(&protocol::stats_response(&artifacts, active, completed))
+                }
+                Ok(Request::Shutdown) => {
+                    let _ = write_line(&protocol::shutdown_response());
+                    self.stop();
+                    return;
+                }
+                Ok(Request::Submit(spec)) => self.handle_submit(&spec, &mut write_line),
+            };
+            if outcome.is_err() {
+                return;
+            }
+        }
+    }
+
+    /// Registers a submission and streams its events until done. The
+    /// sink is an unbounded channel: the scheduler never blocks on this
+    /// connection, and if the stream dies the channel sends fail
+    /// harmlessly while the campaign runs on.
+    fn handle_submit(
+        &self,
+        spec: &Json,
+        write_line: &mut impl FnMut(&Json) -> std::io::Result<()>,
+    ) -> std::io::Result<()> {
+        let campaign =
+            match campaign_from_spec(spec, &self.inner.defaults, self.inner.sched.artifacts()) {
+                Ok(c) => c,
+                Err(e) => return write_line(&protocol::error_response(&e)),
+            };
+        let (tx, rx) = mpsc::channel::<Json>();
+        let sink = Box::new(move |event: &Json| drop(tx.send(event.clone())));
+        if let Err(e) = self.inner.sched.submit(campaign, sink) {
+            return write_line(&protocol::error_response(&e));
+        }
+        // The sender lives in the scheduler; the stream ends with the
+        // campaign (campaign_done drops the sink) or server shutdown.
+        // The timeout is not a deadline — it only bounds how long a
+        // stopped server keeps a stream open whose campaign will never
+        // finish (workers are gone; no more events will arrive).
+        loop {
+            match rx.recv_timeout(Duration::from_millis(100)) {
+                Ok(event) => {
+                    let done = event.get("type").and_then(Json::as_str) == Some("campaign_done");
+                    write_line(&event)?;
+                    if done {
+                        break;
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if self.stopping() {
+                        break;
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        Ok(())
+    }
+}

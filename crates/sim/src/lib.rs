@@ -23,6 +23,7 @@
 //! physical timing/queue statistics; see the [`profile`](crate::profile)
 //! module docs for the metric split.
 
+mod artifact;
 mod interp;
 mod overheads;
 mod par;
@@ -31,6 +32,7 @@ mod sim;
 mod tape;
 mod vcd;
 
+pub use artifact::{ArtifactCache, ArtifactStats};
 pub use overheads::Overheads;
 pub use par::default_threads;
 pub use profile::{Hist, HotBlock, SimProfile};

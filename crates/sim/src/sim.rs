@@ -10,6 +10,7 @@ use mtl_core::{
     SignalView,
 };
 
+use crate::artifact::ArtifactCache;
 use crate::interp::{exec_stmts, DenseSens, DenseStore, HashSens, HashStore, SensMap, Store};
 use crate::overheads::Overheads;
 use crate::profile::{EngineStats, SimProfile};
@@ -331,32 +332,65 @@ impl Sim {
         let natives: Vec<Option<NativeFn>> = design.take_natives();
         let design = Arc::new(design);
         let mut overheads = Overheads::default();
-        let backend: Box<dyn EngineImpl> = match engine {
+        let backend = Sim::make_backend(&design, natives, engine, cfg, None, &mut overheads);
+        Sim::assemble(design, engine, overheads, backend)
+    }
+
+    /// Constructs the engine backend, optionally consulting a shared
+    /// [`ArtifactCache`] for the tape engines' compile output. On a tape
+    /// cache hit the `comp`/`cgen` phases (and plan fusion) are skipped;
+    /// on a miss the fresh compile is published back to the cache.
+    /// `SpecializedPar` shards its own tapes differently per thread
+    /// count and the interpreters compile nothing, so only the
+    /// `Specialized`/`SpecializedOpt` engines participate.
+    fn make_backend(
+        design: &Arc<Design>,
+        natives: Vec<Option<NativeFn>>,
+        engine: Engine,
+        cfg: &SimConfig,
+        shared: Option<(&ArtifactCache, u64)>,
+        overheads: &mut Overheads,
+    ) -> Box<dyn EngineImpl> {
+        match engine {
             Engine::Interpreted => Box::new(InterpEngine::<HashStore, HashSens>::new(
                 design.clone(),
                 natives,
                 true,
-                &mut overheads,
+                overheads,
             )),
             Engine::InterpretedOpt => Box::new(InterpEngine::<DenseStore, DenseSens>::new(
                 design.clone(),
                 natives,
                 false,
-                &mut overheads,
+                overheads,
             )),
-            Engine::Specialized => {
-                Box::new(TapeEngine::new(design.clone(), natives, true, &mut overheads))
-            }
-            Engine::SpecializedOpt => {
-                Box::new(TapeEngine::new(design.clone(), natives, false, &mut overheads))
+            Engine::Specialized | Engine::SpecializedOpt => {
+                let event_mode = engine == Engine::Specialized;
+                let reuse = shared.and_then(|(c, k)| c.lookup_tape(k, event_mode, design));
+                let fresh = reuse.is_none();
+                let eng = TapeEngine::new(design.clone(), natives, event_mode, overheads, reuse);
+                if fresh {
+                    if let Some((cache, key)) = shared {
+                        cache.store_tape(key, event_mode, eng.artifact());
+                    }
+                }
+                Box::new(eng)
             }
             Engine::SpecializedPar => Box::new(crate::par::ParTapeEngine::new(
                 design.clone(),
                 natives,
                 cfg.threads.unwrap_or_else(crate::par::default_threads),
-                &mut overheads,
+                overheads,
             )),
-        };
+        }
+    }
+
+    fn assemble(
+        design: Arc<Design>,
+        engine: Engine,
+        overheads: Overheads,
+        backend: Box<dyn EngineImpl>,
+    ) -> Sim {
         Sim {
             design,
             engine,
@@ -369,6 +403,52 @@ impl Sim {
             injected_bits: 0,
             faulted_cycles: 0,
         }
+    }
+
+    /// [`Sim::build_with_config`] backed by a shared [`ArtifactCache`]:
+    /// the elaborated design (when native-free) and the tape engines'
+    /// compile output are reused across simulator instances under `key`.
+    ///
+    /// `key` must uniquely identify the *design produced by `top`* —
+    /// derive it from the same parameters that configure the component
+    /// (e.g. with [`mtl_sweep`'s] FNV hasher). It should *not* include
+    /// run-varying inputs like seeds or cycle counts, or nothing will
+    /// ever be shared. A wrong key is caught by a structural shape check
+    /// and degrades to a fresh compile.
+    ///
+    /// Reused phases report zero time in [`Sim::overheads`] (`comp`,
+    /// `cgen`, and the fused-plan share of `simc` on a tape hit; `elab`
+    /// additionally on a design hit) — the honest cost of a cache hit.
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`ElabError`] from elaboration.
+    pub fn build_shared(
+        top: &dyn Component,
+        engine: Engine,
+        cfg: &SimConfig,
+        cache: &ArtifactCache,
+        key: u64,
+    ) -> Result<Sim, ElabError> {
+        let t0 = Instant::now();
+        let design = match cache.lookup_design(key) {
+            Some(design) => design,
+            None => {
+                let design = mtl_core::elaborate(top)?;
+                lint_gate(&design);
+                let design = Arc::new(design);
+                cache.store_design(key, &design);
+                design
+            }
+        };
+        let mut overheads = Overheads { elab: t0.elapsed(), ..Default::default() };
+        // A cache-served design was drained of natives by its first
+        // simulator; only native-free designs are stored, so this
+        // returns the correct all-`None` vector for it.
+        let natives: Vec<Option<NativeFn>> = design.take_natives();
+        let backend =
+            Sim::make_backend(&design, natives, engine, cfg, Some((cache, key)), &mut overheads);
+        Ok(Sim::assemble(design, engine, overheads, backend))
     }
 
     /// [`Sim::build`] with explicit configuration (e.g. a fixed
@@ -1278,7 +1358,7 @@ impl<S: Store, M: SensMap> EngineImpl for InterpEngine<S, M> {
 
 /// One step of a fused static schedule: either a fused run of tape
 /// blocks or a native block call.
-enum Chunk {
+pub(crate) enum Chunk {
     Fused(Tape),
     Native(u32),
 }
@@ -1291,15 +1371,17 @@ struct TapeEngine {
     mems: Vec<Vec<u128>>,
     mem_widths: Vec<u32>,
     pending: Vec<(u32, u64, u128)>,
-    tapes: Vec<Tape>,
+    /// Compiled per-block tapes — `Arc` so a persistent server can share
+    /// one compile across many engine instances ([`crate::ArtifactCache`]).
+    tapes: Arc<Vec<Tape>>,
     natives: Vec<Option<NativeFn>>,
     seq_order: Vec<u32>,
     /// Levelized combinational order (also the unfused schedule profiling
     /// runs so per-block time stays attributable).
     comb_order: Vec<u32>,
-    /// Fused static schedules (opt mode only).
-    comb_plan: Vec<Chunk>,
-    seq_plan: Vec<Chunk>,
+    /// Fused static schedules (opt mode only); shared like `tapes`.
+    comb_plan: Arc<Vec<Chunk>>,
+    seq_plan: Arc<Vec<Chunk>>,
     reg_slots: Vec<u32>,
     regs: Vec<u128>,
     event_mode: bool,
@@ -1365,37 +1447,52 @@ impl TapeEngine {
         natives: Vec<Option<NativeFn>>,
         event_mode: bool,
         o: &mut Overheads,
+        reuse: Option<Arc<crate::artifact::TapeArtifact>>,
     ) -> Self {
-        // Phase: comp (IR optimization — constant folding).
-        let t0 = Instant::now();
-        let folded: Vec<Option<Vec<mtl_core::Stmt>>> = design
-            .blocks()
-            .iter()
-            .map(|b| match &b.body {
-                BlockBody::Ir(stmts) => Some(fold_stmts(stmts)),
-                _ => None,
-            })
-            .collect();
-        o.comp += t0.elapsed();
+        // With a cached artifact the comp/cgen/fuse phases are skipped
+        // entirely: tapes and plans are pure data, already validated when
+        // first compiled. Only the per-instance state below (packed nets,
+        // sensitivity, queue) is rebuilt.
+        type ReusedPlans = (Arc<Vec<Tape>>, Arc<Vec<Chunk>>, Arc<Vec<Chunk>>);
+        let reused: Option<ReusedPlans> =
+            reuse.map(|a| (a.tapes.clone(), a.comb_plan.clone(), a.seq_plan.clone()));
 
-        // Phase: cgen (tape code generation).
-        let t0 = Instant::now();
-        let tapes: Vec<Tape> = design
-            .blocks()
-            .iter()
-            .zip(&folded)
-            .map(|(b, f)| match f {
-                Some(stmts) => compile_block(&design, stmts, b.kind),
-                None => Tape::default(),
-            })
-            .collect();
+        let tapes: Arc<Vec<Tape>> = match &reused {
+            Some((tapes, ..)) => tapes.clone(),
+            None => {
+                // Phase: comp (IR optimization — constant folding).
+                let t0 = Instant::now();
+                let folded: Vec<Option<Vec<mtl_core::Stmt>>> = design
+                    .blocks()
+                    .iter()
+                    .map(|b| match &b.body {
+                        BlockBody::Ir(stmts) => Some(fold_stmts(stmts)),
+                        _ => None,
+                    })
+                    .collect();
+                o.comp += t0.elapsed();
+
+                // Phase: cgen (tape code generation).
+                let t0 = Instant::now();
+                let tapes: Vec<Tape> = design
+                    .blocks()
+                    .iter()
+                    .zip(&folded)
+                    .map(|(b, f)| match f {
+                        Some(stmts) => compile_block(&design, stmts, b.kind),
+                        None => Tape::default(),
+                    })
+                    .collect();
+                // Range-check every tape once so the executor's unchecked
+                // accesses are sound.
+                for t in &tapes {
+                    validate(t, design.nets().len(), design.mems().len());
+                }
+                o.cgen += t0.elapsed();
+                Arc::new(tapes)
+            }
+        };
         let max_regs = tapes.iter().map(|t| t.nregs as usize).max().unwrap_or(0);
-        // Range-check every tape once so the executor's unchecked
-        // accesses are sound.
-        for t in &tapes {
-            validate(t, design.nets().len(), design.mems().len());
-        }
-        o.cgen += t0.elapsed();
 
         // Phase: wrap (packed state + width tables for native wrappers).
         let t0 = Instant::now();
@@ -1467,21 +1564,23 @@ impl TapeEngine {
             }
             plan
         };
-        let (comb_plan, seq_plan) = if event_mode {
-            (Vec::new(), Vec::new())
-        } else {
-            let plans = (build_plan(&comb_order), build_plan(&seq_order));
-            for chunk in plans.0.iter().chain(&plans.1) {
-                if let Chunk::Fused(t) = chunk {
-                    validate(t, widths.len(), mems.len());
+        let (comb_plan, seq_plan) = match &reused {
+            Some((_, comb, seq)) => (comb.clone(), seq.clone()),
+            None if event_mode => (Arc::new(Vec::new()), Arc::new(Vec::new())),
+            None => {
+                let plans = (build_plan(&comb_order), build_plan(&seq_order));
+                for chunk in plans.0.iter().chain(&plans.1) {
+                    if let Chunk::Fused(t) = chunk {
+                        validate(t, widths.len(), mems.len());
+                    }
                 }
+                (Arc::new(plans.0), Arc::new(plans.1))
             }
-            plans
         };
         let max_regs = max_regs.max(
             comb_plan
                 .iter()
-                .chain(&seq_plan)
+                .chain(seq_plan.iter())
                 .map(|c| match c {
                     Chunk::Fused(t) => t.nregs as usize,
                     Chunk::Native(_) => 0,
@@ -1518,6 +1617,18 @@ impl TapeEngine {
             track_activity: false,
             activity: Vec::new(),
             prof: None,
+        }
+    }
+
+    /// Snapshots the shareable compile output (tapes + fused plans) for
+    /// [`crate::ArtifactCache`]; cheap — three `Arc` clones plus the
+    /// shape digest.
+    fn artifact(&self) -> crate::artifact::TapeArtifact {
+        crate::artifact::TapeArtifact {
+            tapes: self.tapes.clone(),
+            comb_plan: self.comb_plan.clone(),
+            seq_plan: self.seq_plan.clone(),
+            shape: crate::artifact::shape_of(&self.design),
         }
     }
 
@@ -1624,9 +1735,8 @@ impl TapeEngine {
             p.settles += 1;
             p.fixpoint.record(pass_blocks);
         } else {
-            let plan = std::mem::take(&mut self.comb_plan);
+            let plan = Arc::clone(&self.comb_plan);
             self.run_plan(&plan);
-            self.comb_plan = plan;
         }
         self.dirty = false;
     }
@@ -1689,9 +1799,8 @@ impl TapeEngine {
             }
             self.seq_order = order;
         } else {
-            let plan = std::mem::take(&mut self.seq_plan);
+            let plan = Arc::clone(&self.seq_plan);
             self.run_plan(&plan);
-            self.seq_plan = plan;
         }
     }
 }

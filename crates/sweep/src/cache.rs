@@ -8,6 +8,8 @@
 //! every measurement point whose identity is unchanged.
 
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::job::{Job, JobMetrics};
 use crate::json::{self, Json};
@@ -98,10 +100,33 @@ impl CacheSetting {
     }
 }
 
+/// Probe counters for one cache handle. Clones of a [`ResultCache`]
+/// share them, so a campaign's workers all feed one tally.
+#[derive(Debug, Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    corrupt: AtomicU64,
+}
+
+/// A point-in-time snapshot of the probe counters ([`ResultCache::stats`]).
+///
+/// `hits + misses + corrupt_discarded` equals the number of probes:
+/// an absent entry is a *miss*, a present-but-undecodable entry is a
+/// *corrupt discard* (the probe still re-executes the job), and only a
+/// verified decode is a *hit*.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub corrupt_discarded: u64,
+}
+
 /// A resolved, ready-to-use cache directory.
 #[derive(Debug, Clone)]
 pub struct ResultCache {
     dir: PathBuf,
+    counters: Arc<Counters>,
 }
 
 impl ResultCache {
@@ -109,7 +134,21 @@ impl ResultCache {
     /// fails — caching then silently degrades to "always miss".
     pub fn open(dir: &Path) -> Option<ResultCache> {
         std::fs::create_dir_all(dir).ok()?;
-        Some(ResultCache { dir: dir.to_path_buf() })
+        Some(ResultCache { dir: dir.to_path_buf(), counters: Arc::default() })
+    }
+
+    /// The directory this cache persists entries under.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Snapshot of this handle's probe counters (shared across clones).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            corrupt_discarded: self.counters.corrupt.load(Ordering::Relaxed),
+        }
     }
 
     fn entry_path(&self, fingerprint: u64) -> PathBuf {
@@ -127,7 +166,10 @@ impl ResultCache {
     /// entry. Bad cached bytes must never become silent bad results.
     pub fn load(&self, fingerprint: u64) -> Option<JobMetrics> {
         let path = self.entry_path(fingerprint);
-        let text = std::fs::read_to_string(&path).ok()?;
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            self.counters.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
         let decoded = json::parse(&text).ok().and_then(|doc| {
             if doc.get("format").and_then(Json::as_u64) != Some(CACHE_FORMAT as u64) {
                 return None;
@@ -137,12 +179,18 @@ impl ResultCache {
             }
             JobMetrics::from_json(doc.get("metrics"), doc.get("timing"), doc.get("profile"))
         });
-        if decoded.is_none() {
-            eprintln!(
-                "mtl-sweep: discarding corrupt cache entry {} (job will re-execute)",
-                path.display()
-            );
-            let _ = std::fs::remove_file(&path);
+        match &decoded {
+            Some(_) => {
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                eprintln!(
+                    "mtl-sweep: discarding corrupt cache entry {} (job will re-execute)",
+                    path.display()
+                );
+                let _ = std::fs::remove_file(&path);
+                self.counters.corrupt.fetch_add(1, Ordering::Relaxed);
+            }
         }
         decoded
     }
@@ -163,11 +211,21 @@ impl ResultCache {
         let check = entry_checksum(&doc);
         doc.set("check", check);
         let path = self.entry_path(fingerprint);
-        let tmp = path.with_extension("json.tmp");
-        // Write-then-rename so concurrent campaigns never observe a
-        // half-written entry.
+        // Write-then-rename so readers never observe a half-written
+        // entry, with a tmp name unique per process *and* per write:
+        // concurrent campaigns sharing one cache dir store the same
+        // fingerprint at the same time, and a fixed tmp name would let
+        // one writer rename another's half-written file into place.
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let tmp = self.dir.join(format!(
+            "{fingerprint:016x}.{}.{}.tmp",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed),
+        ));
         if std::fs::write(&tmp, doc.to_pretty()).is_ok() {
             let _ = std::fs::rename(&tmp, &path);
+        } else {
+            let _ = std::fs::remove_file(&tmp);
         }
     }
 }
@@ -273,6 +331,58 @@ mod tests {
         // And after discarding, a re-store works and loads again.
         cache.store(11, "point", &metrics);
         assert_eq!(cache.load(11), Some(metrics));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn probe_counters_classify_hits_misses_and_corruption() {
+        let dir = tmp_dir("counters");
+        let cache = ResultCache::open(&dir).unwrap();
+        assert_eq!(cache.stats(), CacheStats::default());
+        let metrics = JobMetrics::new().det("v", 1u64);
+        cache.store(1, "a", &metrics);
+        assert!(cache.load(1).is_some());
+        assert!(cache.load(2).is_none(), "absent entry misses");
+        std::fs::write(dir.join(format!("{:016x}.json", 3u64)), "{torn").unwrap();
+        assert!(cache.load(3).is_none(), "torn entry discards");
+        // Counters are shared across clones (one campaign, many workers).
+        let stats = cache.clone().stats();
+        assert_eq!(stats, CacheStats { hits: 1, misses: 1, corrupt_discarded: 1 });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Regression for the shared-cache-dir race: two writers storing the
+    /// *same* fingerprint concurrently must never leave a torn entry —
+    /// with a fixed tmp name, one writer could rename the other's
+    /// half-written file into place.
+    #[test]
+    fn concurrent_stores_of_one_fingerprint_never_tear() {
+        let dir = tmp_dir("concurrent-store");
+        let metrics = JobMetrics::new().det("payload", "x".repeat(512).as_str());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cache = ResultCache::open(&dir).unwrap();
+                let metrics = metrics.clone();
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        cache.store(99, "contended", &metrics);
+                        // Either absent (mid-rename) or fully intact.
+                        if let Some(seen) = cache.load(99) {
+                            assert_eq!(seen, metrics);
+                        }
+                    }
+                });
+            }
+        });
+        let reader = ResultCache::open(&dir).unwrap();
+        assert_eq!(reader.load(99), Some(metrics), "final entry intact");
+        assert_eq!(reader.stats().corrupt_discarded, 0, "no torn entries ever observed");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "renames consumed every tmp file: {leftovers:?}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

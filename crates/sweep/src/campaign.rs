@@ -16,14 +16,14 @@
 //! (wall-clock-free) form — is identical for any worker count.
 
 use std::collections::VecDeque;
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use crate::cache::{job_fingerprint, CacheSetting, Fnv1a, ResultCache};
-use crate::job::{Job, JobBudget, JobCtx, JobFn, JobMetrics, JobOutcome, JobReport};
+use crate::cache::{job_fingerprint, CacheSetting, CacheStats, Fnv1a, ResultCache};
+use crate::exec::{execute_job, RetryPolicy};
+use crate::job::{Job, JobOutcome, JobReport};
 use crate::journal::Journal;
 use crate::json::Json;
 use crate::progress::Progress;
@@ -127,10 +127,18 @@ impl Campaign {
         configured.unwrap_or(hw).clamp(1, njobs.max(1))
     }
 
-    /// Runs every job and returns the complete report. Never panics on
-    /// job failure; panicking jobs become `failed` report entries and
-    /// watchdog-killed jobs `timed_out` entries.
-    pub fn run(self) -> CampaignReport {
+    /// Resolves this campaign into a [`PreparedCampaign`]: the cache and
+    /// journal are opened, journal replays and cache hits pre-fill their
+    /// result slots, and every job that still needs execution is queued.
+    /// External schedulers (the `mtl-serve` worker pool) drain the queue
+    /// with [`PreparedCampaign::take_next`] / [`CampaignExec::run`] /
+    /// [`PreparedCampaign::complete`]; [`Campaign::run`] is exactly that
+    /// loop on scoped threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two jobs share a name (names key the report and cache).
+    pub fn prepare(self) -> PreparedCampaign {
         let Campaign { name, seed, jobs, .. } = &self;
         {
             let mut names: Vec<&str> = jobs.iter().map(|j| j.name()).collect();
@@ -138,22 +146,10 @@ impl Campaign {
             names.dedup();
             assert_eq!(names.len(), jobs.len(), "campaign '{name}': job names must be unique");
         }
-        let workers = self.resolve_workers(jobs.len());
-        // Nested-parallelism budget: jobs may build `specialized-par`
-        // simulators, which size their thread pools from
-        // `MTL_SIM_THREADS`. With several campaign shards each spawning
-        // its own simulator workers the machine oversubscribes, so unless
-        // the user pinned a count we divide the cores among the shards.
-        // (The variable stays set for the process — deliberate, so every
-        // shard of this and subsequent runs sees the same budget.)
-        if std::env::var_os("MTL_SIM_THREADS").is_none() {
-            let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-            std::env::set_var("MTL_SIM_THREADS", (hw / workers).max(1).to_string());
-        }
         let cache = self.cache.resolve().and_then(|dir| ResultCache::open(&dir));
         let (journal, replay) = match &self.journal {
             Some(path) => match Journal::open(path, name, *seed) {
-                Some((journal, replay)) => (Some(journal), replay),
+                Some((journal, replay)) => (Some(Arc::new(journal)), replay),
                 None => {
                     eprintln!(
                         "mtl-sweep: cannot open journal {} (campaign runs unjournalled)",
@@ -164,47 +160,37 @@ impl Campaign {
             },
             None => (None, Default::default()),
         };
-        // Crash-the-campaign hook for the resume smoke test: the process
-        // exits (as if killed) after N *freshly executed* jobs complete
-        // and reach the journal.
-        let exit_after: Option<usize> =
-            std::env::var("RUSTMTL_SWEEP_EXIT_AFTER").ok().and_then(|v| v.trim().parse().ok());
-        let executed = AtomicUsize::new(0);
         let campaign_name = name.clone();
         let campaign_seed = *seed;
-        let retries = self.retries;
-        let backoff = self.backoff;
+        let policy = RetryPolicy { retries: self.retries, backoff: self.backoff };
         let started = Instant::now();
         let total = jobs.len();
-        let progress = Progress::new(total);
 
         // Declaration-order result slots keep reports deterministic
         // regardless of completion order.
         let mut slots: Vec<Option<JobReport>> = Vec::new();
         slots.resize_with(total, || None);
-        let results = Mutex::new(slots);
 
-        let mut pending: VecDeque<(usize, u64, u64, Job)> = VecDeque::new();
-        for (idx, job) in self.jobs.into_iter().enumerate() {
-            let job_seed = Fnv1a::new().write_u64(campaign_seed).write_str(job.name()).finish();
-            let fingerprint = job_fingerprint(&campaign_name, &job, job_seed);
+        let mut pending: VecDeque<PendingJob> = VecDeque::new();
+        for (index, job) in self.jobs.into_iter().enumerate() {
+            let seed = Fnv1a::new().write_u64(campaign_seed).write_str(job.name()).finish();
+            let fingerprint = job_fingerprint(&campaign_name, &job, seed);
             // Journal replay first: results checkpointed by an earlier
             // (interrupted) run of this exact campaign, regardless of
             // cache configuration.
             if let Some(metrics) =
                 replay.get(&fingerprint).filter(|m| !job.expects_profile || m.profile().is_some())
             {
-                results.lock().unwrap()[idx] = Some(JobReport {
+                slots[index] = Some(JobReport {
                     name: job.name().to_string(),
                     params: job.params.clone(),
-                    seed: job_seed,
+                    seed,
                     fingerprint,
                     outcome: JobOutcome::Done { metrics: metrics.clone(), cached: false },
                     wall: Duration::ZERO,
                     attempts: 0,
                     replayed: true,
                 });
-                progress.job_done(job.name(), false, true);
                 continue;
             }
             // Cache probe: hits never hit the worker pool. A job that
@@ -221,36 +207,70 @@ impl Campaign {
                     if let Some(journal) = &journal {
                         journal.record(fingerprint, job.name(), &metrics);
                     }
-                    results.lock().unwrap()[idx] = Some(JobReport {
+                    slots[index] = Some(JobReport {
                         name: job.name().to_string(),
                         params: job.params.clone(),
-                        seed: job_seed,
+                        seed,
                         fingerprint,
                         outcome: JobOutcome::Done { metrics, cached: true },
                         wall: Duration::ZERO,
                         attempts: 0,
                         replayed: false,
                     });
-                    progress.job_done(job.name(), false, true);
                     continue;
                 }
             }
-            pending.push_back((idx, job_seed, fingerprint, job));
+            pending.push_back(PendingJob { index, seed, fingerprint, job });
         }
 
-        let queue = Mutex::new(pending);
+        PreparedCampaign {
+            name: campaign_name,
+            seed: campaign_seed,
+            exec: CampaignExec { cache, journal, policy },
+            slots,
+            pending,
+            started,
+        }
+    }
+
+    /// Runs every job and returns the complete report. Never panics on
+    /// job failure; panicking jobs become `failed` report entries and
+    /// watchdog-killed jobs `timed_out` entries.
+    pub fn run(self) -> CampaignReport {
+        let workers = self.resolve_workers(self.jobs.len());
+        // Nested-parallelism budget: jobs may build `specialized-par`
+        // simulators, which size their thread pools from
+        // `MTL_SIM_THREADS`. With several campaign shards each spawning
+        // its own simulator workers the machine oversubscribes, so unless
+        // the user pinned a count we divide the cores among the shards.
+        // (The variable stays set for the process — deliberate, so every
+        // shard of this and subsequent runs sees the same budget.)
+        if std::env::var_os("MTL_SIM_THREADS").is_none() {
+            let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+            std::env::set_var("MTL_SIM_THREADS", (hw / workers).max(1).to_string());
+        }
+        let prepared = self.prepare();
+        let progress = Progress::new(prepared.total());
+        for report in prepared.slots.iter().flatten() {
+            progress.job_done(&report.name, false, true);
+        }
+        // Crash-the-campaign hook for the resume smoke test: the process
+        // exits (as if killed) after N *freshly executed* jobs complete
+        // and reach the journal.
+        let exit_after: Option<usize> =
+            std::env::var("RUSTMTL_SWEEP_EXIT_AFTER").ok().and_then(|v| v.trim().parse().ok());
+        let executed = AtomicUsize::new(0);
+        let exec = prepared.exec();
+        let state = Mutex::new(prepared);
+
         let worker_loop = || loop {
-            let Some((idx, job_seed, fingerprint, job)) =
-                queue.lock().unwrap_or_else(|e| e.into_inner()).pop_front()
-            else {
+            let Some(pending) = state.lock().unwrap_or_else(|e| e.into_inner()).take_next() else {
                 break;
             };
-            let report = execute_job(job, job_seed, fingerprint, cache.as_ref(), retries, backoff);
-            if let (JobOutcome::Done { metrics, .. }, Some(journal)) = (&report.outcome, &journal) {
-                journal.record(fingerprint, &report.name, metrics);
-            }
+            let index = pending.index;
+            let report = exec.run(pending);
             progress.job_done(&report.name, !report.outcome.is_done(), false);
-            results.lock().unwrap_or_else(|e| e.into_inner())[idx] = Some(report);
+            state.lock().unwrap_or_else(|e| e.into_inner()).complete(index, report);
             if let Some(n) = exit_after {
                 if executed.fetch_add(1, Ordering::SeqCst) + 1 >= n {
                     // Simulated kill: journalled state is on disk, the
@@ -270,155 +290,133 @@ impl Campaign {
             });
         }
 
-        let jobs: Vec<JobReport> = results
-            .into_inner()
-            .unwrap_or_else(|e| e.into_inner())
-            .into_iter()
-            .map(|slot| slot.expect("every job slot filled"))
-            .collect();
+        state.into_inner().unwrap_or_else(|e| e.into_inner()).finish(workers)
+    }
+}
+
+/// One queued job of a prepared campaign: its declaration-order slot
+/// index, derived per-job seed, and result fingerprint.
+#[derive(Debug)]
+pub struct PendingJob {
+    pub index: usize,
+    pub seed: u64,
+    pub fingerprint: u64,
+    pub job: Job,
+}
+
+/// The cloneable execution context of a prepared campaign: result cache,
+/// checkpoint journal, and retry policy. Workers clone one of these, run
+/// jobs outside any scheduler lock, and hand the reports back via
+/// [`PreparedCampaign::complete`].
+#[derive(Clone)]
+pub struct CampaignExec {
+    cache: Option<ResultCache>,
+    journal: Option<Arc<Journal>>,
+    policy: RetryPolicy,
+}
+
+impl CampaignExec {
+    /// Executes one pending job with full campaign semantics (watchdog,
+    /// retry, result-cache store) and checkpoints `Done` outcomes to the
+    /// journal.
+    pub fn run(&self, pending: PendingJob) -> JobReport {
+        let PendingJob { seed, fingerprint, job, .. } = pending;
+        let report = execute_job(job, seed, fingerprint, self.cache.as_ref(), self.policy);
+        if let (JobOutcome::Done { metrics, .. }, Some(journal)) = (&report.outcome, &self.journal)
+        {
+            journal.record(fingerprint, &report.name, metrics);
+        }
+        report
+    }
+}
+
+/// A campaign resolved for execution: pre-filled slots (journal replays
+/// and cache hits) plus the queue of jobs that still need a worker. See
+/// [`Campaign::prepare`].
+pub struct PreparedCampaign {
+    name: String,
+    seed: u64,
+    exec: CampaignExec,
+    slots: Vec<Option<JobReport>>,
+    pending: VecDeque<PendingJob>,
+    started: Instant,
+}
+
+impl PreparedCampaign {
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Total number of jobs (pre-filled plus pending).
+    pub fn total(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Jobs still waiting for a worker.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Slots already filled (journal replays, cache hits, and completed
+    /// executions).
+    pub fn filled(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// True once every slot is filled.
+    pub fn is_complete(&self) -> bool {
+        self.slots.iter().all(|s| s.is_some())
+    }
+
+    /// A clone of the execution context for worker threads.
+    pub fn exec(&self) -> CampaignExec {
+        self.exec.clone()
+    }
+
+    /// The reports pre-filled by `prepare` (journal replays and cache
+    /// hits), so a scheduler can announce them before any worker runs.
+    pub fn prefilled(&self) -> impl Iterator<Item = &JobReport> {
+        self.slots.iter().flatten()
+    }
+
+    /// Pops the next job to execute, in declaration order.
+    pub fn take_next(&mut self) -> Option<PendingJob> {
+        self.pending.pop_front()
+    }
+
+    /// Files a finished job's report into its slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or already filled.
+    pub fn complete(&mut self, index: usize, report: JobReport) {
+        assert!(self.slots[index].is_none(), "slot {index} completed twice");
+        self.slots[index] = Some(report);
+    }
+
+    /// Assembles the final report. `workers` is recorded verbatim (the
+    /// scheduler knows how many threads actually served this campaign).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slot is unfilled (a scheduler bug: every taken job
+    /// must be completed).
+    pub fn finish(self, workers: usize) -> CampaignReport {
+        let cache_stats = self.exec.cache.as_ref().map(|c| c.stats());
+        let jobs: Vec<JobReport> =
+            self.slots.into_iter().map(|slot| slot.expect("every job slot filled")).collect();
         CampaignReport {
-            campaign: campaign_name,
-            seed: campaign_seed,
+            campaign: self.name,
+            seed: self.seed,
             workers,
-            wall: started.elapsed(),
+            wall: self.started.elapsed(),
             jobs,
+            cache_stats,
         }
-    }
-}
-
-/// One attempt's raw result, before retry policy is applied.
-enum Attempt {
-    Done(JobMetrics),
-    /// `Err` from the job closure, or a soft-budget overrun:
-    /// deterministic — never retried.
-    SoftErr(String),
-    /// The closure panicked: transient by assumption — retried.
-    Panicked(String),
-    /// The watchdog abandoned the attempt after the hard limit.
-    TimedOut(Duration),
-}
-
-/// Runs the closure once with panic isolation and the test-only fault
-/// hooks. Runs inline; the caller decides whether to wrap a watchdog
-/// around it.
-fn run_attempt_inline(run: &JobFn, name: &str, ctx: &JobCtx) -> Attempt {
-    match catch_unwind(AssertUnwindSafe(|| {
-        // Fault-injection hooks for exercising the robustness paths end
-        // to end (see tests/resilience.rs and scripts/ci/45_fault.sh):
-        // panic or hang any job whose name matches the pattern.
-        if let Ok(pat) = std::env::var("RUSTMTL_SWEEP_INJECT_PANIC") {
-            if !pat.is_empty() && name.contains(&pat) {
-                panic!("injected panic (RUSTMTL_SWEEP_INJECT_PANIC={pat})");
-            }
-        }
-        if let Ok(pat) = std::env::var("RUSTMTL_SWEEP_INJECT_HANG") {
-            if !pat.is_empty() && name.contains(&pat) {
-                loop {
-                    std::thread::sleep(Duration::from_secs(3600));
-                }
-            }
-        }
-        run(ctx)
-    })) {
-        Ok(Ok(metrics)) => Attempt::Done(metrics),
-        Ok(Err(error)) => Attempt::SoftErr(error),
-        Err(payload) => {
-            let msg = payload
-                .downcast_ref::<String>()
-                .map(String::as_str)
-                .or_else(|| payload.downcast_ref::<&'static str>().copied())
-                .unwrap_or("non-string panic payload");
-            Attempt::Panicked(format!("panicked: {msg}"))
-        }
-    }
-}
-
-/// Runs one attempt under the hard watchdog limit: the closure executes
-/// on a dedicated thread and the caller waits at most `limit` for its
-/// result. A thread cannot be killed, so a hung attempt is *abandoned* —
-/// detached and leaked; it keeps no locks the campaign needs, its
-/// eventual result (if any) is discarded with the channel, and it dies
-/// with the process.
-fn run_attempt_watchdog(run: &JobFn, name: &str, ctx: &JobCtx, limit: Duration) -> Attempt {
-    let (tx, rx) = mpsc::channel();
-    let run = std::sync::Arc::clone(run);
-    let thread_name = name.to_string();
-    let ctx = ctx.clone();
-    let spawned = std::thread::Builder::new().name(format!("sweep-job-{name}")).spawn(move || {
-        let _ = tx.send(run_attempt_inline(&run, &thread_name, &ctx));
-    });
-    if spawned.is_err() {
-        return Attempt::SoftErr("failed to spawn watchdog job thread".to_string());
-    }
-    match rx.recv_timeout(limit) {
-        Ok(attempt) => attempt,
-        Err(_) => Attempt::TimedOut(limit),
-    }
-}
-
-fn execute_job(
-    job: Job,
-    job_seed: u64,
-    fingerprint: u64,
-    cache: Option<&ResultCache>,
-    retries: u32,
-    backoff: Duration,
-) -> JobReport {
-    let name = job.name().to_string();
-    let params = job.params.clone();
-    let JobBudget { soft, hard } = job.budget;
-    let cacheable = job.cacheable;
-    let run = job.run;
-    let t0 = Instant::now();
-    let mut attempts = 0u32;
-    let outcome = loop {
-        // The soft deadline is per attempt: a retried job gets a fresh
-        // cooperative budget, like it gets a fresh watchdog window.
-        let ctx = JobCtx { seed: job_seed, deadline: soft.map(|b| Instant::now() + b) };
-        let attempt_start = Instant::now();
-        attempts += 1;
-        let attempt = match hard {
-            Some(limit) => run_attempt_watchdog(&run, &name, &ctx, limit),
-            None => run_attempt_inline(&run, &name, &ctx),
-        };
-        let (retryable, outcome) = match attempt {
-            Attempt::Done(metrics) => {
-                let wall = attempt_start.elapsed();
-                match soft {
-                    Some(b) if wall > b => (
-                        false,
-                        JobOutcome::Failed {
-                            error: format!("exceeded wall-clock budget of {:.3}s", b.as_secs_f64()),
-                        },
-                    ),
-                    _ => (false, JobOutcome::Done { metrics, cached: false }),
-                }
-            }
-            Attempt::SoftErr(error) => (false, JobOutcome::Failed { error }),
-            Attempt::Panicked(error) => (true, JobOutcome::Failed { error }),
-            Attempt::TimedOut(limit) => (true, JobOutcome::TimedOut { limit }),
-        };
-        if !retryable || attempts > retries {
-            break outcome;
-        }
-        // Exponential backoff: base * 2^(attempt-1), saturating.
-        let exp = backoff.saturating_mul(1u32 << (attempts - 1).min(16));
-        std::thread::sleep(exp);
-    };
-    if cacheable {
-        if let (JobOutcome::Done { metrics, .. }, Some(cache)) = (&outcome, cache) {
-            cache.store(fingerprint, &name, metrics);
-        }
-    }
-    JobReport {
-        name,
-        params,
-        seed: job_seed,
-        fingerprint,
-        outcome,
-        wall: t0.elapsed(),
-        attempts,
-        replayed: false,
     }
 }
 
@@ -430,6 +428,9 @@ pub struct CampaignReport {
     pub workers: usize,
     pub wall: Duration,
     pub jobs: Vec<JobReport>,
+    /// Result-cache probe counters for this run (`None` when the cache
+    /// was disabled or failed to open).
+    pub cache_stats: Option<CacheStats>,
 }
 
 impl CampaignReport {
@@ -487,6 +488,17 @@ impl CampaignReport {
             .set("timed_out", self.timed_out_count())
             .set("cached", self.cached_count())
             .set("replayed", self.replayed_count());
+        // Result-cache probe counters, so shared-cache behavior (e.g.
+        // concurrent `mtl-serve` campaigns on one cache dir) is
+        // measurable from the report alone. Wall-clock-free but
+        // *scheduling-dependent* (a journal replay skips the probe), so
+        // like `workers` they stay out of the canonical form.
+        if let Some(stats) = &self.cache_stats {
+            summary
+                .set("cache_hits", stats.hits)
+                .set("cache_misses", stats.misses)
+                .set("cache_corrupt_discarded", stats.corrupt_discarded);
+        }
         doc.set("summary", summary);
         let jobs: Vec<Json> = self.jobs.iter().map(|j| job_json(j, true)).collect();
         doc.set("jobs", Json::Arr(jobs));
@@ -674,6 +686,69 @@ mod tests {
         assert_eq!(warm.cached_count(), 6, "warm run must reuse every fingerprint");
         assert_eq!(cold.canonical_json_string(), warm.canonical_json_string());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_counters_surface_in_the_report_summary() {
+        let dir =
+            std::env::temp_dir().join(format!("mtl-sweep-cache-stats-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let build = || {
+            Campaign::new("unit-stats").workers(1).cache_dir(&dir).jobs((0..3).map(|i| {
+                Job::new(format!("p{i}"), move |_| Ok(JobMetrics::new().det("v", i))).param("i", i)
+            }))
+        };
+        let cold = build().run();
+        let stats = cold.cache_stats.expect("cache enabled");
+        assert_eq!((stats.hits, stats.misses, stats.corrupt_discarded), (0, 3, 0));
+        let warm = build().run();
+        assert_eq!(warm.cache_stats.unwrap().hits, 3);
+        let doc = crate::json::parse(&warm.json_string()).unwrap();
+        let summary = doc.get("summary").unwrap();
+        assert_eq!(summary.get("cache_hits").unwrap().as_u64(), Some(3));
+        assert_eq!(summary.get("cache_misses").unwrap().as_u64(), Some(0));
+        assert_eq!(summary.get("cache_corrupt_discarded").unwrap().as_u64(), Some(0));
+        // With the cache disabled the counters stay out of the summary.
+        let off = Campaign::new("unit-stats-off")
+            .no_cache()
+            .job(Job::new("p", |_| Ok(JobMetrics::new())))
+            .run();
+        assert!(off.cache_stats.is_none());
+        let doc = crate::json::parse(&off.json_string()).unwrap();
+        assert!(doc.get("summary").unwrap().get("cache_hits").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The prepare/take_next/complete/finish API an external scheduler
+    /// drives must produce the same report `run()` does.
+    #[test]
+    fn prepared_campaigns_drain_to_the_same_report() {
+        let build = || {
+            Campaign::new("unit-prepared").seed(3).no_cache().jobs((0..5).map(|i| {
+                Job::new(format!("p{i}"), move |_| Ok(JobMetrics::new().det("v", i * i)))
+                    .param("i", i)
+            }))
+        };
+        let via_run = build().workers(2).run();
+        let mut prepared = build().prepare();
+        assert_eq!(prepared.total(), 5);
+        assert_eq!(prepared.pending_len(), 5);
+        assert_eq!(prepared.filled(), 0);
+        let exec = prepared.exec();
+        // Drain out of declaration order, as a work-stealing pool would.
+        let mut taken = Vec::new();
+        while let Some(p) = prepared.take_next() {
+            taken.push(p);
+        }
+        taken.reverse();
+        for pending in taken {
+            let index = pending.index;
+            let report = exec.run(pending);
+            prepared.complete(index, report);
+        }
+        assert!(prepared.is_complete());
+        let via_prepare = prepared.finish(2);
+        assert_eq!(via_run.canonical_json_string(), via_prepare.canonical_json_string());
     }
 
     #[test]

@@ -1,0 +1,204 @@
+//! The single-job executor: panic isolation, watchdog, retry, caching.
+//!
+//! Extracted from the campaign runner so other schedulers (notably the
+//! `mtl-serve` multi-campaign worker pool) can execute [`Job`]s with
+//! exactly the campaign semantics: one attempt runs inline or under the
+//! hard watchdog, panics and timeouts are retried with exponential
+//! backoff up to [`RetryPolicy::retries`], deterministic `Err` failures
+//! never retry, and a finished cacheable result is persisted.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use crate::cache::ResultCache;
+use crate::job::{Job, JobBudget, JobCtx, JobFn, JobOutcome, JobReport};
+
+/// How attempts are retried: `retries` re-runs beyond the first attempt,
+/// backing off exponentially from `backoff` (doubled per attempt).
+///
+/// Only *transient* failure classes retry — panics and watchdog
+/// timeouts. A job that returns `Err` failed deterministically;
+/// re-running a broken configuration cannot fix it, only hide it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    pub retries: u32,
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy { retries: 0, backoff: Duration::from_millis(50) }
+    }
+}
+
+/// One attempt's raw result, before retry policy is applied.
+enum Attempt {
+    Done(crate::job::JobMetrics),
+    /// `Err` from the job closure, or a soft-budget overrun:
+    /// deterministic — never retried.
+    SoftErr(String),
+    /// The closure panicked: transient by assumption — retried.
+    Panicked(String),
+    /// The watchdog abandoned the attempt after the hard limit.
+    TimedOut(Duration),
+}
+
+/// Runs the closure once with panic isolation and the test-only fault
+/// hooks. Runs inline; the caller decides whether to wrap a watchdog
+/// around it.
+fn run_attempt_inline(run: &JobFn, name: &str, ctx: &JobCtx) -> Attempt {
+    match catch_unwind(AssertUnwindSafe(|| {
+        // Fault-injection hooks for exercising the robustness paths end
+        // to end (see tests/resilience.rs and scripts/ci/45_fault.sh):
+        // panic or hang any job whose name matches the pattern.
+        if let Ok(pat) = std::env::var("RUSTMTL_SWEEP_INJECT_PANIC") {
+            if !pat.is_empty() && name.contains(&pat) {
+                panic!("injected panic (RUSTMTL_SWEEP_INJECT_PANIC={pat})");
+            }
+        }
+        if let Ok(pat) = std::env::var("RUSTMTL_SWEEP_INJECT_HANG") {
+            if !pat.is_empty() && name.contains(&pat) {
+                loop {
+                    std::thread::sleep(Duration::from_secs(3600));
+                }
+            }
+        }
+        run(ctx)
+    })) {
+        Ok(Ok(metrics)) => Attempt::Done(metrics),
+        Ok(Err(error)) => Attempt::SoftErr(error),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&'static str>().copied())
+                .unwrap_or("non-string panic payload");
+            Attempt::Panicked(format!("panicked: {msg}"))
+        }
+    }
+}
+
+/// Runs one attempt under the hard watchdog limit: the closure executes
+/// on a dedicated thread and the caller waits at most `limit` for its
+/// result. A thread cannot be killed, so a hung attempt is *abandoned* —
+/// detached and leaked; it keeps no locks the campaign needs, its
+/// eventual result (if any) is discarded with the channel, and it dies
+/// with the process.
+fn run_attempt_watchdog(run: &JobFn, name: &str, ctx: &JobCtx, limit: Duration) -> Attempt {
+    let (tx, rx) = mpsc::channel();
+    let run = std::sync::Arc::clone(run);
+    let thread_name = name.to_string();
+    let ctx = ctx.clone();
+    let spawned = std::thread::Builder::new().name(format!("sweep-job-{name}")).spawn(move || {
+        let _ = tx.send(run_attempt_inline(&run, &thread_name, &ctx));
+    });
+    if spawned.is_err() {
+        return Attempt::SoftErr("failed to spawn watchdog job thread".to_string());
+    }
+    match rx.recv_timeout(limit) {
+        Ok(attempt) => attempt,
+        Err(_) => Attempt::TimedOut(limit),
+    }
+}
+
+/// Executes one job to a final [`JobReport`]: attempts (with watchdog
+/// and retry per `policy`), the soft-budget check, and — for cacheable
+/// `Done` outcomes — a store into `cache`. Never panics on job failure.
+pub fn execute_job(
+    job: Job,
+    job_seed: u64,
+    fingerprint: u64,
+    cache: Option<&ResultCache>,
+    policy: RetryPolicy,
+) -> JobReport {
+    let name = job.name().to_string();
+    let params = job.params.clone();
+    let JobBudget { soft, hard } = job.budget;
+    let cacheable = job.cacheable;
+    let run = job.run;
+    let t0 = Instant::now();
+    let mut attempts = 0u32;
+    let outcome = loop {
+        // The soft deadline is per attempt: a retried job gets a fresh
+        // cooperative budget, like it gets a fresh watchdog window.
+        let ctx = JobCtx { seed: job_seed, deadline: soft.map(|b| Instant::now() + b) };
+        let attempt_start = Instant::now();
+        attempts += 1;
+        let attempt = match hard {
+            Some(limit) => run_attempt_watchdog(&run, &name, &ctx, limit),
+            None => run_attempt_inline(&run, &name, &ctx),
+        };
+        let (retryable, outcome) = match attempt {
+            Attempt::Done(metrics) => {
+                let wall = attempt_start.elapsed();
+                match soft {
+                    Some(b) if wall > b => (
+                        false,
+                        JobOutcome::Failed {
+                            error: format!("exceeded wall-clock budget of {:.3}s", b.as_secs_f64()),
+                        },
+                    ),
+                    _ => (false, JobOutcome::Done { metrics, cached: false }),
+                }
+            }
+            Attempt::SoftErr(error) => (false, JobOutcome::Failed { error }),
+            Attempt::Panicked(error) => (true, JobOutcome::Failed { error }),
+            Attempt::TimedOut(limit) => (true, JobOutcome::TimedOut { limit }),
+        };
+        if !retryable || attempts > policy.retries {
+            break outcome;
+        }
+        // Exponential backoff: base * 2^(attempt-1), saturating.
+        let exp = policy.backoff.saturating_mul(1u32 << (attempts - 1).min(16));
+        std::thread::sleep(exp);
+    };
+    if cacheable {
+        if let (JobOutcome::Done { metrics, .. }, Some(cache)) = (&outcome, cache) {
+            cache.store(fingerprint, &name, metrics);
+        }
+    }
+    JobReport {
+        name,
+        params,
+        seed: job_seed,
+        fingerprint,
+        outcome,
+        wall: t0.elapsed(),
+        attempts,
+        replayed: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobMetrics;
+
+    #[test]
+    fn execute_job_retries_transient_panics_only() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::Arc;
+        let attempts = Arc::new(AtomicU32::new(0));
+        let seen = attempts.clone();
+        let flaky = Job::new("flaky", move |_| {
+            if seen.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("transient");
+            }
+            Ok(JobMetrics::new().det("v", 9u64))
+        });
+        let policy = RetryPolicy { retries: 2, backoff: Duration::from_millis(1) };
+        let report = execute_job(flaky, 1, 2, None, policy);
+        assert!(report.outcome.is_done());
+        assert_eq!(report.attempts, 2);
+
+        let seen = attempts.clone();
+        let broken = Job::new("broken", move |_| -> Result<JobMetrics, String> {
+            seen.store(100, Ordering::SeqCst);
+            Err("deterministic".into())
+        });
+        let report = execute_job(broken, 1, 3, None, policy);
+        assert_eq!(report.attempts, 1, "Err never retries");
+        assert!(!report.outcome.is_done());
+    }
+}

@@ -38,14 +38,16 @@
 
 pub mod cache;
 pub mod campaign;
+pub mod exec;
 pub mod job;
 pub mod journal;
 pub mod json;
 pub mod progress;
 pub mod timing;
 
-pub use cache::{fnv1a, Fnv1a, ResultCache};
-pub use campaign::{Campaign, CampaignReport};
+pub use cache::{fnv1a, job_fingerprint, CacheStats, Fnv1a, ResultCache};
+pub use campaign::{Campaign, CampaignExec, CampaignReport, PendingJob, PreparedCampaign};
+pub use exec::{execute_job, RetryPolicy};
 pub use job::{Job, JobBudget, JobCtx, JobMetrics, JobOutcome, JobReport, Metric};
 pub use journal::Journal;
 pub use json::Json;

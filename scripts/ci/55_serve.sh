@@ -1,0 +1,120 @@
+#!/usr/bin/env sh
+# CI stage 5.5 — mtl-serve daemon end-to-end:
+#
+#   (a) shared compile cache: a daemon serving two concurrently
+#       submitted campaigns over one design point must report
+#       compile-cache hits while both run;
+#   (b) kill -9 / restart resume: the daemon is killed mid-run with
+#       both campaigns in flight; a fresh daemon on the same cache and
+#       journal directories must resume both from their journals,
+#       replaying every finished job and recomputing none of them.
+#
+# The in-process variant of these properties (plus protocol and
+# fingerprint-isolation checks) runs in tests/serve_smoke.rs; this
+# stage exercises the real daemon process, socket, and SIGKILL.
+set -eu
+cd "$(dirname "$0")/../.."
+
+cargo build -q --release -p mtl-serve --bin mtl_serve
+BIN=target/release/mtl_serve
+
+DIR=target/serve-ci
+rm -rf "$DIR"
+mkdir -p "$DIR"
+SOCK=$DIR/serve.sock
+
+# Two overlapping campaigns: different names (separate journals and
+# result fingerprints), identical design point (shared compiles).
+make_spec() {
+    {
+        printf '{"name":"%s","jobs":[' "$1"
+        i=0
+        while [ "$i" -lt 8 ]; do
+            [ "$i" -gt 0 ] && printf ','
+            printf '{"kind":"mesh_cycles","name":"job%d","level":"CL",' "$i"
+            printf '"nrouters":16,"cycles":50000,"engine":"specialized-opt"}'
+            i=$((i + 1))
+        done
+        printf ']}\n'
+    } > "$DIR/$1.json"
+}
+make_spec ci_a
+make_spec ci_b
+
+DAEMON=""
+trap '{ [ -n "$DAEMON" ] && kill -9 "$DAEMON"; } 2>/dev/null || true' EXIT
+
+start_daemon() {
+    # A socket file left by a SIGKILLed daemon would satisfy the
+    # readiness poll before the new daemon binds; clear it first.
+    rm -f "$SOCK"
+    "$BIN" daemon --socket "$SOCK" --workers 2 \
+        --cache-dir "$DIR/cache" --journal-dir "$DIR/journals" &
+    DAEMON=$!
+    i=0
+    while [ ! -S "$SOCK" ]; do
+        i=$((i + 1))
+        [ "$i" -gt 100 ] && { echo "FAIL: daemon never bound $SOCK"; exit 1; }
+        sleep 0.1
+    done
+}
+
+# Finished jobs in a journal: line count minus the header line.
+journal_jobs() {
+    if [ -f "$1" ]; then
+        n=$(wc -l < "$1")
+        echo $((n - 1))
+    else
+        echo 0
+    fi
+}
+
+echo "== serve: start daemon, submit two overlapping campaigns"
+start_daemon
+"$BIN" submit --socket "$SOCK" --file "$DIR/ci_a.json" --quiet > "$DIR/a1.out" 2>&1 &
+CLIENT_A=$!
+"$BIN" submit --socket "$SOCK" --file "$DIR/ci_b.json" --quiet > "$DIR/b1.out" 2>&1 &
+CLIENT_B=$!
+
+echo "== serve: wait until both journals hold finished jobs, then kill -9"
+i=0
+while :; do
+    na=$(journal_jobs "$DIR/journals/ci_a.jsonl")
+    nb=$(journal_jobs "$DIR/journals/ci_b.jsonl")
+    [ "$na" -ge 2 ] && [ "$nb" -ge 2 ] && break
+    i=$((i + 1))
+    [ "$i" -gt 600 ] && { echo "FAIL: campaigns made no progress"; exit 1; }
+    sleep 0.1
+done
+
+hits=$("$BIN" stats --socket "$SOCK" | sed -n 's/^compile_tape_hits=//p')
+echo "   compile cache hits while both campaigns run: $hits"
+[ "$hits" -gt 0 ] || { echo "FAIL: concurrent campaigns shared no compiles"; exit 1; }
+
+kill -9 "$DAEMON"
+wait "$CLIENT_A" 2>/dev/null || true
+wait "$CLIENT_B" 2>/dev/null || true
+
+echo "== serve: restart on the same dirs; both campaigns must resume"
+start_daemon
+for name in ci_a ci_b; do
+    out=$("$BIN" submit --socket "$SOCK" --file "$DIR/$name.json" --quiet)
+    echo "$out" | grep -q "8 jobs, 8 done, 0 failed, 0 timed out" || {
+        echo "$out"; echo "FAIL: $name did not complete cleanly after restart"; exit 1; }
+    rep=$(echo "$out" | sed -n 's/.* \([0-9][0-9]*\) replayed.*/\1/p')
+    [ "$rep" -ge 2 ] || {
+        echo "$out"; echo "FAIL: $name replayed $rep jobs; expected the journalled ones"; exit 1; }
+    echo "   $name: $rep of 8 jobs replayed from journal, rest executed once"
+done
+
+# Zero recompute across the kill: replayed jobs are never re-executed,
+# so each journal ends with exactly one record per job.
+for name in ci_a ci_b; do
+    n=$(journal_jobs "$DIR/journals/$name.jsonl")
+    [ "$n" -eq 8 ] || { echo "FAIL: $name journal has $n job records, want 8"; exit 1; }
+done
+
+"$BIN" shutdown --socket "$SOCK"
+wait "$DAEMON" 2>/dev/null || true
+
+echo "== serve stage: OK"

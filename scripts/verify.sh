@@ -9,6 +9,7 @@
 #   stage 4  scripts/ci/40_fuzz.sh          differential fuzz, 25 iters, seed 7
 #   stage 4.5 scripts/ci/45_fault.sh        fault differential + resume/watchdog
 #   stage 5  scripts/ci/50_smoke.sh         mtl-sweep campaign smoke runs
+#   stage 5.5 scripts/ci/55_serve.sh        mtl-serve daemon: shared compiles, kill -9 resume
 #
 # Usage: scripts/verify.sh   (from the repository root)
 set -eu

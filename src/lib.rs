@@ -22,6 +22,8 @@
 //! * [`fault`] — deterministic fault injection: seeded fault plans,
 //!   golden-vs-faulty differential runs, masked/silent/detected
 //!   classification
+//! * [`serve`] — the persistent campaign server: shared compile cache
+//!   and multi-campaign scheduling over a JSONL socket protocol
 //!
 //! # Examples
 //!
@@ -52,6 +54,7 @@ pub use mtl_eda as eda;
 pub use mtl_fault as fault;
 pub use mtl_net as net;
 pub use mtl_proc as proc;
+pub use mtl_serve as serve;
 pub use mtl_sim as sim;
 pub use mtl_stdlib as stdlib;
 pub use mtl_sweep as sweep;

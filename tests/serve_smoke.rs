@@ -1,0 +1,257 @@
+//! End-to-end smoke for the `mtl-serve` campaign server (tier-1).
+//!
+//! Drives a real in-process [`Server`] over its Unix socket with real
+//! [`Client`]s — the same transport, protocol, registry, and scheduler
+//! stack the `mtl_serve` daemon runs — and checks the properties the
+//! server exists to provide:
+//!
+//! 1. **Protocol** — hello/stats round-trip; malformed specs are
+//!    rejected with `error` responses and the connection stays usable.
+//! 2. **Concurrent campaigns, no cross-talk** — two campaigns sharing
+//!    one result-cache dir and one journal dir run at the same time,
+//!    and each report carries exactly its own jobs and metrics.
+//! 3. **Fingerprint isolation** — resubmitting a campaign reuses its
+//!    cached results; a differently named campaign with identical jobs
+//!    reuses *nothing* (fingerprints include the campaign identity),
+//!    while the shared compile cache still serves both.
+//! 4. **Restart/resume** — after the server goes away mid-setup and a
+//!    fresh one starts on the same directories, both campaigns resume
+//!    from their journals with zero recompute of finished jobs; only
+//!    never-finished (failed) jobs run again.
+//!
+//! The process-level variant of (4) — `kill -9` on a live daemon — runs
+//! in `scripts/ci/55_serve.sh`.
+
+use std::path::{Path, PathBuf};
+
+use rustmtl::serve::{Client, Server, ServerConfig};
+use rustmtl::sweep::{json, Json};
+
+/// A unique scratch directory under the cargo target dir, cleaned first.
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+/// Starts a server on `dir`'s socket/cache/journal paths and returns it
+/// with the serving thread (joined after `Server::stop`).
+fn start_server(dir: &Path, workers: usize) -> (Server, PathBuf, std::thread::JoinHandle<()>) {
+    let server = Server::new(ServerConfig {
+        workers,
+        cache_dir: Some(dir.join("cache")),
+        journal_dir: Some(dir.join("journals")),
+    });
+    let socket = dir.join("serve.sock");
+    let handle = {
+        let server = server.clone();
+        let socket = socket.clone();
+        std::thread::spawn(move || server.serve_unix(&socket).expect("serve_unix binds"))
+    };
+    // The accept loop needs a beat to bind before clients connect.
+    for _ in 0..200 {
+        if socket.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    (server, socket, handle)
+}
+
+fn connect(socket: &Path) -> Client {
+    let mut client = Client::connect(socket).expect("client connects");
+    client.hello().expect("hello succeeds");
+    client
+}
+
+/// A campaign of `mesh_cycles` jobs plus (optionally) one always-failing
+/// job, all over one shared design point.
+fn campaign_spec(name: &str, jobs: usize, with_failure: bool) -> Json {
+    let mut spec = Json::obj();
+    spec.set("name", name);
+    let mut arr: Vec<Json> = Vec::new();
+    for i in 0..jobs {
+        let mut j = Json::obj();
+        j.set("kind", "mesh_cycles")
+            .set("name", format!("mesh/job{i}"))
+            .set("level", "CL")
+            .set("nrouters", 4u64)
+            .set("cycles", 50 + i as u64)
+            .set("engine", "specialized-opt");
+        arr.push(j);
+    }
+    if with_failure {
+        let mut j = Json::obj();
+        j.set("kind", "fail").set("name", "always-fails");
+        arr.push(j);
+    }
+    spec.set("jobs", arr);
+    spec
+}
+
+fn summary_count(report: &Json, key: &str) -> u64 {
+    report.get("summary").and_then(|s| s.get(key)).and_then(Json::as_u64).unwrap_or(u64::MAX)
+}
+
+fn job_names(report: &Json) -> Vec<String> {
+    report
+        .get("jobs")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|j| j.get("name").and_then(Json::as_str).map(str::to_string))
+        .collect()
+}
+
+#[test]
+fn protocol_round_trips_and_rejects_bad_specs() {
+    let dir = scratch_dir("serve-protocol");
+    let (server, socket, handle) = start_server(&dir, 1);
+
+    let mut client = connect(&socket);
+    let stats = client.stats().expect("stats round-trips");
+    assert_eq!(stats.get("active_campaigns").and_then(Json::as_u64), Some(0));
+
+    // Malformed specs come back as error responses, not dead sockets.
+    for bad in [
+        r#"{"jobs":[]}"#,
+        r#"{"name":"x","jobs":[{"kind":"warp","name":"j"}]}"#,
+        r#"{"name":"a/b","jobs":[{"kind":"sleep_ms","name":"j"}]}"#,
+    ] {
+        let spec = json::parse(bad).unwrap();
+        assert!(client.submit(&spec, |_| {}).is_err(), "spec must be rejected: {bad}");
+    }
+    // The same connection still works after rejections.
+    let report = client
+        .submit(&campaign_spec("after-errors", 1, false), |_| {})
+        .expect("valid spec after rejections");
+    assert_eq!(summary_count(&report, "done"), 1);
+
+    server.stop();
+    handle.join().unwrap();
+}
+
+#[test]
+fn concurrent_campaigns_share_dirs_without_cross_talk() {
+    let dir = scratch_dir("serve-concurrent");
+    let (server, socket, handle) = start_server(&dir, 2);
+
+    // Two clients submit concurrently; both campaigns share the server's
+    // cache dir, journal dir, and compile cache.
+    let threads: Vec<_> = ["alpha", "beta"]
+        .into_iter()
+        .map(|name| {
+            let socket = socket.clone();
+            std::thread::spawn(move || {
+                let mut client = connect(&socket);
+                let mut events = 0usize;
+                let report = client
+                    .submit(&campaign_spec(name, 4, false), |_| events += 1)
+                    .expect("campaign completes");
+                (name, events, report)
+            })
+        })
+        .collect();
+    for t in threads {
+        let (name, events, report) = t.join().expect("client thread");
+        assert_eq!(report.get("campaign").and_then(Json::as_str), Some(name));
+        assert_eq!(summary_count(&report, "done"), 4, "{name}");
+        assert_eq!(summary_count(&report, "failed"), 0, "{name}");
+        assert_eq!(events, 4, "{name}: one job_done event per job");
+        // No cross-talk: exactly this campaign's jobs, nobody else's.
+        let mut names = job_names(&report);
+        names.sort();
+        assert_eq!(names, (0..4).map(|i| format!("mesh/job{i}")).collect::<Vec<_>>(), "{name}");
+    }
+    // Both campaigns hammered one design point through one compile
+    // cache: at most `workers` compiles can race; the rest must hit.
+    let mut client = connect(&socket);
+    let stats = client.stats().expect("stats");
+    let compile = stats.get("compile").expect("compile section");
+    let hits = compile.get("tape_hits").and_then(Json::as_u64).unwrap();
+    let misses = compile.get("tape_misses").and_then(Json::as_u64).unwrap();
+    assert!(hits >= 6, "8 builds over one design point must mostly hit: {hits} hits");
+    assert!(misses <= 2, "at most one racing compile per worker: {misses} misses");
+    assert_eq!(stats.get("completed_campaigns").and_then(Json::as_u64), Some(2));
+
+    server.stop();
+    handle.join().unwrap();
+}
+
+#[test]
+fn fingerprints_isolate_campaigns_while_compiles_are_shared() {
+    let dir = scratch_dir("serve-fingerprint");
+    let (server, socket, handle) = start_server(&dir, 1);
+
+    let mut client = connect(&socket);
+    let first = client.submit(&campaign_spec("original", 3, false), |_| {}).unwrap();
+    assert_eq!(summary_count(&first, "cached"), 0);
+
+    // Resubmission of the same campaign: every result comes from the
+    // shared result-cache dir (same fingerprints).
+    let again = client.submit(&campaign_spec("original", 3, false), |_| {}).unwrap();
+    assert_eq!(summary_count(&again, "done"), 3);
+    assert_eq!(
+        summary_count(&again, "cached") + summary_count(&again, "replayed"),
+        3,
+        "identical resubmission recomputes nothing"
+    );
+
+    // Identical jobs under a different campaign name: fingerprints
+    // differ, so nothing is reused from the result cache...
+    let other = client.submit(&campaign_spec("imposter", 3, false), |_| {}).unwrap();
+    assert_eq!(summary_count(&other, "done"), 3);
+    assert_eq!(summary_count(&other, "cached"), 0, "results never leak across campaign names");
+    // ...but the *compile* cache serves both (keyed by design point).
+    let stats = client.stats().unwrap();
+    let hits =
+        stats.get("compile").and_then(|c| c.get("tape_hits")).and_then(Json::as_u64).unwrap();
+    assert!(hits >= 5, "imposter's builds reuse original's tapes: {hits} hits");
+
+    server.stop();
+    handle.join().unwrap();
+}
+
+#[test]
+fn campaigns_resume_from_journals_after_a_server_restart() {
+    let dir = scratch_dir("serve-restart");
+
+    // First server: run two campaigns to completion (each with one
+    // always-failing job — failures are never journalled), then stop it
+    // without any cleanup, as a crash would.
+    let (server, socket, handle) = start_server(&dir, 2);
+    let mut client = connect(&socket);
+    for name in ["left", "right"] {
+        let report = client.submit(&campaign_spec(name, 3, true), |_| {}).unwrap();
+        assert_eq!(summary_count(&report, "done"), 3);
+        assert_eq!(summary_count(&report, "failed"), 1);
+    }
+    server.stop();
+    handle.join().unwrap();
+
+    // Remove the result cache so only the journals can satisfy jobs:
+    // resume must come from the journal replay path specifically.
+    let _ = std::fs::remove_dir_all(dir.join("cache"));
+
+    // Second server on the same directories: both campaigns replay every
+    // finished job from their journals; only the failed job re-runs.
+    let (server, socket, handle) = start_server(&dir, 2);
+    let mut client = connect(&socket);
+    for name in ["left", "right"] {
+        let report = client.submit(&campaign_spec(name, 3, true), |_| {}).unwrap();
+        assert_eq!(summary_count(&report, "replayed"), 3, "{name} resumes from its journal");
+        assert_eq!(summary_count(&report, "failed"), 1, "{name}'s failure re-runs and re-fails");
+        let executed = report
+            .get("jobs")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .filter(|j| j.get("attempts").and_then(Json::as_u64).unwrap_or(0) > 0)
+            .count();
+        assert_eq!(executed, 1, "{name}: zero recompute of finished jobs");
+    }
+
+    server.stop();
+    handle.join().unwrap();
+}
