@@ -27,7 +27,7 @@ fn bench_tile_levels(c: &mut Criterion) {
             let harness = TileHarness::new(tile_config(name), 1 << 16, vec![]);
             {
                 let mem = harness.mem_handle();
-                let mut m = mem.borrow_mut();
+                let mut m = mem.lock().unwrap();
                 m[..program.len()].copy_from_slice(&program);
                 let base = (layout.mat_base / 4) as usize;
                 m[base..base + mat.len()].copy_from_slice(&mat);

@@ -16,7 +16,9 @@
 //! Pass `--profile` to enable simulation profiling in every engine job
 //! and attach the hottest blocks to each job's `profile` report section;
 //! pass `--smoke` for a fast CI-sized run (same campaign shape, much
-//! smaller measurement windows).
+//! smaller measurement windows); pass `--dump-passes` to print the tape
+//! optimizer's per-pass statistics table for each level's mesh compile
+//! before measuring (see DESIGN.md §11).
 //!
 //! Pass `--serve SOCKET` to delegate the engine measurements to a
 //! running `mtl_serve` daemon as `mesh_rate` registry jobs (the
@@ -286,6 +288,17 @@ fn main() {
     let smoke = has_flag("--smoke");
     if smoke {
         println!("(smoke mode: CI-sized measurement windows)");
+    }
+    if has_flag("--dump-passes") {
+        for level in LEVELS {
+            let harness = mesh_harness(level, NROUTERS, INJECTION);
+            let sim =
+                mtl_sim::Sim::build(&harness, Engine::SpecializedOpt).expect("elaboration failed");
+            match sim.opt_report() {
+                Some(rep) => println!("\n[{level} mesh tape-optimizer passes]\n{}", rep.render()),
+                None => println!("\n[{level}] optimizer disabled via MTL_TAPE_OPT; no report"),
+            }
+        }
     }
     if let Some(socket) = mtl_bench::arg_value("--serve") {
         if profile {

@@ -7,7 +7,7 @@
 //!
 //! Usage:
 //!   cargo run -p mtl-bench --release --bin fuzz -- \
-//!       [--iters N] [--seed S] [--cycles C] [--repro-dir DIR] [--fault]
+//!       [--iters N] [--seed S] [--cycles C] [--repro-dir DIR] [--fault] [--opt-diff]
 //!
 //! Defaults: 100 iterations, seed 7, 25 cycles per design. The run is
 //! fully deterministic in (iters, seed, cycles); CI pins all three so a
@@ -16,6 +16,11 @@
 //! With `--repro-dir`, a mismatch additionally writes the minimized
 //! reproducer to `DIR/repro_seed_<seed>.rs` (directory created as needed,
 //! temp-file + rename so a partial file is never left behind).
+//!
+//! With `--opt-diff`, runs the optimizer-differential engine set instead
+//! of the default six: both interpreters plus every tape-compiling
+//! configuration twice, tape optimizer pinned off and pinned on (ten
+//! configurations), so a miscompiling optimizer pass fails the run.
 //!
 //! With `--fault`, runs the fault-differential mode instead: each
 //! iteration draws a seeded fault plan over the random design and asserts
@@ -90,11 +95,21 @@ fn main() -> ExitCode {
     if let Some(v) = cycles_arg {
         cfg.cycles = v;
     }
+    cfg.opt_diff = std::env::args().any(|a| a == "--opt-diff");
     let repro_dir = arg_value("--repro-dir").map(PathBuf::from);
 
+    let nengines = if cfg.opt_diff {
+        mtl_check::engines_under_test_opt_diff().len()
+    } else {
+        mtl_check::engines_under_test().len()
+    };
     println!(
-        "differential fuzz: {} iterations, base seed {}, {} cycles/design, 6 engine configs",
-        cfg.iters, cfg.seed, cfg.cycles
+        "differential fuzz{}: {} iterations, base seed {}, {} cycles/design, {} engine configs",
+        if cfg.opt_diff { " (optimizer-differential)" } else { "" },
+        cfg.iters,
+        cfg.seed,
+        cfg.cycles,
+        nengines
     );
     let t0 = Instant::now();
     let progress_every = (cfg.iters / 10).max(1);
@@ -122,9 +137,10 @@ fn main() -> ExitCode {
         }
     }
     println!(
-        "fuzz: OK — {} designs x {} cycles x 6 engines in {:.1}s",
+        "fuzz: OK — {} designs x {} cycles x {} engine configs in {:.1}s",
         cfg.iters,
         cfg.cycles,
+        nengines,
         t0.elapsed().as_secs_f64()
     );
     ExitCode::SUCCESS

@@ -12,66 +12,12 @@
 
 use std::process::ExitCode;
 
-use mtl_accel::{TileConfig, TileHarness, XcelLevel};
-use mtl_bench::has_flag;
-use mtl_check::{elaborate_unchecked, lint, RandomRtl, Severity};
-use mtl_core::Component;
-use mtl_net::{MeshTrafficHarness, NetLevel};
-use mtl_proc::{CacheLevel, ProcLevel, ProcMemHarness};
-use mtl_stdlib::{
-    Adder, BypassQueue, Counter, Crossbar, IntPipelinedMultiplier, Mux, MuxReg, NormalQueue, RegEn,
-    RegRst, Register, RegisterFile, RoundRobinArbiter,
-};
-
-/// Every example/bench design family, at representative parameters.
-fn registry() -> Vec<(String, Box<dyn Component>)> {
-    let mut designs: Vec<(String, Box<dyn Component>)> = vec![
-        ("stdlib/Register_8".into(), Box::new(Register::new(8))),
-        ("stdlib/RegEn_8".into(), Box::new(RegEn::new(8))),
-        ("stdlib/RegRst_8".into(), Box::new(RegRst::new(8, 0xAB))),
-        ("stdlib/Mux_8x4".into(), Box::new(Mux::new(8, 4))),
-        ("stdlib/MuxReg_8x4".into(), Box::new(MuxReg::new(8, 4))),
-        ("stdlib/Adder_16".into(), Box::new(Adder::new(16))),
-        ("stdlib/Counter_8".into(), Box::new(Counter::new(8))),
-        ("stdlib/IntPipelinedMultiplier_16x3".into(), Box::new(IntPipelinedMultiplier::new(16, 3))),
-        ("stdlib/RoundRobinArbiter_4".into(), Box::new(RoundRobinArbiter::new(4))),
-        ("stdlib/Crossbar_8x4".into(), Box::new(Crossbar::new(8, 4))),
-        ("stdlib/RegisterFile_16x32".into(), Box::new(RegisterFile::new(16, 32))),
-        ("stdlib/NormalQueue_8x4".into(), Box::new(NormalQueue::new(8, 4))),
-        ("stdlib/BypassQueue_8".into(), Box::new(BypassQueue::new(8))),
-    ];
-    for (name, level) in [("fl", NetLevel::Fl), ("cl", NetLevel::Cl), ("rtl", NetLevel::Rtl)] {
-        designs.push((
-            format!("net/MeshTrafficHarness_16_{name}"),
-            Box::new(MeshTrafficHarness::new(level, 16, 150, 42)),
-        ));
-    }
-    for (name, level) in [("fl", ProcLevel::Fl), ("cl", ProcLevel::Cl), ("rtl", ProcLevel::Rtl)] {
-        designs.push((
-            format!("proc/ProcMemHarness_{name}"),
-            Box::new(ProcMemHarness::new(level, 1 << 12, 1, vec![1, 2, 3])),
-        ));
-    }
-    let uniform = |p, c, x| TileConfig { proc: p, cache: c, xcel: x };
-    for (name, config) in [
-        ("fl", uniform(ProcLevel::Fl, CacheLevel::Fl, XcelLevel::Fl)),
-        ("cl", uniform(ProcLevel::Cl, CacheLevel::Cl, XcelLevel::Cl)),
-        ("rtl", uniform(ProcLevel::Rtl, CacheLevel::Rtl, XcelLevel::Rtl)),
-    ] {
-        designs.push((
-            format!("accel/TileHarness_{name}"),
-            Box::new(TileHarness::new(config, 1 << 12, vec![])),
-        ));
-    }
-    for seed in 1..=5u64 {
-        designs.push((format!("check/RandomRtl_{seed}"), Box::new(RandomRtl::new(seed))));
-    }
-    designs
-}
+use mtl_bench::{design_registry, has_flag};
+use mtl_check::{elaborate_unchecked, lint, Severity};
 
 fn main() -> ExitCode {
     let verbose = has_flag("--verbose");
-    let designs = registry();
+    let designs = design_registry();
     println!("linting {} example/bench designs", designs.len());
 
     let mut total_errors = 0usize;

@@ -33,6 +33,9 @@ pub struct EngineSel {
     pub engine: Engine,
     /// Explicit worker-thread count (`SpecializedPar` only).
     pub threads: Option<usize>,
+    /// Tape-optimizer override for this configuration (`None` defers to
+    /// the environment default; tape-free engines ignore it).
+    pub tape_opt: Option<bool>,
 }
 
 /// The six simulator configurations every design runs under: all five
@@ -41,14 +44,47 @@ pub fn engines_under_test() -> Vec<EngineSel> {
     let mut sels: Vec<EngineSel> = Engine::ALL
         .iter()
         .filter(|&&e| e != Engine::SpecializedPar)
-        .map(|&e| EngineSel { label: e.to_string(), engine: e, threads: None })
+        .map(|&e| EngineSel { label: e.to_string(), engine: e, threads: None, tape_opt: None })
         .collect();
     for threads in [1usize, 4] {
         sels.push(EngineSel {
             label: format!("{}@{threads}", Engine::SpecializedPar),
             engine: Engine::SpecializedPar,
             threads: Some(threads),
+            tape_opt: None,
         });
+    }
+    sels
+}
+
+/// The optimizer-differential configuration set: both interpreters (the
+/// `Interpreted` reference compiles no tapes) plus every tape-compiling
+/// configuration built twice — optimizer pinned off and pinned on. Any
+/// miscompiling pass shows up as a divergence between a `+opt` engine
+/// and the reference (or its own `+noopt` twin).
+pub fn engines_under_test_opt_diff() -> Vec<EngineSel> {
+    let mut sels: Vec<EngineSel> = [Engine::Interpreted, Engine::InterpretedOpt]
+        .iter()
+        .map(|&e| EngineSel { label: e.to_string(), engine: e, threads: None, tape_opt: None })
+        .collect();
+    for (engine, threads) in [
+        (Engine::Specialized, None),
+        (Engine::SpecializedOpt, None),
+        (Engine::SpecializedPar, Some(1usize)),
+        (Engine::SpecializedPar, Some(4usize)),
+    ] {
+        for opt in [false, true] {
+            let base = match threads {
+                Some(t) => format!("{engine}@{t}"),
+                None => engine.to_string(),
+            };
+            sels.push(EngineSel {
+                label: format!("{base}{}", if opt { "+opt" } else { "+noopt" }),
+                engine,
+                threads,
+                tape_opt: Some(opt),
+            });
+        }
     }
     sels
 }
@@ -139,6 +175,9 @@ pub struct FuzzConfig {
     pub shape: RtlShape,
     /// Maximum number of candidate re-runs the shrinker may spend.
     pub shrink_budget: u32,
+    /// Run the optimizer-differential engine set
+    /// ([`engines_under_test_opt_diff`]) instead of the default six.
+    pub opt_diff: bool,
 }
 
 impl Default for FuzzConfig {
@@ -149,6 +188,7 @@ impl Default for FuzzConfig {
             cycles: 25,
             shape: RtlShape::default(),
             shrink_budget: 300,
+            opt_diff: false,
         }
     }
 }
@@ -222,10 +262,19 @@ pub fn design_seed(base: u64, iter: u64) -> u64 {
 /// The stimulus rng is seeded with `desc.seed ^ 0xABCD`; each cycle every
 /// input is driven with the next 128-bit draw (masked to its width).
 pub fn run_differential(desc: &RtlDesc, cycles: u64) -> Option<Divergence> {
-    let sels = engines_under_test();
+    run_differential_with(desc, cycles, &engines_under_test())
+}
+
+/// [`run_differential`] over an explicit engine-configuration set (e.g.
+/// the optimizer-differential set).
+pub fn run_differential_with(
+    desc: &RtlDesc,
+    cycles: u64,
+    sels: &[EngineSel],
+) -> Option<Divergence> {
     let mut sims: Vec<Sim> = Vec::with_capacity(sels.len());
-    for sel in &sels {
-        let cfg = SimConfig { threads: sel.threads };
+    for sel in sels {
+        let cfg = SimConfig { threads: sel.threads, tape_opt: sel.tape_opt };
         match Sim::build_with_config(&RandomRtl::from_desc(desc.clone()), sel.engine, &cfg) {
             Ok(sim) => sims.push(sim),
             Err(e) => {
@@ -623,7 +672,8 @@ fn replace_at(e: &Expr, path: &[usize], new: Expr) -> Expr {
 /// disagree.
 pub fn fuzz_one(seed: u64, cfg: &FuzzConfig) -> Option<FuzzFailure> {
     let desc = RtlDesc::generate(seed, cfg.shape);
-    let divergence = run_differential(&desc, cfg.cycles)?;
+    let sels = if cfg.opt_diff { engines_under_test_opt_diff() } else { engines_under_test() };
+    let divergence = run_differential_with(&desc, cfg.cycles, &sels)?;
 
     let (minimized, minimized_divergence) = if matches!(divergence.kind, DivergenceKind::Elab(_)) {
         // A generator bug: the original descriptor *is* the report.
@@ -631,10 +681,10 @@ pub fn fuzz_one(seed: u64, cfg: &FuzzConfig) -> Option<FuzzFailure> {
     } else {
         let cycles = cfg.cycles;
         let min = shrink(&desc, cfg.shrink_budget, |cand| {
-            matches!(run_differential(cand, cycles),
+            matches!(run_differential_with(cand, cycles, &sels),
                      Some(d) if !matches!(d.kind, DivergenceKind::Elab(_)))
         });
-        let div = run_differential(&min, cycles).unwrap_or_else(|| divergence.clone());
+        let div = run_differential_with(&min, cycles, &sels).unwrap_or_else(|| divergence.clone());
         (min, div)
     };
 
@@ -664,5 +714,7 @@ pub fn fuzz(cfg: &FuzzConfig) -> Result<FuzzSummary, Box<FuzzFailure>> {
             return Err(Box::new(failure));
         }
     }
-    Ok(FuzzSummary { iters: cfg.iters, engines: engines_under_test().len(), cycles: cfg.cycles })
+    let engines =
+        if cfg.opt_diff { engines_under_test_opt_diff().len() } else { engines_under_test().len() };
+    Ok(FuzzSummary { iters: cfg.iters, engines, cycles: cfg.cycles })
 }

@@ -66,8 +66,9 @@ mod rtl;
 
 pub use fault_diff::{fault_fuzz, fault_fuzz_one, FaultFuzzConfig, FaultFuzzSummary};
 pub use fuzz::{
-    design_seed, engines_under_test, fuzz, fuzz_one, run_differential, shrink, Divergence,
-    DivergenceKind, EngineSel, FuzzConfig, FuzzFailure, FuzzSummary,
+    design_seed, engines_under_test, engines_under_test_opt_diff, fuzz, fuzz_one, run_differential,
+    run_differential_with, shrink, Divergence, DivergenceKind, EngineSel, FuzzConfig, FuzzFailure,
+    FuzzSummary,
 };
 pub use mtl_core::{elaborate_unchecked, lint, Diagnostic, LintRule, Severity};
 pub use repro::write_repro_atomic;

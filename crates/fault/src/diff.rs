@@ -81,7 +81,7 @@ fn build(
     cfg: &DiffConfig,
     shared: Option<(&mtl_sim::ArtifactCache, u64)>,
 ) -> Result<Sim, String> {
-    let sim_cfg = SimConfig { threads: cfg.threads };
+    let sim_cfg = SimConfig { threads: cfg.threads, ..Default::default() };
     match shared {
         Some((cache, key)) => Sim::build_shared(top, cfg.engine, &sim_cfg, cache, key),
         None => Sim::build_with_config(top, cfg.engine, &sim_cfg),

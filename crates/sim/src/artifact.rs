@@ -46,6 +46,15 @@ pub(crate) struct TapeArtifact {
     pub(crate) seq_plan: Arc<Vec<Chunk>>,
     /// Structural digest of the design these tapes were compiled from.
     pub(crate) shape: u64,
+    /// Whether the tape optimizer ran on these tapes. Part of the
+    /// artifact's identity: a lookup requesting the other setting is a
+    /// miss, never a silent mismatch (optimized and unoptimized tapes
+    /// are behaviorally equivalent but differ in ops/registers, and the
+    /// fingerprint must cover what actually executes).
+    pub(crate) optimized: bool,
+    /// Per-pass statistics from the optimizing compile, replayed to
+    /// cache-hit consumers so `--dump-passes` works on reused builds.
+    pub(crate) report: Option<crate::passes::OptReport>,
 }
 
 #[derive(Default)]
@@ -155,6 +164,7 @@ impl ArtifactCache {
         &self,
         key: u64,
         event_mode: bool,
+        optimized: bool,
         design: &Design,
     ) -> Option<Arc<TapeArtifact>> {
         let found =
@@ -168,6 +178,11 @@ impl ArtifactCache {
                     }
                 })
             };
+        // An artifact compiled under the other optimizer setting is a
+        // plain miss: the caller recompiles (and first-writer-wins keeps
+        // the cached one, so a process mixing settings under one key
+        // simply forgoes reuse for the minority setting).
+        let found = found.filter(|a| a.optimized == optimized);
         match found {
             Some(artifact) if artifact.shape == shape_of(design) => {
                 self.tape_hits.fetch_add(1, Ordering::Relaxed);

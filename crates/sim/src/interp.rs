@@ -9,6 +9,13 @@
 //! * [`DenseStore`] + [`DenseSens`] — pre-resolved dense slot arrays,
 //!   modeling PyPy's JIT-optimized access while keeping the same
 //!   event-driven tree-walking architecture.
+//!
+//! Both backends walk the IR tree directly and compile no tapes, so the
+//! tape-optimizer pipeline ([`crate::passes`]) does not apply here —
+//! which is exactly what makes them the trusted references for the
+//! optimizer-differential fuzz axis ([`SimConfig::tape_opt`]).
+//!
+//! [`SimConfig::tape_opt`]: crate::SimConfig::tape_opt
 
 use std::collections::HashMap;
 

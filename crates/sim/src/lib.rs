@@ -27,6 +27,7 @@ mod artifact;
 mod interp;
 mod overheads;
 mod par;
+pub mod passes;
 pub mod profile;
 mod sim;
 mod tape;
@@ -35,6 +36,7 @@ mod vcd;
 pub use artifact::{ArtifactCache, ArtifactStats};
 pub use overheads::Overheads;
 pub use par::default_threads;
+pub use passes::{OptReport, PassStat};
 pub use profile::{Hist, HotBlock, SimProfile};
 pub use sim::{Engine, InjectKind, Injection, Sim, SimConfig};
 pub use vcd::VcdWriter;

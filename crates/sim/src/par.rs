@@ -41,12 +41,15 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use mtl_bits::Bits;
-use mtl_core::{BlockBody, Design, NativeFn};
+use mtl_core::{BlockBody, BlockId, BlockKind, Design, NativeFn};
 
 use crate::overheads::Overheads;
+use crate::passes::{optimize, OptReport};
 use crate::profile::EngineStats;
 use crate::sim::{mask_of, EngineImpl, PackedView};
-use crate::tape::{compile_block, exec_tape_ptr, fold_stmts, fuse, validate, Op, Tape, TapeMems};
+use crate::tape::{
+    compile_block, exec_tape_ptr, fold_stmts, fuse, narrow, validate, widen, Op, Tape, TapeMems,
+};
 
 /// Default worker-thread count: `MTL_SIM_THREADS` if set (clamped to at
 /// least 1), else available parallelism capped at 8.
@@ -489,6 +492,9 @@ pub(crate) struct ParTapeEngine {
     track_activity: bool,
     activity: Vec<u64>,
     prof: Option<EngineStats>,
+    /// Per-pass optimizer statistics (compile-time only; `None` when the
+    /// optimizer is off).
+    opt_report: Option<OptReport>,
 }
 
 impl ParTapeEngine {
@@ -496,6 +502,7 @@ impl ParTapeEngine {
         design: Arc<Design>,
         natives: Vec<Option<NativeFn>>,
         threads: usize,
+        opt: bool,
         o: &mut Overheads,
     ) -> Self {
         // Phase: comp (IR optimization — constant folding).
@@ -510,14 +517,34 @@ impl ParTapeEngine {
             .collect();
         o.comp += t0.elapsed();
 
-        // Phase: cgen (tape code generation).
+        // Width tables, needed by the optimizer (known-bits reasoning)
+        // and the native wrappers.
+        let widths: Vec<u32> = design.nets().iter().map(|n| n.width).collect();
+        let mem_widths: Vec<u32> = design.mems().iter().map(|m| m.width).collect();
+        let mut report = if opt { Some(OptReport::new()) } else { None };
+
+        // Phase: cgen (tape code generation + optimizer pipeline; the
+        // register budget applies to the narrowed, post-compaction tape).
         let t0 = Instant::now();
         let block_tapes: Vec<Tape> = design
             .blocks()
             .iter()
             .zip(&folded)
-            .map(|(b, f)| match f {
-                Some(stmts) => compile_block(&design, stmts, b.kind),
+            .enumerate()
+            .map(|(i, (b, f))| match f {
+                Some(stmts) => {
+                    let mut vt = compile_block(&design, stmts, b.kind);
+                    if let Some(rep) = report.as_mut() {
+                        optimize(&mut vt, &widths, &mem_widths, rep);
+                    }
+                    narrow(&vt, || {
+                        let kind = match b.kind {
+                            BlockKind::Comb => "comb",
+                            BlockKind::Seq => "seq",
+                        };
+                        format!("{kind} block `{}`", design.block_path(BlockId::from_index(i)))
+                    })
+                }
                 None => Tape::default(),
             })
             .collect();
@@ -526,10 +553,8 @@ impl ParTapeEngine {
         }
         o.cgen += t0.elapsed();
 
-        // Phase: wrap (packed state + width tables).
+        // Phase: wrap (packed state).
         let t0 = Instant::now();
-        let widths: Vec<u32> = design.nets().iter().map(|n| n.width).collect();
-        let mem_widths: Vec<u32> = design.mems().iter().map(|m| m.width).collect();
         let cur = new_slots(widths.len());
         let next = new_slots(widths.len());
         let mems: Vec<Vec<Slot>> =
@@ -592,9 +617,18 @@ impl ParTapeEngine {
         let tape_cost = |blocks: &[u32]| -> u64 {
             blocks.iter().map(|&b| block_tapes[b as usize].ops.len() as u64).sum()
         };
-        let fuse_blocks = |blocks: &[u32]| -> Tape {
+        // Re-optimizing the fused unit tape picks up cross-block wins
+        // (CSE/forwarding across block boundaries) the per-block pipeline
+        // cannot see.
+        let mut fuse_blocks = |blocks: &[u32]| -> Tape {
             let parts: Vec<&Tape> = blocks.iter().map(|&b| &block_tapes[b as usize]).collect();
-            fuse(&parts)
+            let mut fused = fuse(&parts);
+            if let Some(rep) = report.as_mut() {
+                let mut vt = widen(&fused);
+                optimize(&mut vt, &widths, &mem_widths, rep);
+                fused = narrow(&vt, || "fused unit tape".into());
+            }
+            fused
         };
         let mut build_program = |items: Vec<Result<Vec<u32>, u32>>, comb: bool| -> Vec<Item> {
             let mut program = Vec::new();
@@ -761,6 +795,7 @@ impl ParTapeEngine {
             track_activity: false,
             activity: Vec::new(),
             prof: None,
+            opt_report: report,
         }
     }
 
@@ -922,6 +957,10 @@ impl ParTapeEngine {
 }
 
 impl EngineImpl for ParTapeEngine {
+    fn opt_report(&self) -> Option<&OptReport> {
+        self.opt_report.as_ref()
+    }
+
     fn poke(&mut self, slot: u32, v: Bits) {
         let s = slot as usize;
         let val = v.as_u128();

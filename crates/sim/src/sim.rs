@@ -6,15 +6,18 @@ use std::time::Instant;
 
 use mtl_bits::Bits;
 use mtl_core::{
-    BlockBody, BlockKind, Component, Design, ElabError, MemId, NativeFn, SignalId, SignalKind,
-    SignalView,
+    BlockBody, BlockId, BlockKind, Component, Design, ElabError, MemId, NativeFn, SignalId,
+    SignalKind, SignalView,
 };
 
 use crate::artifact::ArtifactCache;
 use crate::interp::{exec_stmts, DenseSens, DenseStore, HashSens, HashStore, SensMap, Store};
 use crate::overheads::Overheads;
+use crate::passes::{optimize, OptReport};
 use crate::profile::{EngineStats, SimProfile};
-use crate::tape::{compile_block, exec_tape, fold_stmts, fuse, validate, Tape};
+use crate::tape::{
+    compile_block, exec_tape, exec_tape_body, fold_stmts, fuse, narrow, validate, widen, Tape,
+};
 
 /// Simulation engine selection; see `DESIGN.md` for the mapping onto the
 /// paper's CPython / PyPy / SimJIT / SimJIT+PyPy regimes.
@@ -73,6 +76,24 @@ pub struct SimConfig {
     /// defers to the `MTL_SIM_THREADS` environment variable, falling back
     /// to available parallelism capped at 8. Other engines ignore it.
     pub threads: Option<usize>,
+    /// Whether the tape engines run the optimizer pass pipeline
+    /// ([`crate::passes`]) over compiled tapes. `None` defers to the
+    /// `MTL_TAPE_OPT` environment variable (`0`/`off`/`false`/`no`
+    /// disables), defaulting to enabled. The interpreters compile no
+    /// tapes and ignore it.
+    pub tape_opt: Option<bool>,
+}
+
+impl SimConfig {
+    /// Resolves [`SimConfig::tape_opt`] against the environment.
+    pub fn tape_opt_enabled(&self) -> bool {
+        self.tape_opt.unwrap_or_else(|| {
+            !matches!(
+                std::env::var("MTL_TAPE_OPT").as_deref(),
+                Ok("0") | Ok("off") | Ok("false") | Ok("no")
+            )
+        })
+    }
 }
 
 pub(crate) trait EngineImpl {
@@ -111,6 +132,12 @@ pub(crate) trait EngineImpl {
     /// wrapper's faulted path can bump it after the post-edge settle,
     /// matching the counter's position in the normal path).
     fn bump_cycles(&mut self);
+    /// Per-pass tape-optimizer statistics from construction, if this
+    /// engine compiled tapes with the optimizer enabled. Interpreters
+    /// (no tapes) and optimizer-off builds return `None`.
+    fn opt_report(&self) -> Option<&OptReport> {
+        None
+    }
 }
 
 /// The disturbance a scheduled [`Injection`] applies to its target net.
@@ -366,9 +393,11 @@ impl Sim {
             )),
             Engine::Specialized | Engine::SpecializedOpt => {
                 let event_mode = engine == Engine::Specialized;
-                let reuse = shared.and_then(|(c, k)| c.lookup_tape(k, event_mode, design));
+                let opt = cfg.tape_opt_enabled();
+                let reuse = shared.and_then(|(c, k)| c.lookup_tape(k, event_mode, opt, design));
                 let fresh = reuse.is_none();
-                let eng = TapeEngine::new(design.clone(), natives, event_mode, overheads, reuse);
+                let eng =
+                    TapeEngine::new(design.clone(), natives, event_mode, opt, overheads, reuse);
                 if fresh {
                     if let Some((cache, key)) = shared {
                         cache.store_tape(key, event_mode, eng.artifact());
@@ -380,6 +409,7 @@ impl Sim {
                 design.clone(),
                 natives,
                 cfg.threads.unwrap_or_else(crate::par::default_threads),
+                cfg.tape_opt_enabled(),
                 overheads,
             )),
         }
@@ -489,6 +519,13 @@ impl Sim {
     /// measured phases (e.g. the `veri` translate-round-trip time).
     pub fn overheads_mut(&mut self) -> &mut Overheads {
         &mut self.overheads
+    }
+
+    /// Per-pass tape-optimizer statistics from construction (the
+    /// `--dump-passes` payload). `None` for the interpreters (no tapes)
+    /// and for optimizer-off builds.
+    pub fn opt_report(&self) -> Option<&OptReport> {
+        self.backend.opt_report()
     }
 
     /// Drives a top-level input port.
@@ -1382,6 +1419,12 @@ struct TapeEngine {
     /// Fused static schedules (opt mode only); shared like `tapes`.
     comb_plan: Arc<Vec<Chunk>>,
     seq_plan: Arc<Vec<Chunk>>,
+    /// Persistent register buffers, one per fused plan chunk (empty for
+    /// native chunks). Each holds its tape's const prelude, installed
+    /// once at build, so `run_plan` executes only the tape body per
+    /// cycle. Engine-local (the shared `Arc` plans carry no state).
+    comb_bank: Vec<Vec<u128>>,
+    seq_bank: Vec<Vec<u128>>,
     reg_slots: Vec<u32>,
     regs: Vec<u128>,
     event_mode: bool,
@@ -1395,6 +1438,12 @@ struct TapeEngine {
     track_activity: bool,
     activity: Vec<u64>,
     prof: Option<EngineStats>,
+    /// Whether the optimizer pass pipeline ran on this engine's tapes
+    /// (part of the artifact identity published to the cache).
+    optimized: bool,
+    /// Per-pass optimizer statistics (compile-time only; `None` when the
+    /// optimizer is off).
+    opt_report: Option<OptReport>,
 }
 
 pub(crate) struct PackedView<'a> {
@@ -1446,16 +1495,24 @@ impl TapeEngine {
         design: Arc<Design>,
         natives: Vec<Option<NativeFn>>,
         event_mode: bool,
+        opt: bool,
         o: &mut Overheads,
         reuse: Option<Arc<crate::artifact::TapeArtifact>>,
     ) -> Self {
         // With a cached artifact the comp/cgen/fuse phases are skipped
         // entirely: tapes and plans are pure data, already validated when
-        // first compiled. Only the per-instance state below (packed nets,
-        // sensitivity, queue) is rebuilt.
-        type ReusedPlans = (Arc<Vec<Tape>>, Arc<Vec<Chunk>>, Arc<Vec<Chunk>>);
-        let reused: Option<ReusedPlans> =
-            reuse.map(|a| (a.tapes.clone(), a.comb_plan.clone(), a.seq_plan.clone()));
+        // first compiled (the cache keys on the optimizer setting, so a
+        // reused artifact matches `opt`). Only the per-instance state
+        // below (packed nets, sensitivity, queue) is rebuilt.
+        type ReusedPlans = (Arc<Vec<Tape>>, Arc<Vec<Chunk>>, Arc<Vec<Chunk>>, Option<OptReport>);
+        let reused: Option<ReusedPlans> = reuse
+            .map(|a| (a.tapes.clone(), a.comb_plan.clone(), a.seq_plan.clone(), a.report.clone()));
+
+        // Width tables, needed both by the optimizer (known-bits
+        // reasoning) and the native wrappers.
+        let widths: Vec<u32> = design.nets().iter().map(|n| n.width).collect();
+        let mem_widths: Vec<u32> = design.mems().iter().map(|m| m.width).collect();
+        let mut report = if opt { Some(OptReport::new()) } else { None };
 
         let tapes: Arc<Vec<Tape>> = match &reused {
             Some((tapes, ..)) => tapes.clone(),
@@ -1472,14 +1529,32 @@ impl TapeEngine {
                     .collect();
                 o.comp += t0.elapsed();
 
-                // Phase: cgen (tape code generation).
+                // Phase: cgen (tape code generation + optimizer pipeline;
+                // the register budget applies to the *narrowed* result,
+                // i.e. post-compaction when the optimizer is on).
                 let t0 = Instant::now();
                 let tapes: Vec<Tape> = design
                     .blocks()
                     .iter()
                     .zip(&folded)
-                    .map(|(b, f)| match f {
-                        Some(stmts) => compile_block(&design, stmts, b.kind),
+                    .enumerate()
+                    .map(|(i, (b, f))| match f {
+                        Some(stmts) => {
+                            let mut vt = compile_block(&design, stmts, b.kind);
+                            if let Some(rep) = report.as_mut() {
+                                optimize(&mut vt, &widths, &mem_widths, rep);
+                            }
+                            narrow(&vt, || {
+                                let kind = match b.kind {
+                                    BlockKind::Comb => "comb",
+                                    BlockKind::Seq => "seq",
+                                };
+                                format!(
+                                    "{kind} block `{}`",
+                                    design.block_path(BlockId::from_index(i))
+                                )
+                            })
+                        }
                         None => Tape::default(),
                     })
                     .collect();
@@ -1494,14 +1569,12 @@ impl TapeEngine {
         };
         let max_regs = tapes.iter().map(|t| t.nregs as usize).max().unwrap_or(0);
 
-        // Phase: wrap (packed state + width tables for native wrappers).
+        // Phase: wrap (packed state).
         let t0 = Instant::now();
-        let widths: Vec<u32> = design.nets().iter().map(|n| n.width).collect();
         let cur = vec![0u128; widths.len()];
         let next = vec![0u128; widths.len()];
         let mems: Vec<Vec<u128>> =
             design.mems().iter().map(|m| vec![0u128; m.words as usize]).collect();
-        let mem_widths: Vec<u32> = design.mems().iter().map(|m| m.width).collect();
         o.wrap += t0.elapsed();
 
         // Phase: simc (schedule + event structures).
@@ -1544,8 +1617,19 @@ impl TapeEngine {
         }
         // Fuse consecutive tape blocks into mega-tapes for the fully
         // static schedule (cgen-adjacent work, charged to simc since it
-        // is schedule construction).
-        let build_plan = |order: &[u32]| -> Vec<Chunk> {
+        // is schedule construction). Re-optimizing the fused tape picks
+        // up cross-block wins (CSE/forwarding across block boundaries)
+        // the per-block pipeline cannot see.
+        let mut fuse_opt = |run: &[&Tape], label: &str| -> Tape {
+            let mut fused = fuse(run);
+            if let Some(rep) = report.as_mut() {
+                let mut vt = widen(&fused);
+                optimize(&mut vt, &widths, &mem_widths, rep);
+                fused = narrow(&vt, || format!("fused {label} schedule"));
+            }
+            fused
+        };
+        let mut build_plan = |order: &[u32], label: &str| -> Vec<Chunk> {
             let mut plan = Vec::new();
             let mut run: Vec<&Tape> = Vec::new();
             for &b in order {
@@ -1553,22 +1637,22 @@ impl TapeEngine {
                     run.push(&tapes[b as usize]);
                 } else {
                     if !run.is_empty() {
-                        plan.push(Chunk::Fused(fuse(&run)));
+                        plan.push(Chunk::Fused(fuse_opt(&run, label)));
                         run.clear();
                     }
                     plan.push(Chunk::Native(b));
                 }
             }
             if !run.is_empty() {
-                plan.push(Chunk::Fused(fuse(&run)));
+                plan.push(Chunk::Fused(fuse_opt(&run, label)));
             }
             plan
         };
         let (comb_plan, seq_plan) = match &reused {
-            Some((_, comb, seq)) => (comb.clone(), seq.clone()),
+            Some((_, comb, seq, _)) => (comb.clone(), seq.clone()),
             None if event_mode => (Arc::new(Vec::new()), Arc::new(Vec::new())),
             None => {
-                let plans = (build_plan(&comb_order), build_plan(&seq_order));
+                let plans = (build_plan(&comb_order, "comb"), build_plan(&seq_order, "seq"));
                 for chunk in plans.0.iter().chain(&plans.1) {
                     if let Chunk::Fused(t) = chunk {
                         validate(t, widths.len(), mems.len());
@@ -1577,18 +1661,28 @@ impl TapeEngine {
                 (Arc::new(plans.0), Arc::new(plans.1))
             }
         };
-        let max_regs = max_regs.max(
-            comb_plan
-                .iter()
-                .chain(seq_plan.iter())
+        let mk_bank = |plan: &[Chunk]| -> Vec<Vec<u128>> {
+            plan.iter()
                 .map(|c| match c {
-                    Chunk::Fused(t) => t.nregs as usize,
-                    Chunk::Native(_) => 0,
+                    Chunk::Fused(t) => {
+                        let mut regs = vec![0u128; t.nregs as usize];
+                        crate::tape::exec_prelude(t, &mut regs);
+                        regs
+                    }
+                    Chunk::Native(_) => Vec::new(),
                 })
-                .max()
-                .unwrap_or(0),
-        );
+                .collect()
+        };
+        let comb_bank = mk_bank(&comb_plan);
+        let seq_bank = mk_bank(&seq_plan);
         o.simc += t0.elapsed();
+
+        // A cache hit replays the compile-time pass report so the stats
+        // remain observable on reused builds.
+        let opt_report = match &reused {
+            Some((.., rep)) => rep.clone(),
+            None => report,
+        };
 
         Self {
             design,
@@ -1604,6 +1698,8 @@ impl TapeEngine {
             comb_order,
             comb_plan,
             seq_plan,
+            comb_bank,
+            seq_bank,
             reg_slots,
             regs: vec![0u128; max_regs],
             event_mode,
@@ -1617,18 +1713,22 @@ impl TapeEngine {
             track_activity: false,
             activity: Vec::new(),
             prof: None,
+            optimized: opt,
+            opt_report,
         }
     }
 
     /// Snapshots the shareable compile output (tapes + fused plans) for
     /// [`crate::ArtifactCache`]; cheap — three `Arc` clones plus the
-    /// shape digest.
+    /// shape digest and the (small) pass report.
     fn artifact(&self) -> crate::artifact::TapeArtifact {
         crate::artifact::TapeArtifact {
             tapes: self.tapes.clone(),
             comb_plan: self.comb_plan.clone(),
             seq_plan: self.seq_plan.clone(),
             shape: crate::artifact::shape_of(&self.design),
+            optimized: self.optimized,
+            report: self.opt_report.clone(),
         }
     }
 
@@ -1736,23 +1836,28 @@ impl TapeEngine {
             p.fixpoint.record(pass_blocks);
         } else {
             let plan = Arc::clone(&self.comb_plan);
-            self.run_plan(&plan);
+            self.run_plan(&plan, true);
         }
         self.dirty = false;
     }
 
-    fn run_plan(&mut self, plan: &[Chunk]) {
-        for chunk in plan {
+    fn run_plan(&mut self, plan: &[Chunk], comb: bool) {
+        for (k, chunk) in plan.iter().enumerate() {
             match chunk {
-                Chunk::Fused(tape) => exec_tape::<false>(
-                    tape,
-                    &mut self.regs,
-                    &mut self.cur,
-                    &mut self.next,
-                    &self.mems,
-                    &mut self.pending,
-                    &mut self.changed,
-                ),
+                Chunk::Fused(tape) => {
+                    // Each fused chunk owns a persistent buffer holding
+                    // its const prelude, so only the body executes here.
+                    let bank = if comb { &mut self.comb_bank } else { &mut self.seq_bank };
+                    exec_tape_body::<false>(
+                        tape,
+                        &mut bank[k],
+                        &mut self.cur,
+                        &mut self.next,
+                        &self.mems,
+                        &mut self.pending,
+                        &mut self.changed,
+                    )
+                }
                 Chunk::Native(b) => self.run_native(*b),
             }
         }
@@ -1800,12 +1905,16 @@ impl TapeEngine {
             self.seq_order = order;
         } else {
             let plan = Arc::clone(&self.seq_plan);
-            self.run_plan(&plan);
+            self.run_plan(&plan, false);
         }
     }
 }
 
 impl EngineImpl for TapeEngine {
+    fn opt_report(&self) -> Option<&OptReport> {
+        self.opt_report.as_ref()
+    }
+
     fn poke(&mut self, slot: u32, v: Bits) {
         let val = v.as_u128();
         if self.cur[slot as usize] != val {

@@ -9,204 +9,260 @@
 use mtl_core::ir::{BinOp, Expr, Stmt, UnaryOp};
 use mtl_core::{BlockKind, Design, MemId, SignalId};
 
-/// A virtual register index within a tape.
-type Reg = u16;
+/// A physical register index within an executable tape. Kept at 16 bits so
+/// every hot [`Op`] variant packs into 32 bytes.
+pub(crate) type Reg = u16;
 
-/// One tape instruction. Operands are virtual registers; `mask` fields are
+/// A virtual register index used during compilation and optimization.
+/// Emission allocates freely in this space; the optimizer's register
+/// compaction pass renumbers the live survivors, and [`narrow`] checks the
+/// result against the physical [`Reg`] budget.
+pub(crate) type VReg = u32;
+
+/// One tape instruction, generic over the register index type: `Op<Reg>`
+/// (the default) is what the executor runs, `Op<VReg>` is what the
+/// compiler emits and the optimizer transforms. `mask` fields are
 /// precomputed width masks.
 #[derive(Debug, Clone)]
-pub(crate) enum Op {
+pub(crate) enum Op<R = Reg> {
     Const {
-        dst: Reg,
+        dst: R,
         val: u128,
     },
     Read {
-        dst: Reg,
+        dst: R,
         slot: u32,
     },
     Copy {
-        dst: Reg,
-        a: Reg,
+        dst: R,
+        a: R,
     },
     Add {
-        dst: Reg,
-        a: Reg,
-        b: Reg,
+        dst: R,
+        a: R,
+        b: R,
         mask: u128,
     },
     Sub {
-        dst: Reg,
-        a: Reg,
-        b: Reg,
+        dst: R,
+        a: R,
+        b: R,
         mask: u128,
     },
     Mul {
-        dst: Reg,
-        a: Reg,
-        b: Reg,
+        dst: R,
+        a: R,
+        b: R,
         mask: u128,
     },
     And {
-        dst: Reg,
-        a: Reg,
-        b: Reg,
+        dst: R,
+        a: R,
+        b: R,
     },
     Or {
-        dst: Reg,
-        a: Reg,
-        b: Reg,
+        dst: R,
+        a: R,
+        b: R,
     },
     Xor {
-        dst: Reg,
-        a: Reg,
-        b: Reg,
+        dst: R,
+        a: R,
+        b: R,
     },
     Not {
-        dst: Reg,
-        a: Reg,
+        dst: R,
+        a: R,
         mask: u128,
     },
     Neg {
-        dst: Reg,
-        a: Reg,
+        dst: R,
+        a: R,
         mask: u128,
     },
     Shl {
-        dst: Reg,
-        a: Reg,
-        b: Reg,
+        dst: R,
+        a: R,
+        b: R,
         width: u32,
         mask: u128,
     },
     Shr {
-        dst: Reg,
-        a: Reg,
-        b: Reg,
+        dst: R,
+        a: R,
+        b: R,
         width: u32,
     },
     Sra {
-        dst: Reg,
-        a: Reg,
-        b: Reg,
+        dst: R,
+        a: R,
+        b: R,
         width: u32,
         mask: u128,
         ext: u32,
     },
     Eq {
-        dst: Reg,
-        a: Reg,
-        b: Reg,
+        dst: R,
+        a: R,
+        b: R,
     },
     Ne {
-        dst: Reg,
-        a: Reg,
-        b: Reg,
+        dst: R,
+        a: R,
+        b: R,
     },
     Lt {
-        dst: Reg,
-        a: Reg,
-        b: Reg,
+        dst: R,
+        a: R,
+        b: R,
     },
     Ge {
-        dst: Reg,
-        a: Reg,
-        b: Reg,
+        dst: R,
+        a: R,
+        b: R,
     },
     LtS {
-        dst: Reg,
-        a: Reg,
-        b: Reg,
+        dst: R,
+        a: R,
+        b: R,
         ext: u32,
     },
     GeS {
-        dst: Reg,
-        a: Reg,
-        b: Reg,
+        dst: R,
+        a: R,
+        b: R,
         ext: u32,
     },
     RedAnd {
-        dst: Reg,
-        a: Reg,
+        dst: R,
+        a: R,
         mask: u128,
     },
     RedOr {
-        dst: Reg,
-        a: Reg,
+        dst: R,
+        a: R,
     },
     RedXor {
-        dst: Reg,
-        a: Reg,
+        dst: R,
+        a: R,
     },
     Slice {
-        dst: Reg,
-        a: Reg,
+        dst: R,
+        a: R,
         lo: u32,
         mask: u128,
     },
     /// `dst = (a << shift) | b` — concatenation folding.
     ShlOr {
-        dst: Reg,
-        a: Reg,
-        b: Reg,
+        dst: R,
+        a: R,
+        b: R,
         shift: u32,
     },
     Mux {
-        dst: Reg,
-        cond: Reg,
-        t: Reg,
-        f: Reg,
+        dst: R,
+        cond: R,
+        t: R,
+        f: R,
+    },
+    /// Two fused muxes: `dst = c1 ? t1 : (c2 ? t2 : f)`. Produced only by
+    /// the optimizer's mux-fuse pass from single-use [`Op::Mux`] chains
+    /// (the one-hot crossbar idiom), halving dispatches on the hottest
+    /// op kind.
+    Mux2 {
+        dst: R,
+        c1: R,
+        t1: R,
+        c2: R,
+        t2: R,
+        f: R,
     },
     /// `dst = regs[base + min(sel, n-1)]`; options live in consecutive regs.
     Select {
-        dst: Reg,
-        sel: Reg,
-        base: Reg,
+        dst: R,
+        sel: R,
+        base: R,
         n: u16,
     },
     Sext {
-        dst: Reg,
-        a: Reg,
+        dst: R,
+        a: R,
         sign_bit: u128,
         ext_or: u128,
     },
     Write {
         slot: u32,
-        src: Reg,
+        src: R,
     },
     WriteMasked {
         slot: u32,
-        src: Reg,
+        src: R,
         lo: u32,
         field: u128,
     },
     WriteNext {
         slot: u32,
-        src: Reg,
+        src: R,
     },
     WriteNextMasked {
         slot: u32,
-        src: Reg,
+        src: R,
         lo: u32,
         field: u128,
     },
+    /// Predicated full write: stores `src` to `cur[slot]` when
+    /// `(cond != 0) != neg`, otherwise leaves the slot untouched. Never
+    /// emitted by the compiler — the optimizer's if-conversion lowers a
+    /// small `Jz`-guarded `Write` to this (one branchless op instead of
+    /// a read-old/mux/write-back triple). Event semantics match the
+    /// branchy original exactly: an untaken predicate stores nothing, a
+    /// taken one goes through the normal tracked-write path.
+    WriteIf {
+        slot: u32,
+        cond: R,
+        src: R,
+        neg: bool,
+    },
+    /// Predicated [`Op::WriteNext`]. Leaving the *shadow* buffer
+    /// untouched on the untaken path (rather than writing back a value
+    /// reconstructed from `cur`) keeps predication exact under fault
+    /// injection, where `force` can desynchronize `cur` from `next`.
+    WriteNextIf {
+        slot: u32,
+        cond: R,
+        src: R,
+        neg: bool,
+    },
     MemRead {
-        dst: Reg,
+        dst: R,
         mem: u32,
-        addr: Reg,
+        addr: R,
         words: u64,
     },
     MemWrite {
         mem: u32,
-        addr: Reg,
-        data: Reg,
+        addr: R,
+        data: R,
         words: u64,
     },
+    /// Predicated [`Op::MemWrite`]: pushes the deferred write only when
+    /// `(cond != 0) != neg`. Optimizer-only, like the other predicated
+    /// stores — exact by construction, since an untaken guard enqueues
+    /// nothing on the `pending` list.
+    MemWriteIf {
+        mem: u32,
+        addr: R,
+        data: R,
+        cond: R,
+        words: u64,
+        neg: bool,
+    },
     Jz {
-        cond: Reg,
+        cond: R,
         target: u32,
     },
     JneConst {
-        a: Reg,
+        a: R,
         k: u128,
         target: u32,
     },
@@ -215,14 +271,143 @@ pub(crate) enum Op {
     },
 }
 
-/// A compiled update block.
+impl<R: Copy> Op<R> {
+    /// Rebuilds the op with every register index passed through `f`
+    /// (widening, narrowing, and compaction renumbering all route here).
+    pub(crate) fn map_regs<S: Copy>(&self, f: &mut impl FnMut(R) -> S) -> Op<S> {
+        match *self {
+            Op::Const { dst, val } => Op::Const { dst: f(dst), val },
+            Op::Read { dst, slot } => Op::Read { dst: f(dst), slot },
+            Op::Copy { dst, a } => Op::Copy { dst: f(dst), a: f(a) },
+            Op::Add { dst, a, b, mask } => Op::Add { dst: f(dst), a: f(a), b: f(b), mask },
+            Op::Sub { dst, a, b, mask } => Op::Sub { dst: f(dst), a: f(a), b: f(b), mask },
+            Op::Mul { dst, a, b, mask } => Op::Mul { dst: f(dst), a: f(a), b: f(b), mask },
+            Op::And { dst, a, b } => Op::And { dst: f(dst), a: f(a), b: f(b) },
+            Op::Or { dst, a, b } => Op::Or { dst: f(dst), a: f(a), b: f(b) },
+            Op::Xor { dst, a, b } => Op::Xor { dst: f(dst), a: f(a), b: f(b) },
+            Op::Not { dst, a, mask } => Op::Not { dst: f(dst), a: f(a), mask },
+            Op::Neg { dst, a, mask } => Op::Neg { dst: f(dst), a: f(a), mask },
+            Op::Shl { dst, a, b, width, mask } => {
+                Op::Shl { dst: f(dst), a: f(a), b: f(b), width, mask }
+            }
+            Op::Shr { dst, a, b, width } => Op::Shr { dst: f(dst), a: f(a), b: f(b), width },
+            Op::Sra { dst, a, b, width, mask, ext } => {
+                Op::Sra { dst: f(dst), a: f(a), b: f(b), width, mask, ext }
+            }
+            Op::Eq { dst, a, b } => Op::Eq { dst: f(dst), a: f(a), b: f(b) },
+            Op::Ne { dst, a, b } => Op::Ne { dst: f(dst), a: f(a), b: f(b) },
+            Op::Lt { dst, a, b } => Op::Lt { dst: f(dst), a: f(a), b: f(b) },
+            Op::Ge { dst, a, b } => Op::Ge { dst: f(dst), a: f(a), b: f(b) },
+            Op::LtS { dst, a, b, ext } => Op::LtS { dst: f(dst), a: f(a), b: f(b), ext },
+            Op::GeS { dst, a, b, ext } => Op::GeS { dst: f(dst), a: f(a), b: f(b), ext },
+            Op::RedAnd { dst, a, mask } => Op::RedAnd { dst: f(dst), a: f(a), mask },
+            Op::RedOr { dst, a } => Op::RedOr { dst: f(dst), a: f(a) },
+            Op::RedXor { dst, a } => Op::RedXor { dst: f(dst), a: f(a) },
+            Op::Slice { dst, a, lo, mask } => Op::Slice { dst: f(dst), a: f(a), lo, mask },
+            Op::ShlOr { dst, a, b, shift } => Op::ShlOr { dst: f(dst), a: f(a), b: f(b), shift },
+            Op::Mux { dst, cond, t, f: fr } => {
+                Op::Mux { dst: f(dst), cond: f(cond), t: f(t), f: f(fr) }
+            }
+            Op::Mux2 { dst, c1, t1, c2, t2, f: fr } => {
+                Op::Mux2 { dst: f(dst), c1: f(c1), t1: f(t1), c2: f(c2), t2: f(t2), f: f(fr) }
+            }
+            Op::Select { dst, sel, base, n } => {
+                Op::Select { dst: f(dst), sel: f(sel), base: f(base), n }
+            }
+            Op::Sext { dst, a, sign_bit, ext_or } => {
+                Op::Sext { dst: f(dst), a: f(a), sign_bit, ext_or }
+            }
+            Op::Write { slot, src } => Op::Write { slot, src: f(src) },
+            Op::WriteMasked { slot, src, lo, field } => {
+                Op::WriteMasked { slot, src: f(src), lo, field }
+            }
+            Op::WriteNext { slot, src } => Op::WriteNext { slot, src: f(src) },
+            Op::WriteNextMasked { slot, src, lo, field } => {
+                Op::WriteNextMasked { slot, src: f(src), lo, field }
+            }
+            Op::WriteIf { slot, cond, src, neg } => {
+                Op::WriteIf { slot, cond: f(cond), src: f(src), neg }
+            }
+            Op::WriteNextIf { slot, cond, src, neg } => {
+                Op::WriteNextIf { slot, cond: f(cond), src: f(src), neg }
+            }
+            Op::MemRead { dst, mem, addr, words } => {
+                Op::MemRead { dst: f(dst), mem, addr: f(addr), words }
+            }
+            Op::MemWrite { mem, addr, data, words } => {
+                Op::MemWrite { mem, addr: f(addr), data: f(data), words }
+            }
+            Op::MemWriteIf { mem, addr, data, cond, words, neg } => {
+                Op::MemWriteIf { mem, addr: f(addr), data: f(data), cond: f(cond), words, neg }
+            }
+            Op::Jz { cond, target } => Op::Jz { cond: f(cond), target },
+            Op::JneConst { a, k, target } => Op::JneConst { a: f(a), k, target },
+            Op::Jmp { target } => Op::Jmp { target },
+        }
+    }
+}
+
+/// A compiled update block in executable (physical-register) form.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct Tape {
     pub ops: Vec<Op>,
-    pub nregs: u16,
+    /// Register file size. `u32` (not [`Reg`]) so the full 65536-register
+    /// budget is expressible.
+    pub nregs: u32,
+    /// Length of the cycle-invariant prefix: `ops[..prelude]` are all
+    /// `Const` ops into registers no body op ever writes (the optimizer's
+    /// const-hoist pass, which only fires on jump-free tapes). An engine
+    /// that keeps a persistent register buffer per tape may run the
+    /// prelude once ([`exec_prelude`]) and then execute only
+    /// `ops[prelude..]` each cycle ([`exec_tape_body`]); executing the
+    /// whole tape from op 0 with scratch registers is equally correct.
+    pub prelude: u32,
 }
 
-fn mask_of(width: u32) -> u128 {
+/// A compiled update block in virtual-register form: what [`compile_block`]
+/// emits and what `crate::passes` optimizes. Register indices are unbounded
+/// here; [`narrow`] enforces the physical budget after compaction.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct VTape {
+    pub ops: Vec<Op<VReg>>,
+    pub nregs: u32,
+    /// See [`Tape::prelude`]; set by the const-hoist pass.
+    pub prelude: u32,
+}
+
+/// The physical register budget of an executable tape ([`Reg`] is `u16`).
+pub(crate) const REG_BUDGET: u32 = 1 << 16;
+
+/// Narrows a virtual tape to executable form, enforcing the physical
+/// register budget. `context` names the tape (hierarchical block path and
+/// kind) for the panic message.
+///
+/// # Panics
+///
+/// Panics if the tape needs more than [`REG_BUDGET`] registers.
+pub(crate) fn narrow(vt: &VTape, context: impl Fn() -> String) -> Tape {
+    assert!(
+        vt.nregs <= REG_BUDGET,
+        "tape register budget ({REG_BUDGET}) exceeded in {}: {} registers required; \
+         split the block into smaller update blocks",
+        context(),
+        vt.nregs,
+    );
+    let ops = vt.ops.iter().map(|op| op.map_regs(&mut |r| r as Reg)).collect();
+    Tape { ops, nregs: vt.nregs, prelude: vt.prelude }
+}
+
+/// Widens an executable tape back to virtual-register form (used to
+/// re-optimize fused tapes, where cross-block redundancy appears).
+pub(crate) fn widen(t: &Tape) -> VTape {
+    VTape {
+        ops: t.ops.iter().map(|op| op.map_regs(&mut |r| r as VReg)).collect(),
+        nregs: t.nregs,
+        prelude: t.prelude,
+    }
+}
+
+pub(crate) fn mask_of(width: u32) -> u128 {
     if width >= 128 {
         u128::MAX
     } else {
@@ -230,15 +415,18 @@ fn mask_of(width: u32) -> u128 {
     }
 }
 
-/// Compiles the statements of one IR block into a tape.
+/// Compiles the statements of one IR block into a virtual-register tape.
 ///
 /// `slot_of` maps a signal to its packed state slot (its net index).
-pub(crate) fn compile_block(design: &Design, stmts: &[Stmt], kind: BlockKind) -> Tape {
+/// Emission allocates virtual registers without a budget; the physical
+/// budget is enforced by [`narrow`] — after optimization and register
+/// compaction when the optimizer is on, on the raw emission otherwise.
+pub(crate) fn compile_block(design: &Design, stmts: &[Stmt], kind: BlockKind) -> VTape {
     let mut c = Compiler { design, ops: Vec::new(), next_reg: 0, seq: kind == BlockKind::Seq };
     for s in stmts {
         c.emit_stmt(s);
     }
-    Tape { ops: c.ops, nregs: c.next_reg }
+    VTape { ops: c.ops, nregs: c.next_reg, prelude: 0 }
 }
 
 /// Validates that every register and memory index in a tape is in range;
@@ -246,6 +434,24 @@ pub(crate) fn compile_block(design: &Design, stmts: &[Stmt], kind: BlockKind) ->
 pub(crate) fn validate(tape: &Tape, nslots: usize, nmems: usize) {
     let n = tape.nregs as usize;
     let reg_ok = |r: Reg| (r as usize) < n;
+    let pre = tape.prelude as usize;
+    assert!(pre <= tape.ops.len(), "prelude {pre} exceeds tape length {}", tape.ops.len());
+    if pre > 0 {
+        // Body execution starts at `prelude`, so the tape must be
+        // straight-line (no jump may target the prelude) and the prefix
+        // must be pure constant loads.
+        assert!(
+            tape.ops[..pre].iter().all(|op| matches!(op, Op::Const { .. })),
+            "prelude contains a non-const op"
+        );
+        assert!(
+            !tape
+                .ops
+                .iter()
+                .any(|op| { matches!(op, Op::Jz { .. } | Op::JneConst { .. } | Op::Jmp { .. }) }),
+            "prelude on a tape with jumps"
+        );
+    }
     for op in &tape.ops {
         let ok = match op {
             Op::Const { dst, .. } => reg_ok(*dst),
@@ -277,6 +483,14 @@ pub(crate) fn validate(tape: &Tape, nslots: usize, nmems: usize) {
             Op::Mux { dst, cond, t, f } => {
                 reg_ok(*dst) && reg_ok(*cond) && reg_ok(*t) && reg_ok(*f)
             }
+            Op::Mux2 { dst, c1, t1, c2, t2, f } => {
+                reg_ok(*dst)
+                    && reg_ok(*c1)
+                    && reg_ok(*t1)
+                    && reg_ok(*c2)
+                    && reg_ok(*t2)
+                    && reg_ok(*f)
+            }
             Op::Select { dst, sel, base, n: k } => {
                 reg_ok(*dst) && reg_ok(*sel) && *k >= 1 && (*base as usize + *k as usize) <= n
             }
@@ -286,11 +500,21 @@ pub(crate) fn validate(tape: &Tape, nslots: usize, nmems: usize) {
             Op::WriteMasked { slot, src, .. } | Op::WriteNextMasked { slot, src, .. } => {
                 reg_ok(*src) && (*slot as usize) < nslots
             }
+            Op::WriteIf { slot, cond, src, .. } | Op::WriteNextIf { slot, cond, src, .. } => {
+                reg_ok(*cond) && reg_ok(*src) && (*slot as usize) < nslots
+            }
             Op::MemRead { dst, mem, addr, words } => {
                 reg_ok(*dst) && reg_ok(*addr) && (*mem as usize) < nmems && *words >= 1
             }
             Op::MemWrite { mem, addr, data, words } => {
                 reg_ok(*addr) && reg_ok(*data) && (*mem as usize) < nmems && *words >= 1
+            }
+            Op::MemWriteIf { mem, addr, data, cond, words, .. } => {
+                reg_ok(*addr)
+                    && reg_ok(*data)
+                    && reg_ok(*cond)
+                    && (*mem as usize) < nmems
+                    && *words >= 1
             }
             Op::Jz { cond, target } => reg_ok(*cond) && (*target as usize) <= tape.ops.len(),
             Op::JneConst { a, target, .. } => reg_ok(*a) && (*target as usize) <= tape.ops.len(),
@@ -313,7 +537,7 @@ pub(crate) fn fold_stmts(stmts: &[Stmt]) -> Vec<Stmt> {
 /// SimJIT compiling the whole model into one C++ translation unit.
 pub(crate) fn fuse(tapes: &[&Tape]) -> Tape {
     let mut ops = Vec::with_capacity(tapes.iter().map(|t| t.ops.len()).sum());
-    let mut nregs = 0u16;
+    let mut nregs = 0u32;
     for t in tapes {
         let base = ops.len() as u32;
         nregs = nregs.max(t.nregs);
@@ -328,41 +552,136 @@ pub(crate) fn fuse(tapes: &[&Tape]) -> Tape {
             ops.push(op);
         }
     }
-    Tape { ops, nregs }
+    Tape { ops, nregs, prelude: 0 }
 }
 
 /// Constant-folds an expression: subtrees with no signal or memory reads
 /// are evaluated at compile time (the "comp" optimization phase).
+///
+/// A single bottom-up pass: each node's constness is derived from its
+/// children's, so the whole fold is O(n) in expression size (an earlier
+/// version re-walked the entire subtree with `collect_reads` at every
+/// recursion level, which was O(n²) on deep expressions).
 pub(crate) fn fold_expr(e: &Expr) -> Expr {
-    let mut reads = Vec::new();
-    e.collect_reads(&mut reads);
-    let mut mem_reads = Vec::new();
-    e.collect_mem_reads(&mut mem_reads);
-    if reads.is_empty() && mem_reads.is_empty() {
-        let v = e.eval(&mut |_| unreachable!(), &mut |_, _| unreachable!());
-        return Expr::Const(v);
+    fold_expr_const(e).0
+}
+
+/// Folds one node bottom-up, returning the folded node and whether it is a
+/// compile-time constant (no signal or memory reads anywhere below it).
+fn fold_expr_const(e: &Expr) -> (Expr, bool) {
+    // Evaluates a folded, all-constant node: its children are already
+    // `Expr::Const`, so `eval` touches no signal or memory state.
+    fn to_const(folded: Expr) -> (Expr, bool) {
+        let v = folded.eval(&mut |_| unreachable!(), &mut |_, _| unreachable!());
+        (Expr::Const(v), true)
     }
     match e {
+        Expr::Const(_) => (e.clone(), true),
+        Expr::Read(_) => (e.clone(), false),
         Expr::Slice { expr, lo, hi } => {
-            Expr::Slice { expr: Box::new(fold_expr(expr)), lo: *lo, hi: *hi }
+            let (a, k) = fold_expr_const(expr);
+            let folded = Expr::Slice { expr: Box::new(a), lo: *lo, hi: *hi };
+            if k {
+                to_const(folded)
+            } else {
+                (folded, false)
+            }
         }
-        Expr::Concat(parts) => Expr::Concat(parts.iter().map(fold_expr).collect()),
-        Expr::Unary(op, a) => Expr::Unary(*op, Box::new(fold_expr(a))),
-        Expr::Binary(op, a, b) => Expr::Binary(*op, Box::new(fold_expr(a)), Box::new(fold_expr(b))),
-        Expr::Mux { cond, then_, else_ } => Expr::Mux {
-            cond: Box::new(fold_expr(cond)),
-            then_: Box::new(fold_expr(then_)),
-            else_: Box::new(fold_expr(else_)),
-        },
-        Expr::Select { sel, options } => Expr::Select {
-            sel: Box::new(fold_expr(sel)),
-            options: options.iter().map(fold_expr).collect(),
-        },
-        Expr::Zext(a, w) => Expr::Zext(Box::new(fold_expr(a)), *w),
-        Expr::Sext(a, w) => Expr::Sext(Box::new(fold_expr(a)), *w),
-        Expr::Trunc(a, w) => Expr::Trunc(Box::new(fold_expr(a)), *w),
-        Expr::MemRead { mem, addr } => Expr::MemRead { mem: *mem, addr: Box::new(fold_expr(addr)) },
-        _ => e.clone(),
+        Expr::Concat(parts) => {
+            let mut all = true;
+            let parts: Vec<Expr> = parts
+                .iter()
+                .map(|p| {
+                    let (f, k) = fold_expr_const(p);
+                    all &= k;
+                    f
+                })
+                .collect();
+            let folded = Expr::Concat(parts);
+            if all {
+                to_const(folded)
+            } else {
+                (folded, false)
+            }
+        }
+        Expr::Unary(op, a) => {
+            let (a, k) = fold_expr_const(a);
+            let folded = Expr::Unary(*op, Box::new(a));
+            if k {
+                to_const(folded)
+            } else {
+                (folded, false)
+            }
+        }
+        Expr::Binary(op, a, b) => {
+            let (a, ka) = fold_expr_const(a);
+            let (b, kb) = fold_expr_const(b);
+            let folded = Expr::Binary(*op, Box::new(a), Box::new(b));
+            if ka && kb {
+                to_const(folded)
+            } else {
+                (folded, false)
+            }
+        }
+        Expr::Mux { cond, then_, else_ } => {
+            let (c, kc) = fold_expr_const(cond);
+            let (t, kt) = fold_expr_const(then_);
+            let (f, kf) = fold_expr_const(else_);
+            let folded = Expr::Mux { cond: Box::new(c), then_: Box::new(t), else_: Box::new(f) };
+            if kc && kt && kf {
+                to_const(folded)
+            } else {
+                (folded, false)
+            }
+        }
+        Expr::Select { sel, options } => {
+            let (s, mut all) = fold_expr_const(sel);
+            let options: Vec<Expr> = options
+                .iter()
+                .map(|o| {
+                    let (f, k) = fold_expr_const(o);
+                    all &= k;
+                    f
+                })
+                .collect();
+            let folded = Expr::Select { sel: Box::new(s), options };
+            if all {
+                to_const(folded)
+            } else {
+                (folded, false)
+            }
+        }
+        Expr::Zext(a, w) => {
+            let (a, k) = fold_expr_const(a);
+            let folded = Expr::Zext(Box::new(a), *w);
+            if k {
+                to_const(folded)
+            } else {
+                (folded, false)
+            }
+        }
+        Expr::Sext(a, w) => {
+            let (a, k) = fold_expr_const(a);
+            let folded = Expr::Sext(Box::new(a), *w);
+            if k {
+                to_const(folded)
+            } else {
+                (folded, false)
+            }
+        }
+        Expr::Trunc(a, w) => {
+            let (a, k) = fold_expr_const(a);
+            let folded = Expr::Trunc(Box::new(a), *w);
+            if k {
+                to_const(folded)
+            } else {
+                (folded, false)
+            }
+        }
+        Expr::MemRead { mem, addr } => {
+            let (a, _) = fold_expr_const(addr);
+            (Expr::MemRead { mem: *mem, addr: Box::new(a) }, false)
+        }
     }
 }
 
@@ -387,18 +706,18 @@ fn fold_stmt(s: &Stmt) -> Stmt {
 
 struct Compiler<'a> {
     design: &'a Design,
-    ops: Vec<Op>,
-    next_reg: u16,
+    ops: Vec<Op<VReg>>,
+    next_reg: VReg,
     seq: bool,
 }
 
 impl Compiler<'_> {
-    fn alloc(&mut self) -> Reg {
+    fn alloc(&mut self) -> VReg {
         let r = self.next_reg;
-        self.next_reg = self
-            .next_reg
-            .checked_add(1)
-            .expect("tape register budget (65536) exceeded; split the block");
+        // Virtual registers are effectively unbounded; the physical
+        // budget is enforced later by `narrow` (after compaction when
+        // the optimizer runs), where the block can be named.
+        self.next_reg = self.next_reg.checked_add(1).expect("virtual register index overflow");
         r
     }
 
@@ -503,7 +822,7 @@ impl Compiler<'_> {
         }
     }
 
-    fn emit_expr(&mut self, e: &Expr) -> Reg {
+    fn emit_expr(&mut self, e: &Expr) -> VReg {
         match e {
             Expr::Read(sig) => {
                 let dst = self.alloc();
@@ -581,11 +900,11 @@ impl Compiler<'_> {
             }
             Expr::Select { sel, options } => {
                 let s = self.emit_expr(sel);
-                let tmp: Vec<Reg> = options.iter().map(|o| self.emit_expr(o)).collect();
+                let tmp: Vec<VReg> = options.iter().map(|o| self.emit_expr(o)).collect();
                 let base = self.next_reg;
                 for (i, r) in tmp.iter().enumerate() {
                     let dst = self.alloc();
-                    debug_assert_eq!(dst, base + i as u16);
+                    debug_assert_eq!(dst, base + i as VReg);
                     self.ops.push(Op::Copy { dst, a: *r });
                 }
                 let dst = self.alloc();
@@ -673,6 +992,44 @@ impl TapeMems for [Vec<u128>] {
     }
 }
 
+/// Runs a tape's const prelude into a persistent register buffer, once
+/// per buffer lifetime. Pairs with [`exec_tape_body`].
+pub(crate) fn exec_prelude(tape: &Tape, regs: &mut [u128]) {
+    for op in &tape.ops[..tape.prelude as usize] {
+        match op {
+            Op::Const { dst, val } => regs[*dst as usize] = *val,
+            _ => unreachable!("validate: prelude ops are Const"),
+        }
+    }
+}
+
+/// Executes only `ops[prelude..]` of a tape whose prelude was installed
+/// in `regs` by [`exec_prelude`]. `regs` must persist between calls.
+pub(crate) fn exec_tape_body<const TRACK: bool>(
+    tape: &Tape,
+    regs: &mut [u128],
+    cur: &mut [u128],
+    next: &mut [u128],
+    mems: &[Vec<u128>],
+    pending: &mut Vec<(u32, u64, u128)>,
+    changed: &mut Vec<u32>,
+) {
+    // SAFETY: as for [`exec_tape`]; a nonzero prelude start is sound
+    // because `validate` rejects preludes on tapes with jumps.
+    unsafe {
+        exec_tape_ptr_from::<TRACK, _>(
+            tape,
+            tape.prelude as usize,
+            regs,
+            cur.as_mut_ptr(),
+            next.as_mut_ptr(),
+            mems,
+            pending,
+            changed,
+        )
+    }
+}
+
 /// Executes a tape over exclusive (`&mut`) packed state.
 pub(crate) fn exec_tape<const TRACK: bool>(
     tape: &Tape,
@@ -718,6 +1075,29 @@ pub(crate) unsafe fn exec_tape_ptr<const TRACK: bool, M: TapeMems + ?Sized>(
     pending: &mut Vec<(u32, u64, u128)>,
     changed: &mut Vec<u32>,
 ) {
+    // Executing from op 0 re-runs any prelude into scratch registers;
+    // prelude ops are ordinary `Const`s, so this is always correct.
+    unsafe { exec_tape_ptr_from::<TRACK, M>(tape, 0, regs, cur, next, mems, pending, changed) }
+}
+
+/// [`exec_tape_ptr`] with an explicit start index (`0` or the tape's
+/// prelude length).
+///
+/// # Safety
+///
+/// As for [`exec_tape_ptr`]; additionally `start` must be `0` or
+/// `tape.prelude` on a validated tape (jump-free when `prelude > 0`).
+#[allow(clippy::too_many_arguments)]
+pub(crate) unsafe fn exec_tape_ptr_from<const TRACK: bool, M: TapeMems + ?Sized>(
+    tape: &Tape,
+    start: usize,
+    regs: &mut [u128],
+    cur: *mut u128,
+    next: *mut u128,
+    mems: &M,
+    pending: &mut Vec<(u32, u64, u128)>,
+    changed: &mut Vec<u32>,
+) {
     macro_rules! r {
         ($i:expr) => {
             unsafe { *regs.get_unchecked(*$i as usize) }
@@ -732,7 +1112,7 @@ pub(crate) unsafe fn exec_tape_ptr<const TRACK: bool, M: TapeMems + ?Sized>(
         }};
     }
     let ops = &tape.ops;
-    let mut pc = 0usize;
+    let mut pc = start;
     while pc < ops.len() {
         match unsafe { ops.get_unchecked(pc) } {
             Op::Const { dst, val } => w!(dst, *val),
@@ -779,6 +1159,16 @@ pub(crate) unsafe fn exec_tape_ptr<const TRACK: bool, M: TapeMems + ?Sized>(
             Op::Mux { dst, cond, t, f } => {
                 w!(dst, if r!(cond) != 0 { r!(t) } else { r!(f) });
             }
+            Op::Mux2 { dst, c1, t1, c2, t2, f } => {
+                let v = if r!(c1) != 0 {
+                    r!(t1)
+                } else if r!(c2) != 0 {
+                    r!(t2)
+                } else {
+                    r!(f)
+                };
+                w!(dst, v);
+            }
             Op::Select { dst, sel, base, n } => {
                 let idx = (r!(sel) as usize).min(*n as usize - 1);
                 let v = unsafe { *regs.get_unchecked(*base as usize + idx) };
@@ -823,6 +1213,28 @@ pub(crate) unsafe fn exec_tape_ptr<const TRACK: bool, M: TapeMems + ?Sized>(
                 let n = unsafe { &mut *next.add(*slot as usize) };
                 *n = (*n & !field) | ((v << lo) & field);
             }
+            Op::WriteIf { slot, cond, src, neg } => {
+                let take = (r!(cond) != 0) != *neg;
+                let s = *slot as usize;
+                let c = unsafe { &mut *cur.add(s) };
+                // Branchless select: an untaken predicate stores the old
+                // value back, which the tracked path below treats as "no
+                // change" — bit-for-bit the branchy original.
+                let v = if take { r!(src) } else { *c };
+                if TRACK {
+                    if *c != v {
+                        *c = v;
+                        changed.push(*slot);
+                    }
+                } else {
+                    *c = v;
+                }
+            }
+            Op::WriteNextIf { slot, cond, src, neg } => {
+                let take = (r!(cond) != 0) != *neg;
+                let n = unsafe { &mut *next.add(*slot as usize) };
+                *n = if take { r!(src) } else { *n };
+            }
             Op::MemRead { dst, mem, addr, words } => {
                 let a = (r!(addr) as u64) % words;
                 let v = unsafe { mems.read(*mem as usize, a as usize) };
@@ -831,6 +1243,12 @@ pub(crate) unsafe fn exec_tape_ptr<const TRACK: bool, M: TapeMems + ?Sized>(
             Op::MemWrite { mem, addr, data, words } => {
                 let a = (r!(addr) as u64) % words;
                 pending.push((*mem, a, r!(data)));
+            }
+            Op::MemWriteIf { mem, addr, data, cond, words, neg } => {
+                if (r!(cond) != 0) != *neg {
+                    let a = (r!(addr) as u64) % words;
+                    pending.push((*mem, a, r!(data)));
+                }
             }
             Op::Jz { cond, target } => {
                 if r!(cond) == 0 {
@@ -872,5 +1290,53 @@ mod tests {
             }
             other => panic!("unexpected fold result: {other:?}"),
         }
+    }
+
+    /// Regression for the quadratic fold: the old implementation
+    /// re-evaluated the entire constant subtree at every enclosing node,
+    /// so a deep chain took O(n^2) work. The single bottom-up pass must
+    /// handle a 50k-deep chain in linear time (the bound below is ~1000x
+    /// looser than the rewrite needs and far below what O(n^2) allows).
+    /// Runs on a dedicated big stack: folding recurses once per level.
+    #[test]
+    fn fold_expr_deep_constant_chain_is_linear() {
+        std::thread::Builder::new()
+            .stack_size(256 << 20)
+            .spawn(|| {
+                const DEPTH: u128 = 50_000;
+                let mut e = Expr::k(32, 1);
+                for _ in 0..DEPTH {
+                    e = e + Expr::k(32, 1);
+                }
+                let start = std::time::Instant::now();
+                let folded = fold_expr(&e);
+                assert!(
+                    start.elapsed() < std::time::Duration::from_secs(20),
+                    "deep fold took {:?} — quadratic regression",
+                    start.elapsed()
+                );
+                assert_eq!(folded, Expr::Const(Bits::new(32, DEPTH + 1)));
+            })
+            .expect("spawn big-stack fold thread")
+            .join()
+            .expect("deep fold panicked");
+    }
+
+    /// The register-budget panic must name the offending block (its
+    /// hierarchical path and kind) so an over-budget design is debuggable
+    /// without bisecting the elaboration.
+    #[test]
+    fn register_budget_panic_names_the_block() {
+        let vt = VTape { ops: Vec::new(), nregs: REG_BUDGET + 123, prelude: 0 };
+        let err = std::panic::catch_unwind(|| narrow(&vt, || "top.routers[3].queue (seq)".into()))
+            .expect_err("narrow must panic over budget");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload is a string");
+        assert!(msg.contains("register budget"), "message: {msg}");
+        assert!(msg.contains("top.routers[3].queue (seq)"), "message: {msg}");
+        assert!(msg.contains(&(REG_BUDGET + 123).to_string()), "message: {msg}");
     }
 }

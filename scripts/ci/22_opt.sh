@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# CI stage 2.2 — tape optimizer gate. Two checks:
+#
+#   1. Opt-diff differential fuzz: 250 seed-pinned random RTL designs,
+#      each run under every tape engine with the pass pipeline pinned
+#      off AND pinned on (10 engine configurations), diffing every
+#      net's settled value every cycle plus the logical event/call
+#      profiles. This is the optimizer's correctness contract.
+#   2. A/B speedup smoke: the fig14 RTL mesh measured with the
+#      optimizer off and on; the run fails if the optimized
+#      specialized-opt rate drops below the unoptimized one (the
+#      pipeline must never pessimize the headline workload).
+#
+# The (iters, seed) pair is pinned so a red run reproduces locally with
+# exactly these flags.
+set -eu
+cd "$(dirname "$0")/../.."
+
+echo "== opt-diff fuzz: 250 iterations, seed 7, optimizer off vs on"
+cargo run -p mtl-bench --release --bin fuzz -- --opt-diff --iters 250 --seed 7
+
+echo "== opt speedup smoke: fig14 mesh, optimizer off vs on"
+RUSTMTL_BENCH_DIR="${RUSTMTL_BENCH_DIR:-target}" \
+    cargo run -p mtl-bench --release --bin opt_speedup -- --smoke

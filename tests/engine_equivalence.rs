@@ -355,7 +355,7 @@ fn specialized_par_matches_opt_at_explicit_thread_counts() {
         for seed in [3u64, 7, 12] {
             let mut opt =
                 Sim::build(&RandomRtl::new(seed), Engine::SpecializedOpt).expect("elaborates");
-            let cfg = SimConfig { threads: Some(threads) };
+            let cfg = SimConfig { threads: Some(threads), ..Default::default() };
             let mut par =
                 Sim::build_with_config(&RandomRtl::new(seed), Engine::SpecializedPar, &cfg)
                     .expect("elaborates");
