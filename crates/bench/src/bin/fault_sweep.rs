@@ -10,10 +10,21 @@
 //! taxonomy it reports mean first-divergence cycle and mean blast radius
 //! (how many distinct nets a fault corrupts).
 //!
-//! Every metric here is deterministic — plans are seeded, traces are
-//! engine-independent (`mtl_fault::engine_agreement` is enforced by the
-//! test suite) — so unlike the rate-measuring figure binaries these jobs
-//! are cacheable and journalable. The campaign exercises the full
+//! Alongside the scalar per-trial series, a **batch series** runs the
+//! same taxonomy through the bit-sliced `SpecializedBatch` engine
+//! ([`run_diff_batch`]): up to 63 fault plans share one simulation pass,
+//! one trial per 64-bit lane with lane 0 golden. Each batch job re-runs
+//! its leading plans through scalar [`run_diff`] and fails on any field
+//! mismatch, so the throughput claim (`batch_trials_per_sec` /
+//! `scalar_trials_per_sec` / `batch_speedup` timing metrics) is backed
+//! by an in-campaign agreement check. `--require-batch-speedup X` turns
+//! the speedup into a hard exit-code gate for CI.
+//!
+//! Every taxonomy metric here is deterministic — plans are seeded, traces
+//! are engine-independent (`mtl_fault::engine_agreement` is enforced by
+//! the test suite) — so unlike the rate-measuring figure binaries these
+//! jobs are cacheable and journalable (batch jobs, carrying wall-clock
+//! rates, are the exception and stay uncacheable). The campaign exercises the full
 //! hardened `mtl-sweep` path: per-job watchdogs, bounded retry, and a
 //! checkpoint journal so an interrupted campaign resumes without
 //! recomputing finished jobs (`--journal PATH` overrides the location).
@@ -29,13 +40,13 @@
 //! compile cache means concurrent sweeps over the same design points
 //! compile each design once, and its journal directory owns resume.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use mtl_accel::{TileConfig, TileHarness, XcelLevel};
 use mtl_bench::{arg_value, banner, mesh_harness, write_bench_json, write_bench_report};
 use mtl_core::Component;
-use mtl_fault::{run_diff, DiffConfig, FaultPlan, Outcome, PlanSpec};
-use mtl_net::NetLevel;
+use mtl_fault::{run_diff, run_diff_batch, DiffConfig, FaultPlan, Outcome, PlanSpec};
+use mtl_net::{MeshTrafficRtlHarness, NetLevel};
 use mtl_proc::{CacheLevel, ProcLevel};
 use mtl_serve::Client;
 use mtl_sim::{Engine, Sim};
@@ -47,6 +58,9 @@ use mtl_sweep::{Campaign, CampaignReport, Job, JobMetrics, Json};
 enum Dut {
     /// Mesh traffic harness at one network level.
     Mesh(NetLevel, usize),
+    /// Fully-IR RTL mesh (LFSR traffic generators in hardware, no native
+    /// blocks) — the only DUT shape the bit-sliced batch engine accepts.
+    MeshIr(usize),
     /// Accelerator tile (uniform level across proc/cache/xcel).
     Tile(ProcLevel, CacheLevel, XcelLevel),
 }
@@ -55,6 +69,7 @@ impl Dut {
     fn label(&self) -> String {
         match *self {
             Dut::Mesh(level, n) => format!("mesh{n}/{level}"),
+            Dut::MeshIr(n) => format!("mesh{n}/rtl-ir"),
             Dut::Tile(p, _, _) => format!("tile/{p}"),
         }
     }
@@ -63,6 +78,7 @@ impl Dut {
         match *self {
             // Moderate load so faults land on busy logic, not idle wires.
             Dut::Mesh(level, n) => Box::new(mesh_harness(level, n, 200)),
+            Dut::MeshIr(n) => Box::new(MeshTrafficRtlHarness::new(n, 200, 0xBEEF)),
             Dut::Tile(p, c, x) => {
                 let config = TileConfig { proc: p, cache: c, xcel: x };
                 // A few proc2mngr words keep the frontend and cache
@@ -86,6 +102,18 @@ struct Spec {
     faults: usize,
     engine: Engine,
     watchdog: Duration,
+    /// Native-free DUTs for the bit-sliced batch series ([`run_diff_batch`]:
+    /// one `u64` plane word per net bit, one trial per lane). Empty
+    /// disables the series.
+    batch_duts: Vec<Dut>,
+    /// Independent batch bundles per batch DUT.
+    batch_chunks: u32,
+    /// Fault plans per bundle (at most 63 — lane 0 is the golden).
+    batch_trials: u64,
+    /// Leading plans per bundle re-run through scalar [`run_diff`]: timed
+    /// for the speedup metric and cross-checked field for field against
+    /// the batch lanes.
+    batch_scalar_sample: u64,
 }
 
 impl Spec {
@@ -107,6 +135,10 @@ impl Spec {
             faults: 2,
             engine: Engine::SpecializedOpt,
             watchdog: Duration::from_secs(120),
+            batch_duts: vec![Dut::MeshIr(16)],
+            batch_chunks: 2,
+            batch_trials: 63,
+            batch_scalar_sample: 4,
         }
     }
 
@@ -125,6 +157,10 @@ impl Spec {
             faults: 1,
             engine: Engine::Interpreted,
             watchdog: Duration::from_secs(60),
+            batch_duts: vec![Dut::MeshIr(4)],
+            batch_chunks: 1,
+            batch_trials: 15,
+            batch_scalar_sample: 2,
         }
     }
 
@@ -132,11 +168,20 @@ impl Spec {
         format!("{}/chunk{chunk}", dut.label())
     }
 
+    fn batch_job_name(dut: Dut, chunk: u32) -> String {
+        format!("{}/batch{chunk}", dut.label())
+    }
+
     fn campaign(&self, journal: &std::path::Path) -> Campaign {
         let mut campaign = Campaign::new(self.report_name).retry(1).journal(journal);
         for &dut in &self.duts {
             for chunk in 0..self.chunks {
                 campaign = campaign.job(self.fault_job(dut, chunk));
+            }
+        }
+        for &dut in &self.batch_duts {
+            for chunk in 0..self.batch_chunks {
+                campaign = campaign.job(self.batch_job(dut, chunk));
             }
         }
         campaign
@@ -169,6 +214,70 @@ impl Spec {
         .watchdog(self.watchdog)
     }
 
+    /// One bit-sliced bundle: all `batch_trials` differential runs share a
+    /// single `SpecializedBatch` pass (lane 0 golden, one plan per faulty
+    /// lane), then the leading `batch_scalar_sample` plans are re-run
+    /// through scalar [`run_diff`] — the same per-trial path the scalar
+    /// series uses — both as the throughput baseline and as an in-campaign
+    /// agreement check. Uncacheable: the speedup is a wall-clock metric.
+    fn batch_job(&self, dut: Dut, chunk: u32) -> Job {
+        let (trials, cycles, faults) = (self.batch_trials, self.cycles, self.faults);
+        let sample = self.batch_scalar_sample.min(trials);
+        Job::new(Self::batch_job_name(dut, chunk), move |ctx| {
+            let top = dut.build();
+            let probe = Sim::build(top.as_ref(), Engine::Interpreted)
+                .map_err(|e| format!("elaboration failed: {e:?}"))?;
+            let window = PlanSpec::new(faults, 2, 1 + cycles.max(1));
+            let plans: Vec<FaultPlan> = (0..trials)
+                .map(|t| {
+                    let seed = mix(ctx.seed, (u64::from(chunk) << 32) | t);
+                    FaultPlan::random(seed, probe.design(), &window)
+                })
+                .collect();
+            drop(probe);
+            let t0 = Instant::now();
+            let reports = run_diff_batch(top.as_ref(), &plans, cycles)?;
+            let batch_secs = t0.elapsed().as_secs_f64().max(1e-9);
+            // The baseline is always the strongest scalar engine — the
+            // speedup claim is "vs SpecializedOpt", independent of what
+            // engine the scalar taxonomy series happens to use.
+            let cfg = DiffConfig::new(Engine::SpecializedOpt, cycles);
+            let t1 = Instant::now();
+            for (i, plan) in plans.iter().take(sample as usize).enumerate() {
+                let scalar = run_diff(top.as_ref(), plan, &cfg)?;
+                let mut lane = reports[i].clone();
+                // Campaign-mode batch reports carry no trace fingerprint.
+                lane.trace_fingerprint = scalar.trace_fingerprint;
+                if lane != scalar {
+                    return Err(format!(
+                        "batch lane disagrees with scalar run on trial {i}: \
+                         batch {lane:?} vs scalar {scalar:?}"
+                    ));
+                }
+            }
+            let scalar_secs = t1.elapsed().as_secs_f64().max(1e-9);
+            let mut tally = Tally::default();
+            for report in &reports {
+                tally.add(report);
+            }
+            let batch_rate = trials as f64 / batch_secs;
+            let scalar_rate = sample as f64 / scalar_secs;
+            Ok(tally
+                .metrics(trials)
+                .det("scalar_sample", sample)
+                .timing("batch_trials_per_sec", batch_rate)
+                .timing("scalar_trials_per_sec", scalar_rate)
+                .timing("batch_speedup", batch_rate / scalar_rate))
+        })
+        .uncacheable()
+        .param("dut", dut.label())
+        .param("chunk", chunk)
+        .param("engine", Engine::SpecializedBatch)
+        .param("cycles", cycles)
+        .param("faults_per_trial", faults)
+        .watchdog(self.watchdog)
+    }
+
     /// The equivalent campaign as an `mtl-serve` submission spec, using
     /// the server's `fault_chunk` registry kind. Field values mirror
     /// [`Spec::fault_job`] exactly; the journal is forwarded only when
@@ -193,6 +302,9 @@ impl Spec {
                             .set("nrouters", n)
                             .set("injection", 200u32);
                     }
+                    Dut::MeshIr(n) => {
+                        j.set("dut", "mesh-ir").set("nrouters", n).set("injection", 200u32);
+                    }
                     Dut::Tile(p, c, x) => {
                         j.set("dut", "tile")
                             .set("proc", p.to_string())
@@ -209,16 +321,46 @@ impl Spec {
                 jobs.push(j);
             }
         }
+        for &dut in &self.batch_duts {
+            let n = match dut {
+                Dut::MeshIr(n) => n,
+                // The server's batch kind only instantiates native-free
+                // DUTs; everything else would panic in the batch engine.
+                other => unreachable!("batch series on non-IR dut {}", other.label()),
+            };
+            for chunk in 0..self.batch_chunks {
+                let mut j = Json::obj();
+                j.set("kind", "fault_batch_chunk")
+                    .set("name", Self::batch_job_name(dut, chunk))
+                    .set("nrouters", n)
+                    .set("injection", 200u32)
+                    .set("chunk", chunk)
+                    .set("trials", self.batch_trials)
+                    .set("scalar_sample", self.batch_scalar_sample)
+                    .set("cycles", self.cycles)
+                    .set("faults", self.faults)
+                    .set("watchdog_ms", self.watchdog.as_millis() as u64);
+                jobs.push(j);
+            }
+        }
         spec.set("jobs", jobs);
         spec
     }
 
     fn print_table(&self, report: &CampaignReport) {
         self.print_table_with(&|name| report.get(name).and_then(Tally::from_report));
+        self.print_batch_table_with(
+            &|name| report.get(name).and_then(Tally::from_report),
+            &|name, key| report.get(name).and_then(|j| j.f64(key)),
+        );
     }
 
     fn print_table_json(&self, report: &Json) {
         self.print_table_with(&|name| report_job(report, name).and_then(Tally::from_json));
+        self.print_batch_table_with(
+            &|name| report_job(report, name).and_then(Tally::from_json),
+            &|name, key| report_job(report, name)?.get("timing")?.get(key)?.as_f64(),
+        );
     }
 
     fn print_table_with(&self, lookup: &dyn Fn(&str) -> Option<Tally>) {
@@ -263,6 +405,75 @@ impl Spec {
                 if failed { "   (some chunks failed)" } else { "" },
             );
         }
+    }
+
+    /// The bit-sliced series: outcome taxonomy plus campaign throughput
+    /// (trials/sec, batch vs scalar). Rates are averaged across chunks.
+    fn print_batch_table_with(
+        &self,
+        lookup: &dyn Fn(&str) -> Option<Tally>,
+        timing: &dyn Fn(&str, &str) -> Option<f64>,
+    ) {
+        if self.batch_duts.is_empty() {
+            return;
+        }
+        println!(
+            "\n--- batch series: {}-lane bit-sliced differential, {} chunk(s), \
+             scalar baseline specialized-opt ---",
+            self.batch_trials + 1,
+            self.batch_chunks,
+        );
+        println!(
+            "{:<14} {:>7} {:>7} {:>7} {:>13} {:>13} {:>9}",
+            "design", "masked", "silent", "detect", "batch tr/s", "scalar tr/s", "speedup"
+        );
+        for &dut in &self.batch_duts {
+            let mut total = Tally::default();
+            let (mut batch_rate, mut scalar_rate, mut rated, mut failed) = (0.0, 0.0, 0u32, false);
+            for chunk in 0..self.batch_chunks {
+                let name = Self::batch_job_name(dut, chunk);
+                match (lookup(&name), timing(&name, "batch_trials_per_sec")) {
+                    (Some(t), Some(b)) => {
+                        total.merge(&t);
+                        batch_rate += b;
+                        scalar_rate += timing(&name, "scalar_trials_per_sec").unwrap_or(0.0);
+                        rated += 1;
+                    }
+                    _ => failed = true,
+                }
+            }
+            let (b, s) = if rated > 0 {
+                (batch_rate / f64::from(rated), scalar_rate / f64::from(rated))
+            } else {
+                (0.0, 0.0)
+            };
+            let speedup = if s > 0.0 { format!("{:>8.1}x", b / s) } else { format!("{:>9}", "-") };
+            println!(
+                "{:<14} {:>7} {:>7} {:>7} {:>13.1} {:>13.1} {speedup}{}",
+                dut.label(),
+                total.masked,
+                total.silent,
+                total.detected,
+                b,
+                s,
+                if failed { "   (some chunks failed)" } else { "" },
+            );
+        }
+    }
+
+    /// The minimum batch-vs-scalar speedup across every batch job, for
+    /// the CI gate (`--require-batch-speedup X`). `None` when any batch
+    /// job is missing its timing metrics (failed or didn't run).
+    fn min_batch_speedup(&self, report: &CampaignReport) -> Option<f64> {
+        let mut min: Option<f64> = None;
+        for &dut in &self.batch_duts {
+            for chunk in 0..self.batch_chunks {
+                let name = Self::batch_job_name(dut, chunk);
+                let s = report.get(&name)?.f64("batch_speedup")?;
+                min = Some(min.map_or(s, |m: f64| m.min(s)));
+            }
+        }
+        min
     }
 }
 
@@ -420,4 +631,19 @@ fn main() {
         report.timed_out_count(),
     );
     write_bench_report(&report, spec.report_name);
+    // CI gate (scripts/ci/25_batch.sh): the bit-sliced series must beat
+    // the scalar baseline by at least the given factor.
+    if let Some(min) = arg_value("--require-batch-speedup").and_then(|v| v.parse::<f64>().ok()) {
+        match spec.min_batch_speedup(&report) {
+            Some(s) if s >= min => println!("batch speedup gate: {s:.1}x >= {min}x"),
+            Some(s) => {
+                eprintln!("batch speedup gate FAILED: {s:.1}x < {min}x");
+                std::process::exit(1);
+            }
+            None => {
+                eprintln!("batch speedup gate FAILED: batch jobs missing timing metrics");
+                std::process::exit(1);
+            }
+        }
+    }
 }

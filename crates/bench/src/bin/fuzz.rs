@@ -27,6 +27,12 @@
 //! every engine produces the identical golden-vs-faulty divergence report
 //! (first-divergence cycle, masked/silent/detected classification, blast
 //! radius). Fault-mode defaults: 25 iterations, 20 cycles, 3 faults/plan.
+//!
+//! With `--batch`, runs the bit-sliced batch differential instead: one
+//! `SpecializedBatch` simulator (`--lanes N` lanes, default 64) against
+//! one scalar `Interpreted` reference per lane, every lane driven with
+//! distinct stimulus, every signal of every lane compared after every
+//! cycle. Mismatches shrink-minimize like the default mode.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -96,21 +102,36 @@ fn main() -> ExitCode {
         cfg.cycles = v;
     }
     cfg.opt_diff = std::env::args().any(|a| a == "--opt-diff");
+    if std::env::args().any(|a| a == "--batch") {
+        let lanes: u32 = arg_value("--lanes")
+            .map(|v| v.parse().expect("--lanes takes an integer"))
+            .unwrap_or(mtl_sim::BATCH_LANES);
+        cfg.batch_lanes = Some(lanes);
+    }
     let repro_dir = arg_value("--repro-dir").map(PathBuf::from);
 
-    let nengines = if cfg.opt_diff {
+    let nengines = if cfg.batch_lanes.is_some() {
+        2
+    } else if cfg.opt_diff {
         mtl_check::engines_under_test_opt_diff().len()
     } else {
         mtl_check::engines_under_test().len()
     };
-    println!(
-        "differential fuzz{}: {} iterations, base seed {}, {} cycles/design, {} engine configs",
-        if cfg.opt_diff { " (optimizer-differential)" } else { "" },
-        cfg.iters,
-        cfg.seed,
-        cfg.cycles,
-        nengines
-    );
+    match cfg.batch_lanes {
+        Some(lanes) => println!(
+            "differential fuzz (bit-sliced batch): {} iterations, base seed {}, \
+             {} cycles/design, {lanes} lanes vs interpreted references",
+            cfg.iters, cfg.seed, cfg.cycles,
+        ),
+        None => println!(
+            "differential fuzz{}: {} iterations, base seed {}, {} cycles/design, {} engine configs",
+            if cfg.opt_diff { " (optimizer-differential)" } else { "" },
+            cfg.iters,
+            cfg.seed,
+            cfg.cycles,
+            nengines
+        ),
+    }
     let t0 = Instant::now();
     let progress_every = (cfg.iters / 10).max(1);
     for iter in 0..cfg.iters {

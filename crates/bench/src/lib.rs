@@ -145,9 +145,13 @@ pub fn measure_rate_best_of(
     let mut sim = Sim::build_with_config(top, engine, cfg).expect("elaboration failed");
     let overheads = *sim.overheads();
     let report = sim.opt_report().cloned();
-    sim.reset();
     let mut best: Option<RateMeasurement> = None;
     for _ in 0..reps.max(1) {
+        // Reset per rep (not once up front) so every window starts from
+        // the identical cold settle/dirty-skip state: best-of windows
+        // must be identically distributed or rep 0 measures a different
+        // quantity than reps 1..N.
+        sim.reset();
         let m = measure_batched(|n| sim.run(n), 16, 64, min_wall, max_cycles, deadline);
         let cand = RateMeasurement { cycles_per_sec: m.rate(), overheads, measured_cycles: m.work };
         if best.as_ref().is_none_or(|b| cand.cycles_per_sec > b.cycles_per_sec) {

@@ -1,0 +1,284 @@
+//! Lane-correctness guards for [`Engine::SpecializedBatch`].
+//!
+//! The batch engine advances 64 trials per tape pass by holding each net
+//! bit as one `u64` plane word (one bit position per lane). The contract
+//! the rest of the stack builds on — fault campaigns, differential fuzz,
+//! divergence detection — is that **every lane is bit-exact with a scalar
+//! `SpecializedOpt` simulator receiving that lane's stimulus and faults
+//! alone**. These tests pin that contract:
+//!
+//! * per-lane distinct stimulus across the whole native-free slice of the
+//!   benchmark design registry (partial bundles: `lanes < 64`),
+//! * full 64-lane bundles on randomized RTL,
+//! * the unoptimized-tape lowering (`tape_opt: Some(false)`),
+//! * [`Sim::divergence_masks`] flagging exactly the diverged lanes,
+//! * per-lane fault injection versus a scalar faulted run.
+
+use mtl_bench::design_registry;
+use mtl_bits::Bits;
+use mtl_check::RandomRtl;
+use mtl_core::{BlockBody, SignalId, SignalKind};
+use mtl_fault::{FaultPlan, PlanSpec};
+use mtl_sim::{Engine, Sim, SimConfig};
+
+/// xorshift64* — deterministic, dependency-free stimulus.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn bits(&mut self, w: u32) -> Bits {
+        Bits::new(w, self.next() as u128 | ((self.next() as u128) << 64))
+    }
+}
+
+/// Top-level input ports (excluding the implicit reset, which the shared
+/// reset protocol already drives identically on every lane).
+fn input_ports(sim: &Sim) -> Vec<(SignalId, u32)> {
+    let d = sim.design();
+    (0..d.signals().len())
+        .map(SignalId::from_index)
+        .filter(|&s| {
+            let info = d.signal(s);
+            info.kind == SignalKind::InPort && info.module == d.top() && s != d.reset()
+        })
+        .map(|s| (s, d.signal(s).width))
+        .collect()
+}
+
+/// Drives one batch sim and `lanes` scalar sims with per-lane distinct
+/// stimulus and asserts every signal on every lane matches its scalar
+/// twin, every cycle.
+fn assert_lanes_match(name: &str, batch: &mut Sim, scalars: &mut [Sim], cycles: u64, seed: u64) {
+    let lanes = scalars.len() as u32;
+    assert_eq!(batch.lane_count(), lanes, "{name}: lane count");
+    batch.reset();
+    for s in scalars.iter_mut() {
+        s.reset();
+    }
+    let inputs = input_ports(batch);
+    let nsignals = batch.design().signals().len();
+    let mut rng = Rng(seed | 1);
+    for cyc in 0..cycles {
+        for &(sig, w) in &inputs {
+            for lane in 0..lanes {
+                let v = rng.bits(w);
+                batch.poke_lane(lane, sig, v.clone());
+                scalars[lane as usize].poke(sig, v);
+            }
+        }
+        batch.cycle();
+        for s in scalars.iter_mut() {
+            s.cycle();
+        }
+        for lane in 0..lanes {
+            for si in 0..nsignals {
+                let sig = SignalId::from_index(si);
+                let b = batch.peek_lane(lane, sig);
+                let s = scalars[lane as usize].peek(sig);
+                assert_eq!(
+                    b,
+                    s,
+                    "{name}: cycle {cyc} lane {lane} signal `{}` batch={b} scalar={s}",
+                    batch.design().signal_path(sig)
+                );
+            }
+        }
+    }
+}
+
+fn fnv(s: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in s.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
+
+/// Every native-free design in the benchmark registry, lane-by-lane
+/// bit-exact with scalar `SpecializedOpt` under a *partial* bundle
+/// (5 lanes — exercises trials % 64 != 0 plumbing on every design).
+#[test]
+fn batch_lanes_match_scalar_over_registry() {
+    const LANES: u32 = 5;
+    let mut covered = Vec::new();
+    for (name, comp) in design_registry() {
+        let design = mtl_core::elaborate(&*comp).expect("registry design elaborates");
+        if design.blocks().iter().any(|b| !matches!(b.body, BlockBody::Ir(_))) {
+            continue; // native blocks: one closure is one instance, not 64
+        }
+        drop(design);
+        let cfg = SimConfig { lanes: Some(LANES), ..SimConfig::default() };
+        let mut batch =
+            Sim::build_with_config(&*comp, Engine::SpecializedBatch, &cfg).expect("elaborates");
+        let mut scalars: Vec<Sim> = (0..LANES)
+            .map(|_| Sim::build(&*comp, Engine::SpecializedOpt).expect("elaborates"))
+            .collect();
+        assert_lanes_match(&name, &mut batch, &mut scalars, 10, fnv(&name));
+        covered.push(name);
+    }
+    // The registry holds 27 designs; the native-free slice (stdlib RTL +
+    // the RTL harnesses + RandomRtl) must not silently shrink.
+    assert!(
+        covered.len() >= 14,
+        "native-free registry coverage shrank to {}: {covered:?}",
+        covered.len()
+    );
+}
+
+/// Full 64-lane bundles on randomized RTL (random widths incl. 1-bit and
+/// >64-bit signals, registers, memories) — one batch pass versus 64
+/// scalar simulators.
+#[test]
+fn batch_full_bundle_matches_scalar_on_fuzz_seeds() {
+    for seed in [1u64, 7, 13] {
+        let comp = RandomRtl::new(seed);
+        let cfg = SimConfig { lanes: Some(64), ..SimConfig::default() };
+        let mut batch =
+            Sim::build_with_config(&comp, Engine::SpecializedBatch, &cfg).expect("elaborates");
+        let mut scalars: Vec<Sim> = (0..64)
+            .map(|_| Sim::build(&comp, Engine::SpecializedOpt).expect("elaborates"))
+            .collect();
+        assert_lanes_match(
+            &format!("RandomRtl({seed})"),
+            &mut batch,
+            &mut scalars,
+            12,
+            seed ^ 0xBA7C,
+        );
+    }
+}
+
+/// The batch lowering consumes whatever tape the optimizer hands it; with
+/// the pass pipeline disabled it must still agree lane-for-lane with an
+/// *optimized* scalar engine (optimization is a performance knob, never a
+/// semantics knob — same rule as the scalar engines).
+#[test]
+fn batch_agrees_with_scalar_when_optimizer_disabled() {
+    for seed in [2u64, 5] {
+        let comp = RandomRtl::new(seed);
+        let cfg = SimConfig { lanes: Some(7), tape_opt: Some(false), ..SimConfig::default() };
+        let mut batch =
+            Sim::build_with_config(&comp, Engine::SpecializedBatch, &cfg).expect("elaborates");
+        let mut scalars: Vec<Sim> = (0..7)
+            .map(|_| Sim::build(&comp, Engine::SpecializedOpt).expect("elaborates"))
+            .collect();
+        assert_lanes_match(
+            &format!("RandomRtl({seed})/opt-off"),
+            &mut batch,
+            &mut scalars,
+            10,
+            seed ^ 0x0FF0,
+        );
+    }
+}
+
+/// `divergence_masks` reports no divergence under broadcast stimulus, and
+/// after one lane receives different stimulus it flags *only* that lane
+/// (never the golden lane's own bit, never inactive lanes).
+#[test]
+fn divergence_masks_flag_only_diverged_lanes() {
+    const LANES: u32 = 8;
+    const ODD: u32 = 5;
+    let comp = RandomRtl::new(3);
+    let cfg = SimConfig { lanes: Some(LANES), ..SimConfig::default() };
+    let mut sim =
+        Sim::build_with_config(&comp, Engine::SpecializedBatch, &cfg).expect("elaborates");
+    sim.reset();
+    let inputs = input_ports(&sim);
+    assert!(!inputs.is_empty(), "RandomRtl(3) must expose input ports");
+    let mut rng = Rng(0xD1FF);
+
+    // Broadcast stimulus: all lanes identical, so no net may diverge.
+    let mut masks = Vec::new();
+    for _ in 0..4 {
+        for &(sig, w) in &inputs {
+            sim.poke(sig, rng.bits(w));
+        }
+        sim.cycle();
+        assert!(!sim.divergence_masks(0, &mut masks), "clean broadcast run diverged: {masks:?}");
+    }
+
+    // Perturb exactly one lane's stimulus.
+    let (sig, w) = inputs[0];
+    let base = rng.bits(w);
+    let flipped = Bits::new(w, base.clone().as_u128() ^ 1);
+    assert_ne!(base, flipped, "1-bit flip must change the driven value");
+    for lane in 0..LANES {
+        sim.poke_lane(lane, sig, if lane == ODD { flipped.clone() } else { base.clone() });
+    }
+    sim.cycle();
+    assert!(sim.divergence_masks(0, &mut masks), "perturbed lane not detected");
+    let mut any = 0u64;
+    for (net, &m) in masks.iter().enumerate() {
+        assert_eq!(m & !(1 << ODD), 0, "net {net}: lanes beyond {ODD} flagged: {m:#x}");
+        any |= m;
+    }
+    assert_eq!(any, 1 << ODD, "divergence must land on lane {ODD}");
+}
+
+/// Per-lane fault injection: a fault plan installed on one batch lane
+/// yields a trace byte-identical to a scalar engine running the same
+/// plan, while the batch golden lane stays byte-identical to a clean
+/// scalar run — fault isolation across the plane words.
+#[test]
+fn injected_lane_matches_scalar_faulted_run() {
+    const LANES: u32 = 4;
+    const FAULTY: u32 = 2;
+    for seed in [4u64, 8] {
+        let comp = RandomRtl::new(seed);
+        let cfg = SimConfig { lanes: Some(LANES), ..SimConfig::default() };
+        let mut batch =
+            Sim::build_with_config(&comp, Engine::SpecializedBatch, &cfg).expect("elaborates");
+        let mut clean = Sim::build(&comp, Engine::SpecializedOpt).expect("elaborates");
+        let mut faulty = Sim::build(&comp, Engine::SpecializedOpt).expect("elaborates");
+
+        let plan = FaultPlan::random(seed ^ 0xFA17, batch.design(), &PlanSpec::new(3, 2, 9));
+        let injections = plan.to_injections(batch.design()).expect("plan resolves");
+        for inj in &injections {
+            batch.inject_lane(FAULTY, inj.clone());
+            faulty.inject(inj.clone());
+        }
+
+        batch.reset();
+        clean.reset();
+        faulty.reset();
+        let inputs = input_ports(&batch);
+        let nsignals = batch.design().signals().len();
+        let mut rng = Rng(seed.wrapping_mul(0x9E37_79B9) | 1);
+        for cyc in 0..12 {
+            for &(sig, w) in &inputs {
+                let v = rng.bits(w);
+                batch.poke(sig, v.clone()); // broadcast: all lanes same stimulus
+                clean.poke(sig, v.clone());
+                faulty.poke(sig, v);
+            }
+            batch.cycle();
+            clean.cycle();
+            faulty.cycle();
+            for si in 0..nsignals {
+                let sig = SignalId::from_index(si);
+                assert_eq!(
+                    batch.peek_lane(0, sig),
+                    clean.peek(sig),
+                    "seed {seed} cycle {cyc}: golden lane drifted on `{}`",
+                    batch.design().signal_path(sig)
+                );
+                assert_eq!(
+                    batch.peek_lane(FAULTY, sig),
+                    faulty.peek(sig),
+                    "seed {seed} cycle {cyc}: faulty lane != scalar faulted run on `{}`",
+                    batch.design().signal_path(sig)
+                );
+            }
+        }
+        let (bits, cycs) = batch.lane_fault_totals(FAULTY);
+        assert!(bits > 0 && cycs > 0, "seed {seed}: lane {FAULTY} recorded no injections");
+        assert_eq!(batch.lane_fault_totals(0), (0, 0), "seed {seed}: golden lane saw faults");
+    }
+}

@@ -178,6 +178,12 @@ pub struct FuzzConfig {
     /// Run the optimizer-differential engine set
     /// ([`engines_under_test_opt_diff`]) instead of the default six.
     pub opt_diff: bool,
+    /// Run the bit-sliced batch differential instead
+    /// ([`run_differential_batch`]): one `SpecializedBatch` simulator
+    /// with this many lanes, each lane driven with distinct stimulus and
+    /// compared against its own scalar `Interpreted` reference. Clamped
+    /// to `1..=mtl_sim::BATCH_LANES`.
+    pub batch_lanes: Option<u32>,
 }
 
 impl Default for FuzzConfig {
@@ -189,6 +195,7 @@ impl Default for FuzzConfig {
             shape: RtlShape::default(),
             shrink_budget: 300,
             opt_diff: false,
+            batch_lanes: None,
         }
     }
 }
@@ -274,7 +281,7 @@ pub fn run_differential_with(
 ) -> Option<Divergence> {
     let mut sims: Vec<Sim> = Vec::with_capacity(sels.len());
     for sel in sels {
-        let cfg = SimConfig { threads: sel.threads, tape_opt: sel.tape_opt };
+        let cfg = SimConfig { threads: sel.threads, tape_opt: sel.tape_opt, lanes: None };
         match Sim::build_with_config(&RandomRtl::from_desc(desc.clone()), sel.engine, &cfg) {
             Ok(sim) => sims.push(sim),
             Err(e) => {
@@ -351,6 +358,99 @@ pub fn run_differential_with(
                             net: sim.design().net_path(NetId::from_index(ni)),
                             expected: e,
                             got: g,
+                        },
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Runs `desc` on one bit-sliced `SpecializedBatch` simulator with
+/// `lanes` lanes against `lanes` scalar `Interpreted` references.
+///
+/// Unlike [`run_differential`], every lane receives *distinct* stimulus
+/// (rng stream seeded `desc.seed ^ 0xABCD`, drawn lane-major per input),
+/// so lane transposition bugs — a value leaking across plane words —
+/// can't hide behind broadcast inputs. Every signal of every lane is
+/// compared against its reference after every cycle. Profile counters
+/// are not compared (the batch engine executes one fused plane program,
+/// not per-lane blocks).
+pub fn run_differential_batch(desc: &RtlDesc, cycles: u64, lanes: u32) -> Option<Divergence> {
+    let lanes = lanes.clamp(1, mtl_sim::BATCH_LANES);
+    let comp = RandomRtl::from_desc(desc.clone());
+    let cfg = SimConfig { threads: None, tape_opt: None, lanes: Some(lanes) };
+    let mut batch = match Sim::build_with_config(&comp, Engine::SpecializedBatch, &cfg) {
+        Ok(sim) => sim,
+        Err(e) => {
+            return Some(Divergence {
+                engine: "specialized-batch".into(),
+                cycle: 0,
+                kind: DivergenceKind::Elab(e.to_string()),
+            })
+        }
+    };
+    let mut refs: Vec<Sim> = Vec::with_capacity(lanes as usize);
+    for _ in 0..lanes {
+        match Sim::build(&comp, Engine::Interpreted) {
+            Ok(sim) => refs.push(sim),
+            Err(e) => {
+                return Some(Divergence {
+                    engine: "interpreted".into(),
+                    cycle: 0,
+                    kind: DivergenceKind::Elab(e.to_string()),
+                })
+            }
+        }
+    }
+    batch.reset();
+    for sim in &mut refs {
+        sim.reset();
+    }
+
+    let input_sigs: Vec<mtl_core::SignalId> = {
+        let design = batch.design();
+        desc.inputs
+            .iter()
+            .map(|(name, _)| {
+                design
+                    .signals()
+                    .iter()
+                    .enumerate()
+                    .find(|(_, s)| s.module == design.top() && s.name == *name)
+                    .map(|(i, _)| mtl_core::SignalId::from_index(i))
+                    .expect("generated input port exists at top level")
+            })
+            .collect()
+    };
+    let nsignals = batch.design().signals().len();
+    let mut rng = Rng((desc.seed ^ 0xABCD).max(1));
+    for cycle in 0..cycles {
+        for (k, (name, w)) in desc.inputs.iter().enumerate() {
+            for lane in 0..lanes {
+                let v = Bits::new(*w, rng.bits128());
+                batch.poke_lane(lane, input_sigs[k], v);
+                refs[lane as usize].poke_port(name, v);
+            }
+        }
+        batch.cycle();
+        for sim in &mut refs {
+            sim.cycle();
+        }
+        for si in 0..nsignals {
+            let sig = mtl_core::SignalId::from_index(si);
+            for lane in 0..lanes {
+                let expected = refs[lane as usize].peek(sig);
+                let got = batch.peek_lane(lane, sig);
+                if got != expected {
+                    return Some(Divergence {
+                        engine: format!("specialized-batch@lane{lane}"),
+                        cycle,
+                        kind: DivergenceKind::Value {
+                            signal: batch.design().signal_path(sig),
+                            expected,
+                            got,
                         },
                     });
                 }
@@ -673,18 +773,23 @@ fn replace_at(e: &Expr, path: &[usize], new: Expr) -> Expr {
 pub fn fuzz_one(seed: u64, cfg: &FuzzConfig) -> Option<FuzzFailure> {
     let desc = RtlDesc::generate(seed, cfg.shape);
     let sels = if cfg.opt_diff { engines_under_test_opt_diff() } else { engines_under_test() };
-    let divergence = run_differential_with(&desc, cfg.cycles, &sels)?;
+    let cycles = cfg.cycles;
+    let rerun = |cand: &RtlDesc| match cfg.batch_lanes {
+        Some(lanes) => run_differential_batch(cand, cycles, lanes),
+        None => run_differential_with(cand, cycles, &sels),
+    };
+    let divergence = rerun(&desc)?;
 
     let (minimized, minimized_divergence) = if matches!(divergence.kind, DivergenceKind::Elab(_)) {
         // A generator bug: the original descriptor *is* the report.
         (desc.clone(), divergence.clone())
     } else {
-        let cycles = cfg.cycles;
-        let min = shrink(&desc, cfg.shrink_budget, |cand| {
-            matches!(run_differential_with(cand, cycles, &sels),
-                     Some(d) if !matches!(d.kind, DivergenceKind::Elab(_)))
-        });
-        let div = run_differential_with(&min, cycles, &sels).unwrap_or_else(|| divergence.clone());
+        let min = shrink(
+            &desc,
+            cfg.shrink_budget,
+            |cand| matches!(rerun(cand), Some(d) if !matches!(d.kind, DivergenceKind::Elab(_))),
+        );
+        let div = rerun(&min).unwrap_or_else(|| divergence.clone());
         (min, div)
     };
 
@@ -714,7 +819,12 @@ pub fn fuzz(cfg: &FuzzConfig) -> Result<FuzzSummary, Box<FuzzFailure>> {
             return Err(Box::new(failure));
         }
     }
-    let engines =
-        if cfg.opt_diff { engines_under_test_opt_diff().len() } else { engines_under_test().len() };
+    let engines = if cfg.batch_lanes.is_some() {
+        2 // specialized-batch vs its per-lane interpreted references
+    } else if cfg.opt_diff {
+        engines_under_test_opt_diff().len()
+    } else {
+        engines_under_test().len()
+    };
     Ok(FuzzSummary { iters: cfg.iters, engines, cycles: cfg.cycles })
 }

@@ -67,8 +67,8 @@ mod rtl;
 pub use fault_diff::{fault_fuzz, fault_fuzz_one, FaultFuzzConfig, FaultFuzzSummary};
 pub use fuzz::{
     design_seed, engines_under_test, engines_under_test_opt_diff, fuzz, fuzz_one, run_differential,
-    run_differential_with, shrink, Divergence, DivergenceKind, EngineSel, FuzzConfig, FuzzFailure,
-    FuzzSummary,
+    run_differential_batch, run_differential_with, shrink, Divergence, DivergenceKind, EngineSel,
+    FuzzConfig, FuzzFailure, FuzzSummary,
 };
 pub use mtl_core::{elaborate_unchecked, lint, Diagnostic, LintRule, Severity};
 pub use repro::write_repro_atomic;

@@ -211,6 +211,193 @@ fn run_diff_inner(
     })
 }
 
+/// Runs up to 63 fault plans against one golden run in a *single*
+/// bit-sliced simulation ([`Engine::SpecializedBatch`]): lane 0 carries
+/// the golden trace, lane `1 + i` carries plan `i`, and one pass over the
+/// fused tape advances every trial at once. Divergence is detected with
+/// one lane-masked XOR-reduce over the plane state per cycle
+/// ([`Sim::divergence_masks`]) instead of a per-net peek pair per trial,
+/// which is where fault campaigns spend their time.
+///
+/// Reports match [`run_diff`] field for field — the batch backend runs
+/// the scalar wrapper's forced-settle protocol per lane, so each lane's
+/// trace is byte-identical to a scalar faulted run — **except**
+/// `trace_fingerprint`, which is reported as 0: folding every net value
+/// through FNV per lane would reinstate exactly the per-trial peek loop
+/// the batch exists to avoid. Campaign tallies never read the
+/// fingerprint; the test suite uses [`run_diff_batch_traced`] when it
+/// wants fingerprint equality too.
+///
+/// The design must be native-free (an opaque closure is one stateful
+/// instance, not 64 lanes) — RTL-level models qualify.
+///
+/// # Errors
+///
+/// Returns elaboration failures, unresolvable fault targets, and plan
+/// sets larger than 63 (chunk the campaign instead).
+pub fn run_diff_batch(
+    top: &dyn Component,
+    plans: &[FaultPlan],
+    cycles: u64,
+) -> Result<Vec<FaultReport>, String> {
+    run_diff_batch_inner(top, plans, cycles, None, false)
+}
+
+/// [`run_diff_batch`] through a shared [`mtl_sim::ArtifactCache`] under
+/// `key` (same contract as [`run_diff_shared`]): a campaign hammering one
+/// design point lowers the bit-plane programs once per design, not once
+/// per chunk.
+///
+/// # Errors
+///
+/// Identical to [`run_diff_batch`].
+pub fn run_diff_batch_shared(
+    top: &dyn Component,
+    plans: &[FaultPlan],
+    cycles: u64,
+    cache: &mtl_sim::ArtifactCache,
+    key: u64,
+) -> Result<Vec<FaultReport>, String> {
+    run_diff_batch_inner(top, plans, cycles, Some((cache, key)), false)
+}
+
+/// [`run_diff_batch`] with real per-lane trace fingerprints: every probe
+/// net is gathered from every lane every cycle and folded through the
+/// same FNV-1a as [`run_diff`], so a lane's report — fingerprint
+/// included — must equal the scalar report for that plan alone. This
+/// deliberately pays the per-trial peek cost the plain batch avoids; it
+/// exists for the batch-vs-scalar differential suite, not for campaigns.
+///
+/// # Errors
+///
+/// Identical to [`run_diff_batch`].
+pub fn run_diff_batch_traced(
+    top: &dyn Component,
+    plans: &[FaultPlan],
+    cycles: u64,
+) -> Result<Vec<FaultReport>, String> {
+    run_diff_batch_inner(top, plans, cycles, None, true)
+}
+
+fn run_diff_batch_inner(
+    top: &dyn Component,
+    plans: &[FaultPlan],
+    cycles: u64,
+    shared: Option<(&mtl_sim::ArtifactCache, u64)>,
+    traced: bool,
+) -> Result<Vec<FaultReport>, String> {
+    if plans.is_empty() {
+        return Ok(Vec::new());
+    }
+    if plans.len() > (mtl_sim::BATCH_LANES - 1) as usize {
+        return Err(format!(
+            "run_diff_batch takes at most {} plans per bundle (got {}); chunk the campaign",
+            mtl_sim::BATCH_LANES - 1,
+            plans.len()
+        ));
+    }
+    let lanes = plans.len() as u32 + 1;
+    let sim_cfg = SimConfig { lanes: Some(lanes), ..Default::default() };
+    let mut sim = match shared {
+        Some((cache, key)) => {
+            Sim::build_shared(top, Engine::SpecializedBatch, &sim_cfg, cache, key)
+        }
+        None => Sim::build_with_config(top, Engine::SpecializedBatch, &sim_cfg),
+    }
+    .map_err(|e| format!("elaboration failed: {e:?}"))?;
+    for (i, plan) in plans.iter().enumerate() {
+        for inj in plan.to_injections(sim.design())? {
+            sim.inject_lane(1 + i as u32, inj);
+        }
+    }
+    sim.reset();
+
+    // Same probe set as `run_diff`: one representative signal per net
+    // (nets without signals are unobservable in the scalar diff and are
+    // excluded here too, so classifications match exactly).
+    let mut probes: Vec<(usize, mtl_core::SignalId, bool)> = Vec::new();
+    let nnets = {
+        let design = sim.design();
+        for (i, n) in design.nets().iter().enumerate() {
+            let Some(&sig) = n.signals.first() else { continue };
+            let output = n.signals.iter().any(|&s| {
+                let info = design.signal(s);
+                info.kind == SignalKind::OutPort && info.module == design.top()
+            });
+            probes.push((i, sig, output));
+        }
+        design.nets().len()
+    };
+    let probed: std::collections::HashSet<usize> = probes.iter().map(|&(n, _, _)| n).collect();
+
+    let nlanes = plans.len();
+    let mut first_divergence: Vec<Option<u64>> = vec![None; nlanes];
+    let mut detected_at: Vec<Option<u64>> = vec![None; nlanes];
+    // Per net: lanes that ever diverged from golden (bit `1 + i` = plan i).
+    let mut ever: Vec<u64> = vec![0; nnets];
+    let mut fingerprints: Vec<u64> = vec![FNV_OFFSET; nlanes];
+    let mut masks: Vec<u64> = Vec::new();
+    for _ in 0..cycles {
+        let cycle = sim.cycle_count();
+        sim.cycle();
+        if sim.divergence_masks(0, &mut masks) {
+            for &(net, _, output) in &probes {
+                let mut m = masks[net] & !1; // golden's own bit is never set
+                if m == 0 {
+                    continue;
+                }
+                ever[net] |= m;
+                while m != 0 {
+                    let lane = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    first_divergence[lane - 1].get_or_insert(cycle);
+                    if output {
+                        detected_at[lane - 1].get_or_insert(cycle);
+                    }
+                }
+            }
+        }
+        if traced {
+            for &(_, sig, _) in &probes {
+                for (i, fp) in fingerprints.iter_mut().enumerate() {
+                    fnv_fold(fp, sim.peek_lane(1 + i as u32, sig).as_u128());
+                }
+            }
+        }
+    }
+
+    let design = sim.design();
+    let mut reports = Vec::with_capacity(nlanes);
+    for i in 0..nlanes {
+        let bit = 1u64 << (1 + i);
+        let mut blast_radius: Vec<String> = ever
+            .iter()
+            .enumerate()
+            .filter(|&(n, &m)| m & bit != 0 && probed.contains(&n))
+            .map(|(n, _)| design.net_path(mtl_core::NetId::from_index(n)))
+            .collect();
+        blast_radius.sort();
+        blast_radius.dedup();
+        let outcome = if detected_at[i].is_some() {
+            Outcome::Detected
+        } else if first_divergence[i].is_some() {
+            Outcome::Silent
+        } else {
+            Outcome::Masked
+        };
+        reports.push(FaultReport {
+            outcome,
+            first_divergence: first_divergence[i],
+            detected_at: detected_at[i],
+            blast_radius,
+            injected_bits: sim.lane_fault_totals(1 + i as u32).0,
+            cycles,
+            trace_fingerprint: if traced { fingerprints[i] } else { 0 },
+        });
+    }
+    Ok(reports)
+}
+
 /// The simulator configurations [`engine_agreement`] runs: all five
 /// engines, with `SpecializedPar` additionally pinned to 1 and 4 worker
 /// threads (the partitioned double-buffered paths must agree at every

@@ -49,8 +49,8 @@ mod diff;
 mod plan;
 
 pub use diff::{
-    agreement_configs, engine_agreement, run_diff, run_diff_shared, DiffConfig, FaultReport,
-    Outcome,
+    agreement_configs, engine_agreement, run_diff, run_diff_batch, run_diff_batch_shared,
+    run_diff_batch_traced, run_diff_shared, DiffConfig, FaultReport, Outcome,
 };
 pub use plan::{Fault, FaultKind, FaultPlan, PlanSpec, Targets};
 

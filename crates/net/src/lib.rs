@@ -36,8 +36,8 @@ pub use msg::{make_net_msg, net_msg_layout};
 pub use router_cl::RouterCL;
 pub use router_rtl::RouterRTL;
 pub use traffic::{
-    measure_network, measure_network_pattern, MeshTrafficHarness, NetMeasurement, NetStats,
-    TrafficGen, TrafficPattern,
+    measure_network, measure_network_pattern, MeshTrafficHarness, MeshTrafficRtlHarness,
+    NetMeasurement, NetStats, RtlTrafficGen, TrafficGen, TrafficPattern,
 };
 
 /// Router port index: toward smaller y.

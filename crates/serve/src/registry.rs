@@ -28,8 +28,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use mtl_accel::{TileConfig, TileHarness, XcelLevel};
-use mtl_fault::{run_diff_shared, DiffConfig, FaultPlan, Outcome, PlanSpec};
-use mtl_net::{MeshTrafficHarness, NetLevel};
+use mtl_fault::{run_diff_batch_shared, run_diff_shared, DiffConfig, FaultPlan, Outcome, PlanSpec};
+use mtl_net::{MeshTrafficHarness, MeshTrafficRtlHarness, NetLevel};
 use mtl_proc::{CacheLevel, ProcLevel};
 use mtl_sim::{ArtifactCache, Engine, Sim, SimConfig};
 use mtl_sweep::{Campaign, Fnv1a, Job, JobMetrics, Json};
@@ -58,6 +58,7 @@ pub fn parse_engine(s: &str) -> Result<Engine, String> {
         "specialized" => Ok(Engine::Specialized),
         "specialized-opt" => Ok(Engine::SpecializedOpt),
         "specialized-par" => Ok(Engine::SpecializedPar),
+        "specialized-batch" => Ok(Engine::SpecializedBatch),
         other => Err(format!("unknown engine \"{other}\"")),
     }
 }
@@ -164,6 +165,7 @@ fn job_from_spec(spec: &Json, artifacts: &Arc<ArtifactCache>) -> Result<Job, Str
         "tile_cycles" => tile_cycles_job(&name, spec, artifacts)?,
         "mesh_rate" => mesh_rate_job(&name, spec, artifacts)?,
         "fault_chunk" => fault_chunk_job(&name, spec, artifacts)?,
+        "fault_batch_chunk" => fault_batch_chunk_job(&name, spec, artifacts)?,
         other => return Err(format!("unknown job kind \"{other}\"")),
     };
     if let Some(ms) = u64_field(spec, "watchdog_ms") {
@@ -267,6 +269,28 @@ fn mesh_cycles_job(name: &str, spec: &Json, artifacts: &Arc<ArtifactCache>) -> R
     .param("engine", engine))
 }
 
+struct MeshIrParams {
+    nrouters: usize,
+    injection: u32,
+    key: u64,
+}
+
+/// Parameters for the fully-IR mesh ([`MeshTrafficRtlHarness`]): RTL
+/// routers with LFSR traffic generators in hardware, no native blocks —
+/// the only DUT shape the bit-sliced batch engine accepts. The RTL
+/// router grid needs a power-of-two side, so `nrouters` must be a power
+/// of four.
+fn mesh_ir_params(spec: &Json) -> Result<MeshIrParams, String> {
+    let nrouters = u64_field(spec, "nrouters").unwrap_or(16) as usize;
+    if nrouters == 0 || !nrouters.is_power_of_two() || !nrouters.trailing_zeros().is_multiple_of(2)
+    {
+        return Err(format!("\"nrouters\" must be a power of four, got {nrouters}"));
+    }
+    let injection = u64_field(spec, "injection").unwrap_or(200) as u32;
+    let key = compile_key(&["mesh-ir", &nrouters.to_string(), &injection.to_string()]);
+    Ok(MeshIrParams { nrouters, injection, key })
+}
+
 struct TileParams {
     config: TileConfig,
     key: u64,
@@ -354,9 +378,10 @@ fn mesh_rate_job(name: &str, spec: &Json, artifacts: &Arc<ArtifactCache>) -> Res
 /// from server-side results) — but built through [`run_diff_shared`],
 /// so every trial of every campaign reuses one compile of the design.
 fn fault_chunk_job(name: &str, spec: &Json, artifacts: &Arc<ArtifactCache>) -> Result<Job, String> {
-    let dut = str_field(spec, "dut").ok_or("fault_chunk needs \"dut\" (mesh|tile)")?;
+    let dut = str_field(spec, "dut").ok_or("fault_chunk needs \"dut\" (mesh|mesh-ir|tile)")?;
     enum Dut {
         Mesh(NetLevel, usize, u32),
+        MeshIr(usize, u32),
         Tile(TileConfig),
     }
     let (dut, key) = match dut.as_str() {
@@ -364,11 +389,15 @@ fn fault_chunk_job(name: &str, spec: &Json, artifacts: &Arc<ArtifactCache>) -> R
             let p = mesh_params(spec)?;
             (Dut::Mesh(p.level, p.nrouters, p.injection), p.key)
         }
+        "mesh-ir" => {
+            let p = mesh_ir_params(spec)?;
+            (Dut::MeshIr(p.nrouters, p.injection), p.key)
+        }
         "tile" => {
             let p = tile_params(spec)?;
             (Dut::Tile(p.config), p.key)
         }
-        other => return Err(format!("unknown dut \"{other}\" (expected mesh|tile)")),
+        other => return Err(format!("unknown dut \"{other}\" (expected mesh|mesh-ir|tile)")),
     };
     let chunk = u64_field(spec, "chunk").unwrap_or(0) as u32;
     let trials = u64_field(spec, "trials").unwrap_or(2);
@@ -378,11 +407,13 @@ fn fault_chunk_job(name: &str, spec: &Json, artifacts: &Arc<ArtifactCache>) -> R
     let artifacts = artifacts.clone();
     let dut_label = match &dut {
         Dut::Mesh(level, n, _) => format!("mesh{n}/{level}"),
+        Dut::MeshIr(n, _) => format!("mesh{n}/rtl-ir"),
         Dut::Tile(c) => format!("tile/{}", c.proc),
     };
     let job = Job::new(name, move |ctx| {
         let top: Box<dyn mtl_core::Component> = match &dut {
             Dut::Mesh(level, n, inj) => Box::new(MeshTrafficHarness::new(*level, *n, *inj, 0xBEEF)),
+            Dut::MeshIr(n, inj) => Box::new(MeshTrafficRtlHarness::new(*n, *inj, 0xBEEF)),
             Dut::Tile(config) => {
                 Box::new(TileHarness::new(*config, 1 << 10, vec![3, 1, 4, 1, 5, 9]))
             }
@@ -437,6 +468,109 @@ fn fault_chunk_job(name: &str, spec: &Json, artifacts: &Arc<ArtifactCache>) -> R
     Ok(job)
 }
 
+/// One bit-sliced fault bundle, mirroring `fault_sweep`'s batch job and
+/// metric keys exactly: up to 63 plans share a single
+/// `Engine::SpecializedBatch` pass (lane 0 golden, one plan per faulty
+/// lane) through [`run_diff_batch_shared`], then the leading
+/// `scalar_sample` plans are re-run through scalar [`run_diff_shared`]
+/// — both as the throughput baseline and as an in-campaign agreement
+/// check (the job fails on any field mismatch). Only the fully-IR mesh
+/// DUT qualifies; native blocks cannot be bit-sliced. Uncacheable: the
+/// speedup metrics are wall-clock rates.
+fn fault_batch_chunk_job(
+    name: &str,
+    spec: &Json,
+    artifacts: &Arc<ArtifactCache>,
+) -> Result<Job, String> {
+    let p = mesh_ir_params(spec)?;
+    let chunk = u64_field(spec, "chunk").unwrap_or(0) as u32;
+    let trials = u64_field(spec, "trials").unwrap_or(15);
+    if trials == 0 || trials > 63 {
+        return Err(format!(
+            "\"trials\" must be 1..=63 (one lane per plan + golden), got {trials}"
+        ));
+    }
+    let sample = u64_field(spec, "scalar_sample").unwrap_or(2).min(trials);
+    let cycles = u64_field(spec, "cycles").unwrap_or(60);
+    let faults = u64_field(spec, "faults").unwrap_or(1) as usize;
+    let artifacts = artifacts.clone();
+    let (nrouters, injection, key) = (p.nrouters, p.injection, p.key);
+    let job = Job::new(name, move |ctx| {
+        let top = MeshTrafficRtlHarness::new(nrouters, injection, 0xBEEF);
+        let probe =
+            Sim::build_shared(&top, Engine::Interpreted, &SimConfig::default(), &artifacts, key)
+                .map_err(|e| format!("elaboration failed: {e:?}"))?;
+        let window = PlanSpec::new(faults, 2, 1 + cycles.max(1));
+        let plans: Vec<FaultPlan> = (0..trials)
+            .map(|t| {
+                let seed = mix(ctx.seed, (u64::from(chunk) << 32) | t);
+                FaultPlan::random(seed, probe.design(), &window)
+            })
+            .collect();
+        drop(probe);
+        let t0 = std::time::Instant::now();
+        let reports = run_diff_batch_shared(&top, &plans, cycles, &artifacts, key)?;
+        let batch_secs = t0.elapsed().as_secs_f64().max(1e-9);
+        let cfg = DiffConfig::new(Engine::SpecializedOpt, cycles);
+        let t1 = std::time::Instant::now();
+        let mut tally_reports = Vec::new();
+        for (i, plan) in plans.iter().enumerate() {
+            if (i as u64) < sample {
+                let scalar = run_diff_shared(&top, plan, &cfg, &artifacts, key)?;
+                let mut lane = reports[i].clone();
+                // Campaign-mode batch reports carry no trace fingerprint.
+                lane.trace_fingerprint = scalar.trace_fingerprint;
+                if lane != scalar {
+                    return Err(format!(
+                        "batch lane disagrees with scalar run on trial {i}: \
+                         batch {lane:?} vs scalar {scalar:?}"
+                    ));
+                }
+            }
+            tally_reports.push(&reports[i]);
+        }
+        let scalar_secs = t1.elapsed().as_secs_f64().max(1e-9);
+        let (mut masked, mut silent, mut detected, mut diverged) = (0u64, 0u64, 0u64, 0u64);
+        let (mut sum_first_div, mut sum_blast, mut injected_bits) = (0u64, 0u64, 0u64);
+        for report in tally_reports {
+            match report.outcome {
+                Outcome::Masked => masked += 1,
+                Outcome::Silent => silent += 1,
+                Outcome::Detected => detected += 1,
+            }
+            if let Some(c) = report.first_divergence {
+                diverged += 1;
+                sum_first_div += c;
+                sum_blast += report.blast_radius.len() as u64;
+            }
+            injected_bits += report.injected_bits;
+        }
+        let batch_rate = trials as f64 / batch_secs;
+        let scalar_rate = sample as f64 / scalar_secs;
+        Ok(JobMetrics::new()
+            .det("trials", trials)
+            .det("masked", masked)
+            .det("silent", silent)
+            .det("detected", detected)
+            .det("diverged", diverged)
+            .det("sum_first_divergence", sum_first_div)
+            .det("sum_blast_radius", sum_blast)
+            .det("injected_bits", injected_bits)
+            .det("scalar_sample", sample)
+            .timing("batch_trials_per_sec", batch_rate)
+            .timing("scalar_trials_per_sec", scalar_rate)
+            .timing("batch_speedup", batch_rate / scalar_rate))
+    })
+    .uncacheable()
+    .param("kind", "fault_batch_chunk")
+    .param("dut", format!("mesh{nrouters}/rtl-ir"))
+    .param("chunk", chunk)
+    .param("engine", Engine::SpecializedBatch)
+    .param("cycles", cycles)
+    .param("faults_per_trial", faults);
+    Ok(job)
+}
+
 /// SplitMix64 finalizer — the same per-trial seed derivation as
 /// `fault_sweep`, so serve-side fault chunks reproduce the standalone
 /// campaign's plans bit for bit.
@@ -462,7 +596,11 @@ mod tests {
         let good = spec(
             r#"{"name":"a","seed":7,"no_cache":true,"jobs":[
                 {"kind":"sleep_ms","name":"s1","ms":1},
-                {"kind":"mesh_cycles","name":"m1","level":"FL","nrouters":4,"cycles":5}
+                {"kind":"mesh_cycles","name":"m1","level":"FL","nrouters":4,"cycles":5},
+                {"kind":"fault_chunk","name":"f1","dut":"mesh-ir","nrouters":4,
+                 "trials":1,"cycles":5},
+                {"kind":"fault_batch_chunk","name":"b1","nrouters":4,"trials":3,
+                 "scalar_sample":1,"cycles":5}
             ]}"#,
         );
         assert!(campaign_from_spec(&good, &defaults, &artifacts).is_ok());
@@ -475,6 +613,8 @@ mod tests {
             r#"{"name":"a","jobs":[{"kind":"mesh_cycles","name":"m","level":"XL"}]}"#,
             r#"{"name":"a","jobs":[{"kind":"mesh_cycles","name":"m","level":"FL","nrouters":7}]}"#,
             r#"{"name":"a","jobs":[{"kind":"fault_chunk","name":"f","dut":"ufo"}]}"#,
+            r#"{"name":"a","jobs":[{"kind":"fault_chunk","name":"f","dut":"mesh-ir","nrouters":8}]}"#,
+            r#"{"name":"a","jobs":[{"kind":"fault_batch_chunk","name":"b","nrouters":4,"trials":64}]}"#,
         ] {
             assert!(campaign_from_spec(&spec(bad), &defaults, &artifacts).is_err(), "{bad}");
         }

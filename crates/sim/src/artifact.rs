@@ -57,6 +57,23 @@ pub(crate) struct TapeArtifact {
     pub(crate) report: Option<crate::passes::OptReport>,
 }
 
+/// The shareable output of `SpecializedBatch` construction: the scalar
+/// fused tapes lowered to bit-sliced plane programs. Pure data like
+/// [`TapeArtifact`]; the per-instance plane state is rebuilt per
+/// simulator. Keyed by the same `optimized` flag as the tape layer —
+/// the plane layout mirrors the tape it was lowered from, so the
+/// fingerprint covers what actually executes.
+pub(crate) struct BatchArtifact {
+    pub(crate) progs: Arc<crate::batch::BatchProgs>,
+    /// Structural digest of the design the planes were lowered from.
+    pub(crate) shape: u64,
+    /// Whether the tape optimizer ran before lowering.
+    pub(crate) optimized: bool,
+    /// Pass report replayed to cache-hit consumers (same as the tape
+    /// artifact's).
+    pub(crate) report: Option<crate::passes::OptReport>,
+}
+
 #[derive(Default)]
 struct Entry {
     design: Option<Arc<Design>>,
@@ -64,6 +81,8 @@ struct Entry {
     event: Option<Arc<TapeArtifact>>,
     /// `SpecializedOpt` (static-mode) artifact: tapes plus fused plans.
     fused: Option<Arc<TapeArtifact>>,
+    /// `SpecializedBatch` artifact: the fused plans lowered to planes.
+    batch: Option<Arc<BatchArtifact>>,
 }
 
 /// Counter snapshot from [`ArtifactCache::stats`].
@@ -78,6 +97,11 @@ pub struct ArtifactStats {
     pub shape_rejected: u64,
     /// Elaborations skipped by reusing a cached native-free design.
     pub design_hits: u64,
+    /// Batch-plane lookups satisfied from the cache (tape lowering
+    /// skipped).
+    pub batch_hits: u64,
+    /// Batch-plane lookups that lowered fresh.
+    pub batch_misses: u64,
     /// Distinct fingerprints currently cached.
     pub entries: u64,
 }
@@ -104,6 +128,8 @@ pub struct ArtifactCache {
     tape_misses: AtomicU64,
     shape_rejected: AtomicU64,
     design_hits: AtomicU64,
+    batch_hits: AtomicU64,
+    batch_misses: AtomicU64,
 }
 
 impl ArtifactCache {
@@ -118,6 +144,8 @@ impl ArtifactCache {
             tape_misses: self.tape_misses.load(Ordering::Relaxed),
             shape_rejected: self.shape_rejected.load(Ordering::Relaxed),
             design_hits: self.design_hits.load(Ordering::Relaxed),
+            batch_hits: self.batch_hits.load(Ordering::Relaxed),
+            batch_misses: self.batch_misses.load(Ordering::Relaxed),
             entries: self.entries.lock().unwrap_or_else(|e| e.into_inner()).len() as u64,
         }
     }
@@ -206,6 +234,44 @@ impl ArtifactCache {
         let entry = entries.entry(key).or_default();
         let slot = if event_mode { &mut entry.event } else { &mut entry.fused };
         slot.get_or_insert_with(|| Arc::new(artifact));
+    }
+
+    /// Looks up the batch-plane artifact for `key`, with the same
+    /// optimizer-setting filter and structural shape guard as
+    /// [`ArtifactCache::lookup_tape`].
+    pub(crate) fn lookup_batch(
+        &self,
+        key: u64,
+        optimized: bool,
+        design: &Design,
+    ) -> Option<Arc<BatchArtifact>> {
+        let found = self
+            .entries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&key)
+            .and_then(|e| e.batch.clone())
+            .filter(|a| a.optimized == optimized);
+        match found {
+            Some(artifact) if artifact.shape == shape_of(design) => {
+                self.batch_hits.fetch_add(1, Ordering::Relaxed);
+                Some(artifact)
+            }
+            Some(_) => {
+                self.shape_rejected.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                self.batch_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly lowered batch artifact (first writer wins).
+    pub(crate) fn store_batch(&self, key: u64, artifact: BatchArtifact) {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        entries.entry(key).or_default().batch.get_or_insert_with(|| Arc::new(artifact));
     }
 }
 

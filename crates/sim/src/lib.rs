@@ -13,6 +13,7 @@
 //! | [`Engine::Specialized`] | SimJIT | IR compiled to a linear tape VM, event-driven dispatch |
 //! | [`Engine::SpecializedOpt`] | SimJIT+PyPy | tape VM plus fully static levelized schedule |
 //! | [`Engine::SpecializedPar`] | multithreaded codegen (e.g. Verilator `--threads`) | fused tapes partitioned into connected components, run on worker threads with double-buffered register nets and a per-cycle barrier |
+//! | [`Engine::SpecializedBatch`] | word-parallel campaign simulation (e.g. bit-sliced fault/fuzz harnesses) | fused tapes lowered to bit-plane programs; one `u64` word per net bit holds 64 independent trial lanes |
 //!
 //! All engines implement identical simulation semantics; the test suite
 //! checks trace equivalence on randomized designs. Construction overheads
@@ -24,6 +25,7 @@
 //! module docs for the metric split.
 
 mod artifact;
+mod batch;
 mod interp;
 mod overheads;
 mod par;
@@ -34,6 +36,7 @@ mod tape;
 mod vcd;
 
 pub use artifact::{ArtifactCache, ArtifactStats};
+pub use batch::LANES as BATCH_LANES;
 pub use overheads::Overheads;
 pub use par::default_threads;
 pub use passes::{OptReport, PassStat};

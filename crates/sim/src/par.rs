@@ -55,8 +55,16 @@ use crate::tape::{
 /// least 1), else available parallelism capped at 8.
 pub fn default_threads() -> usize {
     if let Ok(s) = std::env::var("MTL_SIM_THREADS") {
-        if let Ok(n) = s.trim().parse::<usize>() {
-            return n.max(1);
+        match s.trim().parse::<usize>() {
+            Ok(n) => return n.max(1),
+            Err(_) => {
+                // A typo never silently changes semantics: say what was
+                // ignored rather than quietly falling back.
+                eprintln!(
+                    "mtl-sim: unrecognized MTL_SIM_THREADS={s} \
+                     (expected a positive integer); using default"
+                );
+            }
         }
     }
     available_cores().min(8)

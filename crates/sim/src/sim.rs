@@ -42,10 +42,24 @@ pub enum Engine {
     /// count comes from `MTL_SIM_THREADS` (default: available cores,
     /// capped at 8) or [`SimConfig::threads`].
     SpecializedPar,
+    /// Bit-sliced batch engine: the `SpecializedOpt` tapes lowered to a
+    /// plane evaluator where each net bit is one `u64` word holding that
+    /// bit across 64 independent trial lanes, so one pass over the tape
+    /// advances 64 fault/fuzz trials at once. Lane-exact with
+    /// `SpecializedOpt` per lane (the differential suites assert it).
+    /// Per-lane stimulus and faults go through [`Sim::poke_lane`] /
+    /// [`Sim::inject_lane`]; divergence against a golden lane is read
+    /// with [`Sim::divergence_masks`]. Native blocks are not supported
+    /// (a native closure is one stateful instance, not 64).
+    SpecializedBatch,
 }
 
 impl Engine {
-    /// All engines, in increasing order of specialization.
+    /// The five scalar engines, in increasing order of specialization.
+    /// [`Engine::SpecializedBatch`] is deliberately excluded: it is
+    /// lane-parallel and opt-in (no native-block support), while every
+    /// `ALL` consumer iterates single-lane engines over arbitrary
+    /// designs.
     pub const ALL: [Engine; 5] = [
         Engine::Interpreted,
         Engine::InterpretedOpt,
@@ -63,6 +77,7 @@ impl std::fmt::Display for Engine {
             Engine::Specialized => "specialized",
             Engine::SpecializedOpt => "specialized-opt",
             Engine::SpecializedPar => "specialized-par",
+            Engine::SpecializedBatch => "specialized-batch",
         };
         write!(f, "{s}")
     }
@@ -82,17 +97,41 @@ pub struct SimConfig {
     /// disables), defaulting to enabled. The interpreters compile no
     /// tapes and ignore it.
     pub tape_opt: Option<bool>,
+    /// Active lane count for [`Engine::SpecializedBatch`], clamped to
+    /// `1..=64`. `None` means all 64 lanes. State storage is always 64
+    /// lanes wide (one `u64` plane word per net bit); inactive lanes
+    /// receive the same broadcast stimulus as lane 0 and are excluded
+    /// from [`Sim::divergence_masks`]. Other engines ignore it.
+    pub lanes: Option<u32>,
 }
 
 impl SimConfig {
     /// Resolves [`SimConfig::tape_opt`] against the environment.
+    ///
+    /// `MTL_TAPE_OPT` is parsed case-insensitively (so `OFF` and `off`
+    /// both disable the optimizer) and an unrecognized value prints a
+    /// note and leaves the optimizer on — a typo never silently changes
+    /// semantics (the same rule as [`lint_gate`]).
     pub fn tape_opt_enabled(&self) -> bool {
-        self.tape_opt.unwrap_or_else(|| {
-            !matches!(
-                std::env::var("MTL_TAPE_OPT").as_deref(),
-                Ok("0") | Ok("off") | Ok("false") | Ok("no")
-            )
+        self.tape_opt.unwrap_or_else(|| match std::env::var("MTL_TAPE_OPT") {
+            Err(_) => true,
+            Ok(s) => match s.trim().to_ascii_lowercase().as_str() {
+                "0" | "off" | "false" | "no" => false,
+                "" | "1" | "on" | "true" | "yes" => true,
+                _ => {
+                    eprintln!(
+                        "mtl-sim: unrecognized MTL_TAPE_OPT={s} \
+                         (expected 0|off|false|no or 1|on|true|yes); optimizer on"
+                    );
+                    true
+                }
+            },
         })
+    }
+
+    /// Resolves [`SimConfig::lanes`] to the active lane count (1..=64).
+    pub fn batch_lanes(&self) -> u32 {
+        self.lanes.map_or(crate::batch::LANES, |n| n.clamp(1, crate::batch::LANES))
     }
 }
 
@@ -137,6 +176,41 @@ pub(crate) trait EngineImpl {
     /// (no tapes) and optimizer-off builds return `None`.
     fn opt_report(&self) -> Option<&OptReport> {
         None
+    }
+    // Lane (batch-engine) primitives. Scalar engines keep the defaults:
+    // a single lane aliasing the ordinary poke/peek path and no per-lane
+    // fault support.
+    /// Active trial lanes this backend simulates (1 for scalar engines).
+    fn lane_count(&self) -> u32 {
+        1
+    }
+    /// Drives a net on one lane only (other lanes keep their values).
+    fn poke_lane(&mut self, lane: u32, slot: u32, v: Bits) {
+        assert_eq!(lane, 0, "scalar engine has a single lane");
+        self.poke(slot, v);
+    }
+    /// Reads a net's value on one lane.
+    fn peek_lane(&self, lane: u32, slot: u32) -> Bits {
+        assert_eq!(lane, 0, "scalar engine has a single lane");
+        self.peek(slot)
+    }
+    /// Installs a fault on one lane (batch engine only; the batch
+    /// backend applies the same forced-settle protocol as the wrapper,
+    /// per lane, so lanes stay bit-exact with scalar faulty traces).
+    fn inject_lane(&mut self, _lane: u32, _fault: FaultState) {
+        unreachable!("per-lane injection requires Engine::SpecializedBatch");
+    }
+    /// Fills `out` with one mask per net: bit `L` set iff lane `L`'s
+    /// value of that net differs from lane `golden`'s, restricted to
+    /// active lanes. Returns true iff any mask is non-zero; false
+    /// (leaving `out` untouched) on engines without lanes.
+    fn divergence_masks(&self, _golden: u32, _out: &mut Vec<u64>) -> bool {
+        false
+    }
+    /// `(injected_bits, faulted_cycles)` accumulated on one lane by
+    /// per-lane faults (zeros on scalar engines).
+    fn lane_fault_totals(&self, _lane: u32) -> (u64, u64) {
+        (0, 0)
     }
 }
 
@@ -191,31 +265,34 @@ pub struct Injection {
 }
 
 /// An installed fault: the [`Injection`] resolved to a net slot.
-struct FaultState {
-    slot: u32,
-    width: u32,
-    is_reg: bool,
-    mask: u128,
-    kind: InjectKind,
-    cycle: u64,
-    duration: u64,
+/// `pub(crate)` so the batch backend can run the same wrapper protocol
+/// per lane.
+#[derive(Clone, Copy)]
+pub(crate) struct FaultState {
+    pub(crate) slot: u32,
+    pub(crate) width: u32,
+    pub(crate) is_reg: bool,
+    pub(crate) mask: u128,
+    pub(crate) kind: InjectKind,
+    pub(crate) cycle: u64,
+    pub(crate) duration: u64,
 }
 
 impl FaultState {
     /// Whether the fault disturbs the pre-edge settle of `cycle`.
-    fn active_pre(&self, cycle: u64) -> bool {
+    pub(crate) fn active_pre(&self, cycle: u64) -> bool {
         cycle >= self.cycle && cycle - self.cycle < self.duration
     }
 
     /// Whether the fault is still forced after the edge of `cycle`
     /// (stuck-at faults only; a flip is a one-shot disturbance whose
     /// persistence comes from state that latched it).
-    fn active_post(&self, cycle: u64) -> bool {
+    pub(crate) fn active_post(&self, cycle: u64) -> bool {
         self.kind != InjectKind::Flip && self.active_pre(cycle)
     }
 
     /// The forced value given a freshly driven clean value `v`.
-    fn apply(&self, v: u128, width_mask: u128) -> u128 {
+    pub(crate) fn apply(&self, v: u128, width_mask: u128) -> u128 {
         let forced = match self.kind {
             InjectKind::Flip => v ^ self.mask,
             InjectKind::StuckAt0 => v & !self.mask,
@@ -412,6 +489,47 @@ impl Sim {
                 cfg.tape_opt_enabled(),
                 overheads,
             )),
+            Engine::SpecializedBatch => {
+                assert!(
+                    natives.iter().all(Option::is_none),
+                    "Engine::SpecializedBatch does not support native blocks: a native \
+                     closure is one stateful instance, not 64 lanes. Use an IR-level \
+                     (RTL) model or a scalar engine."
+                );
+                let opt = cfg.tape_opt_enabled();
+                let lanes = cfg.batch_lanes();
+                // The batch lowering consumes the scalar fused-tape
+                // artifact, so both layers go through the shared cache:
+                // a batch hit skips everything, a tape hit still skips
+                // comp/cgen and only re-lowers the planes.
+                if let Some(b) = shared.and_then(|(c, k)| c.lookup_batch(k, opt, design)) {
+                    return Box::new(crate::batch::BatchEngine::from_artifact(
+                        design.clone(),
+                        b,
+                        lanes,
+                        overheads,
+                    ));
+                }
+                let reuse = shared.and_then(|(c, k)| c.lookup_tape(k, false, opt, design));
+                let fresh = reuse.is_none();
+                let tape_eng =
+                    TapeEngine::new(design.clone(), natives, false, opt, overheads, reuse);
+                if fresh {
+                    if let Some((cache, key)) = shared {
+                        cache.store_tape(key, false, tape_eng.artifact());
+                    }
+                }
+                let eng = crate::batch::BatchEngine::lower(
+                    design.clone(),
+                    &tape_eng.artifact(),
+                    lanes,
+                    overheads,
+                );
+                if let Some((cache, key)) = shared {
+                    cache.store_batch(key, eng.artifact());
+                }
+                Box::new(eng)
+            }
         }
     }
 
@@ -655,6 +773,31 @@ impl Sim {
     /// net (e.g. a top-level input: nothing would restore it after the
     /// fault expires — drive stimulus through `poke` instead).
     pub fn inject(&mut self, inj: Injection) {
+        let fault = self.resolve_fault(inj);
+        if self.backend.lane_count() > 1 {
+            // On the batch engine a wrapper-level fault is a broadcast:
+            // the backend runs the identical forced-settle protocol on
+            // every active lane, so each lane's trace is byte-identical
+            // to a scalar engine with the same injection.
+            for lane in 0..self.backend.lane_count() {
+                self.backend.inject_lane(lane, fault);
+            }
+            return;
+        }
+        if self.inject_sched.is_empty() {
+            self.inject_sched = self
+                .design
+                .comb_schedule()
+                .expect("design validated at elaboration")
+                .iter()
+                .map(|b| b.index() as u32)
+                .collect();
+        }
+        self.faults.push(fault);
+    }
+
+    /// Validates an [`Injection`] and resolves it to a [`FaultState`].
+    fn resolve_fault(&self, inj: Injection) -> FaultState {
         let net = self.design.net_of(inj.sig);
         let slot = net.index() as u32;
         let info = &self.design.nets()[net.index()];
@@ -672,16 +815,7 @@ impl Sim {
             "injection target `{path}` is an undriven non-register net; \
              poke stimulus instead of injecting faults on inputs"
         );
-        if self.inject_sched.is_empty() {
-            self.inject_sched = self
-                .design
-                .comb_schedule()
-                .expect("design validated at elaboration")
-                .iter()
-                .map(|b| b.index() as u32)
-                .collect();
-        }
-        self.faults.push(FaultState {
+        FaultState {
             slot,
             width: info.width,
             is_reg: info.is_register,
@@ -689,18 +823,94 @@ impl Sim {
             kind: inj.kind,
             cycle: inj.cycle,
             duration: inj.duration,
-        });
+        }
     }
 
     /// Total disturbed bits so far (one per masked bit per faulted
-    /// cycle).
+    /// cycle). On the batch engine this reports lane 0 (the conventional
+    /// golden/reference lane); use [`Sim::lane_fault_totals`] for other
+    /// lanes.
     pub fn injected_bits(&self) -> u64 {
-        self.injected_bits
+        self.injected_bits + self.backend.lane_fault_totals(0).0
     }
 
-    /// Cycles simulated so far on which at least one fault was active.
+    /// Cycles simulated so far on which at least one fault was active
+    /// (lane 0 on the batch engine).
     pub fn faulted_cycle_count(&self) -> u64 {
-        self.faulted_cycles
+        self.faulted_cycles + self.backend.lane_fault_totals(0).1
+    }
+
+    /// Active trial lanes: 1 on the scalar engines, the configured lane
+    /// count (up to 64) on [`Engine::SpecializedBatch`].
+    pub fn lane_count(&self) -> u32 {
+        self.backend.lane_count()
+    }
+
+    /// Drives a top-level input port on one lane only (batch engine).
+    /// Lane 0 of a batch simulator with no other per-lane state is
+    /// bit-exact with a scalar engine receiving the same pokes.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`Sim::poke`], or if `lane` is out of range.
+    pub fn poke_lane(&mut self, lane: u32, sig: SignalId, v: Bits) {
+        let info = self.design.signal(sig);
+        assert!(
+            info.kind == SignalKind::InPort && info.module == self.design.top(),
+            "poke target `{}` is not a top-level input port",
+            self.design.signal_path(sig)
+        );
+        assert_eq!(info.width, v.width(), "poke width mismatch on `{}`", info.name);
+        assert!(lane < self.backend.lane_count(), "lane {lane} out of range");
+        self.backend.poke_lane(lane, self.design.net_of(sig).index() as u32, v);
+    }
+
+    /// Reads the current value of any signal on one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn peek_lane(&self, lane: u32, sig: SignalId) -> Bits {
+        assert!(lane < self.backend.lane_count(), "lane {lane} out of range");
+        self.backend.peek_lane(lane, self.design.net_of(sig).index() as u32)
+    }
+
+    /// Installs a scheduled fault on one lane of a batch simulator. The
+    /// batch backend applies the wrapper's forced-settle protocol (see
+    /// [`Sim::inject`]) lane by lane, so each faulted lane's trace is
+    /// byte-identical to a scalar engine running that lane's fault set
+    /// alone — the property the fault differential suite asserts.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`Sim::inject`], if `lane` is out of range, or if
+    /// this simulator is not running [`Engine::SpecializedBatch`].
+    pub fn inject_lane(&mut self, lane: u32, inj: Injection) {
+        assert!(
+            self.backend.lane_count() > 1,
+            "inject_lane requires Engine::SpecializedBatch with more than one lane"
+        );
+        assert!(lane < self.backend.lane_count(), "lane {lane} out of range");
+        let fault = self.resolve_fault(inj);
+        self.backend.inject_lane(lane, fault);
+    }
+
+    /// Fills `out` with one mask per net (indexed by
+    /// [`NetId::index`](mtl_core::NetId::index)): bit `L` is set iff
+    /// lane `L`'s settled value of that net differs from lane `golden`'s,
+    /// restricted to active lanes. Returns `true` iff any lane diverged
+    /// anywhere, `false` (leaving `out` untouched) on scalar engines.
+    /// This is the batch campaign's
+    /// divergence detector: one XOR-and-reduce pass over the plane state
+    /// classifies all lanes at once.
+    pub fn divergence_masks(&self, golden: u32, out: &mut Vec<u64>) -> bool {
+        self.backend.divergence_masks(golden, out)
+    }
+
+    /// `(injected_bits, faulted_cycles)` accumulated on one lane by
+    /// per-lane faults (batch engine; zeros on scalar engines).
+    pub fn lane_fault_totals(&self, lane: u32) -> (u64, u64) {
+        self.backend.lane_fault_totals(lane)
     }
 
     /// Indices of faults active at `now` (post-edge window if `post`).
@@ -1400,7 +1610,7 @@ pub(crate) enum Chunk {
     Native(u32),
 }
 
-struct TapeEngine {
+pub(crate) struct TapeEngine {
     design: Arc<Design>,
     cur: Vec<u128>,
     next: Vec<u128>,
@@ -1491,7 +1701,7 @@ impl SignalView for PackedView<'_> {
 }
 
 impl TapeEngine {
-    fn new(
+    pub(crate) fn new(
         design: Arc<Design>,
         natives: Vec<Option<NativeFn>>,
         event_mode: bool,
@@ -1721,7 +1931,7 @@ impl TapeEngine {
     /// Snapshots the shareable compile output (tapes + fused plans) for
     /// [`crate::ArtifactCache`]; cheap — three `Arc` clones plus the
     /// shape digest and the (small) pass report.
-    fn artifact(&self) -> crate::artifact::TapeArtifact {
+    pub(crate) fn artifact(&self) -> crate::artifact::TapeArtifact {
         crate::artifact::TapeArtifact {
             tapes: self.tapes.clone(),
             comb_plan: self.comb_plan.clone(),

@@ -7,9 +7,9 @@
 #       configuration (all five engines + specialized-par at 1/4
 #       threads);
 #   (b) checkpoint/resume smoke: the fault_sweep --smoke campaign is
-#       killed after two jobs (RUSTMTL_SWEEP_EXIT_AFTER) and restarted;
-#       the restart must replay exactly the journalled jobs and
-#       recompute none of them;
+#       killed after two of its five jobs (RUSTMTL_SWEEP_EXIT_AFTER)
+#       and restarted; the restart must replay exactly the journalled
+#       jobs and recompute none of them;
 #   (c) watchdog smoke: injected hangs (RUSTMTL_SWEEP_INJECT_HANG) are
 #       killed by the per-job watchdog and the campaign still completes
 #       every healthy job.
@@ -25,7 +25,7 @@ cargo run -p mtl-bench --release --bin fuzz -- --fault --iters 15 --seed 7
 JOURNAL=target/sweep-journal/ci_fault_smoke.jsonl
 rm -f "$JOURNAL"
 
-echo "== resume smoke: kill fault_sweep --smoke after 2 of 4 jobs"
+echo "== resume smoke: kill fault_sweep --smoke after 2 of 5 jobs"
 set +e
 RUSTMTL_SWEEP_CACHE=0 RUSTMTL_SWEEP_EXIT_AFTER=2 RUSTMTL_BENCH_DIR=target \
     cargo run -q -p mtl-bench --release --bin fault_sweep -- \
@@ -43,20 +43,22 @@ out=$(RUSTMTL_SWEEP_CACHE=0 RUSTMTL_BENCH_DIR=target \
     --smoke --journal "$JOURNAL")
 echo "$out" | grep -q "2 replayed from journal" || {
     echo "$out"; echo "FAIL: resume did not replay the journalled jobs"; exit 1; }
-echo "$out" | grep -q "2 executed" || {
+echo "$out" | grep -q "3 executed" || {
     echo "$out"; echo "FAIL: resume recomputed already-finished jobs"; exit 1; }
 echo "$out" | grep -q "0 failed" || {
     echo "$out"; echo "FAIL: resumed campaign had failures"; exit 1; }
 
 echo "== watchdog smoke: injected hangs must time out; healthy jobs must finish"
 rm -f "$JOURNAL"
-out=$(RUSTMTL_SWEEP_CACHE=0 RUSTMTL_SWEEP_INJECT_HANG=mesh RUSTMTL_BENCH_DIR=target \
+out=$(RUSTMTL_SWEEP_CACHE=0 RUSTMTL_SWEEP_INJECT_HANG=mesh16 RUSTMTL_BENCH_DIR=target \
     cargo run -q -p mtl-bench --release --bin fault_sweep -- \
     --smoke --journal "$JOURNAL" --watchdog-ms 300)
 echo "$out" | grep -q "2 timed out" || {
     echo "$out"; echo "FAIL: watchdog did not kill the injected hangs"; exit 1; }
-# 4 jobs attempted (2 healthy + 2 hung), and only the hung pair failed.
-echo "$out" | grep -q "4 executed" || {
+# 5 jobs attempted (3 healthy, incl. the batch bundle, + 2 hung); only
+# the hung pair failed. The hang substring is mesh16 so the mesh4 batch
+# job stays healthy.
+echo "$out" | grep -q "5 executed" || {
     echo "$out"; echo "FAIL: not every job was attempted"; exit 1; }
 echo "$out" | grep -q "2 failed" || {
     echo "$out"; echo "FAIL: healthy jobs did not complete alongside the hangs"; exit 1; }

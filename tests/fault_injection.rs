@@ -124,6 +124,148 @@ fn taxonomy_classes_all_occur_on_real_designs() {
     assert_eq!(seen.len(), 3, "expected all of masked/silent/detected, saw {seen:?}");
 }
 
+/// A design built of exactly the nets the tape optimizer's
+/// const-hoist/const-fold passes prey on: a wire driven by a literal
+/// constant, a register re-loaded from a constant every cycle, and
+/// consumers of both. Fault injection must perturb these nets the same
+/// way whether or not the optimizer ran — a hoisted or folded constant
+/// is still a *net* the wrapper forces and washes.
+struct ConstDriven;
+
+impl Component for ConstDriven {
+    fn name(&self) -> String {
+        "ConstDriven".into()
+    }
+    fn build(&self, c: &mut rustmtl::core::Ctx) {
+        use rustmtl::core::Expr;
+        let inp = c.in_port("inp", 8);
+        let k = c.wire("k", 8); // const-driven comb net
+        let kreg = c.wire("kreg", 8); // register always re-loaded from a const
+        let mix = c.wire("mix", 8);
+        let out = c.out_port("out", 8);
+        c.comb("konst", |b| b.assign(k, Expr::k(8, 0x5A)));
+        c.seq("load", |b| b.assign(kreg, Expr::k(8, 0x33)));
+        c.comb("mix", |b| b.assign(mix, k ^ inp));
+        c.comb("fold", |b| b.assign(out, mix & kreg));
+    }
+}
+
+/// The const-hoist regression proper: stuck-at and flip faults on
+/// const-driven nets produce bit-identical traces on every engine, with
+/// the optimizer pass pipeline both enabled and disabled; the forced
+/// value is visible mid-window and washes back to the constant after the
+/// fault expires.
+#[test]
+fn const_driven_nets_perturb_all_engine_configs_identically() {
+    use rustmtl::bits::Bits;
+    use rustmtl::fault::{Fault, FaultKind};
+    use rustmtl::sim::SimConfig;
+
+    let plan = FaultPlan::explicit(vec![
+        // Stuck-at-0 across three bits of the const wire (0x5A has bits
+        // 1, 3, 4, 6 set; knocking out 1 and 6 is observable).
+        Fault { target: "k".into(), bit: 1, kind: FaultKind::StuckAt0, cycle: 3, duration: 3 },
+        Fault { target: "k".into(), bit: 6, kind: FaultKind::StuckAt0, cycle: 3, duration: 3 },
+        // Stuck-at-1 on a cleared bit of the same net, later window.
+        Fault { target: "k".into(), bit: 0, kind: FaultKind::StuckAt1, cycle: 8, duration: 2 },
+        // Transient flip on the const-loaded register: visible for one
+        // cycle, then the constant reload washes it at the next edge.
+        Fault { target: "kreg".into(), bit: 5, kind: FaultKind::Flip, cycle: 5, duration: 1 },
+    ]);
+
+    let mut traces: Vec<(String, Vec<Vec<rustmtl::bits::Bits>>)> = Vec::new();
+    let mut k_trace: Option<Vec<u128>> = None;
+    for opt in [true, false] {
+        for engine in Engine::ALL {
+            let cfg = SimConfig { tape_opt: Some(opt), ..SimConfig::default() };
+            let mut sim = Sim::build_with_config(&ConstDriven, engine, &cfg).expect("elaborates");
+            plan.apply(&mut sim).expect("plan resolves");
+            sim.reset();
+            let k = sim.find_signal("k");
+            let nsignals = sim.design().signals().len();
+            let mut trace = Vec::new();
+            let mut ks = Vec::new();
+            for cyc in 0..14u32 {
+                sim.poke_port("inp", Bits::new(8, (cyc as u128).wrapping_mul(37) & 0xFF));
+                sim.cycle();
+                trace.push(
+                    (0..nsignals)
+                        .map(|i| sim.peek(rustmtl::core::SignalId::from_index(i)))
+                        .collect::<Vec<_>>(),
+                );
+                ks.push(sim.peek(k).as_u128());
+            }
+            traces.push((format!("{engine}/opt={opt}"), trace));
+            k_trace.get_or_insert(ks);
+        }
+    }
+    let (ref_name, reference) = &traces[0];
+    for (name, trace) in &traces[1..] {
+        assert_eq!(trace, reference, "{name} diverged from {ref_name} on const-driven faults");
+    }
+    // The fault must actually be observable mid-window and wash back to
+    // the constant afterwards (guards against forces silently folded
+    // away *and* against forces that never wash).
+    let ks = k_trace.expect("at least one config ran");
+    assert!(ks.iter().any(|&v| v != 0x5A), "faults on the const wire were never visible: {ks:?}");
+    assert_eq!(
+        *ks.last().expect("trace non-empty"),
+        0x5A,
+        "const wire must wash back to its driven constant after the fault window: {ks:?}"
+    );
+}
+
+/// A bundle of plans through `run_diff_batch_traced` (one bit-sliced
+/// simulation, one lane per plan) must reproduce the scalar `run_diff`
+/// report for every plan *exactly* — outcome, divergence cycles, blast
+/// radius, injected bits, and the full faulty-trace fingerprint. The
+/// untraced campaign variant matches everywhere except the fingerprint,
+/// which it reports as 0 by contract.
+#[test]
+fn batch_fault_reports_match_scalar_reports() {
+    use rustmtl::fault::{run_diff_batch, run_diff_batch_traced};
+    use rustmtl::net::MeshTrafficRtlHarness;
+
+    let top = MeshTrafficRtlHarness::new(16, 200, 0xBEEF);
+    let probe = Sim::build(&top, Engine::Interpreted).expect("design elaborates");
+    let window = PlanSpec::new(2, 2, 26);
+    let plans: Vec<FaultPlan> =
+        (0..5).map(|i| FaultPlan::random(0xB00 + i, probe.design(), &window)).collect();
+    drop(probe);
+    let cycles = 25;
+
+    let traced = run_diff_batch_traced(&top, &plans, cycles).expect("batch diff runs");
+    assert_eq!(traced.len(), plans.len());
+    let cfg = DiffConfig::new(Engine::SpecializedOpt, cycles);
+    for (i, plan) in plans.iter().enumerate() {
+        let scalar = run_diff(&top, plan, &cfg).expect("scalar diff runs");
+        assert_eq!(traced[i], scalar, "plan {i}: batch lane != scalar report");
+    }
+
+    let untraced = run_diff_batch(&top, &plans, cycles).expect("batch diff runs");
+    for (i, (u, t)) in untraced.iter().zip(&traced).enumerate() {
+        assert_eq!(u.trace_fingerprint, 0, "plan {i}: campaign mode must skip fingerprints");
+        let mut u = u.clone();
+        u.trace_fingerprint = t.trace_fingerprint;
+        assert_eq!(&u, t, "plan {i}: untraced batch diverged beyond the fingerprint");
+    }
+}
+
+/// The same const-driven design through the full `engine_agreement`
+/// harness (fingerprint + classification agreement across every engine
+/// configuration) under a seeded plan — the campaign-level view of the
+/// const-hoist regression.
+#[test]
+fn const_driven_design_passes_engine_agreement() {
+    let top = ConstDriven;
+    for seed in [21u64, 22] {
+        let plan = draw_plan(&top, seed, 2, 12);
+        let report =
+            engine_agreement(&top, &plan, 12).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert!(report.injected_bits > 0, "seed {seed}: plan must disturb something");
+    }
+}
+
 /// An empty plan is the degenerate golden-vs-golden diff: always masked,
 /// on every design.
 #[test]
