@@ -379,6 +379,7 @@ pub fn design_registry() -> Vec<(String, Box<dyn Component>)> {
     use mtl_accel::{TileConfig, TileHarness, XcelLevel};
     use mtl_check::RandomRtl;
     use mtl_proc::{CacheLevel, ProcLevel, ProcMemHarness};
+    use mtl_soc::{Soc, SocConfig, SocTraffic};
     use mtl_stdlib::{
         Adder, BypassQueue, Counter, Crossbar, IntPipelinedMultiplier, Mux, MuxReg, NormalQueue,
         RegEn, RegRst, Register, RegisterFile, RoundRobinArbiter,
@@ -424,6 +425,23 @@ pub fn design_registry() -> Vec<(String, Box<dyn Component>)> {
     }
     for seed in 1..=5u64 {
         designs.push((format!("check/RandomRtl_{seed}"), Box::new(RandomRtl::new(seed))));
+    }
+    // Hierarchical compositions: the 4-tile SoC exercises exact paths
+    // through tile → adapter → router boundaries at every level.
+    designs.push((
+        "soc/Soc_4t_syn_rtl".into(),
+        Box::new(Soc::new(SocConfig::synthetic(4, NetLevel::Rtl, SocTraffic::UniformRandom))),
+    ));
+    for (name, net, p, cc, x) in [
+        ("fl", NetLevel::Fl, ProcLevel::Fl, CacheLevel::Fl, XcelLevel::Fl),
+        ("cl", NetLevel::Cl, ProcLevel::Cl, CacheLevel::Cl, XcelLevel::Cl),
+        ("rtl", NetLevel::Rtl, ProcLevel::Rtl, CacheLevel::Rtl, XcelLevel::Rtl),
+    ] {
+        let tile = uniform(p, cc, x);
+        designs.push((
+            format!("soc/Soc_4t_cmp_{name}"),
+            Box::new(Soc::new(SocConfig::compute(4, tile, net, SocTraffic::UniformRandom))),
+        ));
     }
     designs
 }

@@ -32,6 +32,7 @@ use mtl_fault::{run_diff_batch_shared, run_diff_shared, DiffConfig, FaultPlan, O
 use mtl_net::{MeshTrafficHarness, MeshTrafficRtlHarness, NetLevel};
 use mtl_proc::{CacheLevel, ProcLevel};
 use mtl_sim::{ArtifactCache, Engine, Sim, SimConfig};
+use mtl_soc::{run_soc_compute_on, run_soc_traffic_on, Soc, SocConfig, SocTraffic};
 use mtl_sweep::{Campaign, Fnv1a, Job, JobMetrics, Json};
 
 /// Server-side fallbacks applied to specs that don't pin their own
@@ -166,6 +167,7 @@ fn job_from_spec(spec: &Json, artifacts: &Arc<ArtifactCache>) -> Result<Job, Str
         "mesh_rate" => mesh_rate_job(&name, spec, artifacts)?,
         "fault_chunk" => fault_chunk_job(&name, spec, artifacts)?,
         "fault_batch_chunk" => fault_batch_chunk_job(&name, spec, artifacts)?,
+        "soc_cycles" => soc_cycles_job(&name, spec, artifacts)?,
         other => return Err(format!("unknown job kind \"{other}\"")),
     };
     if let Some(ms) = u64_field(spec, "watchdog_ms") {
@@ -571,6 +573,133 @@ fn fault_batch_chunk_job(
     Ok(job)
 }
 
+/// Multi-tile SoC run, mirroring `soc_sweep`'s job bodies and metric
+/// keys exactly (so `soc_sweep --serve` prints the same table from
+/// server-side results). Both personalities are self-checking against
+/// the host golden model, so the job is deterministic and cacheable;
+/// the compile key covers every design-shaping parameter — the seed
+/// included, since LFSR seeds and preloaded programs are baked into the
+/// elaborated design.
+fn soc_cycles_job(name: &str, spec: &Json, artifacts: &Arc<ArtifactCache>) -> Result<Job, String> {
+    let workload = str_field(spec, "workload").unwrap_or_else(|| "synthetic".to_string());
+    let tiles = u64_field(spec, "tiles").unwrap_or(4) as usize;
+    if tiles < 4 || !tiles.is_power_of_two() || !tiles.trailing_zeros().is_multiple_of(2) {
+        return Err(format!("\"tiles\" must be a power of four >= 4, got {tiles}"));
+    }
+    let net = parse_net_level(&str_field(spec, "net").ok_or("soc_cycles needs \"net\"")?)?;
+    let pattern_s = str_field(spec, "pattern").unwrap_or_else(|| "uniform".to_string());
+    let pattern = SocTraffic::parse(&pattern_s)
+        .ok_or_else(|| format!("unknown traffic pattern \"{pattern_s}\""))?;
+    let seed = u64_field(spec, "seed").unwrap_or(0xC0DE);
+    let cycles = u64_field(spec, "cycles").unwrap_or(30_000);
+    let engine = engine_of(spec)?;
+    let artifacts = artifacts.clone();
+    let job = match workload.as_str() {
+        "synthetic" => {
+            let injection = u64_field(spec, "injection").unwrap_or(300) as u32;
+            let limit = u64_field(spec, "limit").unwrap_or(64) as u32;
+            if injection == 0 || injection > 1000 {
+                return Err(format!("\"injection\" must be 1..=1000 permille, got {injection}"));
+            }
+            let key = compile_key(&[
+                "soc",
+                "synthetic",
+                &tiles.to_string(),
+                &net.to_string(),
+                &pattern_s,
+                &injection.to_string(),
+                &limit.to_string(),
+                &seed.to_string(),
+            ]);
+            Job::new(name, move |_ctx| {
+                let soc = Soc::new(
+                    SocConfig::synthetic(tiles, net, pattern)
+                        .with_injection(injection)
+                        .with_limit(limit)
+                        .with_seed(seed),
+                );
+                let sim = Sim::build_shared(&soc, engine, &SimConfig::default(), &artifacts, key)
+                    .map_err(|e| format!("elaboration failed: {e:?}"))?;
+                let out = run_soc_traffic_on(&soc, sim, cycles);
+                let golden = u64::from(soc.golden_checksum().expect("synthetic workload"));
+                if out.drained && u64::from(out.checksum) != golden {
+                    return Err(format!(
+                        "checksum {:#x} disagrees with host golden {golden:#x}",
+                        out.checksum
+                    ));
+                }
+                Ok(JobMetrics::new()
+                    .det("cycles", out.cycles)
+                    .det("drained", u64::from(out.drained))
+                    .det("checksum", u64::from(out.checksum))
+                    .det("injected", out.injected)
+                    .det("delivered", out.delivered))
+            })
+            .param("injection", injection)
+            .param("limit", limit)
+        }
+        "compute" => {
+            let proc = parse_proc_level(&str_field(spec, "proc").unwrap_or_else(|| "RTL".into()))?;
+            let cache =
+                parse_cache_level(&str_field(spec, "cache").unwrap_or_else(|| "RTL".into()))?;
+            let xcel = parse_xcel_level(&str_field(spec, "xcel").unwrap_or_else(|| "RTL".into()))?;
+            let accesses = u64_field(spec, "accesses").unwrap_or(8) as usize;
+            if accesses == 0 || accesses > 80 {
+                return Err(format!("\"accesses\" must be 1..=80, got {accesses}"));
+            }
+            let config = TileConfig { proc, cache, xcel };
+            let key = compile_key(&[
+                "soc",
+                "compute",
+                &tiles.to_string(),
+                &net.to_string(),
+                &pattern_s,
+                &proc.to_string(),
+                &cache.to_string(),
+                &xcel.to_string(),
+                &accesses.to_string(),
+                &seed.to_string(),
+            ]);
+            Job::new(name, move |_ctx| {
+                let soc = Soc::new(
+                    SocConfig::compute(tiles, config, net, pattern)
+                        .with_accesses(accesses)
+                        .with_seed(seed),
+                );
+                let sim = Sim::build_shared(&soc, engine, &SimConfig::default(), &artifacts, key)
+                    .map_err(|e| format!("elaboration failed: {e:?}"))?;
+                let out = run_soc_compute_on(&soc, sim, cycles);
+                if out.halted && out.results != soc.expected_results() {
+                    return Err(format!(
+                        "results {:x?} disagree with host model {:x?}",
+                        out.results,
+                        soc.expected_results()
+                    ));
+                }
+                let result_xor = out.results.iter().fold(0u32, |a, &r| a ^ r);
+                Ok(JobMetrics::new()
+                    .det("cycles", out.cycles)
+                    .det("halted", u64::from(out.halted))
+                    .det("instret", out.instret)
+                    .det("result_xor", u64::from(result_xor)))
+            })
+            .param("proc", proc)
+            .param("cache", cache)
+            .param("xcel", xcel)
+            .param("accesses", accesses)
+        }
+        other => return Err(format!("unknown workload \"{other}\" (expected synthetic|compute)")),
+    };
+    Ok(job
+        .param("kind", "soc_cycles")
+        .param("workload", workload)
+        .param("tiles", tiles)
+        .param("net", net)
+        .param("pattern", pattern)
+        .param("cycles", cycles)
+        .param("engine", engine))
+}
+
 /// SplitMix64 finalizer — the same per-trial seed derivation as
 /// `fault_sweep`, so serve-side fault chunks reproduce the standalone
 /// campaign's plans bit for bit.
@@ -600,7 +729,11 @@ mod tests {
                 {"kind":"fault_chunk","name":"f1","dut":"mesh-ir","nrouters":4,
                  "trials":1,"cycles":5},
                 {"kind":"fault_batch_chunk","name":"b1","nrouters":4,"trials":3,
-                 "scalar_sample":1,"cycles":5}
+                 "scalar_sample":1,"cycles":5},
+                {"kind":"soc_cycles","name":"soc1","net":"RTL","pattern":"tornado",
+                 "tiles":4,"limit":4,"cycles":100},
+                {"kind":"soc_cycles","name":"soc2","workload":"compute","net":"CL",
+                 "proc":"CL","cache":"CL","xcel":"CL","accesses":2,"cycles":100}
             ]}"#,
         );
         assert!(campaign_from_spec(&good, &defaults, &artifacts).is_ok());
@@ -615,6 +748,10 @@ mod tests {
             r#"{"name":"a","jobs":[{"kind":"fault_chunk","name":"f","dut":"ufo"}]}"#,
             r#"{"name":"a","jobs":[{"kind":"fault_chunk","name":"f","dut":"mesh-ir","nrouters":8}]}"#,
             r#"{"name":"a","jobs":[{"kind":"fault_batch_chunk","name":"b","nrouters":4,"trials":64}]}"#,
+            r#"{"name":"a","jobs":[{"kind":"soc_cycles","name":"s","net":"RTL","tiles":8}]}"#,
+            r#"{"name":"a","jobs":[{"kind":"soc_cycles","name":"s","net":"RTL","pattern":"zipf"}]}"#,
+            r#"{"name":"a","jobs":[{"kind":"soc_cycles","name":"s","net":"RTL","workload":"mine"}]}"#,
+            r#"{"name":"a","jobs":[{"kind":"soc_cycles","name":"s","net":"RTL","injection":0}]}"#,
         ] {
             assert!(campaign_from_spec(&spec(bad), &defaults, &artifacts).is_err(), "{bad}");
         }

@@ -1,0 +1,144 @@
+//! Compute workloads for the SoC: per-tile programs over a partitioned
+//! global address space.
+//!
+//! The global word space is sliced round-robin by tile: word `w` lives in
+//! tile `w mod n`'s memory (see `MemNetAdapter`). Each tile runs a small
+//! assembled program that loads `accesses` shared read-only data words —
+//! whose home tiles follow a [`SocTraffic`] pattern — XORs them together,
+//! and stores the result to a writer-exclusive result word, then halts.
+//! Because data words are read-only and result words have a single
+//! writer, the write-through caches need no coherence protocol.
+//!
+//! Everything is host-predictable: [`ComputeWorkload::expected_result`]
+//! gives the value each tile must store, independent of level, engine, or
+//! network timing.
+
+use mtl_net::TrafficPattern;
+use mtl_proc::Instr;
+
+use crate::traffic::{splitmix, trace_rom, SocTraffic};
+
+/// Words per tile data memory (must be a power of two ≥ the footprint).
+pub const MEM_WORDS: usize = 4096;
+/// Words per tile instruction memory.
+pub const IMEM_WORDS: usize = 256;
+/// First global word of the shared read-only data region (multiple of
+/// the largest tile count so home assignment is slot-independent).
+pub const DATA_BASE_W: u32 = 1024;
+/// Data slots per (tile, destination) pair.
+pub const DATA_SLOTS: u32 = 16;
+/// First global word of the per-tile result region.
+pub const RESULT_BASE_W: u32 = 512;
+
+/// The deterministic content of global data word `w`.
+pub fn data_value(w: u32) -> u32 {
+    splitmix(u64::from(w) ^ 0xD1B5_4A32_D192_ED03) as u32
+}
+
+/// A compute workload: every tile XOR-reduces `accesses` pattern-routed
+/// data words.
+#[derive(Debug, Clone, Copy)]
+pub struct ComputeWorkload {
+    /// Home-tile selection pattern for the data words.
+    pub pattern: SocTraffic,
+    /// Loads per tile.
+    pub accesses: usize,
+    /// Workload seed (drives destination draws and shares the trace ROM
+    /// with the synthetic workload).
+    pub seed: u64,
+}
+
+impl ComputeWorkload {
+    /// Creates a workload; `accesses` must fit the instruction memory.
+    pub fn new(pattern: SocTraffic, accesses: usize, seed: u64) -> Self {
+        assert!((1..=80).contains(&accesses), "program must fit IMEM_WORDS");
+        Self { pattern, accesses, seed }
+    }
+
+    /// The home tile of tile `i`'s `k`-th access in an `n`-tile SoC.
+    fn dest_tile(&self, i: usize, k: usize, n: usize) -> usize {
+        let side = (n as f64).sqrt() as usize;
+        let x = splitmix(self.seed ^ ((i as u64) << 24) ^ ((k as u64) << 1).wrapping_add(1));
+        match self.pattern {
+            SocTraffic::UniformRandom | SocTraffic::Bursty => (x % n as u64) as usize,
+            SocTraffic::Hotspot => {
+                if x & 1 == 1 {
+                    0
+                } else {
+                    ((x >> 1) % n as u64) as usize
+                }
+            }
+            SocTraffic::Tornado => TrafficPattern::Tornado.dest(i, side, 0),
+            SocTraffic::Trace => trace_rom(self.seed, i, n)[k % 8],
+        }
+    }
+
+    /// The global *word* addresses tile `i` loads, in program order.
+    pub fn tile_words(&self, i: usize, n: usize) -> Vec<u32> {
+        (0..self.accesses)
+            .map(|k| {
+                let d = self.dest_tile(i, k, n) as u32;
+                DATA_BASE_W + (k as u32 % DATA_SLOTS) * n as u32 + d
+            })
+            .collect()
+    }
+
+    /// The global word every tile's result lands in.
+    pub fn result_word(i: usize) -> u32 {
+        RESULT_BASE_W + i as u32
+    }
+
+    /// The assembled program for tile `i` (loaded at address 0).
+    pub fn tile_program(&self, i: usize, n: usize) -> Vec<u32> {
+        let mut prog = vec![Instr::Addi { rd: 2, rs1: 0, imm: 0 }];
+        for w in self.tile_words(i, n) {
+            let addr = i16::try_from(w * 4).expect("data addresses fit an addi immediate");
+            prog.push(Instr::Addi { rd: 1, rs1: 0, imm: addr });
+            prog.push(Instr::Lw { rd: 3, rs1: 1, imm: 0 });
+            prog.push(Instr::Xor { rd: 2, rs1: 2, rs2: 3 });
+        }
+        let res = i16::try_from(Self::result_word(i) * 4).expect("result address fits");
+        prog.push(Instr::Addi { rd: 4, rs1: 0, imm: res });
+        prog.push(Instr::Sw { rs2: 2, rs1: 4, imm: 0 });
+        prog.push(Instr::Halt);
+        assert!(prog.len() <= IMEM_WORDS);
+        prog.iter().map(|i| i.encode()).collect()
+    }
+
+    /// The value tile `i` must store to its result word.
+    pub fn expected_result(&self, i: usize, n: usize) -> u32 {
+        self.tile_words(i, n).iter().fold(0, |acc, &w| acc ^ data_value(w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_route_home_correctly() {
+        for &n in &[4usize, 16, 64] {
+            let wl = ComputeWorkload::new(SocTraffic::UniformRandom, 8, 3);
+            for i in 0..n {
+                for (k, &w) in wl.tile_words(i, n).iter().enumerate() {
+                    assert_eq!(
+                        w as usize % n,
+                        wl.dest_tile(i, k, n),
+                        "data word must live on its pattern-chosen home tile"
+                    );
+                    assert!((w as usize) < MEM_WORDS);
+                }
+                assert_eq!(ComputeWorkload::result_word(i) as usize % n, i);
+            }
+        }
+    }
+
+    #[test]
+    fn expected_results_differ_across_tiles_and_patterns() {
+        let wl = ComputeWorkload::new(SocTraffic::UniformRandom, 8, 3);
+        let hot = ComputeWorkload::new(SocTraffic::Hotspot, 8, 3);
+        let r: Vec<u32> = (0..4).map(|i| wl.expected_result(i, 4)).collect();
+        assert!(r.windows(2).any(|p| p[0] != p[1]), "results should not be degenerate");
+        assert_ne!(r[1], hot.expected_result(1, 4));
+    }
+}

@@ -1,11 +1,23 @@
-#!/usr/bin/env sh
-# CI stage 0 — static checks: formatting and clippy with warnings denied.
-# Fast, no test execution; this is the first tier of the CI gate.
-set -eu
-cd "$(dirname "$0")/../.."
+#!/usr/bin/env bash
+# CI stage 0 — static checks: formatting, clippy with warnings denied,
+# and a duplicate-dependency gate. Fast, no test execution; this is the
+# first tier of the CI gate.
+. "$(dirname "$0")/lib.sh"
+ci_stage static
 
 echo "== static: cargo fmt --check"
 cargo fmt --check
 
 echo "== static: cargo clippy --workspace -D warnings"
 cargo clippy --workspace -- -D warnings
+
+# The workspace is fully offline (path deps + in-tree vendor/), so two
+# versions of the same crate can only mean a vendoring mistake; fail
+# before it quietly doubles build time.
+echo "== static: cargo tree -d (no duplicate dependency versions)"
+dups=$(cargo tree -d --workspace 2>/dev/null)
+if [ -n "$dups" ]; then
+    echo "$dups"
+    echo "FAIL: duplicate dependency versions in the workspace graph"
+    exit 1
+fi

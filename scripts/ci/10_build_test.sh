@@ -1,9 +1,9 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # CI stage 1 — tier-1 gate: the offline release build and the full test
 # suite (unit, integration, doc tests). This stage must stay green on
 # every commit.
-set -eu
-cd "$(dirname "$0")/../.."
+. "$(dirname "$0")/lib.sh"
+ci_stage build_test
 
 echo "== tier-1: cargo build --release"
 cargo build --release

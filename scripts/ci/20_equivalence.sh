@@ -1,9 +1,9 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # CI stage 2 — engine equivalence: the randomized five-engine agreement
 # suite, re-run with the parallel engine pinned to 1 and 4 worker threads
 # so both the sequential fallback and the sharded path are exercised.
-set -eu
-cd "$(dirname "$0")/../.."
+. "$(dirname "$0")/lib.sh"
+ci_stage equivalence
 
 echo "== equivalence: specialized-par at 1 thread"
 MTL_SIM_THREADS=1 cargo test -q --release --test engine_equivalence

@@ -1,4 +1,4 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # CI stage 2.2 — tape optimizer gate. Two checks:
 #
 #   1. Opt-diff differential fuzz: 250 seed-pinned random RTL designs,
@@ -13,8 +13,8 @@
 #
 # The (iters, seed) pair is pinned so a red run reproduces locally with
 # exactly these flags.
-set -eu
-cd "$(dirname "$0")/../.."
+. "$(dirname "$0")/lib.sh"
+ci_stage opt
 
 echo "== opt-diff fuzz: 250 iterations, seed 7, optimizer off vs on"
 cargo run -p mtl-bench --release --bin fuzz -- --opt-diff --iters 250 --seed 7

@@ -1,4 +1,4 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # CI stage 2.5 — bit-sliced batch engine gate. Two checks:
 #
 #   1. Batch differential fuzz: seed-pinned random RTL designs, each run
@@ -14,8 +14,8 @@
 #
 # The (iters, seed) pair is pinned so a red run reproduces locally with
 # exactly these flags.
-set -eu
-cd "$(dirname "$0")/../.."
+. "$(dirname "$0")/lib.sh"
+ci_stage batch
 
 echo "== batch fuzz: 120 iterations, seed 7, 64 lanes vs interpreted references"
 cargo run -p mtl-bench --release --bin fuzz -- --batch --iters 120 --seed 7

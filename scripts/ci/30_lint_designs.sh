@@ -1,9 +1,10 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # CI stage 3 — design lint: run the mtl-check structural linter over
-# every example/bench design in the repository. Any Error-severity
-# diagnostic fails the stage (warnings are reported but non-fatal).
-set -eu
-cd "$(dirname "$0")/../.."
+# every example/bench design in the repository (the 4-tile SoC
+# compositions included). Any Error-severity diagnostic fails the stage
+# (warnings are reported but non-fatal).
+. "$(dirname "$0")/lib.sh"
+ci_stage lint_designs
 
 echo "== lint: mtl-check over every example/bench design"
 cargo run -p mtl-bench --release --bin lint_designs

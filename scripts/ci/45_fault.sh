@@ -1,4 +1,4 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # CI stage 4.5 — fault injection + campaign resilience:
 #
 #   (a) seed-pinned fault-differential fuzz: seeded random fault plans on
@@ -16,8 +16,8 @@
 #
 # Everything is seed-pinned: a red run reproduces locally with exactly
 # these commands.
-set -eu
-cd "$(dirname "$0")/../.."
+. "$(dirname "$0")/lib.sh"
+ci_stage fault
 
 echo "== fault fuzz: 15 iterations, seed 7 (7 engine configs must agree)"
 cargo run -p mtl-bench --release --bin fuzz -- --fault --iters 15 --seed 7

@@ -1,9 +1,9 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # CI stage 5 — campaign smoke: tiny end-to-end measurement campaigns
 # through the mtl-sweep orchestration path (sharded execution, caching,
 # JSON reports). Reports land in $RUSTMTL_BENCH_DIR (default: target/).
-set -eu
-cd "$(dirname "$0")/../.."
+. "$(dirname "$0")/lib.sh"
+ci_stage smoke
 
 echo "== smoke campaign: fig15 --smoke (writes BENCH_fig15_smoke.json)"
 RUSTMTL_BENCH_DIR="${RUSTMTL_BENCH_DIR:-target}" \

@@ -1,4 +1,4 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # CI stage 5.5 — mtl-serve daemon end-to-end:
 #
 #   (a) shared compile cache: a daemon serving two concurrently
@@ -12,15 +12,13 @@
 # The in-process variant of these properties (plus protocol and
 # fingerprint-isolation checks) runs in tests/serve_smoke.rs; this
 # stage exercises the real daemon process, socket, and SIGKILL.
-set -eu
-cd "$(dirname "$0")/../.."
+. "$(dirname "$0")/lib.sh"
+ci_stage serve
 
 cargo build -q --release -p mtl-serve --bin mtl_serve
 BIN=target/release/mtl_serve
 
-DIR=target/serve-ci
-rm -rf "$DIR"
-mkdir -p "$DIR"
+DIR=$(ci_tmpdir serve)
 SOCK=$DIR/serve.sock
 
 # Two overlapping campaigns: different names (separate journals and
@@ -42,7 +40,9 @@ make_spec ci_a
 make_spec ci_b
 
 DAEMON=""
-trap '{ [ -n "$DAEMON" ] && kill -9 "$DAEMON"; } 2>/dev/null || true' EXIT
+# Folds ci_stage_done in: bash keeps one EXIT trap, and the stage must
+# still print its timing line after the daemon teardown.
+trap '{ [ -n "$DAEMON" ] && kill -9 "$DAEMON"; } 2>/dev/null || true; ci_stage_done' EXIT
 
 start_daemon() {
     # A socket file left by a SIGKILLed daemon would satisfy the

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# CI stage 6 — multi-tile SoC gate:
+#
+#   (a) engine agreement: the 16-tile SoC (CL and RTL networks, hotspot
+#       traffic) must be cycle-exact across interpreted, specialized-opt,
+#       and specialized-par@4, and every engine must drain to the host
+#       golden checksum (soc_sweep --verify-engines);
+#   (b) seed-pinned smoke campaign: soc_sweep --smoke runs synthetic and
+#       compute SoC points through the mtl-sweep orchestration path with
+#       a journal, self-checking every job against the host model, and
+#       writes BENCH_soc_smoke.json.
+#
+# The broader per-pattern/per-size correctness surface (FL golden match,
+# compute vs host model, fault-injection determinism, 64-tile engine
+# equivalence) runs in tier-1: tests/soc_smoke.rs + tests/engine_equivalence.rs.
+. "$(dirname "$0")/lib.sh"
+ci_stage soc
+
+echo "== soc: engine agreement on the 16-tile SoC (CL + RTL networks)"
+cargo run -p mtl-bench --release --bin soc_sweep -- --verify-engines
+
+JOURNAL=target/sweep-journal/ci_soc_smoke.jsonl
+rm -f "$JOURNAL"
+
+echo "== soc: seed-pinned smoke campaign (writes BENCH_soc_smoke.json)"
+RUSTMTL_BENCH_DIR="${RUSTMTL_BENCH_DIR:-target}" \
+    cargo run -p mtl-bench --release --bin soc_sweep -- \
+    --smoke --journal "$JOURNAL"
+rm -f "$JOURNAL"
+
+echo "== soc stage: OK"

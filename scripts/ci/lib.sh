@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Shared prelude for every CI stage script: strict mode, repo-root cwd,
+# and per-stage wall-time reporting.
+#
+# Usage, as the first two lines of a stage script body:
+#
+#   . "$(dirname "$0")/lib.sh"
+#   ci_stage <name>
+#
+# `ci_stage` records the start time and installs an EXIT trap, so every
+# stage — pass or fail — ends with a greppable timing line:
+#
+#   [ci] stage=<name> secs=<n>
+#
+# Stages that need their own EXIT cleanup (daemon teardown, temp dirs)
+# must fold `ci_stage_done` into their trap, since bash keeps only one
+# EXIT trap per shell:
+#
+#   trap 'my_cleanup; ci_stage_done' EXIT
+#
+# `ci_stage_done` is idempotent, so overlapping traps stay harmless.
+set -euo pipefail
+
+# Resolve the repository root from the *sourcing* script's location, so
+# stages behave identically from any cwd (verify.sh, ci.yml, by hand).
+cd "$(dirname "${BASH_SOURCE[1]}")/../.."
+
+CI_STAGE_NAME=""
+CI_STAGE_T0=0
+CI_STAGE_REPORTED=0
+
+ci_stage() {
+    CI_STAGE_NAME=$1
+    CI_STAGE_T0=$SECONDS
+    CI_STAGE_REPORTED=0
+    trap ci_stage_done EXIT
+}
+
+ci_stage_done() {
+    if [ "$CI_STAGE_REPORTED" -eq 0 ] && [ -n "$CI_STAGE_NAME" ]; then
+        CI_STAGE_REPORTED=1
+        echo "[ci] stage=${CI_STAGE_NAME} secs=$((SECONDS - CI_STAGE_T0))"
+    fi
+}
+
+# Fresh per-stage scratch directory under target/, wiped on entry:
+#   dir=$(ci_tmpdir <name>)
+ci_tmpdir() {
+    local dir="target/ci-$1"
+    rm -rf "$dir"
+    mkdir -p "$dir"
+    echo "$dir"
+}

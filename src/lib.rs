@@ -24,6 +24,8 @@
 //!   classification
 //! * [`serve`] — the persistent campaign server: shared compile cache
 //!   and multi-campaign scheduling over a JSONL socket protocol
+//! * [`soc`] — multi-tile SoC composition: proc+accel tiles on the mesh
+//!   with memory-over-network adapters and IR traffic workloads
 //!
 //! # Examples
 //!
@@ -56,6 +58,7 @@ pub use mtl_net as net;
 pub use mtl_proc as proc;
 pub use mtl_serve as serve;
 pub use mtl_sim as sim;
+pub use mtl_soc as soc;
 pub use mtl_stdlib as stdlib;
 pub use mtl_sweep as sweep;
 pub use mtl_translate as translate;

@@ -346,6 +346,128 @@ fn engines_diverge_identically_under_fault_plans() {
     assert!(non_masked > 0, "at least one seeded plan must visibly perturb the design");
 }
 
+/// Engine equivalence on the *composed* SoC, not just random designs: a
+/// 64-tile RTL mesh of traffic-generating tiles is the largest
+/// elaboration in the tree (~15k signals, 64 routers), and the
+/// acceptance bar for `mtl-soc` is that engine choice stays a pure
+/// performance knob on it. Interpreted, SpecializedOpt, and
+/// SpecializedPar at explicit 1 and 4 worker threads must agree on the
+/// architectural ports every cycle and on every net at checkpoints.
+#[test]
+fn engines_agree_on_64_tile_soc() {
+    use rustmtl::net::NetLevel;
+    use rustmtl::soc::{Soc, SocConfig, SocTraffic};
+
+    let soc = Soc::new(SocConfig::synthetic(64, NetLevel::Rtl, SocTraffic::Tornado).with_limit(4));
+    let configs: [(Engine, Option<usize>); 4] = [
+        (Engine::Interpreted, None),
+        (Engine::SpecializedOpt, None),
+        (Engine::SpecializedPar, Some(1)),
+        (Engine::SpecializedPar, Some(4)),
+    ];
+    let mut sims: Vec<Sim> = configs
+        .iter()
+        .map(|&(engine, threads)| {
+            let cfg = SimConfig { threads, ..Default::default() };
+            Sim::build_with_config(&soc, engine, &cfg).expect("64-tile SoC elaborates")
+        })
+        .collect();
+    let nsignals = sims[0].design().signals().len();
+    assert!(nsignals > 10_000, "64-tile RTL SoC should be the largest design in the tree");
+    for sim in &mut sims {
+        sim.reset();
+    }
+    let ports = ["checksum", "injected", "delivered"];
+    for cycle in 0..160u64 {
+        for sim in &mut sims {
+            sim.cycle();
+        }
+        // Architectural ports every cycle; the full net sweep is spot
+        // checked so debug-mode test time stays bounded.
+        for port in ports {
+            let reference = sims[0].peek_port(port);
+            for (ci, sim) in sims.iter().enumerate().skip(1) {
+                assert_eq!(
+                    sim.peek_port(port),
+                    reference,
+                    "{:?}@{:?} diverged on `{port}` at cycle {cycle}",
+                    configs[ci].0,
+                    configs[ci].1
+                );
+            }
+        }
+        if cycle % 40 == 39 {
+            for si in 0..nsignals {
+                let sig = rustmtl::core::SignalId::from_index(si);
+                let reference = sims[0].peek(sig);
+                for (ci, sim) in sims.iter().enumerate().skip(1) {
+                    assert_eq!(
+                        sim.peek(sig),
+                        reference,
+                        "{:?}@{:?} diverged on `{}` at cycle {cycle}",
+                        configs[ci].0,
+                        configs[ci].1,
+                        sims[0].design().signal_path(sig)
+                    );
+                }
+            }
+        }
+    }
+    // The workload must actually have exercised the mesh by now.
+    assert!(sims[0].peek_port("injected").as_u64() > 0, "tornado traffic must inject");
+}
+
+/// The compute personality (full proc+cache+xcel tiles speaking memory
+/// packets over the mesh) run in lockstep across engines: shared
+/// `TestMemory` backing is safe exactly because the engines are
+/// cycle-exact — every write lands with identical value and timing.
+#[test]
+fn engines_agree_on_compute_soc() {
+    use rustmtl::net::NetLevel;
+    use rustmtl::soc::{Soc, SocConfig, SocTraffic};
+
+    let soc = Soc::new(SocConfig::compute(
+        4,
+        rustmtl::accel::TileConfig {
+            proc: rustmtl::proc::ProcLevel::Rtl,
+            cache: rustmtl::proc::CacheLevel::Rtl,
+            xcel: rustmtl::accel::XcelLevel::Rtl,
+        },
+        NetLevel::Rtl,
+        SocTraffic::UniformRandom,
+    ));
+    let engines = [Engine::Interpreted, Engine::SpecializedOpt, Engine::SpecializedPar];
+    let mut sims: Vec<Sim> =
+        engines.iter().map(|&e| Sim::build(&soc, e).expect("compute SoC elaborates")).collect();
+    for sim in &mut sims {
+        sim.reset();
+    }
+    let mut halted_at = None;
+    for cycle in 0..20_000u64 {
+        for sim in &mut sims {
+            sim.cycle();
+        }
+        for port in ["halted", "instret_total"] {
+            let reference = sims[0].peek_port(port);
+            for (ei, sim) in sims.iter().enumerate().skip(1) {
+                assert_eq!(
+                    sim.peek_port(port),
+                    reference,
+                    "{} diverged on `{port}` at cycle {cycle}",
+                    engines[ei]
+                );
+            }
+        }
+        if sims[0].peek_port("halted") == b(1, 1) {
+            halted_at = Some(cycle);
+            break;
+        }
+    }
+    let halted_at = halted_at.expect("compute SoC must halt on every engine");
+    assert!(halted_at > 50, "plausible runtime, got {halted_at} cycles");
+    assert_eq!(soc.read_results(), soc.expected_results(), "results must match host model");
+}
+
 /// The parallel engine must be cycle-exact with `SpecializedOpt` at
 /// explicit thread counts — fully sequential (1) and sharded (4) —
 /// including the logical profile counters, not just settled values.

@@ -1,0 +1,129 @@
+//! End-to-end smoke tests for the composed SoC (`mtl-soc`).
+//!
+//! Three layers of assurance on the 4-tile composition:
+//! 1. every synthetic traffic pattern drains and checksum-matches both
+//!    the FL network golden run and the host golden model;
+//! 2. the compute personality (full proc+cache+xcel tiles over the
+//!    memory-over-network adapters) produces host-predicted results at
+//!    CL and RTL;
+//! 3. fault injection works on the composition with zero extra hooks —
+//!    a transient flip in a tile's checksum register is detected at the
+//!    top-level ports, a flip in a router after the workload drains is
+//!    not, and random campaigns classify deterministically.
+
+use rustmtl::fault::{run_diff, DiffConfig, Fault, FaultKind, FaultPlan, Outcome, PlanSpec};
+use rustmtl::net::NetLevel;
+use rustmtl::prelude::*;
+use rustmtl::soc::{run_soc_compute, run_soc_traffic, Soc, SocConfig, SocTraffic};
+
+#[test]
+fn every_pattern_delivers_and_matches_fl_golden() {
+    for pattern in SocTraffic::ALL {
+        let golden = rustmtl::soc::golden_checksum(4, 0xC0DE, 16, pattern);
+        let mut checksums = Vec::new();
+        for net in [NetLevel::Fl, NetLevel::Cl, NetLevel::Rtl] {
+            let soc = Soc::new(SocConfig::synthetic(4, net, pattern).with_limit(16));
+            let out = run_soc_traffic(&soc, Engine::SpecializedOpt, 30_000);
+            assert!(out.drained, "{pattern}@{net}: failed to drain: {out:?}");
+            assert_eq!(out.injected, 64, "{pattern}@{net}: wrong injection count");
+            checksums.push(out.checksum);
+        }
+        // FL run, CL run, RTL run, and the host model must all agree:
+        // the workload is a pure function of the seed, not of timing.
+        assert!(
+            checksums.iter().all(|&c| c == golden),
+            "{pattern}: levels disagree with golden {golden:#x}: {checksums:x?}"
+        );
+    }
+}
+
+#[test]
+fn compute_soc_matches_host_model_at_cl_and_rtl() {
+    use rustmtl::accel::{TileConfig, XcelLevel};
+    use rustmtl::proc::{CacheLevel, ProcLevel};
+    for (tile, net) in [
+        (
+            TileConfig { proc: ProcLevel::Cl, cache: CacheLevel::Cl, xcel: XcelLevel::Cl },
+            NetLevel::Cl,
+        ),
+        (
+            TileConfig { proc: ProcLevel::Rtl, cache: CacheLevel::Rtl, xcel: XcelLevel::Rtl },
+            NetLevel::Rtl,
+        ),
+    ] {
+        let soc = Soc::new(SocConfig::compute(4, tile, net, SocTraffic::Tornado));
+        let out = run_soc_compute(&soc, Engine::SpecializedOpt, 100_000);
+        assert!(out.halted, "{net}: tiles failed to halt: {out:?}");
+        assert_eq!(out.results, soc.expected_results(), "{net}: wrong results");
+        assert!(out.instret >= 4 * 8, "{net}: implausible instret {}", out.instret);
+    }
+}
+
+/// Finds the hierarchical path of a register net whose path contains
+/// `frag` (first match in design order — deterministic).
+fn register_path(design: &rustmtl::core::Design, frag: &str) -> String {
+    design
+        .nets()
+        .iter()
+        .filter(|n| n.is_register && !n.signals.is_empty())
+        .map(|n| design.signal_path(n.signals[0]))
+        .find(|p| p.contains(frag))
+        .unwrap_or_else(|| panic!("no register net matching {frag:?}"))
+}
+
+#[test]
+fn fault_in_tile_checksum_is_detected_fault_in_drained_router_is_not() {
+    let soc =
+        Soc::new(SocConfig::synthetic(4, NetLevel::Rtl, SocTraffic::UniformRandom).with_limit(16));
+    let design = elaborate(&soc).expect("elaborates");
+    let sum_path = register_path(&design, "gen_1.sum");
+    let router_path = register_path(&design, "router_0.");
+    drop(design);
+    let cfg = DiffConfig::new(Engine::SpecializedOpt, 600);
+
+    // A flip in a terminal's delivery-checksum register propagates to the
+    // top-level `checksum` port forever (the fold is linear in `sum`).
+    let tile_flip = FaultPlan::explicit(vec![Fault {
+        target: sum_path,
+        bit: 3,
+        kind: FaultKind::Flip,
+        cycle: 10,
+        duration: 1,
+    }]);
+    let report = run_diff(&soc, &tile_flip, &cfg).expect("diff runs");
+    assert_eq!(report.outcome, Outcome::Detected, "tile flip must surface: {report:?}");
+
+    // A flip inside a router *after* the bounded workload has fully
+    // drained can corrupt dormant state but never an output port.
+    let router_flip = FaultPlan::explicit(vec![Fault {
+        target: router_path.clone(),
+        bit: 0,
+        kind: FaultKind::Flip,
+        cycle: 550,
+        duration: 1,
+    }]);
+    let report = run_diff(&soc, &router_flip, &cfg).expect("diff runs");
+    assert_ne!(
+        report.outcome,
+        Outcome::Detected,
+        "post-drain router flip must stay internal ({router_path}): {report:?}"
+    );
+}
+
+#[test]
+fn random_fault_campaign_on_soc_is_deterministic() {
+    let soc = Soc::new(SocConfig::synthetic(4, NetLevel::Rtl, SocTraffic::Hotspot).with_limit(16));
+    let design = elaborate(&soc).expect("elaborates");
+    let cfg = DiffConfig::new(Engine::SpecializedOpt, 400);
+    let mut outcomes = Vec::new();
+    for seed in 0..4u64 {
+        let plan = FaultPlan::random(seed, &design, &PlanSpec::new(1, 2, 300).state_only());
+        let a = run_diff(&soc, &plan, &cfg).expect("diff runs");
+        let b = run_diff(&soc, &plan, &cfg).expect("diff runs");
+        assert_eq!(a, b, "same plan must classify identically");
+        outcomes.push(a.outcome);
+    }
+    // Not a distribution test — just require the campaign machinery to
+    // produce classified outcomes on the composed design.
+    assert_eq!(outcomes.len(), 4);
+}
