@@ -1,0 +1,435 @@
+//! `mtl-chaos`: a deterministic, seeded infrastructure-fault injector
+//! for the campaign stack.
+//!
+//! Where `mtl-fault` flips bits inside the *design under test*,
+//! `mtl-chaos` attacks the *campaign infrastructure around it*: worker
+//! threads that panic or hang, result-cache entries that come back
+//! bit-flipped or truncated, journal appends that tear mid-line or
+//! duplicate, serve event streams that reset mid-campaign, and stores
+//! that hit a full disk. The injection sites are the
+//! [`mtl_sweep::chaos`] hooks — compiled into the production crates,
+//! one relaxed atomic load when no policy is installed.
+//!
+//! The unit of configuration is a [`ChaosPlan`]: an ordered list of
+//! budgeted rules, each matching job/campaign names by substring and
+//! firing a fixed number of times. Given the same plan (same seed, same
+//! rules in the same order) and the same sequence of hook calls, the
+//! same operations fail — chaos campaigns are replayable, which is what
+//! lets `chaos_sweep` assert that a chaotic run terminates with results
+//! *byte-identical* to a chaos-free run.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use mtl_chaos::ChaosPlan;
+//!
+//! let plan = Arc::new(
+//!     ChaosPlan::new(0xC4A0)
+//!         .panic_on("mesh/job2", 1)
+//!         .cache_flip_on("mesh/", 2)
+//!         .journal_torn_on("mesh/job5", 1),
+//! );
+//! let _guard = plan.activate(); // uninstalls on drop
+//! // ... run the campaign; plan.counts() reports what actually fired.
+//! ```
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use mtl_sweep::chaos::{self, ChaosGuard, ChaosPolicy, StoreFate, StreamFate, WriteFate};
+
+/// One class of infrastructure fault a [`ChaosPlan`] rule can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The worker thread panics at the top of the attempt (inside the
+    /// executor's panic isolation).
+    Panic,
+    /// The worker thread sleeps for the given duration — long enough
+    /// for the watchdog to abandon it, short enough that the detached
+    /// thread still exits before the process does.
+    Hang(Duration),
+    /// Journal append tears: only half the line reaches the file.
+    JournalTorn,
+    /// Journal append is written twice.
+    JournalDup,
+    /// A fabricated foreign entry lands in the journal before the real
+    /// line.
+    JournalStale,
+    /// Journal append fails with simulated ENOSPC.
+    JournalEnospc,
+    /// Result-cache store lands, then one bit of the file flips.
+    CacheFlip,
+    /// Result-cache store lands, then the file is truncated to half.
+    CacheTruncate,
+    /// Result-cache store fails with simulated ENOSPC.
+    CacheEnospc,
+    /// The online divergence sentinel trips on a successful attempt,
+    /// forcing a descent down the engine ladder.
+    SentinelTrip,
+    /// The serve submit stream is reset before the next event write.
+    StreamReset,
+}
+
+impl FaultKind {
+    /// Stable lowercase name used in [`InjectionCount`] and BENCH rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::Hang(_) => "hang",
+            FaultKind::JournalTorn => "journal-torn",
+            FaultKind::JournalDup => "journal-dup",
+            FaultKind::JournalStale => "journal-stale",
+            FaultKind::JournalEnospc => "journal-enospc",
+            FaultKind::CacheFlip => "cache-flip",
+            FaultKind::CacheTruncate => "cache-truncate",
+            FaultKind::CacheEnospc => "cache-enospc",
+            FaultKind::SentinelTrip => "sentinel-trip",
+            FaultKind::StreamReset => "stream-reset",
+        }
+    }
+}
+
+/// One budgeted injection rule: fire `budget` times on operations whose
+/// job/campaign name contains `pattern`, after letting `delay` matching
+/// operations through unharmed.
+struct Rule {
+    kind: FaultKind,
+    pattern: String,
+    budget: u32,
+    /// Matching operations to let through before the first injection —
+    /// derived from the plan seed (see [`ChaosPlan::deferred`]).
+    delay: u32,
+    /// Matching operations seen so far.
+    seen: AtomicU32,
+    /// Injections actually fired (`<= budget`).
+    injected: AtomicU32,
+}
+
+impl Rule {
+    /// Records one matching operation and decides whether this one is
+    /// sacrificed. Thread-safe: the budget is consumed with a CAS loop
+    /// so concurrent workers can never overdraw it.
+    fn fire(&self) -> bool {
+        let seen = self.seen.fetch_add(1, Ordering::SeqCst);
+        if seen < self.delay {
+            return false;
+        }
+        let mut cur = self.injected.load(Ordering::SeqCst);
+        while cur < self.budget {
+            match self.injected.compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(_) => return true,
+                Err(now) => cur = now,
+            }
+        }
+        false
+    }
+}
+
+/// Snapshot of one rule's activity, for reports and assertions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectionCount {
+    /// [`FaultKind::name`] of the rule.
+    pub kind: &'static str,
+    /// The name substring the rule matches.
+    pub pattern: String,
+    /// Injections actually fired so far.
+    pub injected: u32,
+    /// The rule's total budget.
+    pub budget: u32,
+}
+
+/// A deterministic, seeded, budgeted chaos plan.
+///
+/// Build one with the `*_on(pattern, n)` methods, wrap it in an [`Arc`],
+/// and [`activate`](ChaosPlan::activate) it; keep the `Arc` to read
+/// [`counts`](ChaosPlan::counts) afterwards. Rules are checked in
+/// insertion order and the first matching rule with remaining budget
+/// wins, so a plan can aim different faults at different jobs without
+/// interference.
+pub struct ChaosPlan {
+    seed: u64,
+    /// When > 1, each rule defers its first injection by
+    /// `mix(seed, rule_index) % window` matching operations — the seed
+    /// chooses *which* of a run's early operations get sacrificed.
+    window: u32,
+    rules: Vec<Rule>,
+}
+
+/// splitmix64: cheap, well-mixed, and stable across platforms.
+fn mix(seed: u64, salt: u64) -> u64 {
+    let mut z = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ChaosPlan {
+    pub fn new(seed: u64) -> ChaosPlan {
+        ChaosPlan { seed, window: 1, rules: Vec::new() }
+    }
+
+    /// The plan's seed (recorded in BENCH rows for replayability).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Defers each rule's first injection by a seed-derived number of
+    /// matching operations in `[0, window)`. The default window of 1
+    /// fires every rule on its first match, which is what byte-identity
+    /// scenarios want; a wider window lets a seed sweep vary *where* in
+    /// the campaign the faults land without touching the plan.
+    pub fn deferred(mut self, window: u32) -> Self {
+        self.window = window.max(1);
+        for (i, rule) in self.rules.iter_mut().enumerate() {
+            rule.delay = (mix(self.seed, i as u64) % u64::from(self.window)) as u32;
+        }
+        self
+    }
+
+    fn rule(mut self, kind: FaultKind, pattern: &str, budget: u32) -> Self {
+        let index = self.rules.len() as u64;
+        let delay = if self.window > 1 {
+            (mix(self.seed, index) % u64::from(self.window)) as u32
+        } else {
+            0
+        };
+        self.rules.push(Rule {
+            kind,
+            pattern: pattern.to_string(),
+            budget,
+            delay,
+            seen: AtomicU32::new(0),
+            injected: AtomicU32::new(0),
+        });
+        self
+    }
+
+    /// Panic the worker on the first `n` attempts of matching jobs.
+    pub fn panic_on(self, pattern: &str, n: u32) -> Self {
+        self.rule(FaultKind::Panic, pattern, n)
+    }
+
+    /// Hang the worker for `hang` on the first `n` attempts of matching
+    /// jobs. Pick `hang` comfortably above the campaign's watchdog
+    /// budget but finite, so the abandoned thread still exits.
+    pub fn hang_on(self, pattern: &str, hang: Duration, n: u32) -> Self {
+        self.rule(FaultKind::Hang(hang), pattern, n)
+    }
+
+    /// Tear the journal append of the first `n` matching jobs.
+    pub fn journal_torn_on(self, pattern: &str, n: u32) -> Self {
+        self.rule(FaultKind::JournalTorn, pattern, n)
+    }
+
+    /// Duplicate the journal append of the first `n` matching jobs.
+    pub fn journal_dup_on(self, pattern: &str, n: u32) -> Self {
+        self.rule(FaultKind::JournalDup, pattern, n)
+    }
+
+    /// Prepend a stale foreign entry to the journal append of the first
+    /// `n` matching jobs.
+    pub fn journal_stale_on(self, pattern: &str, n: u32) -> Self {
+        self.rule(FaultKind::JournalStale, pattern, n)
+    }
+
+    /// Fail the journal append of the first `n` matching jobs with
+    /// simulated ENOSPC.
+    pub fn journal_enospc_on(self, pattern: &str, n: u32) -> Self {
+        self.rule(FaultKind::JournalEnospc, pattern, n)
+    }
+
+    /// Flip one bit in the cached result of the first `n` matching jobs.
+    pub fn cache_flip_on(self, pattern: &str, n: u32) -> Self {
+        self.rule(FaultKind::CacheFlip, pattern, n)
+    }
+
+    /// Truncate the cached result of the first `n` matching jobs.
+    pub fn cache_truncate_on(self, pattern: &str, n: u32) -> Self {
+        self.rule(FaultKind::CacheTruncate, pattern, n)
+    }
+
+    /// Fail the cache store of the first `n` matching jobs with
+    /// simulated ENOSPC.
+    pub fn cache_enospc_on(self, pattern: &str, n: u32) -> Self {
+        self.rule(FaultKind::CacheEnospc, pattern, n)
+    }
+
+    /// Trip the divergence sentinel on the first `n` successful attempts
+    /// of matching laddered jobs, forcing an engine descent.
+    pub fn sentinel_trip_on(self, pattern: &str, n: u32) -> Self {
+        self.rule(FaultKind::SentinelTrip, pattern, n)
+    }
+
+    /// Reset the serve submit stream of matching campaigns before the
+    /// next `n` event writes.
+    pub fn stream_reset_on(self, pattern: &str, n: u32) -> Self {
+        self.rule(FaultKind::StreamReset, pattern, n)
+    }
+
+    /// Installs this plan as the process-wide chaos policy; the guard
+    /// restores the previous policy when dropped.
+    pub fn activate(self: &Arc<Self>) -> ChaosGuard {
+        chaos::install(self.clone() as Arc<dyn ChaosPolicy>)
+    }
+
+    /// Per-rule activity snapshot, in rule insertion order.
+    pub fn counts(&self) -> Vec<InjectionCount> {
+        self.rules
+            .iter()
+            .map(|r| InjectionCount {
+                kind: r.kind.name(),
+                pattern: r.pattern.clone(),
+                injected: r.injected.load(Ordering::SeqCst),
+                budget: r.budget,
+            })
+            .collect()
+    }
+
+    /// Total injections fired across all rules.
+    pub fn total_injected(&self) -> u32 {
+        self.rules.iter().map(|r| r.injected.load(Ordering::SeqCst)).sum()
+    }
+
+    /// True once every rule has spent its full budget — the assertion a
+    /// chaos scenario makes to prove its faults actually landed.
+    pub fn exhausted(&self) -> bool {
+        self.rules.iter().all(|r| r.injected.load(Ordering::SeqCst) == r.budget)
+    }
+
+    /// Finds the first live rule of a matching kind for `name`,
+    /// consuming budget if it fires. `pick` maps the rule's kind to the
+    /// caller's fate domain (`None` = rule doesn't apply to this hook).
+    fn fire<T>(&self, name: &str, pick: impl Fn(FaultKind) -> Option<T>) -> Option<T> {
+        for rule in &self.rules {
+            let Some(fate) = pick(rule.kind) else { continue };
+            if name.contains(rule.pattern.as_str()) && rule.fire() {
+                return Some(fate);
+            }
+        }
+        None
+    }
+}
+
+impl ChaosPolicy for ChaosPlan {
+    fn before_attempt(&self, job: &str, attempt: u32, rung: usize) {
+        let fate = self.fire(job, |k| match k {
+            FaultKind::Panic | FaultKind::Hang(_) => Some(k),
+            _ => None,
+        });
+        match fate {
+            Some(FaultKind::Panic) => {
+                panic!("chaos: injected worker panic (job {job}, attempt {attempt}, rung {rung})")
+            }
+            Some(FaultKind::Hang(dur)) => std::thread::sleep(dur),
+            _ => {}
+        }
+    }
+
+    fn journal_fate(&self, job: &str) -> WriteFate {
+        self.fire(job, |k| match k {
+            FaultKind::JournalTorn => Some(WriteFate::Torn),
+            FaultKind::JournalDup => Some(WriteFate::Duplicated),
+            FaultKind::JournalStale => Some(WriteFate::Stale),
+            FaultKind::JournalEnospc => Some(WriteFate::Enospc),
+            _ => None,
+        })
+        .unwrap_or(WriteFate::Intact)
+    }
+
+    fn cache_fate(&self, job: &str) -> StoreFate {
+        self.fire(job, |k| match k {
+            FaultKind::CacheFlip => Some(StoreFate::FlipBit),
+            FaultKind::CacheTruncate => Some(StoreFate::Truncate),
+            FaultKind::CacheEnospc => Some(StoreFate::Enospc),
+            _ => None,
+        })
+        .unwrap_or(StoreFate::Intact)
+    }
+
+    fn trip_sentinel(&self, job: &str, _rung: usize) -> bool {
+        self.fire(job, |k| match k {
+            FaultKind::SentinelTrip => Some(()),
+            _ => None,
+        })
+        .is_some()
+    }
+
+    fn stream_fate(&self, campaign: &str) -> StreamFate {
+        self.fire(campaign, |k| match k {
+            FaultKind::StreamReset => Some(StreamFate::Reset),
+            _ => None,
+        })
+        .unwrap_or(StreamFate::Keep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgets_are_consumed_exactly_and_patterns_filter() {
+        let plan = ChaosPlan::new(7).panic_on("victim", 2);
+        let policy: &dyn ChaosPolicy = &plan;
+        // Non-matching jobs never consume budget.
+        policy.before_attempt("innocent", 1, 0);
+        // First two matching attempts panic; the third survives.
+        for attempt in 1..=2 {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                policy.before_attempt("mesh/victim", attempt, 0)
+            }));
+            assert!(r.is_err(), "attempt {attempt} must panic");
+        }
+        policy.before_attempt("mesh/victim", 3, 0);
+        assert_eq!(plan.total_injected(), 2);
+        assert!(plan.exhausted());
+        let counts = plan.counts();
+        assert_eq!(counts.len(), 1);
+        assert_eq!((counts[0].kind, counts[0].injected, counts[0].budget), ("panic", 2, 2));
+    }
+
+    #[test]
+    fn rules_map_to_their_hook_domains_only() {
+        let plan = ChaosPlan::new(1)
+            .journal_torn_on("a", 1)
+            .cache_flip_on("a", 1)
+            .sentinel_trip_on("a", 1)
+            .stream_reset_on("a", 1);
+        let policy: &dyn ChaosPolicy = &plan;
+        // Each hook sees only its own rule kinds: the journal hook never
+        // burns the cache rule's budget and vice versa.
+        assert_eq!(policy.journal_fate("job-a"), WriteFate::Torn);
+        assert_eq!(policy.journal_fate("job-a"), WriteFate::Intact, "budget spent");
+        assert_eq!(policy.cache_fate("job-a"), StoreFate::FlipBit);
+        assert!(policy.trip_sentinel("job-a", 0));
+        assert!(!policy.trip_sentinel("job-a", 0));
+        assert_eq!(policy.stream_fate("camp-a"), StreamFate::Reset);
+        assert_eq!(policy.stream_fate("camp-a"), StreamFate::Keep);
+        assert!(plan.exhausted());
+    }
+
+    #[test]
+    fn deferred_window_delays_deterministically() {
+        let build = || Arc::new(ChaosPlan::new(0xFEED).cache_enospc_on("x", 1).deferred(4));
+        let a = build();
+        let b = build();
+        let fates = |plan: &Arc<ChaosPlan>| {
+            (0..6).map(|_| plan.cache_fate("x") == StoreFate::Enospc).collect::<Vec<_>>()
+        };
+        // Same seed, same plan → the same operation is sacrificed.
+        assert_eq!(fates(&a), fates(&b));
+        assert_eq!(a.total_injected(), 1);
+    }
+
+    #[test]
+    fn activate_installs_and_guard_uninstalls() {
+        let plan = Arc::new(ChaosPlan::new(3).journal_dup_on("z", 1));
+        {
+            let _guard = plan.activate();
+            let live = chaos::active().expect("plan installed");
+            assert_eq!(live.journal_fate("z"), WriteFate::Duplicated);
+        }
+        assert!(chaos::active().is_none(), "guard uninstalls");
+        assert!(plan.exhausted());
+    }
+}

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! mtl_serve daemon   --socket PATH [--workers N] [--cache-dir D] [--journal-dir D]
+//!                    [--orphan-grace-ms MS]
 //! mtl_serve daemon   --stdio      [--workers N] [--cache-dir D] [--journal-dir D]
 //! mtl_serve submit   --socket PATH --file SPEC.json [--report OUT.json] [--quiet]
 //! mtl_serve stats    --socket PATH
@@ -34,7 +35,7 @@ fn socket_arg(args: &[String]) -> Result<PathBuf, String> {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: mtl_serve daemon --socket PATH|--stdio [--workers N] \
-         [--cache-dir D] [--journal-dir D]\n\
+         [--cache-dir D] [--journal-dir D] [--orphan-grace-ms MS]\n\
          \x20      mtl_serve submit --socket PATH --file SPEC.json [--report OUT.json] [--quiet]\n\
          \x20      mtl_serve stats --socket PATH\n\
          \x20      mtl_serve shutdown --socket PATH"
@@ -65,6 +66,10 @@ fn daemon(args: &[String]) -> Result<ExitCode, String> {
         workers: arg_value(args, "--workers").map(|v| v.parse().unwrap_or(0)).unwrap_or(0),
         cache_dir: arg_value(args, "--cache-dir").map(PathBuf::from),
         journal_dir: arg_value(args, "--journal-dir").map(PathBuf::from),
+        orphan_grace: arg_value(args, "--orphan-grace-ms")
+            .and_then(|v| v.parse().ok())
+            .map(std::time::Duration::from_millis)
+            .unwrap_or(ServerConfig::default().orphan_grace),
     };
     let server = Server::new(cfg);
     if has_flag(args, "--stdio") {

@@ -152,7 +152,49 @@ pub fn campaign_from_spec(
             .map_err(|e| format!("job {i} of campaign \"{name}\": {e}"))?;
         campaign = campaign.job(job);
     }
+    campaign = campaign.engine_config(engine_config_of(jobs));
     Ok(campaign)
+}
+
+/// Derives the journal-identity engine string for a spec: the distinct
+/// engines its jobs run under (explicit `engine` fields plus each
+/// kind's default) and the sim-thread budget. Resuming the same
+/// campaign under a different engine or thread count then invalidates
+/// the journal instead of silently replaying results measured
+/// elsewhere. Deliberately derived from the *spec*, not runtime state,
+/// so identical submissions across daemon restarts produce identical
+/// strings (the scheduler pins `MTL_SIM_THREADS` at startup).
+fn engine_config_of(jobs: &[Json]) -> String {
+    let mut engines: Vec<String> = Vec::new();
+    for job_spec in jobs {
+        let engine = str_field(job_spec, "engine").or_else(|| {
+            match str_field(job_spec, "kind").unwrap_or_default().as_str() {
+                // Kinds that build simulators default to specialized-opt
+                // (see `engine_of`); the batch kind is pinned.
+                "mesh_cycles" | "tile_cycles" | "mesh_rate" | "fault_chunk" | "soc_cycles" => {
+                    Some("specialized-opt".to_string())
+                }
+                "fault_batch_chunk" => Some("specialized-batch".to_string()),
+                _ => None,
+            }
+        });
+        if let Some(engine) = engine {
+            if !engines.contains(&engine) {
+                engines.push(engine);
+            }
+        }
+    }
+    engines.sort();
+    // Snapshot the thread budget once per process: `Campaign::run` pins
+    // `MTL_SIM_THREADS` lazily mid-run (to a worker-derived value), so a
+    // live read here would make the second spec parse of a process see a
+    // different string than the first and spuriously invalidate the
+    // journal. The daemon pins the variable in `Scheduler::new`, before
+    // any parse, so its snapshot is the pinned value across restarts.
+    static THREADS: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+    let threads = THREADS
+        .get_or_init(|| std::env::var("MTL_SIM_THREADS").unwrap_or_else(|_| "auto".to_string()));
+    format!("{} threads={threads}", engines.join("+"))
 }
 
 /// Instantiates one job from the kind catalog.
@@ -475,8 +517,15 @@ fn fault_chunk_job(name: &str, spec: &Json, artifacts: &Arc<ArtifactCache>) -> R
 /// `Engine::SpecializedBatch` pass (lane 0 golden, one plan per faulty
 /// lane) through [`run_diff_batch_shared`], then the leading
 /// `scalar_sample` plans are re-run through scalar [`run_diff_shared`]
-/// — both as the throughput baseline and as an in-campaign agreement
-/// check (the job fails on any field mismatch). Only the fully-IR mesh
+/// — both as the throughput baseline and as the **online divergence
+/// sentinel**: a field mismatch is reported with the
+/// [`DEGRADE_PREFIX`](mtl_sweep::DEGRADE_PREFIX) marker, so the
+/// executor retries one rung down the engine ladder
+/// (`specialized-batch → specialized-opt → interpreted`) instead of
+/// losing the job, quarantining a reproducer on the way. Scalar rungs
+/// compute the identical deterministic metrics trial by trial (the
+/// engine-exactness invariant), so a degraded campaign's canonical
+/// report is byte-identical to a healthy one. Only the fully-IR mesh
 /// DUT qualifies; native blocks cannot be bit-sliced. Uncacheable: the
 /// speedup metrics are wall-clock rates.
 fn fault_batch_chunk_job(
@@ -510,31 +559,15 @@ fn fault_batch_chunk_job(
             })
             .collect();
         drop(probe);
-        let t0 = std::time::Instant::now();
-        let reports = run_diff_batch_shared(&top, &plans, cycles, &artifacts, key)?;
-        let batch_secs = t0.elapsed().as_secs_f64().max(1e-9);
-        let cfg = DiffConfig::new(Engine::SpecializedOpt, cycles);
-        let t1 = std::time::Instant::now();
-        let mut tally_reports = Vec::new();
-        for (i, plan) in plans.iter().enumerate() {
-            if (i as u64) < sample {
-                let scalar = run_diff_shared(&top, plan, &cfg, &artifacts, key)?;
-                let mut lane = reports[i].clone();
-                // Campaign-mode batch reports carry no trace fingerprint.
-                lane.trace_fingerprint = scalar.trace_fingerprint;
-                if lane != scalar {
-                    return Err(format!(
-                        "batch lane disagrees with scalar run on trial {i}: \
-                         batch {lane:?} vs scalar {scalar:?}"
-                    ));
-                }
-            }
-            tally_reports.push(&reports[i]);
-        }
-        let scalar_secs = t1.elapsed().as_secs_f64().max(1e-9);
+        // Ladder rung: `None`/rung 0 is the preferred batch engine;
+        // lower rungs re-run every plan through the named scalar engine.
+        let scalar_rung = match ctx.engine() {
+            None | Some("specialized-batch") => None,
+            Some(other) => Some(parse_engine(other)?),
+        };
         let (mut masked, mut silent, mut detected, mut diverged) = (0u64, 0u64, 0u64, 0u64);
         let (mut sum_first_div, mut sum_blast, mut injected_bits) = (0u64, 0u64, 0u64);
-        for report in tally_reports {
+        let mut tally = |report: &mtl_fault::FaultReport| {
             match report.outcome {
                 Outcome::Masked => masked += 1,
                 Outcome::Silent => silent += 1,
@@ -546,9 +579,47 @@ fn fault_batch_chunk_job(
                 sum_blast += report.blast_radius.len() as u64;
             }
             injected_bits += report.injected_bits;
-        }
-        let batch_rate = trials as f64 / batch_secs;
-        let scalar_rate = sample as f64 / scalar_secs;
+        };
+        let (batch_rate, scalar_rate) = if let Some(engine) = scalar_rung {
+            // Degraded rung: scalar differential runs, plan by plan.
+            // Outcomes are engine-exact, so the deterministic metrics
+            // below match the batch rung's bit for bit.
+            let cfg = DiffConfig::new(engine, cycles);
+            let t0 = std::time::Instant::now();
+            for plan in &plans {
+                let report = run_diff_shared(&top, plan, &cfg, &artifacts, key)?;
+                tally(&report);
+            }
+            let rate = trials as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+            (rate, rate)
+        } else {
+            let t0 = std::time::Instant::now();
+            let reports = run_diff_batch_shared(&top, &plans, cycles, &artifacts, key)?;
+            let batch_secs = t0.elapsed().as_secs_f64().max(1e-9);
+            let cfg = DiffConfig::new(Engine::SpecializedOpt, cycles);
+            let t1 = std::time::Instant::now();
+            for (i, plan) in plans.iter().enumerate() {
+                if (i as u64) < sample {
+                    let scalar = run_diff_shared(&top, plan, &cfg, &artifacts, key)?;
+                    let mut lane = reports[i].clone();
+                    // Campaign-mode batch reports carry no trace fingerprint.
+                    lane.trace_fingerprint = scalar.trace_fingerprint;
+                    if lane != scalar {
+                        // The divergence sentinel: a batch-engine bug,
+                        // not a bad configuration. The DEGRADE_PREFIX
+                        // makes the executor descend the ladder.
+                        return Err(format!(
+                            "{}batch lane disagrees with scalar run on trial {i}: \
+                             batch {lane:?} vs scalar {scalar:?}",
+                            mtl_sweep::DEGRADE_PREFIX
+                        ));
+                    }
+                }
+                tally(&reports[i]);
+            }
+            let scalar_secs = t1.elapsed().as_secs_f64().max(1e-9);
+            (trials as f64 / batch_secs, sample as f64 / scalar_secs)
+        };
         Ok(JobMetrics::new()
             .det("trials", trials)
             .det("masked", masked)
@@ -564,6 +635,10 @@ fn fault_batch_chunk_job(
             .timing("batch_speedup", batch_rate / scalar_rate))
     })
     .uncacheable()
+    .ladder(["specialized-batch", "specialized-opt", "interpreted"])
+    .repro(move |ctx, error| {
+        batch_chunk_repro(nrouters, injection, chunk, trials, sample, cycles, faults, ctx, error)
+    })
     .param("kind", "fault_batch_chunk")
     .param("dut", format!("mesh{nrouters}/rtl-ir"))
     .param("chunk", chunk)
@@ -571,6 +646,75 @@ fn fault_batch_chunk_job(
     .param("cycles", cycles)
     .param("faults_per_trial", faults);
     Ok(job)
+}
+
+/// Generates the quarantine reproducer for a degraded
+/// `fault_batch_chunk` job: a standalone program that rebuilds the same
+/// DUT, derives the same seeded fault plans, and re-runs the
+/// batch-vs-scalar comparison that failed — everything an engine
+/// maintainer needs to chase the divergence.
+#[allow(clippy::too_many_arguments)]
+fn batch_chunk_repro(
+    nrouters: usize,
+    injection: u32,
+    chunk: u32,
+    trials: u64,
+    sample: u64,
+    cycles: u64,
+    faults: usize,
+    ctx: &mtl_sweep::JobCtx,
+    error: &str,
+) -> String {
+    let mut src = String::new();
+    src.push_str("//! Auto-written quarantine reproducer (fault_batch_chunk ladder descent).\n");
+    src.push_str(&format!(
+        "//! failing engine rung {}: {}\n",
+        ctx.rung(),
+        ctx.engine().unwrap_or("specialized-batch")
+    ));
+    for line in error.lines().take(4) {
+        src.push_str(&format!("//! error: {line}\n"));
+    }
+    src.push_str("//! Build inside the rustmtl workspace (std-only, no extra deps).\n\n");
+    src.push_str("use mtl_fault::{run_diff_batch, run_diff, DiffConfig, FaultPlan, PlanSpec};\n");
+    src.push_str("use mtl_net::MeshTrafficRtlHarness;\n");
+    src.push_str("use mtl_sim::{Engine, Sim, SimConfig};\n\n");
+    src.push_str("fn mix(a: u64, b: u64) -> u64 {\n");
+    src.push_str("    let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);\n");
+    src.push_str("    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);\n");
+    src.push_str("    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);\n");
+    src.push_str("    z ^ (z >> 31)\n}\n\n");
+    src.push_str("fn main() {\n");
+    src.push_str(&format!(
+        "    let (seed, chunk, trials, sample) = ({:#018x}u64, {chunk}u64, {trials}u64, {sample}u64);\n",
+        ctx.seed
+    ));
+    src.push_str(&format!(
+        "    let top = MeshTrafficRtlHarness::new({nrouters}, {injection}, 0xBEEF);\n"
+    ));
+    src.push_str(
+        "    let probe = Sim::build(&top, Engine::Interpreted, &SimConfig::default()).unwrap();\n",
+    );
+    src.push_str(&format!(
+        "    let window = PlanSpec::new({faults}, 2, 1 + {cycles}u64.max(1));\n"
+    ));
+    src.push_str("    let plans: Vec<FaultPlan> = (0..trials)\n");
+    src.push_str("        .map(|t| FaultPlan::random(mix(seed, (chunk << 32) | t), probe.design(), &window))\n");
+    src.push_str("        .collect();\n");
+    src.push_str("    drop(probe);\n");
+    src.push_str(&format!(
+        "    let reports = run_diff_batch(&top, &plans, {cycles}).expect(\"batch run\");\n"
+    ));
+    src.push_str(&format!("    let cfg = DiffConfig::new(Engine::SpecializedOpt, {cycles});\n"));
+    src.push_str("    for (i, plan) in plans.iter().enumerate().take(sample as usize) {\n");
+    src.push_str("        let scalar = run_diff(&top, plan, &cfg).expect(\"scalar run\");\n");
+    src.push_str("        let mut lane = reports[i].clone();\n");
+    src.push_str("        lane.trace_fingerprint = scalar.trace_fingerprint;\n");
+    src.push_str("        assert_eq!(lane, scalar, \"batch lane {i} diverges from scalar\");\n");
+    src.push_str("    }\n");
+    src.push_str("    println!(\"no divergence reproduced over {} plans\", sample);\n");
+    src.push_str("}\n");
+    src
 }
 
 /// Multi-tile SoC run, mirroring `soc_sweep`'s job bodies and metric

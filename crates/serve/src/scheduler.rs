@@ -20,10 +20,10 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use mtl_sim::{ArtifactCache, ArtifactStats};
-use mtl_sweep::{Campaign, CampaignExec, Json, PreparedCampaign};
+use mtl_sweep::{Campaign, CampaignExec, JobOutcome, JobReport, Json, PreparedCampaign};
 
 use crate::protocol;
 
@@ -37,6 +37,11 @@ struct ActiveCampaign {
     prepared: PreparedCampaign,
     exec: CampaignExec,
     sink: Arc<EventSink>,
+    /// Set when the submitting client disconnected: after this deadline
+    /// the campaign's still-queued jobs are cancelled. In-flight jobs
+    /// always finish (and checkpoint), so the grace window bounds wasted
+    /// work without tearing down workers mid-job.
+    orphaned: Option<Instant>,
 }
 
 #[derive(Default)]
@@ -150,10 +155,33 @@ impl Scheduler {
         }
         let exec = prepared.exec();
         let name = prepared.name().to_string();
-        state.active.push(ActiveCampaign { id, name, prepared, exec, sink });
+        state.active.push(ActiveCampaign { id, name, prepared, exec, sink, orphaned: None });
         drop(state);
         self.shared.work.notify_all();
         Ok(id)
+    }
+
+    /// Marks campaign `id` as orphaned: its submitting client is gone
+    /// (disconnect, reset) and nobody will read further events. After
+    /// `grace` elapses, a worker cancels every still-queued job of the
+    /// campaign (reported `failed` with a `cancelled:` error to the dead
+    /// sink, for symmetry) and retires it. Jobs already in flight run to
+    /// completion and checkpoint, and `Done` jobs are already
+    /// journalled — a resubmission of the same campaign replays them.
+    ///
+    /// Unknown ids are ignored (the campaign may have finished between
+    /// the disconnect and this call).
+    pub fn orphan(&self, id: u64, grace: Duration) {
+        let mut state = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(campaign) = state.active.iter_mut().find(|c| c.id == id) {
+            if campaign.orphaned.is_none() {
+                campaign.orphaned = Some(Instant::now() + grace);
+            }
+        }
+        drop(state);
+        // Idle workers re-scan every 100ms anyway; the nudge just makes
+        // short grace windows (tests) prompt.
+        self.shared.work.notify_all();
     }
 
     /// Stops accepting work and wakes idle workers; running jobs finish.
@@ -180,12 +208,60 @@ impl Drop for Scheduler {
     }
 }
 
+/// Cancels the still-queued jobs of every orphaned campaign whose grace
+/// deadline has passed. Queued jobs become `failed` report entries (the
+/// events go to the dead sink — harmless, and uniform with normal
+/// completion); campaigns with no jobs left in flight retire
+/// immediately, the rest retire when their last in-flight job lands.
+fn cancel_expired_orphans(shared: &Shared, state: &mut State) {
+    let now = Instant::now();
+    let mut slot = 0;
+    while slot < state.active.len() {
+        let campaign = &mut state.active[slot];
+        if campaign.orphaned.is_none_or(|deadline| now < deadline) {
+            slot += 1;
+            continue;
+        }
+        while let Some(pending) = campaign.prepared.take_next() {
+            let report = JobReport {
+                name: pending.job.name().to_string(),
+                params: pending.job.params().to_vec(),
+                seed: pending.seed,
+                fingerprint: pending.fingerprint,
+                outcome: JobOutcome::Failed { error: "cancelled: client disconnected".to_string() },
+                wall: Duration::ZERO,
+                attempts: 0,
+                replayed: false,
+                fallbacks: Vec::new(),
+                quarantine: None,
+            };
+            let done = campaign.prepared.filled() + 1;
+            let total = campaign.prepared.total();
+            let event = protocol::job_event(&campaign.name, &report, done, total);
+            campaign.prepared.complete(pending.index, report);
+            (campaign.sink)(&event);
+        }
+        if campaign.prepared.is_complete() {
+            let campaign = state.active.remove(slot);
+            state.completed += 1;
+            let report = campaign.prepared.finish(shared.workers);
+            (campaign.sink)(&protocol::campaign_done(&campaign.name, report.to_json()));
+        } else {
+            // Jobs still in flight on other workers: the queue is
+            // drained, so the campaign retires via the normal
+            // completion path when they land.
+            slot += 1;
+        }
+    }
+}
+
 fn worker_loop(shared: &Shared) {
     loop {
         let mut state = shared.state.lock().unwrap_or_else(|e| e.into_inner());
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
+        cancel_expired_orphans(shared, &mut state);
         // Round-robin scan for the next campaign with queued work.
         let n = state.active.len();
         let start = if n == 0 { 0 } else { state.rr % n };
@@ -279,6 +355,34 @@ mod tests {
         }
         let (_, active, completed) = sched.stats();
         assert_eq!((active, completed), (0, 2));
+        sched.join();
+    }
+
+    #[test]
+    fn orphaned_campaigns_cancel_queued_jobs_after_grace() {
+        let sched = Scheduler::new(1, Arc::new(ArtifactCache::new()));
+        let (sink, rx) = channel_sink();
+        // One worker, jobs slow enough that most are still queued when
+        // the orphan grace expires.
+        let campaign = Campaign::new("orphaned").no_cache().jobs((0..8).map(|i| {
+            Job::new(format!("j{i}"), |_| {
+                std::thread::sleep(Duration::from_millis(40));
+                Ok(JobMetrics::new().det("ok", 1u64))
+            })
+        }));
+        let id = sched.submit(campaign, sink).unwrap();
+        sched.orphan(id, Duration::from_millis(60));
+        let done = wait_done(&rx);
+        let summary = done.get("report").unwrap().get("summary").unwrap();
+        let done_n = summary.get("done").and_then(Json::as_u64).unwrap();
+        let failed_n = summary.get("failed").and_then(Json::as_u64).unwrap();
+        assert_eq!(done_n + failed_n, 8);
+        assert!(failed_n >= 1, "queued jobs past the grace deadline are cancelled");
+        assert!(done_n >= 1, "in-flight/pre-grace jobs still complete");
+        let (_, active, completed) = sched.stats();
+        assert_eq!((active, completed), (0, 1), "orphaned campaign retires");
+        // Unknown ids (already finished) are ignored, not a panic.
+        sched.orphan(id + 100, Duration::from_millis(1));
         sched.join();
     }
 

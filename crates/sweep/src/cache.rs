@@ -11,6 +11,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use crate::chaos::{self, StoreFate};
 use crate::job::{Job, JobMetrics};
 use crate::json::{self, Json};
 
@@ -197,7 +198,19 @@ impl ResultCache {
 
     /// Persists a result. Failures are ignored: the cache is an
     /// optimization, never a correctness dependency.
+    ///
+    /// An installed [`chaos`] policy can corrupt the store after the
+    /// fact (bit flip, truncation) or drop it (simulated ENOSPC); the
+    /// integrity checksum in [`ResultCache::load`] is what turns those
+    /// into harmless re-executions instead of silent bad results.
     pub fn store(&self, fingerprint: u64, job_name: &str, metrics: &JobMetrics) {
+        let fate = match chaos::active() {
+            Some(policy) => policy.cache_fate(job_name),
+            None => StoreFate::Intact,
+        };
+        if fate == StoreFate::Enospc {
+            return; // the write never lands; later probes simply miss
+        }
         let (det, timing, profile) = metrics.to_json();
         let mut doc = Json::obj();
         doc.set("format", CACHE_FORMAT)
@@ -226,6 +239,28 @@ impl ResultCache {
             let _ = std::fs::rename(&tmp, &path);
         } else {
             let _ = std::fs::remove_file(&tmp);
+            return;
+        }
+        // Post-store chaos corruption: media faults strike *after* the
+        // atomic rename — the entry landed intact, then rotted.
+        match fate {
+            StoreFate::Intact | StoreFate::Enospc => {}
+            StoreFate::FlipBit => {
+                if let Ok(mut bytes) = std::fs::read(&path) {
+                    if !bytes.is_empty() {
+                        // Deterministic position from the fingerprint, so
+                        // seeded chaos runs corrupt reproducibly.
+                        let pos = (fingerprint as usize) % bytes.len();
+                        bytes[pos] ^= 1 << (fingerprint.rotate_right(8) % 8);
+                        let _ = std::fs::write(&path, bytes);
+                    }
+                }
+            }
+            StoreFate::Truncate => {
+                if let Ok(bytes) = std::fs::read(&path) {
+                    let _ = std::fs::write(&path, &bytes[..bytes.len() / 2]);
+                }
+            }
         }
     }
 }

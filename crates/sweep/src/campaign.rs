@@ -38,6 +38,7 @@ pub struct Campaign {
     retries: u32,
     backoff: Duration,
     journal: Option<PathBuf>,
+    engine_config: Option<String>,
 }
 
 impl Campaign {
@@ -51,6 +52,7 @@ impl Campaign {
             retries: 0,
             backoff: Duration::from_millis(50),
             journal: None,
+            engine_config: None,
         }
     }
 
@@ -119,6 +121,17 @@ impl Campaign {
         self
     }
 
+    /// Declares the engine configuration this campaign's jobs run under
+    /// (engine kind plus thread/lane count, e.g. `"specialized-batch
+    /// threads=4"`). It becomes part of the checkpoint journal's
+    /// identity header: resuming the same campaign under a *different*
+    /// engine config starts the journal over instead of replaying
+    /// timing metrics measured on another engine.
+    pub fn engine_config(mut self, engine: impl Into<String>) -> Campaign {
+        self.engine_config = Some(engine.into());
+        self
+    }
+
     fn resolve_workers(&self, njobs: usize) -> usize {
         let configured = self.workers.or_else(|| {
             std::env::var("RUSTMTL_JOBS").ok().and_then(|v| v.trim().parse::<usize>().ok())
@@ -147,8 +160,9 @@ impl Campaign {
             assert_eq!(names.len(), jobs.len(), "campaign '{name}': job names must be unique");
         }
         let cache = self.cache.resolve().and_then(|dir| ResultCache::open(&dir));
+        let engine_config = self.engine_config.clone().unwrap_or_default();
         let (journal, replay) = match &self.journal {
-            Some(path) => match Journal::open(path, name, *seed) {
+            Some(path) => match Journal::open(path, name, *seed, &engine_config) {
                 Some((journal, replay)) => (Some(Arc::new(journal)), replay),
                 None => {
                     eprintln!(
@@ -190,6 +204,8 @@ impl Campaign {
                     wall: Duration::ZERO,
                     attempts: 0,
                     replayed: true,
+                    fallbacks: Vec::new(),
+                    quarantine: None,
                 });
                 continue;
             }
@@ -216,6 +232,8 @@ impl Campaign {
                         wall: Duration::ZERO,
                         attempts: 0,
                         replayed: false,
+                        fallbacks: Vec::new(),
+                        quarantine: None,
                     });
                     continue;
                 }
@@ -472,6 +490,31 @@ impl CampaignReport {
         self.jobs.iter().filter(|j| j.attempts > 0).count()
     }
 
+    /// Total engine-ladder descents across every job this run.
+    pub fn fallback_count(&self) -> usize {
+        self.jobs.iter().map(|j| j.fallbacks.len()).sum()
+    }
+
+    /// Engine-ladder descents grouped by the engine that *failed* (the
+    /// `from` rung), sorted by engine name — a silent engine bug shows
+    /// up here as a nonzero count for that engine.
+    pub fn fallbacks_by_engine(&self) -> Vec<(String, usize)> {
+        let mut counts: Vec<(String, usize)> = Vec::new();
+        for fallback in self.jobs.iter().flat_map(|j| &j.fallbacks) {
+            match counts.iter_mut().find(|(engine, _)| *engine == fallback.from) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((fallback.from.clone(), 1)),
+            }
+        }
+        counts.sort();
+        counts
+    }
+
+    /// Quarantine reproducers written this run, one per degraded job.
+    pub fn quarantined(&self) -> Vec<&std::path::Path> {
+        self.jobs.iter().filter_map(|j| j.quarantine.as_deref()).collect()
+    }
+
     /// The full report document (the `BENCH_*.json` schema — see
     /// EXPERIMENTS.md).
     pub fn to_json(&self) -> Json {
@@ -498,6 +541,19 @@ impl CampaignReport {
                 .set("cache_hits", stats.hits)
                 .set("cache_misses", stats.misses)
                 .set("cache_corrupt_discarded", stats.corrupt_discarded);
+        }
+        // Engine-degradation metadata: scheduling- and failure-dependent
+        // (like the cache counters), so full report only, never canonical.
+        if self.fallback_count() > 0 {
+            summary.set("fallbacks", self.fallback_count());
+            let mut by_engine = Json::obj();
+            for (engine, n) in self.fallbacks_by_engine() {
+                by_engine.set(engine, n);
+            }
+            summary.set("fallbacks_by_engine", by_engine);
+            let quarantined: Vec<Json> =
+                self.quarantined().iter().map(|p| Json::Str(p.display().to_string())).collect();
+            summary.set("quarantined", Json::Arr(quarantined));
         }
         doc.set("summary", summary);
         let jobs: Vec<Json> = self.jobs.iter().map(|j| job_json(j, true)).collect();
@@ -583,6 +639,25 @@ fn job_json(job: &JobReport, full: bool) -> Json {
                 j.set("attempts", job.attempts).set("wall_secs", job.wall.as_secs_f64());
             }
             j.set("error", format!("watchdog: no result within {:.3}s", limit.as_secs_f64()));
+        }
+    }
+    // Engine-ladder degradation is failure-path metadata: full report
+    // only, so a degraded run still matches a clean run canonically.
+    if full && !job.fallbacks.is_empty() {
+        let fallbacks: Vec<Json> = job
+            .fallbacks
+            .iter()
+            .map(|f| {
+                let mut o = Json::obj();
+                o.set("from", f.from.as_str())
+                    .set("to", f.to.as_str())
+                    .set("error", f.error.as_str());
+                o
+            })
+            .collect();
+        j.set("fallbacks", Json::Arr(fallbacks));
+        if let Some(path) = &job.quarantine {
+            j.set("quarantine", path.display().to_string());
         }
     }
     j

@@ -1,0 +1,184 @@
+//! Infrastructure-chaos hooks: process-wide injection points the
+//! campaign stack consults at its failure-prone seams.
+//!
+//! `mtl-fault` injects faults into the *design under test*; this module
+//! is the mirror image for the *campaign infrastructure itself* —
+//! worker attempts, journal appends, cache stores, serve event streams.
+//! The hooks are compiled in unconditionally and cost one relaxed
+//! atomic load when no policy is installed, so production campaigns pay
+//! nothing; the `mtl-chaos` crate implements [`ChaosPolicy`] with a
+//! seeded, budgeted [`ChaosPlan`](../../mtl_chaos) and the `chaos_sweep`
+//! bench asserts that every chaos campaign still terminates with
+//! results byte-identical to a chaos-free run.
+//!
+//! The registry is process-global on purpose: the injection sites span
+//! crates (`mtl-sweep` executors, `mtl-serve` streams) and threads
+//! (campaign workers, watchdog threads), and threading a policy handle
+//! through every layer would make the zero-cost idle path impossible.
+//! Policies therefore match on job/campaign *names*; concurrent tests
+//! stay isolated by using distinct names.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// The documented error prefix a job returns to signal *engine
+/// divergence* rather than a deterministic failure: the online
+/// divergence sentinel found the current engine rung disagreeing with
+/// its golden reference. For a job with an engine ladder this is
+/// retryable one rung down (the lower rung recomputes the result);
+/// without a ladder — or at the bottom rung — it is an ordinary
+/// deterministic failure.
+pub const DEGRADE_PREFIX: &str = "engine-degrade: ";
+
+/// Fate of one journal append ([`ChaosPolicy::journal_fate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFate {
+    /// Normal append.
+    Intact,
+    /// Torn write: only a prefix of the line reaches the file, no
+    /// newline — a kill mid-append. Resume must skip it.
+    Torn,
+    /// The line is appended twice — a writer that retried after a
+    /// reported (but actually completed) failure. Resume must be
+    /// idempotent.
+    Duplicated,
+    /// A fabricated entry with a foreign fingerprint is appended before
+    /// the real line — stale state from an unrelated campaign sharing
+    /// the file. Resume must ignore it.
+    Stale,
+    /// Simulated ENOSPC: the append is dropped entirely (with the same
+    /// warning a real failed write produces). Resume recomputes the job.
+    Enospc,
+}
+
+/// Fate of one result-cache store ([`ChaosPolicy::cache_fate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreFate {
+    /// Normal store.
+    Intact,
+    /// The entry is written, then one bit of the file is flipped —
+    /// silent media corruption. The integrity checksum must catch it.
+    FlipBit,
+    /// The entry is written, then truncated to half — a torn write or a
+    /// disk that filled mid-store.
+    Truncate,
+    /// Simulated ENOSPC: the store is dropped. Later runs just miss.
+    Enospc,
+}
+
+/// Fate of one serve event-stream write ([`ChaosPolicy::stream_fate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamFate {
+    /// Deliver the event.
+    Keep,
+    /// Reset the connection before the write — the client sees the
+    /// socket close mid-stream; the server must orphan the campaign.
+    Reset,
+}
+
+/// An installed chaos policy: each hook decides the fate of one
+/// infrastructure operation. Every method defaults to "no fault", so
+/// implementations override only the seams they attack. Hooks are
+/// called from campaign worker threads and must be `Send + Sync` and
+/// cheap; `before_attempt` is the one hook that may panic or sleep
+/// (simulating a crashing or hung worker) — it runs inside the
+/// attempt's `catch_unwind`/watchdog envelope.
+pub trait ChaosPolicy: Send + Sync {
+    /// Called at the top of every execution attempt, inside panic
+    /// isolation and under the watchdog. May panic (worker crash) or
+    /// sleep (worker hang); `attempt` counts from 1 and `rung` is the
+    /// job's current engine-ladder rung (0 for ladderless jobs).
+    fn before_attempt(&self, _job: &str, _attempt: u32, _rung: usize) {}
+
+    /// Decides the fate of one journal append for `job`.
+    fn journal_fate(&self, _job: &str) -> WriteFate {
+        WriteFate::Intact
+    }
+
+    /// Decides the fate of one result-cache store for `job`.
+    fn cache_fate(&self, _job: &str) -> StoreFate {
+        StoreFate::Intact
+    }
+
+    /// Forces the online divergence sentinel to trip on a successful
+    /// attempt (as if the engine had disagreed with its golden
+    /// reference), exercising the degradation ladder without needing a
+    /// genuinely buggy engine.
+    fn trip_sentinel(&self, _job: &str, _rung: usize) -> bool {
+        false
+    }
+
+    /// Decides the fate of one serve event-stream write for `campaign`.
+    fn stream_fate(&self, _campaign: &str) -> StreamFate {
+        StreamFate::Keep
+    }
+}
+
+/// Fast-path flag: every injection site loads this first, so the idle
+/// cost of the hooks is a single relaxed atomic read.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static POLICY: RwLock<Option<Arc<dyn ChaosPolicy>>> = RwLock::new(None);
+
+/// The installed policy, if any. Injection sites call this and skip all
+/// chaos work on `None`.
+pub fn active() -> Option<Arc<dyn ChaosPolicy>> {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return None;
+    }
+    POLICY.read().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// Installs `policy` process-wide, returning a guard that restores the
+/// previous policy (usually none) when dropped — so a panicking test
+/// cannot leak chaos into the rest of the process.
+pub fn install(policy: Arc<dyn ChaosPolicy>) -> ChaosGuard {
+    let mut slot = POLICY.write().unwrap_or_else(|e| e.into_inner());
+    let previous = slot.replace(policy);
+    ACTIVE.store(true, Ordering::SeqCst);
+    ChaosGuard { previous }
+}
+
+/// Uninstall guard returned by [`install`].
+pub struct ChaosGuard {
+    previous: Option<Arc<dyn ChaosPolicy>>,
+}
+
+impl Drop for ChaosGuard {
+    fn drop(&mut self) {
+        let mut slot = POLICY.write().unwrap_or_else(|e| e.into_inner());
+        *slot = self.previous.take();
+        ACTIVE.store(slot.is_some(), Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TornOn(&'static str);
+    impl ChaosPolicy for TornOn {
+        fn journal_fate(&self, job: &str) -> WriteFate {
+            if job.contains(self.0) {
+                WriteFate::Torn
+            } else {
+                WriteFate::Intact
+            }
+        }
+    }
+
+    #[test]
+    fn install_guard_restores_previous_policy() {
+        assert!(active().is_none(), "no policy installed by default");
+        {
+            let _guard = install(Arc::new(TornOn("x")));
+            let policy = active().expect("installed");
+            assert_eq!(policy.journal_fate("job-x"), WriteFate::Torn);
+            assert_eq!(policy.journal_fate("other"), WriteFate::Intact);
+            // Default hooks are no-ops.
+            assert_eq!(policy.cache_fate("job-x"), StoreFate::Intact);
+            assert_eq!(policy.stream_fate("job-x"), StreamFate::Keep);
+            assert!(!policy.trip_sentinel("job-x", 0));
+        }
+        assert!(active().is_none(), "guard uninstalls on drop");
+    }
+}

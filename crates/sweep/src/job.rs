@@ -182,13 +182,16 @@ impl JobMetrics {
     }
 }
 
-/// Handed to the job closure: the deterministic per-job seed and the
-/// wall-clock budget, for cooperative early termination of sweeps.
+/// Handed to the job closure: the deterministic per-job seed, the
+/// wall-clock budget (for cooperative early termination of sweeps), and
+/// — for jobs with an engine ladder — the rung this attempt runs on.
 #[derive(Debug, Clone)]
 pub struct JobCtx {
     /// Deterministic seed derived from the campaign seed and job name.
     pub seed: u64,
     pub(crate) deadline: Option<Instant>,
+    pub(crate) rung: usize,
+    pub(crate) engine: Option<String>,
 }
 
 impl JobCtx {
@@ -202,12 +205,43 @@ impl JobCtx {
     pub fn deadline(&self) -> Option<Instant> {
         self.deadline
     }
+
+    /// The current engine-ladder rung (0 = the preferred engine). Always
+    /// 0 for jobs without a ladder.
+    pub fn rung(&self) -> usize {
+        self.rung
+    }
+
+    /// The engine name of the current ladder rung ([`Job::ladder`]);
+    /// `None` for jobs without a ladder. Closures of ladder jobs branch
+    /// on this to select their execution engine, so a degraded retry
+    /// really runs one rung down.
+    pub fn engine(&self) -> Option<&str> {
+        self.engine.as_deref()
+    }
 }
 
 /// Job closures are `Fn` behind an `Arc` (not `FnOnce`) so the executor
 /// can re-run the same job for retry attempts and hand a clone to the
 /// watchdog thread without consuming it.
 pub(crate) type JobFn = Arc<dyn Fn(&JobCtx) -> Result<JobMetrics, String> + Send + Sync + 'static>;
+
+/// Quarantine-reproducer generator: given the failing attempt's context
+/// and its error, returns the *contents* of a compilable Rust source
+/// that reproduces the failing configuration (see [`Job::repro`]).
+pub(crate) type ReproFn = Arc<dyn Fn(&JobCtx, &str) -> String + Send + Sync + 'static>;
+
+/// One engine-ladder degradation taken while executing a job: the rung
+/// that failed, the rung the retry ran on, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineFallback {
+    /// Engine name of the rung that panicked / timed out / diverged.
+    pub from: String,
+    /// Engine name of the rung the job was retried on.
+    pub to: String,
+    /// The failure that forced the descent.
+    pub error: String,
+}
 
 /// A job's wall-clock budget, in two independently configurable parts:
 ///
@@ -235,6 +269,8 @@ pub struct Job {
     pub(crate) budget: JobBudget,
     pub(crate) cacheable: bool,
     pub(crate) expects_profile: bool,
+    pub(crate) ladder: Vec<String>,
+    pub(crate) repro: Option<ReproFn>,
     pub(crate) run: JobFn,
 }
 
@@ -251,8 +287,36 @@ impl Job {
             budget: JobBudget::default(),
             cacheable: true,
             expects_profile: false,
+            ladder: Vec::new(),
+            repro: None,
             run: Arc::new(run),
         }
+    }
+
+    /// Gives the job a graceful engine-degradation ladder: rung 0 is the
+    /// preferred engine, later rungs progressively simpler (and
+    /// presumed more trustworthy) ones. When an attempt *panics*, *trips
+    /// the watchdog*, or returns a divergence-sentinel error
+    /// ([`crate::chaos::DEGRADE_PREFIX`]), the job is retried one rung
+    /// down instead of failing — the closure reads the active rung from
+    /// [`JobCtx::engine`] — and the degradation is recorded in the
+    /// report ([`JobReport::fallbacks`]) with an auto-written
+    /// quarantine reproducer. At the bottom rung the ordinary retry
+    /// policy applies.
+    pub fn ladder(mut self, rungs: impl IntoIterator<Item = impl Into<String>>) -> Job {
+        self.ladder = rungs.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Installs a quarantine-reproducer generator: on the job's *first*
+    /// ladder descent, `gen(ctx, error)` is called with the failing
+    /// rung's context and the generated source is written atomically to
+    /// the quarantine directory (`RUSTMTL_QUARANTINE_DIR`, default
+    /// `target/quarantine/`). Jobs without one get a generic generated
+    /// stub naming the job, seed, params, and failing engine.
+    pub fn repro(mut self, gen: impl Fn(&JobCtx, &str) -> String + Send + Sync + 'static) -> Job {
+        self.repro = Some(Arc::new(gen));
+        self
     }
 
     /// Adds an identifying parameter (reported, and part of the cache
@@ -302,6 +366,11 @@ impl Job {
 
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The identifying parameters added with [`Job::param`].
+    pub fn params(&self) -> &[(String, String)] {
+        &self.params
     }
 }
 
@@ -371,6 +440,14 @@ pub struct JobReport {
     /// True if the result was replayed from a checkpoint journal rather
     /// than computed or loaded from the cache this run.
     pub replayed: bool,
+    /// Engine-ladder degradations taken while executing this job, in
+    /// order (empty for ladderless jobs and clean runs). Scheduling
+    /// metadata like `attempts`: reported in the full JSON form only,
+    /// never in the canonical form.
+    pub fallbacks: Vec<EngineFallback>,
+    /// Path of the auto-written quarantine reproducer, if the first
+    /// ladder descent wrote one.
+    pub quarantine: Option<std::path::PathBuf>,
 }
 
 impl JobReport {

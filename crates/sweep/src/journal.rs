@@ -9,12 +9,16 @@
 //! corrupts at most the final line, which resume skips with a warning.
 //!
 //! Layout: the first line is a header binding the journal to one
-//! `(campaign, seed, format)` identity; each further line is one
-//! completed job keyed by its fingerprint (the same identity hash the
-//! result cache uses, covering campaign name, job name, ordered
-//! parameters, and per-job seed). A journal whose header does not match
-//! the resuming campaign is ignored and overwritten — replaying results
-//! across a renamed or reseeded campaign would silently mix experiments.
+//! `(campaign, seed, engine config, format)` identity; each further
+//! line is one completed job keyed by its fingerprint (the same
+//! identity hash the result cache uses, covering campaign name, job
+//! name, ordered parameters, and per-job seed). A journal whose header
+//! does not match the resuming campaign is ignored and overwritten —
+//! replaying results across a renamed, reseeded, or re-engined campaign
+//! would silently mix experiments. The engine config is part of the
+//! identity because per-engine timing metrics are journalled alongside
+//! the deterministic ones: a resume under a different engine or thread
+//! count must recompute, not replay stale numbers.
 
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
@@ -22,11 +26,13 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
+use crate::chaos::{self, WriteFate};
 use crate::job::JobMetrics;
 use crate::json::{self, Json};
 
 /// Bump when the journal header or entry layout changes.
-const JOURNAL_FORMAT: u32 = 1;
+/// Format 2 added the `engine` identity field to the header.
+const JOURNAL_FORMAT: u32 = 2;
 
 /// An open, append-mode checkpoint journal.
 #[derive(Debug)]
@@ -41,7 +47,9 @@ pub type Replay = HashMap<u64, JobMetrics>;
 
 impl Journal {
     /// Opens `path` for the given campaign identity, recovering completed
-    /// jobs from any compatible existing journal.
+    /// jobs from any compatible existing journal. `engine` is the
+    /// campaign's engine configuration string (engine kind + thread/lane
+    /// count, `""` if untracked) and is part of the identity.
     ///
     /// * No file: a fresh journal is created (header written) and the
     ///   replay map is empty.
@@ -50,19 +58,24 @@ impl Journal {
     ///   bit rot) are skipped with a warning on stderr. The file is kept
     ///   and further entries append to it.
     /// * Mismatched or unreadable header: the journal belongs to a
-    ///   different campaign/seed/format — it is discarded (with a
+    ///   different campaign/seed/engine/format — it is discarded (with a
     ///   warning) and rewritten from scratch.
     ///
     /// Returns `None` (journalling disabled, campaign still runs) if the
     /// file cannot be created or opened.
-    pub fn open(path: &Path, campaign: &str, seed: u64) -> Option<(Journal, Replay)> {
+    pub fn open(path: &Path, campaign: &str, seed: u64, engine: &str) -> Option<(Journal, Replay)> {
         let mut replay = Replay::new();
         let mut keep_existing = false;
+        let mut needs_newline = false;
         if let Ok(text) = std::fs::read_to_string(path) {
             let mut lines = text.lines();
-            match lines.next().map(|h| header_matches(h, campaign, seed)) {
+            match lines.next().map(|h| header_matches(h, campaign, seed, engine)) {
                 Some(true) => {
                     keep_existing = true;
+                    // A killed writer can leave a torn final line with no
+                    // newline; appending straight after it would weld the
+                    // next record onto the torn one and lose both.
+                    needs_newline = !text.is_empty() && !text.ends_with('\n');
                     for (i, line) in lines.enumerate() {
                         if line.trim().is_empty() {
                             continue;
@@ -82,7 +95,7 @@ impl Journal {
                 }
                 Some(false) => {
                     eprintln!(
-                        "mtl-sweep: journal {} belongs to a different campaign/seed; \
+                        "mtl-sweep: journal {} belongs to a different campaign/seed/engine; \
                          starting it over",
                         path.display()
                     );
@@ -100,13 +113,18 @@ impl Journal {
             opts.write(true).truncate(true);
         }
         let mut file = opts.create(true).open(path).ok()?;
-        if !keep_existing {
+        if keep_existing {
+            if needs_newline {
+                writeln!(file).ok()?;
+            }
+        } else {
             let mut header = Json::obj();
             header
                 .set("journal", "mtl-sweep")
                 .set("format", JOURNAL_FORMAT)
                 .set("campaign", campaign)
-                .set("seed", format!("{seed:016x}"));
+                .set("seed", format!("{seed:016x}"))
+                .set("engine", engine);
             writeln!(file, "{}", header.to_compact()).ok()?;
             file.flush().ok()?;
         }
@@ -115,6 +133,10 @@ impl Journal {
 
     /// Appends one completed job. Flushed immediately — a checkpoint that
     /// only exists in a userspace buffer protects against nothing.
+    ///
+    /// An installed [`chaos`] policy can corrupt this append (torn line,
+    /// duplicate, stale foreign entry, dropped write) to prove resume
+    /// tolerates every failure a real filesystem can produce.
     pub fn record(&self, fingerprint: u64, name: &str, metrics: &JobMetrics) {
         let (det, timing, profile) = metrics.to_json();
         let mut entry = Json::obj();
@@ -126,8 +148,36 @@ impl Journal {
         if let Some(profile) = profile {
             entry.set("profile", profile);
         }
+        let line = entry.to_compact();
+        let fate = match chaos::active() {
+            Some(policy) => policy.journal_fate(name),
+            None => WriteFate::Intact,
+        };
         let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
-        if writeln!(file, "{}", entry.to_compact()).and_then(|()| file.flush()).is_err() {
+        let wrote = match fate {
+            WriteFate::Intact => writeln!(file, "{line}"),
+            WriteFate::Torn => {
+                // Half the bytes, no newline: what a kill mid-append
+                // leaves behind. Resume must skip it and recompute.
+                let torn = &line[..line.len() / 2];
+                write!(file, "{torn}")
+            }
+            WriteFate::Duplicated => {
+                writeln!(file, "{line}").and_then(|()| writeln!(file, "{line}"))
+            }
+            WriteFate::Stale => {
+                // A foreign fingerprint no job in this campaign owns:
+                // resume must leave it unmatched, not replay it.
+                let stale = format!(
+                    "{{\"fingerprint\":\"{:016x}\",\"name\":\"stale-intruder\",\
+                     \"metrics\":{{\"v\":1}},\"timing\":{{}}}}",
+                    fingerprint ^ 0xDEAD_BEEF_DEAD_BEEF
+                );
+                writeln!(file, "{stale}").and_then(|()| writeln!(file, "{line}"))
+            }
+            WriteFate::Enospc => Err(std::io::Error::other("chaos: simulated ENOSPC")),
+        };
+        if wrote.and_then(|()| file.flush()).is_err() {
             eprintln!(
                 "mtl-sweep: failed to append to journal {} (resume would recompute this job)",
                 self.path.display()
@@ -136,12 +186,13 @@ impl Journal {
     }
 }
 
-fn header_matches(line: &str, campaign: &str, seed: u64) -> bool {
+fn header_matches(line: &str, campaign: &str, seed: u64, engine: &str) -> bool {
     let Ok(h) = json::parse(line) else { return false };
     h.get("journal").and_then(Json::as_str) == Some("mtl-sweep")
         && h.get("format").and_then(Json::as_u64) == Some(JOURNAL_FORMAT as u64)
         && h.get("campaign").and_then(Json::as_str) == Some(campaign)
         && h.get("seed").and_then(Json::as_str) == Some(format!("{seed:016x}").as_str())
+        && h.get("engine").and_then(Json::as_str) == Some(engine)
 }
 
 fn parse_entry(line: &str) -> Option<(u64, JobMetrics)> {
@@ -165,20 +216,20 @@ mod tests {
     #[test]
     fn round_trips_entries_across_reopen() {
         let path = tmp_journal("roundtrip");
-        let (journal, replay) = Journal::open(&path, "camp", 7).unwrap();
+        let (journal, replay) = Journal::open(&path, "camp", 7, "interpreted x2").unwrap();
         assert!(replay.is_empty());
         journal.record(0xAB, "a", &JobMetrics::new().det("v", 1u64));
         journal.record(0xCD, "b", &JobMetrics::new().det("v", 2u64).timing("t", 0.5));
         drop(journal);
 
-        let (journal, replay) = Journal::open(&path, "camp", 7).unwrap();
+        let (journal, replay) = Journal::open(&path, "camp", 7, "interpreted x2").unwrap();
         assert_eq!(replay.len(), 2);
         assert_eq!(replay[&0xAB].get("v").unwrap().as_u64(), Some(1));
         assert_eq!(replay[&0xCD].f64("t"), Some(0.5));
         // Appending after resume keeps earlier entries.
         journal.record(0xEF, "c", &JobMetrics::new());
         drop(journal);
-        let (_, replay) = Journal::open(&path, "camp", 7).unwrap();
+        let (_, replay) = Journal::open(&path, "camp", 7, "interpreted x2").unwrap();
         assert_eq!(replay.len(), 3);
         let _ = std::fs::remove_dir_all(path.parent().unwrap());
     }
@@ -186,7 +237,7 @@ mod tests {
     #[test]
     fn torn_final_line_is_skipped_not_fatal() {
         let path = tmp_journal("torn");
-        let (journal, _) = Journal::open(&path, "camp", 7).unwrap();
+        let (journal, _) = Journal::open(&path, "camp", 7, "").unwrap();
         journal.record(0xAB, "a", &JobMetrics::new().det("v", 1u64));
         drop(journal);
         // Simulate a kill mid-append: a truncated trailing line.
@@ -194,27 +245,50 @@ mod tests {
         text.push_str("{\"fingerprint\":\"00cd\",\"name\":\"b\",\"met");
         std::fs::write(&path, text).unwrap();
 
-        let (_, replay) = Journal::open(&path, "camp", 7).unwrap();
+        let (journal, replay) = Journal::open(&path, "camp", 7, "").unwrap();
         assert_eq!(replay.len(), 1, "intact entry survives, torn one is skipped");
         assert!(replay.contains_key(&0xAB));
+        // Appending after a torn no-newline tail must not weld the new
+        // record onto the torn fragment.
+        journal.record(0xEF, "c", &JobMetrics::new().det("v", 3u64));
+        drop(journal);
+        let (_, replay) = Journal::open(&path, "camp", 7, "").unwrap();
+        assert_eq!(replay.len(), 2, "record appended after torn tail is recovered");
+        assert!(replay.contains_key(&0xEF));
         let _ = std::fs::remove_dir_all(path.parent().unwrap());
     }
 
     #[test]
     fn mismatched_identity_starts_over() {
         let path = tmp_journal("identity");
-        let (journal, _) = Journal::open(&path, "camp", 7).unwrap();
+        let (journal, _) = Journal::open(&path, "camp", 7, "").unwrap();
         journal.record(0xAB, "a", &JobMetrics::new().det("v", 1u64));
         drop(journal);
 
         // Same path, different seed: stale checkpoints must not replay.
-        let (_, replay) = Journal::open(&path, "camp", 8).unwrap();
+        let (_, replay) = Journal::open(&path, "camp", 8, "").unwrap();
         assert!(replay.is_empty());
         // And the file was rewritten for the new identity.
-        let (_, replay) = Journal::open(&path, "camp", 8).unwrap();
+        let (_, replay) = Journal::open(&path, "camp", 8, "").unwrap();
         assert!(replay.is_empty());
-        let (_, replay) = Journal::open(&path, "camp", 7).unwrap();
+        let (_, replay) = Journal::open(&path, "camp", 7, "").unwrap();
         assert!(replay.is_empty(), "old-identity entries are gone for good");
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn engine_config_is_part_of_the_identity() {
+        let path = tmp_journal("engine");
+        let (journal, _) = Journal::open(&path, "camp", 7, "specialized-batch x4").unwrap();
+        journal.record(0xAB, "a", &JobMetrics::new().det("v", 1u64));
+        drop(journal);
+
+        // Same campaign and seed, different engine config: timing-bearing
+        // checkpoints are stale — the journal starts over.
+        let (_, replay) = Journal::open(&path, "camp", 7, "interpreted x1").unwrap();
+        assert!(replay.is_empty(), "engine change invalidates the journal");
+        let (_, replay) = Journal::open(&path, "camp", 7, "specialized-batch x4").unwrap();
+        assert!(replay.is_empty(), "original-engine entries are gone after rewrite");
         let _ = std::fs::remove_dir_all(path.parent().unwrap());
     }
 }

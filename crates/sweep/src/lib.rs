@@ -38,6 +38,7 @@
 
 pub mod cache;
 pub mod campaign;
+pub mod chaos;
 pub mod exec;
 pub mod job;
 pub mod journal;
@@ -47,8 +48,9 @@ pub mod timing;
 
 pub use cache::{fnv1a, job_fingerprint, CacheStats, Fnv1a, ResultCache};
 pub use campaign::{Campaign, CampaignExec, CampaignReport, PendingJob, PreparedCampaign};
-pub use exec::{execute_job, RetryPolicy};
-pub use job::{Job, JobBudget, JobCtx, JobMetrics, JobOutcome, JobReport, Metric};
+pub use chaos::{ChaosGuard, ChaosPolicy, DEGRADE_PREFIX};
+pub use exec::{execute_job, quarantine_dir, RetryPolicy};
+pub use job::{EngineFallback, Job, JobBudget, JobCtx, JobMetrics, JobOutcome, JobReport, Metric};
 pub use journal::Journal;
 pub use json::Json;
 pub use timing::{measure_batched, BatchedMeasurement};

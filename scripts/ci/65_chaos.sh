@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# CI stage 7 — chaos gate: infrastructure-fault injection and the
+# engine-degradation ladder.
+#
+# Runs the seed-pinned chaos campaign (chaos_sweep --smoke), which
+# asserts internally that:
+#
+#   (a) every scenario's chaotic run terminates with a canonical report
+#       byte-identical to its chaos-free baseline (worker panics/hangs,
+#       cache bit-flips/truncation/ENOSPC, torn/duplicated/stale/ENOSPC
+#       journal appends, injected socket resets, compile-cache
+#       poisoning);
+#   (b) at least one injection of every fault class actually fired;
+#   (c) at least one engine-ladder fallback occurred, with a compilable
+#       reproducer quarantined;
+#   (d) a client disconnect cancels queued jobs after the orphan grace,
+#       and shutdown mid-submit is a clean protocol error.
+#
+# The process exits nonzero on any violated invariant, so this stage is
+# a plain run + output greps. The per-fault-class unit surface runs in
+# tier-1: crates/sweep (chaos hooks, ladder executor, journal v2),
+# crates/chaos (plan budgets), tests/chaos_smoke.rs, tests/serve_smoke.rs.
+. "$(dirname "$0")/lib.sh"
+ci_stage chaos
+
+echo "== chaos: seed-pinned chaos campaign (writes BENCH_chaos.json)"
+OUT=$(RUSTMTL_BENCH_DIR="${RUSTMTL_BENCH_DIR:-target}" \
+    cargo run -p mtl-bench --release --bin chaos_sweep -- --smoke 2>&1) || {
+    echo "$OUT"
+    echo "chaos stage: chaos_sweep failed"
+    exit 1
+}
+echo "$OUT"
+
+echo "$OUT" | grep -q "chaos_sweep: all scenarios byte-identical to chaos-free baselines" \
+    || { echo "chaos stage: byte-identity line missing"; exit 1; }
+echo "$OUT" | grep -q "fault_classes=11" \
+    || { echo "chaos stage: expected all 11 fault classes to fire"; exit 1; }
+echo "$OUT" | grep -Eq "fallbacks=[1-9]" \
+    || { echo "chaos stage: expected at least one engine-ladder fallback"; exit 1; }
+echo "$OUT" | grep -q "serve-shutdown: clean protocol error" \
+    || { echo "chaos stage: shutdown goodbye missing"; exit 1; }
+echo "$OUT" | grep -q "queue cancelled after grace" \
+    || { echo "chaos stage: orphan cancellation missing"; exit 1; }
+
+echo "== chaos stage: OK"

@@ -13,6 +13,7 @@
 #   stage 5  scripts/ci/50_smoke.sh         mtl-sweep campaign smoke runs
 #   stage 5.5 scripts/ci/55_serve.sh        mtl-serve daemon: shared compiles, kill -9 resume
 #   stage 6  scripts/ci/60_soc.sh           multi-tile SoC engine agreement + smoke campaign
+#   stage 7  scripts/ci/65_chaos.sh         chaos injection + engine-degradation ladder
 #
 # Stage scripts share scripts/ci/lib.sh (strict mode, repo-root cwd,
 # per-stage timing); the numeric glob below keeps the library itself out

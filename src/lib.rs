@@ -26,6 +26,10 @@
 //!   and multi-campaign scheduling over a JSONL socket protocol
 //! * [`soc`] — multi-tile SoC composition: proc+accel tiles on the mesh
 //!   with memory-over-network adapters and IR traffic workloads
+//! * [`chaos`] — deterministic infrastructure-fault injection for the
+//!   campaign stack: worker crashes/hangs, cache corruption, torn
+//!   journals, socket resets, and the engine-degradation ladder they
+//!   exercise
 //!
 //! # Examples
 //!
@@ -50,6 +54,7 @@
 
 pub use mtl_accel as accel;
 pub use mtl_bits as bits;
+pub use mtl_chaos as chaos;
 pub use mtl_check as check;
 pub use mtl_core as core;
 pub use mtl_eda as eda;

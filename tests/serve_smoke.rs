@@ -21,10 +21,18 @@
 //!
 //! The process-level variant of (4) — `kill -9` on a live daemon — runs
 //! in `scripts/ci/55_serve.sh`.
+//!
+//! 5. **Disconnect/shutdown grace** — a client that vanishes
+//!    mid-campaign orphans it (queued jobs cancelled after the grace
+//!    window, in-flight work journalled), and a server shutdown during
+//!    an in-flight submit surfaces as a clean protocol error, not a
+//!    broken pipe.
 
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
 use std::path::{Path, PathBuf};
 
-use rustmtl::serve::{Client, Server, ServerConfig};
+use rustmtl::serve::{protocol, Client, Server, ServerConfig};
 use rustmtl::sweep::{json, Json};
 
 /// A unique scratch directory under the cargo target dir, cleaned first.
@@ -42,6 +50,8 @@ fn start_server(dir: &Path, workers: usize) -> (Server, PathBuf, std::thread::Jo
         workers,
         cache_dir: Some(dir.join("cache")),
         journal_dir: Some(dir.join("journals")),
+        // Short grace so disconnect-cancel tests settle quickly.
+        orphan_grace: std::time::Duration::from_millis(200),
     });
     let socket = dir.join("serve.sock");
     let handle = {
@@ -211,6 +221,85 @@ fn fingerprints_isolate_campaigns_while_compiles_are_shared() {
 
     server.stop();
     handle.join().unwrap();
+}
+
+/// A campaign of slow `sleep_ms` jobs (so plenty stay queued while the
+/// connection dies).
+fn slow_spec(name: &str, jobs: usize, ms: u64) -> Json {
+    let mut spec = Json::obj();
+    spec.set("name", name);
+    let arr: Vec<Json> = (0..jobs)
+        .map(|i| {
+            let mut j = Json::obj();
+            j.set("kind", "sleep_ms").set("name", format!("{name}/j{i}")).set("ms", ms);
+            j
+        })
+        .collect();
+    spec.set("jobs", arr);
+    spec
+}
+
+#[test]
+fn disconnecting_client_orphans_campaign_and_queued_jobs_are_cancelled() {
+    let dir = scratch_dir("serve-disconnect");
+    let (server, socket, handle) = start_server(&dir, 1);
+    let jobs = 6;
+
+    {
+        // A raw connection with no protocol goodbye: submit, read one
+        // event to prove the campaign is live, then vanish.
+        let mut stream = UnixStream::connect(&socket).expect("raw connect");
+        let line = protocol::submit_request(&slow_spec("vanisher", jobs, 150)).to_compact();
+        stream.write_all(line.as_bytes()).expect("send submit");
+        stream.write_all(b"\n").expect("send newline");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut event = String::new();
+        reader.read_line(&mut event).expect("first event");
+        assert!(event.contains("event"), "expected a job event, got: {event}");
+    }
+
+    // After the grace window the scheduler must cancel the queued
+    // remainder and retire the campaign on its own.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    while server.scheduler().stats().1 != 0 {
+        assert!(std::time::Instant::now() < deadline, "orphaned campaign never drained");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    server.stop();
+    handle.join().unwrap();
+
+    // Completed jobs checkpointed; cancelled ones never journal — the
+    // journal is strictly shorter than the campaign.
+    let text = std::fs::read_to_string(dir.join("journals").join("vanisher.jsonl"))
+        .expect("journal exists");
+    let records = text.lines().count().saturating_sub(1);
+    assert!(records >= 1, "in-flight work still checkpoints");
+    assert!(records < jobs, "queued jobs were cancelled, not executed: {records}/{jobs}");
+}
+
+#[test]
+fn shutdown_during_in_flight_submit_is_a_clean_protocol_error() {
+    let dir = scratch_dir("serve-shutdown-grace");
+    let (server, socket, handle) = start_server(&dir, 1);
+
+    let submitter = {
+        let socket = socket.clone();
+        std::thread::spawn(move || {
+            let mut client = connect(&socket);
+            client.submit(&slow_spec("interrupted", 8, 200), |_| {})
+        })
+    };
+    // Let the campaign get going, then stop the server under it.
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    server.stop();
+    let result = submitter.join().expect("submitter thread");
+    handle.join().unwrap();
+
+    // The client must see the protocol-level goodbye (with recovery
+    // guidance), not a dead socket.
+    let err = result.expect_err("shutdown mid-submit must error");
+    assert!(err.contains("shutting down"), "unexpected error: {err}");
+    assert!(err.contains("resubmit"), "goodbye must point at recovery: {err}");
 }
 
 #[test]
